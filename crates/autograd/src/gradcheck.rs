@@ -1,0 +1,107 @@
+//! Numerical gradient checking.
+//!
+//! The only trustworthy way to validate a hand-written backward pass is to
+//! compare it against central finite differences. [`check_gradient`] runs a
+//! user-supplied scalar function twice per perturbed element and compares
+//! against the analytic gradient with a relative-error criterion that is
+//! robust to `f32` noise.
+
+use facility_linalg::Matrix;
+
+/// Outcome of a gradient check, carrying the worst offending element for
+/// debugging.
+#[derive(Debug)]
+pub struct GradCheckReport {
+    /// Largest relative error observed.
+    pub max_rel_err: f32,
+    /// Flat index of the worst element.
+    pub worst_index: usize,
+    /// Analytic gradient at the worst element.
+    pub analytic: f32,
+    /// Numerical gradient at the worst element.
+    pub numeric: f32,
+}
+
+impl GradCheckReport {
+    /// True when the worst relative error is below `tol`.
+    pub fn passes(&self, tol: f32) -> bool {
+        self.max_rel_err <= tol
+    }
+}
+
+/// Central-difference numerical gradient of `f` at `at`.
+///
+/// `f` must be a pure function of its input.
+pub fn numeric_grad(f: &mut dyn FnMut(&Matrix) -> f32, at: &Matrix, eps: f32) -> Matrix {
+    let mut g = Matrix::zeros(at.rows(), at.cols());
+    let mut x = at.clone();
+    for i in 0..at.len() {
+        let orig = x.as_slice()[i];
+        x.as_mut_slice()[i] = orig + eps;
+        let fp = f(&x);
+        x.as_mut_slice()[i] = orig - eps;
+        let fm = f(&x);
+        x.as_mut_slice()[i] = orig;
+        g.as_mut_slice()[i] = (fp - fm) / (2.0 * eps);
+    }
+    g
+}
+
+/// Compare `analytic` against the central-difference gradient of `f` at
+/// `at`.
+///
+/// The error metric per element is `|a − n| / max(1, |a|, |n|)` — absolute
+/// when gradients are small, relative when they are large.
+pub fn check_gradient(
+    f: &mut dyn FnMut(&Matrix) -> f32,
+    at: &Matrix,
+    analytic: &Matrix,
+    eps: f32,
+) -> GradCheckReport {
+    assert_eq!(analytic.shape(), at.shape(), "check_gradient: shape mismatch");
+    let numeric = numeric_grad(f, at, eps);
+    let mut report = GradCheckReport { max_rel_err: 0.0, worst_index: 0, analytic: 0.0, numeric: 0.0 };
+    for i in 0..at.len() {
+        let a = analytic.as_slice()[i];
+        let n = numeric.as_slice()[i];
+        let denom = 1.0_f32.max(a.abs()).max(n.abs());
+        let err = (a - n).abs() / denom;
+        if err > report.max_rel_err {
+            report.max_rel_err = err;
+            report.worst_index = i;
+            report.analytic = a;
+            report.numeric = n;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_grad_of_quadratic() {
+        let at = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+        let g = numeric_grad(&mut |m: &Matrix| m.frobenius_sq(), &at, 1e-2);
+        for i in 0..3 {
+            assert!((g.as_slice()[i] - 2.0 * at.as_slice()[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn check_gradient_detects_wrong_gradient() {
+        let at = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let wrong = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let report = check_gradient(&mut |m: &Matrix| m.frobenius_sq(), &at, &wrong, 1e-2);
+        assert!(!report.passes(1e-2), "should fail: {report:?}");
+    }
+
+    #[test]
+    fn check_gradient_accepts_correct_gradient() {
+        let at = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let correct = at.scale(2.0);
+        let report = check_gradient(&mut |m: &Matrix| m.frobenius_sq(), &at, &correct, 1e-2);
+        assert!(report.passes(1e-2), "should pass: {report:?}");
+    }
+}

@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # facility-autograd
+//!
+//! A tape-based reverse-mode automatic differentiation engine over
+//! [`facility_linalg::Matrix`], purpose-built for the graph neural network
+//! recommenders in this workspace.
+//!
+//! ## Why a from-scratch engine?
+//!
+//! The paper implements CKAT in TensorFlow. The Rust GNN ecosystem is thin,
+//! so this crate provides the minimal differentiable-op set the paper's
+//! models need — and nothing else:
+//!
+//! * dense products ([`Tape::matmul`], [`Tape::matmul_transpose_b`]),
+//! * embedding lookup with scatter-add backward ([`Tape::gather_rows`]),
+//! * **segment ops** for message passing over a CSR graph
+//!   ([`Tape::segment_softmax`], [`Tape::segment_sum`]) — these implement
+//!   the knowledge-aware attention normalization (paper Eq. 5) and the
+//!   neighborhood aggregation (Eq. 3),
+//! * activations, broadcasting, concatenation, dropout, and the loss
+//!   heads used by BPR (Eq. 12) and TransR (Eq. 2).
+//!
+//! ## Programming model
+//!
+//! A [`Tape`] is built fresh for every training step. Leaves are cloned in
+//! from a [`ParamStore`]; ops record themselves on the tape; calling
+//! [`Tape::backward`] on a scalar (`1×1`) output fills per-node gradients,
+//! which the caller feeds to an [`optim`] optimizer.
+//!
+//! ```
+//! use facility_autograd::{Tape, optim::{ParamStore, Adam}};
+//! use facility_linalg::{Matrix, seeded_rng, init};
+//!
+//! let mut rng = seeded_rng(0);
+//! let mut store = ParamStore::new();
+//! let w = store.add("w", init::xavier_uniform(4, 1, &mut rng));
+//!
+//! let mut adam = Adam::default_for(&store, 0.1);
+//! for _ in 0..100 {
+//!     let mut tape = Tape::new();
+//!     let wv = tape.leaf(store.value(w).clone());
+//!     // Minimize ||w||² — drives w to zero.
+//!     let loss = tape.frobenius_sq(wv);
+//!     tape.backward(loss);
+//!     store.apply(&mut adam, &[(w, tape.grad(wv).unwrap().clone())]);
+//! }
+//! assert!(store.value(w).max_abs() < 1e-2);
+//! ```
+//!
+//! Correctness is enforced by numerical gradient checking (see
+//! [`gradcheck`]) in the unit and property test suites.
+
+pub mod gradcheck;
+pub mod optim;
+pub mod tape;
+
+pub use optim::{Adam, ParamId, ParamStore, Sgd};
+pub use tape::{Tape, Var};

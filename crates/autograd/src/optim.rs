@@ -1,0 +1,310 @@
+//! Parameter storage and first-order optimizers.
+//!
+//! [`ParamStore`] owns named parameter matrices for the lifetime of a
+//! model; a fresh [`Tape`](crate::Tape) borrows *clones* of the values each
+//! step and hands gradients back through [`ParamStore::apply`].
+//!
+//! [`Adam`] (Kingma & Ba 2014) is the paper's optimizer for every model;
+//! [`Sgd`] is kept for tests and ablations.
+
+use facility_linalg::Matrix;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(usize);
+
+/// Owned collection of named model parameters.
+#[derive(Default)]
+pub struct ParamStore {
+    names: Vec<String>,
+    values: Vec<Matrix>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a parameter; the returned id is stable for the store's
+    /// lifetime.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.names.push(name.into());
+        self.values.push(value);
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable access (used by tests and by model-specific manual updates).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Name given at registration.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(id, name, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+    }
+
+    /// Total number of scalar parameters (for reporting).
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// Apply one optimizer step for the given `(param, gradient)` pairs.
+    ///
+    /// # Panics
+    /// Panics if a gradient's shape does not match its parameter.
+    pub fn apply(&mut self, opt: &mut impl Optimizer, grads: &[(ParamId, Matrix)]) {
+        for (id, g) in grads {
+            assert_eq!(
+                g.shape(),
+                self.values[id.0].shape(),
+                "apply: gradient shape mismatch for parameter `{}`",
+                self.names[id.0]
+            );
+            opt.step(id.0, &mut self.values[id.0], g);
+        }
+    }
+}
+
+/// A first-order optimizer: consumes one gradient for one parameter slot.
+pub trait Optimizer {
+    /// Update `value` in place given gradient `grad` for parameter `slot`.
+    fn step(&mut self, slot: usize, value: &mut Matrix, grad: &Matrix);
+}
+
+/// Plain stochastic gradient descent with an optional max-norm clip.
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// If set, gradients with larger max-abs are scaled down to this bound.
+    pub clip: Option<f32>,
+}
+
+impl Sgd {
+    /// SGD with the given learning rate and no clipping.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, clip: None }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, _slot: usize, value: &mut Matrix, grad: &Matrix) {
+        let scale = clip_scale(grad, self.clip);
+        value.axpy(-self.lr * scale, grad);
+    }
+}
+
+/// Adam (Kingma & Ba 2014) with bias correction.
+///
+/// One moment pair is kept per parameter slot; slots are lazily initialized
+/// on first use so a single `Adam` serves a whole [`ParamStore`].
+pub struct Adam {
+    /// Learning rate (paper grid: {0.05, 0.01, 0.005, 0.001}).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Optional max-abs gradient clip applied before the moment update.
+    pub clip: Option<f32>,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+    t: Vec<u64>,
+}
+
+impl Adam {
+    /// Adam with standard hyperparameters (β₁=0.9, β₂=0.999, ε=1e-8) sized
+    /// for `store`.
+    pub fn default_for(store: &ParamStore, lr: f32) -> Self {
+        Self::with_slots(store.len(), lr)
+    }
+
+    /// Adam sized for `slots` parameter slots.
+    pub fn with_slots(slots: usize, lr: f32) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: Some(5.0),
+            m: (0..slots).map(|_| None).collect(),
+            v: (0..slots).map(|_| None).collect(),
+            t: vec![0; slots],
+        }
+    }
+
+    fn ensure_slot(&mut self, slot: usize, shape: (usize, usize)) {
+        while self.m.len() <= slot {
+            self.m.push(None);
+            self.v.push(None);
+            self.t.push(0);
+        }
+        if self.m[slot].is_none() {
+            self.m[slot] = Some(Matrix::zeros(shape.0, shape.1));
+            self.v[slot] = Some(Matrix::zeros(shape.0, shape.1));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, slot: usize, value: &mut Matrix, grad: &Matrix) {
+        self.ensure_slot(slot, grad.shape());
+        let scale = clip_scale(grad, self.clip);
+        self.t[slot] += 1;
+        let t = self.t[slot] as f32;
+        let (b1, b2) = (self.beta1, self.beta2);
+        let m = self.m[slot].as_mut().expect("slot initialized");
+        let v = self.v[slot].as_mut().expect("slot initialized");
+        let bias1 = 1.0 - b1.powf(t);
+        let bias2 = 1.0 - b2.powf(t);
+        let lr = self.lr;
+        let eps = self.eps;
+        for ((val, mm), (vv, &g0)) in value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(m.as_mut_slice())
+            .zip(v.as_mut_slice().iter_mut().zip(grad.as_slice()))
+        {
+            let g = g0 * scale;
+            *mm = b1 * *mm + (1.0 - b1) * g;
+            *vv = b2 * *vv + (1.0 - b2) * g * g;
+            let mhat = *mm / bias1;
+            let vhat = *vv / bias2;
+            *val -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    }
+}
+
+/// Scale factor that caps a gradient's max-abs at `clip` (1.0 when within
+/// bounds or clipping is off).
+fn clip_scale(grad: &Matrix, clip: Option<f32>) -> f32 {
+    match clip {
+        Some(c) => {
+            let m = grad.max_abs();
+            if m > c {
+                c / m
+            } else {
+                1.0
+            }
+        }
+        None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tape;
+    use facility_linalg::{init, seeded_rng};
+
+    #[test]
+    fn store_roundtrip() {
+        let mut s = ParamStore::new();
+        let a = s.add("a", Matrix::filled(2, 3, 1.0));
+        let b = s.add("b", Matrix::filled(1, 1, 2.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.name(a), "a");
+        assert_eq!(s.value(b)[(0, 0)], 2.0);
+        assert_eq!(s.num_scalars(), 7);
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Matrix::filled(1, 1, 10.0));
+        let mut sgd = Sgd::new(0.1);
+        for _ in 0..200 {
+            // d(w²)/dw = 2w
+            let g = s.value(w).scale(2.0);
+            s.apply(&mut sgd, &[(w, g)]);
+        }
+        assert!(s.value(w)[(0, 0)].abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_quadratic_faster_than_tiny_sgd() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Matrix::filled(1, 1, 10.0));
+        let mut adam = Adam::default_for(&s, 0.5);
+        for _ in 0..100 {
+            let g = s.value(w).scale(2.0);
+            s.apply(&mut adam, &[(w, g)]);
+        }
+        assert!(s.value(w)[(0, 0)].abs() < 0.5, "adam failed: {}", s.value(w)[(0, 0)]);
+    }
+
+    #[test]
+    fn adam_with_tape_minimizes_least_squares() {
+        // Fit w in min ||X w − y||² with the full pipeline.
+        let mut rng = seeded_rng(5);
+        let x = init::uniform(32, 4, -1.0, 1.0, &mut rng);
+        let w_true = Matrix::from_vec(4, 1, vec![1.0, -2.0, 0.5, 3.0]);
+        let y = x.matmul(&w_true);
+
+        let mut s = ParamStore::new();
+        let w = s.add("w", init::xavier_uniform(4, 1, &mut rng));
+        let mut adam = Adam::default_for(&s, 0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..500 {
+            let mut t = Tape::new();
+            let wv = t.leaf(s.value(w).clone());
+            let xv = t.constant(x.clone());
+            let yv = t.constant(y.clone());
+            let pred = t.matmul(xv, wv);
+            let resid = t.sub(pred, yv);
+            let loss = t.frobenius_sq(resid);
+            last = t.value(loss)[(0, 0)];
+            t.backward(loss);
+            let g = t.take_grad(wv).expect("w participates");
+            s.apply(&mut adam, &[(w, g)]);
+        }
+        assert!(last < 1e-3, "final loss {last}");
+        let fitted = s.value(w);
+        for i in 0..4 {
+            assert!((fitted[(i, 0)] - w_true[(i, 0)]).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn clipping_caps_huge_gradients() {
+        let g = Matrix::filled(1, 1, 1000.0);
+        assert_eq!(clip_scale(&g, Some(5.0)), 0.005);
+        assert_eq!(clip_scale(&g, None), 1.0);
+        let small = Matrix::filled(1, 1, 1.0);
+        assert_eq!(clip_scale(&small, Some(5.0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn apply_rejects_bad_shape() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Matrix::filled(2, 2, 0.0));
+        let mut sgd = Sgd::new(0.1);
+        s.apply(&mut sgd, &[(w, Matrix::filled(1, 1, 1.0))]);
+    }
+}

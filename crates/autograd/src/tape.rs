@@ -1,0 +1,833 @@
+//! The tape: a dynamically-built computation graph with reverse-mode
+//! differentiation.
+//!
+//! Every op records (a) its output value, computed eagerly, and (b) enough
+//! metadata to push gradients back to its inputs. Node handles ([`Var`])
+//! are plain indices; because ops can only reference already-created
+//! nodes, reverse creation order *is* a valid topological order for the
+//! backward sweep.
+
+use facility_linalg::{matrix::dot, ops, Matrix};
+use rand::Rng;
+use std::sync::Arc;
+
+/// Norm floor for [`Tape::normalize_rows`]; rows below it are treated as
+/// having this norm, keeping the op (and its gradient) finite.
+const NORM_EPS: f32 = 1e-12;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+impl Var {
+    /// The raw node index (mostly useful for debugging).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Backward-pass metadata for one node.
+enum Op {
+    /// Input leaf; gradient accumulates here and is read by the caller.
+    Leaf,
+    /// Row gather: `out[i] = src[indices[i]]`.
+    Gather { src: Var, indices: Arc<Vec<usize>> },
+    /// `a · b`.
+    MatMul { a: Var, b: Var },
+    /// `a · bᵀ`.
+    MatMulTransB { a: Var, b: Var },
+    /// Elementwise `a + b`.
+    Add { a: Var, b: Var },
+    /// Elementwise `a - b`.
+    Sub { a: Var, b: Var },
+    /// Elementwise `a ∘ b`.
+    Mul { a: Var, b: Var },
+    /// Add a `1 × cols` bias row to every row of `a`.
+    AddBroadcastRow { a: Var, bias: Var },
+    /// Scale row `i` of `a` by scalar `w[i, 0]`.
+    MulBroadcastCol { a: Var, w: Var },
+    /// `s * a`.
+    Scale { a: Var, s: f32 },
+    /// `a + s` elementwise.
+    AddScalar { a: Var },
+    /// Horizontal concatenation `[a | b]`.
+    ConcatCols { a: Var, b: Var },
+    /// Vertical stack of `a` over `b`.
+    ConcatRows { a: Var, b: Var },
+    LeakyRelu { a: Var },
+    Relu { a: Var },
+    Tanh { a: Var },
+    Sigmoid { a: Var },
+    /// `ln(sigmoid(a))`, numerically stable.
+    LogSigmoid { a: Var },
+    /// Per-row dot product → `N × 1`.
+    RowwiseDot { a: Var, b: Var },
+    /// Per-row squared L2 norm → `N × 1`.
+    RowwiseNormSq { a: Var },
+    /// Per-row L2 normalization `y_i = x_i / max(‖x_i‖, ε)`.
+    NormalizeRows { a: Var },
+    /// Softmax over contiguous row segments of an `N × 1` score column.
+    /// Segment `s` spans rows `offsets[s] .. offsets[s + 1]`.
+    SegmentSoftmax { a: Var, offsets: Arc<Vec<usize>> },
+    /// Scatter-sum rows of `a` into `num_segments` output rows:
+    /// `out[seg_of_row[i]] += a[i]`.
+    SegmentSum { a: Var, seg_of_row: Arc<Vec<usize>> },
+    /// Inverted dropout with a fixed 0/scale mask.
+    Dropout { a: Var, mask: Arc<Vec<f32>> },
+    /// Sum of all elements → `1 × 1`.
+    SumAll { a: Var },
+    /// Mean of all elements → `1 × 1`.
+    MeanAll { a: Var },
+    /// Squared Frobenius norm → `1 × 1`.
+    FrobeniusSq { a: Var },
+}
+
+struct Node {
+    value: Matrix,
+    op: Op,
+}
+
+/// A reverse-mode differentiation tape.
+///
+/// Build one per training step; see the crate-level docs for the
+/// programming model.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The forward value of `v`.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the last [`Tape::backward`] root w.r.t. `v`, if `v`
+    /// participated in that computation.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.grads.get(v.0).and_then(|g| g.as_ref())
+    }
+
+    /// Take ownership of the gradient for `v`, leaving `None` behind.
+    pub fn take_grad(&mut self, v: Var) -> Option<Matrix> {
+        self.grads.get_mut(v.0).and_then(|g| g.take())
+    }
+
+    fn push(&mut self, value: Matrix, op: Op) -> Var {
+        debug_assert!(value.all_finite(), "op produced non-finite values");
+        self.nodes.push(Node { value, op });
+        Var(self.nodes.len() - 1)
+    }
+
+    // ------------------------------------------------------------------
+    // Leaves
+    // ------------------------------------------------------------------
+
+    /// Record an input leaf (parameter or data). Gradients accumulate on
+    /// leaves and are retrieved with [`Tape::grad`].
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    /// Constant leaf — identical to [`Tape::leaf`]; the distinction is
+    /// documentation only (callers simply never read its gradient).
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    // ------------------------------------------------------------------
+    // Structural ops
+    // ------------------------------------------------------------------
+
+    /// Row gather `out[i] = src[indices[i]]` — differentiable embedding
+    /// lookup. Backward scatter-adds into `src`.
+    pub fn gather_rows(&mut self, src: Var, indices: &[usize]) -> Var {
+        let src_rows = self.value(src).rows();
+        for &i in indices {
+            assert!(i < src_rows, "gather_rows: index {i} out of bounds ({src_rows} rows)");
+        }
+        let value = self.value(src).gather_rows(indices);
+        self.push(value, Op::Gather { src, indices: Arc::new(indices.to_vec()) })
+    }
+
+    /// Horizontal concatenation `[a | b]`.
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_cols(self.value(b));
+        self.push(value, Op::ConcatCols { a, b })
+    }
+
+    /// Vertical stack of `a` over `b`.
+    pub fn concat_rows(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).concat_rows(self.value(b));
+        self.push(value, Op::ConcatRows { a, b })
+    }
+
+    // ------------------------------------------------------------------
+    // Arithmetic
+    // ------------------------------------------------------------------
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        self.push(value, Op::MatMul { a, b })
+    }
+
+    /// Matrix product `a · bᵀ`.
+    pub fn matmul_transpose_b(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul_transpose_b(self.value(b));
+        self.push(value, Op::MatMulTransB { a, b })
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        self.push(value, Op::Add { a, b })
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        self.push(value, Op::Sub { a, b })
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).hadamard(self.value(b));
+        self.push(value, Op::Mul { a, b })
+    }
+
+    /// Add a `1 × cols` bias row to every row of `a`.
+    pub fn add_broadcast_row(&mut self, a: Var, bias: Var) -> Var {
+        let value = self.value(a).add_row_broadcast(self.value(bias));
+        self.push(value, Op::AddBroadcastRow { a, bias })
+    }
+
+    /// Scale row `i` of `a` by the scalar `w[i, 0]` (`w` is `N × 1`).
+    pub fn mul_broadcast_col(&mut self, a: Var, w: Var) -> Var {
+        let (av, wv) = (self.value(a), self.value(w));
+        assert_eq!(wv.cols(), 1, "mul_broadcast_col: w must be a column");
+        assert_eq!(av.rows(), wv.rows(), "mul_broadcast_col: row mismatch");
+        let mut value = av.clone();
+        for r in 0..value.rows() {
+            let s = wv[(r, 0)];
+            for x in value.row_mut(r) {
+                *x *= s;
+            }
+        }
+        self.push(value, Op::MulBroadcastCol { a, w })
+    }
+
+    /// Scalar multiple `s * a`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).scale(s);
+        self.push(value, Op::Scale { a, s })
+    }
+
+    /// Elementwise `a + s`.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let value = self.value(a).map(|x| x + s);
+        self.push(value, Op::AddScalar { a })
+    }
+
+    // ------------------------------------------------------------------
+    // Activations
+    // ------------------------------------------------------------------
+
+    /// LeakyReLU with the workspace-standard slope.
+    pub fn leaky_relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(ops::leaky_relu);
+        self.push(value, Op::LeakyRelu { a })
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(ops::relu);
+        self.push(value, Op::Relu { a })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(ops::tanh);
+        self.push(value, Op::Tanh { a })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(ops::sigmoid);
+        self.push(value, Op::Sigmoid { a })
+    }
+
+    /// Numerically stable `ln(sigmoid(a))` — the BPR loss kernel.
+    pub fn log_sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(ops::log_sigmoid);
+        self.push(value, Op::LogSigmoid { a })
+    }
+
+    // ------------------------------------------------------------------
+    // Row-wise reductions
+    // ------------------------------------------------------------------
+
+    /// Per-row dot product `out[i] = a[i] · b[i]` → `N × 1`.
+    pub fn rowwise_dot(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).rowwise_dot(self.value(b));
+        self.push(value, Op::RowwiseDot { a, b })
+    }
+
+    /// Per-row squared L2 norm → `N × 1` (the TransR plausibility score,
+    /// paper Eq. 1, once applied to `W_r e_h + e_r − W_r e_t`).
+    pub fn rowwise_norm_sq(&mut self, a: Var) -> Var {
+        let value = self.value(a).rowwise_norm_sq();
+        self.push(value, Op::RowwiseNormSq { a })
+    }
+
+    /// Per-row L2 normalization `y_i = x_i / max(‖x_i‖, ε)` with
+    /// `ε = 1e-12` (rows with tiny norms pass through scaled by `1/ε`-free
+    /// clamping, i.e. they stay near zero). Used by KGAT-style models to
+    /// keep layer outputs on a comparable scale before concatenation.
+    pub fn normalize_rows(&mut self, a: Var) -> Var {
+        let av = self.value(a);
+        let mut value = av.clone();
+        for r in 0..value.rows() {
+            let row = value.row_mut(r);
+            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(NORM_EPS);
+            for x in row {
+                *x /= norm;
+            }
+        }
+        self.push(value, Op::NormalizeRows { a })
+    }
+
+    // ------------------------------------------------------------------
+    // Segment ops (graph message passing)
+    // ------------------------------------------------------------------
+
+    /// Softmax over contiguous row segments of an `N × 1` score column
+    /// (paper Eq. 5: attention normalized over each head's neighborhood).
+    ///
+    /// `offsets` has one more entry than there are segments; segment `s`
+    /// spans rows `offsets[s] .. offsets[s+1]`. Empty segments are fine.
+    ///
+    /// # Panics
+    /// Panics if `a` is not a column or `offsets` does not cover all rows.
+    pub fn segment_softmax(&mut self, a: Var, offsets: Arc<Vec<usize>>) -> Var {
+        let av = self.value(a);
+        assert_eq!(av.cols(), 1, "segment_softmax: input must be a column");
+        assert!(!offsets.is_empty(), "segment_softmax: offsets must be non-empty");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            av.rows(),
+            "segment_softmax: offsets must end at the row count"
+        );
+        let mut value = av.clone();
+        let data = value.as_mut_slice();
+        for w in offsets.windows(2) {
+            ops::softmax_in_place(&mut data[w[0]..w[1]]);
+        }
+        self.push(value, Op::SegmentSoftmax { a, offsets })
+    }
+
+    /// Scatter-sum rows of `a` into `num_segments` output rows:
+    /// `out[seg_of_row[i]] += a[i]` (paper Eq. 3: messages from a head's
+    /// neighborhood are summed into its aggregate `e_{N_h}`).
+    ///
+    /// # Panics
+    /// Panics if `seg_of_row.len() != a.rows()` or a segment id is out of
+    /// range.
+    pub fn segment_sum(
+        &mut self,
+        a: Var,
+        seg_of_row: Arc<Vec<usize>>,
+        num_segments: usize,
+    ) -> Var {
+        let av = self.value(a);
+        assert_eq!(seg_of_row.len(), av.rows(), "segment_sum: length mismatch");
+        let mut value = Matrix::zeros(num_segments, av.cols());
+        for (row, &s) in seg_of_row.iter().enumerate() {
+            assert!(s < num_segments, "segment_sum: segment {s} out of range");
+            let out = value.row_mut(s);
+            for (o, &x) in out.iter_mut().zip(av.row(row)) {
+                *o += x;
+            }
+        }
+        self.push(value, Op::SegmentSum { a, seg_of_row })
+    }
+
+    // ------------------------------------------------------------------
+    // Regularization / loss heads
+    // ------------------------------------------------------------------
+
+    /// Inverted dropout: elements are zeroed with probability
+    /// `1 − keep_prob` and survivors are scaled by `1 / keep_prob`, so the
+    /// expectation is unchanged. `keep_prob == 1.0` is the identity.
+    pub fn dropout(&mut self, a: Var, keep_prob: f32, rng: &mut impl Rng) -> Var {
+        assert!(
+            (0.0..=1.0).contains(&keep_prob) && keep_prob > 0.0,
+            "dropout: keep_prob must be in (0, 1]"
+        );
+        if keep_prob >= 1.0 {
+            return a;
+        }
+        let n = self.value(a).len();
+        let scale = 1.0 / keep_prob;
+        let mask: Vec<f32> =
+            (0..n).map(|_| if rng.gen::<f32>() < keep_prob { scale } else { 0.0 }).collect();
+        self.dropout_with_mask(a, Arc::new(mask))
+    }
+
+    /// Dropout with an explicit mask (exposed for deterministic tests).
+    pub fn dropout_with_mask(&mut self, a: Var, mask: Arc<Vec<f32>>) -> Var {
+        let av = self.value(a);
+        assert_eq!(mask.len(), av.len(), "dropout: mask length mismatch");
+        let mut value = av.clone();
+        for (x, &m) in value.as_mut_slice().iter_mut().zip(mask.iter()) {
+            *x *= m;
+        }
+        self.push(value, Op::Dropout { a, mask })
+    }
+
+    /// Sum of every element → `1 × 1`.
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(value, Op::SumAll { a })
+    }
+
+    /// Mean of every element → `1 × 1`.
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(value, Op::MeanAll { a })
+    }
+
+    /// Squared Frobenius norm → `1 × 1` (the `λ‖Θ‖²` term of Eq. 13).
+    pub fn frobenius_sq(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).frobenius_sq()]);
+        self.push(value, Op::FrobeniusSq { a })
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Run the reverse sweep from `root`, which must be a `1 × 1` scalar.
+    ///
+    /// After this call, [`Tape::grad`] returns `∂root/∂v` for every node
+    /// `v` that (transitively) feeds `root`.
+    ///
+    /// # Panics
+    /// Panics if `root` is not `1 × 1`.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(self.value(root).shape(), (1, 1), "backward: root must be a 1x1 scalar");
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        self.grads[root.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for id in (0..=root.0).rev() {
+            let Some(g) = self.grads[id].take() else { continue };
+            // Non-finite gradients propagate silently and poison training;
+            // fail fast instead (debug builds only — hot path).
+            debug_assert!(g.all_finite(), "non-finite gradient at node {id}");
+            self.apply_backward(id, &g);
+            self.grads[id] = Some(g);
+        }
+    }
+
+    fn acc(&mut self, v: Var, delta: Matrix) {
+        match &mut self.grads[v.0] {
+            Some(g) => g.add_assign(&delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn apply_backward(&mut self, id: usize, g: &Matrix) {
+        // `Op` only stores Vars and shared metadata, so we can copy what we
+        // need out of the node before mutating the grad slots.
+        match &self.nodes[id].op {
+            Op::Leaf => {}
+            Op::Gather { src, indices } => {
+                let (src, indices) = (*src, Arc::clone(indices));
+                let mut d = Matrix::zeros(self.value(src).rows(), g.cols());
+                for (row, &i) in indices.iter().enumerate() {
+                    let dst = d.row_mut(i);
+                    for (o, &x) in dst.iter_mut().zip(g.row(row)) {
+                        *o += x;
+                    }
+                }
+                self.acc(src, d);
+            }
+            Op::MatMul { a, b } => {
+                let (a, b) = (*a, *b);
+                let da = g.matmul_transpose_b(self.value(b));
+                let db = self.value(a).transpose_matmul(g);
+                self.acc(a, da);
+                self.acc(b, db);
+            }
+            Op::MatMulTransB { a, b } => {
+                let (a, b) = (*a, *b);
+                let da = g.matmul(self.value(b));
+                let db = g.transpose_matmul(self.value(a));
+                self.acc(a, da);
+                self.acc(b, db);
+            }
+            Op::Add { a, b } => {
+                let (a, b) = (*a, *b);
+                self.acc(a, g.clone());
+                self.acc(b, g.clone());
+            }
+            Op::Sub { a, b } => {
+                let (a, b) = (*a, *b);
+                self.acc(a, g.clone());
+                self.acc(b, g.scale(-1.0));
+            }
+            Op::Mul { a, b } => {
+                let (a, b) = (*a, *b);
+                let da = g.hadamard(self.value(b));
+                let db = g.hadamard(self.value(a));
+                self.acc(a, da);
+                self.acc(b, db);
+            }
+            Op::AddBroadcastRow { a, bias } => {
+                let (a, bias) = (*a, *bias);
+                self.acc(a, g.clone());
+                self.acc(bias, g.col_sums());
+            }
+            Op::MulBroadcastCol { a, w } => {
+                let (a, w) = (*a, *w);
+                let wv = self.value(w);
+                let av = self.value(a);
+                let mut da = g.clone();
+                let mut dw = Matrix::zeros(wv.rows(), 1);
+                for r in 0..da.rows() {
+                    let s = wv[(r, 0)];
+                    dw[(r, 0)] = dot(g.row(r), av.row(r));
+                    for x in da.row_mut(r) {
+                        *x *= s;
+                    }
+                }
+                self.acc(a, da);
+                self.acc(w, dw);
+            }
+            Op::Scale { a, s } => {
+                let (a, s) = (*a, *s);
+                self.acc(a, g.scale(s));
+            }
+            Op::AddScalar { a } => {
+                let a = *a;
+                self.acc(a, g.clone());
+            }
+            Op::ConcatCols { a, b } => {
+                let (a, b) = (*a, *b);
+                let ac = self.value(a).cols();
+                let mut da = Matrix::zeros(g.rows(), ac);
+                let mut db = Matrix::zeros(g.rows(), g.cols() - ac);
+                for r in 0..g.rows() {
+                    da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                    db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                }
+                self.acc(a, da);
+                self.acc(b, db);
+            }
+            Op::ConcatRows { a, b } => {
+                let (a, b) = (*a, *b);
+                let ar = self.value(a).rows();
+                let da = g.gather_rows(&(0..ar).collect::<Vec<_>>());
+                let db = g.gather_rows(&(ar..g.rows()).collect::<Vec<_>>());
+                self.acc(a, da);
+                self.acc(b, db);
+            }
+            Op::LeakyRelu { a } => {
+                let a = *a;
+                let d = self.value(a).map(ops::leaky_relu_grad).hadamard(g);
+                self.acc(a, d);
+            }
+            Op::Relu { a } => {
+                let a = *a;
+                let d = self.value(a).map(ops::relu_grad).hadamard(g);
+                self.acc(a, d);
+            }
+            Op::Tanh { a } => {
+                let a = *a;
+                let d = self.nodes[id].value.map(ops::tanh_grad_from_output).hadamard(g);
+                self.acc(a, d);
+            }
+            Op::Sigmoid { a } => {
+                let a = *a;
+                let d = self.nodes[id].value.map(ops::sigmoid_grad_from_output).hadamard(g);
+                self.acc(a, d);
+            }
+            Op::LogSigmoid { a } => {
+                let a = *a;
+                // d/dx ln σ(x) = σ(−x)
+                let d = self.value(a).map(|x| ops::sigmoid(-x)).hadamard(g);
+                self.acc(a, d);
+            }
+            Op::RowwiseDot { a, b } => {
+                let (a, b) = (*a, *b);
+                let av = self.value(a).clone();
+                let bv = self.value(b).clone();
+                let mut da = bv;
+                let mut db = av;
+                for r in 0..g.rows() {
+                    let s = g[(r, 0)];
+                    for x in da.row_mut(r) {
+                        *x *= s;
+                    }
+                    for x in db.row_mut(r) {
+                        *x *= s;
+                    }
+                }
+                self.acc(a, da);
+                self.acc(b, db);
+            }
+            Op::RowwiseNormSq { a } => {
+                let a = *a;
+                let mut da = self.value(a).clone();
+                for r in 0..da.rows() {
+                    let s = 2.0 * g[(r, 0)];
+                    for x in da.row_mut(r) {
+                        *x *= s;
+                    }
+                }
+                self.acc(a, da);
+            }
+            Op::NormalizeRows { a } => {
+                let a = *a;
+                let x = self.value(a).clone();
+                let mut da = Matrix::zeros(x.rows(), x.cols());
+                // With y = x/‖x‖:  dL/dx = (g − y (y · g)) / ‖x‖.
+                for r in 0..x.rows() {
+                    let xr = x.row(r);
+                    let gr = g.row(r);
+                    let norm = xr.iter().map(|v| v * v).sum::<f32>().sqrt().max(NORM_EPS);
+                    let dot_yg: f32 =
+                        xr.iter().zip(gr).map(|(&xv, &gv)| xv * gv).sum::<f32>() / norm;
+                    let out = da.row_mut(r);
+                    for ((o, &xv), &gv) in out.iter_mut().zip(xr).zip(gr) {
+                        let y = xv / norm;
+                        *o = (gv - y * dot_yg) / norm;
+                    }
+                }
+                self.acc(a, da);
+            }
+            Op::SegmentSoftmax { a, offsets } => {
+                let (a, offsets) = (*a, Arc::clone(offsets));
+                let y = &self.nodes[id].value;
+                let mut da = Matrix::zeros(g.rows(), 1);
+                for w in offsets.windows(2) {
+                    let (lo, hi) = (w[0], w[1]);
+                    let mut sum_gy = 0.0;
+                    for r in lo..hi {
+                        sum_gy += g[(r, 0)] * y[(r, 0)];
+                    }
+                    for r in lo..hi {
+                        da[(r, 0)] = y[(r, 0)] * (g[(r, 0)] - sum_gy);
+                    }
+                }
+                self.acc(a, da);
+            }
+            Op::SegmentSum { a, seg_of_row } => {
+                let (a, seg_of_row) = (*a, Arc::clone(seg_of_row));
+                let mut da = Matrix::zeros(seg_of_row.len(), g.cols());
+                for (row, &s) in seg_of_row.iter().enumerate() {
+                    da.row_mut(row).copy_from_slice(g.row(s));
+                }
+                self.acc(a, da);
+            }
+            Op::Dropout { a, mask } => {
+                let (a, mask) = (*a, Arc::clone(mask));
+                let mut da = g.clone();
+                for (x, &m) in da.as_mut_slice().iter_mut().zip(mask.iter()) {
+                    *x *= m;
+                }
+                self.acc(a, da);
+            }
+            Op::SumAll { a } => {
+                let a = *a;
+                let s = g[(0, 0)];
+                let shape = self.value(a).shape();
+                self.acc(a, Matrix::filled(shape.0, shape.1, s));
+            }
+            Op::MeanAll { a } => {
+                let a = *a;
+                let shape = self.value(a).shape();
+                let n = (shape.0 * shape.1).max(1) as f32;
+                self.acc(a, Matrix::filled(shape.0, shape.1, g[(0, 0)] / n));
+            }
+            Op::FrobeniusSq { a } => {
+                let a = *a;
+                let d = self.value(a).scale(2.0 * g[(0, 0)]);
+                self.acc(a, d);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_chain_gradient() {
+        // loss = sum((2x)²) = 4 Σ x² → d/dx = 8x
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let y = t.scale(x, 2.0);
+        let y2 = t.mul(y, y);
+        let loss = t.sum_all(y2);
+        t.backward(loss);
+        let g = t.grad(x).unwrap();
+        assert_eq!(g.as_slice(), &[8., 16., 24., 32.]);
+    }
+
+    #[test]
+    fn gather_scatter_accumulates_duplicates() {
+        let mut t = Tape::new();
+        let e = t.leaf(Matrix::from_vec(3, 2, vec![1., 1., 2., 2., 3., 3.]));
+        let g = t.gather_rows(e, &[0, 2, 0]);
+        let loss = t.sum_all(g);
+        t.backward(loss);
+        let grad = t.grad(e).unwrap();
+        // Row 0 gathered twice → gradient 2; row 1 never → 0; row 2 once.
+        assert_eq!(grad.as_slice(), &[2., 2., 0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn matmul_gradients_known_values() {
+        // loss = sum(A·B); dA = 1·Bᵀ, dB = Aᵀ·1.
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        let b = t.leaf(Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]));
+        let c = t.matmul(a, b);
+        let loss = t.sum_all(c);
+        t.backward(loss);
+        assert_eq!(t.grad(a).unwrap().as_slice(), &[11., 15., 11., 15.]);
+        assert_eq!(t.grad(b).unwrap().as_slice(), &[4., 4., 6., 6.]);
+    }
+
+    #[test]
+    fn segment_softmax_forward_uniform_and_grad_sums_to_zero() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(4, 1, vec![1., 1., 5., 2.]));
+        let offsets = Arc::new(vec![0usize, 2, 4]);
+        let y = t.segment_softmax(x, offsets);
+        let yv = t.value(y).clone();
+        assert!((yv[(0, 0)] - 0.5).abs() < 1e-6);
+        assert!((yv[(1, 0)] - 0.5).abs() < 1e-6);
+        assert!((yv[(2, 0)] + yv[(3, 0)] - 1.0).abs() < 1e-6);
+        assert!(yv[(2, 0)] > yv[(3, 0)]);
+
+        // Weight the softmax output and reduce; the gradient within each
+        // segment must sum to ~0 (softmax is shift-invariant).
+        let w = t.constant(Matrix::from_vec(4, 1, vec![1., -1., 2., 0.]));
+        let yw = t.mul(y, w);
+        let loss = t.sum_all(yw);
+        t.backward(loss);
+        let g = t.grad(x).unwrap();
+        assert!((g[(0, 0)] + g[(1, 0)]).abs() < 1e-6);
+        assert!((g[(2, 0)] + g[(3, 0)]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn segment_sum_forward_and_backward() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let y = t.segment_sum(x, Arc::new(vec![1, 0, 1]), 2);
+        assert_eq!(t.value(y).as_slice(), &[3., 4., 6., 8.]);
+        // Weighted reduction: rows of segment 1 receive that segment's grad.
+        let w = t.constant(Matrix::from_vec(2, 2, vec![10., 10., 1., 1.]));
+        let yw = t.mul(y, w);
+        let loss = t.sum_all(yw);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[1., 1., 10., 10., 1., 1.]);
+    }
+
+    #[test]
+    fn dropout_identity_at_keep_one() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::filled(2, 2, 3.0));
+        let mut rng = facility_linalg::seeded_rng(0);
+        let y = t.dropout(x, 1.0, &mut rng);
+        assert_eq!(y, x, "keep_prob=1 must be the identity (no node added)");
+    }
+
+    #[test]
+    fn dropout_mask_zeroes_and_scales() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 4, vec![1., 2., 3., 4.]));
+        let mask = Arc::new(vec![2.0, 0.0, 2.0, 0.0]);
+        let y = t.dropout_with_mask(x, Arc::clone(&mask));
+        assert_eq!(t.value(y).as_slice(), &[2., 0., 6., 0.]);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[2., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn concat_cols_splits_gradient() {
+        let mut t = Tape::new();
+        let a = t.leaf(Matrix::filled(2, 2, 1.0));
+        let b = t.leaf(Matrix::filled(2, 3, 1.0));
+        let c = t.concat_cols(a, b);
+        assert_eq!(t.value(c).shape(), (2, 5));
+        let s = t.sum_all(c);
+        t.backward(s);
+        assert_eq!(t.grad(a).unwrap().shape(), (2, 2));
+        assert_eq!(t.grad(b).unwrap().shape(), (2, 3));
+        assert!(t.grad(a).unwrap().as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn diamond_reuse_accumulates() {
+        // y = x + x → dy/dx = 2
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::filled(1, 1, 3.0));
+        let y = t.add(x, x);
+        t.backward(y);
+        assert_eq!(t.grad(x).unwrap()[(0, 0)], 2.0);
+    }
+
+    #[test]
+    fn unused_leaf_has_no_grad() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::filled(1, 1, 3.0));
+        let y = t.leaf(Matrix::filled(1, 1, 4.0));
+        let loss = t.frobenius_sq(x);
+        t.backward(loss);
+        assert!(t.grad(x).is_some());
+        assert!(t.grad(y).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "root must be a 1x1 scalar")]
+    fn backward_rejects_non_scalar_root() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::filled(2, 2, 1.0));
+        t.backward(x);
+    }
+
+    #[test]
+    fn log_sigmoid_grad_is_sigmoid_of_neg() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(1, 3, vec![-2.0, 0.0, 2.0]));
+        let y = t.log_sigmoid(x);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        let g = t.grad(x).unwrap();
+        for (i, &xv) in [-2.0f32, 0.0, 2.0].iter().enumerate() {
+            assert!((g[(0, i)] - ops::sigmoid(-xv)).abs() < 1e-6);
+        }
+    }
+}

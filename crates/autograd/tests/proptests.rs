@@ -1,0 +1,135 @@
+//! Property-based tests: the custom graph ops must satisfy their gradient
+//! definitions for *arbitrary* segment structures and index patterns, not
+//! just the hand-picked ones in `gradcheck_ops`.
+
+use facility_autograd::gradcheck::check_gradient;
+use facility_autograd::Tape;
+use facility_linalg::Matrix;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const EPS: f32 = 5e-3;
+const TOL: f32 = 3e-2;
+
+/// Random gather indices into an `n`-row source.
+fn indices_strategy(n: usize, len: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..n, len)
+}
+
+/// Random CSR-style offsets covering exactly `n` rows (allows empty
+/// segments at any position).
+fn offsets_strategy(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..=n, 0..6).prop_map(move |mut cuts| {
+        cuts.push(0);
+        cuts.push(n);
+        cuts.sort_unstable();
+        cuts
+    })
+}
+
+fn values(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1.0f32..1.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gather_gradient_matches_numeric(
+        data in values(5 * 3),
+        idx in indices_strategy(5, 7),
+    ) {
+        let at = Matrix::from_vec(5, 3, data);
+        let build = move |t: &mut Tape, x| {
+            let g = t.gather_rows(x, &idx);
+            t.frobenius_sq(g)
+        };
+        run_check("gather", at, build)?;
+    }
+
+    #[test]
+    fn segment_softmax_gradient_matches_numeric(
+        data in values(8),
+        weights in values(8),
+        offsets in offsets_strategy(8),
+    ) {
+        let at = Matrix::from_vec(8, 1, data);
+        let offsets = Arc::new(offsets);
+        let w = Matrix::from_vec(8, 1, weights);
+        let build = move |t: &mut Tape, x| {
+            let y = t.segment_softmax(x, Arc::clone(&offsets));
+            let wv = t.constant(w.clone());
+            let yw = t.mul(y, wv);
+            let s = t.sum_all(yw);
+            t.mul(s, s)
+        };
+        run_check("segment_softmax", at, build)?;
+    }
+
+    #[test]
+    fn segment_sum_gradient_matches_numeric(
+        data in values(6 * 2),
+        segs in prop::collection::vec(0usize..4, 6),
+    ) {
+        let at = Matrix::from_vec(6, 2, data);
+        let segs = Arc::new(segs);
+        let build = move |t: &mut Tape, x| {
+            let y = t.segment_sum(x, Arc::clone(&segs), 4);
+            t.frobenius_sq(y)
+        };
+        run_check("segment_sum", at, build)?;
+    }
+
+    #[test]
+    fn segment_sum_preserves_total_mass(
+        data in values(10 * 3),
+        segs in prop::collection::vec(0usize..5, 10),
+    ) {
+        let at = Matrix::from_vec(10, 3, data);
+        let mut t = Tape::new();
+        let x = t.leaf(at.clone());
+        let y = t.segment_sum(x, Arc::new(segs), 5);
+        // Scatter-sum never creates or destroys mass.
+        prop_assert!((t.value(y).sum() - at.sum()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn segment_softmax_rows_form_distributions(
+        data in values(9),
+        offsets in offsets_strategy(9),
+    ) {
+        let at = Matrix::from_vec(9, 1, data);
+        let mut t = Tape::new();
+        let x = t.leaf(at);
+        let offsets = Arc::new(offsets);
+        let y = t.segment_softmax(x, Arc::clone(&offsets));
+        let yv = t.value(y);
+        for w in offsets.windows(2) {
+            if w[1] > w[0] {
+                let sum: f32 = (w[0]..w[1]).map(|r| yv[(r, 0)]).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+}
+
+fn run_check(
+    name: &str,
+    at: Matrix,
+    build: impl Fn(&mut Tape, facility_autograd::Var) -> facility_autograd::Var,
+) -> Result<(), TestCaseError> {
+    let mut t = Tape::new();
+    let x = t.leaf(at.clone());
+    let loss = build(&mut t, x);
+    t.backward(loss);
+    let analytic = t.grad(x).expect("participates").clone();
+    let mut f = |m: &Matrix| {
+        let mut t = Tape::new();
+        let x = t.leaf(m.clone());
+        let loss = build(&mut t, x);
+        t.value(loss)[(0, 0)]
+    };
+    let report = check_gradient(&mut f, &at, &analytic, EPS);
+    prop_assert!(report.passes(TOL), "{name}: {report:?}");
+    Ok(())
+}

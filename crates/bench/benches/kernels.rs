@@ -1,0 +1,127 @@
+//! Microbenchmarks of the computational kernels every experiment runs on:
+//! dense products, the knowledge-aware attention sweep, graph segment ops,
+//! negative sampling, top-K selection, and a t-SNE iteration.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use facility_autograd::Tape;
+use facility_datagen::{FacilityConfig, Trace};
+use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch};
+use facility_kg::SourceMask;
+use facility_linalg::{init, seeded_rng, Matrix};
+use facility_models::transr;
+use std::sync::Arc;
+
+fn ooi_world() -> (facility_kg::Interactions, facility_kg::Ckg) {
+    let trace = Trace::generate(&FacilityConfig::ooi(), 1);
+    let mut rng = seeded_rng(1);
+    let inter = trace.split_interactions(0.2, &mut rng);
+    let mut b = trace.ckg_builder(4);
+    b.add_interactions(&inter.train_pairs);
+    (inter, b.build(SourceMask::all()))
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg/matmul");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = seeded_rng(2);
+        let a = init::uniform(n, 64, -1.0, 1.0, &mut rng);
+        let b = init::uniform(64, 64, -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention(c: &mut Criterion) {
+    let (_, ckg) = ooi_world();
+    let d = 32;
+    let mut rng = seeded_rng(3);
+    let ent = init::xavier_uniform(ckg.n_entities(), d, &mut rng);
+    let rel = init::xavier_uniform(ckg.n_relations_with_inverse(), d, &mut rng);
+    let proj = init::xavier_uniform(ckg.n_relations_with_inverse() * d, d, &mut rng);
+    let mut group = c.benchmark_group("transr");
+    group.bench_function("attention_scores/ooi_ckg", |b| {
+        b.iter(|| black_box(transr::attention_scores(&ckg, &ent, &rel, &proj)));
+    });
+    group.bench_function("uniform_scores/ooi_ckg", |b| {
+        b.iter(|| black_box(transr::uniform_scores(&ckg)));
+    });
+    group.finish();
+}
+
+fn bench_segment_ops(c: &mut Criterion) {
+    let (_, ckg) = ooi_world();
+    let d = 32;
+    let mut rng = seeded_rng(4);
+    let ent = init::xavier_uniform(ckg.n_entities(), d, &mut rng);
+    let tails: Vec<usize> = ckg.tails.iter().map(|&t| t as usize).collect();
+    let heads: Arc<Vec<usize>> = Arc::new(ckg.heads.iter().map(|&h| h as usize).collect());
+    let att = transr::uniform_scores(&ckg);
+    let n_ent = ckg.n_entities();
+
+    c.bench_function("tape/propagation_layer_fwd_bwd", |b| {
+        b.iter(|| {
+            let mut t = Tape::new();
+            let e = t.leaf(ent.clone());
+            let at = t.constant(Matrix::from_vec(att.len(), 1, att.clone()));
+            let et = t.gather_rows(e, &tails);
+            let msg = t.mul_broadcast_col(et, at);
+            let agg = t.segment_sum(msg, Arc::clone(&heads), n_ent);
+            let loss = t.frobenius_sq(agg);
+            t.backward(loss);
+            black_box(t.grad(e).is_some())
+        });
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let (inter, ckg) = ooi_world();
+    let mut group = c.benchmark_group("sampling");
+    group.bench_function("bpr_batch_512", |b| {
+        let mut rng = seeded_rng(5);
+        b.iter(|| black_box(sample_bpr_batch(&inter, 512, &mut rng)));
+    });
+    group.bench_function("kg_batch_512", |b| {
+        let mut rng = seeded_rng(6);
+        b.iter(|| black_box(sample_kg_batch(&ckg, 512, &mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let (inter, _) = ooi_world();
+    let n_items = inter.n_items;
+    let mut rng = seeded_rng(7);
+    let scores = init::uniform(1, n_items, -1.0, 1.0, &mut rng).into_vec();
+    c.bench_function("eval/topk_for_user", |b| {
+        b.iter(|| {
+            black_box(facility_eval::metrics::topk_for_user(
+                &scores,
+                &inter.train[0],
+                &[1, 5, 9],
+                20,
+            ))
+        });
+    });
+}
+
+fn bench_tsne(c: &mut Criterion) {
+    let mut rng = seeded_rng(8);
+    let x = init::normal(200, 16, 0.0, 1.0, &mut rng);
+    c.bench_function("tsne/200pts_50iters", |b| {
+        b.iter(|| {
+            black_box(facility_tsne::run(
+                &x,
+                &facility_tsne::TsneConfig { n_iter: 50, ..Default::default() },
+            ))
+        });
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_matmul, bench_attention, bench_segment_ops, bench_sampling, bench_topk, bench_tsne
+}
+criterion_main!(kernels);

@@ -1,0 +1,111 @@
+//! Model-level benchmarks: one training epoch per model (the cost behind
+//! Table II), CKAT epoch cost by propagation depth (the performance side
+//! of Table V), attention refresh vs uniform weights (Table IV), and
+//! full-ranking evaluation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use facility_datagen::{FacilityConfig, Trace};
+use facility_eval::evaluate;
+use facility_kg::SourceMask;
+use facility_linalg::seeded_rng;
+use facility_models::ckat::{Aggregator, Ckat, CkatConfig};
+use facility_models::{ModelConfig, ModelKind, Recommender, TrainContext};
+
+fn small_world() -> (facility_kg::Interactions, facility_kg::Ckg) {
+    let mut facility = FacilityConfig::ooi();
+    facility.n_users = 200;
+    facility.n_items = 150;
+    facility.n_organizations = 16;
+    let trace = Trace::generate(&facility, 1);
+    let mut rng = seeded_rng(1);
+    let inter = trace.split_interactions(0.2, &mut rng);
+    let mut b = trace.ckg_builder(4);
+    b.add_interactions(&inter.train_pairs);
+    (inter, b.build(SourceMask::all()))
+}
+
+fn cfg() -> ModelConfig {
+    ModelConfig { embed_dim: 32, batch_size: 256, keep_prob: 1.0, ..ModelConfig::default() }
+}
+
+fn bench_epoch_per_model(c: &mut Criterion) {
+    let (inter, ckg) = small_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut group = c.benchmark_group("train_epoch");
+    for kind in ModelKind::table2_order() {
+        group.bench_function(kind.label(), |b| {
+            let mut model = kind.build(&ctx, &cfg());
+            let mut rng = seeded_rng(2);
+            b.iter(|| black_box(model.train_epoch(&ctx, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ckat_depth(c: &mut Criterion) {
+    let (inter, ckg) = small_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut group = c.benchmark_group("ckat_epoch_by_depth");
+    for depth in 1..=3usize {
+        let dims: Vec<usize> = (0..depth).map(|l| 32 >> l).collect();
+        let config = CkatConfig {
+            layer_dims: dims,
+            use_attention: true,
+            aggregator: Aggregator::Concat,
+            transr_dim: 32,
+            margin: 1.0,
+            base: cfg(),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            let mut model = Ckat::new(&ctx, &config);
+            let mut rng = seeded_rng(3);
+            b.iter(|| black_box(model.train_epoch(&ctx, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_attention_ablation(c: &mut Criterion) {
+    let (inter, ckg) = small_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut group = c.benchmark_group("ckat_epoch_by_attention");
+    for (label, att) in [("with_attention", true), ("uniform_weights", false)] {
+        let config = CkatConfig {
+            layer_dims: vec![32, 16],
+            use_attention: att,
+            aggregator: Aggregator::Concat,
+            transr_dim: 32,
+            margin: 1.0,
+            base: cfg(),
+        };
+        group.bench_function(label, |b| {
+            let mut model = Ckat::new(&ctx, &config);
+            let mut rng = seeded_rng(4);
+            b.iter(|| black_box(model.train_epoch(&ctx, &mut rng)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let (inter, ckg) = small_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut group = c.benchmark_group("evaluate_full_ranking");
+    for kind in [ModelKind::Bprmf, ModelKind::Ckat, ModelKind::Kgcn] {
+        let mut model = kind.build(&ctx, &cfg());
+        let mut rng = seeded_rng(5);
+        model.train_epoch(&ctx, &mut rng);
+        model.prepare_eval(&ctx);
+        group.bench_function(kind.label(), |b| {
+            b.iter(|| black_box(evaluate(model.as_ref(), &inter, 20)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = models;
+    config = Criterion::default().sample_size(10);
+    targets = bench_epoch_per_model, bench_ckat_depth, bench_attention_ablation, bench_evaluation
+}
+criterion_main!(models);

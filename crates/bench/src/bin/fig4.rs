@@ -1,0 +1,77 @@
+//! Regenerate **Figure 4** — t-SNE of the data objects queried by the
+//! eight most active users of the largest organization. Emits CSV points
+//! (`x, y, user`) and reports a cluster-overlap statistic: the paper's
+//! observation is that same-organization users' query clusters overlap.
+
+use facility_bench::HarnessOpts;
+use facility_datagen::{stats, Trace};
+use facility_linalg::Matrix;
+use facility_tsne::{run, TsneConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    for (name, facility) in opts.facilities() {
+        let trace = Trace::generate(&facility, opts.seed);
+        let (org, top_users) = stats::top_users_of_largest_org(&trace, 8);
+        let features = stats::item_feature_matrix(&trace);
+
+        // Collect the distinct (user, item) queries of those users.
+        let user_set: std::collections::HashMap<u32, usize> =
+            top_users.iter().enumerate().map(|(i, &u)| (u, i)).collect();
+        let mut seen = std::collections::HashSet::new();
+        let mut rows: Vec<&[f32]> = Vec::new();
+        let mut owners: Vec<usize> = Vec::new();
+        for e in &trace.events {
+            if let Some(&slot) = user_set.get(&e.user) {
+                if seen.insert((e.user, e.item)) {
+                    rows.push(features.row(e.item as usize));
+                    owners.push(slot);
+                }
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        eprintln!("{name}: org {org}, {} queried objects from 8 users", x.rows());
+
+        let y = run(
+            &x,
+            &TsneConfig { perplexity: 20.0, n_iter: 400, seed: opts.seed, ..Default::default() },
+        );
+
+        println!("# {name} — t-SNE of top-8 users' queried data objects (org {org})");
+        println!("x,y,user");
+        for r in 0..y.rows() {
+            println!("{},{},{}", y[(r, 0)], y[(r, 1)], owners[r]);
+        }
+        println!();
+
+        // Cluster-overlap statistic: fraction of points whose nearest
+        // neighbor belongs to a *different* user. High overlap = the
+        // same-organization users query similar data (paper's finding).
+        let n = y.rows();
+        let mut cross = 0usize;
+        for i in 0..n {
+            let mut best = usize::MAX;
+            let mut best_d = f32::INFINITY;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dx = y[(i, 0)] - y[(j, 0)];
+                let dy = y[(i, 1)] - y[(j, 1)];
+                let d = dx * dx + dy * dy;
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if owners[best] != owners[i] {
+                cross += 1;
+            }
+        }
+        eprintln!(
+            "{name}: {:.1}% of points have a nearest neighbor from another user \
+             (higher = more overlap across same-org users)",
+            100.0 * cross as f64 / n.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,97 @@
+//! Parallel-scaling study — the paper's conclusion names "the
+//! parallelization of the CKAT model" as future work; this binary measures
+//! what rayon data-parallelism delivers in this implementation.
+//!
+//! Three phases are timed at 1, 2, 4, … threads up to the machine's
+//! cores: the knowledge-aware attention refresh over all CKG edges, one
+//! CKAT training epoch (parallel dense kernels), and full-ranking
+//! evaluation (parallel over users).
+
+use facility_bench::HarnessOpts;
+use facility_ckat::report::format_table;
+use facility_ckat::{Experiment, ExperimentConfig};
+use facility_eval::evaluate;
+use facility_linalg::seeded_rng;
+use facility_models::transr;
+use facility_models::ModelKind;
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let (name, facility) = opts.facilities().remove(0);
+    eprintln!("== scaling study on {name} ==");
+    let exp = Experiment::prepare(&ExperimentConfig {
+        facility,
+        seed: opts.seed,
+        ..ExperimentConfig::default()
+    });
+    let ctx = exp.ctx();
+    let cfg = opts.model_config();
+
+    // Train a model once (thread-count independent setup).
+    let mut model = ModelKind::Ckat.build(&ctx, &cfg);
+    let mut rng = seeded_rng(opts.seed);
+    model.train_epoch(&ctx, &mut rng);
+    model.prepare_eval(&ctx);
+
+    let d = cfg.embed_dim;
+    let mut rng2 = seeded_rng(1);
+    let ent = facility_linalg::init::xavier_uniform(exp.ckg.n_entities(), d, &mut rng2);
+    let rel = facility_linalg::init::xavier_uniform(
+        exp.ckg.n_relations_with_inverse(),
+        d,
+        &mut rng2,
+    );
+    let proj = facility_linalg::init::xavier_uniform(
+        exp.ckg.n_relations_with_inverse() * d,
+        d,
+        &mut rng2,
+    );
+
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut rows = Vec::new();
+    let mut threads = 1;
+    let mut base: Option<(f64, f64, f64)> = None;
+    while threads <= max_threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        let (t_att, t_epoch, t_eval) = pool.install(|| {
+            let t0 = Instant::now();
+            for _ in 0..3 {
+                let _ = transr::attention_scores(&exp.ckg, &ent, &rel, &proj);
+            }
+            let t_att = t0.elapsed().as_secs_f64() / 3.0;
+
+            let t0 = Instant::now();
+            let mut m = ModelKind::Ckat.build(&ctx, &cfg);
+            let mut r = seeded_rng(2);
+            m.train_epoch(&ctx, &mut r);
+            let t_epoch = t0.elapsed().as_secs_f64();
+
+            let t0 = Instant::now();
+            for _ in 0..3 {
+                let _ = evaluate(model.as_ref(), &exp.inter, opts.k);
+            }
+            let t_eval = t0.elapsed().as_secs_f64() / 3.0;
+            (t_att, t_epoch, t_eval)
+        });
+        let b = *base.get_or_insert((t_att, t_epoch, t_eval));
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.1} ms ({:.2}x)", t_att * 1e3, b.0 / t_att),
+            format!("{:.1} ms ({:.2}x)", t_epoch * 1e3, b.1 / t_epoch),
+            format!("{:.1} ms ({:.2}x)", t_eval * 1e3, b.2 / t_eval),
+        ]);
+        threads *= 2;
+    }
+    println!("\nParallel scaling on {name} (speedup vs 1 thread)\n");
+    println!(
+        "{}",
+        format_table(
+            &["threads", "attention refresh", "CKAT epoch", "full-ranking eval"],
+            &rows
+        )
+    );
+}

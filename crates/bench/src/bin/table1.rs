@@ -1,0 +1,39 @@
+//! Regenerate **Table I** — statistics of the OOI and GAGE collaborative
+//! knowledge graphs — from the synthetic facilities.
+
+use facility_bench::HarnessOpts;
+use facility_ckat::report::format_table;
+use facility_ckat::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    // Paper values for side-by-side comparison.
+    let paper = [("OOI", 1342, 8, 5554, 6.0), ("GAGE", 4754, 7, 20314, 10.0)];
+
+    let mut rows = Vec::new();
+    for (i, (name, facility)) in opts.facilities().into_iter().enumerate() {
+        let exp = Experiment::prepare(&ExperimentConfig {
+            facility,
+            seed: opts.seed,
+            ..ExperimentConfig::default()
+        });
+        let s = exp.stats();
+        let (pname, pe, pr, pt, pl) = paper[i.min(1)];
+        rows.push(vec![
+            name.to_string(),
+            s.n_entities.to_string(),
+            s.n_relationships.to_string(),
+            s.n_triples.to_string(),
+            format!("{:.0}", s.link_avg),
+            format!("{pname}: {pe} / {pr} / {pt} / {pl:.0}"),
+        ]);
+    }
+    println!("Table I — CKG statistics (measured vs paper)\n");
+    println!(
+        "{}",
+        format_table(
+            &["facility", "# entities", "# relationships", "# KG triplets", "link-avg", "paper (ent/rel/triples/link-avg)"],
+            &rows
+        )
+    );
+}

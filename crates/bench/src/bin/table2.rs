@@ -1,0 +1,95 @@
+//! Regenerate **Table II** — overall performance comparison of CKAT
+//! against the seven baselines on both facilities (recall@20 / ndcg@20),
+//! including the "% Impro." row over the best baseline.
+
+use facility_bench::HarnessOpts;
+use facility_ckat::report::{format_table, improvement_pct, metric};
+use facility_ckat::{Experiment, ExperimentConfig};
+use facility_models::ModelKind;
+use std::time::Instant;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let model_cfg = opts.model_config();
+    let settings = opts.train_settings();
+
+    // paper values: (model, ooi recall, ooi ndcg, gage recall, gage ndcg)
+    let paper = [
+        ("BPRMF", 0.1935, 0.1693, 0.2742, 0.2115),
+        ("FM", 0.2353, 0.2228, 0.3174, 0.2356),
+        ("NFM", 0.2339, 0.2211, 0.3289, 0.2471),
+        ("CKE", 0.2102, 0.2197, 0.2675, 0.2106),
+        ("CFKG", 0.2283, 0.2241, 0.2572, 0.2096),
+        ("RippleNet", 0.2833, 0.2394, 0.3584, 0.2981),
+        ("KGCN", 0.3020, 0.2414, 0.3767, 0.3106),
+        ("CKAT", 0.3217, 0.2561, 0.4062, 0.3306),
+    ];
+
+    let mut results: Vec<Vec<(f64, f64)>> = Vec::new(); // [facility][model] = (recall, ndcg)
+    let facilities = opts.facilities();
+    for (name, facility) in &facilities {
+        eprintln!("== preparing {name} ==");
+        let exp = Experiment::prepare(&ExperimentConfig {
+            facility: facility.clone(),
+            seed: opts.seed,
+            ..ExperimentConfig::default()
+        });
+        eprintln!("{}", exp.stats());
+        let mut per_model = Vec::new();
+        for kind in ModelKind::table2_order() {
+            let start = Instant::now();
+            let mut cfg = model_cfg.clone();
+            cfg.lr = facility_bench::tuned_lr(kind);
+            cfg.keep_prob = facility_bench::tuned_keep_prob(kind);
+            let report = exp.run_model(kind, &cfg, &settings);
+            eprintln!(
+                "{name}/{}: recall@{} {:.4} ndcg {:.4} (best epoch {}, {:.1}s)",
+                kind.label(),
+                opts.k,
+                report.best.recall,
+                report.best.ndcg,
+                report.best_epoch,
+                start.elapsed().as_secs_f64()
+            );
+            per_model.push((report.best.recall, report.best.ndcg));
+        }
+        results.push(per_model);
+    }
+
+    let headers = [
+        "Model",
+        "OOI recall@20",
+        "OOI ndcg@20",
+        "GAGE recall@20",
+        "GAGE ndcg@20",
+        "paper (OOI r/n, GAGE r/n)",
+    ];
+    let mut rows = Vec::new();
+    for (m, kind) in ModelKind::table2_order().into_iter().enumerate() {
+        let p = paper[m];
+        rows.push(vec![
+            kind.label().to_string(),
+            metric(results[0][m].0),
+            metric(results[0][m].1),
+            metric(results[1][m].0),
+            metric(results[1][m].1),
+            format!("{:.4}/{:.4}, {:.4}/{:.4}", p.1, p.2, p.3, p.4),
+        ]);
+    }
+    // % improvement of CKAT over the best baseline.
+    let best = |f: usize, sel: fn(&(f64, f64)) -> f64| {
+        results[f][..7].iter().map(sel).fold(f64::MIN, f64::max)
+    };
+    let ckat = &results.iter().map(|f| f[7]).collect::<Vec<_>>();
+    rows.push(vec![
+        "% Impro.".to_string(),
+        format!("{:.4}", improvement_pct(ckat[0].0, best(0, |x| x.0))),
+        format!("{:.4}", improvement_pct(ckat[0].1, best(0, |x| x.1))),
+        format!("{:.4}", improvement_pct(ckat[1].0, best(1, |x| x.0))),
+        format!("{:.4}", improvement_pct(ckat[1].1, best(1, |x| x.1))),
+        "6.1237/5.7399, 7.2624/6.0496".to_string(),
+    ]);
+
+    println!("\nTable II — overall performance comparison (measured vs paper)\n");
+    println!("{}", format_table(&headers, &rows));
+}

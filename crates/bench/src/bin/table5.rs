@@ -1,0 +1,70 @@
+//! Regenerate **Table V** — the propagation-depth ablation: CKAT with
+//! L = 1, 2, 3 embedding-propagation layers.
+
+use facility_bench::HarnessOpts;
+use facility_ckat::report::{format_table, metric};
+use facility_ckat::{Experiment, ExperimentConfig};
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let settings = opts.train_settings();
+    let base_cfg = opts.ckat_config();
+    let d = base_cfg.base.embed_dim;
+
+    let depths: Vec<(String, Vec<usize>, [f64; 4])> = vec![
+        ("CKAT-1".into(), vec![d], [0.3108, 0.2471, 0.3736, 0.3118]),
+        ("CKAT-2".into(), vec![d, d / 2], [0.3209, 0.2478, 0.3821, 0.3215]),
+        ("CKAT-3".into(), vec![d, d / 2, d / 4], [0.3217, 0.2561, 0.3919, 0.3278]),
+    ];
+
+    let mut measured: Vec<Vec<(f64, f64)>> = vec![Vec::new(); depths.len()];
+    for (name, facility) in opts.facilities() {
+        eprintln!("== preparing {name} ==");
+        let exp = Experiment::prepare(&ExperimentConfig {
+            facility,
+            seed: opts.seed,
+            ..ExperimentConfig::default()
+        });
+        for (di, (label, dims, _)) in depths.iter().enumerate() {
+            let mut cfg = base_cfg.clone();
+            cfg.layer_dims = dims.clone();
+            let report = exp.run_ckat(&cfg, &settings);
+            eprintln!(
+                "{name}/{label}: recall {:.4} ndcg {:.4}",
+                report.best.recall, report.best.ndcg
+            );
+            measured[di].push((report.best.recall, report.best.ndcg));
+        }
+    }
+
+    let rows: Vec<Vec<String>> = depths
+        .iter()
+        .enumerate()
+        .map(|(di, (label, _, paper))| {
+            vec![
+                label.clone(),
+                metric(measured[di][0].0),
+                metric(measured[di][0].1),
+                metric(measured[di][1].0),
+                metric(measured[di][1].1),
+                format!("{:.4}/{:.4}, {:.4}/{:.4}", paper[0], paper[1], paper[2], paper[3]),
+            ]
+        })
+        .collect();
+
+    println!("\nTable V — propagation depth (measured vs paper)\n");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Depth",
+                "OOI recall@20",
+                "OOI ndcg@20",
+                "GAGE recall@20",
+                "GAGE ndcg@20",
+                "paper (OOI r/n, GAGE r/n)"
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,260 @@
+#![warn(missing_docs)]
+
+//! # facility-ckat
+//!
+//! End-to-end pipeline for knowledge-network data discovery, tying the
+//! workspace together:
+//!
+//! ```text
+//! FacilityConfig ─→ Trace (simulated query log)
+//!        │                 │ 80/20 per-user split
+//!        │                 ▼
+//!        │           Interactions ──┐
+//!        │                 │        │ training pairs only
+//!        ▼                 │        ▼
+//!   knowledge facts ───────┴──→ CKG (entity alignment, SourceMask)
+//!                                   │
+//!                                   ▼
+//!                  Recommender (CKAT or baseline) + Trainer
+//!                                   │
+//!                                   ▼
+//!                 recall@20 / ndcg@20, top-K recommendations
+//! ```
+//!
+//! The central type is [`Experiment`]: prepare one per (facility, seed,
+//! source-mask) and run any number of models against it — Tables II–V are
+//! exactly that loop with different model configurations.
+//!
+//! ```
+//! use facility_ckat::{Experiment, ExperimentConfig};
+//! use facility_datagen::FacilityConfig;
+//! use facility_models::{ModelKind, ModelConfig};
+//! use facility_eval::TrainSettings;
+//!
+//! let exp = Experiment::prepare(&ExperimentConfig {
+//!     facility: FacilityConfig::tiny(),
+//!     ..ExperimentConfig::default()
+//! });
+//! let settings = TrainSettings { max_epochs: 2, eval_every: 2, k: 10, ..Default::default() };
+//! let report = exp.run_model(ModelKind::Bprmf, &ModelConfig::fast(), &settings);
+//! assert!(report.best.recall >= 0.0);
+//! ```
+
+pub mod report;
+
+use facility_datagen::{FacilityConfig, Trace};
+use facility_eval::{train, TrainReport, TrainSettings};
+use facility_kg::{Ckg, Id, Interactions, SourceMask};
+use facility_models::ckat::{Ckat, CkatConfig};
+use facility_models::{ModelConfig, ModelKind, Recommender, TrainContext};
+
+/// Everything needed to set up one experimental condition.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Facility preset to simulate.
+    pub facility: FacilityConfig,
+    /// Seed driving trace generation and the split.
+    pub seed: u64,
+    /// Held-out fraction per user (paper: 0.2).
+    pub test_frac: f64,
+    /// Knowledge sources in the CKG (Table III ablation).
+    pub mask: SourceMask,
+    /// Max same-city UUG pairs per city.
+    pub uug_pairs_per_city: usize,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            facility: FacilityConfig::ooi(),
+            seed: 42,
+            test_frac: 0.2,
+            mask: SourceMask::all(),
+            uug_pairs_per_city: 4,
+        }
+    }
+}
+
+/// A prepared experimental condition: simulated trace, split interactions,
+/// and the CKG built from training interactions plus enabled knowledge.
+pub struct Experiment {
+    /// The generating configuration.
+    pub config: ExperimentConfig,
+    /// The simulated facility trace.
+    pub trace: Trace,
+    /// Train/test interaction split.
+    pub inter: Interactions,
+    /// The collaborative knowledge graph.
+    pub ckg: Ckg,
+}
+
+impl Experiment {
+    /// Simulate the facility, split interactions, and build the CKG.
+    pub fn prepare(config: &ExperimentConfig) -> Self {
+        let trace = Trace::generate(&config.facility, config.seed);
+        let mut rng = facility_linalg::seeded_rng(config.seed ^ 0x517);
+        let inter = trace.split_interactions(config.test_frac, &mut rng);
+        let mut builder = trace.ckg_builder(config.uug_pairs_per_city);
+        builder.add_interactions(&inter.train_pairs);
+        let ckg = builder.build(config.mask);
+        Self { config: config.clone(), trace, inter, ckg }
+    }
+
+    /// Rebuild this experiment's CKG with a different source mask,
+    /// keeping the identical trace and split (Table III protocol).
+    pub fn with_mask(&self, mask: SourceMask) -> Self {
+        let mut builder = self.trace.ckg_builder(self.config.uug_pairs_per_city);
+        builder.add_interactions(&self.inter.train_pairs);
+        let ckg = builder.build(mask);
+        let mut config = self.config.clone();
+        config.mask = mask;
+        Self {
+            config,
+            trace: Trace {
+                config: self.trace.config.clone(),
+                catalog: self.trace.catalog.clone(),
+                population: self.trace.population.clone(),
+                events: self.trace.events.clone(),
+            },
+            inter: self.inter.clone(),
+            ckg,
+        }
+    }
+
+    /// Borrowed training context.
+    pub fn ctx(&self) -> TrainContext<'_> {
+        TrainContext { inter: &self.inter, ckg: &self.ckg }
+    }
+
+    /// CKG statistics (Table I).
+    pub fn stats(&self) -> facility_kg::CkgStats {
+        facility_kg::CkgStats::of(&self.ckg)
+    }
+
+    /// Train and evaluate one model kind with shared hyperparameters.
+    pub fn run_model(
+        &self,
+        kind: ModelKind,
+        model_config: &ModelConfig,
+        settings: &TrainSettings,
+    ) -> TrainReport {
+        let ctx = self.ctx();
+        let mut model = kind.build(&ctx, model_config);
+        train(model.as_mut(), &ctx, settings)
+    }
+
+    /// Train and evaluate a CKAT variant (attention / aggregator / depth
+    /// ablations for Tables IV–V).
+    pub fn run_ckat(&self, config: &CkatConfig, settings: &TrainSettings) -> TrainReport {
+        let ctx = self.ctx();
+        let mut model = Ckat::new(&ctx, config);
+        train(&mut model, &ctx, settings)
+    }
+
+    /// Train one model and return it, ready for recommendation queries.
+    pub fn train_recommender(
+        &self,
+        kind: ModelKind,
+        model_config: &ModelConfig,
+        settings: &TrainSettings,
+    ) -> Box<dyn Recommender> {
+        let ctx = self.ctx();
+        let mut model = kind.build(&ctx, model_config);
+        train(model.as_mut(), &ctx, settings);
+        model.prepare_eval(&ctx);
+        model
+    }
+}
+
+/// Top-K recommendations for `user`, excluding items already queried in
+/// training. Returns `(item, score)` pairs, best first.
+pub fn recommend_top_k(
+    model: &dyn Recommender,
+    inter: &Interactions,
+    user: Id,
+    k: usize,
+) -> Vec<(Id, f32)> {
+    let scores = model.score_items(user);
+    let mut candidates: Vec<(Id, f32)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (i as Id, s))
+        .filter(|&(i, _)| !inter.contains_train(user, i))
+        .collect();
+    candidates.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    candidates.truncate(k);
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_experiment() -> Experiment {
+        Experiment::prepare(&ExperimentConfig {
+            facility: FacilityConfig::tiny(),
+            seed: 5,
+            ..ExperimentConfig::default()
+        })
+    }
+
+    #[test]
+    fn prepare_builds_consistent_world() {
+        let exp = tiny_experiment();
+        assert_eq!(exp.ckg.n_users, exp.inter.n_users);
+        assert_eq!(exp.ckg.n_items, exp.inter.n_items);
+        assert!(exp.inter.n_test() > 0, "tiny facility should produce test data");
+        let stats = exp.stats();
+        assert!(stats.n_triples > 0);
+    }
+
+    #[test]
+    fn with_mask_keeps_split_but_changes_graph() {
+        let exp = tiny_experiment();
+        let uig_only = exp.with_mask(SourceMask::uig_only());
+        assert_eq!(uig_only.inter.train, exp.inter.train);
+        assert_eq!(uig_only.inter.test, exp.inter.test);
+        assert!(uig_only.ckg.n_attrs < exp.ckg.n_attrs);
+    }
+
+    #[test]
+    fn end_to_end_bprmf_beats_untrained() {
+        let exp = tiny_experiment();
+        let settings = TrainSettings {
+            max_epochs: 25,
+            eval_every: 5,
+            patience: 0,
+            k: 10,
+            seed: 2,
+            verbose: false,
+        };
+        let report = exp.run_model(ModelKind::Bprmf, &ModelConfig::fast(), &settings);
+        assert!(report.best.recall > 0.0, "recall {}", report.best.recall);
+        assert!(report.best.n_users > 0);
+    }
+
+    #[test]
+    fn recommendations_exclude_train_items() {
+        let exp = tiny_experiment();
+        let settings = TrainSettings {
+            max_epochs: 5,
+            eval_every: 5,
+            patience: 0,
+            k: 10,
+            seed: 2,
+            verbose: false,
+        };
+        let model = exp.train_recommender(ModelKind::Bprmf, &ModelConfig::fast(), &settings);
+        let recs = recommend_top_k(model.as_ref(), &exp.inter, 0, 5);
+        assert_eq!(recs.len(), 5);
+        for &(item, _) in &recs {
+            assert!(!exp.inter.contains_train(0, item));
+        }
+        // Best-first ordering.
+        for w in recs.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+}

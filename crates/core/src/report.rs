@@ -1,0 +1,91 @@
+//! Plain-text table formatting for the experiment harness — the bench
+//! binaries print tables shaped like the paper's.
+
+use std::fmt::Write as _;
+
+/// Render a fixed-width table: a header row, a separator, and data rows.
+/// Column widths adapt to content. Panics if a row's length differs from
+/// the header's.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), headers.len(), "row {i} has wrong arity");
+    }
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: Vec<String>, out: &mut String| {
+        let mut first = true;
+        for (w, cell) in widths.iter().zip(cells) {
+            if !first {
+                out.push_str("  ");
+            }
+            first = false;
+            let _ = write!(out, "{cell:<w$}", w = w);
+        }
+        out.push('\n');
+    };
+    line(headers.iter().map(|s| s.to_string()).collect(), &mut out);
+    line(widths.iter().map(|w| "-".repeat(*w)).collect(), &mut out);
+    for row in rows {
+        line(row.clone(), &mut out);
+    }
+    out
+}
+
+/// Format a metric to the paper's 4-decimal convention.
+pub fn metric(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Percentage improvement of `ours` over `best_baseline`, as the paper's
+/// "% Impro." row.
+pub fn improvement_pct(ours: f64, best_baseline: f64) -> f64 {
+    if best_baseline <= 0.0 {
+        return 0.0;
+    }
+    (ours - best_baseline) / best_baseline * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout_aligns_columns() {
+        let t = format_table(
+            &["Model", "recall@20"],
+            &[
+                vec!["BPRMF".into(), "0.1935".into()],
+                vec!["CKAT".into(), "0.3217".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Model"));
+        assert!(lines[1].starts_with("-----"));
+        assert!(lines[3].contains("0.3217"));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong arity")]
+    fn mismatched_row_panics() {
+        format_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn improvement_matches_paper_arithmetic() {
+        // Paper Table II: CKAT 0.3217 over KGCN 0.3020 → 6.1237 %.
+        let pct = improvement_pct(0.3217, 0.3020);
+        assert!((pct - 6.5231).abs() < 0.5, "pct {pct}");
+        assert_eq!(improvement_pct(1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn metric_uses_four_decimals() {
+        assert_eq!(metric(0.32169), "0.3217");
+    }
+}

@@ -1,0 +1,203 @@
+//! The facility's data-object catalog: sites, instruments, and items.
+//!
+//! Mirrors what the paper scrapes from facility websites (Section III-B):
+//! "instrument name, coordinates, data type, and research discipline".
+//! Every item carries the attributes that later become the IAG knowledge
+//! sources — LOC (site, region), DKG (data type, discipline), and MD
+//! (instrument name, instrument group).
+
+use crate::config::FacilityConfig;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Metadata of one recommendable data object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemMeta {
+    /// Site index (`< config.n_sites`).
+    pub site: usize,
+    /// Region (research array / state) of the site.
+    pub region: usize,
+    /// Instrument class producing this object.
+    pub instrument_class: usize,
+    /// Data type of the object.
+    pub data_type: usize,
+    /// Discipline the data type belongs to.
+    pub discipline: usize,
+    /// Site as *recorded* in the published metadata (may be wrong with
+    /// probability `metadata_noise`).
+    pub recorded_site: usize,
+    /// Data type as *recorded* in the published metadata.
+    pub recorded_type: usize,
+}
+
+/// The facility catalog: per-site region assignment, per-class data-type
+/// menus, per-type disciplines, and the item list.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Region of each site.
+    pub site_region: Vec<usize>,
+    /// Data types each instrument class can measure.
+    pub class_data_types: Vec<Vec<usize>>,
+    /// Discipline of each data type.
+    pub type_discipline: Vec<usize>,
+    /// The items.
+    pub items: Vec<ItemMeta>,
+    /// Items grouped by region (index = region).
+    pub items_by_region: Vec<Vec<u32>>,
+    /// Items grouped by site (index = site).
+    pub items_by_site: Vec<Vec<u32>>,
+    /// Items grouped by data type (index = data type).
+    pub items_by_type: Vec<Vec<u32>>,
+}
+
+impl Catalog {
+    /// Generate a catalog for `config`.
+    ///
+    /// Sites are spread round-robin over regions (every region gets at
+    /// least one site). Each instrument class measures a random subset of
+    /// 2–5 data types. Each item is an (instrument at a site) × data type
+    /// product, drawn so every region and data type is populated when the
+    /// catalog is large enough.
+    pub fn generate(config: &FacilityConfig, rng: &mut impl Rng) -> Self {
+        config.validate();
+        // Round-robin site→region keeps regions balanced like real arrays.
+        let site_region: Vec<usize> = (0..config.n_sites).map(|s| s % config.n_regions).collect();
+        // Data type → discipline, round-robin so every discipline is used.
+        let type_discipline: Vec<usize> =
+            (0..config.n_data_types).map(|t| t % config.n_disciplines).collect();
+        // Instrument class → 2..=5 data types (bounded by availability).
+        let all_types: Vec<usize> = (0..config.n_data_types).collect();
+        let class_data_types: Vec<Vec<usize>> = (0..config.n_instrument_classes)
+            .map(|_| {
+                let k = rng.gen_range(2..=5).min(config.n_data_types);
+                let mut menu = all_types.clone();
+                menu.shuffle(rng);
+                menu.truncate(k);
+                menu.sort_unstable();
+                menu
+            })
+            .collect();
+
+        let mut items = Vec::with_capacity(config.n_items);
+        for idx in 0..config.n_items {
+            // Seed the catalog so the first items cover all sites, then
+            // fill the rest uniformly — guarantees no empty site/region.
+            let site =
+                if idx < config.n_sites { idx } else { rng.gen_range(0..config.n_sites) };
+            let instrument_class = rng.gen_range(0..config.n_instrument_classes);
+            let menu = &class_data_types[instrument_class];
+            let data_type = menu[rng.gen_range(0..menu.len())];
+            let recorded_site = if rng.gen::<f64>() < config.metadata_noise {
+                rng.gen_range(0..config.n_sites)
+            } else {
+                site
+            };
+            let recorded_type = if rng.gen::<f64>() < config.metadata_noise {
+                rng.gen_range(0..config.n_data_types)
+            } else {
+                data_type
+            };
+            items.push(ItemMeta {
+                site,
+                region: site_region[site],
+                instrument_class,
+                data_type,
+                discipline: type_discipline[data_type],
+                recorded_site,
+                recorded_type,
+            });
+        }
+
+        let mut items_by_region = vec![Vec::new(); config.n_regions];
+        let mut items_by_site = vec![Vec::new(); config.n_sites];
+        let mut items_by_type = vec![Vec::new(); config.n_data_types];
+        for (i, item) in items.iter().enumerate() {
+            items_by_region[item.region].push(i as u32);
+            items_by_site[item.site].push(i as u32);
+            items_by_type[item.data_type].push(i as u32);
+        }
+
+        Self {
+            site_region,
+            class_data_types,
+            type_discipline,
+            items,
+            items_by_region,
+            items_by_site,
+            items_by_type,
+        }
+    }
+
+    /// Number of items.
+    pub fn n_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Human-readable instrument name for MD facts (e.g. `"inst:12@site:4"`
+    /// — unique per class/site pair, mimicking asset names).
+    pub fn instrument_name(&self, item: usize) -> String {
+        let m = &self.items[item];
+        format!("inst:{}@site:{}", m.instrument_class, m.site)
+    }
+
+    /// Instrument group for MD facts (the class name).
+    pub fn instrument_group(&self, item: usize) -> String {
+        format!("group:{}", self.items[item].instrument_class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_linalg::seeded_rng;
+
+    fn catalog() -> Catalog {
+        Catalog::generate(&FacilityConfig::ooi(), &mut seeded_rng(1))
+    }
+
+    #[test]
+    fn every_region_and_type_is_populated() {
+        let c = catalog();
+        assert!(c.items_by_region.iter().all(|v| !v.is_empty()), "empty region");
+        // Data types may be rare but the index must be consistent.
+        let total: usize = c.items_by_type.iter().map(Vec::len).sum();
+        assert_eq!(total, c.n_items());
+    }
+
+    #[test]
+    fn item_attributes_are_internally_consistent() {
+        let c = catalog();
+        for item in &c.items {
+            assert_eq!(item.region, c.site_region[item.site]);
+            assert_eq!(item.discipline, c.type_discipline[item.data_type]);
+            assert!(
+                c.class_data_types[item.instrument_class].contains(&item.data_type),
+                "item data type not in its instrument's menu"
+            );
+        }
+    }
+
+    #[test]
+    fn site_coverage_is_complete() {
+        let c = catalog();
+        let mut seen = vec![false; c.site_region.len()];
+        for item in &c.items {
+            seen[item.site] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some site has no items");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Catalog::generate(&FacilityConfig::tiny(), &mut seeded_rng(5));
+        let b = Catalog::generate(&FacilityConfig::tiny(), &mut seeded_rng(5));
+        assert_eq!(a.items, b.items);
+    }
+
+    #[test]
+    fn md_names_distinguish_site_and_class() {
+        let c = catalog();
+        assert!(c.instrument_name(0).starts_with("inst:"));
+        assert!(c.instrument_group(0).starts_with("group:"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Facility simulation parameters with OOI-like and GAGE-like presets.
+//!
+//! The preset numbers come from the paper where stated (Section III-B and
+//! Table I) and are scaled so the resulting CKG matches Table I's order of
+//! magnitude: OOI ≈ 1.3k entities / 5.5k triples, GAGE ≈ 4.8k entities /
+//! 20k triples.
+
+/// All knobs of the synthetic facility and its user population.
+#[derive(Debug, Clone)]
+pub struct FacilityConfig {
+    /// Facility display name ("OOI-like", "GAGE-like", ...).
+    pub name: String,
+
+    // --- Facility topology -------------------------------------------
+    /// Research arrays (OOI) or geographic regions/states (GAGE).
+    pub n_regions: usize,
+    /// Instrument sites (OOI) or station clusters (GAGE), distributed
+    /// across the regions.
+    pub n_sites: usize,
+    /// Instrument classes (e.g. CTD, BOTPT).
+    pub n_instrument_classes: usize,
+    /// Distinct data types (e.g. pressure, density; GPS/GNSS products).
+    pub n_data_types: usize,
+    /// Science disciplines grouping the data types.
+    pub n_disciplines: usize,
+    /// Data objects in the catalog (the recommendable items).
+    pub n_items: usize,
+
+    // --- User population ----------------------------------------------
+    /// Users (public-IP-level identities in the paper).
+    pub n_users: usize,
+    /// Cities users come from.
+    pub n_cities: usize,
+    /// Research organizations; members share a query profile.
+    pub n_organizations: usize,
+    /// Probability that a user adopts their organization's profile rather
+    /// than an independent random one.
+    pub org_conformity: f64,
+
+    // --- Query behaviour ------------------------------------------------
+    /// Mean of the log-normal distribution of queries per user (in log
+    /// space) — controls the Figure 3 heavy tail.
+    pub activity_log_mean: f64,
+    /// Std-dev of the log-normal activity distribution (log space).
+    pub activity_log_std: f64,
+    /// Probability a query targets the user's home region (paper: 43.1%
+    /// OOI, 36.3% GAGE on average).
+    pub locality_affinity: f64,
+    /// Probability a query targets one of the user's preferred data types
+    /// (paper: 51.6% OOI, 68.8% GAGE).
+    pub datatype_affinity: f64,
+    /// Preferred data types per organization profile.
+    pub pref_types_per_org: usize,
+    /// Fraction of *recorded* item attributes (site / data type) that are
+    /// wrong in the facility's published metadata. Real facility metadata
+    /// is imperfect; models that consume attributes as flat features
+    /// inherit the errors, while attentive propagation can down-weight
+    /// edges inconsistent with query behaviour (the paper's noise
+    /// discussion, Sections II-C and VI-F).
+    pub metadata_noise: f64,
+}
+
+impl FacilityConfig {
+    /// OOI-like preset: 36 instrument classes at 55 sites across 8
+    /// research arrays (Section III-B), oceanography-flavoured data types,
+    /// and affinity levels from the paper's trace analysis.
+    pub fn ooi() -> Self {
+        Self {
+            name: "OOI-like".into(),
+            n_regions: 8,
+            n_sites: 55,
+            n_instrument_classes: 36,
+            n_data_types: 24,
+            n_disciplines: 5,
+            n_items: 420,
+            n_users: 760,
+            n_cities: 90,
+            n_organizations: 48,
+            org_conformity: 0.85,
+            activity_log_mean: 1.6,
+            activity_log_std: 1.0,
+            locality_affinity: 0.431,
+            datatype_affinity: 0.516,
+            pref_types_per_org: 3,
+            metadata_noise: 0.3,
+        }
+    }
+
+    /// GAGE-like preset: 12 data types from GPS/GNSS stations distributed
+    /// across many cities in 48 states (Section III-B); locality dominates
+    /// less per query but the graph is larger and sparser.
+    pub fn gage() -> Self {
+        Self {
+            name: "GAGE-like".into(),
+            n_regions: 48,
+            n_sites: 338,
+            n_instrument_classes: 6,
+            n_data_types: 12,
+            n_disciplines: 4,
+            n_items: 1500,
+            n_users: 2800,
+            n_cities: 160,
+            n_organizations: 120,
+            org_conformity: 0.85,
+            activity_log_mean: 1.7,
+            activity_log_std: 1.1,
+            locality_affinity: 0.363,
+            datatype_affinity: 0.688,
+            pref_types_per_org: 2,
+            metadata_noise: 0.3,
+        }
+    }
+
+    /// A miniature configuration for unit/integration tests: everything is
+    /// small enough that an end-to-end pipeline runs in well under a
+    /// second.
+    pub fn tiny() -> Self {
+        Self {
+            name: "tiny".into(),
+            n_regions: 3,
+            n_sites: 6,
+            n_instrument_classes: 4,
+            n_data_types: 6,
+            n_disciplines: 2,
+            n_items: 40,
+            n_users: 60,
+            n_cities: 8,
+            n_organizations: 6,
+            org_conformity: 0.85,
+            activity_log_mean: 1.8,
+            activity_log_std: 0.7,
+            locality_affinity: 0.5,
+            datatype_affinity: 0.5,
+            pref_types_per_org: 2,
+            metadata_noise: 0.0,
+        }
+    }
+
+    /// Sites assigned to `region` under the canonical round-robin layout
+    /// (shared by the catalog and population generators so they agree on
+    /// the site→region map without passing the catalog around).
+    pub fn sites_in_region(&self, region: usize) -> Vec<usize> {
+        (0..self.n_sites).filter(|s| s % self.n_regions == region).collect()
+    }
+
+    /// Sanity-check invariants; called by the generators.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings (zero counts, probabilities outside
+    /// `[0, 1]`, more regions than sites, ...).
+    pub fn validate(&self) {
+        assert!(self.n_regions > 0 && self.n_sites >= self.n_regions, "sites must cover regions");
+        assert!(self.n_instrument_classes > 0);
+        assert!(self.n_data_types >= self.n_disciplines && self.n_disciplines > 0);
+        assert!(self.n_items > 0 && self.n_users > 0);
+        assert!(self.n_cities > 0 && self.n_organizations > 0);
+        for (name, p) in [
+            ("org_conformity", self.org_conformity),
+            ("locality_affinity", self.locality_affinity),
+            ("datatype_affinity", self.datatype_affinity),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+        }
+        assert!(self.pref_types_per_org >= 1 && self.pref_types_per_org <= self.n_data_types);
+        assert!((0.0..=1.0).contains(&self.metadata_noise), "metadata_noise must be a probability");
+        assert!(self.activity_log_std >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        FacilityConfig::ooi().validate();
+        FacilityConfig::gage().validate();
+        FacilityConfig::tiny().validate();
+    }
+
+    #[test]
+    fn presets_follow_paper_topology() {
+        let ooi = FacilityConfig::ooi();
+        assert_eq!((ooi.n_regions, ooi.n_sites, ooi.n_instrument_classes), (8, 55, 36));
+        let gage = FacilityConfig::gage();
+        assert_eq!((gage.n_regions, gage.n_data_types), (48, 12));
+        assert!((gage.datatype_affinity - 0.688).abs() < 1e-9);
+        assert!((ooi.locality_affinity - 0.431).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn validate_rejects_bad_probability() {
+        let mut c = FacilityConfig::tiny();
+        c.locality_affinity = 1.5;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sites must cover regions")]
+    fn validate_rejects_fewer_sites_than_regions() {
+        let mut c = FacilityConfig::tiny();
+        c.n_sites = 1;
+        c.validate();
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # facility-datagen
+//!
+//! A synthetic large-facility query-trace simulator, substituting for the
+//! proprietary OOI and GAGE traces the paper analyzed (138M / 77M records
+//! with user IPs, which are not publicly available).
+//!
+//! ## What the simulator preserves
+//!
+//! The recommendation experiments never see raw trace records — only the
+//! *derived* structure: the user–item interaction matrix, the user–user
+//! co-location graph, and the item–attribute knowledge graph. What decides
+//! who-wins in the paper's Tables II–V is the statistical structure of that
+//! data, which the simulator reproduces explicitly:
+//!
+//! * **Facility topology** ([`config`], [`catalog`]): instruments deployed
+//!   at sites grouped into research arrays/regions, each producing data
+//!   objects of typed disciplines — OOI-like (36 instrument classes, 55
+//!   sites, 8 arrays) and GAGE-like (12 data types, stations across many
+//!   cities/states) presets.
+//! * **User population** ([`population`]): users belong to organizations
+//!   located in cities; an organization carries a *query profile* (home
+//!   region + preferred data types) that its members inherit with noise —
+//!   the mechanism behind the paper's Figure 4 observation that same-org
+//!   users query similar data.
+//! * **Query affinities** ([`trace`]): per-query, a user targets their home
+//!   region with probability ≈ the paper's locality share (43.1% OOI /
+//!   36.3% GAGE) and their preferred data type with probability ≈ the
+//!   same-type share (51.6% / 68.8%); activity per user is heavy-tailed
+//!   (Figure 3's distribution curves).
+//! * **Measurable consequences** ([`stats`]): the same statistics the paper
+//!   plots — per-user distinct-object/location/type curves (Fig. 3), and
+//!   the same-city vs random pair likelihood ratios (Fig. 5).
+
+pub mod catalog;
+pub mod io;
+pub mod config;
+pub mod population;
+pub mod stats;
+pub mod trace;
+
+pub use catalog::{Catalog, ItemMeta};
+pub use config::FacilityConfig;
+pub use population::{Population, UserMeta};
+pub use trace::{QueryEvent, Trace};

@@ -1,0 +1,235 @@
+//! The user population: organizations, cities, and per-user query
+//! profiles.
+//!
+//! The paper observes (Section III-B1) that "users from the same research
+//! group (or same organization) tend to have similar data-query patterns"
+//! and exploits city-level co-location. The generative model here makes
+//! that observation true by construction: each organization carries a
+//! profile (home region + preferred data types) that its members adopt
+//! with probability `org_conformity`.
+
+use crate::config::FacilityConfig;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// An organization's shared query profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Organization {
+    /// City where the organization is located.
+    pub city: usize,
+    /// Region its members predominantly study.
+    pub home_region: usize,
+    /// The specific site within the home region the org's project
+    /// focuses on (real facility users track individual instruments).
+    pub home_site: usize,
+    /// Data types its members predominantly query; the first entry is the
+    /// *primary* type, drawn more often than the rest.
+    pub pref_types: Vec<usize>,
+}
+
+/// One simulated user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserMeta {
+    /// Organization index.
+    pub org: usize,
+    /// City (usually the organization's city).
+    pub city: usize,
+    /// The region this user predominantly queries.
+    pub home_region: usize,
+    /// The site this user predominantly queries (within `home_region`).
+    pub home_site: usize,
+    /// Preferred data types; index 0 is the primary type.
+    pub pref_types: Vec<usize>,
+    /// Whether the user conformed to the organization profile.
+    pub conformist: bool,
+}
+
+/// The generated population.
+#[derive(Debug, Clone)]
+pub struct Population {
+    /// Organizations.
+    pub orgs: Vec<Organization>,
+    /// Users.
+    pub users: Vec<UserMeta>,
+    /// Users grouped by city.
+    pub users_by_city: Vec<Vec<u32>>,
+}
+
+impl Population {
+    /// Generate organizations and users for `config`.
+    ///
+    /// Organization sizes are skewed (rank-proportional) like real
+    /// institutional usage; each organization's city is drawn uniformly
+    /// and its profile independently. A conformist user copies the org
+    /// profile; a non-conformist draws an independent one (still keeping
+    /// the org's city with 90% probability, as people work where their
+    /// institute is).
+    pub fn generate(config: &FacilityConfig, rng: &mut impl Rng) -> Self {
+        config.validate();
+        let orgs: Vec<Organization> = (0..config.n_organizations)
+            .map(|_| {
+                let home_region = rng.gen_range(0..config.n_regions);
+                let sites = config.sites_in_region(home_region);
+                Organization {
+                    city: rng.gen_range(0..config.n_cities),
+                    home_region,
+                    home_site: sites[rng.gen_range(0..sites.len())],
+                    pref_types: sample_types(config, rng),
+                }
+            })
+            .collect();
+
+        // Skewed org sizes (power law with exponent ½): big institutions
+        // dominate, but membership doesn't collapse onto one or two sites,
+        // keeping the random-pair baseline of Fig. 5 realistic.
+        let weights: Vec<f64> = (0..orgs.len()).map(|o| 1.0 / ((o + 1) as f64).sqrt()).collect();
+        let total: f64 = weights.iter().sum();
+
+        let mut users = Vec::with_capacity(config.n_users);
+        for _ in 0..config.n_users {
+            let mut pick = rng.gen::<f64>() * total;
+            let mut org = 0;
+            for (o, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    org = o;
+                    break;
+                }
+                pick -= w;
+            }
+            let conformist = rng.gen::<f64>() < config.org_conformity;
+            let (home_region, home_site, pref_types) = if conformist {
+                (orgs[org].home_region, orgs[org].home_site, orgs[org].pref_types.clone())
+            } else {
+                let region = rng.gen_range(0..config.n_regions);
+                let sites = config.sites_in_region(region);
+                (region, sites[rng.gen_range(0..sites.len())], sample_types(config, rng))
+            };
+            // Nearly everyone is physically at their institution; a small
+            // remote-member fraction adds city-level noise.
+            let city = if rng.gen::<f64>() < 0.97 {
+                orgs[org].city
+            } else {
+                rng.gen_range(0..config.n_cities)
+            };
+            users.push(UserMeta { org, city, home_region, home_site, pref_types, conformist });
+        }
+
+        let mut users_by_city = vec![Vec::new(); config.n_cities];
+        for (u, user) in users.iter().enumerate() {
+            users_by_city[user.city].push(u as u32);
+        }
+        Self { orgs, users, users_by_city }
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.users.len()
+    }
+
+    /// User–user association pairs for the UUG. The paper clusters users
+    /// "based on their proximity (i.e., the same organization, physical
+    /// location, etc.)", so both same-city and same-organization chains
+    /// contribute, each capped per group to keep the graph sparse.
+    ///
+    /// Pairs are formed along a chain within each group: user `k` links to
+    /// user `k+1`, which connects the whole group with `O(group)` edges
+    /// instead of `O(group²)`.
+    pub fn same_city_pairs(&self, max_pairs_per_group: usize) -> Vec<(u32, u32)> {
+        let mut pairs = Vec::new();
+        let mut chain = |groups: &[Vec<u32>]| {
+            for group in groups {
+                if group.len() < 2 {
+                    continue;
+                }
+                let take = (group.len() - 1).min(max_pairs_per_group);
+                for k in 0..take {
+                    pairs.push((group[k], group[k + 1]));
+                }
+            }
+        };
+        chain(&self.users_by_city);
+        // Same-organization chains.
+        let mut by_org: Vec<Vec<u32>> = vec![Vec::new(); self.orgs.len()];
+        for (u, user) in self.users.iter().enumerate() {
+            by_org[user.org].push(u as u32);
+        }
+        chain(&by_org);
+        pairs
+    }
+}
+
+fn sample_types(config: &FacilityConfig, rng: &mut impl Rng) -> Vec<usize> {
+    let mut all: Vec<usize> = (0..config.n_data_types).collect();
+    all.shuffle(rng);
+    all.truncate(config.pref_types_per_org);
+    // Keep the shuffled order: index 0 is the primary type.
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_linalg::seeded_rng;
+
+    fn pop() -> Population {
+        Population::generate(&FacilityConfig::ooi(), &mut seeded_rng(2))
+    }
+
+    #[test]
+    fn population_counts_match_config() {
+        let p = pop();
+        let cfg = FacilityConfig::ooi();
+        assert_eq!(p.n_users(), cfg.n_users);
+        assert_eq!(p.orgs.len(), cfg.n_organizations);
+        let by_city: usize = p.users_by_city.iter().map(Vec::len).sum();
+        assert_eq!(by_city, cfg.n_users);
+    }
+
+    #[test]
+    fn conformists_share_their_orgs_profile() {
+        let p = pop();
+        for user in &p.users {
+            if user.conformist {
+                assert_eq!(user.home_region, p.orgs[user.org].home_region);
+                assert_eq!(user.pref_types, p.orgs[user.org].pref_types);
+            }
+        }
+        let conformists = p.users.iter().filter(|u| u.conformist).count();
+        // With conformity 0.85 over 760 users the count concentrates hard.
+        assert!(conformists > p.n_users() / 2, "too few conformists: {conformists}");
+    }
+
+    #[test]
+    fn org_sizes_are_skewed() {
+        let p = pop();
+        let mut sizes = vec![0usize; p.orgs.len()];
+        for u in &p.users {
+            sizes[u.org] += 1;
+        }
+        // The largest org should clearly exceed the median — power-law skew.
+        let max = *sizes.iter().max().unwrap();
+        let mut sorted = sizes.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2];
+        assert!(max >= 2 * median.max(1), "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn uug_pairs_share_city_or_org_and_have_no_self_loops() {
+        let p = pop();
+        let pairs = p.same_city_pairs(3);
+        assert!(!pairs.is_empty());
+        for &(a, b) in &pairs {
+            let (ua, ub) = (&p.users[a as usize], &p.users[b as usize]);
+            assert!(ua.city == ub.city || ua.org == ub.org, "pair ({a},{b}) unrelated");
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(&FacilityConfig::tiny(), &mut seeded_rng(11));
+        let b = Population::generate(&FacilityConfig::tiny(), &mut seeded_rng(11));
+        assert_eq!(a.users, b.users);
+    }
+}

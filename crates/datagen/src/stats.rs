@@ -1,0 +1,361 @@
+//! Trace statistics matching the paper's analysis figures.
+//!
+//! * [`fig3_series`] — per-user distinct data objects / instrument
+//!   locations / data types, sorted descending (the distribution curves of
+//!   Figure 3).
+//! * [`affinity_shares`] — the average share of a user's queries that hit
+//!   their modal region and modal data type (the 43.1% / 51.6% numbers of
+//!   Section III-B2).
+//! * [`pair_affinity`] — the same-city vs random user-pair likelihood
+//!   ratios of Figure 5.
+//! * [`item_feature_matrix`] / [`top_users_by_activity`] — inputs for the
+//!   t-SNE visualization of Figure 4.
+
+use crate::trace::Trace;
+use facility_linalg::Matrix;
+use rand::Rng;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Per-user distinct-count series for Figure 3, each sorted descending.
+#[derive(Debug, Clone)]
+pub struct Fig3Series {
+    /// Distinct data objects queried per user.
+    pub data_objects: Vec<usize>,
+    /// Distinct instrument locations (sites) queried per user.
+    pub locations: Vec<usize>,
+    /// Distinct data types queried per user.
+    pub data_types: Vec<usize>,
+}
+
+/// Compute the Figure 3 distribution curves.
+pub fn fig3_series(trace: &Trace) -> Fig3Series {
+    let n_users = trace.population.n_users();
+    let mut items: Vec<std::collections::HashSet<u32>> = vec![Default::default(); n_users];
+    let mut sites: Vec<std::collections::HashSet<u32>> = vec![Default::default(); n_users];
+    let mut types: Vec<std::collections::HashSet<u32>> = vec![Default::default(); n_users];
+    for e in &trace.events {
+        let meta = &trace.catalog.items[e.item as usize];
+        items[e.user as usize].insert(e.item);
+        sites[e.user as usize].insert(meta.site as u32);
+        types[e.user as usize].insert(meta.data_type as u32);
+    }
+    let collect = |sets: Vec<std::collections::HashSet<u32>>| {
+        let mut v: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    };
+    Fig3Series {
+        data_objects: collect(items),
+        locations: collect(sites),
+        data_types: collect(types),
+    }
+}
+
+/// Average share of a user's queries landing in their modal region and on
+/// their modal data type (users with no queries are skipped).
+pub fn affinity_shares(trace: &Trace) -> (f64, f64) {
+    let n_users = trace.population.n_users();
+    let mut region_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
+    let mut type_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
+    let mut totals = vec![0usize; n_users];
+    for e in &trace.events {
+        let meta = &trace.catalog.items[e.item as usize];
+        *region_counts[e.user as usize].entry(meta.region).or_insert(0) += 1;
+        *type_counts[e.user as usize].entry(meta.data_type).or_insert(0) += 1;
+        totals[e.user as usize] += 1;
+    }
+    let mut region_share = 0.0;
+    let mut type_share = 0.0;
+    let mut active = 0usize;
+    for u in 0..n_users {
+        if totals[u] == 0 {
+            continue;
+        }
+        active += 1;
+        let max_r = region_counts[u].values().copied().max().unwrap_or(0);
+        let max_t = type_counts[u].values().copied().max().unwrap_or(0);
+        region_share += max_r as f64 / totals[u] as f64;
+        type_share += max_t as f64 / totals[u] as f64;
+    }
+    if active == 0 {
+        return (0.0, 0.0);
+    }
+    (region_share / active as f64, type_share / active as f64)
+}
+
+/// Result of the Figure 5 pair experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct PairAffinity {
+    /// P(same modal region) for same-city pairs.
+    pub same_city_region: f64,
+    /// P(same modal region) for random pairs.
+    pub random_region: f64,
+    /// P(same modal data type) for same-city pairs.
+    pub same_city_type: f64,
+    /// P(same modal data type) for random pairs.
+    pub random_type: f64,
+}
+
+impl PairAffinity {
+    /// Likelihood ratio for shared-region patterns (paper: 79.8× OOI,
+    /// 22.87× GAGE).
+    pub fn region_ratio(&self) -> f64 {
+        safe_ratio(self.same_city_region, self.random_region)
+    }
+
+    /// Likelihood ratio for shared-data-domain patterns (paper: 29.8× OOI,
+    /// 2.21× GAGE).
+    pub fn type_ratio(&self) -> f64 {
+        safe_ratio(self.same_city_type, self.random_type)
+    }
+}
+
+fn safe_ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        if num > 0.0 {
+            f64::INFINITY
+        } else {
+            1.0
+        }
+    } else {
+        num / den
+    }
+}
+
+/// Run the paper's Figure 5 experiment: draw `n_pairs` same-city user
+/// pairs and `n_pairs` random pairs, and measure the probability that the
+/// two users share a query pattern — the same modal *instrument location*
+/// (site granularity; the paper's 79.8× OOI ratio implies finer-than-array
+/// locality) and the same modal data type. Users without queries are
+/// excluded.
+pub fn pair_affinity(trace: &Trace, n_pairs: usize, rng: &mut impl Rng) -> PairAffinity {
+    let n_users = trace.population.n_users();
+    // Modal site/type per user.
+    let mut region_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
+    let mut type_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
+    for e in &trace.events {
+        let meta = &trace.catalog.items[e.item as usize];
+        *region_counts[e.user as usize].entry(meta.site).or_insert(0) += 1;
+        *type_counts[e.user as usize].entry(meta.data_type).or_insert(0) += 1;
+    }
+    let modal = |counts: &HashMap<usize, usize>| -> Option<usize> {
+        counts.iter().max_by_key(|&(_, c)| c).map(|(&k, _)| k)
+    };
+    let modal_region: Vec<Option<usize>> = region_counts.iter().map(modal).collect();
+    let modal_type: Vec<Option<usize>> = type_counts.iter().map(modal).collect();
+    let active: Vec<u32> =
+        (0..n_users as u32).filter(|&u| modal_region[u as usize].is_some()).collect();
+
+    // Cities with at least two active users. Pairs are drawn uniformly
+    // over *users* in such cities (not uniformly over cities), matching
+    // sampling 10,000 user pairs from the trace.
+    let mut city_active: Vec<Vec<u32>> = vec![Vec::new(); trace.population.users_by_city.len()];
+    for &u in &active {
+        city_active[trace.population.users[u as usize].city].push(u);
+    }
+    let pairable: Vec<u32> = active
+        .iter()
+        .copied()
+        .filter(|&u| city_active[trace.population.users[u as usize].city].len() >= 2)
+        .collect();
+
+    let mut same_region = [0usize; 2]; // [same-city group, random group]
+    let mut same_type = [0usize; 2];
+    let mut counted = [0usize; 2];
+
+    for _ in 0..n_pairs {
+        // Same-city pair.
+        if !pairable.is_empty() {
+            let a_user = pairable[rng.gen_range(0..pairable.len())];
+            let users = &city_active[trace.population.users[a_user as usize].city];
+            let a = a_user as usize;
+            let mut b = users[rng.gen_range(0..users.len())] as usize;
+            for _ in 0..8 {
+                if b != a {
+                    break;
+                }
+                b = users[rng.gen_range(0..users.len())] as usize;
+            }
+            if a != b {
+                counted[0] += 1;
+                if modal_region[a] == modal_region[b] {
+                    same_region[0] += 1;
+                }
+                if modal_type[a] == modal_type[b] {
+                    same_type[0] += 1;
+                }
+            }
+        }
+        // Random pair.
+        if active.len() >= 2 {
+            let a = active[rng.gen_range(0..active.len())] as usize;
+            let mut b = active[rng.gen_range(0..active.len())] as usize;
+            for _ in 0..8 {
+                if b != a {
+                    break;
+                }
+                b = active[rng.gen_range(0..active.len())] as usize;
+            }
+            if a != b {
+                counted[1] += 1;
+                if modal_region[a] == modal_region[b] {
+                    same_region[1] += 1;
+                }
+                if modal_type[a] == modal_type[b] {
+                    same_type[1] += 1;
+                }
+            }
+        }
+    }
+
+    let frac = |n: usize, d: usize| if d == 0 { 0.0 } else { n as f64 / d as f64 };
+    PairAffinity {
+        same_city_region: frac(same_region[0], counted[0]),
+        random_region: frac(same_region[1], counted[1]),
+        same_city_type: frac(same_type[0], counted[0]),
+        random_type: frac(same_type[1], counted[1]),
+    }
+}
+
+/// One-hot feature matrix of the catalog items (region ⊕ data type ⊕
+/// discipline), the representation t-SNE'd in Figure 4.
+pub fn item_feature_matrix(trace: &Trace) -> Matrix {
+    let cfg = &trace.config;
+    let dim = cfg.n_regions + cfg.n_data_types + cfg.n_disciplines;
+    let mut m = Matrix::zeros(trace.catalog.n_items(), dim);
+    for (i, item) in trace.catalog.items.iter().enumerate() {
+        m[(i, item.region)] = 1.0;
+        m[(i, cfg.n_regions + item.data_type)] = 1.0;
+        m[(i, cfg.n_regions + cfg.n_data_types + item.discipline)] = 1.0;
+    }
+    m
+}
+
+/// The `n` most active users (by raw query count), descending — the paper
+/// picks "the eight users who have the most frequent data queries" of one
+/// organization for Figure 4.
+pub fn top_users_by_activity(trace: &Trace, n: usize) -> Vec<u32> {
+    let mut counts = vec![0usize; trace.population.n_users()];
+    for e in &trace.events {
+        counts[e.user as usize] += 1;
+    }
+    let mut users: Vec<u32> = (0..counts.len() as u32).collect();
+    users.par_sort_unstable_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]));
+    users.truncate(n);
+    users
+}
+
+/// The most active users *within one organization* (Figure 4 restricts to
+/// Rutgers / U. Washington users).
+pub fn top_users_of_largest_org(trace: &Trace, n: usize) -> (usize, Vec<u32>) {
+    let mut org_sizes = vec![0usize; trace.population.orgs.len()];
+    for u in &trace.population.users {
+        org_sizes[u.org] += 1;
+    }
+    let largest = org_sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, s)| *s)
+        .map(|(o, _)| o)
+        .unwrap_or(0);
+    let mut counts = vec![0usize; trace.population.n_users()];
+    for e in &trace.events {
+        counts[e.user as usize] += 1;
+    }
+    let mut members: Vec<u32> = (0..trace.population.n_users() as u32)
+        .filter(|&u| trace.population.users[u as usize].org == largest)
+        .collect();
+    members.sort_unstable_by(|&a, &b| counts[b as usize].cmp(&counts[a as usize]));
+    members.truncate(n);
+    (largest, members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FacilityConfig;
+    use crate::trace::Trace;
+    use facility_linalg::seeded_rng;
+
+    fn trace() -> Trace {
+        Trace::generate(&FacilityConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn fig3_series_are_sorted_and_sized() {
+        let t = trace();
+        let s = fig3_series(&t);
+        assert_eq!(s.data_objects.len(), t.population.n_users());
+        for series in [&s.data_objects, &s.locations, &s.data_types] {
+            assert!(series.windows(2).all(|w| w[0] >= w[1]), "series not descending");
+        }
+        // Distinct types per user can never exceed the catalog's types.
+        assert!(s.data_types[0] <= t.config.n_data_types);
+    }
+
+    #[test]
+    fn affinity_shares_increase_with_affinity() {
+        let mut low_cfg = FacilityConfig::tiny();
+        low_cfg.locality_affinity = 0.05;
+        low_cfg.datatype_affinity = 0.05;
+        let mut high_cfg = FacilityConfig::tiny();
+        high_cfg.locality_affinity = 0.9;
+        high_cfg.datatype_affinity = 0.9;
+        let (low_r, low_t) = affinity_shares(&Trace::generate(&low_cfg, 1));
+        let (high_r, high_t) = affinity_shares(&Trace::generate(&high_cfg, 1));
+        assert!(high_r > low_r, "region share {high_r} !> {low_r}");
+        assert!(high_t > low_t, "type share {high_t} !> {low_t}");
+    }
+
+    #[test]
+    fn pair_affinity_favours_same_city() {
+        // Same-city users mostly share an org profile → higher agreement.
+        let t = Trace::generate(&FacilityConfig::ooi(), 5);
+        let pa = pair_affinity(&t, 4000, &mut seeded_rng(6));
+        assert!(
+            pa.region_ratio() > 1.5,
+            "same-city region ratio {} should exceed random",
+            pa.region_ratio()
+        );
+        assert!(pa.type_ratio() > 1.0, "type ratio {}", pa.type_ratio());
+        for p in [pa.same_city_region, pa.random_region, pa.same_city_type, pa.random_type] {
+            assert!((0.0..=1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn item_features_are_three_hot() {
+        let t = trace();
+        let m = item_feature_matrix(&t);
+        assert_eq!(m.rows(), t.catalog.n_items());
+        for r in 0..m.rows() {
+            let ones = m.row(r).iter().filter(|&&x| x == 1.0).count();
+            assert_eq!(ones, 3, "row {r} must have exactly region+type+disc bits");
+        }
+    }
+
+    #[test]
+    fn top_users_are_sorted_by_activity() {
+        let t = trace();
+        let top = top_users_by_activity(&t, 8);
+        assert_eq!(top.len(), 8);
+        let mut counts = vec![0usize; t.population.n_users()];
+        for e in &t.events {
+            counts[e.user as usize] += 1;
+        }
+        for w in top.windows(2) {
+            assert!(counts[w[0] as usize] >= counts[w[1] as usize]);
+        }
+    }
+
+    #[test]
+    fn top_users_of_largest_org_belong_to_it() {
+        let t = trace();
+        let (org, users) = top_users_of_largest_org(&t, 8);
+        for &u in &users {
+            assert_eq!(t.population.users[u as usize].org, org);
+        }
+        assert!(!users.is_empty());
+    }
+}

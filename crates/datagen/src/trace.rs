@@ -1,0 +1,415 @@
+//! Affinity-driven query-trace generation and conversion into CKG inputs.
+//!
+//! Each simulated query follows the decision structure the paper measures
+//! in Section III-B2: with probability `locality_affinity` the user stays
+//! in their home region; independently, with probability
+//! `datatype_affinity` they request one of their preferred data types; the
+//! candidate set is the conjunction, with graceful fallbacks when a
+//! combination has no catalog item.
+
+use crate::catalog::Catalog;
+use crate::config::FacilityConfig;
+use crate::population::Population;
+use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource};
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal};
+
+/// Sample one item from `pool` proportionally to the cumulative weight
+/// vector `cum` (same length as `pool`, strictly increasing).
+fn weighted_pick(pool: &[u32], cum: &[f64], rng: &mut impl Rng) -> u32 {
+    debug_assert_eq!(pool.len(), cum.len());
+    let total = *cum.last().expect("non-empty pool");
+    let x = rng.gen::<f64>() * total;
+    let idx = cum.partition_point(|&c| c < x).min(pool.len() - 1);
+    pool[idx]
+}
+
+/// One query-trace record (the simulator's analogue of one activity-log
+/// line: user IP × queried data object).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryEvent {
+    /// User index.
+    pub user: Id,
+    /// Queried item index.
+    pub item: Id,
+}
+
+/// A complete simulated facility: topology, population, and the query
+/// trace.
+pub struct Trace {
+    /// The generating configuration.
+    pub config: FacilityConfig,
+    /// The facility catalog.
+    pub catalog: Catalog,
+    /// The user population.
+    pub population: Population,
+    /// The raw query events (with repetition, in generation order).
+    pub events: Vec<QueryEvent>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Trace")
+            .field("facility", &self.config.name)
+            .field("n_users", &self.population.n_users())
+            .field("n_items", &self.catalog.n_items())
+            .field("n_events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Trace {
+    /// Generate a full facility trace from a single seed.
+    pub fn generate(config: &FacilityConfig, seed: u64) -> Self {
+        config.validate();
+        let mut rng = facility_linalg::seeded_rng(seed);
+        let catalog = Catalog::generate(config, &mut rng);
+        let population = Population::generate(config, &mut rng);
+
+        // Per-(region, type) and per-(site, type) candidate lists for the
+        // conjunctive draws.
+        let mut by_region_type: Vec<Vec<Vec<u32>>> =
+            vec![vec![Vec::new(); config.n_data_types]; config.n_regions];
+        let mut by_site_type: Vec<Vec<Vec<u32>>> =
+            vec![vec![Vec::new(); config.n_data_types]; config.n_sites];
+        for (i, item) in catalog.items.iter().enumerate() {
+            by_region_type[item.region][item.data_type].push(i as u32);
+            by_site_type[item.site][item.data_type].push(i as u32);
+        }
+
+        // Global item popularity: real facility traces are strongly
+        // popularity-skewed (flagship instruments absorb most off-profile
+        // queries). Exploration draws follow a Zipf(0.9) law over a random
+        // item permutation instead of a uniform draw — this is what makes
+        // held-out "exploration" queries predictable at all.
+        let mut pop_order: Vec<u32> = (0..catalog.n_items() as u32).collect();
+        use rand::seq::SliceRandom;
+        pop_order.shuffle(&mut rng);
+        let mut pop_weight = vec![0.0f64; catalog.n_items()];
+        for (rank, &item) in pop_order.iter().enumerate() {
+            pop_weight[item as usize] = 1.0 / ((rank + 1) as f64).powf(0.9);
+        }
+        let cumsum = |pool: &[u32]| -> Vec<f64> {
+            let mut acc = 0.0;
+            pool.iter()
+                .map(|&i| {
+                    acc += pop_weight[i as usize];
+                    acc
+                })
+                .collect()
+        };
+        let all_items: Vec<u32> = (0..catalog.n_items() as u32).collect();
+        let global_cum = cumsum(&all_items);
+        let type_cums: Vec<Vec<f64>> =
+            catalog.items_by_type.iter().map(|pool| cumsum(pool)).collect();
+
+        // Discipline-level spillover: a domain scientist who needs
+        // "pressure" data also pulls sibling types of the same discipline
+        // (the paper's salinity-from-conductivity/temperature example).
+        // This places part of the preference signal two hops away in the
+        // KG (item → type → discipline), which is exactly the high-order
+        // connectivity the propagation models exploit.
+        let mut disc_types: Vec<Vec<usize>> = vec![Vec::new(); config.n_disciplines];
+        for (ty, &disc) in catalog.type_discipline.iter().enumerate() {
+            disc_types[disc].push(ty);
+        }
+
+        let activity = LogNormal::new(config.activity_log_mean, config.activity_log_std)
+            .expect("validated std");
+        let max_queries = 400usize;
+
+        // Organization project sets: research groups work on *specific*
+        // deployments, not whole attribute classes. Each org samples a
+        // small item set concentrated around its home site and primary
+        // data type; members share it. This collaborative structure is
+        // only partly explained by attributes — recovering it fully
+        // requires the user–user association graph, which is what gives
+        // the paper's UUG its value (Table III).
+        let project_size = 14usize.min(catalog.n_items());
+        let org_projects: Vec<Vec<u32>> = population
+            .orgs
+            .iter()
+            .map(|org| {
+                let mut pool: Vec<u32> = catalog.items_by_site[org.home_site].clone();
+                pool.extend_from_slice(&by_region_type[org.home_region][org.pref_types[0]]);
+                pool.extend_from_slice(&catalog.items_by_type[org.pref_types[0]]);
+                pool.sort_unstable();
+                pool.dedup();
+                use rand::seq::SliceRandom;
+                pool.shuffle(&mut rng);
+                pool.truncate(project_size);
+                pool
+            })
+            .collect();
+
+        // Collaborative reuse: group members re-query what colleagues
+        // already pulled (shared pipelines, forwarded links). This is the
+        // collaborative signal that flows through the user–user graph.
+        let mut org_history: Vec<Vec<u32>> = vec![Vec::new(); population.orgs.len()];
+
+        let mut events = Vec::new();
+        for (u, user) in population.users.iter().enumerate() {
+            let n_q = (activity.sample(&mut rng).ceil() as usize).clamp(1, max_queries);
+            for _ in 0..n_q {
+                // Project work first: conformist members pull their org's
+                // project items.
+                if user.conformist && rng.gen::<f64>() < 0.45 {
+                    let project = &org_projects[user.org];
+                    if !project.is_empty() {
+                        let item = project[rng.gen_range(0..project.len())];
+                        org_history[user.org].push(item);
+                        events.push(QueryEvent { user: u as Id, item });
+                        continue;
+                    }
+                }
+                // Social reuse of colleagues' pulls.
+                if !org_history[user.org].is_empty() && rng.gen::<f64>() < 0.15 {
+                    let hist = &org_history[user.org];
+                    let item = hist[rng.gen_range(0..hist.len())];
+                    events.push(QueryEvent { user: u as Id, item });
+                    continue;
+                }
+                let want_locality = rng.gen::<f64>() < config.locality_affinity;
+                // Locality is site-focused: facility users track specific
+                // instruments, so when locality kicks in the home *site*
+                // is preferred, falling back to the home region.
+                let want_site = want_locality && rng.gen::<f64>() < 0.85;
+                let want_type = rng.gen::<f64>() < config.datatype_affinity;
+                // Preferred types are skewed toward the primary type, with
+                // discipline-level spillover onto sibling types.
+                let direct = if rng.gen::<f64>() < 0.65 || user.pref_types.len() == 1 {
+                    user.pref_types[0]
+                } else {
+                    user.pref_types[rng.gen_range(1..user.pref_types.len())]
+                };
+                let pref_type = if rng.gen::<f64>() < 0.4 {
+                    let siblings = &disc_types[catalog.type_discipline[direct]];
+                    siblings[rng.gen_range(0..siblings.len())]
+                } else {
+                    direct
+                };
+                let (site, region) = (user.home_site, user.home_region);
+                // Most-specific non-empty candidate pool wins; locality
+                // pools are small and drawn uniformly, type-only and
+                // exploration draws follow the popularity law.
+                let uniform_pools: [&[u32]; 4] = [
+                    if want_site && want_type { &by_site_type[site][pref_type] } else { &[] },
+                    if want_locality && want_type {
+                        &by_region_type[region][pref_type]
+                    } else {
+                        &[]
+                    },
+                    if want_site { &catalog.items_by_site[site] } else { &[] },
+                    if want_locality { &catalog.items_by_region[region] } else { &[] },
+                ];
+                let item = if let Some(pool) =
+                    uniform_pools.iter().copied().find(|p| !p.is_empty())
+                {
+                    pool[rng.gen_range(0..pool.len())]
+                } else if want_type && !catalog.items_by_type[pref_type].is_empty() {
+                    weighted_pick(
+                        &catalog.items_by_type[pref_type],
+                        &type_cums[pref_type],
+                        &mut rng,
+                    )
+                } else {
+                    weighted_pick(&all_items, &global_cum, &mut rng)
+                };
+                org_history[user.org].push(item);
+                events.push(QueryEvent { user: u as Id, item });
+            }
+        }
+
+        Self { config: config.clone(), catalog, population, events }
+    }
+
+    /// The raw `(user, item)` pairs of the trace.
+    pub fn event_pairs(&self) -> Vec<(Id, Id)> {
+        self.events.iter().map(|e| (e.user, e.item)).collect()
+    }
+
+    /// Split the (deduplicated) trace into train/test interactions using
+    /// the paper's per-user 80/20 protocol.
+    pub fn split_interactions(&self, test_frac: f64, rng: &mut impl Rng) -> Interactions {
+        Interactions::split(
+            self.population.n_users(),
+            self.catalog.n_items(),
+            &self.event_pairs(),
+            test_frac,
+            rng,
+        )
+    }
+
+    /// Build a [`CkgBuilder`] loaded with this facility's knowledge —
+    /// **without interactions**, which the caller must add from the
+    /// *training* split only (adding the raw trace would leak test items
+    /// into the graph):
+    ///
+    /// * UUG: same-city user pairs (capped per city),
+    /// * LOC: `item −locatedAt→ site`, `site −siteInRegion→ region`,
+    /// * DKG: `item −hasDataType→ type`, `type −dataDiscipline→ discipline`,
+    /// * MD (noise): `item −instrumentName→ name`,
+    ///   `item −instrumentGroup→ group`.
+    pub fn ckg_builder(&self, max_uug_pairs_per_city: usize) -> CkgBuilder {
+        let mut b = CkgBuilder::new(self.population.n_users(), self.catalog.n_items());
+        b.add_user_user(&self.population.same_city_pairs(max_uug_pairs_per_city));
+
+        for (i, item) in self.catalog.items.iter().enumerate() {
+            let i = i as Id;
+            // The published metadata (recorded_*) goes into the KG; it
+            // carries the configured metadata noise.
+            b.add_item_attribute(
+                KnowledgeSource::Loc,
+                "locatedAt",
+                i,
+                format!("site:{}", item.recorded_site),
+            );
+            b.add_item_attribute(
+                KnowledgeSource::Dkg,
+                "hasDataType",
+                i,
+                format!("type:{}", item.recorded_type),
+            );
+            b.add_item_attribute(
+                KnowledgeSource::Md,
+                "instrumentName",
+                i,
+                self.catalog.instrument_name(i as usize),
+            );
+            b.add_item_attribute(
+                KnowledgeSource::Md,
+                "instrumentGroup",
+                i,
+                self.catalog.instrument_group(i as usize),
+            );
+        }
+        for (site, &region) in self.catalog.site_region.iter().enumerate() {
+            b.add_attribute_attribute(
+                KnowledgeSource::Loc,
+                "siteInRegion",
+                format!("site:{site}"),
+                format!("region:{region}"),
+            );
+        }
+        for (ty, &disc) in self.catalog.type_discipline.iter().enumerate() {
+            b.add_attribute_attribute(
+                KnowledgeSource::Dkg,
+                "dataDiscipline",
+                format!("type:{ty}"),
+                format!("disc:{disc}"),
+            );
+        }
+        b
+    }
+
+    /// Number of raw query events.
+    pub fn n_events(&self) -> usize {
+        self.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_kg::SourceMask;
+    use facility_linalg::seeded_rng;
+
+    fn trace() -> Trace {
+        Trace::generate(&FacilityConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn every_user_queries_and_ids_are_in_range() {
+        let t = trace();
+        let mut active = vec![false; t.population.n_users()];
+        for e in &t.events {
+            assert!((e.item as usize) < t.catalog.n_items());
+            active[e.user as usize] = true;
+        }
+        assert!(active.iter().all(|&a| a), "some user has zero queries");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Trace::generate(&FacilityConfig::tiny(), 7);
+        let b = Trace::generate(&FacilityConfig::tiny(), 7);
+        assert_eq!(a.events, b.events);
+    }
+
+    #[test]
+    fn locality_affinity_shows_up_in_queries() {
+        // With locality 0.9 most queries should hit the home region.
+        let mut cfg = FacilityConfig::tiny();
+        cfg.locality_affinity = 0.9;
+        let t = Trace::generate(&cfg, 3);
+        let mut home = 0usize;
+        for e in &t.events {
+            let user = &t.population.users[e.user as usize];
+            if t.catalog.items[e.item as usize].region == user.home_region {
+                home += 1;
+            }
+        }
+        let share = home as f64 / t.n_events() as f64;
+        assert!(share > 0.75, "home-region share {share} too low for affinity 0.9");
+    }
+
+    #[test]
+    fn zero_affinity_is_roughly_uniform() {
+        let mut cfg = FacilityConfig::tiny();
+        cfg.locality_affinity = 0.0;
+        cfg.datatype_affinity = 0.0;
+        let t = Trace::generate(&cfg, 4);
+        let mut home = 0usize;
+        for e in &t.events {
+            let user = &t.population.users[e.user as usize];
+            if t.catalog.items[e.item as usize].region == user.home_region {
+                home += 1;
+            }
+        }
+        let share = home as f64 / t.n_events() as f64;
+        // Uniform over 3 regions (tiny config) → about 1/3.
+        assert!(share < 0.55, "share {share} too high without affinity");
+    }
+
+    #[test]
+    fn ckg_builder_produces_consistent_graph() {
+        let t = trace();
+        let mut rng = seeded_rng(0);
+        let inter = t.split_interactions(0.2, &mut rng);
+        let mut b = t.ckg_builder(3);
+        b.add_interactions(&inter.train_pairs);
+        let ckg = b.build(SourceMask::all());
+        assert_eq!(ckg.n_users, t.population.n_users());
+        assert_eq!(ckg.n_items, t.catalog.n_items());
+        // LOC+DKG attribute entities exist: sites, regions, types, discs.
+        assert!(ckg.n_attrs > 0);
+        // Relations: Interact, locatedAt, hasDataType, siteInRegion,
+        // dataDiscipline (MD masked out by all()).
+        assert_eq!(ckg.n_canonical_relations(), 5);
+
+        let with_md = {
+            let mut b = t.ckg_builder(3);
+            b.add_interactions(&inter.train_pairs);
+            b.build(SourceMask::all_with_noise())
+        };
+        assert_eq!(with_md.n_canonical_relations(), 7);
+        assert!(with_md.n_attrs > ckg.n_attrs);
+    }
+
+    #[test]
+    fn trace_scale_matches_table1_order_of_magnitude() {
+        // The OOI-like preset should land near Table I: ~1.3k entities,
+        // ~5.5k triples. Allow generous slack — the claim is order of
+        // magnitude, not an exact hit.
+        let t = Trace::generate(&FacilityConfig::ooi(), 1);
+        let mut rng = seeded_rng(1);
+        let inter = t.split_interactions(0.2, &mut rng);
+        let mut b = t.ckg_builder(4);
+        b.add_interactions(&inter.train_pairs);
+        let ckg = b.build(SourceMask::all());
+        let ents = ckg.n_entities();
+        let triples = ckg.canonical_triples.len();
+        assert!((900..2200).contains(&ents), "OOI-like entities {ents}");
+        assert!((3000..11000).contains(&triples), "OOI-like triples {triples}");
+    }
+}

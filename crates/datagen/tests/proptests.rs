@@ -1,0 +1,110 @@
+//! Property-based tests for the facility simulator: any valid
+//! configuration must yield a structurally sound world.
+
+use facility_datagen::{stats, FacilityConfig, Trace};
+use facility_kg::SourceMask;
+use facility_linalg::seeded_rng;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = FacilityConfig> {
+    (
+        2usize..6,   // regions
+        0usize..10,  // extra sites beyond regions
+        1usize..6,   // instrument classes
+        2usize..8,   // data types
+        1usize..3,   // disciplines
+        5usize..60,  // items
+        5usize..40,  // users
+        2usize..8,   // cities
+        1usize..6,   // organizations
+        0.0f64..1.0, // locality affinity
+        0.0f64..1.0, // datatype affinity
+        0.0f64..0.6, // metadata noise
+    )
+        .prop_map(
+            |(regions, extra_sites, classes, types, discs, items, users, cities, orgs, loc, ty, noise)| {
+                let mut c = FacilityConfig::tiny();
+                c.n_regions = regions;
+                c.n_sites = regions + extra_sites;
+                c.n_instrument_classes = classes;
+                c.n_data_types = types.max(discs);
+                c.n_disciplines = discs;
+                c.n_items = items;
+                c.n_users = users;
+                c.n_cities = cities;
+                c.n_organizations = orgs;
+                c.locality_affinity = loc;
+                c.datatype_affinity = ty;
+                c.metadata_noise = noise;
+                c.pref_types_per_org = c.pref_types_per_org.min(c.n_data_types);
+                c
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_valid_config_generates_a_sound_world(cfg in config_strategy(), seed in 0u64..100) {
+        cfg.validate();
+        let trace = Trace::generate(&cfg, seed);
+        // Every event references valid ids; every user is active.
+        let mut active = vec![false; cfg.n_users];
+        for e in &trace.events {
+            prop_assert!((e.item as usize) < cfg.n_items);
+            prop_assert!((e.user as usize) < cfg.n_users);
+            active[e.user as usize] = true;
+        }
+        prop_assert!(active.iter().all(|&a| a));
+        // Item metadata is internally consistent.
+        for item in &trace.catalog.items {
+            prop_assert!(item.site < cfg.n_sites);
+            prop_assert!(item.recorded_site < cfg.n_sites);
+            prop_assert!(item.recorded_type < cfg.n_data_types);
+            prop_assert_eq!(item.region, trace.catalog.site_region[item.site]);
+        }
+        // Users reference valid profile components.
+        for u in &trace.population.users {
+            prop_assert!(u.city < cfg.n_cities);
+            prop_assert!(u.home_site < cfg.n_sites);
+            prop_assert_eq!(u.home_site % cfg.n_regions, u.home_region);
+            prop_assert!(!u.pref_types.is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_to_ckg_roundtrip_is_consistent(cfg in config_strategy(), seed in 0u64..100) {
+        let trace = Trace::generate(&cfg, seed);
+        let inter = trace.split_interactions(0.2, &mut seeded_rng(seed));
+        let mut b = trace.ckg_builder(3);
+        b.add_interactions(&inter.train_pairs);
+        let ckg = b.build(SourceMask::all_with_noise());
+        prop_assert_eq!(ckg.n_users, cfg.n_users);
+        prop_assert_eq!(ckg.n_items, cfg.n_items);
+        // Every training pair appears as an Interact triple.
+        for &(u, i) in inter.train_pairs.iter().take(50) {
+            prop_assert!(ckg.has_triple(u, 0, ckg.item_entity(i) as u32));
+        }
+    }
+
+    #[test]
+    fn fig3_series_lengths_and_order(cfg in config_strategy(), seed in 0u64..100) {
+        let trace = Trace::generate(&cfg, seed);
+        let s = stats::fig3_series(&trace);
+        prop_assert_eq!(s.data_objects.len(), cfg.n_users);
+        prop_assert!(s.data_objects.windows(2).all(|w| w[0] >= w[1]));
+        // Distinct locations can never exceed distinct objects per rank-sum.
+        let total_obj: usize = s.data_objects.iter().sum();
+        let total_loc: usize = s.locations.iter().sum();
+        prop_assert!(total_loc <= total_obj);
+    }
+
+    #[test]
+    fn affinity_shares_are_probabilities(cfg in config_strategy(), seed in 0u64..100) {
+        let trace = Trace::generate(&cfg, seed);
+        let (r, t) = stats::affinity_shares(&trace);
+        prop_assert!((0.0..=1.0).contains(&r));
+        prop_assert!((0.0..=1.0).contains(&t));
+    }
+}

@@ -1,0 +1,142 @@
+//! Grid search over shared hyperparameters — the paper's protocol
+//! ("We apply a grid search for hyperparameters: the learning rate is
+//! tuned in {0.05, 0.01, 0.005, 0.001}, the coefficient for L2
+//! normalization within {1e-5 … 1e2} …", Section VI-D).
+
+use crate::{train, TrainReport, TrainSettings};
+use facility_models::{ModelConfig, ModelKind, TrainContext};
+
+/// The search space: Cartesian product of learning rates, L2 weights, and
+/// keep-probabilities.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Learning-rate candidates.
+    pub lrs: Vec<f32>,
+    /// L2 coefficient candidates.
+    pub l2s: Vec<f32>,
+    /// Dropout keep-prob candidates.
+    pub keep_probs: Vec<f32>,
+}
+
+impl Grid {
+    /// The paper's grid, thinned to the values that matter at our scale.
+    pub fn paper() -> Self {
+        Self { lrs: vec![0.01, 0.005, 0.001], l2s: vec![1e-5, 1e-4, 1e-3], keep_probs: vec![0.9] }
+    }
+
+    /// A minimal 2-point grid for tests.
+    pub fn tiny() -> Self {
+        Self { lrs: vec![0.05, 0.01], l2s: vec![1e-5], keep_probs: vec![1.0] }
+    }
+
+    /// Number of configurations.
+    pub fn len(&self) -> usize {
+        self.lrs.len() * self.l2s.len() * self.keep_probs.len()
+    }
+
+    /// True when the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Outcome of a grid search.
+pub struct GridResult {
+    /// The winning configuration.
+    pub best_config: ModelConfig,
+    /// Its training report.
+    pub best_report: TrainReport,
+    /// Every `(config, recall@K)` pair evaluated, in search order.
+    pub trials: Vec<(ModelConfig, f64)>,
+}
+
+/// Exhaustively train `kind` over the grid (sequentially — each training
+/// run already saturates the rayon pool) and return the configuration
+/// with the best recall@K.
+///
+/// # Panics
+/// Panics on an empty grid.
+pub fn grid_search(
+    ctx: &TrainContext<'_>,
+    kind: ModelKind,
+    base: &ModelConfig,
+    grid: &Grid,
+    settings: &TrainSettings,
+) -> GridResult {
+    assert!(!grid.is_empty(), "grid_search: empty grid");
+    let mut best: Option<(ModelConfig, TrainReport)> = None;
+    let mut trials = Vec::with_capacity(grid.len());
+    for &lr in &grid.lrs {
+        for &l2 in &grid.l2s {
+            for &keep_prob in &grid.keep_probs {
+                let config = ModelConfig { lr, l2, keep_prob, ..base.clone() };
+                let mut model = kind.build(ctx, &config);
+                let report = train(model.as_mut(), ctx, settings);
+                trials.push((config.clone(), report.best.recall));
+                let better = best
+                    .as_ref()
+                    .is_none_or(|(_, b)| report.best.recall > b.best.recall);
+                if better {
+                    best = Some((config, report));
+                }
+            }
+        }
+    }
+    let (best_config, best_report) = best.expect("non-empty grid");
+    GridResult { best_config, best_report, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_kg::{CkgBuilder, Id, Interactions, SourceMask};
+    use facility_linalg::seeded_rng;
+
+    fn world() -> (Interactions, facility_kg::Ckg) {
+        let mut events: Vec<(Id, Id)> = Vec::new();
+        for u in 0..10u32 {
+            for j in 0..4u32 {
+                events.push((u, (u % 3) * 4 + j));
+            }
+        }
+        let inter = Interactions::split(10, 12, &events, 0.25, &mut seeded_rng(0));
+        let mut b = CkgBuilder::new(10, 12);
+        b.add_interactions(&inter.train_pairs);
+        (inter.clone(), b.build(SourceMask::all()))
+    }
+
+    #[test]
+    fn grid_search_returns_the_argmax_trial() {
+        let (inter, ckg) = world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let settings = TrainSettings {
+            max_epochs: 10,
+            eval_every: 5,
+            patience: 0,
+            k: 5,
+            seed: 2,
+            verbose: false,
+        };
+        let base = ModelConfig { embed_dim: 8, batch_size: 32, ..ModelConfig::default() };
+        let result = grid_search(&ctx, ModelKind::Bprmf, &base, &Grid::tiny(), &settings);
+        assert_eq!(result.trials.len(), 2);
+        let max = result.trials.iter().map(|(_, r)| *r).fold(f64::MIN, f64::max);
+        assert_eq!(result.best_report.best.recall, max);
+        assert!(result.trials.iter().any(|(c, _)| c.lr == result.best_config.lr));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty grid")]
+    fn empty_grid_panics() {
+        let (inter, ckg) = world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let grid = Grid { lrs: vec![], l2s: vec![1e-5], keep_probs: vec![1.0] };
+        let _ = grid_search(
+            &ctx,
+            ModelKind::Bprmf,
+            &ModelConfig::default(),
+            &grid,
+            &TrainSettings::default(),
+        );
+    }
+}

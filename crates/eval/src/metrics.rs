@@ -1,0 +1,230 @@
+//! Per-user top-K ranking metrics and their aggregation.
+
+use facility_kg::Id;
+
+/// Metrics of one user's ranked list at cutoff `K`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKMetrics {
+    /// `|top-K ∩ test| / |test|`.
+    pub recall: f64,
+    /// DCG@K normalized by the ideal DCG for this user.
+    pub ndcg: f64,
+    /// `|top-K ∩ test| / K`.
+    pub precision: f64,
+    /// 1 if any test item appears in the top-K.
+    pub hit: f64,
+}
+
+/// Aggregated evaluation result (means over evaluated users).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalResult {
+    /// Mean recall@K.
+    pub recall: f64,
+    /// Mean ndcg@K.
+    pub ndcg: f64,
+    /// Mean precision@K.
+    pub precision: f64,
+    /// Mean hit-ratio@K.
+    pub hit: f64,
+    /// Users contributing to the averages.
+    pub n_users: usize,
+    /// The cutoff used.
+    pub k: usize,
+}
+
+impl EvalResult {
+    /// Mean of per-user metrics; an empty slice yields zeros.
+    pub fn aggregate(per_user: &[TopKMetrics], k: usize) -> Self {
+        let n = per_user.len();
+        if n == 0 {
+            return Self { recall: 0.0, ndcg: 0.0, precision: 0.0, hit: 0.0, n_users: 0, k };
+        }
+        let mut out = Self { recall: 0.0, ndcg: 0.0, precision: 0.0, hit: 0.0, n_users: n, k };
+        for m in per_user {
+            out.recall += m.recall;
+            out.ndcg += m.ndcg;
+            out.precision += m.precision;
+            out.hit += m.hit;
+        }
+        out.recall /= n as f64;
+        out.ndcg /= n as f64;
+        out.precision /= n as f64;
+        out.hit /= n as f64;
+        out
+    }
+}
+
+/// Compute one user's top-K metrics from raw item scores.
+///
+/// * `scores` — one score per item;
+/// * `train_items` — the user's train positives (masked out of the
+///   ranking), sorted ascending;
+/// * `test_items` — the held-out positives, sorted ascending.
+///
+/// Returns `None` when the user has no test items. `K` is clamped to the
+/// number of rankable items. Ties break by item id (deterministic).
+pub fn topk_for_user(
+    scores: &[f32],
+    train_items: &[Id],
+    test_items: &[Id],
+    k: usize,
+) -> Option<TopKMetrics> {
+    if test_items.is_empty() || k == 0 {
+        return None;
+    }
+    let n_items = scores.len();
+    // Rankable items: everything not in train.
+    let mut candidates: Vec<u32> = (0..n_items as u32)
+        .filter(|&i| train_items.binary_search(&i).is_err())
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let k_eff = k.min(candidates.len());
+    // Partial selection of the top-k_eff by (score desc, id asc).
+    candidates.select_nth_unstable_by(k_eff - 1, |&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut top: Vec<u32> = candidates[..k_eff].to_vec();
+    top.sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+
+    let mut hits = 0usize;
+    let mut dcg = 0.0f64;
+    for (pos, &item) in top.iter().enumerate() {
+        if test_items.binary_search(&item).is_ok() {
+            hits += 1;
+            dcg += 1.0 / ((pos + 2) as f64).log2();
+        }
+    }
+    let ideal_hits = test_items.len().min(k_eff);
+    let idcg: f64 = (0..ideal_hits).map(|p| 1.0 / ((p + 2) as f64).log2()).sum();
+
+    Some(TopKMetrics {
+        recall: hits as f64 / test_items.len() as f64,
+        ndcg: if idcg > 0.0 { dcg / idcg } else { 0.0 },
+        precision: hits as f64 / k_eff as f64,
+        hit: if hits > 0 { 1.0 } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_all_ones() {
+        let scores = vec![0.1, 0.9, 0.8, 0.0];
+        let m = topk_for_user(&scores, &[], &[1, 2], 2).unwrap();
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.ndcg, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.hit, 1.0);
+    }
+
+    #[test]
+    fn worst_ranking_is_all_zeros() {
+        let scores = vec![0.9, 0.8, 0.1, 0.0];
+        let m = topk_for_user(&scores, &[], &[3], 2).unwrap();
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.ndcg, 0.0);
+        assert_eq!(m.hit, 0.0);
+    }
+
+    #[test]
+    fn ndcg_rewards_earlier_hits() {
+        let scores_first = vec![1.0, 0.5, 0.4]; // hit at rank 1
+        let scores_second = vec![0.5, 1.0, 0.4]; // hit at rank 2
+        let m1 = topk_for_user(&scores_first, &[], &[0], 2).unwrap();
+        let m2 = topk_for_user(&scores_second, &[], &[0], 2).unwrap();
+        assert!(m1.ndcg > m2.ndcg);
+        assert_eq!(m1.recall, m2.recall);
+    }
+
+    #[test]
+    fn k_larger_than_catalog_clamps() {
+        let scores = vec![0.3, 0.2];
+        let m = topk_for_user(&scores, &[], &[1], 100).unwrap();
+        assert_eq!(m.recall, 1.0);
+        // precision uses the effective k (2), not 100.
+        assert_eq!(m.precision, 0.5);
+    }
+
+    #[test]
+    fn train_items_never_ranked() {
+        // Item 0 dominates but is a train positive.
+        let scores = vec![10.0, 1.0, 0.5];
+        let m = topk_for_user(&scores, &[0], &[1], 1).unwrap();
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn no_test_items_yields_none() {
+        assert!(topk_for_user(&[1.0, 2.0], &[], &[], 5).is_none());
+        assert!(topk_for_user(&[1.0, 2.0], &[], &[1], 0).is_none());
+    }
+
+    #[test]
+    fn all_items_in_train_yields_none() {
+        assert!(topk_for_user(&[1.0, 2.0], &[0, 1], &[1], 5).is_none());
+    }
+
+    #[test]
+    fn recall_is_fraction_of_test_set() {
+        let scores = vec![0.9, 0.8, 0.7, 0.0, 0.0];
+        let m = topk_for_user(&scores, &[], &[0, 1, 3, 4], 2).unwrap();
+        // Top-2 = {0, 1}; both are test items out of 4.
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.precision, 1.0);
+    }
+
+    #[test]
+    fn ties_break_deterministically_by_id() {
+        let scores = vec![1.0, 1.0, 1.0];
+        let a = topk_for_user(&scores, &[], &[0], 1).unwrap();
+        let b = topk_for_user(&scores, &[], &[0], 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.recall, 1.0, "lowest id wins ties");
+    }
+
+    #[test]
+    fn aggregate_empty_is_zero() {
+        let r = EvalResult::aggregate(&[], 20);
+        assert_eq!(r.n_users, 0);
+        assert_eq!(r.recall, 0.0);
+    }
+
+    #[test]
+    fn aggregate_means() {
+        let ms = vec![
+            TopKMetrics { recall: 1.0, ndcg: 1.0, precision: 0.5, hit: 1.0 },
+            TopKMetrics { recall: 0.0, ndcg: 0.0, precision: 0.0, hit: 0.0 },
+        ];
+        let r = EvalResult::aggregate(&ms, 20);
+        assert_eq!(r.recall, 0.5);
+        assert_eq!(r.precision, 0.25);
+        assert_eq!(r.n_users, 2);
+    }
+
+    #[test]
+    fn metrics_always_in_unit_interval() {
+        // Randomized-ish sweep over score patterns.
+        for seed in 0..20 {
+            let scores: Vec<f32> =
+                (0..10).map(|i| ((i * 7 + seed * 13) % 11) as f32 / 11.0).collect();
+            let test: Vec<Id> = vec![(seed % 10) as Id];
+            if let Some(m) = topk_for_user(&scores, &[2, 5], &test, 3) {
+                for v in [m.recall, m.ndcg, m.precision, m.hit] {
+                    assert!((0.0..=1.0).contains(&v), "seed {seed}: {v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the evaluation metrics.
+
+use facility_eval::metrics::topk_for_user;
+use facility_kg::Id;
+use proptest::prelude::*;
+
+/// Random scores plus disjoint train/test item sets.
+fn world() -> impl Strategy<Value = (Vec<f32>, Vec<Id>, Vec<Id>)> {
+    (8usize..40).prop_flat_map(|n_items| {
+        let scores = prop::collection::vec(-5.0f32..5.0, n_items);
+        let membership = prop::collection::vec(0u8..3, n_items); // 0=free,1=train,2=test
+        (scores, membership).prop_map(|(scores, membership)| {
+            let mut train = Vec::new();
+            let mut test = Vec::new();
+            for (i, &m) in membership.iter().enumerate() {
+                match m {
+                    1 => train.push(i as Id),
+                    2 => test.push(i as Id),
+                    _ => {}
+                }
+            }
+            (scores, train, test)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn metrics_are_bounded((scores, train, test) in world(), k in 1usize..30) {
+        if let Some(m) = topk_for_user(&scores, &train, &test, k) {
+            for v in [m.recall, m.ndcg, m.precision, m.hit] {
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "{v}");
+            }
+            // hit is consistent with recall.
+            prop_assert_eq!(m.hit > 0.0, m.recall > 0.0);
+        }
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k((scores, train, test) in world()) {
+        let mut prev = 0.0;
+        for k in 1..=scores.len() {
+            if let Some(m) = topk_for_user(&scores, &train, &test, k) {
+                prop_assert!(
+                    m.recall >= prev - 1e-9,
+                    "recall@{k} = {} < recall@{} = {prev}", m.recall, k - 1
+                );
+                prev = m.recall;
+            }
+        }
+    }
+
+    #[test]
+    fn full_k_recall_is_one_when_rankable((scores, train, test) in world()) {
+        // With K = all items, every test item not in train must be found.
+        if let Some(m) = topk_for_user(&scores, &train, &test, scores.len()) {
+            prop_assert!((m.recall - 1.0).abs() < 1e-9);
+            prop_assert!((m.hit - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boosting_a_test_item_never_hurts((scores, train, test) in world(), k in 1usize..20) {
+        prop_assume!(!test.is_empty());
+        let before = topk_for_user(&scores, &train, &test, k);
+        let mut boosted = scores.clone();
+        boosted[test[0] as usize] = 100.0;
+        let after = topk_for_user(&boosted, &train, &test, k);
+        if let (Some(b), Some(a)) = (before, after) {
+            prop_assert!(a.recall >= b.recall - 1e-9);
+        }
+    }
+
+    #[test]
+    fn score_shift_invariance((scores, train, test) in world(), k in 1usize..20, shift in -3.0f32..3.0) {
+        let shifted: Vec<f32> = scores.iter().map(|s| s + shift).collect();
+        let a = topk_for_user(&scores, &train, &test, k);
+        let b = topk_for_user(&shifted, &train, &test, k);
+        prop_assert_eq!(a, b, "metrics must be rank-based");
+    }
+}

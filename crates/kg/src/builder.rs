@@ -1,0 +1,609 @@
+//! CKG assembly by entity alignment (paper Section IV).
+//!
+//! The builder holds the *raw* components (interactions, user–user pairs,
+//! item–attribute facts tagged with their knowledge source) and materializes
+//! a [`Ckg`] for any [`SourceMask`] — the Table III ablation rebuilds the
+//! graph once per knowledge combination.
+
+use crate::Id;
+use std::collections::{HashMap, HashSet};
+
+/// The knowledge sources the paper distinguishes (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnowledgeSource {
+    /// Instrument location knowledge (LOC).
+    Loc,
+    /// Data-domain knowledge (DKG).
+    Dkg,
+    /// Additional instrument metadata (MD) — treated as noise in the paper.
+    Md,
+}
+
+/// Which subgraphs/sources to include when building a [`Ckg`].
+///
+/// The user–item graph (UIG) is always present — without it there is no
+/// recommendation signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceMask {
+    /// Include the user–user co-location graph (UUG).
+    pub uug: bool,
+    /// Include instrument-location knowledge (LOC).
+    pub loc: bool,
+    /// Include data-domain knowledge (DKG).
+    pub dkg: bool,
+    /// Include instrument metadata (MD, noise).
+    pub md: bool,
+}
+
+impl SourceMask {
+    /// UIG + UUG + LOC + DKG — the paper's best combination.
+    pub fn all() -> Self {
+        Self { uug: true, loc: true, dkg: true, md: false }
+    }
+
+    /// Everything including the MD noise source.
+    pub fn all_with_noise() -> Self {
+        Self { uug: true, loc: true, dkg: true, md: true }
+    }
+
+    /// UIG only.
+    pub fn uig_only() -> Self {
+        Self { uug: false, loc: false, dkg: false, md: false }
+    }
+
+    /// True when `source` is enabled.
+    pub fn includes(&self, source: KnowledgeSource) -> bool {
+        match source {
+            KnowledgeSource::Loc => self.loc,
+            KnowledgeSource::Dkg => self.dkg,
+            KnowledgeSource::Md => self.md,
+        }
+    }
+
+    /// Human-readable label matching the paper's Table III rows, e.g.
+    /// `"UIG+UUG+LOC+DKG"`.
+    pub fn label(&self) -> String {
+        let mut s = String::from("UIG");
+        if self.uug {
+            s.push_str("+UUG");
+        }
+        if self.loc {
+            s.push_str("+LOC");
+        }
+        if self.dkg {
+            s.push_str("+DKG");
+        }
+        if self.md {
+            s.push_str("+MD");
+        }
+        s
+    }
+}
+
+/// One item–attribute fact before interning: `(item, relation, attribute)`.
+#[derive(Debug, Clone)]
+struct RawFact {
+    source: KnowledgeSource,
+    relation: String,
+    item: Id,
+    attribute: String,
+}
+
+/// One attribute–attribute fact (e.g. `Pressure → dataDiscipline →
+/// Physical` in the paper's Figure 1), giving the KG its two-hop
+/// structure.
+#[derive(Debug, Clone)]
+struct RawAttrFact {
+    source: KnowledgeSource,
+    relation: String,
+    head: String,
+    tail: String,
+}
+
+/// Incrementally assembles the raw components of a collaborative knowledge
+/// graph; see the module docs.
+pub struct CkgBuilder {
+    n_users: usize,
+    n_items: usize,
+    interactions: Vec<(Id, Id)>,
+    user_user: Vec<(Id, Id)>,
+    facts: Vec<RawFact>,
+    attr_facts: Vec<RawAttrFact>,
+}
+
+impl CkgBuilder {
+    /// Start a builder for a facility with `n_users` users and `n_items`
+    /// data items.
+    pub fn new(n_users: usize, n_items: usize) -> Self {
+        Self {
+            n_users,
+            n_items,
+            interactions: Vec::new(),
+            user_user: Vec::new(),
+            facts: Vec::new(),
+            attr_facts: Vec::new(),
+        }
+    }
+
+    /// Add observed user–item interactions (the training portion of the
+    /// query trace). Duplicates are deduplicated at build time.
+    pub fn add_interactions(&mut self, pairs: &[(Id, Id)]) -> &mut Self {
+        for &(u, i) in pairs {
+            assert!((u as usize) < self.n_users, "interaction user {u} out of range");
+            assert!((i as usize) < self.n_items, "interaction item {i} out of range");
+        }
+        self.interactions.extend_from_slice(pairs);
+        self
+    }
+
+    /// Add undirected user–user co-location pairs (UUG).
+    pub fn add_user_user(&mut self, pairs: &[(Id, Id)]) -> &mut Self {
+        for &(a, b) in pairs {
+            assert!((a as usize) < self.n_users && (b as usize) < self.n_users);
+            assert_ne!(a, b, "user-user self loop");
+        }
+        self.user_user.extend_from_slice(pairs);
+        self
+    }
+
+    /// Add an item–attribute fact. `attribute` names the tail entity; equal
+    /// names are aligned to the same entity (this is the paper's entity
+    /// alignment `A = {(v, e)}` in practice).
+    pub fn add_item_attribute(
+        &mut self,
+        source: KnowledgeSource,
+        relation: impl Into<String>,
+        item: Id,
+        attribute: impl Into<String>,
+    ) -> &mut Self {
+        assert!((item as usize) < self.n_items, "fact item {item} out of range");
+        self.facts.push(RawFact {
+            source,
+            relation: relation.into(),
+            item,
+            attribute: attribute.into(),
+        });
+        self
+    }
+
+    /// Add an attribute–attribute fact, e.g. a data type's discipline or a
+    /// site's region (paper Fig. 1 connects attributes to attributes).
+    /// Both endpoints are interned as attribute entities only if some
+    /// enabled fact references them.
+    pub fn add_attribute_attribute(
+        &mut self,
+        source: KnowledgeSource,
+        relation: impl Into<String>,
+        head: impl Into<String>,
+        tail: impl Into<String>,
+    ) -> &mut Self {
+        self.attr_facts.push(RawAttrFact {
+            source,
+            relation: relation.into(),
+            head: head.into(),
+            tail: tail.into(),
+        });
+        self
+    }
+
+    /// Materialize the CKG for the given source mask.
+    pub fn build(&self, mask: SourceMask) -> Ckg {
+        let n_users = self.n_users;
+        let n_items = self.n_items;
+
+        // Intern relations: Interact is always relation 0.
+        let mut relation_names = vec!["Interact".to_string()];
+        let mut rel_ids: HashMap<String, Id> = HashMap::new();
+        // Intern attribute entities included by the mask.
+        let mut attr_names: Vec<String> = Vec::new();
+        let mut attr_ids: HashMap<String, Id> = HashMap::new();
+
+        let mut triples: Vec<(Id, Id, Id)> = Vec::new();
+        let mut seen: HashSet<(Id, Id, Id)> = HashSet::new();
+
+        let push_triple = |triples: &mut Vec<(Id, Id, Id)>,
+                               seen: &mut HashSet<(Id, Id, Id)>,
+                               h: Id,
+                               r: Id,
+                               t: Id| {
+            if seen.insert((h, r, t)) {
+                triples.push((h, r, t));
+            }
+        };
+
+        // UIG: (user, Interact, item-entity).
+        for &(u, i) in &self.interactions {
+            let item_ent = (n_users + i as usize) as Id;
+            push_triple(&mut triples, &mut seen, u, 0, item_ent);
+        }
+
+        // UUG: the paper folds co-location into the same Interact relation;
+        // both orientations are covered by the inverse edges added below,
+        // but we canonicalize the pair order so (a,b) and (b,a) dedupe.
+        if mask.uug {
+            for &(a, b) in &self.user_user {
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                push_triple(&mut triples, &mut seen, lo, 0, hi);
+            }
+        }
+
+        // IAG: masked item-attribute facts.
+        for fact in &self.facts {
+            if !mask.includes(fact.source) {
+                continue;
+            }
+            let rel = *rel_ids.entry(fact.relation.clone()).or_insert_with(|| {
+                let r = relation_names.len() as Id;
+                relation_names.push(fact.relation.clone());
+                r
+            });
+            let attr = *attr_ids.entry(fact.attribute.clone()).or_insert_with(|| {
+                let a = attr_names.len() as Id;
+                attr_names.push(fact.attribute.clone());
+                a
+            });
+            let item_ent = (n_users + fact.item as usize) as Id;
+            let attr_ent = (n_users + n_items + attr as usize) as Id;
+            push_triple(&mut triples, &mut seen, item_ent, rel, attr_ent);
+        }
+
+        // Attribute–attribute facts (two-hop KG structure, Fig. 1).
+        for fact in &self.attr_facts {
+            if !mask.includes(fact.source) {
+                continue;
+            }
+            let rel = *rel_ids.entry(fact.relation.clone()).or_insert_with(|| {
+                let r = relation_names.len() as Id;
+                relation_names.push(fact.relation.clone());
+                r
+            });
+            let mut intern = |name: &str| -> Id {
+                *attr_ids.entry(name.to_string()).or_insert_with(|| {
+                    let a = attr_names.len() as Id;
+                    attr_names.push(name.to_string());
+                    a
+                })
+            };
+            let h = intern(&fact.head);
+            let t = intern(&fact.tail);
+            let head_ent = (n_users + n_items + h as usize) as Id;
+            let tail_ent = (n_users + n_items + t as usize) as Id;
+            if head_ent != tail_ent {
+                push_triple(&mut triples, &mut seen, head_ent, rel, tail_ent);
+            }
+        }
+
+        let n_entities = n_users + n_items + attr_names.len();
+        let n_canonical = relation_names.len();
+
+        // Edge list with inverse relations: canonical r ↔ inverse r + C.
+        let mut edges: Vec<(Id, Id, Id)> = Vec::with_capacity(triples.len() * 2);
+        for &(h, r, t) in &triples {
+            edges.push((h, r, t));
+            edges.push((t, r + n_canonical as Id, h));
+        }
+        // CSR order: by head, then relation, then tail (deterministic).
+        edges.sort_unstable();
+        edges.dedup();
+
+        let mut offsets = vec![0usize; n_entities + 1];
+        for &(h, _, _) in &edges {
+            offsets[h as usize + 1] += 1;
+        }
+        for i in 0..n_entities {
+            offsets[i + 1] += offsets[i];
+        }
+        let heads: Vec<Id> = edges.iter().map(|e| e.0).collect();
+        let rels: Vec<Id> = edges.iter().map(|e| e.1).collect();
+        let tails: Vec<Id> = edges.iter().map(|e| e.2).collect();
+
+        Ckg {
+            n_users,
+            n_items,
+            n_attrs: attr_names.len(),
+            relation_names,
+            mask,
+            heads,
+            rels,
+            tails,
+            offsets,
+            canonical_triples: triples,
+            triple_set: seen,
+            attr_names,
+        }
+    }
+}
+
+/// A materialized collaborative knowledge graph.
+///
+/// Entity index layout: `[0, n_users)` are users, `[n_users,
+/// n_users + n_items)` are items, and the remainder are attribute entities.
+/// Edges are stored in CSR order (sorted by head entity) with inverse
+/// relations included, which is exactly the layout the segment ops in
+/// `facility-autograd` consume.
+pub struct Ckg {
+    /// Number of user entities.
+    pub n_users: usize,
+    /// Number of item entities.
+    pub n_items: usize,
+    /// Number of attribute entities.
+    pub n_attrs: usize,
+    /// Canonical relation names; index = relation id. `Interact` is 0.
+    pub relation_names: Vec<String>,
+    /// The mask this CKG was built with.
+    pub mask: SourceMask,
+    /// Edge heads in CSR order (length = number of directed edges).
+    pub heads: Vec<Id>,
+    /// Edge relations (canonical ids `< n_canonical`, inverses `>=`).
+    pub rels: Vec<Id>,
+    /// Edge tails.
+    pub tails: Vec<Id>,
+    /// CSR offsets: edges of entity `e` span `offsets[e] .. offsets[e+1]`.
+    pub offsets: Vec<usize>,
+    /// Canonical (non-inverse) triples — the TransR training set `S`.
+    pub canonical_triples: Vec<(Id, Id, Id)>,
+    triple_set: HashSet<(Id, Id, Id)>,
+    /// Attribute entity names (index = attribute index).
+    pub attr_names: Vec<String>,
+}
+
+impl Ckg {
+    /// Total entity count `|E'| = |U| + |V| + |E_attr|`.
+    pub fn n_entities(&self) -> usize {
+        self.n_users + self.n_items + self.n_attrs
+    }
+
+    /// Number of canonical relations (incl. `Interact`).
+    pub fn n_canonical_relations(&self) -> usize {
+        self.relation_names.len()
+    }
+
+    /// Number of relation ids used on edges (canonical + inverse).
+    pub fn n_relations_with_inverse(&self) -> usize {
+        self.relation_names.len() * 2
+    }
+
+    /// Number of directed edges (canonical triples + inverses, deduped).
+    pub fn n_edges(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Entity id of user `u`.
+    pub fn user_entity(&self, u: Id) -> usize {
+        debug_assert!((u as usize) < self.n_users);
+        u as usize
+    }
+
+    /// Entity id of item `i`.
+    pub fn item_entity(&self, i: Id) -> usize {
+        debug_assert!((i as usize) < self.n_items);
+        self.n_users + i as usize
+    }
+
+    /// Entity id of attribute index `a`.
+    pub fn attr_entity(&self, a: Id) -> usize {
+        self.n_users + self.n_items + a as usize
+    }
+
+    /// True if the canonical triple `(h, r, t)` exists (used to reject
+    /// false-negative corruptions during TransR sampling).
+    pub fn has_triple(&self, h: Id, r: Id, t: Id) -> bool {
+        self.triple_set.contains(&(h, r, t))
+    }
+
+    /// The inverse relation id of `r`.
+    pub fn inverse_relation(&self, r: Id) -> Id {
+        let c = self.relation_names.len() as Id;
+        if r < c {
+            r + c
+        } else {
+            r - c
+        }
+    }
+
+    /// Edge indices grouped by relation id (canonical and inverse), used
+    /// by the per-relation TransR projections in the attention layer.
+    pub fn edges_by_relation(&self) -> Vec<Vec<usize>> {
+        let mut groups = vec![Vec::new(); self.n_relations_with_inverse()];
+        for (e, &r) in self.rels.iter().enumerate() {
+            groups[r as usize].push(e);
+        }
+        groups
+    }
+
+    /// Neighbors `(relation, tail)` of entity `e` in CSR order.
+    pub fn neighbors(&self, e: usize) -> impl Iterator<Item = (Id, Id)> + '_ {
+        let (lo, hi) = (self.offsets[e], self.offsets[e + 1]);
+        self.rels[lo..hi].iter().copied().zip(self.tails[lo..hi].iter().copied())
+    }
+
+    /// Out-degree of entity `e` (including inverse edges).
+    pub fn degree(&self, e: usize) -> usize {
+        self.offsets[e + 1] - self.offsets[e]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_builder() -> CkgBuilder {
+        // 2 users, 3 items.
+        let mut b = CkgBuilder::new(2, 3);
+        b.add_interactions(&[(0, 0), (0, 1), (1, 2), (0, 0)]); // duplicate on purpose
+        b.add_user_user(&[(0, 1), (1, 0)]); // both orientations -> dedupe
+        b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", 0, "site:A");
+        b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", 1, "site:A");
+        b.add_item_attribute(KnowledgeSource::Dkg, "dataType", 2, "type:pressure");
+        b.add_item_attribute(KnowledgeSource::Md, "instrumentName", 2, "md:CTD-7");
+        b
+    }
+
+    #[test]
+    fn entity_layout_and_counts() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        // Attributes: site:A, type:pressure (MD excluded).
+        assert_eq!(ckg.n_users, 2);
+        assert_eq!(ckg.n_items, 3);
+        assert_eq!(ckg.n_attrs, 2);
+        assert_eq!(ckg.n_entities(), 7);
+        assert_eq!(ckg.user_entity(1), 1);
+        assert_eq!(ckg.item_entity(0), 2);
+        assert_eq!(ckg.attr_entity(0), 5);
+    }
+
+    #[test]
+    fn interactions_dedupe_and_uug_canonicalizes() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        // Canonical triples: 3 interactions + 1 UUG + 3 IAG facts.
+        assert_eq!(ckg.canonical_triples.len(), 7);
+        // Every canonical triple has an inverse edge; no dedupe collisions.
+        assert_eq!(ckg.n_edges(), 14);
+    }
+
+    #[test]
+    fn mask_excludes_sources_and_their_entities() {
+        let ckg = tiny_builder().build(SourceMask::uig_only());
+        assert_eq!(ckg.n_attrs, 0, "no attribute entities without IAG");
+        assert_eq!(ckg.canonical_triples.len(), 3, "interactions only");
+        assert_eq!(ckg.relation_names.len(), 1, "Interact only");
+
+        let with_md = tiny_builder().build(SourceMask::all_with_noise());
+        assert_eq!(with_md.n_attrs, 3, "MD adds its attribute entity");
+        assert!(with_md.relation_names.iter().any(|r| r == "instrumentName"));
+    }
+
+    #[test]
+    fn csr_offsets_cover_all_edges_sorted_by_head() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        assert_eq!(ckg.offsets.len(), ckg.n_entities() + 1);
+        assert_eq!(*ckg.offsets.last().unwrap(), ckg.n_edges());
+        for e in 0..ckg.n_entities() {
+            for k in ckg.offsets[e]..ckg.offsets[e + 1] {
+                assert_eq!(ckg.heads[k] as usize, e, "edge {k} filed under wrong head");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_relations_are_symmetric() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        let c = ckg.n_canonical_relations() as Id;
+        for r in 0..ckg.n_relations_with_inverse() as Id {
+            assert_eq!(ckg.inverse_relation(ckg.inverse_relation(r)), r);
+        }
+        assert_eq!(ckg.inverse_relation(0), c);
+    }
+
+    #[test]
+    fn every_edge_has_its_reverse() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        use std::collections::HashSet;
+        let set: HashSet<(Id, Id, Id)> = ckg
+            .heads
+            .iter()
+            .zip(&ckg.rels)
+            .zip(&ckg.tails)
+            .map(|((&h, &r), &t)| (h, r, t))
+            .collect();
+        for &(h, r, t) in set.iter() {
+            assert!(
+                set.contains(&(t, ckg.inverse_relation(r), h)),
+                "missing inverse of ({h},{r},{t})"
+            );
+        }
+    }
+
+    #[test]
+    fn has_triple_membership() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        let item0 = ckg.item_entity(0) as Id;
+        assert!(ckg.has_triple(0, 0, item0));
+        assert!(!ckg.has_triple(1, 0, item0));
+    }
+
+    #[test]
+    fn edges_by_relation_partitions_edges() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        let groups = ckg.edges_by_relation();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, ckg.n_edges());
+        for (r, group) in groups.iter().enumerate() {
+            for &e in group {
+                assert_eq!(ckg.rels[e] as usize, r);
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_iterates_csr_slice() {
+        let ckg = tiny_builder().build(SourceMask::all());
+        let u0_neighbors: Vec<_> = ckg.neighbors(0).collect();
+        assert_eq!(u0_neighbors.len(), ckg.degree(0));
+        // User 0 interacted with items 0 and 1 and co-locates with user 1.
+        assert!(u0_neighbors.len() >= 3);
+    }
+
+    #[test]
+    fn attribute_attribute_facts_create_two_hop_paths() {
+        let mut b = tiny_builder();
+        b.add_attribute_attribute(
+            KnowledgeSource::Dkg,
+            "dataDiscipline",
+            "type:pressure",
+            "disc:physical",
+        );
+        let ckg = b.build(SourceMask::all());
+        // New attribute entity "disc:physical" appears.
+        assert!(ckg.attr_names.iter().any(|a| a == "disc:physical"));
+        // The triple connects two attribute entities.
+        let type_idx =
+            ckg.attr_names.iter().position(|a| a == "type:pressure").unwrap() as Id;
+        let disc_idx =
+            ckg.attr_names.iter().position(|a| a == "disc:physical").unwrap() as Id;
+        let rel = ckg.relation_names.iter().position(|r| r == "dataDiscipline").unwrap() as Id;
+        assert!(ckg.has_triple(
+            ckg.attr_entity(type_idx) as Id,
+            rel,
+            ckg.attr_entity(disc_idx) as Id
+        ));
+    }
+
+    #[test]
+    fn attr_facts_respect_mask_and_skip_self_loops() {
+        let mut b = CkgBuilder::new(1, 1);
+        b.add_interactions(&[(0, 0)]);
+        b.add_attribute_attribute(KnowledgeSource::Md, "alias", "a", "b");
+        b.add_attribute_attribute(KnowledgeSource::Dkg, "alias2", "x", "x");
+        let ckg = b.build(SourceMask::all());
+        // MD masked out; self-loop skipped but "x" still interned.
+        assert_eq!(ckg.canonical_triples.len(), 1);
+        assert_eq!(ckg.attr_names, vec!["x".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_rejects_out_of_range_items() {
+        let mut b = CkgBuilder::new(2, 3);
+        b.add_interactions(&[(0, 99)]);
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let ckg = CkgBuilder::new(0, 0).build(SourceMask::all());
+        assert_eq!(ckg.n_entities(), 0);
+        assert_eq!(ckg.n_edges(), 0);
+        assert_eq!(ckg.offsets, vec![0]);
+    }
+
+    #[test]
+    fn mask_labels_match_paper_rows() {
+        assert_eq!(SourceMask::all().label(), "UIG+UUG+LOC+DKG");
+        assert_eq!(SourceMask::all_with_noise().label(), "UIG+UUG+LOC+DKG+MD");
+        assert_eq!(SourceMask::uig_only().label(), "UIG");
+        assert_eq!(
+            SourceMask { uug: false, loc: true, dkg: true, md: false }.label(),
+            "UIG+LOC+DKG"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! User–item interaction sets with a reproducible train/test split.
+//!
+//! The paper "randomly selects 80% of each user's query history for the
+//! training set" (Section VI-A); [`Interactions::split`] reproduces that
+//! protocol per user, deterministically under a seed.
+
+use crate::Id;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Per-user positive item lists, split into train and test portions.
+#[derive(Debug, Clone)]
+pub struct Interactions {
+    /// Number of users.
+    pub n_users: usize,
+    /// Number of items.
+    pub n_items: usize,
+    /// Per-user *sorted* train item lists.
+    pub train: Vec<Vec<Id>>,
+    /// Per-user *sorted* test item lists (disjoint from train).
+    pub test: Vec<Vec<Id>>,
+    /// Flattened `(user, item)` train pairs, for uniform positive sampling.
+    pub train_pairs: Vec<(Id, Id)>,
+}
+
+impl Interactions {
+    /// Split deduplicated `(user, item)` events per user: `test_frac` of
+    /// each user's items go to the test set (rounded down, and a user with
+    /// at least one item always keeps at least one training item).
+    ///
+    /// # Panics
+    /// Panics if `test_frac` is outside `[0, 1)` or an id is out of range.
+    pub fn split(
+        n_users: usize,
+        n_items: usize,
+        events: &[(Id, Id)],
+        test_frac: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0,1)");
+        let mut per_user: Vec<Vec<Id>> = vec![Vec::new(); n_users];
+        for &(u, i) in events {
+            assert!((u as usize) < n_users, "user {u} out of range");
+            assert!((i as usize) < n_items, "item {i} out of range");
+            per_user[u as usize].push(i);
+        }
+        let mut train = vec![Vec::new(); n_users];
+        let mut test = vec![Vec::new(); n_users];
+        for (u, items) in per_user.iter_mut().enumerate() {
+            items.sort_unstable();
+            items.dedup();
+            items.shuffle(rng);
+            let n = items.len();
+            // Keep at least one training item for any active user.
+            let n_test = ((n as f64 * test_frac) as usize).min(n.saturating_sub(1));
+            let split_at = n - n_test;
+            train[u] = items[..split_at].to_vec();
+            test[u] = items[split_at..].to_vec();
+            train[u].sort_unstable();
+            test[u].sort_unstable();
+        }
+        let train_pairs = train
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&i| (u as Id, i)))
+            .collect();
+        Self { n_users, n_items, train, test, train_pairs }
+    }
+
+    /// Build from already-split per-user lists (used in tests).
+    pub fn from_lists(n_items: usize, train: Vec<Vec<Id>>, test: Vec<Vec<Id>>) -> Self {
+        assert_eq!(train.len(), test.len());
+        let n_users = train.len();
+        let mut train = train;
+        for list in &mut train {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let mut test = test;
+        for list in &mut test {
+            list.sort_unstable();
+            list.dedup();
+        }
+        let train_pairs = train
+            .iter()
+            .enumerate()
+            .flat_map(|(u, items)| items.iter().map(move |&i| (u as Id, i)))
+            .collect();
+        Self { n_users, n_items, train, test, train_pairs }
+    }
+
+    /// True if `(u, i)` is a training positive.
+    pub fn contains_train(&self, u: Id, i: Id) -> bool {
+        self.train[u as usize].binary_search(&i).is_ok()
+    }
+
+    /// True if `(u, i)` is a held-out test positive.
+    pub fn contains_test(&self, u: Id, i: Id) -> bool {
+        self.test[u as usize].binary_search(&i).is_ok()
+    }
+
+    /// Number of training interactions.
+    pub fn n_train(&self) -> usize {
+        self.train_pairs.len()
+    }
+
+    /// Number of test interactions.
+    pub fn n_test(&self) -> usize {
+        self.test.iter().map(Vec::len).sum()
+    }
+
+    /// Users with at least one test interaction (the evaluation
+    /// population).
+    pub fn test_users(&self) -> Vec<Id> {
+        (0..self.n_users as Id).filter(|&u| !self.test[u as usize].is_empty()).collect()
+    }
+
+    /// Density of the training matrix (interactions / (users × items)).
+    pub fn density(&self) -> f64 {
+        if self.n_users == 0 || self.n_items == 0 {
+            return 0.0;
+        }
+        self.n_train() as f64 / (self.n_users as f64 * self.n_items as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_linalg::seeded_rng;
+
+    fn events() -> Vec<(Id, Id)> {
+        // User 0: 10 items, user 1: 2 items, user 2: 1 item, user 3: none.
+        let mut ev: Vec<(Id, Id)> = (0..10).map(|i| (0, i)).collect();
+        ev.push((1, 0));
+        ev.push((1, 5));
+        ev.push((2, 7));
+        ev.push((0, 3)); // duplicate
+        ev
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let mut rng = seeded_rng(1);
+        let inter = Interactions::split(4, 10, &events(), 0.2, &mut rng);
+        assert_eq!(inter.train[0].len(), 8);
+        assert_eq!(inter.test[0].len(), 2);
+        for &i in &inter.test[0] {
+            assert!(!inter.contains_train(0, i), "train/test overlap at item {i}");
+        }
+        // 2-item user: 20% rounds to 0 test items.
+        assert_eq!(inter.train[1].len(), 2);
+        assert_eq!(inter.test[1].len(), 0);
+        // 1-item user keeps the item in train.
+        assert_eq!(inter.train[2], vec![7]);
+        // Inactive user.
+        assert!(inter.train[3].is_empty() && inter.test[3].is_empty());
+    }
+
+    #[test]
+    fn split_is_deterministic_under_seed() {
+        let a = Interactions::split(4, 10, &events(), 0.2, &mut seeded_rng(9));
+        let b = Interactions::split(4, 10, &events(), 0.2, &mut seeded_rng(9));
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn train_pairs_match_lists() {
+        let inter = Interactions::split(4, 10, &events(), 0.2, &mut seeded_rng(2));
+        assert_eq!(inter.n_train(), inter.train_pairs.len());
+        for &(u, i) in &inter.train_pairs {
+            assert!(inter.contains_train(u, i));
+        }
+    }
+
+    #[test]
+    fn test_users_excludes_users_without_heldout() {
+        let inter = Interactions::split(4, 10, &events(), 0.2, &mut seeded_rng(3));
+        let tu = inter.test_users();
+        assert!(tu.contains(&0));
+        assert!(!tu.contains(&1));
+        assert!(!tu.contains(&3));
+    }
+
+    #[test]
+    fn density_and_counts() {
+        let inter = Interactions::split(4, 10, &events(), 0.0, &mut seeded_rng(4));
+        assert_eq!(inter.n_test(), 0);
+        assert_eq!(inter.n_train(), 13);
+        assert!((inter.density() - 13.0 / 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_lists_sorts_and_dedupes() {
+        let inter = Interactions::from_lists(5, vec![vec![3, 1, 3]], vec![vec![4]]);
+        assert_eq!(inter.train[0], vec![1, 3]);
+        assert!(inter.contains_test(0, 4));
+    }
+}

@@ -1,0 +1,164 @@
+//! Negative sampling for BPR (Eq. 12) and TransR (Eq. 2) training.
+//!
+//! Both samplers follow the paper's protocol: each observed positive is
+//! paired with one sampled negative the user/graph has *not* seen.
+//! Rejection sampling is bounded to stay robust on pathological inputs
+//! (e.g. a user who has interacted with every item).
+
+use crate::{builder::Ckg, interactions::Interactions, Id};
+use rand::Rng;
+
+/// One BPR training example `(user, positive item, negative item)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BprSample {
+    /// User index.
+    pub user: Id,
+    /// An item the user queried.
+    pub pos: Id,
+    /// A sampled item the user did not query (best effort; see
+    /// [`sample_bpr_batch`]).
+    pub neg: Id,
+}
+
+/// Draw a batch of BPR triples from the training interactions.
+///
+/// Positives are drawn uniformly from the flattened `(u, i)` training
+/// pairs, so active users appear proportionally to their activity — the
+/// standard BPR regime. Negatives are rejection-sampled with a bounded
+/// number of tries; if a user has consumed (almost) every item the last
+/// candidate is returned, which keeps the sampler total.
+///
+/// Returns an empty batch when there are no training pairs or no items.
+pub fn sample_bpr_batch(
+    inter: &Interactions,
+    batch_size: usize,
+    rng: &mut impl Rng,
+) -> Vec<BprSample> {
+    if inter.train_pairs.is_empty() || inter.n_items == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(batch_size);
+    for _ in 0..batch_size {
+        let &(user, pos) = &inter.train_pairs[rng.gen_range(0..inter.train_pairs.len())];
+        let mut neg = rng.gen_range(0..inter.n_items) as Id;
+        for _ in 0..64 {
+            if !inter.contains_train(user, neg) {
+                break;
+            }
+            neg = rng.gen_range(0..inter.n_items) as Id;
+        }
+        out.push(BprSample { user, pos, neg });
+    }
+    out
+}
+
+/// One TransR training example: a valid triple plus a corrupted tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KgSample {
+    /// Head entity id.
+    pub head: Id,
+    /// Relation id (canonical).
+    pub rel: Id,
+    /// Valid tail entity id.
+    pub tail: Id,
+    /// Corrupted tail entity id — `(head, rel, neg_tail)` is not a fact.
+    pub neg_tail: Id,
+}
+
+/// Draw a batch of TransR corruption samples from the CKG's canonical
+/// triples (`S'` in Eq. 2 is built by replacing the tail of a valid triple
+/// with a random entity).
+///
+/// Returns an empty batch for an empty graph.
+pub fn sample_kg_batch(ckg: &Ckg, batch_size: usize, rng: &mut impl Rng) -> Vec<KgSample> {
+    let n_ent = ckg.n_entities();
+    if ckg.canonical_triples.is_empty() || n_ent == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(batch_size);
+    for _ in 0..batch_size {
+        let &(head, rel, tail) = &ckg.canonical_triples[rng.gen_range(0..ckg.canonical_triples.len())];
+        let mut neg_tail = rng.gen_range(0..n_ent) as Id;
+        for _ in 0..64 {
+            if neg_tail != tail && !ckg.has_triple(head, rel, neg_tail) {
+                break;
+            }
+            neg_tail = rng.gen_range(0..n_ent) as Id;
+        }
+        out.push(KgSample { head, rel, tail, neg_tail });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CkgBuilder, KnowledgeSource, SourceMask};
+    use facility_linalg::seeded_rng;
+
+    fn small_world() -> (Interactions, Ckg) {
+        let events: Vec<(Id, Id)> = vec![(0, 0), (0, 1), (1, 2), (1, 3), (2, 0), (2, 4)];
+        let inter = Interactions::split(3, 6, &events, 0.0, &mut seeded_rng(0));
+        let mut b = CkgBuilder::new(3, 6);
+        b.add_interactions(&events);
+        for i in 0..6 {
+            b.add_item_attribute(KnowledgeSource::Dkg, "dataType", i, format!("type:{}", i % 2));
+        }
+        (inter, b.build(SourceMask::all()))
+    }
+
+    #[test]
+    fn bpr_negatives_are_never_train_positives() {
+        let (inter, _) = small_world();
+        let mut rng = seeded_rng(7);
+        for s in sample_bpr_batch(&inter, 500, &mut rng) {
+            assert!(inter.contains_train(s.user, s.pos), "pos must be positive");
+            assert!(!inter.contains_train(s.user, s.neg), "neg must not be positive");
+        }
+    }
+
+    #[test]
+    fn kg_negatives_are_never_facts() {
+        let (_, ckg) = small_world();
+        let mut rng = seeded_rng(8);
+        for s in sample_kg_batch(&ckg, 500, &mut rng) {
+            assert!(ckg.has_triple(s.head, s.rel, s.tail));
+            assert!(!ckg.has_triple(s.head, s.rel, s.neg_tail));
+            assert_ne!(s.tail, s.neg_tail);
+        }
+    }
+
+    #[test]
+    fn batch_sizes_are_exact() {
+        let (inter, ckg) = small_world();
+        let mut rng = seeded_rng(9);
+        assert_eq!(sample_bpr_batch(&inter, 17, &mut rng).len(), 17);
+        assert_eq!(sample_kg_batch(&ckg, 23, &mut rng).len(), 23);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_batches() {
+        let inter = Interactions::from_lists(0, vec![], vec![]);
+        let ckg = CkgBuilder::new(0, 0).build(SourceMask::all());
+        let mut rng = seeded_rng(1);
+        assert!(sample_bpr_batch(&inter, 8, &mut rng).is_empty());
+        assert!(sample_kg_batch(&ckg, 8, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn saturated_user_still_terminates() {
+        // User 0 has consumed every item: rejection sampling must bail out.
+        let inter = Interactions::from_lists(3, vec![vec![0, 1, 2]], vec![vec![]]);
+        let mut rng = seeded_rng(2);
+        let batch = sample_bpr_batch(&inter, 10, &mut rng);
+        assert_eq!(batch.len(), 10, "sampler must stay total");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let (inter, _) = small_world();
+        let a = sample_bpr_batch(&inter, 50, &mut seeded_rng(3));
+        let b = sample_bpr_batch(&inter, 50, &mut seeded_rng(3));
+        assert_eq!(a, b);
+    }
+}

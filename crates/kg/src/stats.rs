@@ -1,0 +1,105 @@
+//! CKG statistics — the quantities reported in the paper's Table I.
+
+use crate::builder::Ckg;
+use std::fmt;
+
+/// Summary statistics of a collaborative knowledge graph.
+///
+/// Matches Table I of the paper: entity count, relationship count,
+/// KG-triple count, and "link-avg" — the average number of links per item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CkgStats {
+    /// Total entities `|E'|` (users + items + attributes).
+    pub n_entities: usize,
+    /// Number of canonical relations (incl. `Interact`).
+    pub n_relationships: usize,
+    /// Number of canonical KG triples.
+    pub n_triples: usize,
+    /// Average directed links per item entity.
+    pub link_avg: f64,
+    /// Users in the graph.
+    pub n_users: usize,
+    /// Items in the graph.
+    pub n_items: usize,
+    /// Attribute entities in the graph.
+    pub n_attrs: usize,
+}
+
+impl CkgStats {
+    /// Compute statistics for `ckg`.
+    ///
+    /// `link_avg` counts *canonical* triples incident to item entities
+    /// (inverse edges excluded, matching the paper's "average links per
+    /// item").
+    pub fn of(ckg: &Ckg) -> Self {
+        let item_lo = ckg.n_users as u32;
+        let item_hi = (ckg.n_users + ckg.n_items) as u32;
+        let is_item = |e: u32| e >= item_lo && e < item_hi;
+        let item_links: usize = ckg
+            .canonical_triples
+            .iter()
+            .filter(|&&(h, _, t)| is_item(h) || is_item(t))
+            .count();
+        let link_avg = if ckg.n_items == 0 {
+            0.0
+        } else {
+            item_links as f64 / ckg.n_items as f64
+        };
+        Self {
+            n_entities: ckg.n_entities(),
+            n_relationships: ckg.n_canonical_relations(),
+            n_triples: ckg.canonical_triples.len(),
+            link_avg,
+            n_users: ckg.n_users,
+            n_items: ckg.n_items,
+            n_attrs: ckg.n_attrs,
+        }
+    }
+}
+
+impl fmt::Display for CkgStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# entities      {}", self.n_entities)?;
+        writeln!(f, "# relationships {}", self.n_relationships)?;
+        writeln!(f, "# KG triplets   {}", self.n_triples)?;
+        write!(f, "# link-avg      {:.0}", self.link_avg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{CkgBuilder, KnowledgeSource, SourceMask};
+
+    #[test]
+    fn stats_count_components() {
+        let mut b = CkgBuilder::new(2, 2);
+        b.add_interactions(&[(0, 0), (1, 1)]);
+        b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", 0, "site:X");
+        b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", 1, "site:X");
+        let ckg = b.build(SourceMask::all());
+        let s = CkgStats::of(&ckg);
+        assert_eq!(s.n_entities, 5); // 2 users + 2 items + 1 site
+        assert_eq!(s.n_relationships, 2); // Interact + locatedAt
+        assert_eq!(s.n_triples, 4); // 2 interactions + 2 facts
+        // Each item has 1 interact-inverse edge + 1 locatedAt edge = 2.
+        assert!((s.link_avg - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let ckg = CkgBuilder::new(0, 0).build(SourceMask::all());
+        let s = CkgStats::of(&ckg);
+        assert_eq!(s.n_entities, 0);
+        assert_eq!(s.link_avg, 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_rows() {
+        let ckg = CkgBuilder::new(1, 1).build(SourceMask::all());
+        let text = CkgStats::of(&ckg).to_string();
+        for needle in ["entities", "relationships", "KG triplets", "link-avg"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for CKG construction and sampling invariants.
+
+use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch};
+use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
+use facility_linalg::seeded_rng;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct World {
+    n_users: usize,
+    n_items: usize,
+    interactions: Vec<(Id, Id)>,
+    user_user: Vec<(Id, Id)>,
+    facts: Vec<(KnowledgeSource, u8, Id, u8)>, // (source, relation#, item, attr#)
+}
+
+fn world() -> impl Strategy<Value = World> {
+    (2usize..8, 2usize..10).prop_flat_map(|(n_users, n_items)| {
+        let inter = prop::collection::vec(
+            ((0..n_users as Id), (0..n_items as Id)).prop_map(|(u, i)| (u, i)),
+            1..30,
+        );
+        let uug = prop::collection::vec(
+            ((0..n_users as Id), (0..n_users as Id)),
+            0..10,
+        )
+        .prop_map(|pairs| {
+            pairs.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>()
+        });
+        let facts = prop::collection::vec(
+            (
+                prop_oneof![
+                    Just(KnowledgeSource::Loc),
+                    Just(KnowledgeSource::Dkg),
+                    Just(KnowledgeSource::Md)
+                ],
+                0u8..3,
+                0..n_items as Id,
+                0u8..5,
+            ),
+            0..20,
+        );
+        (inter, uug, facts).prop_map(move |(interactions, user_user, facts)| World {
+            n_users,
+            n_items,
+            interactions,
+            user_user,
+            facts,
+        })
+    })
+}
+
+fn build(w: &World, mask: SourceMask) -> facility_kg::Ckg {
+    let mut b = CkgBuilder::new(w.n_users, w.n_items);
+    b.add_interactions(&w.interactions);
+    b.add_user_user(&w.user_user);
+    for &(src, rel, item, attr) in &w.facts {
+        b.add_item_attribute(src, format!("rel{rel}"), item, format!("attr{attr}"));
+    }
+    b.build(mask)
+}
+
+proptest! {
+    #[test]
+    fn csr_is_complete_and_head_sorted(w in world()) {
+        let ckg = build(&w, SourceMask::all_with_noise());
+        prop_assert_eq!(*ckg.offsets.last().unwrap(), ckg.n_edges());
+        for e in 0..ckg.n_entities() {
+            for k in ckg.offsets[e]..ckg.offsets[e + 1] {
+                prop_assert_eq!(ckg.heads[k] as usize, e);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_edges_always_exist(w in world()) {
+        let ckg = build(&w, SourceMask::all_with_noise());
+        use std::collections::HashSet;
+        let set: HashSet<(Id, Id, Id)> = ckg
+            .heads.iter().zip(&ckg.rels).zip(&ckg.tails)
+            .map(|((&h, &r), &t)| (h, r, t))
+            .collect();
+        for &(h, r, t) in &set {
+            prop_assert!(set.contains(&(t, ckg.inverse_relation(r), h)));
+        }
+    }
+
+    #[test]
+    fn masks_are_monotone_in_entities_and_triples(w in world()) {
+        let uig = build(&w, SourceMask::uig_only());
+        let all = build(&w, SourceMask::all());
+        let noisy = build(&w, SourceMask::all_with_noise());
+        prop_assert!(uig.n_entities() <= all.n_entities());
+        prop_assert!(all.n_entities() <= noisy.n_entities());
+        prop_assert!(uig.canonical_triples.len() <= all.canonical_triples.len());
+        prop_assert!(all.canonical_triples.len() <= noisy.canonical_triples.len());
+    }
+
+    #[test]
+    fn canonical_triples_are_unique(w in world()) {
+        let ckg = build(&w, SourceMask::all_with_noise());
+        use std::collections::HashSet;
+        let set: HashSet<_> = ckg.canonical_triples.iter().collect();
+        prop_assert_eq!(set.len(), ckg.canonical_triples.len());
+    }
+
+    #[test]
+    fn split_partitions_each_users_items(
+        w in world(),
+        frac in 0.0f64..0.9,
+        seed in 0u64..50,
+    ) {
+        let inter = Interactions::split(
+            w.n_users, w.n_items, &w.interactions, frac, &mut seeded_rng(seed));
+        for u in 0..w.n_users {
+            // Disjoint...
+            for &i in &inter.test[u] {
+                prop_assert!(!inter.contains_train(u as Id, i));
+            }
+            // ...and jointly cover the user's unique items.
+            let mut all: Vec<Id> = w.interactions.iter()
+                .filter(|&&(uu, _)| uu as usize == u)
+                .map(|&(_, i)| i).collect();
+            all.sort_unstable();
+            all.dedup();
+            prop_assert_eq!(inter.train[u].len() + inter.test[u].len(), all.len());
+        }
+    }
+
+    #[test]
+    fn samplers_respect_invariants(w in world(), seed in 0u64..50) {
+        let inter = Interactions::split(
+            w.n_users, w.n_items, &w.interactions, 0.2, &mut seeded_rng(seed));
+        let ckg = build(&w, SourceMask::all());
+        let mut rng = seeded_rng(seed ^ 0xabc);
+        for s in sample_bpr_batch(&inter, 64, &mut rng) {
+            prop_assert!(inter.contains_train(s.user, s.pos));
+        }
+        for s in sample_kg_batch(&ckg, 64, &mut rng) {
+            prop_assert!(ckg.has_triple(s.head, s.rel, s.tail));
+            prop_assert!((s.neg_tail as usize) < ckg.n_entities());
+        }
+    }
+}

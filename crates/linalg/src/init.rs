@@ -1,0 +1,86 @@
+//! Seeded parameter initializers.
+//!
+//! The paper initializes all model parameters with the Xavier scheme
+//! (Glorot & Bengio 2010); the simulator and tests also need plain uniform
+//! and normal draws. All initializers take an explicit RNG so a single seed
+//! reproduces an entire experiment.
+
+use crate::Matrix;
+use rand::Rng;
+use rand_distr::{Distribution, Normal, Uniform};
+
+/// Xavier/Glorot *uniform* initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// For an embedding table, `fan_in` is the vocabulary axis and `fan_out`
+/// the embedding dimension — the convention used by TensorFlow's
+/// `glorot_uniform`, which the paper relies on.
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let a = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -a, a, rng)
+}
+
+/// Xavier/Glorot *normal* initialization: `N(0, 2 / (fan_in + fan_out))`.
+pub fn xavier_normal(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+    let std = (2.0 / (rows + cols) as f32).sqrt();
+    normal(rows, cols, 0.0, std, rng)
+}
+
+/// `U(lo, hi)` elementwise.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut impl Rng) -> Matrix {
+    assert!(lo <= hi, "uniform: lo must be <= hi");
+    let dist = Uniform::new_inclusive(lo, hi);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+}
+
+/// `N(mean, std²)` elementwise.
+///
+/// # Panics
+/// Panics if `std` is negative or non-finite.
+pub fn normal(rows: usize, cols: usize, mean: f32, std: f32, rng: &mut impl Rng) -> Matrix {
+    let dist = Normal::new(mean, std).expect("normal: invalid std");
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| dist.sample(rng)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn xavier_uniform_respects_bound() {
+        let mut rng = seeded_rng(7);
+        let m = xavier_uniform(100, 50, &mut rng);
+        let a = (6.0 / 150.0_f32).sqrt();
+        assert!(m.max_abs() <= a + 1e-6);
+        // Not degenerate: mean close to zero, spread non-trivial.
+        assert!(m.mean().abs() < 0.02);
+        assert!(m.frobenius_sq() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = xavier_uniform(10, 10, &mut seeded_rng(42));
+        let b = xavier_uniform(10, 10, &mut seeded_rng(42));
+        assert_eq!(a, b);
+        let c = xavier_uniform(10, 10, &mut seeded_rng(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments_roughly_match() {
+        let mut rng = seeded_rng(1);
+        let m = normal(200, 50, 1.0, 0.5, &mut rng);
+        let mean = m.mean();
+        let var = m.map(|x| (x - mean) * (x - mean)).mean();
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 0.25).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut rng = seeded_rng(3);
+        let m = uniform(50, 50, -2.0, 3.0, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| (-2.0..=3.0).contains(&x)));
+    }
+}

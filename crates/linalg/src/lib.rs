@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # facility-linalg
+//!
+//! Dense, row-major `f32` linear algebra substrate for the
+//! `facility-kgrec` workspace.
+//!
+//! The recommendation models in this workspace (TransR embeddings, GNN
+//! propagation layers, factorization machines) only need a small, fast set
+//! of dense kernels over tall-skinny matrices (thousands of rows, 16–64
+//! columns). This crate provides exactly that set, with no `unsafe` and no
+//! external BLAS:
+//!
+//! * [`Matrix`] — an owned row-major `f32` matrix with elementwise,
+//!   broadcast, and reduction operations.
+//! * [`Matrix::matmul`] and friends — cache-friendly `ikj` matrix products
+//!   that switch to [rayon] data parallelism above a size threshold.
+//! * [`init`] — seeded Xavier/normal/uniform initializers.
+//! * [`ops`] — scalar activation functions and stable softmax used by both
+//!   the autograd engine and hand-rolled model code.
+//!
+//! Everything is deterministic given a seed: parallel kernels only split
+//! *independent output rows* across threads, so results are bitwise
+//! identical to the serial path.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+
+pub use matrix::Matrix;
+
+/// Create a seeded RNG used across the workspace.
+///
+/// A thin wrapper so every crate derives randomness the same way and tests
+/// can reproduce any run from a single `u64`.
+pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,673 @@
+//! Row-major dense `f32` matrix.
+//!
+//! [`Matrix`] is the single storage type shared by the autograd engine and
+//! the models. It deliberately has *value semantics*: operations either
+//! return a fresh matrix or mutate `self` in place (`*_assign` variants),
+//! which keeps ownership simple in the tape-based autograd.
+
+use rayon::prelude::*;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Number of `f32` multiply-adds below which matmul stays serial.
+///
+/// Splitting tiny products across threads costs more than it saves; this
+/// threshold was picked so per-batch GNN projections (512×64 · 64×64) go
+/// parallel while per-sample scores stay serial.
+const PAR_FLOPS_THRESHOLD: usize = 1 << 17;
+
+/// An owned, row-major, dense `f32` matrix.
+///
+/// Row vectors are stored contiguously, which matches the access pattern of
+/// every kernel in this workspace (embedding rows, per-entity hidden
+/// states).
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// A `rows × cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "from_vec: data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from row slices.
+    ///
+    /// # Panics
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "from_rows: row {i} has length {} expected {cols}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// A `1 × cols` row matrix from a slice.
+    pub fn row_vector(v: &[f32]) -> Self {
+        Self::from_vec(1, v.len(), v.to_vec())
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the matrix holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Underlying row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the row-major storage vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows, "row {r} out of bounds ({} rows)", self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Iterate over rows as slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Copy `src` into row `r`.
+    pub fn set_row(&mut self, r: usize, src: &[f32]) {
+        assert_eq!(src.len(), self.cols, "set_row: length mismatch");
+        self.row_mut(r).copy_from_slice(src);
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise operations
+    // ------------------------------------------------------------------
+
+    fn assert_same_shape(&self, other: &Self, op: &str) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "{op}: shape mismatch {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+    }
+
+    /// Elementwise sum `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "add");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// In-place elementwise `self += other`.
+    pub fn add_assign(&mut self, other: &Self) {
+        self.assert_same_shape(other, "add_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Elementwise difference `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "sub");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// In-place elementwise `self -= other`.
+    pub fn sub_assign(&mut self, other: &Self) {
+        self.assert_same_shape(other, "sub_assign");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "hadamard");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Scale every element by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// In-place scale by `s`.
+    pub fn scale_assign(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// `self += alpha * other` (the BLAS `axpy` idiom).
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        self.assert_same_shape(other, "axpy");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Apply `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Apply `f` to every element in place.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// Add a `1 × cols` bias row to every row of `self`.
+    pub fn add_row_broadcast(&self, bias: &Self) -> Self {
+        assert_eq!(bias.rows, 1, "add_row_broadcast: bias must have one row");
+        assert_eq!(bias.cols, self.cols, "add_row_broadcast: column mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            for (x, b) in row.iter_mut().zip(&bias.data) {
+                *x += b;
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Products
+    // ------------------------------------------------------------------
+
+    /// Matrix product `self · other`.
+    ///
+    /// Serial `ikj` loop for small problems; parallel over output rows via
+    /// rayon above `PAR_FLOPS_THRESHOLD`. The parallel split is by
+    /// independent output rows, so results match the serial path exactly.
+    ///
+    /// # Panics
+    /// Panics on an inner-dimension mismatch.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: inner dimension mismatch {:?} · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        let flops = m * k * n;
+        let kernel = |i: usize, out_row: &mut [f32]| {
+            let a_row = self.row(i);
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(kk);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        };
+        if flops >= PAR_FLOPS_THRESHOLD && m > 1 {
+            out.data
+                .par_chunks_exact_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| kernel(i, out_row));
+        } else {
+            for (i, out_row) in out.data.chunks_exact_mut(n).enumerate() {
+                kernel(i, out_row);
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · otherᵀ`.
+    ///
+    /// Faster than `self.matmul(&other.transpose())` for row-major data
+    /// because both operands are read along rows.
+    pub fn matmul_transpose_b(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.cols, other.cols,
+            "matmul_transpose_b: column mismatch {:?} · {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let (m, n) = (self.rows, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        let flops = m * self.cols * n;
+        let kernel = |i: usize, out_row: &mut [f32]| {
+            let a_row = self.row(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot(a_row, other.row(j));
+            }
+        };
+        if flops >= PAR_FLOPS_THRESHOLD && m > 1 {
+            out.data
+                .par_chunks_exact_mut(n)
+                .enumerate()
+                .for_each(|(i, out_row)| kernel(i, out_row));
+        } else {
+            for (i, out_row) in out.data.chunks_exact_mut(n).enumerate() {
+                kernel(i, out_row);
+            }
+        }
+        out
+    }
+
+    /// Matrix product `selfᵀ · other` without materializing the transpose.
+    pub fn transpose_matmul(&self, other: &Self) -> Self {
+        assert_eq!(
+            self.rows, other.rows,
+            "transpose_matmul: row mismatch {:?}ᵀ · {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, n) = (self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // Accumulate outer products row by row: out += a_rowᵀ · b_row.
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = other.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Self {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Per-row dot product of two equally-shaped matrices: returns an
+    /// `rows × 1` column of `self[i] · other[i]`.
+    pub fn rowwise_dot(&self, other: &Self) -> Self {
+        self.assert_same_shape(other, "rowwise_dot");
+        let data = self
+            .iter_rows()
+            .zip(other.iter_rows())
+            .map(|(a, b)| dot(a, b))
+            .collect();
+        Matrix::from_vec(self.rows, 1, data)
+    }
+
+    // ------------------------------------------------------------------
+    // Gather / concatenate
+    // ------------------------------------------------------------------
+
+    /// Gather the given rows into a new `indices.len() × cols` matrix.
+    ///
+    /// # Panics
+    /// Panics (in debug) if an index is out of bounds.
+    pub fn gather_rows(&self, indices: &[usize]) -> Self {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Horizontally concatenate `self` and `other` (same row count).
+    pub fn concat_cols(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "concat_cols: row mismatch");
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        for r in 0..self.rows {
+            out.data[r * cols..r * cols + self.cols].copy_from_slice(self.row(r));
+            out.data[r * cols + self.cols..(r + 1) * cols].copy_from_slice(other.row(r));
+        }
+        out
+    }
+
+    /// Vertically stack `self` on top of `other` (same column count).
+    pub fn concat_rows(&self, other: &Self) -> Self {
+        assert_eq!(self.cols, other.cols, "concat_rows: column mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix::from_vec(self.rows + other.rows, self.cols, data)
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm `Σ x²`.
+    pub fn frobenius_sq(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    /// Per-row squared L2 norm as an `rows × 1` column.
+    pub fn rowwise_norm_sq(&self) -> Self {
+        let data = self.iter_rows().map(|r| dot(r, r)).collect();
+        Matrix::from_vec(self.rows, 1, data)
+    }
+
+    /// Column sums as a `1 × cols` row.
+    pub fn col_sums(&self) -> Self {
+        let mut out = Matrix::zeros(1, self.cols);
+        for row in self.iter_rows() {
+            for (o, &x) in out.data.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute element (0 for an empty matrix).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// True if every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Normalize each row to unit L2 norm (rows with tiny norm are left
+    /// unchanged to avoid amplifying noise).
+    pub fn normalize_rows(&mut self) {
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let norm = dot(row, row).sqrt();
+            if norm > 1e-12 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+    }
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for (i, row) in self.iter_rows().take(max_rows).enumerate() {
+            writeln!(f, "  row {i}: {row:?}")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ... ({} more rows)", self.rows - max_rows)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f32, b: f32, c: f32, d: f32) -> Matrix {
+        Matrix::from_vec(2, 2, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.);
+        assert_eq!(m[(1, 2)], 6.);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0; 3]);
+    }
+
+    #[test]
+    fn eye_is_identity_for_matmul() {
+        let m = m22(1., 2., 3., 4.);
+        let i = Matrix::eye(2);
+        assert_eq!(m.matmul(&i), m);
+        assert_eq!(i.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m22(58., 64., 139., 154.));
+    }
+
+    #[test]
+    fn matmul_transpose_b_matches_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|x| x as f32).collect());
+        assert_eq!(a.matmul_transpose_b(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_matmul_matches_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|x| x as f32).collect());
+        assert_eq!(a.transpose_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Big enough to cross the parallel threshold.
+        let n = 96;
+        let a = Matrix::from_vec(n, n, (0..n * n).map(|x| (x % 13) as f32 - 6.0).collect());
+        let b = Matrix::from_vec(n, n, (0..n * n).map(|x| (x % 7) as f32 - 3.0).collect());
+        let big = a.matmul(&b);
+        // Serial reference via per-element dot products.
+        let bt = b.transpose();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(big[(i, j)], dot(a.row(i), bt.row(j)), "mismatch at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m22(1., 2., 3., 4.);
+        let b = m22(5., 6., 7., 8.);
+        assert_eq!(a.add(&b), m22(6., 8., 10., 12.));
+        assert_eq!(b.sub(&a), m22(4., 4., 4., 4.));
+        assert_eq!(a.hadamard(&b), m22(5., 12., 21., 32.));
+        assert_eq!(a.scale(2.0), m22(2., 4., 6., 8.));
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c, m22(3.5, 5., 6.5, 8.));
+    }
+
+    #[test]
+    fn broadcast_add() {
+        let a = m22(1., 2., 3., 4.);
+        let bias = Matrix::row_vector(&[10., 20.]);
+        assert_eq!(a.add_row_broadcast(&bias), m22(11., 22., 13., 24.));
+    }
+
+    #[test]
+    fn gather_and_concat() {
+        let m = Matrix::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]);
+        let g = m.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, Matrix::from_vec(3, 2, vec![20., 21., 0., 1., 20., 21.]));
+        let cc = m.concat_cols(&m);
+        assert_eq!(cc.shape(), (3, 4));
+        assert_eq!(cc.row(1), &[10., 11., 10., 11.]);
+        let cr = m.concat_rows(&m);
+        assert_eq!(cr.shape(), (6, 2));
+        assert_eq!(cr.row(4), &[10., 11.]);
+    }
+
+    #[test]
+    fn reductions() {
+        let m = m22(1., -2., 3., -4.);
+        assert_eq!(m.sum(), -2.0);
+        assert_eq!(m.mean(), -0.5);
+        assert_eq!(m.frobenius_sq(), 30.0);
+        assert_eq!(m.max_abs(), 4.0);
+        assert!(m.all_finite());
+        assert_eq!(m.col_sums(), Matrix::row_vector(&[4.0, -6.0]));
+        assert_eq!(m.rowwise_norm_sq(), Matrix::from_vec(2, 1, vec![5.0, 25.0]));
+    }
+
+    #[test]
+    fn rowwise_dot() {
+        let a = m22(1., 2., 3., 4.);
+        let b = m22(5., 6., 7., 8.);
+        assert_eq!(a.rowwise_dot(&b), Matrix::from_vec(2, 1, vec![17.0, 53.0]));
+    }
+
+    #[test]
+    fn normalize_rows_gives_unit_norm() {
+        let mut m = m22(3., 4., 0., 0.);
+        m.normalize_rows();
+        assert!((dot(m.row(0), m.row(0)) - 1.0).abs() < 1e-6);
+        // Zero row untouched.
+        assert_eq!(m.row(1), &[0., 0.]);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = Matrix::zeros(0, 0);
+        assert!(m.is_empty());
+        assert_eq!(m.sum(), 0.0);
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.max_abs(), 0.0);
+    }
+}

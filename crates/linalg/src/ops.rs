@@ -1,0 +1,184 @@
+//! Scalar activation functions, their derivatives, and numerically stable
+//! softmax helpers.
+//!
+//! These free functions are shared by the autograd engine (which wraps them
+//! in differentiable ops) and by model code that evaluates forward-only
+//! (e.g. ranking at test time).
+
+/// Slope used on the negative side of LeakyReLU throughout the workspace
+/// (matches the TensorFlow default the paper's implementation relies on).
+pub const LEAKY_RELU_SLOPE: f32 = 0.2;
+
+/// LeakyReLU activation.
+#[inline]
+pub fn leaky_relu(x: f32) -> f32 {
+    if x >= 0.0 {
+        x
+    } else {
+        LEAKY_RELU_SLOPE * x
+    }
+}
+
+/// Derivative of [`leaky_relu`] w.r.t. its input.
+#[inline]
+pub fn leaky_relu_grad(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0
+    } else {
+        LEAKY_RELU_SLOPE
+    }
+}
+
+/// ReLU activation.
+#[inline]
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of [`relu`] w.r.t. its input.
+#[inline]
+pub fn relu_grad(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Hyperbolic tangent.
+#[inline]
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed in terms of the *output* `y = tanh(x)`.
+#[inline]
+pub fn tanh_grad_from_output(y: f32) -> f32 {
+    1.0 - y * y
+}
+
+/// Logistic sigmoid, computed in a way that never overflows.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid expressed in terms of the *output*
+/// `y = sigmoid(x)`.
+#[inline]
+pub fn sigmoid_grad_from_output(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// `ln(sigmoid(x))` computed without intermediate overflow/underflow.
+///
+/// This is the per-sample BPR loss term; the naive form loses all precision
+/// for large negative `x`.
+#[inline]
+pub fn log_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        -(-x).exp().ln_1p()
+    } else {
+        x - x.exp().ln_1p()
+    }
+}
+
+/// In-place numerically stable softmax over a slice.
+///
+/// An empty slice is a no-op. A slice of identical values becomes uniform.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let mut sum = 0.0;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    // `sum >= 1` always holds because the max element maps to exp(0) = 1,
+    // so this division is safe.
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn leaky_relu_behaviour() {
+        assert_eq!(leaky_relu(2.0), 2.0);
+        assert!(close(leaky_relu(-1.0), -LEAKY_RELU_SLOPE));
+        assert_eq!(leaky_relu_grad(3.0), 1.0);
+        assert_eq!(leaky_relu_grad(-3.0), LEAKY_RELU_SLOPE);
+    }
+
+    #[test]
+    fn sigmoid_extremes_are_finite_and_saturating() {
+        assert!(close(sigmoid(0.0), 0.5));
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(100.0) > 0.999);
+        assert!(sigmoid(-100.0) >= 0.0 && sigmoid(-100.0) < 1e-3);
+        assert!(sigmoid(1e30).is_finite());
+        assert!(sigmoid(-1e30).is_finite());
+    }
+
+    #[test]
+    fn log_sigmoid_matches_naive_in_safe_range() {
+        for &x in &[-5.0_f32, -1.0, 0.0, 0.5, 4.0] {
+            assert!(close(log_sigmoid(x), sigmoid(x).ln()), "x={x}");
+        }
+        // And stays finite where the naive form underflows.
+        assert!(log_sigmoid(-200.0).is_finite());
+        assert!(close(log_sigmoid(-200.0), -200.0));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut xs = vec![1000.0, 1001.0, 1002.0];
+        softmax_in_place(&mut xs);
+        let sum: f32 = xs.iter().sum();
+        assert!(close(sum, 1.0));
+        assert!(xs.iter().all(|x| x.is_finite()));
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_uniform_for_equal_inputs() {
+        let mut xs = vec![3.0; 4];
+        softmax_in_place(&mut xs);
+        for &x in &xs {
+            assert!(close(x, 0.25));
+        }
+    }
+
+    #[test]
+    fn softmax_empty_and_singleton() {
+        let mut xs: Vec<f32> = vec![];
+        softmax_in_place(&mut xs);
+        let mut one = vec![42.0];
+        softmax_in_place(&mut one);
+        assert!(close(one[0], 1.0));
+    }
+
+    #[test]
+    fn grad_helpers_match_central_differences() {
+        let eps = 1e-3_f32;
+        for &x in &[-2.0_f32, -0.5, 0.3, 1.7] {
+            let num = (sigmoid(x + eps) - sigmoid(x - eps)) / (2.0 * eps);
+            assert!((num - sigmoid_grad_from_output(sigmoid(x))).abs() < 1e-3);
+            let num = (tanh(x + eps) - tanh(x - eps)) / (2.0 * eps);
+            assert!((num - tanh_grad_from_output(tanh(x))).abs() < 1e-3);
+        }
+    }
+}

@@ -1,0 +1,566 @@
+//! CKAT — the collaborative knowledge-aware graph attention network, the
+//! paper's primary contribution (Section V).
+//!
+//! Three components:
+//!
+//! 1. **Embedding layer** — TransR entity/relation embeddings trained with
+//!    the margin loss `L₁` (Eqs. 1–2).
+//! 2. **Knowledge-aware attentive embedding propagation** — `L` layers
+//!    that aggregate each entity's neighborhood, weighted by the
+//!    relational attention `f_a(h,r,t) = (W_r e_t)ᵀ tanh(W_r e_h + e_r)`
+//!    normalized per neighborhood (Eqs. 3–5), with a *concat* or *sum*
+//!    aggregator (Eqs. 6–7) and message dropout.
+//! 3. **Prediction layer** — layer representations are concatenated
+//!    (Eq. 10) and scored by inner product (Eq. 11); training uses BPR
+//!    (Eq. 12) plus L2 (Eq. 13).
+//!
+//! Implementation note: as in the reference KGAT implementation this model
+//! family builds on, the attention weights over the full CKG are
+//! *refreshed once per epoch* (forward-only) and held constant inside each
+//! mini-batch; the attention parameters (`W_r`, `e_r`) learn through the
+//! TransR objective, and everything else backpropagates through the
+//! propagation stack. The "w/o Att" ablation of Table IV replaces the
+//! attention with uniform `1/|N_h|` weights.
+
+use crate::common::{dot_scores, ModelConfig, TrainContext};
+use crate::transr;
+use crate::Recommender;
+use facility_autograd::{Adam, ParamId, ParamStore, Tape, Var};
+use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch};
+use facility_kg::Id;
+use facility_linalg::{init, seeded_rng, Matrix};
+use rand::rngs::StdRng;
+use std::sync::Arc;
+
+/// Neighborhood aggregation variants (Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregator {
+    /// `LeakyReLU(W (e_h ‖ e_{N_h}))` — the paper's default (Eq. 6).
+    Concat,
+    /// `LeakyReLU(W (e_h + e_{N_h}))` (Eq. 7).
+    Sum,
+}
+
+/// CKAT hyperparameters.
+#[derive(Debug, Clone)]
+pub struct CkatConfig {
+    /// Shared hyperparameters.
+    pub base: ModelConfig,
+    /// Output dimension of each propagation layer (paper: `[64, 32, 16]`,
+    /// depth `L = 3`).
+    pub layer_dims: Vec<usize>,
+    /// Knowledge-aware attention on/off (Table IV ablation).
+    pub use_attention: bool,
+    /// Aggregator choice (Table IV ablation).
+    pub aggregator: Aggregator,
+    /// TransR relation-space dimension `k`.
+    pub transr_dim: usize,
+    /// TransR margin `γ`.
+    pub margin: f32,
+}
+
+impl From<&ModelConfig> for CkatConfig {
+    fn from(base: &ModelConfig) -> Self {
+        let d = base.embed_dim;
+        Self {
+            base: base.clone(),
+            layer_dims: vec![d, d / 2, d / 4],
+            use_attention: true,
+            aggregator: Aggregator::Concat,
+            transr_dim: d,
+            margin: 1.0,
+        }
+    }
+}
+
+impl CkatConfig {
+    /// Depth `L` (number of propagation layers).
+    pub fn depth(&self) -> usize {
+        self.layer_dims.len()
+    }
+
+    /// Total dimension of the final concatenated representation (Eq. 10).
+    pub fn final_dim(&self) -> usize {
+        self.base.embed_dim + self.layer_dims.iter().sum::<usize>()
+    }
+}
+
+/// The CKAT model.
+pub struct Ckat {
+    store: ParamStore,
+    adam: Adam,
+    ent_emb: ParamId,
+    rel_emb: ParamId,
+    rel_proj: ParamId,
+    layer_w: Vec<ParamId>,
+    layer_b: Vec<ParamId>,
+    config: CkatConfig,
+    n_users: usize,
+    n_entities: usize,
+    n_rel: usize,
+    /// CKG edge tails as gather indices (CSR order).
+    tails: Vec<usize>,
+    /// CKG edge heads as segment ids (CSR order).
+    heads: Arc<Vec<usize>>,
+    /// Item entity ids, contiguous (`n_users..n_users+n_items`).
+    item_entities: Vec<usize>,
+    /// Attention weight per edge, refreshed once per epoch.
+    att: Vec<f32>,
+    att_fresh: bool,
+    cached_users: Option<Matrix>,
+    cached_items: Option<Matrix>,
+}
+
+impl Ckat {
+    /// Initialize from the training context.
+    pub fn new(ctx: &TrainContext<'_>, config: &CkatConfig) -> Self {
+        assert!(!config.layer_dims.is_empty(), "CKAT needs at least one propagation layer");
+        let mut rng = seeded_rng(config.base.seed);
+        let d = config.base.embed_dim;
+        let k = config.transr_dim;
+        let n_ent = ctx.ckg.n_entities();
+        let n_rel = ctx.ckg.n_relations_with_inverse();
+        let mut store = ParamStore::new();
+        let ent_emb = store.add("ent_emb", init::xavier_uniform(n_ent, d, &mut rng));
+        let rel_emb = store.add("rel_emb", init::xavier_uniform(n_rel, k, &mut rng));
+        let rel_proj = store.add("rel_proj", init::xavier_uniform(n_rel * d, k, &mut rng));
+        let mut layer_w = Vec::new();
+        let mut layer_b = Vec::new();
+        let mut in_dim = d;
+        for (l, &out_dim) in config.layer_dims.iter().enumerate() {
+            let rows = match config.aggregator {
+                Aggregator::Concat => 2 * in_dim,
+                Aggregator::Sum => in_dim,
+            };
+            layer_w.push(store.add(format!("w{l}"), init::xavier_uniform(rows, out_dim, &mut rng)));
+            layer_b.push(store.add(format!("b{l}"), Matrix::zeros(1, out_dim)));
+            in_dim = out_dim;
+        }
+        let adam = Adam::default_for(&store, config.base.lr);
+        let tails: Vec<usize> = ctx.ckg.tails.iter().map(|&t| t as usize).collect();
+        let heads: Arc<Vec<usize>> =
+            Arc::new(ctx.ckg.heads.iter().map(|&h| h as usize).collect());
+        let item_entities: Vec<usize> =
+            (0..ctx.inter.n_items).map(|i| ctx.ckg.item_entity(i as Id)).collect();
+        Self {
+            store,
+            adam,
+            ent_emb,
+            rel_emb,
+            rel_proj,
+            layer_w,
+            layer_b,
+            config: config.clone(),
+            n_users: ctx.inter.n_users,
+            n_entities: n_ent,
+            n_rel,
+            tails,
+            heads,
+            item_entities,
+            att: Vec::new(),
+            att_fresh: false,
+            cached_users: None,
+            cached_items: None,
+        }
+    }
+
+    /// Warm-start constructor for incremental CKG growth (the paper's
+    /// Section VI-F limitation: "when the facility adds new instruments or
+    /// data objects, the fine-tuning process needs to be repeated").
+    ///
+    /// `entity_map[new_entity] = Some(old_entity)` copies the previous
+    /// model's embedding row for entities that survived the graph update;
+    /// `None` rows keep their fresh Xavier initialization. Layer weights
+    /// are copied whenever shapes match (same config => always).
+    pub fn new_warm(
+        ctx: &TrainContext<'_>,
+        config: &CkatConfig,
+        previous: &Ckat,
+        entity_map: &[Option<usize>],
+    ) -> Self {
+        let mut model = Self::new(ctx, config);
+        assert_eq!(
+            entity_map.len(),
+            ctx.ckg.n_entities(),
+            "entity_map must cover every new entity"
+        );
+        let prev_emb = previous.store.value(previous.ent_emb);
+        assert_eq!(
+            prev_emb.cols(),
+            config.base.embed_dim,
+            "warm start requires matching embedding width"
+        );
+        let emb = model.store.value_mut(model.ent_emb);
+        for (new_e, old) in entity_map.iter().enumerate() {
+            if let Some(old_e) = old {
+                emb.set_row(new_e, prev_emb.row(*old_e));
+            }
+        }
+        for (dst, src) in model.layer_w.iter().zip(&previous.layer_w) {
+            if previous.store.value(*src).shape() == model.store.value(*dst).shape() {
+                let v = previous.store.value(*src).clone();
+                *model.store.value_mut(*dst) = v;
+            }
+        }
+        for (dst, src) in model.layer_b.iter().zip(&previous.layer_b) {
+            if previous.store.value(*src).shape() == model.store.value(*dst).shape() {
+                let v = previous.store.value(*src).clone();
+                *model.store.value_mut(*dst) = v;
+            }
+        }
+        model
+    }
+
+    /// Recompute the per-edge attention weights from current parameters
+    /// (Eqs. 4–5), or uniform weights for the ablation.
+    fn refresh_attention(&mut self, ctx: &TrainContext<'_>) {
+        self.att = if self.config.use_attention {
+            transr::attention_scores(
+                ctx.ckg,
+                self.store.value(self.ent_emb),
+                self.store.value(self.rel_emb),
+                self.store.value(self.rel_proj),
+            )
+        } else {
+            transr::uniform_scores(ctx.ckg)
+        };
+        self.att_fresh = true;
+    }
+
+    /// Build the full propagation stack on `t` and return the final
+    /// concatenated representation of every entity (Eqs. 3, 6–10).
+    fn propagate(
+        &self,
+        t: &mut Tape,
+        ent: Var,
+        layer_w: &[Var],
+        layer_b: &[Var],
+        dropout_rng: Option<&mut StdRng>,
+    ) -> Var {
+        assert!(!self.att.is_empty(), "attention not refreshed");
+        let att = t.constant(Matrix::from_vec(self.att.len(), 1, self.att.clone()));
+        let mut h = ent;
+        let mut all = ent;
+        let mut rng = dropout_rng;
+        for l in 0..self.config.layer_dims.len() {
+            let et = t.gather_rows(h, &self.tails);
+            let msg = t.mul_broadcast_col(et, att);
+            let e_n = t.segment_sum(msg, Arc::clone(&self.heads), self.n_entities);
+            let mixed = match self.config.aggregator {
+                Aggregator::Concat => t.concat_cols(h, e_n),
+                Aggregator::Sum => t.add(h, e_n),
+            };
+            let z = t.matmul(mixed, layer_w[l]);
+            let zb = t.add_broadcast_row(z, layer_b[l]);
+            let activated = t.leaky_relu(zb);
+            let dropped = match rng.as_deref_mut() {
+                Some(r) if self.config.base.keep_prob < 1.0 => {
+                    t.dropout(activated, self.config.base.keep_prob, r)
+                }
+                _ => activated,
+            };
+            // KGAT l2-normalizes each layer's output so no single order of
+            // connectivity dominates the concatenated representation.
+            h = t.normalize_rows(dropped);
+            all = t.concat_cols(all, h);
+        }
+        all
+    }
+
+    /// Forward-only final representations of **all** entities (users,
+    /// items, attributes), `n_entities × final_dim` — the concatenated
+    /// multi-order embeddings of Eq. 10. Useful for exporting embeddings
+    /// or downstream clustering. Requires fresh attention
+    /// ([`Ckat::train_epoch`] or [`Ckat::prepare_eval`] refresh it).
+    pub fn entity_representations(&self) -> Matrix {
+        self.final_representations()
+    }
+
+    /// The current per-edge attention weights in CKG CSR edge order
+    /// (empty before the first refresh).
+    pub fn attention_weights(&self) -> &[f32] {
+        &self.att
+    }
+
+    /// Clones of the per-layer aggregation weights and biases (`W_l`,
+    /// `b_l`), for inspection and differential testing.
+    pub fn layer_parameters(&self) -> (Vec<Matrix>, Vec<Matrix>) {
+        (
+            self.layer_w.iter().map(|&p| self.store.value(p).clone()).collect(),
+            self.layer_b.iter().map(|&p| self.store.value(p).clone()).collect(),
+        )
+    }
+
+    /// Forward-only final representations (used for evaluation).
+    fn final_representations(&self) -> Matrix {
+        let mut t = Tape::new();
+        let ent = t.constant(self.store.value(self.ent_emb).clone());
+        let lw: Vec<Var> =
+            self.layer_w.iter().map(|&p| t.constant(self.store.value(p).clone())).collect();
+        let lb: Vec<Var> =
+            self.layer_b.iter().map(|&p| t.constant(self.store.value(p).clone())).collect();
+        let all = self.propagate(&mut t, ent, &lw, &lb, None);
+        t.value(all).clone()
+    }
+}
+
+impl Recommender for Ckat {
+    fn name(&self) -> String {
+        let att = if self.config.use_attention { "Att" } else { "noAtt" };
+        let agg = match self.config.aggregator {
+            Aggregator::Concat => "concat",
+            Aggregator::Sum => "sum",
+        };
+        format!("CKAT-{} ({att},{agg})", self.config.depth())
+    }
+
+    fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        self.refresh_attention(ctx);
+        let n_batches = ctx.batches_per_epoch(self.config.base.batch_size);
+        let d = self.config.base.embed_dim;
+        let mut total = 0.0;
+        for _ in 0..n_batches {
+            // --- BPR phase over the propagated representations ---
+            let batch = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
+            if batch.is_empty() {
+                return 0.0;
+            }
+            let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
+            let pos: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
+            let neg: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
+
+            let mut t = Tape::new();
+            let ent = t.leaf(self.store.value(self.ent_emb).clone());
+            let lw: Vec<Var> =
+                self.layer_w.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
+            let lb: Vec<Var> =
+                self.layer_b.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
+            let all = self.propagate(&mut t, ent, &lw, &lb, Some(rng));
+            let u = t.gather_rows(all, &users);
+            let i = t.gather_rows(all, &pos);
+            let j = t.gather_rows(all, &neg);
+            let y_pos = t.rowwise_dot(u, i);
+            let y_neg = t.rowwise_dot(u, j);
+            let diff = t.sub(y_pos, y_neg);
+            let ls = t.log_sigmoid(diff);
+            let s = t.sum_all(ls);
+            let bpr = t.scale(s, -1.0 / batch.len() as f32);
+            let ru = t.frobenius_sq(u);
+            let ri = t.frobenius_sq(i);
+            let rj = t.frobenius_sq(j);
+            let reg0 = t.add(ru, ri);
+            let reg1 = t.add(reg0, rj);
+            let reg = t.scale(reg1, self.config.base.l2 / batch.len() as f32);
+            let loss = t.add(bpr, reg);
+            total += t.value(loss)[(0, 0)];
+            t.backward(loss);
+            let mut grads: Vec<_> = Vec::new();
+            if let Some(g) = t.take_grad(ent) {
+                grads.push((self.ent_emb, g));
+            }
+            for (&p, &var) in self.layer_w.iter().zip(&lw) {
+                if let Some(g) = t.take_grad(var) {
+                    grads.push((p, g));
+                }
+            }
+            for (&p, &var) in self.layer_b.iter().zip(&lb) {
+                if let Some(g) = t.take_grad(var) {
+                    grads.push((p, g));
+                }
+            }
+            self.store.apply(&mut self.adam, &grads);
+
+            // --- TransR phase (L₁, Eq. 2) ---
+            let kg_batch = sample_kg_batch(ctx.ckg, self.config.base.batch_size, rng);
+            if !kg_batch.is_empty() {
+                let mut t = Tape::new();
+                let ent = t.leaf(self.store.value(self.ent_emb).clone());
+                let remb = t.leaf(self.store.value(self.rel_emb).clone());
+                let rproj = t.leaf(self.store.value(self.rel_proj).clone());
+                let loss = transr::margin_loss(
+                    &mut t, ent, remb, rproj, d, self.n_rel, &kg_batch, self.config.margin,
+                );
+                total += t.value(loss)[(0, 0)];
+                t.backward(loss);
+                let grads: Vec<_> =
+                    [(self.ent_emb, ent), (self.rel_emb, remb), (self.rel_proj, rproj)]
+                        .into_iter()
+                        .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                        .collect();
+                self.store.apply(&mut self.adam, &grads);
+            }
+        }
+        self.cached_users = None;
+        self.cached_items = None;
+        total / n_batches as f32
+    }
+
+    fn prepare_eval(&mut self, ctx: &TrainContext<'_>) {
+        if !self.att_fresh {
+            self.refresh_attention(ctx);
+        }
+        let all = self.final_representations();
+        let user_rows: Vec<usize> = (0..self.n_users).collect();
+        self.cached_users = Some(all.gather_rows(&user_rows));
+        self.cached_items = Some(all.gather_rows(&self.item_entities));
+    }
+
+    fn score_items(&self, user: Id) -> Vec<f32> {
+        dot_scores(
+            self.cached_users.as_ref().expect("prepare_eval not called"),
+            self.cached_items.as_ref().expect("prepare_eval not called"),
+            user,
+        )
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::TrainContext;
+    use crate::test_fixtures::{auc, toy_world};
+
+    fn fast_config() -> CkatConfig {
+        let mut base = ModelConfig::fast();
+        base.keep_prob = 1.0;
+        CkatConfig {
+            layer_dims: vec![16, 8],
+            use_attention: true,
+            aggregator: Aggregator::Concat,
+            transr_dim: 16,
+            margin: 1.0,
+            base,
+        }
+    }
+
+    #[test]
+    fn final_dim_matches_concat_of_layers() {
+        let cfg = fast_config();
+        assert_eq!(cfg.final_dim(), 16 + 16 + 8);
+        assert_eq!(cfg.depth(), 2);
+    }
+
+    #[test]
+    fn ckat_learns_toy_world() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Ckat::new(&ctx, &fast_config());
+        let mut rng = seeded_rng(1);
+        let first = model.train_epoch(&ctx, &mut rng);
+        let mut last = first;
+        for _ in 0..30 {
+            last = model.train_epoch(&ctx, &mut rng);
+        }
+        assert!(last < first, "CKAT loss should fall: {first} -> {last}");
+        model.prepare_eval(&ctx);
+        let a = auc(&model, &inter);
+        assert!(a > 0.75, "CKAT AUC {a}");
+    }
+
+    #[test]
+    fn representations_have_final_dim() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Ckat::new(&ctx, &fast_config());
+        model.prepare_eval(&ctx);
+        let cfg = fast_config();
+        assert_eq!(model.cached_users.as_ref().unwrap().cols(), cfg.final_dim());
+        assert_eq!(model.cached_items.as_ref().unwrap().rows(), inter.n_items);
+    }
+
+    #[test]
+    fn attention_toggle_changes_model() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut with_att = Ckat::new(&ctx, &fast_config());
+        let mut cfg = fast_config();
+        cfg.use_attention = false;
+        let mut without = Ckat::new(&ctx, &cfg);
+        with_att.prepare_eval(&ctx);
+        without.prepare_eval(&ctx);
+        // Same init seeds, different propagation weights → different scores.
+        assert_ne!(with_att.score_items(0), without.score_items(0));
+        assert!(with_att.name().contains("Att"));
+        assert!(without.name().contains("noAtt"));
+    }
+
+    #[test]
+    fn sum_aggregator_runs_and_differs() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut cfg = fast_config();
+        cfg.aggregator = Aggregator::Sum;
+        let mut model = Ckat::new(&ctx, &cfg);
+        let mut rng = seeded_rng(2);
+        model.train_epoch(&ctx, &mut rng);
+        model.prepare_eval(&ctx);
+        assert_eq!(model.score_items(0).len(), inter.n_items);
+    }
+
+    #[test]
+    fn depth_one_and_three_both_work() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        for dims in [vec![16], vec![16, 8, 4]] {
+            let mut cfg = fast_config();
+            cfg.layer_dims = dims.clone();
+            let mut model = Ckat::new(&ctx, &cfg);
+            let mut rng = seeded_rng(3);
+            model.train_epoch(&ctx, &mut rng);
+            model.prepare_eval(&ctx);
+            assert_eq!(
+                model.cached_users.as_ref().unwrap().cols(),
+                16 + dims.iter().sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_copies_surviving_entities() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut old = Ckat::new(&ctx, &fast_config());
+        let mut rng = seeded_rng(4);
+        old.train_epoch(&ctx, &mut rng);
+
+        // "Grow" the facility: identity map here (same graph), so every
+        // entity row must be copied verbatim and layer weights reused.
+        let map: Vec<Option<usize>> = (0..ckg.n_entities()).map(Some).collect();
+        let warm = Ckat::new_warm(&ctx, &fast_config(), &old, &map);
+        assert_eq!(
+            warm.store.value(warm.ent_emb).as_slice(),
+            old.store.value(old.ent_emb).as_slice()
+        );
+        assert_eq!(
+            warm.store.value(warm.layer_w[0]).as_slice(),
+            old.store.value(old.layer_w[0]).as_slice()
+        );
+
+        // Partial map: unmapped entities keep fresh init (differ from old).
+        let mut partial = map.clone();
+        partial[0] = None;
+        let warm2 = Ckat::new_warm(&ctx, &fast_config(), &old, &partial);
+        assert_ne!(
+            warm2.store.value(warm2.ent_emb).row(0),
+            old.store.value(old.ent_emb).row(0)
+        );
+        assert_eq!(
+            warm2.store.value(warm2.ent_emb).row(1),
+            old.store.value(old.ent_emb).row(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one propagation layer")]
+    fn zero_layers_rejected() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut cfg = fast_config();
+        cfg.layer_dims = vec![];
+        let _ = Ckat::new(&ctx, &cfg);
+    }
+}

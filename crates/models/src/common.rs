@@ -1,0 +1,115 @@
+//! Shared training context, configuration, and helpers used by every
+//! model.
+
+use facility_kg::{Ckg, Id, Interactions};
+use facility_linalg::Matrix;
+
+/// Borrowed view of everything a model trains on: the interaction split
+/// and the collaborative knowledge graph (built from the *training*
+/// interactions).
+#[derive(Clone, Copy)]
+pub struct TrainContext<'a> {
+    /// Train/test interaction split.
+    pub inter: &'a Interactions,
+    /// The CKG (UIG from training interactions + enabled knowledge).
+    pub ckg: &'a Ckg,
+}
+
+impl<'a> TrainContext<'a> {
+    /// Number of BPR batches per epoch so each training pair is seen about
+    /// once in expectation.
+    pub fn batches_per_epoch(&self, batch_size: usize) -> usize {
+        self.inter.n_train().div_ceil(batch_size).max(1)
+    }
+
+    /// Attribute entities directly connected to each item in the CKG
+    /// (the feature set FM/NFM consume). Entry `i` lists entity ids.
+    pub fn item_attribute_entities(&self) -> Vec<Vec<usize>> {
+        let ckg = self.ckg;
+        let attr_lo = ckg.n_users + ckg.n_items;
+        (0..ckg.n_items)
+            .map(|i| {
+                ckg.neighbors(ckg.item_entity(i as Id))
+                    .filter(|&(_, t)| (t as usize) >= attr_lo)
+                    .map(|(_, t)| t as usize)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Hyperparameters shared by all models (paper Section VI-D).
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Embedding size (paper: 64 for all models, 16 for RippleNet).
+    pub embed_dim: usize,
+    /// Mini-batch size (paper: 512).
+    pub batch_size: usize,
+    /// Adam learning rate (paper grid: 0.05 … 0.001).
+    pub lr: f32,
+    /// L2 regularization coefficient λ (paper grid: 1e-5 … 1e2).
+    pub l2: f32,
+    /// Dropout keep-probability (1.0 = no dropout; paper tunes the *drop*
+    /// ratio over 0.0 … 0.8 for NFM and CKAT).
+    pub keep_prob: f32,
+    /// RNG seed for parameter initialization.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        Self { embed_dim: 64, batch_size: 512, lr: 0.01, l2: 1e-5, keep_prob: 0.9, seed: 0 }
+    }
+}
+
+impl ModelConfig {
+    /// A smaller/faster profile for tests and smoke benchmarks.
+    pub fn fast() -> Self {
+        Self { embed_dim: 16, batch_size: 256, lr: 0.05, ..Self::default() }
+    }
+}
+
+/// Scores every item against every user given cached representation
+/// matrices, by inner product — the shape used by most models'
+/// `score_items`.
+pub fn dot_scores(user_reprs: &Matrix, item_reprs: &Matrix, user: Id) -> Vec<f32> {
+    let u = user_reprs.row(user as usize);
+    item_reprs.iter_rows().map(|v| facility_linalg::matrix::dot(u, v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::toy_world;
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        assert_eq!(ctx.batches_per_epoch(4), 3); // 9 train pairs / 4
+        assert_eq!(ctx.batches_per_epoch(100), 1);
+    }
+
+    #[test]
+    fn item_attribute_entities_are_attributes_only() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let attrs = ctx.item_attribute_entities();
+        assert_eq!(attrs.len(), 6);
+        let attr_lo = ckg.n_users + ckg.n_items;
+        for list in &attrs {
+            assert_eq!(list.len(), 2, "each item has site + type");
+            for &e in list {
+                assert!(e >= attr_lo);
+            }
+        }
+    }
+
+    #[test]
+    fn dot_scores_matches_manual() {
+        let users = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let items = Matrix::from_vec(3, 2, vec![1., 0., 0., 1., 1., 1.]);
+        assert_eq!(dot_scores(&users, &items, 0), vec![1., 2., 3.]);
+        assert_eq!(dot_scores(&users, &items, 1), vec![3., 4., 7.]);
+    }
+}

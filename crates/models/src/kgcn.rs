@@ -1,0 +1,357 @@
+//! KGCN — knowledge graph convolutional network (Wang et al. 2019),
+//! propagation-based baseline.
+//!
+//! For a candidate item, KGCN samples a fixed-size receptive field in the
+//! KG (K neighbors per hop) and aggregates neighbor embeddings inward,
+//! weighting each neighbor by a *user-specific* relation score
+//! `softmax_k(e_uᵀ e_r)`. Aggregation is the sum aggregator
+//! `σ(W(e_self + e_N) + b)` with ReLU on inner layers and tanh on the
+//! final layer, as in the reference implementation.
+
+use crate::common::{ModelConfig, TrainContext};
+use crate::Recommender;
+use facility_autograd::{Adam, ParamId, ParamStore, Tape, Var};
+use facility_kg::sampling::sample_bpr_batch;
+use facility_kg::{Ckg, Id};
+use facility_linalg::{init, seeded_rng, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// KGCN hyperparameters.
+#[derive(Debug, Clone)]
+pub struct KgcnConfig {
+    /// Shared hyperparameters.
+    pub base: ModelConfig,
+    /// Neighbors sampled per hop (K).
+    pub n_neighbors: usize,
+    /// Receptive-field depth (the paper compares propagation models at
+    /// depth 2).
+    pub n_layers: usize,
+}
+
+impl From<&ModelConfig> for KgcnConfig {
+    fn from(base: &ModelConfig) -> Self {
+        Self { base: base.clone(), n_neighbors: 8, n_layers: 2 }
+    }
+}
+
+/// Fixed `(relation, tail)` neighbor samples, one vec per entity.
+type NeighborFields = Arc<Vec<Vec<(u32, u32)>>>;
+
+/// The KGCN model.
+pub struct Kgcn {
+    store: ParamStore,
+    adam: Adam,
+    user_emb: ParamId,
+    ent_emb: ParamId,
+    rel_emb: ParamId,
+    /// Per-layer aggregation weights (`d × d`) and biases (`1 × d`).
+    layer_w: Vec<ParamId>,
+    layer_b: Vec<ParamId>,
+    config: KgcnConfig,
+    n_items: usize,
+    /// Fixed receptive-field sample per item entity for evaluation:
+    /// `eval_neighbors[e] = [(rel, tail); K]`, sampled once.
+    eval_neighbors: Option<NeighborFields>,
+}
+
+/// Sample `k` `(rel, tail)` neighbors of `entity` with replacement;
+/// entities without edges self-loop through the Interact relation.
+fn sample_neighbors(
+    ckg: &Ckg,
+    entity: usize,
+    k: usize,
+    rng: &mut impl Rng,
+) -> Vec<(u32, u32)> {
+    let deg = ckg.degree(entity);
+    if deg == 0 {
+        return vec![(0, entity as u32); k];
+    }
+    let lo = ckg.offsets[entity];
+    (0..k)
+        .map(|_| {
+            let e = lo + rng.gen_range(0..deg);
+            (ckg.rels[e], ckg.tails[e])
+        })
+        .collect()
+}
+
+impl Kgcn {
+    /// Initialize from the training context.
+    pub fn new(ctx: &TrainContext<'_>, config: &KgcnConfig) -> Self {
+        let mut rng = seeded_rng(config.base.seed);
+        let d = config.base.embed_dim;
+        let mut store = ParamStore::new();
+        let user_emb =
+            store.add("user_emb", init::xavier_uniform(ctx.inter.n_users, d, &mut rng));
+        let ent_emb =
+            store.add("ent_emb", init::xavier_uniform(ctx.ckg.n_entities(), d, &mut rng));
+        let rel_emb = store.add(
+            "rel_emb",
+            init::xavier_uniform(ctx.ckg.n_relations_with_inverse(), d, &mut rng),
+        );
+        let mut layer_w = Vec::new();
+        let mut layer_b = Vec::new();
+        for l in 0..config.n_layers {
+            layer_w.push(store.add(format!("w{l}"), init::xavier_uniform(d, d, &mut rng)));
+            layer_b.push(store.add(format!("b{l}"), Matrix::zeros(1, d)));
+        }
+        let adam = Adam::default_for(&store, config.base.lr);
+        Self {
+            store,
+            adam,
+            user_emb,
+            ent_emb,
+            rel_emb,
+            layer_w,
+            layer_b,
+            config: config.clone(),
+            n_items: ctx.inter.n_items,
+            eval_neighbors: None,
+        }
+    }
+
+    /// Build the user-specific representations of `items` for `users`
+    /// (parallel index slices of length B) on the tape. `sample` provides
+    /// the per-entity neighbor draw.
+    #[allow(clippy::too_many_arguments)]
+    fn item_reprs(
+        &self,
+        t: &mut Tape,
+        uemb: Var,
+        eemb: Var,
+        remb: Var,
+        layer_w: &[Var],
+        layer_b: &[Var],
+        users: &[usize],
+        item_entities: &[usize],
+        mut sample: impl FnMut(usize) -> Vec<(u32, u32)>,
+    ) -> Var {
+        let k = self.config.n_neighbors;
+        let n_layers = self.config.n_layers;
+        let b = users.len();
+
+        // Expand the receptive field: level 0 = items, level h = K^h nodes.
+        let mut levels: Vec<Vec<usize>> = vec![item_entities.to_vec()];
+        let mut level_rels: Vec<Vec<usize>> = Vec::new(); // relation of the edge to the parent
+        for _hop in 0..n_layers {
+            let parents = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(parents.len() * k);
+            let mut rels = Vec::with_capacity(parents.len() * k);
+            for &p in parents {
+                for (r, tail) in sample(p) {
+                    next.push(tail as usize);
+                    rels.push(r as usize);
+                }
+            }
+            levels.push(next);
+            level_rels.push(rels);
+        }
+
+        // Raw embeddings per level.
+        let mut reprs: Vec<Var> =
+            levels.iter().map(|ents| t.gather_rows(eemb, ents)).collect();
+
+        // Aggregate inward: children at level h+1 into parents at level h.
+        for hop in (0..n_layers).rev() {
+            let n_parents = levels[hop].len();
+            let n_children = levels[hop + 1].len();
+            debug_assert_eq!(n_children, n_parents * k);
+            // User row per child edge: child c belongs to sample c / (K^(hop+1)).
+            let per_sample = n_children / b;
+            let user_of_child: Vec<usize> =
+                (0..n_children).map(|c| users[c / per_sample]).collect();
+            let u_rows = t.gather_rows(uemb, &user_of_child);
+            let r_rows = t.gather_rows(remb, &level_rels[hop]);
+            let pi = t.rowwise_dot(u_rows, r_rows); // (C × 1)
+            let offsets: Arc<Vec<usize>> =
+                Arc::new((0..=n_parents).map(|p| p * k).collect());
+            let att = t.segment_softmax(pi, offsets);
+            let weighted = t.mul_broadcast_col(reprs[hop + 1], att);
+            let seg_of_child: Arc<Vec<usize>> =
+                Arc::new((0..n_children).map(|c| c / k).collect());
+            let agg = t.segment_sum(weighted, seg_of_child, n_parents);
+            let mixed = t.add(reprs[hop], agg);
+            let z = t.matmul(mixed, layer_w[hop]);
+            let zb = t.add_broadcast_row(z, layer_b[hop]);
+            reprs[hop] = if hop == 0 { t.tanh(zb) } else { t.leaky_relu(zb) };
+        }
+        reprs[0]
+    }
+}
+
+impl Recommender for Kgcn {
+    fn name(&self) -> String {
+        "KGCN".into()
+    }
+
+    fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        let n_batches = ctx.batches_per_epoch(self.config.base.batch_size);
+        let mut total = 0.0;
+        for _ in 0..n_batches {
+            let batch = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
+            if batch.is_empty() {
+                return 0.0;
+            }
+            let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
+            let pos: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
+            let neg: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
+
+            let mut t = Tape::new();
+            let uemb = t.leaf(self.store.value(self.user_emb).clone());
+            let eemb = t.leaf(self.store.value(self.ent_emb).clone());
+            let remb = t.leaf(self.store.value(self.rel_emb).clone());
+            let lw: Vec<Var> =
+                self.layer_w.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
+            let lb: Vec<Var> =
+                self.layer_b.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
+
+            let k = self.config.n_neighbors;
+            let pos_rep = self.item_reprs(
+                &mut t, uemb, eemb, remb, &lw, &lb, &users, &pos,
+                |e| sample_neighbors(ctx.ckg, e, k, rng),
+            );
+            let neg_rep = self.item_reprs(
+                &mut t, uemb, eemb, remb, &lw, &lb, &users, &neg,
+                |e| sample_neighbors(ctx.ckg, e, k, rng),
+            );
+            let u = t.gather_rows(uemb, &users);
+            let y_pos = t.rowwise_dot(u, pos_rep);
+            let y_neg = t.rowwise_dot(u, neg_rep);
+            let diff = t.sub(y_pos, y_neg);
+            let ls = t.log_sigmoid(diff);
+            let s = t.sum_all(ls);
+            let bpr = t.scale(s, -1.0 / batch.len() as f32);
+            let ru = t.frobenius_sq(u);
+            let reg = t.scale(ru, self.config.base.l2 / batch.len() as f32);
+            let loss = t.add(bpr, reg);
+            total += t.value(loss)[(0, 0)];
+            t.backward(loss);
+            let mut grads: Vec<_> =
+                [(self.user_emb, uemb), (self.ent_emb, eemb), (self.rel_emb, remb)]
+                    .into_iter()
+                    .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                    .collect();
+            for (&p, &var) in self.layer_w.iter().zip(&lw) {
+                if let Some(g) = t.take_grad(var) {
+                    grads.push((p, g));
+                }
+            }
+            for (&p, &var) in self.layer_b.iter().zip(&lb) {
+                if let Some(g) = t.take_grad(var) {
+                    grads.push((p, g));
+                }
+            }
+            self.store.apply(&mut self.adam, &grads);
+        }
+        self.eval_neighbors = None;
+        total / n_batches as f32
+    }
+
+    fn prepare_eval(&mut self, ctx: &TrainContext<'_>) {
+        // Fix one neighbor draw per entity so evaluation is deterministic.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.base.seed ^ 0x5eed);
+        let k = self.config.n_neighbors;
+        let fields: Vec<Vec<(u32, u32)>> = (0..ctx.ckg.n_entities())
+            .map(|e| sample_neighbors(ctx.ckg, e, k, &mut rng))
+            .collect();
+        self.eval_neighbors = Some(Arc::new(fields));
+        self.n_items = ctx.inter.n_items;
+        // Cache the item→entity mapping implicitly (contiguous layout).
+        debug_assert_eq!(ctx.ckg.item_entity(0), ctx.ckg.n_users);
+    }
+
+    fn score_items(&self, user: Id) -> Vec<f32> {
+        let fields =
+            Arc::clone(self.eval_neighbors.as_ref().expect("prepare_eval not called"));
+        let n_users = self.store.value(self.user_emb).rows();
+        let mut scores = Vec::with_capacity(self.n_items);
+        // Chunk items to bound tape memory.
+        const CHUNK: usize = 256;
+        let mut start = 0;
+        while start < self.n_items {
+            let end = (start + CHUNK).min(self.n_items);
+            let items: Vec<usize> = (start..end).map(|i| n_users + i).collect();
+            let users = vec![user as usize; items.len()];
+            let mut t = Tape::new();
+            let uemb = t.constant(self.store.value(self.user_emb).clone());
+            let eemb = t.constant(self.store.value(self.ent_emb).clone());
+            let remb = t.constant(self.store.value(self.rel_emb).clone());
+            let lw: Vec<Var> =
+                self.layer_w.iter().map(|&p| t.constant(self.store.value(p).clone())).collect();
+            let lb: Vec<Var> =
+                self.layer_b.iter().map(|&p| t.constant(self.store.value(p).clone())).collect();
+            let rep = self.item_reprs(
+                &mut t, uemb, eemb, remb, &lw, &lb, &users, &items,
+                |e| fields[e].clone(),
+            );
+            let u = t.gather_rows(uemb, &users);
+            let y = t.rowwise_dot(u, rep);
+            scores.extend_from_slice(t.value(y).as_slice());
+            start = end;
+        }
+        scores
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.store.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::TrainContext;
+    use crate::test_fixtures::{auc, toy_world};
+
+    fn fast_config() -> KgcnConfig {
+        KgcnConfig { base: ModelConfig::fast(), n_neighbors: 3, n_layers: 2 }
+    }
+
+    #[test]
+    fn kgcn_learns_toy_world() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Kgcn::new(&ctx, &fast_config());
+        let mut rng = seeded_rng(1);
+        let first = model.train_epoch(&ctx, &mut rng);
+        let mut last = first;
+        for _ in 0..40 {
+            last = model.train_epoch(&ctx, &mut rng);
+        }
+        assert!(last < first, "KGCN loss should fall: {first} -> {last}");
+        model.prepare_eval(&ctx);
+        let a = auc(&model, &inter);
+        assert!(a > 0.65, "KGCN AUC {a}");
+    }
+
+    #[test]
+    fn sample_neighbors_handles_isolated_entities() {
+        let (_, ckg) = toy_world();
+        let mut rng = seeded_rng(2);
+        // Every neighbor of a connected entity comes from its CSR slice.
+        for e in 0..ckg.n_entities() {
+            let ns = sample_neighbors(&ckg, e, 4, &mut rng);
+            assert_eq!(ns.len(), 4);
+            if ckg.degree(e) > 0 {
+                for (r, tail) in ns {
+                    assert!(ckg
+                        .neighbors(e)
+                        .any(|(rr, tt)| rr == r && tt == tail));
+                }
+            } else {
+                assert!(ns.iter().all(|&(r, t)| r == 0 && t as usize == e));
+            }
+        }
+    }
+
+    #[test]
+    fn eval_is_deterministic_after_prepare() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Kgcn::new(&ctx, &fast_config());
+        model.prepare_eval(&ctx);
+        assert_eq!(model.score_items(1), model.score_items(1));
+    }
+}

@@ -1,0 +1,325 @@
+//! Shared TransR machinery (paper Section V-A, Eqs. 1–2).
+//!
+//! TransR projects entities from the `d`-dimensional entity space into
+//! each relation's `k`-dimensional space via a per-relation matrix `W_r`,
+//! and scores a triple by `‖W_r e_h + e_r − W_r e_t‖²` (lower = more
+//! plausible). Two things are built on it here:
+//!
+//! * [`margin_loss`] — the trainable loss `L₁` (Eq. 2), used by CKE and
+//!   CKAT's embedding layer;
+//! * [`attention_scores`] — the knowledge-aware attention
+//!   `f_a(h,r,t) = (W_r e_t)ᵀ tanh(W_r e_h + e_r)` normalized per
+//!   neighborhood (Eqs. 4–5), computed forward-only over the whole CKG.
+//!   Following the reference KGAT implementation this model family
+//!   derives from, attention weights are refreshed once per epoch and
+//!   treated as constants inside each mini-batch; the attention
+//!   parameters themselves learn through `L₁`.
+
+use facility_autograd::{Tape, Var};
+use facility_kg::sampling::KgSample;
+use facility_kg::Ckg;
+use facility_linalg::{ops, Matrix};
+use rayon::prelude::*;
+
+/// Group `batch` indices by relation id. Returns `(rel, indices)` pairs
+/// for non-empty groups.
+fn group_by_relation(batch: &[KgSample], n_rel: usize) -> Vec<(usize, Vec<usize>)> {
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n_rel];
+    for (i, s) in batch.iter().enumerate() {
+        groups[s.rel as usize].push(i);
+    }
+    groups.into_iter().enumerate().filter(|(_, g)| !g.is_empty()).collect()
+}
+
+/// Build the TransR margin loss (Eq. 2) onto `tape`.
+///
+/// * `ent` — entity embedding leaf, `(n_entities × d)`;
+/// * `rel_emb` — relation embedding leaf, `(n_rel × k)`;
+/// * `rel_proj` — stacked projection blocks, `(n_rel·d × k)`; relation
+///   `r`'s matrix `W_r` is rows `r·d .. (r+1)·d`.
+///
+/// Returns the `1 × 1` mean hinge loss over the batch.
+#[allow(clippy::too_many_arguments)] // mirrors the mathematical arity of Eq. 2
+pub fn margin_loss(
+    tape: &mut Tape,
+    ent: Var,
+    rel_emb: Var,
+    rel_proj: Var,
+    d: usize,
+    n_rel: usize,
+    batch: &[KgSample],
+    margin: f32,
+) -> Var {
+    assert!(!batch.is_empty(), "margin_loss: empty batch");
+    let mut total: Option<Var> = None;
+    for (r, idx) in group_by_relation(batch, n_rel) {
+        let heads: Vec<usize> = idx.iter().map(|&i| batch[i].head as usize).collect();
+        let tails: Vec<usize> = idx.iter().map(|&i| batch[i].tail as usize).collect();
+        let negs: Vec<usize> = idx.iter().map(|&i| batch[i].neg_tail as usize).collect();
+
+        let wr_rows: Vec<usize> = (r * d..(r + 1) * d).collect();
+        let wr = tape.gather_rows(rel_proj, &wr_rows); // (d × k)
+        let er = tape.gather_rows(rel_emb, &[r]); // (1 × k)
+
+        let eh = tape.gather_rows(ent, &heads);
+        let et = tape.gather_rows(ent, &tails);
+        let en = tape.gather_rows(ent, &negs);
+        let hp = tape.matmul(eh, wr);
+        let tp = tape.matmul(et, wr);
+        let np = tape.matmul(en, wr);
+
+        let h_plus_r = tape.add_broadcast_row(hp, er);
+        let pos_diff = tape.sub(h_plus_r, tp);
+        let neg_diff = tape.sub(h_plus_r, np);
+        let f_pos = tape.rowwise_norm_sq(pos_diff);
+        let f_neg = tape.rowwise_norm_sq(neg_diff);
+        let gap = tape.sub(f_pos, f_neg);
+        let shifted = tape.add_scalar(gap, margin);
+        let hinge = tape.relu(shifted);
+        let s = tape.sum_all(hinge);
+        total = Some(match total {
+            Some(acc) => tape.add(acc, s),
+            None => s,
+        });
+    }
+    let total = total.expect("at least one non-empty group");
+    tape.scale(total, 1.0 / batch.len() as f32)
+}
+
+/// Compute the knowledge-aware attention weight of every CKG edge
+/// (Eqs. 4–5), forward-only.
+///
+/// `ent` is `(n_entities × d)`, `rel_emb` `(n_rel × k)`, `rel_proj`
+/// `(n_rel·d × k)`. Returns one weight per edge in CSR order; each head's
+/// neighborhood sums to 1.
+pub fn attention_scores(
+    ckg: &Ckg,
+    ent: &Matrix,
+    rel_emb: &Matrix,
+    rel_proj: &Matrix,
+) -> Vec<f32> {
+    let d = ent.cols();
+    let n_edges = ckg.n_edges();
+    let mut scores = vec![0.0f32; n_edges];
+
+    // Per-relation batched projection: parallel across relations.
+    let groups = ckg.edges_by_relation();
+    let per_rel: Vec<(usize, Vec<f32>)> = groups
+        .par_iter()
+        .enumerate()
+        .filter(|(_, g)| !g.is_empty())
+        .map(|(r, g)| {
+            let heads: Vec<usize> = g.iter().map(|&e| ckg.heads[e] as usize).collect();
+            let tails: Vec<usize> = g.iter().map(|&e| ckg.tails[e] as usize).collect();
+            let wr_rows: Vec<usize> = (r * d..(r + 1) * d).collect();
+            let wr = rel_proj.gather_rows(&wr_rows);
+            let er = rel_emb.row(r);
+            let hp = ent.gather_rows(&heads).matmul(&wr);
+            let tp = ent.gather_rows(&tails).matmul(&wr);
+            let vals: Vec<f32> = (0..g.len())
+                .map(|i| {
+                    let mut acc = 0.0f32;
+                    for (c, (&h, &t)) in hp.row(i).iter().zip(tp.row(i)).enumerate() {
+                        acc += t * ops::tanh(h + er[c]);
+                    }
+                    acc
+                })
+                .collect();
+            (r, vals)
+        })
+        .collect();
+    for (r, vals) in per_rel {
+        for (&e, v) in groups[r].iter().zip(vals) {
+            scores[e] = v;
+        }
+    }
+
+    // Softmax per head neighborhood (CSR segments).
+    for w in ckg.offsets.windows(2) {
+        ops::softmax_in_place(&mut scores[w[0]..w[1]]);
+    }
+    scores
+}
+
+/// Uniform attention — `1/|N_h|` per edge — for the "w/o Att" ablation
+/// (Table IV).
+pub fn uniform_scores(ckg: &Ckg) -> Vec<f32> {
+    let mut scores = vec![0.0f32; ckg.n_edges()];
+    for w in ckg.offsets.windows(2) {
+        let n = (w[1] - w[0]) as f32;
+        for s in &mut scores[w[0]..w[1]] {
+            *s = 1.0 / n;
+        }
+    }
+    scores
+}
+
+/// Forward-only TransR plausibility `‖W_r e_h + e_r − W_r e_t‖²` of one
+/// triple (used in tests and diagnostics).
+pub fn triple_score(
+    ent: &Matrix,
+    rel_emb: &Matrix,
+    rel_proj: &Matrix,
+    d: usize,
+    h: usize,
+    r: usize,
+    t: usize,
+) -> f32 {
+    let k = rel_emb.cols();
+    let wr_rows: Vec<usize> = (r * d..(r + 1) * d).collect();
+    let wr = rel_proj.gather_rows(&wr_rows);
+    let hp = ent.gather_rows(&[h]).matmul(&wr);
+    let tp = ent.gather_rows(&[t]).matmul(&wr);
+    let mut acc = 0.0;
+    for c in 0..k {
+        let v = hp[(0, c)] + rel_emb[(r, c)] - tp[(0, c)];
+        acc += v * v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_autograd::{Adam, ParamStore};
+    use facility_kg::sampling::sample_kg_batch;
+    use facility_kg::{CkgBuilder, KnowledgeSource, SourceMask};
+    use facility_linalg::{init, seeded_rng};
+
+    fn toy_ckg() -> Ckg {
+        let mut b = CkgBuilder::new(3, 4);
+        b.add_interactions(&[(0, 0), (1, 1), (2, 2), (0, 3)]);
+        for i in 0..4u32 {
+            b.add_item_attribute(KnowledgeSource::Dkg, "hasDataType", i, format!("t:{}", i % 2));
+        }
+        b.build(SourceMask::all())
+    }
+
+    #[test]
+    fn margin_loss_decreases_under_training() {
+        let ckg = toy_ckg();
+        let (d, k) = (8, 8);
+        let n_rel = ckg.n_relations_with_inverse();
+        let mut rng = seeded_rng(3);
+        let mut store = ParamStore::new();
+        let ent = store.add("ent", init::xavier_uniform(ckg.n_entities(), d, &mut rng));
+        let rel = store.add("rel", init::xavier_uniform(n_rel, k, &mut rng));
+        let proj = store.add("proj", init::xavier_uniform(n_rel * d, k, &mut rng));
+        let mut adam = Adam::default_for(&store, 0.01);
+
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let batch = sample_kg_batch(&ckg, 32, &mut rng);
+            let mut t = Tape::new();
+            let ev = t.leaf(store.value(ent).clone());
+            let rv = t.leaf(store.value(rel).clone());
+            let pv = t.leaf(store.value(proj).clone());
+            let loss = margin_loss(&mut t, ev, rv, pv, d, n_rel, &batch, 1.0);
+            last = t.value(loss)[(0, 0)];
+            first.get_or_insert(last);
+            t.backward(loss);
+            let grads: Vec<_> = [(ent, ev), (rel, rv), (proj, pv)]
+                .into_iter()
+                .filter_map(|(p, v)| t.take_grad(v).map(|g| (p, g)))
+                .collect();
+            store.apply(&mut adam, &grads);
+        }
+        let first = first.unwrap();
+        assert!(last < first, "TransR loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn trained_transr_ranks_true_triples_above_corrupted() {
+        let ckg = toy_ckg();
+        let (d, k) = (8, 8);
+        let n_rel = ckg.n_relations_with_inverse();
+        let mut rng = seeded_rng(4);
+        let mut store = ParamStore::new();
+        let ent = store.add("ent", init::xavier_uniform(ckg.n_entities(), d, &mut rng));
+        let rel = store.add("rel", init::xavier_uniform(n_rel, k, &mut rng));
+        let proj = store.add("proj", init::xavier_uniform(n_rel * d, k, &mut rng));
+        let mut adam = Adam::default_for(&store, 0.02);
+        for _ in 0..150 {
+            let batch = sample_kg_batch(&ckg, 64, &mut rng);
+            let mut t = Tape::new();
+            let ev = t.leaf(store.value(ent).clone());
+            let rv = t.leaf(store.value(rel).clone());
+            let pv = t.leaf(store.value(proj).clone());
+            let loss = margin_loss(&mut t, ev, rv, pv, d, n_rel, &batch, 1.0);
+            t.backward(loss);
+            let grads: Vec<_> = [(ent, ev), (rel, rv), (proj, pv)]
+                .into_iter()
+                .filter_map(|(p, v)| t.take_grad(v).map(|g| (p, g)))
+                .collect();
+            store.apply(&mut adam, &grads);
+        }
+        // True triples should now score lower (more plausible) than
+        // corruptions on average.
+        let mut wins = 0;
+        let mut total = 0;
+        for s in sample_kg_batch(&ckg, 200, &mut seeded_rng(9)) {
+            let pos = triple_score(
+                store.value(ent), store.value(rel), store.value(proj),
+                d, s.head as usize, s.rel as usize, s.tail as usize,
+            );
+            let neg = triple_score(
+                store.value(ent), store.value(rel), store.value(proj),
+                d, s.head as usize, s.rel as usize, s.neg_tail as usize,
+            );
+            if pos < neg {
+                wins += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            wins * 10 >= total * 7,
+            "trained TransR should rank >=70% of true triples better: {wins}/{total}"
+        );
+    }
+
+    #[test]
+    fn attention_sums_to_one_per_neighborhood() {
+        let ckg = toy_ckg();
+        let (d, k) = (6, 6);
+        let mut rng = seeded_rng(5);
+        let ent = init::xavier_uniform(ckg.n_entities(), d, &mut rng);
+        let rel = init::xavier_uniform(ckg.n_relations_with_inverse(), k, &mut rng);
+        let proj = init::xavier_uniform(ckg.n_relations_with_inverse() * d, k, &mut rng);
+        let att = attention_scores(&ckg, &ent, &rel, &proj);
+        assert_eq!(att.len(), ckg.n_edges());
+        for w in ckg.offsets.windows(2) {
+            if w[1] > w[0] {
+                let s: f32 = att[w[0]..w[1]].iter().sum();
+                assert!((s - 1.0).abs() < 1e-4, "neighborhood sum {s}");
+            }
+        }
+        assert!(att.iter().all(|a| a.is_finite() && *a >= 0.0));
+    }
+
+    #[test]
+    fn uniform_scores_are_inverse_degree() {
+        let ckg = toy_ckg();
+        let att = uniform_scores(&ckg);
+        for e in 0..ckg.n_entities() {
+            let deg = ckg.degree(e);
+            for &a in &att[ckg.offsets[e]..ckg.offsets[e + 1]] {
+                assert!((a - 1.0 / deg as f32).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn attention_differs_from_uniform_for_random_embeddings() {
+        let ckg = toy_ckg();
+        let mut rng = seeded_rng(6);
+        let d = 6;
+        let ent = init::xavier_uniform(ckg.n_entities(), d, &mut rng);
+        let rel = init::xavier_uniform(ckg.n_relations_with_inverse(), d, &mut rng);
+        let proj = init::xavier_uniform(ckg.n_relations_with_inverse() * d, d, &mut rng);
+        let att = attention_scores(&ckg, &ent, &rel, &proj);
+        let uni = uniform_scores(&ckg);
+        let diff: f32 = att.iter().zip(&uni).map(|(a, u)| (a - u).abs()).sum();
+        assert!(diff > 1e-3, "attention should discriminate neighbors");
+    }
+}

@@ -1,0 +1,309 @@
+#![warn(missing_docs)]
+
+//! # facility-tsne
+//!
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for visualizing user
+//! query embeddings — the tool behind the paper's Figure 4, which plots
+//! the data objects queried by the eight most active users of one
+//! organization and observes that their clusters overlap.
+//!
+//! Exact (non-Barnes-Hut) t-SNE is `O(n²)` per iteration; the point sets
+//! here are hundreds to a few thousand, so the quadratic kernels are
+//! simply parallelized with rayon:
+//!
+//! * pairwise squared distances,
+//! * per-point perplexity calibration (binary search over σ),
+//! * the Q-distribution and gradient.
+
+use facility_linalg::{init, seeded_rng, Matrix};
+use rayon::prelude::*;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbor count); clamped to
+    /// `(n − 1) / 3` internally as usual.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub n_iter: usize,
+    /// Learning rate (η).
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the run.
+    pub exaggeration: f64,
+    /// Seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self { perplexity: 30.0, n_iter: 500, learning_rate: 200.0, exaggeration: 12.0, seed: 0 }
+    }
+}
+
+/// Run exact t-SNE on the rows of `x`, embedding into 2-D.
+///
+/// Returns an `n × 2` matrix. For `n ≤ 2` the (degenerate) input layout is
+/// a small seeded Gaussian.
+pub fn run(x: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = x.rows();
+    let mut rng = seeded_rng(config.seed);
+    let mut y = init::normal(n, 2, 0.0, 1e-2, &mut rng);
+    if n <= 2 {
+        return y;
+    }
+
+    let p = joint_probabilities(x, config.perplexity);
+    let mut dy = Matrix::zeros(n, 2);
+    let mut gains = Matrix::filled(n, 2, 1.0);
+    let exaggeration_until = config.n_iter / 4;
+
+    for iter in 0..config.n_iter {
+        let momentum = if iter < config.n_iter / 4 { 0.5 } else { 0.8 };
+        let ex = if iter < exaggeration_until { config.exaggeration } else { 1.0 };
+        let grad = gradient(&p, &y, ex as f32);
+
+        // Delta-bar-delta gains as in the reference implementation.
+        for i in 0..n * 2 {
+            let g = grad.as_slice()[i];
+            let d = dy.as_slice()[i];
+            let gain = &mut gains.as_mut_slice()[i];
+            if (g > 0.0) != (d > 0.0) {
+                *gain += 0.2;
+            } else {
+                *gain = (*gain * 0.8).max(0.01);
+            }
+        }
+        for i in 0..n * 2 {
+            let step = momentum as f32 * dy.as_slice()[i]
+                - config.learning_rate as f32 * gains.as_slice()[i] * grad.as_slice()[i];
+            dy.as_mut_slice()[i] = step;
+            y.as_mut_slice()[i] += step;
+        }
+        // Re-center to remove drift.
+        let mean = y.col_sums().scale(1.0 / n as f32);
+        for r in 0..n {
+            for c in 0..2 {
+                y[(r, c)] -= mean[(0, c)];
+            }
+        }
+    }
+    y
+}
+
+/// Symmetrized joint probabilities `P` with per-point perplexity
+/// calibration.
+fn joint_probabilities(x: &Matrix, perplexity: f64) -> Matrix {
+    let n = x.rows();
+    let d2 = pairwise_sq_dists(x);
+    let target = perplexity.min(((n - 1) as f64 / 3.0).max(1.0));
+    let log_target = target.ln();
+
+    // Conditional distributions, one row per point (parallel).
+    let rows: Vec<Vec<f32>> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut beta = 1.0f64; // 1 / (2σ²)
+            let (mut beta_lo, mut beta_hi) = (0.0f64, f64::INFINITY);
+            let mut row = vec![0.0f32; n];
+            for _ in 0..64 {
+                let mut sum = 0.0f64;
+                let mut sum_d = 0.0f64;
+                for j in 0..n {
+                    if j == i {
+                        row[j] = 0.0;
+                        continue;
+                    }
+                    let pij = (-(d2[(i, j)] as f64) * beta).exp();
+                    row[j] = pij as f32;
+                    sum += pij;
+                    sum_d += pij * d2[(i, j)] as f64;
+                }
+                if sum <= 0.0 {
+                    // All neighbors infinitely far at this beta: relax.
+                    beta_hi = beta;
+                    beta = (beta_lo + beta_hi) / 2.0;
+                    continue;
+                }
+                // Shannon entropy H = ln(sum) + beta * E[d].
+                let h = sum.ln() + beta * sum_d / sum;
+                let diff = h - log_target;
+                if diff.abs() < 1e-5 {
+                    break;
+                }
+                if diff > 0.0 {
+                    beta_lo = beta;
+                    beta = if beta_hi.is_finite() { (beta_lo + beta_hi) / 2.0 } else { beta * 2.0 };
+                } else {
+                    beta_hi = beta;
+                    beta = (beta_lo + beta_hi) / 2.0;
+                }
+            }
+            let sum: f32 = row.iter().sum();
+            if sum > 0.0 {
+                for v in &mut row {
+                    *v /= sum;
+                }
+            }
+            row
+        })
+        .collect();
+
+    // Symmetrize: p_ij = (p_{j|i} + p_{i|j}) / 2n, floored for stability.
+    let mut p = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v = (rows[i][j] + rows[j][i]) / (2.0 * n as f32);
+            p[(i, j)] = v.max(1e-12);
+        }
+    }
+    for i in 0..n {
+        p[(i, i)] = 0.0;
+    }
+    p
+}
+
+/// Squared Euclidean distances between all row pairs (parallel).
+fn pairwise_sq_dists(x: &Matrix) -> Matrix {
+    let n = x.rows();
+    let mut out = Matrix::zeros(n, n);
+    out.as_mut_slice().par_chunks_exact_mut(n).enumerate().for_each(|(i, row)| {
+        let xi = x.row(i);
+        for (j, o) in row.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (a, b) in xi.iter().zip(x.row(j)) {
+                let d = a - b;
+                acc += d * d;
+            }
+            *o = acc;
+        }
+    });
+    out
+}
+
+/// KL gradient `4 Σ_j (ex·p_ij − q_ij) q_num_ij (y_i − y_j)`.
+fn gradient(p: &Matrix, y: &Matrix, exaggeration: f32) -> Matrix {
+    let n = y.rows();
+    // Student-t numerators and normalizer.
+    let mut num = Matrix::zeros(n, n);
+    let mut z = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let dx = y[(i, 0)] - y[(j, 0)];
+            let dyv = y[(i, 1)] - y[(j, 1)];
+            let v = 1.0 / (1.0 + dx * dx + dyv * dyv);
+            num[(i, j)] = v;
+            z += v as f64;
+        }
+    }
+    let z = (z as f32).max(1e-12);
+
+    let mut grad = Matrix::zeros(n, 2);
+    grad.as_mut_slice().par_chunks_exact_mut(2).enumerate().for_each(|(i, g)| {
+        let mut gx = 0.0f32;
+        let mut gy = 0.0f32;
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let q = num[(i, j)] / z;
+            let mult = (exaggeration * p[(i, j)] - q) * num[(i, j)];
+            gx += mult * (y[(i, 0)] - y[(j, 0)]);
+            gy += mult * (y[(i, 1)] - y[(j, 1)]);
+        }
+        g[0] = 4.0 * gx;
+        g[1] = 4.0 * gy;
+    });
+    grad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 8-D.
+    fn blobs(n_per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = seeded_rng(seed);
+        let a = init::normal(n_per, 8, 0.0, 0.3, &mut rng);
+        let mut b = init::normal(n_per, 8, 0.0, 0.3, &mut rng);
+        b.map_assign(|v| v + 5.0);
+        let x = a.concat_rows(&b);
+        let labels = (0..2 * n_per).map(|i| i / n_per).collect();
+        (x, labels)
+    }
+
+    fn small_config() -> TsneConfig {
+        TsneConfig { n_iter: 250, perplexity: 10.0, ..TsneConfig::default() }
+    }
+
+    #[test]
+    fn output_shape_and_finiteness() {
+        let (x, _) = blobs(20, 1);
+        let y = run(&x, &small_config());
+        assert_eq!(y.shape(), (40, 2));
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn separated_blobs_stay_separated() {
+        let (x, labels) = blobs(25, 2);
+        let y = run(&x, &small_config());
+        // 1-NN label agreement should be near-perfect for blobs 16σ apart.
+        let n = y.rows();
+        let mut correct = 0;
+        for i in 0..n {
+            let mut best = usize::MAX;
+            let mut best_d = f32::INFINITY;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let dx = y[(i, 0)] - y[(j, 0)];
+                let dy = y[(i, 1)] - y[(j, 1)];
+                let d = dx * dx + dy * dy;
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if labels[best] == labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / n as f64;
+        assert!(acc > 0.9, "1-NN accuracy {acc} too low — clusters collapsed");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let (x, _) = blobs(10, 3);
+        let a = run(&x, &small_config());
+        let b = run(&x, &small_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_safe() {
+        let cfg = small_config();
+        assert_eq!(run(&Matrix::zeros(0, 4), &cfg).rows(), 0);
+        assert_eq!(run(&Matrix::zeros(1, 4), &cfg).rows(), 1);
+        assert_eq!(run(&Matrix::zeros(2, 4), &cfg).rows(), 2);
+        // Identical points: probabilities must stay finite.
+        let y = run(&Matrix::filled(8, 4, 1.0), &cfg);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn joint_probabilities_are_a_distribution() {
+        let (x, _) = blobs(10, 4);
+        let p = joint_probabilities(&x, 5.0);
+        let total: f32 = p.as_slice().iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "P sums to {total}");
+        assert!(p.as_slice().iter().all(|&v| v >= 0.0));
+        for i in 0..p.rows() {
+            assert_eq!(p[(i, i)], 0.0);
+        }
+    }
+}

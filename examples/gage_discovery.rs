@@ -1,0 +1,74 @@
+//! Geodesy (GAGE-like) data discovery with a knowledge-source ablation:
+//! how much do location knowledge (LOC), the domain model (DKG), and user
+//! co-location (UUG) each contribute on a locality-heavy facility?
+//!
+//! ```sh
+//! cargo run --release --example gage_discovery
+//! ```
+
+use facility_kgrec::ckat::{Experiment, ExperimentConfig};
+use facility_kgrec::datagen::FacilityConfig;
+use facility_kgrec::eval::TrainSettings;
+use facility_kgrec::kg::SourceMask;
+use facility_kgrec::models::ckat::{Aggregator, CkatConfig};
+use facility_kgrec::models::ModelConfig;
+
+fn main() {
+    // Scaled-down GAGE (GPS/GNSS stations across many cities/states).
+    let mut facility = FacilityConfig::gage();
+    facility.n_users = 350;
+    facility.n_items = 250;
+    facility.n_sites = 96;
+    facility.n_organizations = 24;
+    facility.n_cities = 40;
+
+    let exp = Experiment::prepare(&ExperimentConfig {
+        facility,
+        seed: 17,
+        ..ExperimentConfig::default()
+    });
+    println!("GAGE-like CKG:\n{}\n", exp.stats());
+
+    let base = ModelConfig { embed_dim: 32, ..ModelConfig::default() };
+    let ckat = CkatConfig {
+        layer_dims: vec![32, 16, 8],
+        use_attention: true,
+        aggregator: Aggregator::Concat,
+        transr_dim: 32,
+        margin: 1.0,
+        base,
+    };
+    let settings = TrainSettings {
+        max_epochs: 25,
+        eval_every: 5,
+        patience: 2,
+        k: 20,
+        seed: 9,
+        verbose: false,
+    };
+
+    let masks = [
+        SourceMask::uig_only(),
+        SourceMask { uug: false, loc: true, dkg: false, md: false },
+        SourceMask { uug: false, loc: false, dkg: true, md: false },
+        SourceMask { uug: true, loc: false, dkg: false, md: false },
+        SourceMask::all(),
+    ];
+
+    println!("knowledge            recall@20  ndcg@20");
+    println!("-------------------  ---------  -------");
+    for mask in masks {
+        let variant = exp.with_mask(mask);
+        let report = variant.run_ckat(&ckat, &settings);
+        println!(
+            "{:<19}  {:.4}     {:.4}",
+            mask.label(),
+            report.best.recall,
+            report.best.ndcg
+        );
+    }
+    println!(
+        "\nGAGE users follow instrument locality strongly (paper Section VI-F):\n\
+         expect LOC to contribute more than DKG here."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: simulate a small facility, train CKAT, and print
+//! recommendations.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use facility_kgrec::ckat::{recommend_top_k, Experiment, ExperimentConfig};
+use facility_kgrec::datagen::FacilityConfig;
+use facility_kgrec::eval::TrainSettings;
+use facility_kgrec::models::{ModelConfig, ModelKind};
+
+fn main() {
+    // 1. Simulate a small facility: instruments at sites, users in cities,
+    //    an affinity-driven query trace.
+    let exp = Experiment::prepare(&ExperimentConfig {
+        facility: FacilityConfig::tiny(),
+        seed: 42,
+        ..ExperimentConfig::default()
+    });
+    println!("Collaborative knowledge graph:\n{}\n", exp.stats());
+
+    // 2. Train the CKAT recommender.
+    let settings = TrainSettings {
+        max_epochs: 20,
+        eval_every: 5,
+        patience: 0,
+        k: 10,
+        seed: 7,
+        verbose: true,
+    };
+    let model_cfg = ModelConfig { embed_dim: 16, keep_prob: 1.0, ..ModelConfig::default() };
+    let model = exp.train_recommender(ModelKind::Ckat, &model_cfg, &settings);
+
+    // 3. Recommend data objects for a user, with their trace context.
+    let user = 0u32;
+    let meta = &exp.trace.population.users[user as usize];
+    println!(
+        "\nUser {user}: city {}, org {}, home site {}, preferred data types {:?}",
+        meta.city, meta.org, meta.home_site, meta.pref_types
+    );
+    println!("Already queried (train): {:?}", exp.inter.train[user as usize]);
+
+    println!("\nTop-5 recommended data objects:");
+    for (item, score) in recommend_top_k(model.as_ref(), &exp.inter, user, 5) {
+        let m = &exp.trace.catalog.items[item as usize];
+        println!(
+            "  item {item:3}  score {score:6.3}  site {} (region {}), data type {}, discipline {}",
+            m.site, m.region, m.data_type, m.discipline
+        );
+    }
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate every table/figure of the paper into results/.
+# Usage: ./run_tables.sh [--fast|--paper] — flags forwarded to each binary.
+set -e
+cargo build --release -p facility-bench
+mkdir -p results
+for t in table1 table2 table3 table4 table5 fig5; do
+  echo "== $t =="
+  ./target/release/$t "$@" > "results/$t.txt" 2> "results/$t.log"
+  cat "results/$t.txt"
+done
+./target/release/fig3 "$@" > results/fig3.csv 2> results/fig3_summary.txt
+./target/release/fig4 "$@" > results/fig4.csv 2> results/fig4_summary.txt
+echo "== figures =="
+cat results/fig3_summary.txt results/fig4_summary.txt

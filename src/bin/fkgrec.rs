@@ -1,0 +1,261 @@
+//! `fkgrec` — command-line interface for facility knowledge-network
+//! recommendations.
+//!
+//! ```text
+//! fkgrec simulate  --facility ooi|gage|tiny --seed N --out DIR
+//! fkgrec stats     --trace DIR
+//! fkgrec train     --trace DIR --model ckat [--epochs N] [--k N] [--mask MASK]
+//! fkgrec recommend --trace DIR --model ckat --user N [--top N] [--epochs N]
+//! fkgrec compare   --trace DIR [--epochs N] [--k N]
+//! ```
+//!
+//! `MASK` is a `+`-separated subset of `uug`, `loc`, `dkg`, `md` (UIG is
+//! always included); default `uug+loc+dkg`.
+
+use facility_kgrec::ckat::{recommend_top_k, Experiment, ExperimentConfig};
+use facility_kgrec::datagen::{io as trace_io, stats, FacilityConfig, Trace};
+use facility_kgrec::eval::{train, TrainSettings};
+use facility_kgrec::kg::{CkgStats, SourceMask};
+use facility_kgrec::models::{ModelConfig, ModelKind, TrainContext};
+use facility_kgrec::prelude::seeded_rng;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage("missing command");
+    };
+    let opts = parse_flags(rest);
+    match cmd.as_str() {
+        "simulate" => cmd_simulate(&opts),
+        "stats" => cmd_stats(&opts),
+        "train" => cmd_train(&opts),
+        "recommend" => cmd_recommend(&opts),
+        "compare" => cmd_compare(&opts),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "fkgrec — facility knowledge-network recommendations\n\n\
+         commands:\n\
+           simulate  --facility ooi|gage|tiny --seed N --out DIR\n\
+           stats     --trace DIR\n\
+           train     --trace DIR --model NAME [--epochs N] [--k N] [--mask MASK]\n\
+           recommend --trace DIR --model NAME --user N [--top N] [--epochs N]\n\
+           compare   --trace DIR [--epochs N] [--k N]\n\n\
+         models: bprmf fm nfm cke cfkg ripplenet kgcn ckat\n\
+         MASK: '+'-separated subset of uug,loc,dkg,md (default uug+loc+dkg)"
+    );
+    exit(if err.is_empty() { 0 } else { 2 })
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            usage(&format!("expected a --flag, got `{flag}`"));
+        };
+        let Some(value) = it.next() else {
+            usage(&format!("--{key} needs a value"));
+        };
+        map.insert(key.to_string(), value.clone());
+    }
+    map
+}
+
+fn get<'a>(opts: &'a HashMap<String, String>, key: &str) -> &'a str {
+    opts.get(key).unwrap_or_else(|| usage(&format!("missing --{key}"))).as_str()
+}
+
+fn get_or<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    opts.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
+}
+
+fn parse_mask(s: &str) -> SourceMask {
+    let mut mask = SourceMask { uug: false, loc: false, dkg: false, md: false };
+    for part in s.split('+').filter(|p| !p.is_empty() && *p != "uig") {
+        match part {
+            "uug" => mask.uug = true,
+            "loc" => mask.loc = true,
+            "dkg" => mask.dkg = true,
+            "md" => mask.md = true,
+            other => usage(&format!("unknown knowledge source `{other}`")),
+        }
+    }
+    mask
+}
+
+fn parse_model(s: &str) -> ModelKind {
+    match s.to_lowercase().as_str() {
+        "bprmf" => ModelKind::Bprmf,
+        "fm" => ModelKind::Fm,
+        "nfm" => ModelKind::Nfm,
+        "cke" => ModelKind::Cke,
+        "cfkg" => ModelKind::Cfkg,
+        "ripplenet" => ModelKind::RippleNet,
+        "kgcn" => ModelKind::Kgcn,
+        "ckat" => ModelKind::Ckat,
+        other => usage(&format!("unknown model `{other}`")),
+    }
+}
+
+fn load_trace(opts: &HashMap<String, String>) -> Trace {
+    let dir = PathBuf::from(get(opts, "trace"));
+    trace_io::read_trace(&dir).unwrap_or_else(|e| {
+        eprintln!("failed to read trace at {}: {e}", dir.display());
+        exit(1)
+    })
+}
+
+/// Build an `Experiment` around an already-loaded trace.
+fn experiment_from(trace: Trace, mask: SourceMask, seed: u64) -> Experiment {
+    let mut rng = seeded_rng(seed ^ 0x517);
+    let inter = trace.split_interactions(0.2, &mut rng);
+    let mut builder = trace.ckg_builder(4);
+    builder.add_interactions(&inter.train_pairs);
+    let ckg = builder.build(mask);
+    Experiment {
+        config: ExperimentConfig {
+            facility: trace.config.clone(),
+            seed,
+            test_frac: 0.2,
+            mask,
+            uug_pairs_per_city: 4,
+        },
+        trace,
+        inter,
+        ckg,
+    }
+}
+
+fn settings(opts: &HashMap<String, String>) -> TrainSettings {
+    TrainSettings {
+        max_epochs: parse_num(get_or(opts, "epochs", "40"), "--epochs"),
+        eval_every: 5,
+        patience: 3,
+        k: parse_num(get_or(opts, "k", "20"), "--k"),
+        seed: parse_num(get_or(opts, "seed", "7"), "--seed"),
+        verbose: true,
+    }
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) {
+    let facility = match get(opts, "facility") {
+        "ooi" => FacilityConfig::ooi(),
+        "gage" => FacilityConfig::gage(),
+        "tiny" => FacilityConfig::tiny(),
+        other => usage(&format!("unknown facility `{other}` (ooi|gage|tiny)")),
+    };
+    let seed: u64 = parse_num(get_or(opts, "seed", "42"), "--seed");
+    let out = PathBuf::from(get(opts, "out"));
+    let trace = Trace::generate(&facility, seed);
+    trace_io::write_trace(&trace, &out).unwrap_or_else(|e| {
+        eprintln!("failed to write {}: {e}", out.display());
+        exit(1)
+    });
+    println!(
+        "wrote {} ({} users, {} items, {} events) to {}",
+        facility.name,
+        facility.n_users,
+        facility.n_items,
+        trace.n_events(),
+        out.display()
+    );
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) {
+    let trace = load_trace(opts);
+    let exp = experiment_from(trace, SourceMask::all(), 42);
+    println!("facility: {}", exp.trace.config.name);
+    println!("{}", CkgStats::of(&exp.ckg));
+    let (region_share, type_share) = stats::affinity_shares(&exp.trace);
+    println!("locality share  {:.1}%", region_share * 100.0);
+    println!("data-type share {:.1}%", type_share * 100.0);
+    let pa = stats::pair_affinity(&exp.trace, 10_000, &mut seeded_rng(7));
+    println!(
+        "same-city pattern ratios: locality {:.1}x, domain {:.1}x",
+        pa.region_ratio(),
+        pa.type_ratio()
+    );
+    println!(
+        "interactions: {} train / {} test ({} evaluable users)",
+        exp.inter.n_train(),
+        exp.inter.n_test(),
+        exp.inter.test_users().len()
+    );
+}
+
+fn cmd_train(opts: &HashMap<String, String>) {
+    let kind = parse_model(get(opts, "model"));
+    let mask = parse_mask(get_or(opts, "mask", "uug+loc+dkg"));
+    let trace = load_trace(opts);
+    let exp = experiment_from(trace, mask, 42);
+    let s = settings(opts);
+    let report = exp.run_model(kind, &ModelConfig::default(), &s);
+    println!(
+        "\n{} on {} [{}]: recall@{} {:.4}, ndcg@{} {:.4} (best epoch {})",
+        kind.label(),
+        exp.trace.config.name,
+        mask.label(),
+        s.k,
+        report.best.recall,
+        s.k,
+        report.best.ndcg,
+        report.best_epoch
+    );
+}
+
+fn cmd_recommend(opts: &HashMap<String, String>) {
+    let kind = parse_model(get(opts, "model"));
+    let user: u32 = parse_num(get(opts, "user"), "--user");
+    let top: usize = parse_num(get_or(opts, "top", "10"), "--top");
+    let trace = load_trace(opts);
+    let exp = experiment_from(trace, SourceMask::all(), 42);
+    if user as usize >= exp.inter.n_users {
+        usage(&format!("user {user} out of range (facility has {})", exp.inter.n_users));
+    }
+    let s = settings(opts);
+    let model = exp.train_recommender(kind, &ModelConfig::default(), &s);
+    let meta = &exp.trace.population.users[user as usize];
+    println!(
+        "\nuser {user}: org {}, city {}, home site {}, preferred types {:?}",
+        meta.org, meta.city, meta.home_site, meta.pref_types
+    );
+    println!("top-{top} recommendations from {}:", kind.label());
+    for (item, score) in recommend_top_k(model.as_ref(), &exp.inter, user, top) {
+        let m = &exp.trace.catalog.items[item as usize];
+        println!(
+            "  item {item:5}  score {score:8.3}  site {:3} region {:2} type {:2} discipline {}",
+            m.site, m.region, m.data_type, m.discipline
+        );
+    }
+}
+
+fn cmd_compare(opts: &HashMap<String, String>) {
+    let trace = load_trace(opts);
+    let exp = experiment_from(trace, SourceMask::all(), 42);
+    let s = settings(opts);
+    println!("model       recall@{}  ndcg@{}", s.k, s.k);
+    println!("----------  ---------  -------");
+    for kind in ModelKind::table2_order() {
+        let ctx: TrainContext<'_> = exp.ctx();
+        let mut model = kind.build(&ctx, &ModelConfig::default());
+        let mut quiet = s.clone();
+        quiet.verbose = false;
+        let report = train(model.as_mut(), &ctx, &quiet);
+        println!("{:<10}  {:.4}     {:.4}", kind.label(), report.best.recall, report.best.ndcg);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! # facility-kgrec
+//!
+//! Root facade crate: re-exports every crate in the workspace so examples
+//! and downstream users can depend on a single package.
+//!
+//! See `DESIGN.md` for the system inventory and `README.md` for a
+//! quickstart. The primary contribution (the CKAT recommendation model and
+//! the end-to-end pipeline) lives in [`ckat`].
+
+pub use facility_autograd as autograd;
+pub use facility_ckat as ckat;
+pub use facility_datagen as datagen;
+pub use facility_eval as eval;
+pub use facility_kg as kg;
+pub use facility_linalg as linalg;
+pub use facility_models as models;
+pub use facility_tsne as tsne;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use facility_linalg::{seeded_rng, Matrix};
+}

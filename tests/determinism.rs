@@ -1,0 +1,108 @@
+//! Reproducibility guarantees: every model must be bitwise deterministic
+//! under a fixed seed, and the evaluator must agree with a brute-force
+//! reference implementation.
+
+use facility_kgrec::eval::metrics::topk_for_user;
+use facility_kgrec::kg::Id;
+use facility_kgrec::models::{ModelConfig, ModelKind, TrainContext};
+use facility_kgrec::prelude::seeded_rng;
+
+mod util {
+    use facility_kgrec::datagen::{FacilityConfig, Trace};
+    use facility_kgrec::kg::{Ckg, Interactions, SourceMask};
+    use facility_kgrec::prelude::seeded_rng;
+
+    pub fn world() -> (Interactions, Ckg) {
+        let trace = Trace::generate(&FacilityConfig::tiny(), 3);
+        let inter = trace.split_interactions(0.2, &mut seeded_rng(3));
+        let mut b = trace.ckg_builder(3);
+        b.add_interactions(&inter.train_pairs);
+        (inter, b.build(SourceMask::all()))
+    }
+}
+
+#[test]
+fn every_model_is_deterministic_under_seed() {
+    let (inter, ckg) = util::world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let cfg = ModelConfig { embed_dim: 8, batch_size: 64, ..ModelConfig::default() };
+    for kind in ModelKind::table2_order() {
+        let mut run = |seed: u64| {
+            let mut model = kind.build(&ctx, &cfg);
+            let mut rng = seeded_rng(seed);
+            let losses: Vec<f32> = (0..2).map(|_| model.train_epoch(&ctx, &mut rng)).collect();
+            model.prepare_eval(&ctx);
+            (losses, model.score_items(0))
+        };
+        let (la, sa) = run(9);
+        let (lb, sb) = run(9);
+        assert_eq!(la, lb, "{}: losses diverge under same seed", kind.label());
+        assert_eq!(sa, sb, "{}: scores diverge under same seed", kind.label());
+        let (lc, _) = run(10);
+        assert_ne!(la, lc, "{}: different seeds should differ", kind.label());
+    }
+}
+
+/// Brute-force reference: full sort by (score desc, id asc) then count.
+fn reference_metrics(
+    scores: &[f32],
+    train: &[Id],
+    test: &[Id],
+    k: usize,
+) -> Option<(f64, f64)> {
+    if test.is_empty() || k == 0 {
+        return None;
+    }
+    let mut order: Vec<u32> = (0..scores.len() as u32)
+        .filter(|i| train.binary_search(i).is_err())
+        .collect();
+    if order.is_empty() {
+        return None;
+    }
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let k_eff = k.min(order.len());
+    let mut hits = 0;
+    let mut dcg = 0.0;
+    for (pos, item) in order[..k_eff].iter().enumerate() {
+        if test.binary_search(item).is_ok() {
+            hits += 1;
+            dcg += 1.0 / ((pos + 2) as f64).log2();
+        }
+    }
+    let idcg: f64 = (0..test.len().min(k_eff)).map(|p| 1.0 / ((p + 2) as f64).log2()).sum();
+    Some((hits as f64 / test.len() as f64, dcg / idcg))
+}
+
+#[test]
+fn topk_matches_brute_force_reference() {
+    let mut rng = seeded_rng(77);
+    use rand::Rng;
+    for case in 0..200 {
+        let n_items = rng.gen_range(3..40);
+        let scores: Vec<f32> = (0..n_items)
+            .map(|_| (rng.gen_range(0..7) as f32) / 7.0) // deliberate ties
+            .collect();
+        let mut train: Vec<Id> = (0..n_items as Id).filter(|_| rng.gen_bool(0.2)).collect();
+        let mut test: Vec<Id> = (0..n_items as Id)
+            .filter(|i| train.binary_search(i).is_err() && rng.gen_bool(0.2))
+            .collect();
+        train.sort_unstable();
+        test.sort_unstable();
+        let k = rng.gen_range(1..15);
+        let fast = topk_for_user(&scores, &train, &test, k);
+        let slow = reference_metrics(&scores, &train, &test, k);
+        match (fast, slow) {
+            (Some(f), Some((recall, ndcg))) => {
+                assert!((f.recall - recall).abs() < 1e-12, "case {case}: recall");
+                assert!((f.ndcg - ndcg).abs() < 1e-12, "case {case}: ndcg");
+            }
+            (None, None) => {}
+            other => panic!("case {case}: presence mismatch {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Failure-injection integration tests: degenerate users, degenerate
+//! graphs, and out-of-range parameters must degrade gracefully, never
+//! panic.
+
+use facility_kgrec::ckat::recommend_top_k;
+use facility_kgrec::eval::{evaluate, TrainSettings};
+use facility_kgrec::kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
+use facility_kgrec::models::{ModelConfig, ModelKind, TrainContext};
+use facility_kgrec::prelude::seeded_rng;
+
+/// A world with pathologies: an inactive user, a user who trained on every
+/// item, an item nobody queried, and an isolated attribute.
+fn pathological_world() -> (Interactions, facility_kgrec::kg::Ckg) {
+    let train: Vec<Vec<Id>> = vec![
+        vec![0, 1],          // normal user
+        vec![],              // cold-start user (no train, no test)
+        vec![0, 1, 2, 3, 4], // saturated user (all items)
+        vec![2],             // user with test data
+    ];
+    let test: Vec<Vec<Id>> = vec![vec![2], vec![], vec![], vec![3]];
+    let inter = Interactions::from_lists(5, train, test);
+    let mut b = CkgBuilder::new(4, 5);
+    b.add_interactions(&inter.train_pairs);
+    // Item 4 gets no interactions; attribute "orphan" hangs off it only.
+    b.add_item_attribute(KnowledgeSource::Dkg, "hasDataType", 4, "orphan");
+    b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", 0, "site:0");
+    b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", 2, "site:0");
+    (inter.clone(), b.build(SourceMask::all()))
+}
+
+fn fast_cfg() -> ModelConfig {
+    ModelConfig { embed_dim: 8, batch_size: 16, keep_prob: 1.0, ..ModelConfig::default() }
+}
+
+#[test]
+fn every_model_survives_pathological_world() {
+    let (inter, ckg) = pathological_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut rng = seeded_rng(1);
+    for kind in ModelKind::table2_order() {
+        let mut model = kind.build(&ctx, &fast_cfg());
+        for _ in 0..3 {
+            let loss = model.train_epoch(&ctx, &mut rng);
+            assert!(loss.is_finite(), "{}", kind.label());
+        }
+        model.prepare_eval(&ctx);
+        let r = evaluate(model.as_ref(), &inter, 3);
+        assert!(r.recall.is_finite(), "{}", kind.label());
+        // Cold-start user still gets *some* scores.
+        let scores = model.score_items(1);
+        assert_eq!(scores.len(), 5, "{}", kind.label());
+        assert!(scores.iter().all(|s| s.is_finite()), "{}", kind.label());
+    }
+}
+
+#[test]
+fn saturated_user_gets_empty_recommendations() {
+    let (inter, ckg) = pathological_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut model = ModelKind::Bprmf.build(&ctx, &fast_cfg());
+    model.prepare_eval(&ctx);
+    let recs = recommend_top_k(model.as_ref(), &inter, 2, 10);
+    assert!(recs.is_empty(), "user 2 trained on every item");
+}
+
+#[test]
+fn k_larger_than_catalog_is_fine() {
+    let (inter, ckg) = pathological_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut model = ModelKind::Bprmf.build(&ctx, &fast_cfg());
+    model.prepare_eval(&ctx);
+    let r = evaluate(model.as_ref(), &inter, 1000);
+    // With K covering the whole catalog, recall for evaluated users is 1.
+    assert!((r.recall - 1.0).abs() < 1e-9);
+    let recs = recommend_top_k(model.as_ref(), &inter, 0, 1000);
+    assert_eq!(recs.len(), 3, "5 items minus 2 train positives");
+}
+
+#[test]
+fn interaction_only_graph_trains_knowledge_models() {
+    // No IAG at all: knowledge-aware models degrade to interaction edges.
+    let inter = Interactions::from_lists(4, vec![vec![0], vec![1], vec![2]], vec![vec![1], vec![], vec![]]);
+    let mut b = CkgBuilder::new(3, 4);
+    b.add_interactions(&inter.train_pairs);
+    let ckg = b.build(SourceMask::all());
+    assert_eq!(ckg.n_attrs, 0);
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut rng = seeded_rng(2);
+    for kind in [ModelKind::Ckat, ModelKind::Kgcn, ModelKind::RippleNet, ModelKind::Cke] {
+        let mut model = kind.build(&ctx, &fast_cfg());
+        let loss = model.train_epoch(&ctx, &mut rng);
+        assert!(loss.is_finite(), "{}", kind.label());
+        model.prepare_eval(&ctx);
+        assert!(model.score_items(0).iter().all(|s| s.is_finite()));
+    }
+}
+
+#[test]
+fn trainer_handles_world_without_test_data() {
+    let inter = Interactions::from_lists(3, vec![vec![0], vec![1]], vec![vec![], vec![]]);
+    let mut b = CkgBuilder::new(2, 3);
+    b.add_interactions(&inter.train_pairs);
+    let ckg = b.build(SourceMask::all());
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut model = ModelKind::Bprmf.build(&ctx, &fast_cfg());
+    let settings =
+        TrainSettings { max_epochs: 2, eval_every: 1, patience: 0, k: 5, seed: 1, verbose: false };
+    let report = facility_kgrec::eval::train(model.as_mut(), &ctx, &settings);
+    assert_eq!(report.best.n_users, 0);
+    assert_eq!(report.best.recall, 0.0);
+}
