@@ -60,7 +60,8 @@ pub fn check_gradient(
 ) -> GradCheckReport {
     assert_eq!(analytic.shape(), at.shape(), "check_gradient: shape mismatch");
     let numeric = numeric_grad(f, at, eps);
-    let mut report = GradCheckReport { max_rel_err: 0.0, worst_index: 0, analytic: 0.0, numeric: 0.0 };
+    let mut report =
+        GradCheckReport { max_rel_err: 0.0, worst_index: 0, analytic: 0.0, numeric: 0.0 };
     for i in 0..at.len() {
         let a = analytic.as_slice()[i];
         let n = numeric.as_slice()[i];

@@ -61,10 +61,7 @@ impl ParamStore {
 
     /// Iterate over `(id, name, value)`.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
-        self.values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
+        self.values.iter().enumerate().map(|(i, v)| (ParamId(i), self.names[i].as_str(), v))
     }
 
     /// Total number of scalar parameters (for reporting).

@@ -31,55 +31,122 @@ enum Op {
     /// Input leaf; gradient accumulates here and is read by the caller.
     Leaf,
     /// Row gather: `out[i] = src[indices[i]]`.
-    Gather { src: Var, indices: Arc<Vec<usize>> },
+    Gather {
+        src: Var,
+        indices: Arc<Vec<usize>>,
+    },
     /// `a · b`.
-    MatMul { a: Var, b: Var },
+    MatMul {
+        a: Var,
+        b: Var,
+    },
     /// `a · bᵀ`.
-    MatMulTransB { a: Var, b: Var },
+    MatMulTransB {
+        a: Var,
+        b: Var,
+    },
     /// Elementwise `a + b`.
-    Add { a: Var, b: Var },
+    Add {
+        a: Var,
+        b: Var,
+    },
     /// Elementwise `a - b`.
-    Sub { a: Var, b: Var },
+    Sub {
+        a: Var,
+        b: Var,
+    },
     /// Elementwise `a ∘ b`.
-    Mul { a: Var, b: Var },
+    Mul {
+        a: Var,
+        b: Var,
+    },
     /// Add a `1 × cols` bias row to every row of `a`.
-    AddBroadcastRow { a: Var, bias: Var },
+    AddBroadcastRow {
+        a: Var,
+        bias: Var,
+    },
     /// Scale row `i` of `a` by scalar `w[i, 0]`.
-    MulBroadcastCol { a: Var, w: Var },
+    MulBroadcastCol {
+        a: Var,
+        w: Var,
+    },
     /// `s * a`.
-    Scale { a: Var, s: f32 },
+    Scale {
+        a: Var,
+        s: f32,
+    },
     /// `a + s` elementwise.
-    AddScalar { a: Var },
+    AddScalar {
+        a: Var,
+    },
     /// Horizontal concatenation `[a | b]`.
-    ConcatCols { a: Var, b: Var },
+    ConcatCols {
+        a: Var,
+        b: Var,
+    },
     /// Vertical stack of `a` over `b`.
-    ConcatRows { a: Var, b: Var },
-    LeakyRelu { a: Var },
-    Relu { a: Var },
-    Tanh { a: Var },
-    Sigmoid { a: Var },
+    ConcatRows {
+        a: Var,
+        b: Var,
+    },
+    LeakyRelu {
+        a: Var,
+    },
+    Relu {
+        a: Var,
+    },
+    Tanh {
+        a: Var,
+    },
+    Sigmoid {
+        a: Var,
+    },
     /// `ln(sigmoid(a))`, numerically stable.
-    LogSigmoid { a: Var },
+    LogSigmoid {
+        a: Var,
+    },
     /// Per-row dot product → `N × 1`.
-    RowwiseDot { a: Var, b: Var },
+    RowwiseDot {
+        a: Var,
+        b: Var,
+    },
     /// Per-row squared L2 norm → `N × 1`.
-    RowwiseNormSq { a: Var },
+    RowwiseNormSq {
+        a: Var,
+    },
     /// Per-row L2 normalization `y_i = x_i / max(‖x_i‖, ε)`.
-    NormalizeRows { a: Var },
+    NormalizeRows {
+        a: Var,
+    },
     /// Softmax over contiguous row segments of an `N × 1` score column.
     /// Segment `s` spans rows `offsets[s] .. offsets[s + 1]`.
-    SegmentSoftmax { a: Var, offsets: Arc<Vec<usize>> },
+    SegmentSoftmax {
+        a: Var,
+        offsets: Arc<Vec<usize>>,
+    },
     /// Scatter-sum rows of `a` into `num_segments` output rows:
     /// `out[seg_of_row[i]] += a[i]`.
-    SegmentSum { a: Var, seg_of_row: Arc<Vec<usize>> },
+    SegmentSum {
+        a: Var,
+        seg_of_row: Arc<Vec<usize>>,
+    },
     /// Inverted dropout with a fixed 0/scale mask.
-    Dropout { a: Var, mask: Arc<Vec<f32>> },
+    Dropout {
+        a: Var,
+        mask: Arc<Vec<f32>>,
+    },
     /// Sum of all elements → `1 × 1`.
-    SumAll { a: Var },
+    SumAll {
+        a: Var,
+    },
     /// Mean of all elements → `1 × 1`.
-    MeanAll { a: Var },
+    MeanAll {
+        a: Var,
+    },
     /// Squared Frobenius norm → `1 × 1`.
-    FrobeniusSq { a: Var },
+    FrobeniusSq {
+        a: Var,
+    },
 }
 
 struct Node {
@@ -158,12 +225,19 @@ impl Tape {
     /// Row gather `out[i] = src[indices[i]]` — differentiable embedding
     /// lookup. Backward scatter-adds into `src`.
     pub fn gather_rows(&mut self, src: Var, indices: &[usize]) -> Var {
+        self.gather_rows_arc(src, Arc::new(indices.to_vec()))
+    }
+
+    /// [`Tape::gather_rows`] taking a shared index list. Batch-local
+    /// propagation gathers with the same remapped index vectors on every
+    /// layer; sharing the `Arc` avoids one O(edges) copy per gather.
+    pub fn gather_rows_arc(&mut self, src: Var, indices: Arc<Vec<usize>>) -> Var {
         let src_rows = self.value(src).rows();
-        for &i in indices {
+        for &i in indices.iter() {
             assert!(i < src_rows, "gather_rows: index {i} out of bounds ({src_rows} rows)");
         }
-        let value = self.value(src).gather_rows(indices);
-        self.push(value, Op::Gather { src, indices: Arc::new(indices.to_vec()) })
+        let value = self.value(src).gather_rows(&indices);
+        self.push(value, Op::Gather { src, indices })
     }
 
     /// Horizontal concatenation `[a | b]`.
@@ -349,12 +423,7 @@ impl Tape {
     /// # Panics
     /// Panics if `seg_of_row.len() != a.rows()` or a segment id is out of
     /// range.
-    pub fn segment_sum(
-        &mut self,
-        a: Var,
-        seg_of_row: Arc<Vec<usize>>,
-        num_segments: usize,
-    ) -> Var {
+    pub fn segment_sum(&mut self, a: Var, seg_of_row: Arc<Vec<usize>>, num_segments: usize) -> Var {
         let av = self.value(a);
         assert_eq!(seg_of_row.len(), av.rows(), "segment_sum: length mismatch");
         let mut value = Matrix::zeros(num_segments, av.cols());
@@ -640,9 +709,21 @@ impl Tape {
             }
             Op::SegmentSum { a, seg_of_row } => {
                 let (a, seg_of_row) = (*a, Arc::clone(seg_of_row));
-                let mut da = Matrix::zeros(seg_of_row.len(), g.cols());
-                for (row, &s) in seg_of_row.iter().enumerate() {
-                    da.row_mut(row).copy_from_slice(g.row(s));
+                let cols = g.cols();
+                let mut da = Matrix::zeros(seg_of_row.len(), cols);
+                // Each output row reads exactly one gradient row, so the
+                // backward is embarrassingly parallel; fall back to the
+                // serial loop when the matrix is too small to amortize
+                // the fork/join overhead.
+                if seg_of_row.len() * cols >= 1 << 14 && cols > 0 {
+                    use rayon::prelude::*;
+                    da.as_mut_slice().par_chunks_mut(cols).enumerate().for_each(|(row, out)| {
+                        out.copy_from_slice(g.row(seg_of_row[row]));
+                    });
+                } else {
+                    for (row, &s) in seg_of_row.iter().enumerate() {
+                        da.row_mut(row).copy_from_slice(g.row(s));
+                    }
                 }
                 self.acc(a, da);
             }
@@ -752,6 +833,38 @@ mod tests {
         let loss = t.sum_all(yw);
         t.backward(loss);
         assert_eq!(t.grad(x).unwrap().as_slice(), &[1., 1., 10., 10., 1., 1.]);
+    }
+
+    #[test]
+    fn segment_sum_backward_large_matches_serial_path() {
+        // Cross the parallel-backward threshold and check against the
+        // analytically known gradient (each input row gets its segment's
+        // gradient row — all ones under sum_all).
+        let rows = 6000;
+        let cols = 4;
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::filled(rows, cols, 0.5));
+        let seg: Vec<usize> = (0..rows).map(|r| r % 7).collect();
+        let y = t.segment_sum(x, Arc::new(seg), 7);
+        let loss = t.sum_all(y);
+        t.backward(loss);
+        let g = t.grad(x).unwrap();
+        assert_eq!(g.shape(), (rows, cols));
+        assert!(g.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn gather_rows_arc_shares_indices_and_matches_slice_gather() {
+        let mut t = Tape::new();
+        let x = t.leaf(Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]));
+        let idx = Arc::new(vec![2usize, 0, 2]);
+        let a = t.gather_rows_arc(x, Arc::clone(&idx));
+        let b = t.gather_rows(x, &idx);
+        assert_eq!(t.value(a).as_slice(), t.value(b).as_slice());
+        let loss = t.sum_all(a);
+        t.backward(loss);
+        // Row 2 gathered twice, row 0 once, row 1 never.
+        assert_eq!(t.grad(x).unwrap().as_slice(), &[1., 1., 0., 0., 2., 2.]);
     }
 
     #[test]

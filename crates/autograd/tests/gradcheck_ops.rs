@@ -15,7 +15,11 @@ const TOL: f32 = 2e-2;
 
 /// Run a gradient check for a scalar function expressed as a tape program
 /// with a single differentiable leaf.
-fn check(name: &str, at: Matrix, build: impl Fn(&mut Tape, facility_autograd::Var) -> facility_autograd::Var) {
+fn check(
+    name: &str,
+    at: Matrix,
+    build: impl Fn(&mut Tape, facility_autograd::Var) -> facility_autograd::Var,
+) {
     // Analytic gradient.
     let mut t = Tape::new();
     let x = t.leaf(at.clone());

@@ -54,6 +54,7 @@ fn bench_ckat_depth(c: &mut Criterion) {
             aggregator: Aggregator::Concat,
             transr_dim: 32,
             margin: 1.0,
+            batch_local: true,
             base: cfg(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
@@ -76,6 +77,7 @@ fn bench_attention_ablation(c: &mut Criterion) {
             aggregator: Aggregator::Concat,
             transr_dim: 32,
             margin: 1.0,
+            batch_local: true,
             base: cfg(),
         };
         group.bench_function(label, |b| {

@@ -37,26 +37,18 @@ fn main() {
     let d = cfg.embed_dim;
     let mut rng2 = seeded_rng(1);
     let ent = facility_linalg::init::xavier_uniform(exp.ckg.n_entities(), d, &mut rng2);
-    let rel = facility_linalg::init::xavier_uniform(
-        exp.ckg.n_relations_with_inverse(),
-        d,
-        &mut rng2,
-    );
-    let proj = facility_linalg::init::xavier_uniform(
-        exp.ckg.n_relations_with_inverse() * d,
-        d,
-        &mut rng2,
-    );
+    let rel =
+        facility_linalg::init::xavier_uniform(exp.ckg.n_relations_with_inverse(), d, &mut rng2);
+    let proj =
+        facility_linalg::init::xavier_uniform(exp.ckg.n_relations_with_inverse() * d, d, &mut rng2);
 
     let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
     let mut rows = Vec::new();
     let mut threads = 1;
     let mut base: Option<(f64, f64, f64)> = None;
     while threads <= max_threads {
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("thread pool");
+        let pool =
+            rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("thread pool");
         let (t_att, t_epoch, t_eval) = pool.install(|| {
             let t0 = Instant::now();
             for _ in 0..3 {
@@ -89,9 +81,6 @@ fn main() {
     println!("\nParallel scaling on {name} (speedup vs 1 thread)\n");
     println!(
         "{}",
-        format_table(
-            &["threads", "attention refresh", "CKAT epoch", "full-ranking eval"],
-            &rows
-        )
+        format_table(&["threads", "attention refresh", "CKAT epoch", "full-ranking eval"], &rows)
     );
 }

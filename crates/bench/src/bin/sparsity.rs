@@ -83,10 +83,7 @@ fn main() {
         println!("\nSparsity bands on {name} (recall@{})\n", opts.k);
         println!(
             "{}",
-            format_table(
-                &["activity band", "users", "BPRMF", "CKAT", "CKAT lift"],
-                &rows
-            )
+            format_table(&["activity band", "users", "BPRMF", "CKAT", "CKAT lift"], &rows)
         );
     }
 }

@@ -32,7 +32,14 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["facility", "# entities", "# relationships", "# KG triplets", "link-avg", "paper (ent/rel/triples/link-avg)"],
+            &[
+                "facility",
+                "# entities",
+                "# relationships",
+                "# KG triplets",
+                "link-avg",
+                "paper (ent/rel/triples/link-avg)"
+            ],
             &rows
         )
     );

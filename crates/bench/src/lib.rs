@@ -49,8 +49,7 @@ pub enum Profile {
 impl HarnessOpts {
     /// Parse `std::env::args`; unknown flags abort with usage help.
     pub fn from_args() -> Self {
-        let mut opts =
-            Self { profile: Profile::Default, seed: 42, k: 20 };
+        let mut opts = Self { profile: Profile::Default, seed: 42, k: 20 };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -128,6 +127,7 @@ impl HarnessOpts {
             aggregator: Aggregator::Concat,
             transr_dim: d,
             margin: 1.0,
+            batch_local: true,
             base,
         }
     }

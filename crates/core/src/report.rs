@@ -58,10 +58,7 @@ mod tests {
     fn table_layout_aligns_columns() {
         let t = format_table(
             &["Model", "recall@20"],
-            &[
-                vec!["BPRMF".into(), "0.1935".into()],
-                vec!["CKAT".into(), "0.3217".into()],
-            ],
+            &[vec!["BPRMF".into(), "0.1935".into()], vec!["CKAT".into(), "0.3217".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

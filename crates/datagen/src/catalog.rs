@@ -82,8 +82,7 @@ impl Catalog {
         for idx in 0..config.n_items {
             // Seed the catalog so the first items cover all sites, then
             // fill the rest uniformly — guarantees no empty site/region.
-            let site =
-                if idx < config.n_sites { idx } else { rng.gen_range(0..config.n_sites) };
+            let site = if idx < config.n_sites { idx } else { rng.gen_range(0..config.n_sites) };
             let instrument_class = rng.gen_range(0..config.n_instrument_classes);
             let menu = &class_data_types[instrument_class];
             let data_type = menu[rng.gen_range(0..menu.len())];

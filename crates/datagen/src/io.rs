@@ -33,15 +33,19 @@ pub fn write_trace(trace: &Trace, dir: &Path) -> io::Result<()> {
     }
     write_file(&dir.join("events.csv"), &events)?;
 
-    let mut items = String::from(
-        "item,site,region,class,data_type,discipline,recorded_site,recorded_type\n",
-    );
+    let mut items =
+        String::from("item,site,region,class,data_type,discipline,recorded_site,recorded_type\n");
     for (i, m) in trace.catalog.items.iter().enumerate() {
         let _ = writeln!(
             items,
             "{i},{},{},{},{},{},{},{}",
-            m.site, m.region, m.instrument_class, m.data_type, m.discipline,
-            m.recorded_site, m.recorded_type
+            m.site,
+            m.region,
+            m.instrument_class,
+            m.data_type,
+            m.discipline,
+            m.recorded_site,
+            m.recorded_type
         );
     }
     write_file(&dir.join("items.csv"), &items)?;
@@ -125,14 +129,11 @@ impl From<io::Error> for ReadError {
     }
 }
 
-fn parse<T: std::str::FromStr>(
-    file: &str,
-    line_no: usize,
-    field: &str,
-) -> Result<T, ReadError> {
-    field.trim().parse().map_err(|_| {
-        ReadError::Parse(file.to_string(), line_no, format!("bad field `{field}`"))
-    })
+fn parse<T: std::str::FromStr>(file: &str, line_no: usize, field: &str) -> Result<T, ReadError> {
+    field
+        .trim()
+        .parse()
+        .map_err(|_| ReadError::Parse(file.to_string(), line_no, format!("bad field `{field}`")))
 }
 
 /// Read a trace directory written by [`write_trace`].
@@ -242,8 +243,7 @@ impl Catalog {
     /// # Panics
     /// Panics if an item references an out-of-range site or data type.
     pub fn from_parts(config: &FacilityConfig, items: Vec<ItemMeta>) -> Self {
-        let site_region: Vec<usize> =
-            (0..config.n_sites).map(|s| s % config.n_regions).collect();
+        let site_region: Vec<usize> = (0..config.n_sites).map(|s| s % config.n_regions).collect();
         let type_discipline: Vec<usize> =
             (0..config.n_data_types).map(|t| t % config.n_disciplines).collect();
         let mut items_by_region = vec![Vec::new(); config.n_regions];
@@ -279,12 +279,7 @@ impl Population {
         }
         // Org profile := first conformist member's profile (or defaults).
         let mut orgs: Vec<Organization> = (0..config.n_organizations)
-            .map(|_| Organization {
-                city: 0,
-                home_region: 0,
-                home_site: 0,
-                pref_types: vec![0],
-            })
+            .map(|_| Organization { city: 0, home_region: 0, home_site: 0, pref_types: vec![0] })
             .collect();
         for user in &users {
             if user.conformist && orgs[user.org].pref_types == vec![0] {
@@ -306,7 +301,8 @@ mod tests {
     use crate::config::FacilityConfig;
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("facility-io-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("facility-io-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -362,8 +358,8 @@ mod tests {
 
     #[test]
     fn read_missing_dir_is_io_error() {
-        let err = read_trace(Path::new("/nonexistent/definitely-missing"))
-            .expect_err("missing dir");
+        let err =
+            read_trace(Path::new("/nonexistent/definitely-missing")).expect_err("missing dir");
         assert!(matches!(err, ReadError::Io(_)));
     }
 }

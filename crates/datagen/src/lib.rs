@@ -34,8 +34,8 @@
 //!   the same-city vs random pair likelihood ratios (Fig. 5).
 
 pub mod catalog;
-pub mod io;
 pub mod config;
+pub mod io;
 pub mod population;
 pub mod stats;
 pub mod trace;

@@ -253,12 +253,8 @@ pub fn top_users_of_largest_org(trace: &Trace, n: usize) -> (usize, Vec<u32>) {
     for u in &trace.population.users {
         org_sizes[u.org] += 1;
     }
-    let largest = org_sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, s)| *s)
-        .map(|(o, _)| o)
-        .unwrap_or(0);
+    let largest =
+        org_sizes.iter().enumerate().max_by_key(|&(_, s)| *s).map(|(o, _)| o).unwrap_or(0);
     let mut counts = vec![0usize; trace.population.n_users()];
     for e in &trace.events {
         counts[e.user as usize] += 1;

@@ -202,8 +202,7 @@ impl Trace {
                     if want_site { &catalog.items_by_site[site] } else { &[] },
                     if want_locality { &catalog.items_by_region[region] } else { &[] },
                 ];
-                let item = if let Some(pool) =
-                    uniform_pools.iter().copied().find(|p| !p.is_empty())
+                let item = if let Some(pool) = uniform_pools.iter().copied().find(|p| !p.is_empty())
                 {
                     pool[rng.gen_range(0..pool.len())]
                 } else if want_type && !catalog.items_by_type[pref_type].is_empty() {

@@ -22,7 +22,20 @@ fn config_strategy() -> impl Strategy<Value = FacilityConfig> {
         0.0f64..0.6, // metadata noise
     )
         .prop_map(
-            |(regions, extra_sites, classes, types, discs, items, users, cities, orgs, loc, ty, noise)| {
+            |(
+                regions,
+                extra_sites,
+                classes,
+                types,
+                discs,
+                items,
+                users,
+                cities,
+                orgs,
+                loc,
+                ty,
+                noise,
+            )| {
                 let mut c = FacilityConfig::tiny();
                 c.n_regions = regions;
                 c.n_sites = regions + extra_sites;

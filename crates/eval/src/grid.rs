@@ -73,9 +73,7 @@ pub fn grid_search(
                 let mut model = kind.build(ctx, &config);
                 let report = train(model.as_mut(), ctx, settings);
                 trials.push((config.clone(), report.best.recall));
-                let better = best
-                    .as_ref()
-                    .is_none_or(|(_, b)| report.best.recall > b.best.recall);
+                let better = best.as_ref().is_none_or(|(_, b)| report.best.recall > b.best.recall);
                 if better {
                     best = Some((config, report));
                 }

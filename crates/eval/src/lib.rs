@@ -79,14 +79,9 @@ mod tests {
     #[test]
     fn perfect_oracle_scores_one() {
         // 2 users, 4 items; test items get the top scores.
-        let inter = Interactions::from_lists(
-            4,
-            vec![vec![0], vec![1]],
-            vec![vec![1], vec![2]],
-        );
-        let oracle = Oracle {
-            scores: vec![vec![0.0, 10.0, -1.0, -1.0], vec![0.0, 0.0, 10.0, -1.0]],
-        };
+        let inter = Interactions::from_lists(4, vec![vec![0], vec![1]], vec![vec![1], vec![2]]);
+        let oracle =
+            Oracle { scores: vec![vec![0.0, 10.0, -1.0, -1.0], vec![0.0, 0.0, 10.0, -1.0]] };
         let r = evaluate(&oracle, &inter, 2);
         assert_eq!(r.n_users, 2);
         assert!((r.recall - 1.0).abs() < 1e-9, "recall {}", r.recall);
@@ -116,8 +111,7 @@ mod tests {
 
     #[test]
     fn users_without_test_items_are_skipped() {
-        let inter =
-            Interactions::from_lists(3, vec![vec![0], vec![1]], vec![vec![1], vec![]]);
+        let inter = Interactions::from_lists(3, vec![vec![0], vec![1]], vec![vec![1], vec![]]);
         let oracle = Oracle { scores: vec![vec![0.0, 1.0, 0.0], vec![0.0; 3]] };
         let r = evaluate(&oracle, &inter, 2);
         assert_eq!(r.n_users, 1);

@@ -74,9 +74,8 @@ pub fn topk_for_user(
     }
     let n_items = scores.len();
     // Rankable items: everything not in train.
-    let mut candidates: Vec<u32> = (0..n_items as u32)
-        .filter(|&i| train_items.binary_search(&i).is_err())
-        .collect();
+    let mut candidates: Vec<u32> =
+        (0..n_items as u32).filter(|&i| train_items.binary_search(&i).is_err()).collect();
     if candidates.is_empty() {
         return None;
     }

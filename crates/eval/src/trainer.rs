@@ -1,8 +1,9 @@
 //! Epoch loop with periodic evaluation and early stopping.
 
 use crate::{evaluate, EvalResult};
-use facility_models::{Recommender, TrainContext};
 use facility_linalg::seeded_rng;
+use facility_models::{EpochProfile, Recommender, TrainContext};
+use std::time::Instant;
 
 /// Harness settings.
 #[derive(Debug, Clone)]
@@ -37,6 +38,10 @@ pub struct EpochLog {
     pub loss: f32,
     /// Evaluation result, when this epoch was evaluated.
     pub eval: Option<EvalResult>,
+    /// Per-phase timings and work counters, for models that record them
+    /// (see [`Recommender::take_epoch_profile`]). The trainer fills
+    /// `eval_ns` on evaluated epochs.
+    pub profile: Option<EpochProfile>,
 }
 
 /// Result of a full training run.
@@ -69,10 +74,15 @@ pub fn train(
 
     for epoch in 1..=settings.max_epochs {
         let loss = model.train_epoch(ctx, &mut rng);
+        let mut profile = model.take_epoch_profile();
         let do_eval = epoch % settings.eval_every == 0 || epoch == settings.max_epochs;
         let eval = if do_eval {
+            let clock = Instant::now();
             model.prepare_eval(ctx);
             let r = evaluate(model, ctx.inter, settings.k);
+            if let Some(p) = profile.as_mut() {
+                p.eval_ns = clock.elapsed().as_nanos() as u64;
+            }
             if settings.verbose {
                 eprintln!(
                     "[{}] epoch {epoch}: loss {loss:.4} recall@{} {:.4} ndcg@{} {:.4}",
@@ -95,7 +105,7 @@ pub fn train(
         } else {
             None
         };
-        logs.push(EpochLog { epoch, loss, eval });
+        logs.push(EpochLog { epoch, loss, eval, profile });
         if settings.patience > 0 && stale >= settings.patience {
             break;
         }
@@ -180,6 +190,30 @@ mod tests {
         };
         let report = train(model.as_mut(), &ctx, &settings);
         assert!(report.logs.len() < 1000, "early stopping never triggered");
+    }
+
+    #[test]
+    fn ckat_epochs_carry_profiles() {
+        let (inter, ckg) = world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let cfg = ModelConfig { keep_prob: 1.0, ..ModelConfig::fast() };
+        let mut model = ModelKind::Ckat.build(&ctx, &cfg);
+        let settings = TrainSettings {
+            max_epochs: 2,
+            eval_every: 2,
+            patience: 0,
+            k: 5,
+            seed: 3,
+            verbose: false,
+        };
+        let report = train(model.as_mut(), &ctx, &settings);
+        for log in &report.logs {
+            let p = log.profile.expect("CKAT records an EpochProfile per epoch");
+            assert!(p.batches >= 1);
+            assert!(p.gathered_rows <= p.full_rows);
+        }
+        let evaluated = report.logs.last().unwrap().profile.unwrap();
+        assert!(evaluated.eval_ns > 0, "trainer fills eval_ns on evaluated epochs");
     }
 
     #[test]

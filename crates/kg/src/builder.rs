@@ -202,10 +202,10 @@ impl CkgBuilder {
         let mut seen: HashSet<(Id, Id, Id)> = HashSet::new();
 
         let push_triple = |triples: &mut Vec<(Id, Id, Id)>,
-                               seen: &mut HashSet<(Id, Id, Id)>,
-                               h: Id,
-                               r: Id,
-                               t: Id| {
+                           seen: &mut HashSet<(Id, Id, Id)>,
+                           h: Id,
+                           r: Id,
+                           t: Id| {
             if seen.insert((h, r, t)) {
                 triples.push((h, r, t));
             }
@@ -557,10 +557,8 @@ mod tests {
         // New attribute entity "disc:physical" appears.
         assert!(ckg.attr_names.iter().any(|a| a == "disc:physical"));
         // The triple connects two attribute entities.
-        let type_idx =
-            ckg.attr_names.iter().position(|a| a == "type:pressure").unwrap() as Id;
-        let disc_idx =
-            ckg.attr_names.iter().position(|a| a == "disc:physical").unwrap() as Id;
+        let type_idx = ckg.attr_names.iter().position(|a| a == "type:pressure").unwrap() as Id;
+        let disc_idx = ckg.attr_names.iter().position(|a| a == "disc:physical").unwrap() as Id;
         let rel = ckg.relation_names.iter().position(|r| r == "dataDiscipline").unwrap() as Id;
         assert!(ckg.has_triple(
             ckg.attr_entity(type_idx) as Id,

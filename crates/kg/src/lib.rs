@@ -32,10 +32,12 @@ pub mod builder;
 pub mod interactions;
 pub mod sampling;
 pub mod stats;
+pub mod subgraph;
 
 pub use builder::{Ckg, CkgBuilder, KnowledgeSource, SourceMask};
 pub use interactions::Interactions;
 pub use stats::CkgStats;
+pub use subgraph::{BatchSubgraph, SubgraphScratch};
 
 /// Compact index type for users, items, entities, and relations.
 ///

@@ -69,7 +69,13 @@ pub struct KgSample {
 /// triples (`S'` in Eq. 2 is built by replacing the tail of a valid triple
 /// with a random entity).
 ///
-/// Returns an empty batch for an empty graph.
+/// Corruption is rejection-sampled with a bounded number of tries. Unlike
+/// BPR sampling (where a best-effort negative merely weakens one example),
+/// an invalid corrupted tail here *breaks the margin loss invariant*
+/// `(h, r, t⁻) ∉ G`, so triples whose neighborhood is saturated — every
+/// candidate within the try budget is a fact or the tail itself — are
+/// **skipped**, not emitted. The batch may therefore come up short on
+/// near-complete graphs; it is empty for an empty graph.
 pub fn sample_kg_batch(ckg: &Ckg, batch_size: usize, rng: &mut impl Rng) -> Vec<KgSample> {
     let n_ent = ckg.n_entities();
     if ckg.canonical_triples.is_empty() || n_ent == 0 {
@@ -77,15 +83,20 @@ pub fn sample_kg_batch(ckg: &Ckg, batch_size: usize, rng: &mut impl Rng) -> Vec<
     }
     let mut out = Vec::with_capacity(batch_size);
     for _ in 0..batch_size {
-        let &(head, rel, tail) = &ckg.canonical_triples[rng.gen_range(0..ckg.canonical_triples.len())];
-        let mut neg_tail = rng.gen_range(0..n_ent) as Id;
+        let &(head, rel, tail) =
+            &ckg.canonical_triples[rng.gen_range(0..ckg.canonical_triples.len())];
+        let mut candidate = rng.gen_range(0..n_ent) as Id;
+        let mut neg_tail = None;
         for _ in 0..64 {
-            if neg_tail != tail && !ckg.has_triple(head, rel, neg_tail) {
+            if candidate != tail && !ckg.has_triple(head, rel, candidate) {
+                neg_tail = Some(candidate);
                 break;
             }
-            neg_tail = rng.gen_range(0..n_ent) as Id;
+            candidate = rng.gen_range(0..n_ent) as Id;
         }
-        out.push(KgSample { head, rel, tail, neg_tail });
+        if let Some(neg_tail) = neg_tail {
+            out.push(KgSample { head, rel, tail, neg_tail });
+        }
     }
     out
 }

@@ -35,16 +35,9 @@ impl CkgStats {
         let item_lo = ckg.n_users as u32;
         let item_hi = (ckg.n_users + ckg.n_items) as u32;
         let is_item = |e: u32| e >= item_lo && e < item_hi;
-        let item_links: usize = ckg
-            .canonical_triples
-            .iter()
-            .filter(|&&(h, _, t)| is_item(h) || is_item(t))
-            .count();
-        let link_avg = if ckg.n_items == 0 {
-            0.0
-        } else {
-            item_links as f64 / ckg.n_items as f64
-        };
+        let item_links: usize =
+            ckg.canonical_triples.iter().filter(|&&(h, _, t)| is_item(h) || is_item(t)).count();
+        let link_avg = if ckg.n_items == 0 { 0.0 } else { item_links as f64 / ckg.n_items as f64 };
         Self {
             n_entities: ckg.n_entities(),
             n_relationships: ckg.n_canonical_relations(),
@@ -82,7 +75,7 @@ mod tests {
         assert_eq!(s.n_entities, 5); // 2 users + 2 items + 1 site
         assert_eq!(s.n_relationships, 2); // Interact + locatedAt
         assert_eq!(s.n_triples, 4); // 2 interactions + 2 facts
-        // Each item has 1 interact-inverse edge + 1 locatedAt edge = 2.
+                                    // Each item has 1 interact-inverse edge + 1 locatedAt edge = 2.
         assert!((s.link_avg - 2.0).abs() < 1e-9);
     }
 

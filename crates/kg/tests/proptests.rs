@@ -20,13 +20,8 @@ fn world() -> impl Strategy<Value = World> {
             ((0..n_users as Id), (0..n_items as Id)).prop_map(|(u, i)| (u, i)),
             1..30,
         );
-        let uug = prop::collection::vec(
-            ((0..n_users as Id), (0..n_users as Id)),
-            0..10,
-        )
-        .prop_map(|pairs| {
-            pairs.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>()
-        });
+        let uug = prop::collection::vec(((0..n_users as Id), (0..n_users as Id)), 0..10)
+            .prop_map(|pairs| pairs.into_iter().filter(|(a, b)| a != b).collect::<Vec<_>>());
         let facts = prop::collection::vec(
             (
                 prop_oneof![
@@ -139,6 +134,38 @@ proptest! {
         for s in sample_kg_batch(&ckg, 64, &mut rng) {
             prop_assert!(ckg.has_triple(s.head, s.rel, s.tail));
             prop_assert!((s.neg_tail as usize) < ckg.n_entities());
+        }
+    }
+
+    /// On *saturated* worlds — tiny entity sets where `(h, r, ·)` is a
+    /// fact for almost every candidate tail — bounded rejection must skip
+    /// the irreparable triples rather than emit an invalid corruption.
+    /// Every emitted sample still satisfies the Eq. 2 invariant.
+    #[test]
+    fn kg_sampler_never_emits_facts_even_when_saturated(
+        n_users in 1usize..3,
+        n_items in 1usize..3,
+        seed in 0u64..100,
+    ) {
+        // Fully-connected interactions + every item sharing one attribute:
+        // the candidate pool for corrupted tails is nearly exhausted.
+        let mut b = CkgBuilder::new(n_users, n_items);
+        let pairs: Vec<(Id, Id)> = (0..n_users as Id)
+            .flat_map(|u| (0..n_items as Id).map(move |i| (u, i)))
+            .collect();
+        b.add_interactions(&pairs);
+        for i in 0..n_items as Id {
+            b.add_item_attribute(KnowledgeSource::Dkg, "dataType", i, "shared");
+        }
+        let ckg = b.build(SourceMask::all());
+        let mut rng = seeded_rng(seed);
+        let batch = sample_kg_batch(&ckg, 64, &mut rng);
+        prop_assert!(batch.len() <= 64);
+        for s in &batch {
+            prop_assert!(ckg.has_triple(s.head, s.rel, s.tail));
+            prop_assert!(!ckg.has_triple(s.head, s.rel, s.neg_tail),
+                "emitted a corrupted tail that is a fact: {:?}", s);
+            prop_assert!(s.neg_tail != s.tail, "emitted neg_tail == tail: {:?}", s);
         }
     }
 }

@@ -226,11 +226,7 @@ impl Matrix {
 
     /// Apply `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Self { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Apply `f` to every element in place.
@@ -276,7 +272,8 @@ impl Matrix {
     /// Panics on an inner-dimension mismatch.
     pub fn matmul(&self, other: &Self) -> Self {
         assert_eq!(
-            self.cols, other.rows,
+            self.cols,
+            other.rows,
             "matmul: inner dimension mismatch {:?} · {:?}",
             self.shape(),
             other.shape()
@@ -315,7 +312,8 @@ impl Matrix {
     /// because both operands are read along rows.
     pub fn matmul_transpose_b(&self, other: &Self) -> Self {
         assert_eq!(
-            self.cols, other.cols,
+            self.cols,
+            other.cols,
             "matmul_transpose_b: column mismatch {:?} · {:?}ᵀ",
             self.shape(),
             other.shape()
@@ -345,7 +343,8 @@ impl Matrix {
     /// Matrix product `selfᵀ · other` without materializing the transpose.
     pub fn transpose_matmul(&self, other: &Self) -> Self {
         assert_eq!(
-            self.rows, other.rows,
+            self.rows,
+            other.rows,
             "transpose_matmul: row mismatch {:?}ᵀ · {:?}",
             self.shape(),
             other.shape()
@@ -384,11 +383,7 @@ impl Matrix {
     /// `rows × 1` column of `self[i] · other[i]`.
     pub fn rowwise_dot(&self, other: &Self) -> Self {
         self.assert_same_shape(other, "rowwise_dot");
-        let data = self
-            .iter_rows()
-            .zip(other.iter_rows())
-            .map(|(a, b)| dot(a, b))
-            .collect();
+        let data = self.iter_rows().zip(other.iter_rows()).map(|(a, b)| dot(a, b)).collect();
         Matrix::from_vec(self.rows, 1, data)
     }
 

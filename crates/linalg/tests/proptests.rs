@@ -15,9 +15,8 @@ fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
 fn same_shape_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
     (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
         let v = prop::collection::vec(-10.0f32..10.0, r * c);
-        (v.clone(), v).prop_map(move |(a, b)| {
-            (Matrix::from_vec(r, c, a), Matrix::from_vec(r, c, b))
-        })
+        (v.clone(), v)
+            .prop_map(move |(a, b)| (Matrix::from_vec(r, c, a), Matrix::from_vec(r, c, b)))
     })
 }
 

@@ -21,16 +21,36 @@
 //! TransR objective, and everything else backpropagates through the
 //! propagation stack. The "w/o Att" ablation of Table IV replaces the
 //! attention with uniform `1/|N_h|` weights.
+//!
+//! ## Batch-local subgraph propagation
+//!
+//! Training only ever reads the final representations of the batch's
+//! users/items, whose `L`-layer receptive field is the batch seeds' L-hop
+//! in-neighborhood — usually a small fraction of the CKG. With
+//! [`CkatConfig::batch_local`] (the default) each mini-batch extracts that
+//! receptive field as a compact remapped CSR subgraph
+//! ([`facility_kg::SubgraphScratch`]) and runs the propagation stack over
+//! it, so every intermediate activation and its gradient are
+//! O(subgraph) instead of O(graph). Because the subgraph preserves the
+//! global CSR accumulation order (interior nodes sorted by global id, full
+//! edge slices copied verbatim), the batch-local forward/backward is
+//! **bitwise identical** to full-graph propagation on every row that
+//! reaches the loss; the dense entity gradient produced by the initial
+//! row-gather keeps Adam's moment updates exactly equivalent too.
+//! Full-graph propagation remains the evaluation path and the
+//! differential-test oracle (`tests/batch_local_diff.rs`).
 
 use crate::common::{dot_scores, ModelConfig, TrainContext};
+use crate::profile::EpochProfile;
 use crate::transr;
 use crate::Recommender;
 use facility_autograd::{Adam, ParamId, ParamStore, Tape, Var};
 use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch};
-use facility_kg::Id;
+use facility_kg::{Id, SubgraphScratch};
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Neighborhood aggregation variants (Table IV).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,6 +77,9 @@ pub struct CkatConfig {
     pub transr_dim: usize,
     /// TransR margin `γ`.
     pub margin: f32,
+    /// Propagate over the batch's L-hop receptive field instead of the
+    /// full CKG during training (numerically identical; see module docs).
+    pub batch_local: bool,
 }
 
 impl From<&ModelConfig> for CkatConfig {
@@ -69,6 +92,7 @@ impl From<&ModelConfig> for CkatConfig {
             aggregator: Aggregator::Concat,
             transr_dim: d,
             margin: 1.0,
+            batch_local: true,
         }
     }
 }
@@ -99,7 +123,7 @@ pub struct Ckat {
     n_entities: usize,
     n_rel: usize,
     /// CKG edge tails as gather indices (CSR order).
-    tails: Vec<usize>,
+    tails: Arc<Vec<usize>>,
     /// CKG edge heads as segment ids (CSR order).
     heads: Arc<Vec<usize>>,
     /// Item entity ids, contiguous (`n_users..n_users+n_items`).
@@ -109,6 +133,11 @@ pub struct Ckat {
     att_fresh: bool,
     cached_users: Option<Matrix>,
     cached_items: Option<Matrix>,
+    /// Reusable arena for per-batch receptive-field extraction.
+    scratch: SubgraphScratch,
+    /// Instrumentation from the most recent epoch, consumed by
+    /// [`Recommender::take_epoch_profile`].
+    last_profile: Option<EpochProfile>,
 }
 
 impl Ckat {
@@ -137,9 +166,8 @@ impl Ckat {
             in_dim = out_dim;
         }
         let adam = Adam::default_for(&store, config.base.lr);
-        let tails: Vec<usize> = ctx.ckg.tails.iter().map(|&t| t as usize).collect();
-        let heads: Arc<Vec<usize>> =
-            Arc::new(ctx.ckg.heads.iter().map(|&h| h as usize).collect());
+        let tails: Arc<Vec<usize>> = Arc::new(ctx.ckg.tails.iter().map(|&t| t as usize).collect());
+        let heads: Arc<Vec<usize>> = Arc::new(ctx.ckg.heads.iter().map(|&h| h as usize).collect());
         let item_entities: Vec<usize> =
             (0..ctx.inter.n_items).map(|i| ctx.ckg.item_entity(i as Id)).collect();
         Self {
@@ -161,6 +189,8 @@ impl Ckat {
             att_fresh: false,
             cached_users: None,
             cached_items: None,
+            scratch: SubgraphScratch::new(n_ent),
+            last_profile: None,
         }
     }
 
@@ -208,6 +238,18 @@ impl Ckat {
                 *model.store.value_mut(*dst) = v;
             }
         }
+        // Relation parameters survive a graph update whenever the relation
+        // vocabulary and TransR dimension are unchanged — dropping them
+        // silently re-randomized the attention mechanism on warm start.
+        for (dst, src) in [(model.rel_emb, previous.rel_emb), (model.rel_proj, previous.rel_proj)] {
+            if previous.store.value(src).shape() == model.store.value(dst).shape() {
+                let v = previous.store.value(src).clone();
+                *model.store.value_mut(dst) = v;
+            }
+        }
+        // Whatever attention snapshot the previous model held was computed
+        // on the old graph; the warm model must refresh before eval.
+        model.att_fresh = false;
         model
     }
 
@@ -239,13 +281,45 @@ impl Ckat {
     ) -> Var {
         assert!(!self.att.is_empty(), "attention not refreshed");
         let att = t.constant(Matrix::from_vec(self.att.len(), 1, self.att.clone()));
-        let mut h = ent;
-        let mut all = ent;
-        let mut rng = dropout_rng;
+        self.propagate_over(
+            t,
+            ent,
+            att,
+            Arc::clone(&self.tails),
+            Arc::clone(&self.heads),
+            self.n_entities,
+            layer_w,
+            layer_b,
+            dropout_rng,
+        )
+    }
+
+    /// The propagation stack over an arbitrary CSR edge view: `h0` holds
+    /// one embedding row per node, `tails`/`heads` are gather indices and
+    /// segment ids into those rows, and `att` is the matching `(E, 1)`
+    /// per-edge weight column. Used with the full CKG by
+    /// [`Ckat::propagate`] and with a batch receptive field by
+    /// [`Ckat::train_epoch`] — both views emit the exact same tape op
+    /// sequence, which is what makes them differentially comparable.
+    #[allow(clippy::too_many_arguments)]
+    fn propagate_over(
+        &self,
+        t: &mut Tape,
+        h0: Var,
+        att: Var,
+        tails: Arc<Vec<usize>>,
+        heads: Arc<Vec<usize>>,
+        n_segments: usize,
+        layer_w: &[Var],
+        layer_b: &[Var],
+        mut dropout_rng: Option<&mut StdRng>,
+    ) -> Var {
+        let mut h = h0;
+        let mut all = h0;
         for l in 0..self.config.layer_dims.len() {
-            let et = t.gather_rows(h, &self.tails);
+            let et = t.gather_rows_arc(h, Arc::clone(&tails));
             let msg = t.mul_broadcast_col(et, att);
-            let e_n = t.segment_sum(msg, Arc::clone(&self.heads), self.n_entities);
+            let e_n = t.segment_sum(msg, Arc::clone(&heads), n_segments);
             let mixed = match self.config.aggregator {
                 Aggregator::Concat => t.concat_cols(h, e_n),
                 Aggregator::Sum => t.add(h, e_n),
@@ -253,7 +327,7 @@ impl Ckat {
             let z = t.matmul(mixed, layer_w[l]);
             let zb = t.add_broadcast_row(z, layer_b[l]);
             let activated = t.leaky_relu(zb);
-            let dropped = match rng.as_deref_mut() {
+            let dropped = match dropout_rng.as_deref_mut() {
                 Some(r) if self.config.base.keep_prob < 1.0 => {
                     t.dropout(activated, self.config.base.keep_prob, r)
                 }
@@ -265,6 +339,28 @@ impl Ckat {
             all = t.concat_cols(all, h);
         }
         all
+    }
+
+    /// Closed-form FLOP estimate for one propagation forward pass over
+    /// `rows` node rows and `edges` messages.
+    fn propagation_flops(&self, rows: u64, edges: u64) -> u64 {
+        let mut flops = 0u64;
+        let mut in_dim = self.config.base.embed_dim as u64;
+        for &out_dim in &self.config.layer_dims {
+            let out = out_dim as u64;
+            let w_rows = match self.config.aggregator {
+                Aggregator::Concat => 2 * in_dim,
+                Aggregator::Sum => in_dim,
+            };
+            // Attention scaling plus segment-sum accumulation per message.
+            flops += 2 * edges * in_dim;
+            // Dense layer matmul plus bias.
+            flops += rows * (2 * w_rows + 1) * out;
+            // LeakyReLU and row normalization.
+            flops += 4 * rows * out;
+            in_dim = out;
+        }
+        flops
     }
 
     /// Forward-only final representations of **all** entities (users,
@@ -315,30 +411,84 @@ impl Recommender for Ckat {
     }
 
     fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        let mut prof = EpochProfile::default();
+        let clock = Instant::now();
         self.refresh_attention(ctx);
+        prof.attention_ns = clock.elapsed().as_nanos() as u64;
         let n_batches = ctx.batches_per_epoch(self.config.base.batch_size);
         let d = self.config.base.embed_dim;
+        let full_edges = ctx.ckg.n_edges() as u64;
         let mut total = 0.0;
         for _ in 0..n_batches {
             // --- BPR phase over the propagated representations ---
+            let clock = Instant::now();
             let batch = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
+            prof.sampling_ns += clock.elapsed().as_nanos() as u64;
             if batch.is_empty() {
-                return 0.0;
+                // Nothing trainable: abandon the epoch, but *fall through*
+                // to the invalidation below — an earlier version returned
+                // 0.0 here and kept serving stale eval caches.
+                break;
             }
+            prof.batches += 1;
+            prof.full_rows += self.n_entities as u64;
+            prof.full_edges += full_edges;
             let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
             let pos: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
             let neg: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
 
+            let clock = Instant::now();
             let mut t = Tape::new();
             let ent = t.leaf(self.store.value(self.ent_emb).clone());
             let lw: Vec<Var> =
                 self.layer_w.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
             let lb: Vec<Var> =
                 self.layer_b.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
-            let all = self.propagate(&mut t, ent, &lw, &lb, Some(rng));
-            let u = t.gather_rows(all, &users);
-            let i = t.gather_rows(all, &pos);
-            let j = t.gather_rows(all, &neg);
+            let (u, i, j) = if self.config.batch_local {
+                // Extract the batch's L-hop receptive field and propagate
+                // over it alone. Gradients flow through the initial
+                // row-gather back into the dense entity leaf, so the Adam
+                // update is identical to the full-graph path.
+                let mut seeds = Vec::with_capacity(3 * batch.len());
+                seeds.extend_from_slice(&users);
+                seeds.extend_from_slice(&pos);
+                seeds.extend_from_slice(&neg);
+                let sub = self.scratch.extract(ctx.ckg, &seeds, self.config.depth());
+                let n_sub = sub.n_nodes();
+                let n_sub_edges = sub.n_edges();
+                prof.gathered_rows += n_sub as u64;
+                prof.gathered_edges += n_sub_edges as u64;
+                prof.forward_flops += self.propagation_flops(n_sub as u64, n_sub_edges as u64);
+                let b = batch.len();
+                let local_u: Vec<usize> = sub.seed_locals[..b].to_vec();
+                let local_i: Vec<usize> = sub.seed_locals[b..2 * b].to_vec();
+                let local_j: Vec<usize> = sub.seed_locals[2 * b..].to_vec();
+                let att_vals: Vec<f32> = sub.edge_ids.iter().map(|&k| self.att[k]).collect();
+                let att = t.constant(Matrix::from_vec(n_sub_edges, 1, att_vals));
+                let ent_sub = t.gather_rows_arc(ent, Arc::new(sub.nodes));
+                let all = self.propagate_over(
+                    &mut t,
+                    ent_sub,
+                    att,
+                    Arc::new(sub.tails),
+                    Arc::new(sub.heads),
+                    n_sub,
+                    &lw,
+                    &lb,
+                    Some(rng),
+                );
+                (
+                    t.gather_rows(all, &local_u),
+                    t.gather_rows(all, &local_i),
+                    t.gather_rows(all, &local_j),
+                )
+            } else {
+                prof.gathered_rows += self.n_entities as u64;
+                prof.gathered_edges += full_edges;
+                prof.forward_flops += self.propagation_flops(self.n_entities as u64, full_edges);
+                let all = self.propagate(&mut t, ent, &lw, &lb, Some(rng));
+                (t.gather_rows(all, &users), t.gather_rows(all, &pos), t.gather_rows(all, &neg))
+            };
             let y_pos = t.rowwise_dot(u, i);
             let y_neg = t.rowwise_dot(u, j);
             let diff = t.sub(y_pos, y_neg);
@@ -353,6 +503,8 @@ impl Recommender for Ckat {
             let reg = t.scale(reg1, self.config.base.l2 / batch.len() as f32);
             let loss = t.add(bpr, reg);
             total += t.value(loss)[(0, 0)];
+            prof.forward_ns += clock.elapsed().as_nanos() as u64;
+            let clock = Instant::now();
             t.backward(loss);
             let mut grads: Vec<_> = Vec::new();
             if let Some(g) = t.take_grad(ent) {
@@ -369,18 +521,31 @@ impl Recommender for Ckat {
                 }
             }
             self.store.apply(&mut self.adam, &grads);
+            prof.backward_ns += clock.elapsed().as_nanos() as u64;
 
             // --- TransR phase (L₁, Eq. 2) ---
+            let clock = Instant::now();
             let kg_batch = sample_kg_batch(ctx.ckg, self.config.base.batch_size, rng);
+            prof.sampling_ns += clock.elapsed().as_nanos() as u64;
             if !kg_batch.is_empty() {
+                let clock = Instant::now();
                 let mut t = Tape::new();
                 let ent = t.leaf(self.store.value(self.ent_emb).clone());
                 let remb = t.leaf(self.store.value(self.rel_emb).clone());
                 let rproj = t.leaf(self.store.value(self.rel_proj).clone());
                 let loss = transr::margin_loss(
-                    &mut t, ent, remb, rproj, d, self.n_rel, &kg_batch, self.config.margin,
+                    &mut t,
+                    ent,
+                    remb,
+                    rproj,
+                    d,
+                    self.n_rel,
+                    &kg_batch,
+                    self.config.margin,
                 );
                 total += t.value(loss)[(0, 0)];
+                prof.forward_ns += clock.elapsed().as_nanos() as u64;
+                let clock = Instant::now();
                 t.backward(loss);
                 let grads: Vec<_> =
                     [(self.ent_emb, ent), (self.rel_emb, remb), (self.rel_proj, rproj)]
@@ -388,10 +553,15 @@ impl Recommender for Ckat {
                         .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
                         .collect();
                 self.store.apply(&mut self.adam, &grads);
+                prof.backward_ns += clock.elapsed().as_nanos() as u64;
             }
         }
+        // Every exit path must drop the eval caches *and* the per-edge
+        // attention snapshot: parameters changed, so both are stale.
         self.cached_users = None;
         self.cached_items = None;
+        self.att_fresh = false;
+        self.last_profile = Some(prof);
         total / n_batches as f32
     }
 
@@ -416,6 +586,10 @@ impl Recommender for Ckat {
     fn num_parameters(&self) -> usize {
         self.store.num_scalars()
     }
+
+    fn take_epoch_profile(&mut self) -> Option<EpochProfile> {
+        self.last_profile.take()
+    }
 }
 
 #[cfg(test)]
@@ -433,6 +607,7 @@ mod tests {
             aggregator: Aggregator::Concat,
             transr_dim: 16,
             margin: 1.0,
+            batch_local: true,
             base,
         }
     }
@@ -544,14 +719,117 @@ mod tests {
         let mut partial = map.clone();
         partial[0] = None;
         let warm2 = Ckat::new_warm(&ctx, &fast_config(), &old, &partial);
-        assert_ne!(
-            warm2.store.value(warm2.ent_emb).row(0),
-            old.store.value(old.ent_emb).row(0)
+        assert_ne!(warm2.store.value(warm2.ent_emb).row(0), old.store.value(old.ent_emb).row(0));
+        assert_eq!(warm2.store.value(warm2.ent_emb).row(1), old.store.value(old.ent_emb).row(1));
+    }
+
+    #[test]
+    fn warm_start_copies_relation_parameters() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut old = Ckat::new(&ctx, &fast_config());
+        let mut rng = seeded_rng(7);
+        old.train_epoch(&ctx, &mut rng);
+
+        let map: Vec<Option<usize>> = (0..ckg.n_entities()).map(Some).collect();
+        let warm = Ckat::new_warm(&ctx, &fast_config(), &old, &map);
+        assert_eq!(
+            warm.store.value(warm.rel_emb).as_slice(),
+            old.store.value(old.rel_emb).as_slice(),
+            "trained relation embeddings must survive the warm start"
         );
         assert_eq!(
-            warm2.store.value(warm2.ent_emb).row(1),
-            old.store.value(old.ent_emb).row(1)
+            warm.store.value(warm.rel_proj).as_slice(),
+            old.store.value(old.rel_proj).as_slice(),
+            "trained relation projections must survive the warm start"
         );
+        assert!(!warm.att_fresh, "warm model must refresh attention before eval");
+    }
+
+    /// Regression: the epoch-start attention snapshot is stale relative to
+    /// the parameters that training just produced, so `prepare_eval` must
+    /// recompute it rather than reuse the snapshot.
+    #[test]
+    fn eval_attention_is_recomputed_after_training() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Ckat::new(&ctx, &fast_config());
+        let mut rng = seeded_rng(5);
+        model.train_epoch(&ctx, &mut rng);
+        let stale = model.attention_weights().to_vec();
+        model.prepare_eval(&ctx);
+        let fresh = model.attention_weights().to_vec();
+        assert_ne!(
+            stale, fresh,
+            "prepare_eval must recompute attention from the trained parameters"
+        );
+    }
+
+    /// Regression: an epoch whose first batch comes up empty must still
+    /// drop the eval caches — it used to early-return around the
+    /// invalidation and serve representations from before the epoch.
+    #[test]
+    fn degenerate_epoch_still_invalidates_eval_caches() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Ckat::new(&ctx, &fast_config());
+        model.prepare_eval(&ctx);
+        assert!(model.cached_users.is_some());
+
+        let empty = facility_kg::Interactions::from_lists(
+            inter.n_items,
+            vec![vec![]; inter.n_users],
+            vec![vec![]; inter.n_users],
+        );
+        let empty_ctx = TrainContext { inter: &empty, ckg: &ckg };
+        let mut rng = seeded_rng(6);
+        let loss = model.train_epoch(&empty_ctx, &mut rng);
+        assert_eq!(loss, 0.0);
+        assert!(
+            model.cached_users.is_none() && model.cached_items.is_none(),
+            "caches must be dropped on every train_epoch exit path"
+        );
+    }
+
+    /// In-module smoke check of the subgraph engine; the full cross-mode
+    /// differential test lives in `tests/batch_local_diff.rs`.
+    #[test]
+    fn batch_local_and_full_graph_training_match() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut full_cfg = fast_config();
+        full_cfg.batch_local = false;
+        let mut local = Ckat::new(&ctx, &fast_config());
+        let mut full = Ckat::new(&ctx, &full_cfg);
+        let mut rng_a = seeded_rng(8);
+        let mut rng_b = seeded_rng(8);
+        for _ in 0..2 {
+            let la = local.train_epoch(&ctx, &mut rng_a);
+            let lf = full.train_epoch(&ctx, &mut rng_b);
+            assert_eq!(la, lf, "losses must match under keep_prob = 1.0");
+        }
+        assert_eq!(
+            local.store.value(local.ent_emb).as_slice(),
+            full.store.value(full.ent_emb).as_slice(),
+            "entity embeddings must stay bitwise identical across modes"
+        );
+    }
+
+    #[test]
+    fn epoch_profile_reports_subgraph_work() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Ckat::new(&ctx, &fast_config());
+        assert!(model.take_epoch_profile().is_none());
+        let mut rng = seeded_rng(9);
+        model.train_epoch(&ctx, &mut rng);
+        let prof = model.take_epoch_profile().expect("profile recorded");
+        assert!(model.take_epoch_profile().is_none(), "profile is consumed once");
+        assert!(prof.batches >= 1);
+        assert!(prof.gathered_rows <= prof.full_rows);
+        assert!(prof.gathered_edges <= prof.full_edges);
+        assert!(prof.forward_flops > 0);
+        assert!(prof.row_fraction() <= 1.0 && prof.edge_fraction() <= 1.0);
     }
 
     #[test]

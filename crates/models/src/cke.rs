@@ -92,10 +92,8 @@ impl Recommender for Cke {
             let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
             let pos: Vec<usize> = batch.iter().map(|s| s.pos as usize).collect();
             let neg: Vec<usize> = batch.iter().map(|s| s.neg as usize).collect();
-            let pos_ent: Vec<usize> =
-                batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
-            let neg_ent: Vec<usize> =
-                batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
+            let pos_ent: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
+            let neg_ent: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
 
             let mut t = Tape::new();
             let uemb = t.leaf(self.store.value(self.user_emb).clone());
@@ -138,7 +136,14 @@ impl Recommender for Cke {
                 let remb = t.leaf(self.store.value(self.rel_emb).clone());
                 let rproj = t.leaf(self.store.value(self.rel_proj).clone());
                 let loss = transr::margin_loss(
-                    &mut t, eemb, remb, rproj, d, self.n_rel, &kg_batch, self.margin,
+                    &mut t,
+                    eemb,
+                    remb,
+                    rproj,
+                    d,
+                    self.n_rel,
+                    &kg_batch,
+                    self.margin,
                 );
                 total += t.value(loss)[(0, 0)];
                 t.backward(loss);

@@ -43,11 +43,7 @@ pub(crate) struct FeatureBatch {
 impl FeatureBatch {
     /// Build `[user, item-features...]` feature lists for `(user, item)`
     /// pairs.
-    pub(crate) fn build(
-        users: &[usize],
-        items: &[usize],
-        item_features: &[Vec<usize>],
-    ) -> Self {
+    pub(crate) fn build(users: &[usize], items: &[usize], item_features: &[Vec<usize>]) -> Self {
         let mut indices = Vec::with_capacity(users.len() * 4);
         let mut seg = Vec::with_capacity(users.len() * 4);
         for (s, (&u, &i)) in users.iter().zip(items).enumerate() {
@@ -64,12 +60,7 @@ impl FeatureBatch {
 
 /// FM score head shared with NFM's linear part: returns
 /// `(linear (B×1), pooled bilinear vector (B×d))` on the tape.
-pub(crate) fn fm_terms(
-    t: &mut Tape,
-    w: Var,
-    v: Var,
-    fb: &FeatureBatch,
-) -> (Var, Var) {
+pub(crate) fn fm_terms(t: &mut Tape, w: Var, v: Var, fb: &FeatureBatch) -> (Var, Var) {
     let emb = t.gather_rows(v, &fb.indices); // (F × d)
     let sums = t.segment_sum(emb, Arc::clone(&fb.seg_of_row), fb.n_samples); // (B × d)
     let sq_of_sum = t.mul(sums, sums); // (B × d)
@@ -196,11 +187,7 @@ impl Recommender for Fm {
     }
 
     fn score_items(&self, user: Id) -> Vec<f32> {
-        self.cached_scores
-            .as_ref()
-            .expect("prepare_eval not called")
-            .row(user as usize)
-            .to_vec()
+        self.cached_scores.as_ref().expect("prepare_eval not called").row(user as usize).to_vec()
     }
 
     fn num_parameters(&self) -> usize {

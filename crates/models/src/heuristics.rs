@@ -128,9 +128,8 @@ mod tests {
             let mut n = 0;
             for u in inter.test_users() {
                 let scores = model.score_items(u);
-                let mut order: Vec<u32> = (0..inter.n_items as u32)
-                    .filter(|i| !inter.contains_train(u, *i))
-                    .collect();
+                let mut order: Vec<u32> =
+                    (0..inter.n_items as u32).filter(|i| !inter.contains_train(u, *i)).collect();
                 order.sort_by(|&a, &b| {
                     scores[b as usize].partial_cmp(&scores[a as usize]).unwrap().then(a.cmp(&b))
                 });

@@ -8,7 +8,14 @@
 //! `σ(W(e_self + e_N) + b)` with ReLU on inner layers and tanh on the
 //! final layer, as in the reference implementation.
 
+//! KGCN's receptive field is *sampled* (K neighbors per hop), so its
+//! propagation is naturally batch-local: `item_reprs` gathers only the
+//! `B·K^h` level rows it needs, never the full entity table. This module
+//! therefore only needed the invalidation fix and the [`EpochProfile`]
+//! instrumentation to line up with CKAT's batch-local engine.
+
 use crate::common::{ModelConfig, TrainContext};
+use crate::profile::EpochProfile;
 use crate::Recommender;
 use facility_autograd::{Adam, ParamId, ParamStore, Tape, Var};
 use facility_kg::sampling::sample_bpr_batch;
@@ -17,6 +24,7 @@ use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// KGCN hyperparameters.
 #[derive(Debug, Clone)]
@@ -54,16 +62,14 @@ pub struct Kgcn {
     /// Fixed receptive-field sample per item entity for evaluation:
     /// `eval_neighbors[e] = [(rel, tail); K]`, sampled once.
     eval_neighbors: Option<NeighborFields>,
+    /// Instrumentation from the most recent epoch, consumed by
+    /// [`Recommender::take_epoch_profile`].
+    last_profile: Option<EpochProfile>,
 }
 
 /// Sample `k` `(rel, tail)` neighbors of `entity` with replacement;
 /// entities without edges self-loop through the Interact relation.
-fn sample_neighbors(
-    ckg: &Ckg,
-    entity: usize,
-    k: usize,
-    rng: &mut impl Rng,
-) -> Vec<(u32, u32)> {
+fn sample_neighbors(ckg: &Ckg, entity: usize, k: usize, rng: &mut impl Rng) -> Vec<(u32, u32)> {
     let deg = ckg.degree(entity);
     if deg == 0 {
         return vec![(0, entity as u32); k];
@@ -83,14 +89,10 @@ impl Kgcn {
         let mut rng = seeded_rng(config.base.seed);
         let d = config.base.embed_dim;
         let mut store = ParamStore::new();
-        let user_emb =
-            store.add("user_emb", init::xavier_uniform(ctx.inter.n_users, d, &mut rng));
-        let ent_emb =
-            store.add("ent_emb", init::xavier_uniform(ctx.ckg.n_entities(), d, &mut rng));
-        let rel_emb = store.add(
-            "rel_emb",
-            init::xavier_uniform(ctx.ckg.n_relations_with_inverse(), d, &mut rng),
-        );
+        let user_emb = store.add("user_emb", init::xavier_uniform(ctx.inter.n_users, d, &mut rng));
+        let ent_emb = store.add("ent_emb", init::xavier_uniform(ctx.ckg.n_entities(), d, &mut rng));
+        let rel_emb = store
+            .add("rel_emb", init::xavier_uniform(ctx.ckg.n_relations_with_inverse(), d, &mut rng));
         let mut layer_w = Vec::new();
         let mut layer_b = Vec::new();
         for l in 0..config.n_layers {
@@ -109,7 +111,22 @@ impl Kgcn {
             config: config.clone(),
             n_items: ctx.inter.n_items,
             eval_neighbors: None,
+            last_profile: None,
         }
+    }
+
+    /// Rows/edges one `item_reprs` call places on the tape for a batch of
+    /// `b` seeds: level h holds `b·K^h` rows, each non-root row is one
+    /// sampled edge.
+    fn receptive_field_size(&self, b: usize) -> (u64, u64) {
+        let k = self.config.n_neighbors as u64;
+        let mut rows = 0u64;
+        let mut level = b as u64;
+        for _ in 0..=self.config.n_layers {
+            rows += level;
+            level *= k;
+        }
+        (rows, rows - b as u64)
     }
 
     /// Build the user-specific representations of `items` for `users`
@@ -150,8 +167,7 @@ impl Kgcn {
         }
 
         // Raw embeddings per level.
-        let mut reprs: Vec<Var> =
-            levels.iter().map(|ents| t.gather_rows(eemb, ents)).collect();
+        let mut reprs: Vec<Var> = levels.iter().map(|ents| t.gather_rows(eemb, ents)).collect();
 
         // Aggregate inward: children at level h+1 into parents at level h.
         for hop in (0..n_layers).rev() {
@@ -165,12 +181,10 @@ impl Kgcn {
             let u_rows = t.gather_rows(uemb, &user_of_child);
             let r_rows = t.gather_rows(remb, &level_rels[hop]);
             let pi = t.rowwise_dot(u_rows, r_rows); // (C × 1)
-            let offsets: Arc<Vec<usize>> =
-                Arc::new((0..=n_parents).map(|p| p * k).collect());
+            let offsets: Arc<Vec<usize>> = Arc::new((0..=n_parents).map(|p| p * k).collect());
             let att = t.segment_softmax(pi, offsets);
             let weighted = t.mul_broadcast_col(reprs[hop + 1], att);
-            let seg_of_child: Arc<Vec<usize>> =
-                Arc::new((0..n_children).map(|c| c / k).collect());
+            let seg_of_child: Arc<Vec<usize>> = Arc::new((0..n_children).map(|c| c / k).collect());
             let agg = t.segment_sum(weighted, seg_of_child, n_parents);
             let mixed = t.add(reprs[hop], agg);
             let z = t.matmul(mixed, layer_w[hop]);
@@ -187,17 +201,32 @@ impl Recommender for Kgcn {
     }
 
     fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        let mut prof = EpochProfile::default();
         let n_batches = ctx.batches_per_epoch(self.config.base.batch_size);
+        let full_edges = ctx.ckg.n_edges() as u64;
         let mut total = 0.0;
         for _ in 0..n_batches {
+            let clock = Instant::now();
             let batch = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
+            prof.sampling_ns += clock.elapsed().as_nanos() as u64;
             if batch.is_empty() {
-                return 0.0;
+                // Fall through to the invalidation below instead of
+                // early-returning around it (same staleness class as
+                // CKAT's eval-cache bug).
+                break;
             }
+            prof.batches += 1;
+            prof.full_rows += ctx.ckg.n_entities() as u64;
+            prof.full_edges += full_edges;
+            let (rf_rows, rf_edges) = self.receptive_field_size(batch.len());
+            // One receptive field each for the positive and negative items.
+            prof.gathered_rows += 2 * rf_rows;
+            prof.gathered_edges += 2 * rf_edges;
             let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
             let pos: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
             let neg: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
 
+            let clock = Instant::now();
             let mut t = Tape::new();
             let uemb = t.leaf(self.store.value(self.user_emb).clone());
             let eemb = t.leaf(self.store.value(self.ent_emb).clone());
@@ -208,14 +237,12 @@ impl Recommender for Kgcn {
                 self.layer_b.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
 
             let k = self.config.n_neighbors;
-            let pos_rep = self.item_reprs(
-                &mut t, uemb, eemb, remb, &lw, &lb, &users, &pos,
-                |e| sample_neighbors(ctx.ckg, e, k, rng),
-            );
-            let neg_rep = self.item_reprs(
-                &mut t, uemb, eemb, remb, &lw, &lb, &users, &neg,
-                |e| sample_neighbors(ctx.ckg, e, k, rng),
-            );
+            let pos_rep = self.item_reprs(&mut t, uemb, eemb, remb, &lw, &lb, &users, &pos, |e| {
+                sample_neighbors(ctx.ckg, e, k, rng)
+            });
+            let neg_rep = self.item_reprs(&mut t, uemb, eemb, remb, &lw, &lb, &users, &neg, |e| {
+                sample_neighbors(ctx.ckg, e, k, rng)
+            });
             let u = t.gather_rows(uemb, &users);
             let y_pos = t.rowwise_dot(u, pos_rep);
             let y_neg = t.rowwise_dot(u, neg_rep);
@@ -227,6 +254,8 @@ impl Recommender for Kgcn {
             let reg = t.scale(ru, self.config.base.l2 / batch.len() as f32);
             let loss = t.add(bpr, reg);
             total += t.value(loss)[(0, 0)];
+            prof.forward_ns += clock.elapsed().as_nanos() as u64;
+            let clock = Instant::now();
             t.backward(loss);
             let mut grads: Vec<_> =
                 [(self.user_emb, uemb), (self.ent_emb, eemb), (self.rel_emb, remb)]
@@ -244,8 +273,11 @@ impl Recommender for Kgcn {
                 }
             }
             self.store.apply(&mut self.adam, &grads);
+            prof.backward_ns += clock.elapsed().as_nanos() as u64;
         }
+        // Invalidate the fixed eval receptive field on every exit path.
         self.eval_neighbors = None;
+        self.last_profile = Some(prof);
         total / n_batches as f32
     }
 
@@ -253,9 +285,8 @@ impl Recommender for Kgcn {
         // Fix one neighbor draw per entity so evaluation is deterministic.
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.config.base.seed ^ 0x5eed);
         let k = self.config.n_neighbors;
-        let fields: Vec<Vec<(u32, u32)>> = (0..ctx.ckg.n_entities())
-            .map(|e| sample_neighbors(ctx.ckg, e, k, &mut rng))
-            .collect();
+        let fields: Vec<Vec<(u32, u32)>> =
+            (0..ctx.ckg.n_entities()).map(|e| sample_neighbors(ctx.ckg, e, k, &mut rng)).collect();
         self.eval_neighbors = Some(Arc::new(fields));
         self.n_items = ctx.inter.n_items;
         // Cache the item→entity mapping implicitly (contiguous layout).
@@ -263,8 +294,7 @@ impl Recommender for Kgcn {
     }
 
     fn score_items(&self, user: Id) -> Vec<f32> {
-        let fields =
-            Arc::clone(self.eval_neighbors.as_ref().expect("prepare_eval not called"));
+        let fields = Arc::clone(self.eval_neighbors.as_ref().expect("prepare_eval not called"));
         let n_users = self.store.value(self.user_emb).rows();
         let mut scores = Vec::with_capacity(self.n_items);
         // Chunk items to bound tape memory.
@@ -282,10 +312,9 @@ impl Recommender for Kgcn {
                 self.layer_w.iter().map(|&p| t.constant(self.store.value(p).clone())).collect();
             let lb: Vec<Var> =
                 self.layer_b.iter().map(|&p| t.constant(self.store.value(p).clone())).collect();
-            let rep = self.item_reprs(
-                &mut t, uemb, eemb, remb, &lw, &lb, &users, &items,
-                |e| fields[e].clone(),
-            );
+            let rep = self.item_reprs(&mut t, uemb, eemb, remb, &lw, &lb, &users, &items, |e| {
+                fields[e].clone()
+            });
             let u = t.gather_rows(uemb, &users);
             let y = t.rowwise_dot(u, rep);
             scores.extend_from_slice(t.value(y).as_slice());
@@ -296,6 +325,10 @@ impl Recommender for Kgcn {
 
     fn num_parameters(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    fn take_epoch_profile(&mut self) -> Option<EpochProfile> {
+        self.last_profile.take()
     }
 }
 
@@ -336,14 +369,46 @@ mod tests {
             assert_eq!(ns.len(), 4);
             if ckg.degree(e) > 0 {
                 for (r, tail) in ns {
-                    assert!(ckg
-                        .neighbors(e)
-                        .any(|(rr, tt)| rr == r && tt == tail));
+                    assert!(ckg.neighbors(e).any(|(rr, tt)| rr == r && tt == tail));
                 }
             } else {
                 assert!(ns.iter().all(|&(r, t)| r == 0 && t as usize == e));
             }
         }
+    }
+
+    #[test]
+    fn degenerate_epoch_still_invalidates_eval_neighbors() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Kgcn::new(&ctx, &fast_config());
+        model.prepare_eval(&ctx);
+        assert!(model.eval_neighbors.is_some());
+
+        let empty = facility_kg::Interactions::from_lists(
+            inter.n_items,
+            vec![vec![]; inter.n_users],
+            vec![vec![]; inter.n_users],
+        );
+        let empty_ctx = TrainContext { inter: &empty, ckg: &ckg };
+        let mut rng = seeded_rng(3);
+        assert_eq!(model.train_epoch(&empty_ctx, &mut rng), 0.0);
+        assert!(
+            model.eval_neighbors.is_none(),
+            "eval receptive field must be dropped on every exit path"
+        );
+    }
+
+    #[test]
+    fn epoch_profile_counts_sampled_receptive_field() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = Kgcn::new(&ctx, &fast_config());
+        let mut rng = seeded_rng(4);
+        model.train_epoch(&ctx, &mut rng);
+        let prof = model.take_epoch_profile().expect("profile recorded");
+        assert!(prof.batches >= 1);
+        assert!(prof.gathered_rows > 0 && prof.gathered_edges > 0);
     }
 
     #[test]

@@ -37,10 +37,12 @@ pub mod fm;
 pub mod heuristics;
 pub mod kgcn;
 pub mod nfm;
+pub mod profile;
 pub mod ripplenet;
 pub mod transr;
 
 pub use common::{ModelConfig, TrainContext};
+pub use profile::EpochProfile;
 
 use facility_kg::Id;
 use rand::rngs::StdRng;
@@ -63,6 +65,16 @@ pub trait Recommender: Send + Sync {
 
     /// Number of scalar parameters (for reporting).
     fn num_parameters(&self) -> usize;
+
+    /// Per-phase timings and work counters for the most recent
+    /// [`Recommender::train_epoch`] call, when the model records them.
+    ///
+    /// Consuming: returns `Some` at most once per trained epoch so stale
+    /// profiles are never attributed to a later epoch. The default
+    /// implementation returns `None` (model not instrumented).
+    fn take_epoch_profile(&mut self) -> Option<EpochProfile> {
+        None
+    }
 }
 
 /// Identifier for constructing any of the eight models uniformly (used by

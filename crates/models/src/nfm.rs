@@ -156,8 +156,7 @@ impl Recommender for Nfm {
                 let b1 = t.constant(self.store.value(self.b1).clone());
                 let h = t.constant(self.store.value(self.h).clone());
                 // No dropout at inference.
-                let y =
-                    self.batch_scores(&mut t, (w, v, w1, b1, h), &users, &all_items, 1.0, None);
+                let y = self.batch_scores(&mut t, (w, v, w1, b1, h), &users, &all_items, 1.0, None);
                 t.value(y).as_slice().to_vec()
             })
             .collect();
@@ -169,11 +168,7 @@ impl Recommender for Nfm {
     }
 
     fn score_items(&self, user: Id) -> Vec<f32> {
-        self.cached_scores
-            .as_ref()
-            .expect("prepare_eval not called")
-            .row(user as usize)
-            .to_vec()
+        self.cached_scores.as_ref().expect("prepare_eval not called").row(user as usize).to_vec()
     }
 
     fn num_parameters(&self) -> usize {

@@ -1,0 +1,95 @@
+//! Per-phase instrumentation for one training epoch.
+//!
+//! Propagation-based models spend their time in four places — negative
+//! sampling, the once-per-epoch attention refresh, the propagation
+//! forward pass, and backward/optimizer work — and the batch-local
+//! subgraph engine changes the balance drastically. [`EpochProfile`]
+//! captures wall time and work counters per phase so the bench harness
+//! (`epoch_profile`) and the trainer's [`EpochLog`] can record a perf
+//! trajectory across PRs.
+//!
+//! [`EpochLog`]: https://docs.rs/facility-eval
+
+/// Wall-time and work counters for one epoch of training.
+///
+/// Times are nanoseconds. FLOP counts are *estimates* from closed-form
+/// per-op formulas (dense matmul `2·m·k·n`, elementwise `m·n`, …), good
+/// for relative comparisons rather than absolute hardware utilization.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EpochProfile {
+    /// Time drawing BPR and TransR batches.
+    pub sampling_ns: u64,
+    /// Time refreshing per-edge attention weights (once per epoch).
+    pub attention_ns: u64,
+    /// Time building forward tapes (propagation + losses).
+    pub forward_ns: u64,
+    /// Time in backward passes and optimizer updates.
+    pub backward_ns: u64,
+    /// Time spent in evaluation, when the caller evaluated this epoch
+    /// (filled by the trainer, not the model).
+    pub eval_ns: u64,
+    /// Estimated forward-pass FLOPs over the whole epoch.
+    pub forward_flops: u64,
+    /// Embedding rows placed on the propagation tape, summed over batches.
+    pub gathered_rows: u64,
+    /// CKG edges propagated, summed over batches.
+    pub gathered_edges: u64,
+    /// Rows the full-graph path would have used (`n_entities · batches`).
+    pub full_rows: u64,
+    /// Edges the full-graph path would have used (`n_edges · batches`).
+    pub full_edges: u64,
+    /// Number of mini-batches this epoch.
+    pub batches: u64,
+}
+
+impl EpochProfile {
+    /// Fraction of full-graph rows actually gathered (1.0 when the model
+    /// propagates over the whole graph; < 1.0 under batch-local mode).
+    pub fn row_fraction(&self) -> f64 {
+        if self.full_rows == 0 {
+            1.0
+        } else {
+            self.gathered_rows as f64 / self.full_rows as f64
+        }
+    }
+
+    /// Fraction of full-graph edges actually propagated.
+    pub fn edge_fraction(&self) -> f64 {
+        if self.full_edges == 0 {
+            1.0
+        } else {
+            self.gathered_edges as f64 / self.full_edges as f64
+        }
+    }
+
+    /// Total instrumented wall time (training phases only).
+    pub fn train_ns(&self) -> u64 {
+        self.sampling_ns + self.attention_ns + self.forward_ns + self.backward_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_degrade_gracefully_on_empty_profiles() {
+        let p = EpochProfile::default();
+        assert_eq!(p.row_fraction(), 1.0);
+        assert_eq!(p.edge_fraction(), 1.0);
+        assert_eq!(p.train_ns(), 0);
+    }
+
+    #[test]
+    fn fractions_reflect_counters() {
+        let p = EpochProfile {
+            gathered_rows: 25,
+            full_rows: 100,
+            gathered_edges: 10,
+            full_edges: 40,
+            ..Default::default()
+        };
+        assert_eq!(p.row_fraction(), 0.25);
+        assert_eq!(p.edge_fraction(), 0.25);
+    }
+}

@@ -66,8 +66,7 @@ fn build_ripple_sets(
     rng: &mut impl Rng,
 ) -> Vec<Vec<Memory>> {
     let mut hops = Vec::with_capacity(n_hops);
-    let mut seeds: Vec<u32> =
-        train_items.iter().map(|&i| ckg.item_entity(i) as u32).collect();
+    let mut seeds: Vec<u32> = train_items.iter().map(|&i| ckg.item_entity(i) as u32).collect();
     for _ in 0..n_hops {
         // Candidate edges: all CKG edges out of the seed entities.
         let mut candidates: Vec<Memory> = Vec::new();
@@ -185,8 +184,7 @@ impl RippleNet {
             let sample_of_mem: Vec<usize> = (0..n_mem).map(|m| m / s_per_hop).collect();
             let v_rows = t.gather_rows(v, &sample_of_mem);
             let p_raw = t.rowwise_dot(rh_all, v_rows);
-            let offsets: Arc<Vec<usize>> =
-                Arc::new((0..=b).map(|i| i * s_per_hop).collect());
+            let offsets: Arc<Vec<usize>> = Arc::new((0..=b).map(|i| i * s_per_hop).collect());
             let att = t.segment_softmax(p_raw, offsets);
 
             // Hop response o = Σ p · e_t.
@@ -333,11 +331,7 @@ mod tests {
         let ctx = TrainContext { inter: &inter, ckg: &ckg };
         let model = RippleNet::new(&ctx, &fast_config());
         let users = vec![0usize, 1, 2];
-        let items: Vec<usize> = vec![
-            ckg.item_entity(0),
-            ckg.item_entity(3),
-            ckg.item_entity(5),
-        ];
+        let items: Vec<usize> = vec![ckg.item_entity(0), ckg.item_entity(3), ckg.item_entity(5)];
         let mut t = Tape::new();
         let ent = t.constant(model.store.value(model.ent_emb).clone());
         let proj = t.constant(model.store.value(model.rel_proj).clone());

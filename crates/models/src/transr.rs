@@ -92,12 +92,7 @@ pub fn margin_loss(
 /// `ent` is `(n_entities × d)`, `rel_emb` `(n_rel × k)`, `rel_proj`
 /// `(n_rel·d × k)`. Returns one weight per edge in CSR order; each head's
 /// neighborhood sums to 1.
-pub fn attention_scores(
-    ckg: &Ckg,
-    ent: &Matrix,
-    rel_emb: &Matrix,
-    rel_proj: &Matrix,
-) -> Vec<f32> {
+pub fn attention_scores(ckg: &Ckg, ent: &Matrix, rel_emb: &Matrix, rel_proj: &Matrix) -> Vec<f32> {
     let d = ent.cols();
     let n_edges = ckg.n_edges();
     let mut scores = vec![0.0f32; n_edges];
@@ -260,12 +255,22 @@ mod tests {
         let mut total = 0;
         for s in sample_kg_batch(&ckg, 200, &mut seeded_rng(9)) {
             let pos = triple_score(
-                store.value(ent), store.value(rel), store.value(proj),
-                d, s.head as usize, s.rel as usize, s.tail as usize,
+                store.value(ent),
+                store.value(rel),
+                store.value(proj),
+                d,
+                s.head as usize,
+                s.rel as usize,
+                s.tail as usize,
             );
             let neg = triple_score(
-                store.value(ent), store.value(rel), store.value(proj),
-                d, s.head as usize, s.rel as usize, s.neg_tail as usize,
+                store.value(ent),
+                store.value(rel),
+                store.value(proj),
+                d,
+                s.head as usize,
+                s.rel as usize,
+                s.neg_tail as usize,
             );
             if pos < neg {
                 wins += 1;

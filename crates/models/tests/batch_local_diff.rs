@@ -1,0 +1,121 @@
+//! Differential test: CKAT's batch-local subgraph propagation against the
+//! full-graph oracle.
+//!
+//! The subgraph engine (`facility_kg::SubgraphScratch`) assigns local ids
+//! with interior nodes sorted by global id and copies full CSR edge
+//! slices, so per-segment message sums and backward scatter-adds
+//! accumulate in the same float order as full-graph propagation. Under
+//! `keep_prob = 1.0` (no dropout RNG draws) the two modes must therefore
+//! produce *identical* training trajectories — same per-epoch losses,
+//! same parameters, same final representations — not merely close ones.
+
+use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
+use facility_linalg::seeded_rng;
+use facility_models::ckat::{Aggregator, Ckat, CkatConfig};
+use facility_models::{ModelConfig, Recommender, TrainContext};
+
+/// The same toy world the in-crate unit tests use: 4 users, 6 items, two
+/// co-location pairs, and location/data-type attributes.
+fn toy_world() -> (Interactions, facility_kg::Ckg) {
+    let events: Vec<(Id, Id)> =
+        vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 3), (2, 2), (2, 4), (3, 1), (3, 5)];
+    let inter = Interactions::split(4, 6, &events, 0.0, &mut seeded_rng(0));
+    let mut b = CkgBuilder::new(4, 6);
+    b.add_interactions(&inter.train_pairs);
+    b.add_user_user(&[(0, 1), (2, 3)]);
+    for i in 0..6u32 {
+        b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", i, format!("site:{}", i % 2));
+        b.add_item_attribute(KnowledgeSource::Dkg, "hasDataType", i, format!("type:{}", i % 3));
+    }
+    (inter, b.build(SourceMask::all()))
+}
+
+fn config(layer_dims: Vec<usize>, aggregator: Aggregator, batch_local: bool) -> CkatConfig {
+    let mut base = ModelConfig::fast();
+    base.keep_prob = 1.0; // dropout draws would desynchronize the RNG streams
+    CkatConfig {
+        layer_dims,
+        use_attention: true,
+        aggregator,
+        transr_dim: 16,
+        margin: 1.0,
+        batch_local,
+        base,
+    }
+}
+
+/// Train both modes side by side and compare losses epoch by epoch, then
+/// the final representations element by element.
+fn assert_modes_match(layer_dims: Vec<usize>, aggregator: Aggregator) {
+    let (inter, ckg) = toy_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut local = Ckat::new(&ctx, &config(layer_dims.clone(), aggregator, true));
+    let mut full = Ckat::new(&ctx, &config(layer_dims, aggregator, false));
+    let mut rng_local = seeded_rng(42);
+    let mut rng_full = seeded_rng(42);
+
+    for epoch in 0..2 {
+        let l_local = local.train_epoch(&ctx, &mut rng_local);
+        let l_full = full.train_epoch(&ctx, &mut rng_full);
+        assert!(
+            (l_local - l_full).abs() < 1e-4,
+            "epoch {epoch}: batch-local loss {l_local} != full-graph loss {l_full}"
+        );
+    }
+
+    local.prepare_eval(&ctx);
+    full.prepare_eval(&ctx);
+    let reps_local = local.entity_representations();
+    let reps_full = full.entity_representations();
+    assert_eq!(reps_local.shape(), reps_full.shape());
+    for r in 0..reps_local.rows() {
+        for c in 0..reps_local.cols() {
+            let (a, b) = (reps_local[(r, c)], reps_full[(r, c)]);
+            assert!(
+                (a - b).abs() < 1e-4,
+                "representation mismatch at ({r},{c}): batch-local {a} vs full {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn losses_and_representations_match_at_depth_two() {
+    assert_modes_match(vec![16, 8], Aggregator::Concat);
+}
+
+#[test]
+fn losses_and_representations_match_at_depth_one_and_three() {
+    assert_modes_match(vec![16], Aggregator::Concat);
+    assert_modes_match(vec![16, 8, 4], Aggregator::Concat);
+}
+
+#[test]
+fn losses_and_representations_match_with_sum_aggregator() {
+    assert_modes_match(vec![16, 8], Aggregator::Sum);
+}
+
+/// The equivalence is in fact bitwise, not merely within tolerance: the
+/// subgraph preserves the exact accumulation order of every float sum
+/// that reaches the loss, and Adam sees an identical dense gradient.
+#[test]
+fn two_epoch_trajectories_are_bitwise_identical() {
+    let (inter, ckg) = toy_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut local = Ckat::new(&ctx, &config(vec![16, 8], Aggregator::Concat, true));
+    let mut full = Ckat::new(&ctx, &config(vec![16, 8], Aggregator::Concat, false));
+    let mut rng_local = seeded_rng(7);
+    let mut rng_full = seeded_rng(7);
+    for _ in 0..2 {
+        let a = local.train_epoch(&ctx, &mut rng_local);
+        let b = full.train_epoch(&ctx, &mut rng_full);
+        assert_eq!(a.to_bits(), b.to_bits(), "losses diverged");
+    }
+    local.prepare_eval(&ctx);
+    full.prepare_eval(&ctx);
+    let ra = local.entity_representations();
+    let rb = full.entity_representations();
+    for (x, y) in ra.as_slice().iter().zip(rb.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits(), "representations diverged");
+    }
+}

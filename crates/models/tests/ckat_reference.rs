@@ -3,6 +3,10 @@
 //! plain loops. This pins the segment-op plumbing (gather → weight →
 //! scatter-sum → aggregate → normalize → concat) to the math.
 
+// The reference implementation deliberately uses the paper's index
+// notation rather than iterator chains.
+#![allow(clippy::needless_range_loop)]
+
 use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
 use facility_linalg::{matrix::dot, ops, seeded_rng, Matrix};
 use facility_models::ckat::{Aggregator, Ckat, CkatConfig};
@@ -76,6 +80,7 @@ fn tape_propagation_matches_naive_reference() {
         aggregator: Aggregator::Concat,
         transr_dim: 6,
         margin: 1.0,
+        batch_local: true,
         base,
     };
     let mut model = Ckat::new(&ctx, &config);
@@ -104,20 +109,15 @@ fn tape_propagation_matches_naive_reference() {
     for r in 0..reference.rows() {
         for c in 0..reference.cols() {
             let (a, b) = (reference[(r, c)], tape_reps[(r, c)]);
-            assert!(
-                (a - b).abs() < 1e-4,
-                "mismatch at ({r},{c}): reference {a} vs tape {b}"
-            );
+            assert!((a - b).abs() < 1e-4, "mismatch at ({r},{c}): reference {a} vs tape {b}");
         }
     }
 
     // Sanity: scores derived from the representations match score_items.
     let scores = model.score_items(0);
     for i in 0..inter.n_items {
-        let manual = dot(
-            tape_reps.row(ckg.user_entity(0)),
-            tape_reps.row(ckg.item_entity(i as Id)),
-        );
+        let manual =
+            dot(tape_reps.row(ckg.user_entity(0)), tape_reps.row(ckg.item_entity(i as Id)));
         assert!((scores[i] - manual).abs() < 1e-4);
     }
 }

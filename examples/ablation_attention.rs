@@ -53,6 +53,7 @@ fn main() {
             aggregator: agg,
             transr_dim: 32,
             margin: 1.0,
+            batch_local: true,
             base: base.clone(),
         };
         let report = exp.run_ckat(&cfg, &settings);

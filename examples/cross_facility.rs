@@ -103,27 +103,24 @@ fn main() {
         aggregator: Aggregator::Concat,
         transr_dim: 16,
         margin: 1.0,
+        batch_local: true,
         base,
     };
     let ctx = TrainContext { inter: &inter, ckg: &ckg };
     let mut model = Ckat::new(&ctx, &config);
-    let settings = TrainSettings {
-        max_epochs: 20,
-        eval_every: 5,
-        patience: 0,
-        k: 10,
-        seed: 4,
-        verbose: true,
-    };
+    let settings =
+        TrainSettings { max_epochs: 20, eval_every: 5, patience: 0, k: 10, seed: 4, verbose: true };
     let report = train(&mut model, &ctx, &settings);
-    println!("\nUnified model: recall@10 {:.4}, ndcg@10 {:.4}", report.best.recall, report.best.ndcg);
+    println!(
+        "\nUnified model: recall@10 {:.4}, ndcg@10 {:.4}",
+        report.best.recall, report.best.ndcg
+    );
 
     // Cross-facility payoff: rank facility-B items for a facility-A user.
     model.prepare_eval(&ctx);
     let user = 0u32; // a facility-A user
     let scores = model.score_items(user);
-    let mut b_items: Vec<(usize, f32)> =
-        (ia..n_items).map(|i| (i, scores[i])).collect();
+    let mut b_items: Vec<(usize, f32)> = (ia..n_items).map(|i| (i, scores[i])).collect();
     b_items.sort_unstable_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
     println!("\nTop-5 facility-B data objects for facility-A user {user}:");
     for (gid, score) in b_items.into_iter().take(5) {

@@ -36,6 +36,7 @@ fn main() {
         aggregator: Aggregator::Concat,
         transr_dim: 32,
         margin: 1.0,
+        batch_local: true,
         base,
     };
     let settings = TrainSettings {
@@ -60,12 +61,7 @@ fn main() {
     for mask in masks {
         let variant = exp.with_mask(mask);
         let report = variant.run_ckat(&ckat, &settings);
-        println!(
-            "{:<19}  {:.4}     {:.4}",
-            mask.label(),
-            report.best.recall,
-            report.best.ndcg
-        );
+        println!("{:<19}  {:.4}     {:.4}", mask.label(), report.best.recall, report.best.ndcg);
     }
     println!(
         "\nGAGE users follow instrument locality strongly (paper Section VI-F):\n\

@@ -26,6 +26,7 @@ fn ckat_config() -> CkatConfig {
         aggregator: Aggregator::Concat,
         transr_dim: 16,
         margin: 1.0,
+        batch_local: true,
         base,
     }
 }
@@ -43,7 +44,14 @@ fn main() {
     let ctx0 = TrainContext { inter: &inter0, ckg: &ckg0 };
 
     let mut day0 = Ckat::new(&ctx0, &ckat_config());
-    let full = TrainSettings { max_epochs: 30, eval_every: 5, patience: 0, k: 10, seed: 1, verbose: false };
+    let full = TrainSettings {
+        max_epochs: 30,
+        eval_every: 5,
+        patience: 0,
+        k: 10,
+        seed: 1,
+        verbose: false,
+    };
     let r0 = train(&mut day0, &ctx0, &full);
     println!("day 0: {} entities, recall@10 {:.4}", ckg0.n_entities(), r0.best.recall);
 
@@ -60,18 +68,14 @@ fn main() {
     // Entity alignment old → new: users keep their ids; old items keep
     // theirs; attribute entities align by name.
     let mut map: Vec<Option<usize>> = vec![None; ckg1.n_entities()];
-    for u in 0..ckg1.n_users.min(ckg0.n_users) {
-        map[u] = Some(u);
+    for (u, slot) in map.iter_mut().enumerate().take(ckg1.n_users.min(ckg0.n_users)) {
+        *slot = Some(u);
     }
     for i in 0..ckg0.n_items.min(ckg1.n_items) {
         map[ckg1.n_users + i] = Some(ckg0.n_users + i);
     }
-    let old_attr_idx: std::collections::HashMap<&str, usize> = ckg0
-        .attr_names
-        .iter()
-        .enumerate()
-        .map(|(a, name)| (name.as_str(), a))
-        .collect();
+    let old_attr_idx: std::collections::HashMap<&str, usize> =
+        ckg0.attr_names.iter().enumerate().map(|(a, name)| (name.as_str(), a)).collect();
     for (a, name) in ckg1.attr_names.iter().enumerate() {
         if let Some(&old_a) = old_attr_idx.get(name.as_str()) {
             map[ckg1.n_users + ckg1.n_items + a] = Some(ckg0.n_users + ckg0.n_items + old_a);
@@ -86,7 +90,8 @@ fn main() {
     );
 
     // Small update budget: 5 epochs.
-    let quick = TrainSettings { max_epochs: 5, eval_every: 5, patience: 0, k: 10, seed: 2, verbose: false };
+    let quick =
+        TrainSettings { max_epochs: 5, eval_every: 5, patience: 0, k: 10, seed: 2, verbose: false };
 
     let mut cold = Ckat::new(&ctx1, &ckat_config());
     let rc = train(&mut cold, &ctx1, &quick);

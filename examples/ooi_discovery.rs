@@ -41,12 +41,7 @@ fn main() {
     let mut reports = Vec::new();
     for kind in [ModelKind::Bprmf, ModelKind::Kgcn, ModelKind::Ckat] {
         let report = exp.run_model(kind, &cfg, &settings);
-        println!(
-            "{:<10}  {:.4}     {:.4}",
-            kind.label(),
-            report.best.recall,
-            report.best.ndcg
-        );
+        println!("{:<10}  {:.4}     {:.4}", kind.label(), report.best.recall, report.best.ndcg);
         reports.push((kind, report));
     }
 
@@ -70,8 +65,7 @@ fn main() {
     for (item, score) in recommend_top_k(model.as_ref(), &exp.inter, user, 10) {
         let m = &exp.trace.catalog.items[item as usize];
         let region_match = if m.region == meta.home_region { "home-region" } else { "other" };
-        let type_match =
-            if meta.pref_types.contains(&m.data_type) { "pref-type" } else { "other" };
+        let type_match = if meta.pref_types.contains(&m.data_type) { "pref-type" } else { "other" };
         println!(
             "  item {item:4}  score {score:7.3}  site {:3}  [{region_match}, {type_match}]",
             m.site

@@ -27,7 +27,7 @@ fn every_model_is_deterministic_under_seed() {
     let ctx = TrainContext { inter: &inter, ckg: &ckg };
     let cfg = ModelConfig { embed_dim: 8, batch_size: 64, ..ModelConfig::default() };
     for kind in ModelKind::table2_order() {
-        let mut run = |seed: u64| {
+        let run = |seed: u64| {
             let mut model = kind.build(&ctx, &cfg);
             let mut rng = seeded_rng(seed);
             let losses: Vec<f32> = (0..2).map(|_| model.train_epoch(&ctx, &mut rng)).collect();
@@ -44,26 +44,17 @@ fn every_model_is_deterministic_under_seed() {
 }
 
 /// Brute-force reference: full sort by (score desc, id asc) then count.
-fn reference_metrics(
-    scores: &[f32],
-    train: &[Id],
-    test: &[Id],
-    k: usize,
-) -> Option<(f64, f64)> {
+fn reference_metrics(scores: &[f32], train: &[Id], test: &[Id], k: usize) -> Option<(f64, f64)> {
     if test.is_empty() || k == 0 {
         return None;
     }
-    let mut order: Vec<u32> = (0..scores.len() as u32)
-        .filter(|i| train.binary_search(i).is_err())
-        .collect();
+    let mut order: Vec<u32> =
+        (0..scores.len() as u32).filter(|i| train.binary_search(i).is_err()).collect();
     if order.is_empty() {
         return None;
     }
     order.sort_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap()
-            .then(a.cmp(&b))
+        scores[b as usize].partial_cmp(&scores[a as usize]).unwrap().then(a.cmp(&b))
     });
     let k_eff = k.min(order.len());
     let mut hits = 0;

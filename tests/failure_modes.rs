@@ -79,7 +79,8 @@ fn k_larger_than_catalog_is_fine() {
 #[test]
 fn interaction_only_graph_trains_knowledge_models() {
     // No IAG at all: knowledge-aware models degrade to interaction edges.
-    let inter = Interactions::from_lists(4, vec![vec![0], vec![1], vec![2]], vec![vec![1], vec![], vec![]]);
+    let inter =
+        Interactions::from_lists(4, vec![vec![0], vec![1], vec![2]], vec![vec![1], vec![], vec![]]);
     let mut b = CkgBuilder::new(3, 4);
     b.add_interactions(&inter.train_pairs);
     let ckg = b.build(SourceMask::all());

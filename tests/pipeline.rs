@@ -8,11 +8,7 @@ use facility_kgrec::kg::SourceMask;
 use facility_kgrec::models::{ModelConfig, ModelKind};
 
 fn tiny() -> ExperimentConfig {
-    ExperimentConfig {
-        facility: FacilityConfig::tiny(),
-        seed: 42,
-        ..ExperimentConfig::default()
-    }
+    ExperimentConfig { facility: FacilityConfig::tiny(), seed: 42, ..ExperimentConfig::default() }
 }
 
 fn fast_settings() -> TrainSettings {

@@ -37,6 +37,7 @@ fn ckat_cfg() -> CkatConfig {
         aggregator: Aggregator::Concat,
         transr_dim: 16,
         margin: 1.0,
+        batch_local: true,
         base: cfg(),
     }
 }
