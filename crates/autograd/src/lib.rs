@@ -55,5 +55,5 @@ pub mod gradcheck;
 pub mod optim;
 pub mod tape;
 
-pub use optim::{Adam, ParamId, ParamStore, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, ParamId, ParamStore, Sgd};
 pub use tape::{Tape, Var};

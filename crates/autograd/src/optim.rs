@@ -69,6 +69,13 @@ impl ParamStore {
         self.values.iter().map(Matrix::len).sum()
     }
 
+    /// True when every scalar in every parameter is finite. The trainer's
+    /// divergence guard calls this after each epoch; a single NaN or ±∞
+    /// anywhere marks the model as poisoned.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|m| m.as_slice().iter().all(|x| x.is_finite()))
+    }
+
     /// Apply one optimizer step for the given `(param, gradient)` pairs.
     ///
     /// # Panics
@@ -155,6 +162,36 @@ impl Adam {
         }
     }
 
+    /// Snapshot the full optimizer state (hyperparameters, moment
+    /// estimates, per-slot step counts) for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            clip: self.clip,
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t.clone(),
+        }
+    }
+
+    /// Replace the optimizer state with a snapshot from [`export_state`]
+    /// (used on checkpoint restore and divergence rollback).
+    ///
+    /// [`export_state`]: Adam::export_state
+    pub fn import_state(&mut self, state: &AdamState) {
+        self.lr = state.lr;
+        self.beta1 = state.beta1;
+        self.beta2 = state.beta2;
+        self.eps = state.eps;
+        self.clip = state.clip;
+        self.m = state.m.clone();
+        self.v = state.v.clone();
+        self.t = state.t.clone();
+    }
+
     fn ensure_slot(&mut self, slot: usize, shape: (usize, usize)) {
         while self.m.len() <= slot {
             self.m.push(None);
@@ -166,6 +203,30 @@ impl Adam {
             self.v[slot] = Some(Matrix::zeros(shape.0, shape.1));
         }
     }
+}
+
+/// A plain-data snapshot of an [`Adam`] optimizer, exported for
+/// checkpointing. Restoring it with [`Adam::import_state`] reproduces the
+/// optimizer bitwise, moment estimates and step counts included.
+#[derive(Clone, Default)]
+pub struct AdamState {
+    /// Learning rate at snapshot time (divergence recovery may have
+    /// backed it off from the configured value).
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Optional max-abs gradient clip.
+    pub clip: Option<f32>,
+    /// First-moment estimate per slot (`None` = slot never stepped).
+    pub m: Vec<Option<Matrix>>,
+    /// Second-moment estimate per slot.
+    pub v: Vec<Option<Matrix>>,
+    /// Step count per slot.
+    pub t: Vec<u64>,
 }
 
 impl Optimizer for Adam {

@@ -142,6 +142,7 @@ impl HarnessOpts {
                 k: self.k,
                 seed: self.seed,
                 verbose: false,
+                ..TrainSettings::default()
             },
             Profile::Default => TrainSettings {
                 max_epochs: 80,
@@ -150,6 +151,7 @@ impl HarnessOpts {
                 k: self.k,
                 seed: self.seed,
                 verbose: true,
+                ..TrainSettings::default()
             },
             Profile::Paper => TrainSettings {
                 max_epochs: 120,
@@ -158,6 +160,7 @@ impl HarnessOpts {
                 k: self.k,
                 seed: self.seed,
                 verbose: true,
+                ..TrainSettings::default()
             },
         }
     }

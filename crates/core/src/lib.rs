@@ -43,7 +43,7 @@
 pub mod report;
 
 use facility_datagen::{FacilityConfig, Trace};
-use facility_eval::{train, TrainReport, TrainSettings};
+use facility_eval::{train, train_resumed, try_train, TrainError, TrainReport, TrainSettings};
 use facility_kg::{Ckg, Id, Interactions, SourceMask};
 use facility_models::ckat::{Ckat, CkatConfig};
 use facility_models::{ModelConfig, ModelKind, Recommender, TrainContext};
@@ -143,6 +143,35 @@ impl Experiment {
         train(model.as_mut(), &ctx, settings)
     }
 
+    /// Fault-tolerant variant of [`Experiment::run_model`]: surfaces an
+    /// exhausted divergence-retry budget or a checkpoint failure as a
+    /// structured [`TrainError`] instead of panicking.
+    pub fn try_run_model(
+        &self,
+        kind: ModelKind,
+        model_config: &ModelConfig,
+        settings: &TrainSettings,
+    ) -> Result<TrainReport, TrainError> {
+        let ctx = self.ctx();
+        let mut model = kind.build(&ctx, model_config);
+        try_train(model.as_mut(), &ctx, settings)
+    }
+
+    /// Continue training from a checkpoint written by an earlier
+    /// (possibly killed) run with the same model kind, configuration, and
+    /// settings.
+    pub fn resume_model(
+        &self,
+        kind: ModelKind,
+        model_config: &ModelConfig,
+        settings: &TrainSettings,
+        checkpoint: &std::path::Path,
+    ) -> Result<TrainReport, TrainError> {
+        let ctx = self.ctx();
+        let mut model = kind.build(&ctx, model_config);
+        train_resumed(model.as_mut(), &ctx, settings, checkpoint)
+    }
+
     /// Train and evaluate a CKAT variant (attention / aggregator / depth
     /// ablations for Tables IV–V).
     pub fn run_ckat(&self, config: &CkatConfig, settings: &TrainSettings) -> TrainReport {
@@ -229,6 +258,7 @@ mod tests {
             k: 10,
             seed: 2,
             verbose: false,
+            ..TrainSettings::default()
         };
         let report = exp.run_model(ModelKind::Bprmf, &ModelConfig::fast(), &settings);
         assert!(report.best.recall > 0.0, "recall {}", report.best.recall);
@@ -245,6 +275,7 @@ mod tests {
             k: 10,
             seed: 2,
             verbose: false,
+            ..TrainSettings::default()
         };
         let model = exp.train_recommender(ModelKind::Bprmf, &ModelConfig::fast(), &settings);
         let recs = recommend_top_k(model.as_ref(), &exp.inter, 0, 5);

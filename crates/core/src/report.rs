@@ -50,6 +50,53 @@ pub fn improvement_pct(ours: f64, best_baseline: f64) -> f64 {
     (ours - best_baseline) / best_baseline * 100.0
 }
 
+/// Header of the per-run summary table kept in `EXPERIMENTS.md` (see
+/// "Run ledger" there): one row per recorded run, wiring the per-phase
+/// timings of `BENCH_ckat_epoch.json` and the trainer's fault-tolerance
+/// counters into the experiments ledger.
+pub const RUN_SUMMARY_HEADER: &str = "| model | epochs | best recall@K | best epoch | sampling ms \
+     | attention ms | forward ms | backward ms | eval ms | divergences | retries | resumed |\n\
+     |---|---|---|---|---|---|---|---|---|---|---|---|";
+
+/// One markdown row for the `EXPERIMENTS.md` run ledger: per-phase wall
+/// time summed over the run's [`EpochProfile`]s plus the divergence /
+/// retry counters of the [`TrainReport`].
+///
+/// [`EpochProfile`]: facility_models::EpochProfile
+pub fn run_summary_row(report: &facility_eval::TrainReport) -> String {
+    let ms = |ns: u64| format!("{:.1}", ns as f64 / 1e6);
+    let mut sampling = 0u64;
+    let mut attention = 0u64;
+    let mut forward = 0u64;
+    let mut backward = 0u64;
+    let mut eval = 0u64;
+    for log in &report.logs {
+        if let Some(p) = &log.profile {
+            sampling += p.sampling_ns;
+            attention += p.attention_ns;
+            forward += p.forward_ns;
+            backward += p.backward_ns;
+            eval += p.eval_ns;
+        }
+    }
+    let retries = report.divergences.iter().map(|d| d.retry).max().unwrap_or(0);
+    format!(
+        "| {} | {} | {:.4} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+        report.model,
+        report.logs.len(),
+        report.best.recall,
+        report.best_epoch,
+        ms(sampling),
+        ms(attention),
+        ms(forward),
+        ms(backward),
+        ms(eval),
+        report.divergences.len(),
+        retries,
+        report.resumed_from.map_or("—".to_string(), |e| format!("epoch {e}")),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +118,64 @@ mod tests {
     #[should_panic(expected = "wrong arity")]
     fn mismatched_row_panics() {
         format_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn run_summary_row_aggregates_phases_and_counters() {
+        use facility_eval::trainer::{DivergenceCause, DivergenceEvent, EpochLog};
+        use facility_eval::{EvalResult, TrainReport};
+        use facility_models::EpochProfile;
+        let report = TrainReport {
+            best: EvalResult {
+                recall: 0.31,
+                ndcg: 0.2,
+                precision: 0.1,
+                hit: 1.0,
+                n_users: 4,
+                k: 5,
+            },
+            best_epoch: 2,
+            logs: vec![
+                EpochLog {
+                    epoch: 1,
+                    loss: 0.5,
+                    eval: None,
+                    profile: Some(EpochProfile {
+                        sampling_ns: 1_000_000,
+                        forward_ns: 2_000_000,
+                        ..Default::default()
+                    }),
+                },
+                EpochLog {
+                    epoch: 2,
+                    loss: 0.4,
+                    eval: None,
+                    profile: Some(EpochProfile {
+                        sampling_ns: 500_000,
+                        backward_ns: 4_000_000,
+                        ..Default::default()
+                    }),
+                },
+            ],
+            model: "CKAT".into(),
+            divergences: vec![DivergenceEvent {
+                epoch: 2,
+                retry: 1,
+                loss: f32::NAN,
+                cause: DivergenceCause::NonFiniteLoss,
+            }],
+            resumed_from: Some(1),
+        };
+        let row = run_summary_row(&report);
+        assert!(row.starts_with("| CKAT | 2 | 0.3100 | 2 |"), "{row}");
+        assert!(row.contains("| 1.5 |"), "summed sampling ms: {row}");
+        assert!(row.contains("| 4.0 |"), "backward ms: {row}");
+        assert!(row.ends_with("| 1 | 1 | epoch 1 |"), "{row}");
+        assert_eq!(
+            RUN_SUMMARY_HEADER.lines().next().unwrap().matches('|').count(),
+            row.matches('|').count(),
+            "header and row arity agree"
+        );
     }
 
     #[test]

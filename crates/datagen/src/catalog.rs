@@ -10,8 +10,10 @@ use crate::config::FacilityConfig;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-/// Metadata of one recommendable data object.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Metadata of one recommendable data object. The all-zero `Default` is
+/// the neutral placeholder lenient trace loading substitutes for a
+/// skipped row.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ItemMeta {
     /// Site index (`< config.n_sites`).
     pub site: usize,

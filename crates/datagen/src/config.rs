@@ -147,23 +147,49 @@ impl FacilityConfig {
     ///
     /// # Panics
     /// Panics on inconsistent settings (zero counts, probabilities outside
-    /// `[0, 1]`, more regions than sites, ...).
+    /// `[0, 1]`, more regions than sites, ...). Fallible callers (trace
+    /// loading) use [`FacilityConfig::try_validate`] instead.
     pub fn validate(&self) {
-        assert!(self.n_regions > 0 && self.n_sites >= self.n_regions, "sites must cover regions");
-        assert!(self.n_instrument_classes > 0);
-        assert!(self.n_data_types >= self.n_disciplines && self.n_disciplines > 0);
-        assert!(self.n_items > 0 && self.n_users > 0);
-        assert!(self.n_cities > 0 && self.n_organizations > 0);
+        if let Err(msg) = self.try_validate() {
+            panic!("{msg}");
+        }
+    }
+
+    /// The checks of [`FacilityConfig::validate`] as a `Result`, so a
+    /// corrupt `meta.csv` surfaces as a clean error instead of a panic.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if !(self.n_regions > 0 && self.n_sites >= self.n_regions) {
+            return Err("sites must cover regions".into());
+        }
+        if self.n_instrument_classes == 0 {
+            return Err("n_instrument_classes must be positive".into());
+        }
+        if !(self.n_data_types >= self.n_disciplines && self.n_disciplines > 0) {
+            return Err("data types must cover disciplines".into());
+        }
+        if self.n_items == 0 || self.n_users == 0 {
+            return Err("n_items and n_users must be positive".into());
+        }
+        if self.n_cities == 0 || self.n_organizations == 0 {
+            return Err("n_cities and n_organizations must be positive".into());
+        }
         for (name, p) in [
             ("org_conformity", self.org_conformity),
             ("locality_affinity", self.locality_affinity),
             ("datatype_affinity", self.datatype_affinity),
+            ("metadata_noise", self.metadata_noise),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} must be a probability, got {p}");
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be a probability, got {p}"));
+            }
         }
-        assert!(self.pref_types_per_org >= 1 && self.pref_types_per_org <= self.n_data_types);
-        assert!((0.0..=1.0).contains(&self.metadata_noise), "metadata_noise must be a probability");
-        assert!(self.activity_log_std >= 0.0);
+        if !(self.pref_types_per_org >= 1 && self.pref_types_per_org <= self.n_data_types) {
+            return Err("pref_types_per_org must be in 1..=n_data_types".into());
+        }
+        if self.activity_log_std < 0.0 {
+            return Err("activity_log_std must be non-negative".into());
+        }
+        Ok(())
     }
 }
 

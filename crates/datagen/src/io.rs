@@ -23,6 +23,10 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::Path;
 
+/// Marker written in the `pref_types` column for a user with no
+/// preferred types; an empty string would not survive `split(';')`.
+pub const EMPTY_PREFS_MARKER: &str = "-";
+
 /// Write `trace` into directory `dir` (created if missing).
 pub fn write_trace(trace: &Trace, dir: &Path) -> io::Result<()> {
     fs::create_dir_all(dir)?;
@@ -53,15 +57,11 @@ pub fn write_trace(trace: &Trace, dir: &Path) -> io::Result<()> {
     let mut users = String::from("user,org,city,home_region,home_site,conformist,pref_types\n");
     for (u, m) in trace.population.users.iter().enumerate() {
         let prefs: Vec<String> = m.pref_types.iter().map(|t| t.to_string()).collect();
+        let prefs = if prefs.is_empty() { EMPTY_PREFS_MARKER.to_string() } else { prefs.join(";") };
         let _ = writeln!(
             users,
-            "{u},{},{},{},{},{},{}",
-            m.org,
-            m.city,
-            m.home_region,
-            m.home_site,
-            m.conformist as u8,
-            prefs.join(";")
+            "{u},{},{},{},{},{},{prefs}",
+            m.org, m.city, m.home_region, m.home_site, m.conformist as u8,
         );
     }
     write_file(&dir.join("users.csv"), &users)?;
@@ -101,6 +101,91 @@ fn write_file(path: &Path, contents: &str) -> io::Result<()> {
     f.flush()
 }
 
+/// How [`read_trace_with`] treats malformed or out-of-range rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Fail on the first bad row (the historical behavior).
+    Strict,
+    /// Skip bad rows, counting them into an error budget. Loading fails
+    /// with [`ReadError::BudgetExceeded`] once more than `max_bad_rows`
+    /// rows have been skipped across the directory. `meta.csv` is always
+    /// read strictly — without a sane configuration nothing else can be
+    /// interpreted.
+    Lenient {
+        /// Total bad rows tolerated across `items.csv`, `users.csv`, and
+        /// `events.csv`.
+        max_bad_rows: usize,
+    },
+}
+
+/// One row that lenient mode skipped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedRow {
+    /// File the row came from (`items.csv`, `users.csv`, `events.csv`).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Why the row was rejected.
+    pub reason: String,
+}
+
+impl std::fmt::Display for SkippedRow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.reason)
+    }
+}
+
+/// Per-file account of what lenient loading skipped.
+#[derive(Debug, Clone, Default)]
+pub struct SkipSummary {
+    /// Every skipped row, in read order.
+    pub skipped: Vec<SkippedRow>,
+}
+
+impl SkipSummary {
+    /// Total rows skipped across all files.
+    pub fn total(&self) -> usize {
+        self.skipped.len()
+    }
+
+    /// True when nothing was skipped.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+
+    /// `(file, skipped-row count)` pairs, in first-seen order.
+    pub fn per_file(&self) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = Vec::new();
+        for row in &self.skipped {
+            match out.iter_mut().find(|(f, _)| *f == row.file) {
+                Some((_, n)) => *n += 1,
+                None => out.push((row.file.clone(), 1)),
+            }
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for SkipSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_clean() {
+            return write!(f, "no rows skipped");
+        }
+        writeln!(f, "skipped {} bad row(s):", self.total())?;
+        for (file, n) in self.per_file() {
+            writeln!(f, "  {file}: {n}")?;
+        }
+        write!(f, "first offenders:")?;
+        for row in self.skipped.iter().take(MAX_REPORTED_OFFENDERS) {
+            write!(f, "\n  {row}")?;
+        }
+        Ok(())
+    }
+}
+
+/// How many offending lines error messages and summaries spell out.
+const MAX_REPORTED_OFFENDERS: usize = 8;
+
 /// Error type for trace loading.
 #[derive(Debug)]
 pub enum ReadError {
@@ -108,6 +193,16 @@ pub enum ReadError {
     Io(io::Error),
     /// A malformed line: `(file, line number, message)`.
     Parse(String, usize, String),
+    /// Structurally inconsistent data that is not tied to a single line
+    /// (bad configuration, wrong row count, out-of-range reference).
+    Data(String),
+    /// Lenient loading skipped more rows than the budget allows.
+    BudgetExceeded {
+        /// The configured `max_bad_rows`.
+        max_bad_rows: usize,
+        /// The first offending rows (capped at a handful for display).
+        first: Vec<SkippedRow>,
+    },
 }
 
 impl std::fmt::Display for ReadError {
@@ -116,6 +211,18 @@ impl std::fmt::Display for ReadError {
             ReadError::Io(e) => write!(f, "io error: {e}"),
             ReadError::Parse(file, line, msg) => {
                 write!(f, "{file}:{line}: {msg}")
+            }
+            ReadError::Data(msg) => write!(f, "inconsistent trace: {msg}"),
+            ReadError::BudgetExceeded { max_bad_rows, first } => {
+                write!(
+                    f,
+                    "more than {max_bad_rows} bad row(s) — lenient budget exhausted; \
+                     first offending lines:"
+                )?;
+                for row in first {
+                    write!(f, "\n  {row}")?;
+                }
+                Ok(())
             }
         }
     }
@@ -129,6 +236,41 @@ impl From<io::Error> for ReadError {
     }
 }
 
+/// Routes bad rows according to the [`ReadMode`]: strict mode turns the
+/// first one into an error, lenient mode records it and enforces the
+/// budget.
+struct RowSink {
+    mode: ReadMode,
+    summary: SkipSummary,
+}
+
+impl RowSink {
+    fn new(mode: ReadMode) -> Self {
+        Self { mode, summary: SkipSummary::default() }
+    }
+
+    /// Report one bad row. `Ok(())` means "skipped, keep going".
+    fn bad_row(&mut self, file: &str, line: usize, reason: String) -> Result<(), ReadError> {
+        match self.mode {
+            ReadMode::Strict => Err(ReadError::Parse(file.to_string(), line, reason)),
+            ReadMode::Lenient { max_bad_rows } => {
+                self.summary.skipped.push(SkippedRow { file: file.to_string(), line, reason });
+                if self.summary.total() > max_bad_rows {
+                    let first = self
+                        .summary
+                        .skipped
+                        .iter()
+                        .take(MAX_REPORTED_OFFENDERS + 1)
+                        .cloned()
+                        .collect();
+                    return Err(ReadError::BudgetExceeded { max_bad_rows, first });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 fn parse<T: std::str::FromStr>(file: &str, line_no: usize, field: &str) -> Result<T, ReadError> {
     field
         .trim()
@@ -136,9 +278,25 @@ fn parse<T: std::str::FromStr>(file: &str, line_no: usize, field: &str) -> Resul
         .map_err(|_| ReadError::Parse(file.to_string(), line_no, format!("bad field `{field}`")))
 }
 
-/// Read a trace directory written by [`write_trace`].
+/// Read a trace directory written by [`write_trace`], failing on the
+/// first malformed row (strict mode).
 pub fn read_trace(dir: &Path) -> Result<Trace, ReadError> {
-    // meta.csv → FacilityConfig.
+    read_trace_with(dir, ReadMode::Strict).map(|(trace, _)| trace)
+}
+
+/// Read a trace directory under the given [`ReadMode`].
+///
+/// In [`ReadMode::Lenient`] malformed or out-of-range rows are skipped
+/// (events are dropped; item/user rows keep their positional id but fall
+/// back to neutral all-zero metadata so later ids stay aligned) and the
+/// returned [`SkipSummary`] accounts for every skip per file. Exceeding
+/// `max_bad_rows` aborts with [`ReadError::BudgetExceeded`] listing the
+/// first offending lines. Strict mode always returns a clean summary.
+pub fn read_trace_with(dir: &Path, mode: ReadMode) -> Result<(Trace, SkipSummary), ReadError> {
+    let mut sink = RowSink::new(mode);
+
+    // meta.csv → FacilityConfig. Always strict: without a sane
+    // configuration no other file can be interpreted.
     let meta_text = fs::read_to_string(dir.join("meta.csv"))?;
     let mut kv = std::collections::HashMap::new();
     for (i, line) in meta_text.lines().enumerate().skip(1) {
@@ -171,78 +329,148 @@ pub fn read_trace(dir: &Path) -> Result<Trace, ReadError> {
         pref_types_per_org: parse("meta.csv", 0, &get("pref_types_per_org")?)?,
         metadata_noise: parse("meta.csv", 0, &get("metadata_noise")?)?,
     };
-    config.validate();
+    config.try_validate().map_err(ReadError::Data)?;
 
     // items.csv → Catalog (derived indexes rebuilt).
     let items_text = fs::read_to_string(dir.join("items.csv"))?;
     let mut items: Vec<ItemMeta> = Vec::new();
     for (i, line) in items_text.lines().enumerate().skip(1) {
-        let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 8 {
-            return Err(ReadError::Parse("items.csv".into(), i + 1, "expected 8 fields".into()));
+        match parse_item_row(&config, line) {
+            Ok(item) => items.push(item),
+            Err(reason) => {
+                sink.bad_row("items.csv", i + 1, reason)?;
+                // Keep positional ids aligned: the skipped row's item
+                // still exists, with neutral metadata.
+                items.push(ItemMeta::default());
+            }
         }
-        items.push(ItemMeta {
-            site: parse("items.csv", i + 1, f[1])?,
-            region: parse("items.csv", i + 1, f[2])?,
-            instrument_class: parse("items.csv", i + 1, f[3])?,
-            data_type: parse("items.csv", i + 1, f[4])?,
-            discipline: parse("items.csv", i + 1, f[5])?,
-            recorded_site: parse("items.csv", i + 1, f[6])?,
-            recorded_type: parse("items.csv", i + 1, f[7])?,
-        });
     }
-    let catalog = Catalog::from_parts(&config, items);
+    if items.len() != config.n_items {
+        return Err(ReadError::Data(format!(
+            "items.csv has {} rows, meta.csv declares n_items {}",
+            items.len(),
+            config.n_items
+        )));
+    }
+    let catalog = Catalog::from_parts(&config, items)?;
 
     // users.csv → Population.
     let users_text = fs::read_to_string(dir.join("users.csv"))?;
     let mut users: Vec<UserMeta> = Vec::new();
     for (i, line) in users_text.lines().enumerate().skip(1) {
-        let f: Vec<&str> = line.split(',').collect();
-        if f.len() != 7 {
-            return Err(ReadError::Parse("users.csv".into(), i + 1, "expected 7 fields".into()));
+        match parse_user_row(&config, line) {
+            Ok(user) => users.push(user),
+            Err(reason) => {
+                sink.bad_row("users.csv", i + 1, reason)?;
+                users.push(UserMeta {
+                    org: 0,
+                    city: 0,
+                    home_region: 0,
+                    home_site: 0,
+                    pref_types: Vec::new(),
+                    conformist: false,
+                });
+            }
         }
-        let pref_types: Result<Vec<usize>, _> =
-            f[6].split(';').map(|t| parse("users.csv", i + 1, t)).collect();
-        users.push(UserMeta {
-            org: parse("users.csv", i + 1, f[1])?,
-            city: parse("users.csv", i + 1, f[2])?,
-            home_region: parse("users.csv", i + 1, f[3])?,
-            home_site: parse("users.csv", i + 1, f[4])?,
-            conformist: f[5].trim() == "1",
-            pref_types: pref_types?,
-        });
     }
-    let population = Population::from_users(&config, users);
+    if users.len() != config.n_users {
+        return Err(ReadError::Data(format!(
+            "users.csv has {} rows, meta.csv declares n_users {}",
+            users.len(),
+            config.n_users
+        )));
+    }
+    let population = Population::from_users(&config, users)?;
 
-    // events.csv.
+    // events.csv — a plain list, so bad rows are dropped outright.
     let events_text = fs::read_to_string(dir.join("events.csv"))?;
     let mut events = Vec::new();
     for (i, line) in events_text.lines().enumerate().skip(1) {
-        let (u, it) = line.split_once(',').ok_or_else(|| {
-            ReadError::Parse("events.csv".into(), i + 1, "expected user,item".into())
-        })?;
-        let user: u32 = parse("events.csv", i + 1, u)?;
-        let item: u32 = parse("events.csv", i + 1, it)?;
-        if user as usize >= config.n_users || item as usize >= config.n_items {
-            return Err(ReadError::Parse(
-                "events.csv".into(),
-                i + 1,
-                format!("event ({user},{item}) out of range"),
-            ));
+        match parse_event_row(&config, line) {
+            Ok(event) => events.push(event),
+            Err(reason) => sink.bad_row("events.csv", i + 1, reason)?,
         }
-        events.push(QueryEvent { user, item });
     }
 
-    Ok(Trace { config, catalog, population, events })
+    Ok((Trace { config, catalog, population, events }, sink.summary))
+}
+
+fn parse_field<T: std::str::FromStr>(field: &str) -> Result<T, String> {
+    field.trim().parse().map_err(|_| format!("bad field `{field}`"))
+}
+
+fn check_range(what: &str, value: usize, bound: usize) -> Result<usize, String> {
+    if value >= bound {
+        return Err(format!("{what} {value} out of range (< {bound})"));
+    }
+    Ok(value)
+}
+
+fn parse_item_row(config: &FacilityConfig, line: &str) -> Result<ItemMeta, String> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != 8 {
+        return Err(format!("expected 8 fields, got {}", f.len()));
+    }
+    Ok(ItemMeta {
+        site: check_range("site", parse_field(f[1])?, config.n_sites)?,
+        region: check_range("region", parse_field(f[2])?, config.n_regions)?,
+        instrument_class: check_range(
+            "instrument class",
+            parse_field(f[3])?,
+            config.n_instrument_classes,
+        )?,
+        data_type: check_range("data type", parse_field(f[4])?, config.n_data_types)?,
+        discipline: check_range("discipline", parse_field(f[5])?, config.n_disciplines)?,
+        recorded_site: check_range("recorded site", parse_field(f[6])?, config.n_sites)?,
+        recorded_type: check_range("recorded type", parse_field(f[7])?, config.n_data_types)?,
+    })
+}
+
+fn parse_user_row(config: &FacilityConfig, line: &str) -> Result<UserMeta, String> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() != 7 {
+        return Err(format!("expected 7 fields, got {}", f.len()));
+    }
+    // `-` (and, leniently, the empty string) marks an empty preference
+    // list; `"".split(';')` would otherwise yield one empty field and
+    // fail the round-trip.
+    let prefs_field = f[6].trim();
+    let pref_types: Vec<usize> = if prefs_field == EMPTY_PREFS_MARKER || prefs_field.is_empty() {
+        Vec::new()
+    } else {
+        prefs_field
+            .split(';')
+            .map(|t| check_range("preferred type", parse_field(t)?, config.n_data_types))
+            .collect::<Result<_, _>>()?
+    };
+    Ok(UserMeta {
+        org: check_range("org", parse_field(f[1])?, config.n_organizations)?,
+        city: check_range("city", parse_field(f[2])?, config.n_cities)?,
+        home_region: check_range("home region", parse_field(f[3])?, config.n_regions)?,
+        home_site: check_range("home site", parse_field(f[4])?, config.n_sites)?,
+        conformist: f[5].trim() == "1",
+        pref_types,
+    })
+}
+
+fn parse_event_row(config: &FacilityConfig, line: &str) -> Result<QueryEvent, String> {
+    let (u, it) = line.split_once(',').ok_or("expected user,item")?;
+    let user: u32 = parse_field(u)?;
+    let item: u32 = parse_field(it)?;
+    if user as usize >= config.n_users || item as usize >= config.n_items {
+        return Err(format!("event ({user},{item}) out of range"));
+    }
+    Ok(QueryEvent { user, item })
 }
 
 /// Extension hooks for reconstructing derived structures after I/O.
 impl Catalog {
     /// Rebuild a catalog from explicit items (indexes derived).
     ///
-    /// # Panics
-    /// Panics if an item references an out-of-range site or data type.
-    pub fn from_parts(config: &FacilityConfig, items: Vec<ItemMeta>) -> Self {
+    /// Fails with [`ReadError::Data`] if an item references an
+    /// out-of-range site, region, or data type — a corrupt `items.csv`
+    /// surfaces as a clean error, never a panic.
+    pub fn from_parts(config: &FacilityConfig, items: Vec<ItemMeta>) -> Result<Self, ReadError> {
         let site_region: Vec<usize> = (0..config.n_sites).map(|s| s % config.n_regions).collect();
         let type_discipline: Vec<usize> =
             (0..config.n_data_types).map(|t| t % config.n_disciplines).collect();
@@ -250,13 +478,22 @@ impl Catalog {
         let mut items_by_site = vec![Vec::new(); config.n_sites];
         let mut items_by_type = vec![Vec::new(); config.n_data_types];
         for (i, item) in items.iter().enumerate() {
-            assert!(item.site < config.n_sites, "item {i}: site out of range");
-            assert!(item.data_type < config.n_data_types, "item {i}: type out of range");
+            for (what, value, bound) in [
+                ("site", item.site, config.n_sites),
+                ("region", item.region, config.n_regions),
+                ("data type", item.data_type, config.n_data_types),
+            ] {
+                if value >= bound {
+                    return Err(ReadError::Data(format!(
+                        "item {i}: {what} {value} out of range (< {bound})"
+                    )));
+                }
+            }
             items_by_region[item.region].push(i as u32);
             items_by_site[item.site].push(i as u32);
             items_by_type[item.data_type].push(i as u32);
         }
-        Self {
+        Ok(Self {
             site_region,
             // Class menus are generator-only state; reconstruct minimally.
             class_data_types: vec![(0..config.n_data_types).collect(); config.n_instrument_classes],
@@ -265,16 +502,32 @@ impl Catalog {
             items_by_region,
             items_by_site,
             items_by_type,
-        }
+        })
     }
 }
 
 impl Population {
     /// Rebuild a population from explicit users (org profiles are
     /// reconstructed from their members' majority profile).
-    pub fn from_users(config: &FacilityConfig, users: Vec<UserMeta>) -> Self {
+    ///
+    /// Fails with [`ReadError::Data`] on an out-of-range city or org
+    /// index instead of panicking while building the `users_by_city`
+    /// index.
+    pub fn from_users(config: &FacilityConfig, users: Vec<UserMeta>) -> Result<Self, ReadError> {
         let mut users_by_city = vec![Vec::new(); config.n_cities];
         for (u, user) in users.iter().enumerate() {
+            if user.city >= config.n_cities {
+                return Err(ReadError::Data(format!(
+                    "user {u}: city {} out of range (< {})",
+                    user.city, config.n_cities
+                )));
+            }
+            if user.org >= config.n_organizations {
+                return Err(ReadError::Data(format!(
+                    "user {u}: org {} out of range (< {})",
+                    user.org, config.n_organizations
+                )));
+            }
             users_by_city[user.city].push(u as u32);
         }
         // Org profile := first conformist member's profile (or defaults).
@@ -291,7 +544,7 @@ impl Population {
                 };
             }
         }
-        Self { orgs, users, users_by_city }
+        Ok(Self { orgs, users, users_by_city })
     }
 }
 
@@ -361,5 +614,148 @@ mod tests {
         let err =
             read_trace(Path::new("/nonexistent/definitely-missing")).expect_err("missing dir");
         assert!(matches!(err, ReadError::Io(_)));
+    }
+
+    #[test]
+    fn empty_pref_types_roundtrip() {
+        let mut trace = Trace::generate(&FacilityConfig::tiny(), 21);
+        trace.population.users[0].pref_types = Vec::new();
+        trace.population.users[0].conformist = false;
+        let dir = tmpdir("empty-prefs");
+        write_trace(&trace, &dir).expect("write");
+        let users_text = fs::read_to_string(dir.join("users.csv")).unwrap();
+        assert!(
+            users_text.lines().nth(1).unwrap().ends_with(&format!(",{EMPTY_PREFS_MARKER}")),
+            "empty prefs must be written as the explicit marker"
+        );
+        let back = read_trace(&dir).expect("read");
+        assert_eq!(back.population.users[0].pref_types, Vec::<usize>::new());
+        assert_eq!(back.population.users, trace.population.users);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Replace `events.csv` with the original plus `extra` appended rows.
+    fn poison_events(dir: &Path, extra: &[&str]) {
+        let mut text = fs::read_to_string(dir.join("events.csv")).unwrap();
+        for row in extra {
+            text.push_str(row);
+            text.push('\n');
+        }
+        fs::write(dir.join("events.csv"), text).unwrap();
+    }
+
+    #[test]
+    fn lenient_mode_skips_within_budget_with_accurate_summary() {
+        let trace = Trace::generate(&FacilityConfig::tiny(), 14);
+        let dir = tmpdir("lenient-ok");
+        write_trace(&trace, &dir).expect("write");
+        poison_events(&dir, &["99999,0", "not-a-row", "0,99999"]);
+
+        // Strict mode still fails outright.
+        assert!(read_trace(&dir).is_err());
+
+        let (back, summary) =
+            read_trace_with(&dir, ReadMode::Lenient { max_bad_rows: 3 }).expect("lenient load");
+        assert_eq!(back.events.len(), trace.events.len(), "good rows all kept");
+        assert_eq!(summary.total(), 3);
+        assert_eq!(summary.per_file(), vec![("events.csv".to_string(), 3)]);
+        assert!(summary.to_string().contains("events.csv: 3"), "{summary}");
+        let n = trace.events.len() + 1;
+        assert_eq!(summary.skipped[0].line, n + 1, "line numbers count the header");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lenient_mode_over_budget_reports_first_offenders() {
+        let trace = Trace::generate(&FacilityConfig::tiny(), 15);
+        let dir = tmpdir("lenient-over");
+        write_trace(&trace, &dir).expect("write");
+        poison_events(&dir, &["a,b", "c,d", "e,f"]);
+        let err = read_trace_with(&dir, ReadMode::Lenient { max_bad_rows: 2 })
+            .expect_err("budget of 2 must not absorb 3 bad rows");
+        match err {
+            ReadError::BudgetExceeded { max_bad_rows, first } => {
+                assert_eq!(max_bad_rows, 2);
+                assert_eq!(first.len(), 3);
+                assert!(first[0].reason.contains("bad field"), "{:?}", first[0]);
+            }
+            other => panic!("expected BudgetExceeded, got {other}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lenient_mode_keeps_item_and_user_ids_aligned() {
+        let trace = Trace::generate(&FacilityConfig::tiny(), 16);
+        let dir = tmpdir("lenient-align");
+        write_trace(&trace, &dir).expect("write");
+        // Corrupt item row 1 (line 3: header + item 0) and user row 0.
+        let items_text = fs::read_to_string(dir.join("items.csv")).unwrap();
+        let mut lines: Vec<String> = items_text.lines().map(String::from).collect();
+        lines[2] = "1,99999,0,0,0,0,0,0".into(); // site out of range
+        fs::write(dir.join("items.csv"), lines.join("\n") + "\n").unwrap();
+        let users_text = fs::read_to_string(dir.join("users.csv")).unwrap();
+        let mut lines: Vec<String> = users_text.lines().map(String::from).collect();
+        lines[1] = "0,garbage".into();
+        fs::write(dir.join("users.csv"), lines.join("\n") + "\n").unwrap();
+
+        let (back, summary) =
+            read_trace_with(&dir, ReadMode::Lenient { max_bad_rows: 4 }).expect("lenient load");
+        assert_eq!(summary.total(), 2);
+        assert_eq!(back.catalog.items.len(), trace.catalog.items.len());
+        assert_eq!(back.catalog.items[1], ItemMeta::default(), "skipped item is neutral");
+        assert_eq!(back.catalog.items[2], trace.catalog.items[2], "later ids unshifted");
+        assert_eq!(back.population.users[1], trace.population.users[1]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_items_row_is_an_error_not_a_panic() {
+        let config = FacilityConfig::tiny();
+        let bad = vec![ItemMeta { site: 99_999, ..ItemMeta::default() }];
+        let err = Catalog::from_parts(&config, bad).expect_err("out-of-range site");
+        assert!(err.to_string().contains("site 99999 out of range"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_city_is_an_error_not_a_panic() {
+        let config = FacilityConfig::tiny();
+        let bad = vec![UserMeta {
+            org: 0,
+            city: 99_999,
+            home_region: 0,
+            home_site: 0,
+            pref_types: Vec::new(),
+            conformist: false,
+        }];
+        let err = Population::from_users(&config, bad).expect_err("out-of-range city");
+        assert!(err.to_string().contains("city 99999 out of range"), "{err}");
+    }
+
+    #[test]
+    fn truncated_items_file_is_a_data_error() {
+        let trace = Trace::generate(&FacilityConfig::tiny(), 17);
+        let dir = tmpdir("trunc-items");
+        write_trace(&trace, &dir).expect("write");
+        let items_text = fs::read_to_string(dir.join("items.csv")).unwrap();
+        let keep: Vec<&str> = items_text.lines().take(3).collect();
+        fs::write(dir.join("items.csv"), keep.join("\n") + "\n").unwrap();
+        let err = read_trace(&dir).expect_err("row count mismatch");
+        assert!(matches!(err, ReadError::Data(_)), "{err}");
+        assert!(err.to_string().contains("declares n_items"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_meta_is_a_data_error_not_a_panic() {
+        let trace = Trace::generate(&FacilityConfig::tiny(), 18);
+        let dir = tmpdir("bad-meta");
+        write_trace(&trace, &dir).expect("write");
+        let meta = fs::read_to_string(dir.join("meta.csv")).unwrap();
+        fs::write(dir.join("meta.csv"), meta.replace("locality_affinity,", "locality_affinity,9"))
+            .unwrap();
+        let err = read_trace(&dir).expect_err("bad probability");
+        assert!(matches!(err, ReadError::Data(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

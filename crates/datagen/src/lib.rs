@@ -42,5 +42,6 @@ pub mod trace;
 
 pub use catalog::{Catalog, ItemMeta};
 pub use config::FacilityConfig;
+pub use io::{read_trace, read_trace_with, write_trace, ReadError, ReadMode, SkipSummary};
 pub use population::{Population, UserMeta};
 pub use trace::{QueryEvent, Trace};

@@ -114,6 +114,7 @@ mod tests {
             k: 5,
             seed: 2,
             verbose: false,
+            ..TrainSettings::default()
         };
         let base = ModelConfig { embed_dim: 8, batch_size: 32, ..ModelConfig::default() };
         let result = grid_search(&ctx, ModelKind::Bprmf, &base, &Grid::tiny(), &settings);

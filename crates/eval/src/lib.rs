@@ -11,16 +11,24 @@
 //!   (no test items, `K` > catalog size, ties).
 //! * [`evaluate`] — full-ranking evaluation, parallelized over users with
 //!   rayon (models are `Sync`, scoring is read-only).
-//! * [`trainer`] — epoch loop with periodic evaluation and early stopping
-//!   on `recall@K`.
+//! * [`trainer`] — epoch loop with periodic evaluation, early stopping
+//!   on `recall@K`, divergence recovery, and periodic checkpointing.
+//! * [`ckpt`] — the trainer-state checkpoint written through the
+//!   `facility-ckpt` envelope; resuming one is bitwise identical to never
+//!   having stopped.
 
+pub mod ckpt;
 pub mod grid;
 pub mod metrics;
 pub mod trainer;
 
+pub use ckpt::{checkpoint_path, latest_checkpoint, TrainCheckpoint};
 pub use grid::{grid_search, Grid, GridResult};
 pub use metrics::{EvalResult, TopKMetrics};
-pub use trainer::{train, EpochLog, TrainReport, TrainSettings};
+pub use trainer::{
+    train, train_resumed, try_train, DivergenceCause, DivergenceEvent, EpochLog, TrainError,
+    TrainReport, TrainSettings,
+};
 
 use facility_kg::Interactions;
 use facility_models::Recommender;

@@ -1,8 +1,30 @@
-//! Epoch loop with periodic evaluation and early stopping.
+//! Epoch loop with periodic evaluation, early stopping, checkpointing,
+//! and divergence recovery.
+//!
+//! ## Fault tolerance
+//!
+//! * **Checkpoint/resume** — with [`TrainSettings::ckpt_every`] > 0 and a
+//!   [`TrainSettings::ckpt_dir`], the loop writes a [`TrainCheckpoint`]
+//!   after every `ckpt_every`-th healthy epoch (atomic tmp + rename).
+//!   [`train_resumed`] continues from one such file; because the training
+//!   RNG is derived per epoch by [`epoch_rng`] from `(seed, epoch,
+//!   retries)`, an interrupted-then-resumed run is *bitwise identical* to
+//!   an uninterrupted one — no RNG state needs to survive the restart.
+//! * **Divergence guards** — after every epoch the loop checks that the
+//!   loss and all parameters are finite. On a divergence it rolls the
+//!   model back to the last good in-memory snapshot, multiplies the
+//!   learning rate by [`TrainSettings::lr_backoff`], and retries the
+//!   epoch with a fresh RNG salt, up to [`TrainSettings::max_retries`]
+//!   times across the run; past the budget [`try_train`] fails with a
+//!   structured [`TrainError::Diverged`] instead of logging NaN metrics.
 
+use crate::ckpt::{checkpoint_path, TrainCheckpoint};
 use crate::{evaluate, EvalResult};
+use facility_ckpt::CkptError;
 use facility_linalg::seeded_rng;
 use facility_models::{EpochProfile, Recommender, TrainContext};
+use rand::rngs::StdRng;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 /// Harness settings.
@@ -21,11 +43,32 @@ pub struct TrainSettings {
     pub seed: u64,
     /// Print one line per evaluation to stderr.
     pub verbose: bool,
+    /// Write a checkpoint after every `ckpt_every`-th healthy epoch.
+    /// `0` disables checkpointing (requires [`TrainSettings::ckpt_dir`]).
+    pub ckpt_every: usize,
+    /// Directory for checkpoint files (created if missing).
+    pub ckpt_dir: Option<PathBuf>,
+    /// Total divergence-retry budget for the run; past it the trainer
+    /// fails with [`TrainError::Diverged`].
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied on each divergence rollback.
+    pub lr_backoff: f32,
 }
 
 impl Default for TrainSettings {
     fn default() -> Self {
-        Self { max_epochs: 60, eval_every: 5, patience: 3, k: 20, seed: 7, verbose: false }
+        Self {
+            max_epochs: 60,
+            eval_every: 5,
+            patience: 3,
+            k: 20,
+            seed: 7,
+            verbose: false,
+            ckpt_every: 0,
+            ckpt_dir: None,
+            max_retries: 2,
+            lr_backoff: 0.5,
+        }
     }
 }
 
@@ -44,6 +87,29 @@ pub struct EpochLog {
     pub profile: Option<EpochProfile>,
 }
 
+/// What tripped the divergence guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DivergenceCause {
+    /// The epoch's mean loss came back NaN or ±∞.
+    NonFiniteLoss,
+    /// A parameter matrix contains a non-finite scalar.
+    NonFiniteParams,
+}
+
+/// One detected divergence: the trainer rolled back and retried (or gave
+/// up, if the budget was spent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DivergenceEvent {
+    /// Epoch whose update diverged.
+    pub epoch: usize,
+    /// Cumulative retry number (1-based) this event consumed.
+    pub retry: usize,
+    /// The non-finite (or last observed) epoch loss.
+    pub loss: f32,
+    /// What tripped the guard.
+    pub cause: DivergenceCause,
+}
+
 /// Result of a full training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {
@@ -55,27 +121,236 @@ pub struct TrainReport {
     pub logs: Vec<EpochLog>,
     /// Model name.
     pub model: String,
+    /// Divergences the run recovered from (empty for a healthy run).
+    pub divergences: Vec<DivergenceEvent>,
+    /// Epoch of the checkpoint this run resumed from, when it did.
+    pub resumed_from: Option<usize>,
+}
+
+/// Why a fault-tolerant training run failed.
+#[derive(Debug)]
+pub enum TrainError {
+    /// The model kept diverging after exhausting the retry budget.
+    Diverged {
+        /// Model name.
+        model: String,
+        /// Epoch that diverged past the budget.
+        epoch: usize,
+        /// Retries consumed before giving up.
+        retries_used: usize,
+        /// Every divergence observed during the run, in order.
+        events: Vec<DivergenceEvent>,
+    },
+    /// Reading or writing a checkpoint failed.
+    Checkpoint(CkptError),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged { model, epoch, retries_used, events } => {
+                writeln!(
+                    f,
+                    "{model} diverged at epoch {epoch} after {retries_used} rollback retr{}:",
+                    if *retries_used == 1 { "y" } else { "ies" }
+                )?;
+                for e in events {
+                    writeln!(
+                        f,
+                        "  epoch {:>4}  retry {}  loss {:>12}  cause {:?}",
+                        e.epoch, e.retry, e.loss, e.cause
+                    )?;
+                }
+                write!(f, "  (lower the learning rate or raise max_retries)")
+            }
+            TrainError::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<CkptError> for TrainError {
+    fn from(e: CkptError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The training RNG for one epoch, derived from `(seed, epoch, retries)`.
+///
+/// Deriving a fresh stream per epoch (instead of threading one RNG across
+/// the run) is what makes checkpoints self-contained: a resumed run
+/// reconstructs the exact stream of every future epoch from three
+/// integers that the checkpoint stores. `retries` — the cumulative
+/// divergence-rollback count — salts the stream so a retried epoch draws
+/// *different* samples than the attempt that diverged.
+pub fn epoch_rng(seed: u64, epoch: usize, retries: usize) -> StdRng {
+    let mixed =
+        splitmix(seed ^ splitmix(epoch as u64) ^ splitmix((retries as u64).wrapping_add(0xD1F4)));
+    seeded_rng(mixed)
+}
+
+/// Mutable harness state threaded through the loop (and round-tripped
+/// through checkpoints).
+struct LoopState {
+    best: Option<EvalResult>,
+    best_epoch: usize,
+    stale: usize,
+    retries: usize,
+    divergences: Vec<DivergenceEvent>,
+    logs: Vec<EpochLog>,
+    resumed_from: Option<usize>,
+}
+
+impl LoopState {
+    fn fresh() -> Self {
+        Self {
+            best: None,
+            best_epoch: 0,
+            stale: 0,
+            retries: 0,
+            divergences: Vec::new(),
+            logs: Vec::new(),
+            resumed_from: None,
+        }
+    }
+
+    fn from_checkpoint(ck: &TrainCheckpoint) -> Self {
+        Self {
+            best: ck.best,
+            best_epoch: ck.best_epoch,
+            stale: ck.stale,
+            retries: ck.retries,
+            divergences: ck.divergences.clone(),
+            logs: ck.logs.clone(),
+            resumed_from: Some(ck.epoch),
+        }
+    }
 }
 
 /// Train `model` to convergence (or `max_epochs`) and report the best
 /// held-out metrics observed, following the papers' standard protocol of
 /// reporting the best evaluation epoch.
+///
+/// Thin infallible wrapper over [`try_train`] for callers that treat a
+/// non-recoverable divergence or a checkpoint I/O failure as fatal.
+///
+/// # Panics
+/// Panics with the structured [`TrainError`] report when [`try_train`]
+/// fails.
 pub fn train(
     model: &mut dyn Recommender,
     ctx: &TrainContext<'_>,
     settings: &TrainSettings,
 ) -> TrainReport {
-    assert!(settings.eval_every > 0, "eval_every must be positive");
-    let mut rng = seeded_rng(settings.seed);
-    let mut logs = Vec::new();
-    let mut best: Option<EvalResult> = None;
-    let mut best_epoch = 0;
-    let mut stale = 0usize;
+    try_train(model, ctx, settings).unwrap_or_else(|e| panic!("training failed: {e}"))
+}
 
-    for epoch in 1..=settings.max_epochs {
+/// Fault-tolerant training: like [`train`] but surfaces divergence-budget
+/// exhaustion and checkpoint failures as [`TrainError`] instead of
+/// panicking.
+pub fn try_train(
+    model: &mut dyn Recommender,
+    ctx: &TrainContext<'_>,
+    settings: &TrainSettings,
+) -> Result<TrainReport, TrainError> {
+    run_loop(model, ctx, settings, 1, LoopState::fresh())
+}
+
+/// Continue a run from a checkpoint written by an earlier (possibly
+/// killed) invocation with the same settings.
+///
+/// Refuses checkpoints from a different model or seed with
+/// [`CkptError::Mismatch`] — silently resuming them would change the
+/// derived RNG streams and poison the run's determinism guarantee.
+pub fn train_resumed(
+    model: &mut dyn Recommender,
+    ctx: &TrainContext<'_>,
+    settings: &TrainSettings,
+    path: &Path,
+) -> Result<TrainReport, TrainError> {
+    let ck = TrainCheckpoint::load(path)?;
+    if ck.model_name != model.name() {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint is for model `{}`, resuming `{}`",
+            ck.model_name,
+            model.name()
+        ))
+        .into());
+    }
+    if ck.seed != settings.seed {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint was trained with seed {}, settings say {}",
+            ck.seed, settings.seed
+        ))
+        .into());
+    }
+    model.load_state(&ck.state)?;
+    let start = ck.epoch + 1;
+    run_loop(model, ctx, settings, start, LoopState::from_checkpoint(&ck))
+}
+
+fn run_loop(
+    model: &mut dyn Recommender,
+    ctx: &TrainContext<'_>,
+    settings: &TrainSettings,
+    start_epoch: usize,
+    mut st: LoopState,
+) -> Result<TrainReport, TrainError> {
+    assert!(settings.eval_every > 0, "eval_every must be positive");
+    if let (true, Some(dir)) = (settings.ckpt_every > 0, settings.ckpt_dir.as_ref()) {
+        std::fs::create_dir_all(dir).map_err(CkptError::Io)?;
+    }
+    // Rollback target for the divergence guard: the snapshot taken after
+    // the most recent healthy epoch (initially the untrained model).
+    let mut last_good = model.save_state();
+
+    let mut epoch = start_epoch;
+    while epoch <= settings.max_epochs {
+        let mut rng = epoch_rng(settings.seed, epoch, st.retries);
         let loss = model.train_epoch(ctx, &mut rng);
         let mut profile = model.take_epoch_profile();
-        let do_eval = epoch % settings.eval_every == 0 || epoch == settings.max_epochs;
+
+        if !loss.is_finite() || !model.params_finite() {
+            let cause = if loss.is_finite() {
+                DivergenceCause::NonFiniteParams
+            } else {
+                DivergenceCause::NonFiniteLoss
+            };
+            if st.retries >= settings.max_retries {
+                st.divergences.push(DivergenceEvent { epoch, retry: st.retries, loss, cause });
+                return Err(TrainError::Diverged {
+                    model: model.name(),
+                    epoch,
+                    retries_used: st.retries,
+                    events: st.divergences,
+                });
+            }
+            st.retries += 1;
+            st.divergences.push(DivergenceEvent { epoch, retry: st.retries, loss, cause });
+            model.load_state(&last_good)?;
+            model.scale_lr(settings.lr_backoff);
+            if settings.verbose {
+                eprintln!(
+                    "[{}] epoch {epoch}: DIVERGED ({cause:?}, loss {loss}) — rolled back, \
+                     lr ×{}, retry {}/{}",
+                    model.name(),
+                    settings.lr_backoff,
+                    st.retries,
+                    settings.max_retries
+                );
+            }
+            continue; // retry the same epoch with a salted RNG stream
+        }
+
+        let do_eval = epoch.is_multiple_of(settings.eval_every) || epoch == settings.max_epochs;
         let eval = if do_eval {
             let clock = Instant::now();
             model.prepare_eval(ctx);
@@ -93,25 +368,46 @@ pub fn train(
                     r.ndcg
                 );
             }
-            let improved = best.is_none_or(|b| r.recall > b.recall);
+            let improved = st.best.is_none_or(|b| r.recall > b.recall);
             if improved {
-                best = Some(r);
-                best_epoch = epoch;
-                stale = 0;
+                st.best = Some(r);
+                st.best_epoch = epoch;
+                st.stale = 0;
             } else {
-                stale += 1;
+                st.stale += 1;
             }
             Some(r)
         } else {
             None
         };
-        logs.push(EpochLog { epoch, loss, eval, profile });
-        if settings.patience > 0 && stale >= settings.patience {
+        st.logs.push(EpochLog { epoch, loss, eval, profile });
+        last_good = model.save_state();
+
+        if settings.ckpt_every > 0 && epoch.is_multiple_of(settings.ckpt_every) {
+            if let Some(dir) = settings.ckpt_dir.as_ref() {
+                let ck = TrainCheckpoint {
+                    model_name: model.name(),
+                    seed: settings.seed,
+                    epoch,
+                    best: st.best,
+                    best_epoch: st.best_epoch,
+                    stale: st.stale,
+                    retries: st.retries,
+                    divergences: st.divergences.clone(),
+                    logs: st.logs.clone(),
+                    state: last_good.clone(),
+                };
+                ck.save(&checkpoint_path(dir, epoch))?;
+            }
+        }
+
+        if settings.patience > 0 && st.stale >= settings.patience {
             break;
         }
+        epoch += 1;
     }
 
-    let best = best.unwrap_or(EvalResult {
+    let best = st.best.unwrap_or(EvalResult {
         recall: 0.0,
         ndcg: 0.0,
         precision: 0.0,
@@ -119,7 +415,14 @@ pub fn train(
         n_users: 0,
         k: settings.k,
     });
-    TrainReport { best, best_epoch, logs, model: model.name() }
+    Ok(TrainReport {
+        best,
+        best_epoch: st.best_epoch,
+        logs: st.logs,
+        model: model.name(),
+        divergences: st.divergences,
+        resumed_from: st.resumed_from,
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +463,7 @@ mod tests {
             patience: 0,
             k: 5,
             seed: 3,
-            verbose: false,
+            ..TrainSettings::default()
         };
         let report = train(model.as_mut(), &ctx, &settings);
         assert!(
@@ -172,6 +475,8 @@ mod tests {
         assert!(report.best.recall > 0.2, "recall@5 {}", report.best.recall);
         assert_eq!(report.logs.len(), 40);
         assert!(report.best_epoch >= 1);
+        assert!(report.divergences.is_empty());
+        assert!(report.resumed_from.is_none());
     }
 
     #[test]
@@ -186,7 +491,7 @@ mod tests {
             patience: 2,
             k: 5,
             seed: 3,
-            verbose: false,
+            ..TrainSettings::default()
         };
         let report = train(model.as_mut(), &ctx, &settings);
         assert!(report.logs.len() < 1000, "early stopping never triggered");
@@ -204,7 +509,7 @@ mod tests {
             patience: 0,
             k: 5,
             seed: 3,
-            verbose: false,
+            ..TrainSettings::default()
         };
         let report = train(model.as_mut(), &ctx, &settings);
         for log in &report.logs {
@@ -228,10 +533,51 @@ mod tests {
             patience: 0,
             k: 5,
             seed: 3,
-            verbose: false,
+            ..TrainSettings::default()
         };
         let report = train(model.as_mut(), &ctx, &settings);
         let evals = report.logs.iter().filter(|l| l.eval.is_some()).count();
         assert_eq!(evals, 2); // epochs 3 and 6
+    }
+
+    #[test]
+    fn epoch_rng_streams_are_distinct_and_reproducible() {
+        use rand::RngCore;
+        let a1 = epoch_rng(7, 3, 0).next_u64();
+        let a2 = epoch_rng(7, 3, 0).next_u64();
+        assert_eq!(a1, a2, "same (seed, epoch, retries) must reproduce");
+        assert_ne!(a1, epoch_rng(7, 4, 0).next_u64(), "epochs draw distinct streams");
+        assert_ne!(a1, epoch_rng(7, 3, 1).next_u64(), "retry salt changes the stream");
+        assert_ne!(a1, epoch_rng(8, 3, 0).next_u64(), "seed changes the stream");
+    }
+
+    #[test]
+    fn trainer_writes_periodic_checkpoints() {
+        let dir = std::env::temp_dir().join(format!("facility-trainer-ck-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (inter, ckg) = world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let cfg = ModelConfig { keep_prob: 1.0, ..ModelConfig::fast() };
+        let mut model = ModelKind::Bprmf.build(&ctx, &cfg);
+        let settings = TrainSettings {
+            max_epochs: 6,
+            eval_every: 3,
+            patience: 0,
+            k: 5,
+            seed: 3,
+            ckpt_every: 2,
+            ckpt_dir: Some(dir.clone()),
+            ..TrainSettings::default()
+        };
+        train(model.as_mut(), &ctx, &settings);
+        for epoch in [2, 4, 6] {
+            let p = checkpoint_path(&dir, epoch);
+            assert!(p.exists(), "missing checkpoint {p:?}");
+            let ck = TrainCheckpoint::load(&p).unwrap();
+            assert_eq!(ck.epoch, epoch);
+            assert_eq!(ck.model_name, "BPRMF");
+            assert_eq!(ck.logs.len(), epoch);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,267 @@
+//! Fault-injection harness: every recovery path of the fault-tolerant
+//! trainer is exercised against deliberate damage — NaN losses/parameters
+//! injected mid-run, retry budgets exhausted, and checkpoint files
+//! corrupted, truncated, or stamped with a future format version.
+
+use facility_ckpt::{CkptError, ModelState};
+use facility_eval::trainer::{DivergenceCause, TrainError, TrainSettings};
+use facility_eval::{checkpoint_path, train_resumed, try_train};
+use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
+use facility_models::{EpochProfile, ModelConfig, ModelKind, Recommender, TrainContext};
+use rand::rngs::StdRng;
+use std::path::PathBuf;
+
+fn world() -> (Interactions, facility_kg::Ckg) {
+    let mut events: Vec<(Id, Id)> = Vec::new();
+    for u in 0..12u32 {
+        for j in 0..5u32 {
+            events.push((u, (u % 4) * 5 + j));
+        }
+    }
+    let inter = Interactions::split(12, 20, &events, 0.25, &mut facility_linalg::seeded_rng(0));
+    let mut b = CkgBuilder::new(12, 20);
+    b.add_interactions(&inter.train_pairs);
+    for i in 0..20u32 {
+        b.add_item_attribute(KnowledgeSource::Dkg, "hasDataType", i, format!("t:{}", i / 5));
+    }
+    (inter.clone(), b.build(SourceMask::all()))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("facility-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// What the injector damages when it fires.
+#[derive(Clone, Copy, PartialEq)]
+enum Poison {
+    /// Replace the epoch's loss with NaN (a NaN gradient reaching the
+    /// reported loss).
+    Loss,
+    /// Leave the loss finite but report non-finite parameters.
+    Params,
+    /// Fire on every epoch — the retry budget must run out.
+    LossAlways,
+}
+
+/// Wraps a real model and injects one (or an endless stream of) NaN
+/// faults at a chosen `train_epoch` call, delegating everything else.
+struct Injector {
+    inner: Box<dyn Recommender>,
+    poison: Poison,
+    fire_at_call: usize,
+    calls: usize,
+    fired: bool,
+    params_poisoned: bool,
+    lr_factors: Vec<f32>,
+}
+
+impl Injector {
+    fn new(inner: Box<dyn Recommender>, poison: Poison, fire_at_call: usize) -> Self {
+        Self {
+            inner,
+            poison,
+            fire_at_call,
+            calls: 0,
+            fired: false,
+            params_poisoned: false,
+            lr_factors: Vec::new(),
+        }
+    }
+}
+
+impl Recommender for Injector {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        self.calls += 1;
+        let loss = self.inner.train_epoch(ctx, rng);
+        match self.poison {
+            Poison::LossAlways => f32::NAN,
+            Poison::Loss if self.calls == self.fire_at_call && !self.fired => {
+                self.fired = true;
+                f32::NAN
+            }
+            Poison::Params if self.calls == self.fire_at_call && !self.fired => {
+                self.fired = true;
+                self.params_poisoned = true;
+                loss
+            }
+            _ => loss,
+        }
+    }
+
+    fn prepare_eval(&mut self, ctx: &TrainContext<'_>) {
+        self.inner.prepare_eval(ctx)
+    }
+
+    fn score_items(&self, user: Id) -> Vec<f32> {
+        self.inner.score_items(user)
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.inner.num_parameters()
+    }
+
+    fn take_epoch_profile(&mut self) -> Option<EpochProfile> {
+        self.inner.take_epoch_profile()
+    }
+
+    fn save_state(&self) -> ModelState {
+        self.inner.save_state()
+    }
+
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CkptError> {
+        // A rollback heals the injected parameter poison.
+        self.params_poisoned = false;
+        self.inner.load_state(state)
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        self.lr_factors.push(factor);
+        self.inner.scale_lr(factor)
+    }
+
+    fn params_finite(&self) -> bool {
+        !self.params_poisoned && self.inner.params_finite()
+    }
+}
+
+fn settings(max_epochs: usize) -> TrainSettings {
+    TrainSettings {
+        max_epochs,
+        eval_every: 2,
+        patience: 0,
+        k: 5,
+        seed: 3,
+        ..TrainSettings::default()
+    }
+}
+
+fn build_injected(
+    poison: Poison,
+    fire_at_call: usize,
+) -> (Injector, Interactions, facility_kg::Ckg) {
+    let (inter, ckg) = world();
+    let model = {
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        ModelKind::Bprmf.build(&ctx, &ModelConfig::fast())
+    };
+    (Injector::new(model, poison, fire_at_call), inter, ckg)
+}
+
+#[test]
+fn nan_loss_triggers_rollback_lr_halving_and_run_completes() {
+    let (mut model, inter, ckg) = build_injected(Poison::Loss, 3);
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let report = try_train(&mut model, &ctx, &settings(6)).expect("run recovers and completes");
+
+    // The retry is visible in the report...
+    assert_eq!(report.divergences.len(), 1);
+    let d = report.divergences[0];
+    assert_eq!(d.epoch, 3);
+    assert_eq!(d.retry, 1);
+    assert_eq!(d.cause, DivergenceCause::NonFiniteLoss);
+    assert!(d.loss.is_nan());
+    // ...the learning rate was halved exactly once...
+    assert_eq!(model.lr_factors, vec![0.5]);
+    // ...and the run still reaches finite best-epoch metrics.
+    assert!(report.best.recall.is_finite());
+    assert!(report.best_epoch >= 1);
+    assert_eq!(report.logs.len(), 6, "all epochs completed after recovery");
+    assert!(report.logs.iter().all(|l| l.loss.is_finite()), "no NaN epoch was logged");
+}
+
+#[test]
+fn nan_params_are_caught_by_the_guard_too() {
+    let (mut model, inter, ckg) = build_injected(Poison::Params, 2);
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let report = try_train(&mut model, &ctx, &settings(4)).expect("run recovers");
+    assert_eq!(report.divergences.len(), 1);
+    assert_eq!(report.divergences[0].cause, DivergenceCause::NonFiniteParams);
+    assert_eq!(model.lr_factors, vec![0.5]);
+    assert!(report.best.recall.is_finite());
+}
+
+#[test]
+fn exhausted_retry_budget_is_a_structured_error() {
+    let (mut model, inter, ckg) = build_injected(Poison::LossAlways, 0);
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let err = try_train(&mut model, &ctx, &settings(6)).expect_err("cannot recover");
+    match &err {
+        TrainError::Diverged { model: name, epoch, retries_used, events } => {
+            assert_eq!(name, "BPRMF");
+            assert_eq!(*epoch, 1, "never got past the first epoch");
+            assert_eq!(*retries_used, 2, "default budget is 2");
+            assert_eq!(events.len(), 3, "every attempt is on record");
+        }
+        other => panic!("expected Diverged, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("BPRMF diverged at epoch 1"), "{msg}");
+    assert!(msg.contains("NonFiniteLoss"), "{msg}");
+}
+
+/// Write a healthy 2-epoch checkpoint and return its path.
+fn healthy_checkpoint(tag: &str) -> (PathBuf, PathBuf, Interactions, facility_kg::Ckg) {
+    let (inter, ckg) = world();
+    let dir = tmpdir(tag);
+    {
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = ModelKind::Bprmf.build(&ctx, &ModelConfig::fast());
+        let mut s = settings(2);
+        s.ckpt_every = 2;
+        s.ckpt_dir = Some(dir.clone());
+        try_train(model.as_mut(), &ctx, &s).expect("trains");
+    }
+    (checkpoint_path(&dir, 2), dir, inter, ckg)
+}
+
+fn resume_from(path: &std::path::Path, inter: &Interactions, ckg: &facility_kg::Ckg) -> TrainError {
+    let ctx = TrainContext { inter, ckg };
+    let mut model = ModelKind::Bprmf.build(&ctx, &ModelConfig::fast());
+    train_resumed(model.as_mut(), &ctx, &settings(4), path)
+        .expect_err("damaged checkpoint must be rejected")
+}
+
+#[test]
+fn corrupted_checkpoint_is_a_checksum_error_not_a_panic() {
+    let (ckpt, dir, inter, ckg) = healthy_checkpoint("corrupt");
+    let mut raw = std::fs::read(&ckpt).unwrap();
+    let mid = raw.len() / 2;
+    raw[mid] ^= 0x08;
+    std::fs::write(&ckpt, &raw).unwrap();
+    match resume_from(&ckpt, &inter, &ckg) {
+        TrainError::Checkpoint(CkptError::Checksum { .. }) => {}
+        other => panic!("expected a checksum error, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_checkpoint_is_a_format_error_not_a_panic() {
+    let (ckpt, dir, inter, ckg) = healthy_checkpoint("truncate");
+    let raw = std::fs::read(&ckpt).unwrap();
+    std::fs::write(&ckpt, &raw[..raw.len() / 3]).unwrap();
+    match resume_from(&ckpt, &inter, &ckg) {
+        TrainError::Checkpoint(CkptError::Format(_)) => {}
+        other => panic!("expected a format error, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_forward_compat_rejects_unknown_version() {
+    let (ckpt, dir, inter, ckg) = healthy_checkpoint("version");
+    let mut raw = std::fs::read(&ckpt).unwrap();
+    raw[4] = 250; // a future format version this build cannot read
+    std::fs::write(&ckpt, &raw).unwrap();
+    match resume_from(&ckpt, &inter, &ckg) {
+        TrainError::Checkpoint(CkptError::Version(250)) => {}
+        other => panic!("expected a version error, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

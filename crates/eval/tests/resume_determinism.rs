@@ -1,0 +1,178 @@
+//! Differential resume-determinism suite (style of
+//! `crates/models/tests/batch_local_diff.rs`): an interrupted-then-resumed
+//! training run must be **bitwise identical** (`f32::to_bits`) to an
+//! uninterrupted run — parameters, Adam moments, and the `TrainReport`
+//! logs all agree, with dropout on so the RNG round-trip is exercised.
+
+use facility_ckpt::ModelState;
+use facility_eval::trainer::TrainSettings;
+use facility_eval::{checkpoint_path, train_resumed, try_train, TrainReport};
+use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
+use facility_models::{ModelConfig, ModelKind, TrainContext};
+use std::path::PathBuf;
+
+fn world() -> (Interactions, facility_kg::Ckg) {
+    let mut events: Vec<(Id, Id)> = Vec::new();
+    for u in 0..16u32 {
+        for j in 0..6u32 {
+            events.push((u, (u % 4) * 6 + j));
+        }
+    }
+    let inter = Interactions::split(16, 24, &events, 0.25, &mut facility_linalg::seeded_rng(0));
+    let mut b = CkgBuilder::new(16, 24);
+    b.add_interactions(&inter.train_pairs);
+    for i in 0..24u32 {
+        b.add_item_attribute(KnowledgeSource::Dkg, "hasDataType", i, format!("t:{}", i / 6));
+    }
+    (inter.clone(), b.build(SourceMask::all()))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("facility-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Dropout on (`keep_prob < 1`), so determinism requires the epoch RNG
+/// streams to round-trip through the checkpoint.
+fn config() -> ModelConfig {
+    ModelConfig { keep_prob: 0.8, ..ModelConfig::fast() }
+}
+
+fn settings(max_epochs: usize) -> TrainSettings {
+    TrainSettings {
+        max_epochs,
+        eval_every: 2,
+        patience: 0,
+        k: 5,
+        seed: 11,
+        ..TrainSettings::default()
+    }
+}
+
+fn assert_states_bitwise(a: &ModelState, b: &ModelState, what: &str) {
+    assert_eq!(a.params.len(), b.params.len(), "{what}: parameter count");
+    for ((name_a, ma), (name_b, mb)) in a.params.iter().zip(&b.params) {
+        assert_eq!(name_a, name_b, "{what}: parameter order");
+        assert_eq!(ma.shape(), mb.shape(), "{what}: `{name_a}` shape");
+        for (i, (x, y)) in ma.as_slice().iter().zip(mb.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: `{name_a}`[{i}] differs: {x} vs {y}");
+        }
+    }
+    assert_eq!(a.adam.lr.to_bits(), b.adam.lr.to_bits(), "{what}: adam lr");
+    assert_eq!(a.adam.t, b.adam.t, "{what}: adam step counts");
+    for (which, (xs, ys)) in [(&a.adam.m, &b.adam.m), (&a.adam.v, &b.adam.v)].iter().enumerate() {
+        for (slot, (ma, mb)) in xs.iter().zip(ys.iter()).enumerate() {
+            match (ma, mb) {
+                (None, None) => {}
+                (Some(ma), Some(mb)) => {
+                    for (x, y) in ma.as_slice().iter().zip(mb.as_slice()) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "{what}: adam moment {which}[{slot}]");
+                    }
+                }
+                _ => panic!("{what}: adam moment {which} slot {slot} presence differs"),
+            }
+        }
+    }
+}
+
+fn assert_reports_identical(a: &TrainReport, b: &TrainReport) {
+    assert_eq!(a.model, b.model);
+    assert_eq!(a.best_epoch, b.best_epoch, "best epoch");
+    assert_eq!(a.best.recall.to_bits(), b.best.recall.to_bits(), "best recall");
+    assert_eq!(a.logs.len(), b.logs.len(), "log length");
+    for (la, lb) in a.logs.iter().zip(&b.logs) {
+        assert_eq!(la.epoch, lb.epoch);
+        assert_eq!(
+            la.loss.to_bits(),
+            lb.loss.to_bits(),
+            "epoch {} loss: {} vs {}",
+            la.epoch,
+            la.loss,
+            lb.loss
+        );
+        match (&la.eval, &lb.eval) {
+            (None, None) => {}
+            (Some(ea), Some(eb)) => {
+                assert_eq!(ea.recall.to_bits(), eb.recall.to_bits(), "epoch {} eval", la.epoch);
+                assert_eq!(ea.ndcg.to_bits(), eb.ndcg.to_bits(), "epoch {} ndcg", la.epoch);
+            }
+            _ => panic!("epoch {}: eval presence differs", la.epoch),
+        }
+    }
+    assert_eq!(a.divergences.len(), b.divergences.len());
+}
+
+/// Train `2n` epochs straight vs. `n` epochs → checkpoint → restore →
+/// `n` more, and demand bitwise-identical state and reports.
+fn check_resume_is_bitwise(kind: ModelKind, tag: &str) {
+    let (inter, ckg) = world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let cfg = config();
+
+    // Uninterrupted run: 8 epochs, no checkpointing.
+    let mut straight = kind.build(&ctx, &cfg);
+    let report_straight =
+        try_train(straight.as_mut(), &ctx, &settings(8)).expect("straight run trains");
+
+    // Interrupted run: 4 epochs with a checkpoint at 4, then a *fresh*
+    // model restores and continues to 8 (simulating a killed process —
+    // nothing survives in memory).
+    let dir = tmpdir(tag);
+    let mut first_leg = kind.build(&ctx, &cfg);
+    let mut s4 = settings(4);
+    s4.ckpt_every = 4;
+    s4.ckpt_dir = Some(dir.clone());
+    try_train(first_leg.as_mut(), &ctx, &s4).expect("first leg trains");
+    drop(first_leg);
+
+    let mut resumed = kind.build(&ctx, &cfg);
+    let report_resumed =
+        train_resumed(resumed.as_mut(), &ctx, &settings(8), &checkpoint_path(&dir, 4))
+            .expect("resume trains");
+
+    assert_eq!(report_resumed.resumed_from, Some(4));
+    assert_states_bitwise(&straight.save_state(), &resumed.save_state(), tag);
+    assert_reports_identical(&report_straight, &report_resumed);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bprmf_resume_is_bitwise_identical() {
+    check_resume_is_bitwise(ModelKind::Bprmf, "bprmf");
+}
+
+#[test]
+fn ckat_resume_is_bitwise_identical() {
+    check_resume_is_bitwise(ModelKind::Ckat, "ckat");
+}
+
+#[test]
+fn resume_refuses_wrong_model_and_wrong_seed() {
+    let (inter, ckg) = world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let cfg = config();
+    let dir = tmpdir("mismatch");
+
+    let mut model = ModelKind::Bprmf.build(&ctx, &cfg);
+    let mut s = settings(2);
+    s.ckpt_every = 2;
+    s.ckpt_dir = Some(dir.clone());
+    try_train(model.as_mut(), &ctx, &s).expect("trains");
+    let ckpt = checkpoint_path(&dir, 2);
+
+    // Wrong model kind.
+    let mut other = ModelKind::Fm.build(&ctx, &cfg);
+    let err = train_resumed(other.as_mut(), &ctx, &settings(4), &ckpt)
+        .expect_err("FM must not resume a BPRMF checkpoint");
+    assert!(err.to_string().contains("BPRMF"), "{err}");
+
+    // Right model, wrong seed: the derived RNG streams would change.
+    let mut same = ModelKind::Bprmf.build(&ctx, &cfg);
+    let mut wrong_seed = settings(4);
+    wrong_seed.seed = 999;
+    let err = train_resumed(same.as_mut(), &ctx, &wrong_seed, &ckpt)
+        .expect_err("wrong seed must be refused");
+    assert!(err.to_string().contains("seed"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -45,6 +45,7 @@ use crate::profile::EpochProfile;
 use crate::transr;
 use crate::Recommender;
 use facility_autograd::{Adam, ParamId, ParamStore, Tape, Var};
+use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch};
 use facility_kg::{Id, SubgraphScratch};
 use facility_linalg::{init, seeded_rng, Matrix};
@@ -585,6 +586,26 @@ impl Recommender for Ckat {
 
     fn num_parameters(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    fn save_state(&self) -> ModelState {
+        ModelState::capture(&self.store, &self.adam)
+    }
+
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CkptError> {
+        state.restore(&mut self.store, &mut self.adam)?;
+        self.cached_users = None;
+        self.cached_items = None;
+        self.att_fresh = false;
+        Ok(())
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        self.adam.lr *= factor;
+    }
+
+    fn params_finite(&self) -> bool {
+        self.store.all_finite()
     }
 
     fn take_epoch_profile(&mut self) -> Option<EpochProfile> {

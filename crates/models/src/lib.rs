@@ -44,6 +44,7 @@ pub mod transr;
 pub use common::{ModelConfig, TrainContext};
 pub use profile::EpochProfile;
 
+use facility_ckpt::{CkptError, ModelState};
 use facility_kg::Id;
 use rand::rngs::StdRng;
 
@@ -74,6 +75,44 @@ pub trait Recommender: Send + Sync {
     /// implementation returns `None` (model not instrumented).
     fn take_epoch_profile(&mut self) -> Option<EpochProfile> {
         None
+    }
+
+    /// Snapshot all trainable state (parameters + optimizer moments) for
+    /// checkpointing. Parameter-free models (heuristics) return the empty
+    /// default and are trivially resumable.
+    fn save_state(&self) -> ModelState {
+        ModelState::default()
+    }
+
+    /// Restore a snapshot taken by [`Recommender::save_state`] on a model
+    /// built with the same configuration and world. Implementations must
+    /// also invalidate any eval caches derived from the parameters, so a
+    /// later `prepare_eval` rebuilds them from the restored values.
+    ///
+    /// Fails with [`CkptError::Mismatch`] if the snapshot does not fit
+    /// (different model, parameter shapes, …). The default accepts only the
+    /// empty snapshot, matching the default `save_state`.
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CkptError> {
+        if state.params.is_empty() {
+            Ok(())
+        } else {
+            Err(CkptError::Mismatch(format!(
+                "{} has no trainable state but snapshot carries {} parameters",
+                self.name(),
+                state.params.len()
+            )))
+        }
+    }
+
+    /// Scale the optimizer learning rate by `factor` (divergence recovery
+    /// backs off with factors < 1). No-op for parameter-free models.
+    fn scale_lr(&mut self, _factor: f32) {}
+
+    /// True when every trainable scalar is finite. The trainer's
+    /// divergence guard checks this after each epoch; parameter-free
+    /// models are always healthy.
+    fn params_finite(&self) -> bool {
+        true
     }
 }
 

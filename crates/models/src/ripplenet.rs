@@ -12,6 +12,7 @@
 use crate::common::{ModelConfig, TrainContext};
 use crate::Recommender;
 use facility_autograd::{Adam, ParamId, ParamStore, Tape, Var};
+use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::sample_bpr_batch;
 use facility_kg::{Ckg, Id};
 use facility_linalg::{init, matrix::dot, ops, seeded_rng};
@@ -291,6 +292,23 @@ impl Recommender for RippleNet {
 
     fn num_parameters(&self) -> usize {
         self.store.num_scalars()
+    }
+
+    fn save_state(&self) -> ModelState {
+        ModelState::capture(&self.store, &self.adam)
+    }
+
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CkptError> {
+        state.restore(&mut self.store, &mut self.adam)?;
+        Ok(())
+    }
+
+    fn scale_lr(&mut self, factor: f32) {
+        self.adam.lr *= factor;
+    }
+
+    fn params_finite(&self) -> bool {
+        self.store.all_finite()
     }
 }
 

@@ -37,6 +37,7 @@ fn main() {
         k: 20,
         seed: 5,
         verbose: false,
+        ..TrainSettings::default()
     };
 
     let variants: [(&str, bool, Aggregator); 3] = [

@@ -108,8 +108,15 @@ fn main() {
     };
     let ctx = TrainContext { inter: &inter, ckg: &ckg };
     let mut model = Ckat::new(&ctx, &config);
-    let settings =
-        TrainSettings { max_epochs: 20, eval_every: 5, patience: 0, k: 10, seed: 4, verbose: true };
+    let settings = TrainSettings {
+        max_epochs: 20,
+        eval_every: 5,
+        patience: 0,
+        k: 10,
+        seed: 4,
+        verbose: true,
+        ..TrainSettings::default()
+    };
     let report = train(&mut model, &ctx, &settings);
     println!(
         "\nUnified model: recall@10 {:.4}, ndcg@10 {:.4}",

@@ -46,6 +46,7 @@ fn main() {
         k: 20,
         seed: 9,
         verbose: false,
+        ..TrainSettings::default()
     };
 
     let masks = [

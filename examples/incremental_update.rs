@@ -51,6 +51,7 @@ fn main() {
         k: 10,
         seed: 1,
         verbose: false,
+        ..TrainSettings::default()
     };
     let r0 = train(&mut day0, &ctx0, &full);
     println!("day 0: {} entities, recall@10 {:.4}", ckg0.n_entities(), r0.best.recall);
@@ -90,8 +91,15 @@ fn main() {
     );
 
     // Small update budget: 5 epochs.
-    let quick =
-        TrainSettings { max_epochs: 5, eval_every: 5, patience: 0, k: 10, seed: 2, verbose: false };
+    let quick = TrainSettings {
+        max_epochs: 5,
+        eval_every: 5,
+        patience: 0,
+        k: 10,
+        seed: 2,
+        verbose: false,
+        ..TrainSettings::default()
+    };
 
     let mut cold = Ckat::new(&ctx1, &ckat_config());
     let rc = train(&mut cold, &ctx1, &quick);

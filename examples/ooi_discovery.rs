@@ -33,6 +33,7 @@ fn main() {
         k: 20,
         seed: 3,
         verbose: false,
+        ..TrainSettings::default()
     };
     let cfg = ModelConfig { embed_dim: 32, ..ModelConfig::default() };
 

@@ -21,8 +21,15 @@ fn main() {
     println!("Collaborative knowledge graph:\n{}\n", exp.stats());
 
     // 2. Train the CKAT recommender.
-    let settings =
-        TrainSettings { max_epochs: 20, eval_every: 5, patience: 0, k: 10, seed: 7, verbose: true };
+    let settings = TrainSettings {
+        max_epochs: 20,
+        eval_every: 5,
+        patience: 0,
+        k: 10,
+        seed: 7,
+        verbose: true,
+        ..TrainSettings::default()
+    };
     let model_cfg = ModelConfig { embed_dim: 16, keep_prob: 1.0, ..ModelConfig::default() };
     let model = exp.train_recommender(ModelKind::Ckat, &model_cfg, &settings);
 

@@ -5,16 +5,23 @@
 //! fkgrec simulate  --facility ooi|gage|tiny --seed N --out DIR
 //! fkgrec stats     --trace DIR
 //! fkgrec train     --trace DIR --model ckat [--epochs N] [--k N] [--mask MASK]
+//!                  [--checkpoint DIR [--ckpt-every N] [--resume]]
 //! fkgrec recommend --trace DIR --model ckat --user N [--top N] [--epochs N]
 //! fkgrec compare   --trace DIR [--epochs N] [--k N]
 //! ```
 //!
 //! `MASK` is a `+`-separated subset of `uug`, `loc`, `dkg`, `md` (UIG is
 //! always included); default `uug+loc+dkg`.
+//!
+//! Fault tolerance: `--lenient N` skips up to `N` malformed trace rows
+//! (`--verbose` prints the per-file skip summary), `--checkpoint DIR`
+//! writes periodic training checkpoints, and `--resume` continues from the
+//! latest one after an interruption. Read and checkpoint failures exit
+//! with code 1 and a friendly message, never a panic backtrace.
 
-use facility_kgrec::ckat::{recommend_top_k, Experiment, ExperimentConfig};
-use facility_kgrec::datagen::{io as trace_io, stats, FacilityConfig, Trace};
-use facility_kgrec::eval::{train, TrainSettings};
+use facility_kgrec::ckat::{recommend_top_k, report, Experiment, ExperimentConfig};
+use facility_kgrec::datagen::{io as trace_io, stats, FacilityConfig, ReadMode, Trace};
+use facility_kgrec::eval::{latest_checkpoint, train, TrainSettings};
 use facility_kgrec::kg::{CkgStats, SourceMask};
 use facility_kgrec::models::{ModelConfig, ModelKind, TrainContext};
 use facility_kgrec::prelude::seeded_rng;
@@ -49,13 +56,31 @@ fn usage(err: &str) -> ! {
            simulate  --facility ooi|gage|tiny --seed N --out DIR\n\
            stats     --trace DIR\n\
            train     --trace DIR --model NAME [--epochs N] [--k N] [--mask MASK]\n\
+                     [--checkpoint DIR [--ckpt-every N] [--resume]]\n\
            recommend --trace DIR --model NAME --user N [--top N] [--epochs N]\n\
            compare   --trace DIR [--epochs N] [--k N]\n\n\
          models: bprmf fm nfm cke cfkg ripplenet kgcn ckat\n\
-         MASK: '+'-separated subset of uug,loc,dkg,md (default uug+loc+dkg)"
+         MASK: '+'-separated subset of uug,loc,dkg,md (default uug+loc+dkg)\n\n\
+         fault tolerance:\n\
+           --lenient N       skip up to N malformed trace rows instead of failing\n\
+           --verbose         print the lenient-mode skip summary (and extra detail)\n\
+           --checkpoint DIR  write periodic training checkpoints into DIR\n\
+           --ckpt-every N    checkpoint cadence in epochs (default 5)\n\
+           --resume          continue from the latest checkpoint in --checkpoint DIR\n\
+           --max-retries N   divergence rollback budget (default 2)"
     );
     exit(if err.is_empty() { 0 } else { 2 })
 }
+
+/// Exit with a one-line friendly message and code 1 (read/checkpoint
+/// failures must never surface as panic backtraces).
+fn fail(msg: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["resume", "verbose"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut map = HashMap::new();
@@ -64,12 +89,20 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
         let Some(key) = flag.strip_prefix("--") else {
             usage(&format!("expected a --flag, got `{flag}`"));
         };
+        if BOOL_FLAGS.contains(&key) {
+            map.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let Some(value) = it.next() else {
             usage(&format!("--{key} needs a value"));
         };
         map.insert(key.to_string(), value.clone());
     }
     map
+}
+
+fn flag_set(opts: &HashMap<String, String>, key: &str) -> bool {
+    opts.contains_key(key)
 }
 
 fn get<'a>(opts: &'a HashMap<String, String>, key: &str) -> &'a str {
@@ -114,10 +147,19 @@ fn parse_model(s: &str) -> ModelKind {
 
 fn load_trace(opts: &HashMap<String, String>) -> Trace {
     let dir = PathBuf::from(get(opts, "trace"));
-    trace_io::read_trace(&dir).unwrap_or_else(|e| {
-        eprintln!("failed to read trace at {}: {e}", dir.display());
-        exit(1)
-    })
+    let mode = match opts.get("lenient") {
+        Some(n) => ReadMode::Lenient { max_bad_rows: parse_num(n, "--lenient") },
+        None => ReadMode::Strict,
+    };
+    match trace_io::read_trace_with(&dir, mode) {
+        Ok((trace, summary)) => {
+            if !summary.is_clean() && flag_set(opts, "verbose") {
+                eprintln!("{summary}");
+            }
+            trace
+        }
+        Err(e) => fail(&format_args!("failed to read trace at {}: {e}", dir.display())),
+    }
 }
 
 /// Build an `Experiment` around an already-loaded trace.
@@ -142,6 +184,7 @@ fn experiment_from(trace: Trace, mask: SourceMask, seed: u64) -> Experiment {
 }
 
 fn settings(opts: &HashMap<String, String>) -> TrainSettings {
+    let ckpt_dir = opts.get("checkpoint").map(PathBuf::from);
     TrainSettings {
         max_epochs: parse_num(get_or(opts, "epochs", "40"), "--epochs"),
         eval_every: 5,
@@ -149,6 +192,14 @@ fn settings(opts: &HashMap<String, String>) -> TrainSettings {
         k: parse_num(get_or(opts, "k", "20"), "--k"),
         seed: parse_num(get_or(opts, "seed", "7"), "--seed"),
         verbose: true,
+        ckpt_every: if ckpt_dir.is_some() {
+            parse_num(get_or(opts, "ckpt-every", "5"), "--ckpt-every")
+        } else {
+            0
+        },
+        ckpt_dir,
+        max_retries: parse_num(get_or(opts, "max-retries", "2"), "--max-retries"),
+        lr_backoff: 0.5,
     }
 }
 
@@ -204,7 +255,24 @@ fn cmd_train(opts: &HashMap<String, String>) {
     let trace = load_trace(opts);
     let exp = experiment_from(trace, mask, 42);
     let s = settings(opts);
-    let report = exp.run_model(kind, &ModelConfig::default(), &s);
+    let model_config = ModelConfig::default();
+    let run = if flag_set(opts, "resume") {
+        let dir = s.ckpt_dir.clone().unwrap_or_else(|| usage("--resume needs --checkpoint DIR"));
+        let Some(ckpt) = latest_checkpoint(&dir) else {
+            fail(&format_args!("no checkpoint found in {}", dir.display()));
+        };
+        eprintln!("resuming from {}", ckpt.display());
+        exp.resume_model(kind, &model_config, &s, &ckpt)
+    } else {
+        exp.try_run_model(kind, &model_config, &s)
+    };
+    let report = run.unwrap_or_else(|e| fail(&e));
+    if !report.divergences.is_empty() {
+        eprintln!(
+            "recovered from {} divergence(s) via rollback + lr backoff",
+            report.divergences.len()
+        );
+    }
     println!(
         "\n{} on {} [{}]: recall@{} {:.4}, ndcg@{} {:.4} (best epoch {})",
         kind.label(),
@@ -216,6 +284,11 @@ fn cmd_train(opts: &HashMap<String, String>) {
         report.best.ndcg,
         report.best_epoch
     );
+    if flag_set(opts, "verbose") {
+        println!("\nrun ledger row (EXPERIMENTS.md):");
+        println!("{}", report::RUN_SUMMARY_HEADER);
+        println!("{}", report::run_summary_row(&report));
+    }
 }
 
 fn cmd_recommend(opts: &HashMap<String, String>) {

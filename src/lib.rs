@@ -11,6 +11,7 @@
 
 pub use facility_autograd as autograd;
 pub use facility_ckat as ckat;
+pub use facility_ckpt as ckpt;
 pub use facility_datagen as datagen;
 pub use facility_eval as eval;
 pub use facility_kg as kg;

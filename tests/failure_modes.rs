@@ -104,8 +104,15 @@ fn trainer_handles_world_without_test_data() {
     let ckg = b.build(SourceMask::all());
     let ctx = TrainContext { inter: &inter, ckg: &ckg };
     let mut model = ModelKind::Bprmf.build(&ctx, &fast_cfg());
-    let settings =
-        TrainSettings { max_epochs: 2, eval_every: 1, patience: 0, k: 5, seed: 1, verbose: false };
+    let settings = TrainSettings {
+        max_epochs: 2,
+        eval_every: 1,
+        patience: 0,
+        k: 5,
+        seed: 1,
+        verbose: false,
+        ..TrainSettings::default()
+    };
     let report = facility_kgrec::eval::train(model.as_mut(), &ctx, &settings);
     assert_eq!(report.best.n_users, 0);
     assert_eq!(report.best.recall, 0.0);

@@ -12,7 +12,15 @@ fn tiny() -> ExperimentConfig {
 }
 
 fn fast_settings() -> TrainSettings {
-    TrainSettings { max_epochs: 12, eval_every: 4, patience: 0, k: 10, seed: 5, verbose: false }
+    TrainSettings {
+        max_epochs: 12,
+        eval_every: 4,
+        patience: 0,
+        k: 10,
+        seed: 5,
+        verbose: false,
+        ..TrainSettings::default()
+    }
 }
 
 fn fast_cfg() -> ModelConfig {
@@ -55,8 +63,15 @@ fn different_seeds_give_different_worlds() {
 #[test]
 fn every_model_runs_end_to_end_on_the_pipeline() {
     let exp = Experiment::prepare(&tiny());
-    let settings =
-        TrainSettings { max_epochs: 2, eval_every: 2, patience: 0, k: 10, seed: 1, verbose: false };
+    let settings = TrainSettings {
+        max_epochs: 2,
+        eval_every: 2,
+        patience: 0,
+        k: 10,
+        seed: 1,
+        verbose: false,
+        ..TrainSettings::default()
+    };
     for kind in ModelKind::table2_order() {
         let report = exp.run_model(kind, &fast_cfg(), &settings);
         assert!(
@@ -106,6 +121,7 @@ fn mask_ablation_keeps_split_fixed_across_variants() {
             k: 5,
             seed: 1,
             verbose: false,
+            ..TrainSettings::default()
         };
         let r = v.run_model(ModelKind::Ckat, &fast_cfg(), &settings);
         assert!(r.best.recall.is_finite());
@@ -118,8 +134,15 @@ fn mask_ablation_keeps_split_fixed_across_variants() {
 #[test]
 fn evaluate_matches_trainer_reported_metrics() {
     let exp = Experiment::prepare(&tiny());
-    let settings =
-        TrainSettings { max_epochs: 4, eval_every: 4, patience: 0, k: 10, seed: 5, verbose: false };
+    let settings = TrainSettings {
+        max_epochs: 4,
+        eval_every: 4,
+        patience: 0,
+        k: 10,
+        seed: 5,
+        verbose: false,
+        ..TrainSettings::default()
+    };
     let ctx = exp.ctx();
     let mut model = ModelKind::Bprmf.build(&ctx, &fast_cfg());
     let report = facility_kgrec::eval::train(model.as_mut(), &ctx, &settings);

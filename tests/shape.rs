@@ -23,7 +23,15 @@ fn facility() -> FacilityConfig {
 }
 
 fn settings() -> TrainSettings {
-    TrainSettings { max_epochs: 20, eval_every: 5, patience: 0, k: 10, seed: 3, verbose: false }
+    TrainSettings {
+        max_epochs: 20,
+        eval_every: 5,
+        patience: 0,
+        k: 10,
+        seed: 3,
+        verbose: false,
+        ..TrainSettings::default()
+    }
 }
 
 fn cfg() -> ModelConfig {
