@@ -14,6 +14,10 @@
 //!
 //! * dense products ([`Tape::matmul`], [`Tape::matmul_transpose_b`]),
 //! * embedding lookup with scatter-add backward ([`Tape::gather_rows`]),
+//!   and its row-sparse sibling [`Tape::gather_leaf`] /
+//!   [`Tape::take_sparse_grad`], which backpropagates into only the
+//!   touched rows of a [`ParamStore`] matrix (see [`optim::SparseRowGrad`]
+//!   and lazy [`Adam`]),
 //! * **segment ops** for message passing over a CSR graph
 //!   ([`Tape::segment_softmax`], [`Tape::segment_sum`]) — these implement
 //!   the knowledge-aware attention normalization (paper Eq. 5) and the
@@ -43,7 +47,7 @@
 //!     // Minimize ||w||² — drives w to zero.
 //!     let loss = tape.frobenius_sq(wv);
 //!     tape.backward(loss);
-//!     store.apply(&mut adam, &[(w, tape.grad(wv).unwrap().clone())]);
+//!     store.apply(&mut adam, &[(w, tape.grad(wv).unwrap().clone().into())]);
 //! }
 //! assert!(store.value(w).max_abs() < 1e-2);
 //! ```
@@ -55,5 +59,5 @@ pub mod gradcheck;
 pub mod optim;
 pub mod tape;
 
-pub use optim::{Adam, AdamState, Optimizer, ParamId, ParamStore, Sgd};
+pub use optim::{Adam, AdamState, Grad, Optimizer, ParamId, ParamStore, Sgd, SparseRowGrad};
 pub use tape::{Tape, Var};

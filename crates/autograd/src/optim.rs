@@ -4,8 +4,18 @@
 //! model; a fresh [`Tape`](crate::Tape) borrows *clones* of the values each
 //! step and hands gradients back through [`ParamStore::apply`].
 //!
+//! Gradients come in two kinds (see [`Grad`]): dense matrices, and
+//! row-sparse [`SparseRowGrad`]s produced by
+//! [`Tape::take_sparse_grad`](crate::Tape::take_sparse_grad) for
+//! embedding-style parameters where a step touches only a few rows.
+//!
 //! [`Adam`] (Kingma & Ba 2014) is the paper's optimizer for every model;
-//! [`Sgd`] is kept for tests and ablations.
+//! [`Sgd`] is kept for tests and ablations. For sparse gradients Adam is
+//! *lazy*: untouched rows defer their zero-gradient moment decay until the
+//! row is next read or written, tracked by per-row step counters. The
+//! catch-up replays the exact dense update with `g = 0`, so a lazily
+//! synced parameter is bitwise identical to one stepped densely with
+//! zero-padded gradients (see the differential tests below).
 
 use facility_linalg::Matrix;
 
@@ -13,11 +23,75 @@ use facility_linalg::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(usize);
 
+/// A row-sparse gradient for an `n_rows × cols` parameter: parameter row
+/// `rows[k]` receives gradient row `k` of `values`; rows not listed have
+/// an exactly-zero gradient.
+///
+/// `rows` must be unique (not necessarily sorted) —
+/// [`Tape::take_sparse_grad`](crate::Tape::take_sparse_grad) folds
+/// duplicate gather indices before handing one out.
+#[derive(Debug, Clone)]
+pub struct SparseRowGrad {
+    /// Row count of the parameter this gradient belongs to.
+    pub n_rows: usize,
+    /// Touched parameter rows, unique.
+    pub rows: Vec<usize>,
+    /// `rows.len() × cols` gradient rows, parallel to `rows`.
+    pub values: Matrix,
+}
+
+impl SparseRowGrad {
+    /// Expand to the equivalent dense gradient (zero rows for untouched
+    /// rows). Test/fallback path; the point of the type is to avoid this.
+    pub fn to_dense(&self) -> Matrix {
+        let mut d = Matrix::zeros(self.n_rows, self.values.cols());
+        for (k, &r) in self.rows.iter().enumerate() {
+            for (o, &x) in d.row_mut(r).iter_mut().zip(self.values.row(k)) {
+                *o += x;
+            }
+        }
+        d
+    }
+}
+
+/// A gradient handed to [`ParamStore::apply`]: dense, or row-sparse for
+/// embedding matrices where the step touched only a few rows.
+pub enum Grad {
+    /// Full-shape gradient matrix.
+    Dense(Matrix),
+    /// Row-sparse gradient (see [`SparseRowGrad`]).
+    Sparse(SparseRowGrad),
+}
+
+impl From<Matrix> for Grad {
+    fn from(m: Matrix) -> Self {
+        Grad::Dense(m)
+    }
+}
+
+impl From<SparseRowGrad> for Grad {
+    fn from(g: SparseRowGrad) -> Self {
+        Grad::Sparse(g)
+    }
+}
+
+/// Which scalars of a parameter may have changed since the divergence
+/// guard last looked (see [`ParamStore::touched_finite`]).
+enum Dirty {
+    /// Untouched since the last check.
+    Clean,
+    /// Only these rows were written (sparse steps, lazy syncs).
+    Rows(Vec<usize>),
+    /// Anything may have changed (dense step, `value_mut`, fresh param).
+    All,
+}
+
 /// Owned collection of named model parameters.
 #[derive(Default)]
 pub struct ParamStore {
     names: Vec<String>,
     values: Vec<Matrix>,
+    dirty: Vec<Dirty>,
 }
 
 impl ParamStore {
@@ -31,6 +105,7 @@ impl ParamStore {
     pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         self.names.push(name.into());
         self.values.push(value);
+        self.dirty.push(Dirty::All);
         ParamId(self.values.len() - 1)
     }
 
@@ -41,6 +116,7 @@ impl ParamStore {
 
     /// Mutable access (used by tests and by model-specific manual updates).
     pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        self.dirty[id.0] = Dirty::All;
         &mut self.values[id.0]
     }
 
@@ -69,27 +145,114 @@ impl ParamStore {
         self.values.iter().map(Matrix::len).sum()
     }
 
-    /// True when every scalar in every parameter is finite. The trainer's
-    /// divergence guard calls this after each epoch; a single NaN or ±∞
-    /// anywhere marks the model as poisoned.
+    /// True when every scalar in every parameter is finite — the full
+    /// scan. Checkpointing uses this unconditionally; the per-epoch
+    /// divergence guard prefers [`ParamStore::touched_finite`].
     pub fn all_finite(&self) -> bool {
         self.values.iter().all(|m| m.as_slice().iter().all(|x| x.is_finite()))
+    }
+
+    /// Like [`ParamStore::all_finite`], but scans only the scalars
+    /// written since the previous `touched_finite` call (sparse steps
+    /// record the touched rows; dense steps and `value_mut` mark the whole
+    /// matrix). A scalar that was finite at the last check and untouched
+    /// since cannot have become non-finite, so skipping it is sound.
+    /// Clears the touch log.
+    pub fn touched_finite(&mut self) -> bool {
+        let mut ok = true;
+        for i in 0..self.values.len() {
+            let m = &self.values[i];
+            ok &= match &self.dirty[i] {
+                Dirty::Clean => true,
+                Dirty::Rows(rows) => rows.iter().all(|&r| m.row(r).iter().all(|x| x.is_finite())),
+                Dirty::All => m.as_slice().iter().all(|x| x.is_finite()),
+            };
+            self.dirty[i] = Dirty::Clean;
+        }
+        ok
+    }
+
+    fn mark_rows(&mut self, idx: usize, rows: &[usize]) {
+        if rows.is_empty() {
+            return;
+        }
+        match &mut self.dirty[idx] {
+            Dirty::All => {}
+            Dirty::Rows(acc) => {
+                acc.extend_from_slice(rows);
+                if acc.len() > self.values[idx].rows() {
+                    self.dirty[idx] = Dirty::All;
+                }
+            }
+            d @ Dirty::Clean => *d = Dirty::Rows(rows.to_vec()),
+        }
     }
 
     /// Apply one optimizer step for the given `(param, gradient)` pairs.
     ///
     /// # Panics
     /// Panics if a gradient's shape does not match its parameter.
-    pub fn apply(&mut self, opt: &mut impl Optimizer, grads: &[(ParamId, Matrix)]) {
+    pub fn apply(&mut self, opt: &mut impl Optimizer, grads: &[(ParamId, Grad)]) {
         for (id, g) in grads {
-            assert_eq!(
-                g.shape(),
-                self.values[id.0].shape(),
-                "apply: gradient shape mismatch for parameter `{}`",
-                self.names[id.0]
-            );
-            opt.step(id.0, &mut self.values[id.0], g);
+            match g {
+                Grad::Dense(g) => {
+                    assert_eq!(
+                        g.shape(),
+                        self.values[id.0].shape(),
+                        "apply: gradient shape mismatch for parameter `{}`",
+                        self.names[id.0]
+                    );
+                    opt.step(id.0, &mut self.values[id.0], g);
+                    self.dirty[id.0] = Dirty::All;
+                }
+                Grad::Sparse(sg) => {
+                    let shape = self.values[id.0].shape();
+                    assert!(
+                        sg.n_rows == shape.0 && sg.values.cols() == shape.1,
+                        "apply: gradient shape mismatch for parameter `{}`",
+                        self.names[id.0]
+                    );
+                    assert_eq!(
+                        sg.values.rows(),
+                        sg.rows.len(),
+                        "apply: sparse gradient for `{}` has {} rows but {} indices",
+                        self.names[id.0],
+                        sg.values.rows(),
+                        sg.rows.len()
+                    );
+                    debug_assert!(
+                        {
+                            let mut sorted = sg.rows.clone();
+                            sorted.sort_unstable();
+                            sorted.windows(2).all(|w| w[0] < w[1])
+                                && sorted.last().is_none_or(|&r| r < sg.n_rows)
+                        },
+                        "apply: sparse gradient rows must be unique and in bounds"
+                    );
+                    opt.step_sparse(id.0, &mut self.values[id.0], sg);
+                    self.mark_rows(id.0, &sg.rows);
+                }
+            }
         }
+    }
+
+    /// Catch the given rows of a lazily-optimized parameter up to the
+    /// optimizer's current step count. Must be called before *reading*
+    /// rows of a parameter that receives sparse updates (the deferred
+    /// zero-gradient decay moves the value). No-op for optimizers (or
+    /// slots) without lazy state.
+    pub fn sync_rows(&mut self, opt: &mut impl Optimizer, id: ParamId, rows: &[usize]) {
+        let drifted = opt.sync_rows(id.0, &mut self.values[id.0], rows);
+        self.mark_rows(id.0, &drifted);
+    }
+
+    /// Catch *every* row of a lazily-optimized parameter up to the
+    /// optimizer's current step count (e.g. before evaluation,
+    /// checkpointing, or a cross-mode comparison). No-op for optimizers
+    /// (or slots) without lazy state.
+    pub fn sync_all(&mut self, opt: &mut impl Optimizer, id: ParamId) {
+        let drifted = opt.sync_all(id.0, &mut self.values[id.0]);
+        self.mark_rows(id.0, &drifted);
     }
 }
 
@@ -97,6 +260,26 @@ impl ParamStore {
 pub trait Optimizer {
     /// Update `value` in place given gradient `grad` for parameter `slot`.
     fn step(&mut self, slot: usize, value: &mut Matrix, grad: &Matrix);
+
+    /// Update `value` given a row-sparse gradient. The default densifies
+    /// and delegates to [`Optimizer::step`]; optimizers with per-row state
+    /// (lazy Adam) override this to touch only `grad.rows`.
+    fn step_sparse(&mut self, slot: usize, value: &mut Matrix, grad: &SparseRowGrad) {
+        self.step(slot, value, &grad.to_dense());
+    }
+
+    /// Bring deferred per-row state for `rows` up to date, returning the
+    /// rows whose scalars changed. Default: stateless per row, nothing to
+    /// do.
+    fn sync_rows(&mut self, _slot: usize, _value: &mut Matrix, _rows: &[usize]) -> Vec<usize> {
+        Vec::new()
+    }
+
+    /// Bring deferred per-row state for the whole slot up to date,
+    /// returning the rows whose scalars changed.
+    fn sync_all(&mut self, _slot: usize, _value: &mut Matrix) -> Vec<usize> {
+        Vec::new()
+    }
 }
 
 /// Plain stochastic gradient descent with an optional max-norm clip.
@@ -119,12 +302,98 @@ impl Optimizer for Sgd {
         let scale = clip_scale(grad, self.clip);
         value.axpy(-self.lr * scale, grad);
     }
+
+    fn step_sparse(&mut self, _slot: usize, value: &mut Matrix, grad: &SparseRowGrad) {
+        // SGD has no per-row state: untouched rows simply don't move.
+        let scale = clip_scale(&grad.values, self.clip);
+        let s = -self.lr * scale;
+        for (k, &r) in grad.rows.iter().enumerate() {
+            for (o, &g) in value.row_mut(r).iter_mut().zip(grad.values.row(k)) {
+                *o += s * g;
+            }
+        }
+    }
+}
+
+/// The shared Adam per-scalar update. Keeping the dense path, the sparse
+/// path, and the zero-gradient catch-up on this *one* expression is what
+/// makes lazy Adam bitwise-equal to dense Adam.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn adam_update(
+    val: &mut f32,
+    m: &mut f32,
+    v: &mut f32,
+    g: f32,
+    b1: f32,
+    b2: f32,
+    bias1: f32,
+    bias2: f32,
+    lr: f32,
+    eps: f32,
+) {
+    *m = b1 * *m + (1.0 - b1) * g;
+    *v = b2 * *v + (1.0 - b2) * g * g;
+    let mhat = *m / bias1;
+    let vhat = *v / bias2;
+    *val -= lr * mhat / (vhat.sqrt() + eps);
+}
+
+/// Replay the zero-gradient Adam steps a row skipped, bringing it from
+/// `row_t[r]` to `target`. Returns true when the row's scalars may have
+/// changed. Rows whose moments are exactly (bit-pattern) `+0.0` fast
+/// forward for free: with `m = v = 0` and `g = 0` every update line is a
+/// bitwise no-op, so only the counter moves.
+#[allow(clippy::too_many_arguments)]
+fn catch_up_row(
+    r: usize,
+    target: u64,
+    value: &mut Matrix,
+    m: &mut Matrix,
+    v: &mut Matrix,
+    row_t: &mut [u64],
+    b1: f32,
+    b2: f32,
+    lr: f32,
+    eps: f32,
+    b1_pows: &[f32],
+    b2_pows: &[f32],
+) -> bool {
+    let start = row_t[r];
+    if start >= target {
+        return false;
+    }
+    if m.row(r).iter().all(|x| x.to_bits() == 0) && v.row(r).iter().all(|x| x.to_bits() == 0) {
+        row_t[r] = target;
+        return false;
+    }
+    for j in (start + 1)..=target {
+        let bias1 = 1.0 - b1_pows[j as usize];
+        let bias2 = 1.0 - b2_pows[j as usize];
+        let (val, mr, vr) = (value.row_mut(r), m.row_mut(r), v.row_mut(r));
+        for (x, (mm, vv)) in val.iter_mut().zip(mr.iter_mut().zip(vr.iter_mut())) {
+            adam_update(x, mm, vv, 0.0, b1, b2, bias1, bias2, lr, eps);
+        }
+    }
+    row_t[r] = target;
+    true
 }
 
 /// Adam (Kingma & Ba 2014) with bias correction.
 ///
 /// One moment pair is kept per parameter slot; slots are lazily initialized
 /// on first use so a single `Adam` serves a whole [`ParamStore`].
+///
+/// ## Lazy sparse updates
+///
+/// A slot first stepped through [`Optimizer::step_sparse`] switches to
+/// *lazy* mode: it grows per-row step counters, and a sparse step updates
+/// only the touched rows — first replaying the zero-gradient decay the
+/// row skipped (with the step-`j` bias corrections it would have seen),
+/// then applying the real gradient. The arithmetic is the exact dense
+/// update expression, so after a [`Optimizer::sync_all`] the parameter is
+/// bitwise identical to dense Adam fed zero-padded gradients. Callers
+/// must sync rows before reading them (see [`ParamStore::sync_rows`]).
 pub struct Adam {
     /// Learning rate (paper grid: {0.05, 0.01, 0.005, 0.001}).
     pub lr: f32,
@@ -139,6 +408,13 @@ pub struct Adam {
     m: Vec<Option<Matrix>>,
     v: Vec<Option<Matrix>>,
     t: Vec<u64>,
+    /// Per-slot per-row step counters; `None` = slot is dense-only.
+    row_t: Vec<Option<Vec<u64>>>,
+    /// `b1_pows[j] = beta1.powf(j)` — memoized so the catch-up's bias
+    /// corrections are the *same float* the dense path computes at step
+    /// `j`, not an incrementally-accumulated product.
+    b1_pows: Vec<f32>,
+    b2_pows: Vec<f32>,
 }
 
 impl Adam {
@@ -159,11 +435,14 @@ impl Adam {
             m: (0..slots).map(|_| None).collect(),
             v: (0..slots).map(|_| None).collect(),
             t: vec![0; slots],
+            row_t: vec![None; slots],
+            b1_pows: Vec::new(),
+            b2_pows: Vec::new(),
         }
     }
 
     /// Snapshot the full optimizer state (hyperparameters, moment
-    /// estimates, per-slot step counts) for checkpointing.
+    /// estimates, per-slot and per-row step counts) for checkpointing.
     pub fn export_state(&self) -> AdamState {
         AdamState {
             lr: self.lr,
@@ -174,6 +453,7 @@ impl Adam {
             m: self.m.clone(),
             v: self.v.clone(),
             t: self.t.clone(),
+            row_t: self.row_t.clone(),
         }
     }
 
@@ -190,6 +470,13 @@ impl Adam {
         self.m = state.m.clone();
         self.v = state.v.clone();
         self.t = state.t.clone();
+        self.row_t = state.row_t.clone();
+        if self.row_t.len() < self.t.len() {
+            self.row_t.resize(self.t.len(), None);
+        }
+        // The power tables depend on the betas; rebuild on demand.
+        self.b1_pows.clear();
+        self.b2_pows.clear();
     }
 
     fn ensure_slot(&mut self, slot: usize, shape: (usize, usize)) {
@@ -197,10 +484,20 @@ impl Adam {
             self.m.push(None);
             self.v.push(None);
             self.t.push(0);
+            self.row_t.push(None);
         }
         if self.m[slot].is_none() {
             self.m[slot] = Some(Matrix::zeros(shape.0, shape.1));
             self.v[slot] = Some(Matrix::zeros(shape.0, shape.1));
+        }
+    }
+
+    /// Extend the bias-correction power tables to cover step `t`.
+    fn ensure_pows(&mut self, t: u64) {
+        while self.b1_pows.len() <= t as usize {
+            let j = self.b1_pows.len() as f32;
+            self.b1_pows.push(self.beta1.powf(j));
+            self.b2_pows.push(self.beta2.powf(j));
         }
     }
 }
@@ -227,11 +524,19 @@ pub struct AdamState {
     pub v: Vec<Option<Matrix>>,
     /// Step count per slot.
     pub t: Vec<u64>,
+    /// Per-row step counters for lazily-updated slots (`None` = the slot
+    /// only ever saw dense gradients).
+    pub row_t: Vec<Option<Vec<u64>>>,
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, slot: usize, value: &mut Matrix, grad: &Matrix) {
         self.ensure_slot(slot, grad.shape());
+        // A dense step on a lazy slot first settles every deferred row so
+        // the whole matrix is at step `t` before the shared update below.
+        if self.row_t[slot].is_some() {
+            self.sync_all(slot, value);
+        }
         let scale = clip_scale(grad, self.clip);
         self.t[slot] += 1;
         let t = self.t[slot] as f32;
@@ -248,13 +553,93 @@ impl Optimizer for Adam {
             .zip(m.as_mut_slice())
             .zip(v.as_mut_slice().iter_mut().zip(grad.as_slice()))
         {
-            let g = g0 * scale;
-            *mm = b1 * *mm + (1.0 - b1) * g;
-            *vv = b2 * *vv + (1.0 - b2) * g * g;
-            let mhat = *mm / bias1;
-            let vhat = *vv / bias2;
-            *val -= lr * mhat / (vhat.sqrt() + eps);
+            adam_update(val, mm, vv, g0 * scale, b1, b2, bias1, bias2, lr, eps);
         }
+        if let Some(rt) = self.row_t[slot].as_mut() {
+            rt.fill(self.t[slot]);
+        }
+    }
+
+    fn step_sparse(&mut self, slot: usize, value: &mut Matrix, grad: &SparseRowGrad) {
+        self.ensure_slot(slot, value.shape());
+        let scale = clip_scale(&grad.values, self.clip);
+        self.t[slot] += 1;
+        let t = self.t[slot];
+        self.ensure_pows(t);
+        // First sparse step on this slot: every row is considered settled
+        // at the previous step count (dense history, nothing deferred).
+        if self.row_t[slot].is_none() {
+            self.row_t[slot] = Some(vec![t - 1; value.rows()]);
+        }
+        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let bias1 = 1.0 - self.b1_pows[t as usize];
+        let bias2 = 1.0 - self.b2_pows[t as usize];
+        let row_t = self.row_t[slot].as_mut().expect("row counters initialized");
+        let m = self.m[slot].as_mut().expect("slot initialized");
+        let v = self.v[slot].as_mut().expect("slot initialized");
+        for (k, &r) in grad.rows.iter().enumerate() {
+            catch_up_row(
+                r,
+                t - 1,
+                value,
+                m,
+                v,
+                row_t,
+                b1,
+                b2,
+                lr,
+                eps,
+                &self.b1_pows,
+                &self.b2_pows,
+            );
+            let (val, mr, vr) = (value.row_mut(r), m.row_mut(r), v.row_mut(r));
+            for ((x, (mm, vv)), &g0) in
+                val.iter_mut().zip(mr.iter_mut().zip(vr.iter_mut())).zip(grad.values.row(k))
+            {
+                adam_update(x, mm, vv, g0 * scale, b1, b2, bias1, bias2, lr, eps);
+            }
+            row_t[r] = t;
+        }
+    }
+
+    fn sync_rows(&mut self, slot: usize, value: &mut Matrix, rows: &[usize]) -> Vec<usize> {
+        if self.row_t.get(slot).is_none_or(|r| r.is_none()) {
+            return Vec::new();
+        }
+        let t = self.t[slot];
+        self.ensure_pows(t);
+        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let row_t = self.row_t[slot].as_mut().expect("lazy slot");
+        let m = self.m[slot].as_mut().expect("slot initialized");
+        let v = self.v[slot].as_mut().expect("slot initialized");
+        let mut drifted = Vec::new();
+        for &r in rows {
+            if catch_up_row(r, t, value, m, v, row_t, b1, b2, lr, eps, &self.b1_pows, &self.b2_pows)
+            {
+                drifted.push(r);
+            }
+        }
+        drifted
+    }
+
+    fn sync_all(&mut self, slot: usize, value: &mut Matrix) -> Vec<usize> {
+        if self.row_t.get(slot).is_none_or(|r| r.is_none()) {
+            return Vec::new();
+        }
+        let t = self.t[slot];
+        self.ensure_pows(t);
+        let (b1, b2, lr, eps) = (self.beta1, self.beta2, self.lr, self.eps);
+        let row_t = self.row_t[slot].as_mut().expect("lazy slot");
+        let m = self.m[slot].as_mut().expect("slot initialized");
+        let v = self.v[slot].as_mut().expect("slot initialized");
+        let mut drifted = Vec::new();
+        for r in 0..value.rows() {
+            if catch_up_row(r, t, value, m, v, row_t, b1, b2, lr, eps, &self.b1_pows, &self.b2_pows)
+            {
+                drifted.push(r);
+            }
+        }
+        drifted
     }
 }
 
@@ -299,7 +684,7 @@ mod tests {
         for _ in 0..200 {
             // d(w²)/dw = 2w
             let g = s.value(w).scale(2.0);
-            s.apply(&mut sgd, &[(w, g)]);
+            s.apply(&mut sgd, &[(w, Grad::Dense(g))]);
         }
         assert!(s.value(w)[(0, 0)].abs() < 1e-3);
     }
@@ -311,7 +696,7 @@ mod tests {
         let mut adam = Adam::default_for(&s, 0.5);
         for _ in 0..100 {
             let g = s.value(w).scale(2.0);
-            s.apply(&mut adam, &[(w, g)]);
+            s.apply(&mut adam, &[(w, Grad::Dense(g))]);
         }
         assert!(s.value(w)[(0, 0)].abs() < 0.5, "adam failed: {}", s.value(w)[(0, 0)]);
     }
@@ -339,7 +724,7 @@ mod tests {
             last = t.value(loss)[(0, 0)];
             t.backward(loss);
             let g = t.take_grad(wv).expect("w participates");
-            s.apply(&mut adam, &[(w, g)]);
+            s.apply(&mut adam, &[(w, Grad::Dense(g))]);
         }
         assert!(last < 1e-3, "final loss {last}");
         let fitted = s.value(w);
@@ -363,6 +748,215 @@ mod tests {
         let mut s = ParamStore::new();
         let w = s.add("w", Matrix::filled(2, 2, 0.0));
         let mut sgd = Sgd::new(0.1);
-        s.apply(&mut sgd, &[(w, Matrix::filled(1, 1, 1.0))]);
+        s.apply(&mut sgd, &[(w, Grad::Dense(Matrix::filled(1, 1, 1.0)))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape mismatch")]
+    fn apply_rejects_bad_sparse_shape() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Matrix::filled(4, 2, 0.0));
+        let mut adam = Adam::default_for(&s, 0.1);
+        let sg = SparseRowGrad { n_rows: 4, rows: vec![0], values: Matrix::filled(1, 3, 1.0) };
+        s.apply(&mut adam, &[(w, Grad::Sparse(sg))]);
+    }
+
+    /// A deterministic pseudo-gradient for differential tests.
+    fn fake_grad(rows: usize, cols: usize, salt: u64) -> Matrix {
+        let mut rng = seeded_rng(salt);
+        init::uniform(rows, cols, -1.0, 1.0, &mut rng)
+    }
+
+    fn assert_bitwise_eq(a: &Matrix, b: &Matrix, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: scalar {i} differs: {x} vs {y}");
+        }
+    }
+
+    /// Tentpole differential test (a): sparse steps that touch every row
+    /// each step are *bitwise* identical to dense Adam.
+    #[test]
+    fn sparse_all_rows_touched_is_bitwise_equal_to_dense_adam() {
+        let (n, d) = (7, 5);
+        let w0 = fake_grad(n, d, 99);
+        let mut dense = ParamStore::new();
+        let wd = dense.add("w", w0.clone());
+        let mut sparse = ParamStore::new();
+        let ws = sparse.add("w", w0);
+        let mut ad = Adam::default_for(&dense, 0.05);
+        let mut as_ = Adam::default_for(&sparse, 0.05);
+        for step in 0..25u64 {
+            let g = fake_grad(n, d, 1000 + step);
+            sparse.apply(
+                &mut as_,
+                &[(
+                    ws,
+                    Grad::Sparse(SparseRowGrad {
+                        n_rows: n,
+                        rows: (0..n).collect(),
+                        values: g.clone(),
+                    }),
+                )],
+            );
+            dense.apply(&mut ad, &[(wd, Grad::Dense(g))]);
+            assert_bitwise_eq(dense.value(wd), sparse.value(ws), "after step");
+        }
+    }
+
+    /// Tentpole differential test (b): a row skipped for `k` steps and
+    /// then synced matches a dense-Adam oracle that stepped it with
+    /// explicit zero gradients — bias-correction catch-up included.
+    #[test]
+    fn lazy_catch_up_matches_zero_grad_dense_oracle() {
+        let (n, d) = (6, 4);
+        let w0 = fake_grad(n, d, 7);
+        let mut dense = ParamStore::new();
+        let wd = dense.add("w", w0.clone());
+        let mut sparse = ParamStore::new();
+        let ws = sparse.add("w", w0);
+        let mut ad = Adam::default_for(&dense, 0.05);
+        let mut as_ = Adam::default_for(&sparse, 0.05);
+        for step in 0..30u64 {
+            // A rotating subset of rows; some rows go untouched for many
+            // consecutive steps.
+            let rows: Vec<usize> =
+                (0..n).filter(|&r| !(step as usize + r).is_multiple_of(3) || r == 0).collect();
+            let gv = fake_grad(rows.len(), d, 2000 + step);
+            // Oracle: the same gradient zero-padded to dense.
+            let sg = SparseRowGrad { n_rows: n, rows, values: gv };
+            dense.apply(&mut ad, &[(wd, Grad::Dense(sg.to_dense()))]);
+            sparse.apply(&mut as_, &[(ws, Grad::Sparse(sg))]);
+        }
+        // Before the sync, deferred rows lag; after it, bitwise equality.
+        sparse.sync_all(&mut as_, ws);
+        assert_bitwise_eq(dense.value(wd), sparse.value(ws), "after sync_all");
+
+        // Keep going after the sync: the state (moments + counters) must
+        // have converged too, not just the values.
+        for step in 100..110u64 {
+            let g = fake_grad(n, d, step);
+            let sg = SparseRowGrad { n_rows: n, rows: (0..n).collect(), values: g.clone() };
+            dense.apply(&mut ad, &[(wd, Grad::Dense(g))]);
+            sparse.apply(&mut as_, &[(ws, Grad::Sparse(sg))]);
+        }
+        assert_bitwise_eq(dense.value(wd), sparse.value(ws), "after resumed steps");
+    }
+
+    /// A dense step landing on a lazy slot settles the deferred rows
+    /// first, so mixing sparse and dense gradients on one parameter stays
+    /// equivalent to the all-dense schedule.
+    #[test]
+    fn dense_step_on_lazy_slot_syncs_first() {
+        let (n, d) = (5, 3);
+        let w0 = fake_grad(n, d, 3);
+        let mut dense = ParamStore::new();
+        let wd = dense.add("w", w0.clone());
+        let mut mixed = ParamStore::new();
+        let wm = mixed.add("w", w0);
+        let mut ad = Adam::default_for(&dense, 0.05);
+        let mut am = Adam::default_for(&mixed, 0.05);
+        // Sparse step touching only row 1.
+        let sg = SparseRowGrad { n_rows: n, rows: vec![1], values: fake_grad(1, d, 11) };
+        dense.apply(&mut ad, &[(wd, Grad::Dense(sg.to_dense()))]);
+        mixed.apply(&mut am, &[(wm, Grad::Sparse(sg))]);
+        // Then a dense step on both.
+        let g = fake_grad(n, d, 12);
+        dense.apply(&mut ad, &[(wd, Grad::Dense(g.clone()))]);
+        mixed.apply(&mut am, &[(wm, Grad::Dense(g))]);
+        assert_bitwise_eq(dense.value(wd), mixed.value(wm), "after mixed schedule");
+    }
+
+    /// Satellite fix (d): the divergence guard's incremental scan sees
+    /// damage in touched rows and skips clean ones without false alarms.
+    #[test]
+    fn touched_finite_tracks_dirty_rows() {
+        let mut s = ParamStore::new();
+        let w = s.add("w", Matrix::filled(4, 2, 1.0));
+        // Fresh params are fully scanned once.
+        assert!(s.touched_finite());
+        // Nothing touched since: trivially clean.
+        assert!(s.touched_finite());
+        // A sparse step marks only its rows; poisoning one of them trips
+        // the incremental scan.
+        let mut adam = Adam::default_for(&s, 0.1);
+        let sg =
+            SparseRowGrad { n_rows: 4, rows: vec![2], values: Matrix::filled(1, 2, f32::INFINITY) };
+        // Bypass the tape's debug assert by writing the poison directly.
+        s.apply(&mut adam, &[(w, Grad::Sparse(sg))]);
+        assert!(!s.touched_finite(), "poisoned touched row must be seen");
+        // The log was cleared, but the poison persists — the *full* scan
+        // (checkpoint fallback) still reports it.
+        assert!(s.touched_finite(), "cleared log no longer scans the row");
+        assert!(!s.all_finite(), "full scan remains the ground truth");
+        // value_mut marks everything.
+        s.value_mut(w)[(2, 0)] = 0.0;
+        s.value_mut(w)[(2, 1)] = 0.0;
+        assert!(s.touched_finite());
+    }
+
+    /// The default `step_sparse` (densify + delegate) keeps plain SGD
+    /// — and any future optimizer without an override — correct.
+    #[test]
+    fn sgd_sparse_matches_dense() {
+        let (n, d) = (4, 3);
+        let w0 = fake_grad(n, d, 21);
+        let mut a = ParamStore::new();
+        let wa = a.add("w", w0.clone());
+        let mut b = ParamStore::new();
+        let wb = b.add("w", w0);
+        let mut sa = Sgd::new(0.1);
+        let mut sb = Sgd::new(0.1);
+        let sg = SparseRowGrad { n_rows: n, rows: vec![0, 2], values: fake_grad(2, d, 22) };
+        a.apply(&mut sa, &[(wa, Grad::Dense(sg.to_dense()))]);
+        b.apply(&mut sb, &[(wb, Grad::Sparse(sg))]);
+        assert_bitwise_eq(a.value(wa), b.value(wb), "sgd sparse");
+    }
+
+    /// Exported Adam state carries the per-row counters; importing it
+    /// resumes the lazy schedule bitwise.
+    #[test]
+    fn adam_state_roundtrip_preserves_row_counters() {
+        let (n, d) = (5, 3);
+        let w0 = fake_grad(n, d, 31);
+        let mut s = ParamStore::new();
+        let w = s.add("w", w0.clone());
+        let mut adam = Adam::default_for(&s, 0.05);
+        for step in 0..8u64 {
+            let rows: Vec<usize> =
+                (0..n).filter(|&r| (r + step as usize).is_multiple_of(2)).collect();
+            let sg = SparseRowGrad {
+                n_rows: n,
+                rows: rows.clone(),
+                values: fake_grad(rows.len(), d, step),
+            };
+            s.apply(&mut adam, &[(w, Grad::Sparse(sg))]);
+        }
+        let snap = adam.export_state();
+        let value_snap = s.value(w).clone();
+
+        // Continue the original for a few steps.
+        let continue_run = |s: &mut ParamStore, adam: &mut Adam, w: ParamId| {
+            for step in 50..55u64 {
+                let rows: Vec<usize> = (0..n).filter(|&r| (r + step as usize) % 2 == 1).collect();
+                let sg = SparseRowGrad {
+                    n_rows: n,
+                    rows: rows.clone(),
+                    values: fake_grad(rows.len(), d, step),
+                };
+                s.apply(adam, &[(w, Grad::Sparse(sg))]);
+            }
+            s.sync_all(adam, w);
+        };
+        continue_run(&mut s, &mut adam, w);
+
+        // Restore the snapshot into a fresh optimizer and replay.
+        let mut s2 = ParamStore::new();
+        let w2 = s2.add("w", value_snap);
+        let mut adam2 = Adam::with_slots(1, 0.05);
+        adam2.import_state(&snap);
+        continue_run(&mut s2, &mut adam2, w2);
+
+        assert_bitwise_eq(s.value(w), s2.value(w2), "resumed run");
     }
 }

@@ -7,6 +7,7 @@
 //! nodes, reverse creation order *is* a valid topological order for the
 //! backward sweep.
 
+use crate::optim::SparseRowGrad;
 use facility_linalg::{matrix::dot, ops, Matrix};
 use rand::Rng;
 use std::sync::Arc;
@@ -34,6 +35,16 @@ enum Op {
     Gather {
         src: Var,
         indices: Arc<Vec<usize>>,
+    },
+    /// Gathering leaf over an *off-tape* parameter matrix:
+    /// `out[i] = src[indices[i]]` where `src` never becomes a node. The
+    /// gradient accumulates here (it is a leaf) and is read back
+    /// row-sparse with [`Tape::take_sparse_grad`] — the dense
+    /// `rows(src) × cols` scatter buffer of [`Op::Gather`] is never
+    /// materialized.
+    ParamGather {
+        indices: Arc<Vec<usize>>,
+        src_rows: usize,
     },
     /// `a · b`.
     MatMul {
@@ -238,6 +249,73 @@ impl Tape {
         }
         let value = self.value(src).gather_rows(&indices);
         self.push(value, Op::Gather { src, indices })
+    }
+
+    /// Gathering *leaf*: `out[i] = src[indices[i]]` where `src` is a
+    /// parameter matrix that never joins the tape. The node behaves like
+    /// [`Tape::leaf`] in the backward sweep; read the accumulated gradient
+    /// back as a row-sparse [`SparseRowGrad`] with
+    /// [`Tape::take_sparse_grad`]. This is the embedding-lookup fast path:
+    /// neither the `src` clone of a dense leaf nor the dense scatter
+    /// buffer of [`Tape::gather_rows`]' backward is ever allocated.
+    pub fn gather_leaf(&mut self, src: &Matrix, indices: Arc<Vec<usize>>) -> Var {
+        let src_rows = src.rows();
+        for &i in indices.iter() {
+            assert!(i < src_rows, "gather_leaf: index {i} out of bounds ({src_rows} rows)");
+        }
+        let value = src.gather_rows(&indices);
+        self.push(value, Op::ParamGather { indices, src_rows })
+    }
+
+    /// Take the gradient of a [`Tape::gather_leaf`] node as a row-sparse
+    /// gradient over the source parameter, folding duplicate gather
+    /// indices in the same accumulation order as the dense scatter-add —
+    /// the result densifies bitwise-equal to what
+    /// [`Tape::gather_rows`] + [`Tape::take_grad`] would have produced.
+    ///
+    /// Returns `None` when the node did not participate in the last
+    /// [`Tape::backward`].
+    ///
+    /// # Panics
+    /// Panics if `v` was not created by [`Tape::gather_leaf`].
+    pub fn take_sparse_grad(&mut self, v: Var) -> Option<SparseRowGrad> {
+        let Op::ParamGather { indices, src_rows } = &self.nodes[v.0].op else {
+            panic!("take_sparse_grad: node {} was not created by gather_leaf", v.0);
+        };
+        let (indices, src_rows) = (Arc::clone(indices), *src_rows);
+        let mut g = self.grads.get_mut(v.0).and_then(|g| g.take())?;
+        if indices.windows(2).all(|w| w[0] < w[1]) {
+            // Already unique: one gradient row per parameter row. Mirror
+            // the dense path's `0.0 + x` (it normalizes -0.0 to +0.0) so
+            // downstream comparisons stay bitwise.
+            for x in g.as_mut_slice() {
+                *x += 0.0;
+            }
+            return Some(SparseRowGrad { n_rows: src_rows, rows: indices.to_vec(), values: g });
+        }
+        // Duplicates (or unsorted indices): group gather positions by
+        // parameter row. Sorting by `(row, position)` keeps each row's
+        // adds in gather order — the same order the dense scatter-add
+        // visits them.
+        let mut order: Vec<usize> = (0..indices.len()).collect();
+        order.sort_unstable_by_key(|&k| (indices[k], k));
+        let mut rows: Vec<usize> = Vec::new();
+        for &k in &order {
+            if rows.last() != Some(&indices[k]) {
+                rows.push(indices[k]);
+            }
+        }
+        let mut values = Matrix::zeros(rows.len(), g.cols());
+        let mut out = 0;
+        for &k in &order {
+            if rows[out] != indices[k] {
+                out += 1;
+            }
+            for (o, &x) in values.row_mut(out).iter_mut().zip(g.row(k)) {
+                *o += x;
+            }
+        }
+        Some(SparseRowGrad { n_rows: src_rows, rows, values })
     }
 
     /// Horizontal concatenation `[a | b]`.
@@ -526,6 +604,9 @@ impl Tape {
         // need out of the node before mutating the grad slots.
         match &self.nodes[id].op {
             Op::Leaf => {}
+            // A leaf w.r.t. the tape: the gradient stays here for
+            // `take_sparse_grad`; the off-tape source is not a node.
+            Op::ParamGather { .. } => {}
             Op::Gather { src, indices } => {
                 let (src, indices) = (*src, Arc::clone(indices));
                 let mut d = Matrix::zeros(self.value(src).rows(), g.cols());
@@ -929,6 +1010,79 @@ mod tests {
         let mut t = Tape::new();
         let x = t.leaf(Matrix::filled(2, 2, 1.0));
         t.backward(x);
+    }
+
+    #[test]
+    fn gather_leaf_forward_matches_gather_rows() {
+        let src = Matrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let mut t = Tape::new();
+        let on_tape = t.leaf(src.clone());
+        let dense = t.gather_rows(on_tape, &[2, 0, 2]);
+        let sparse = t.gather_leaf(&src, Arc::new(vec![2, 0, 2]));
+        assert_eq!(t.value(dense).as_slice(), t.value(sparse).as_slice());
+    }
+
+    #[test]
+    fn take_sparse_grad_folds_duplicates_bitwise_like_dense_scatter() {
+        let src = Matrix::from_vec(4, 2, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let idx = vec![3usize, 1, 3, 3, 0];
+        // Dense reference: leaf + gather_rows.
+        let mut td = Tape::new();
+        let leaf = td.leaf(src.clone());
+        let gd = td.gather_rows(leaf, &idx);
+        let wd =
+            td.constant(Matrix::from_vec(5, 2, vec![1., -1., 2., 0.5, 3., 3., -4., 0.25, 7., 9.]));
+        let pd = td.mul(gd, wd);
+        let ld = td.sum_all(pd);
+        td.backward(ld);
+        let dense = td.take_grad(leaf).expect("dense grad");
+        // Sparse path: gather_leaf + take_sparse_grad.
+        let mut ts = Tape::new();
+        let gs = ts.gather_leaf(&src, Arc::new(idx));
+        let ws =
+            ts.constant(Matrix::from_vec(5, 2, vec![1., -1., 2., 0.5, 3., 3., -4., 0.25, 7., 9.]));
+        let ps = ts.mul(gs, ws);
+        let ls = ts.sum_all(ps);
+        ts.backward(ls);
+        let sparse = ts.take_sparse_grad(gs).expect("sparse grad");
+        assert_eq!(sparse.n_rows, 4);
+        assert_eq!(sparse.rows, vec![0, 1, 3], "unique touched rows, sorted by fold");
+        let densified = sparse.to_dense();
+        for (a, b) in dense.as_slice().iter().zip(densified.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "fold must match dense scatter bitwise");
+        }
+    }
+
+    #[test]
+    fn take_sparse_grad_unique_indices_skips_the_fold() {
+        let src = Matrix::from_vec(5, 2, vec![0.; 10]);
+        let mut t = Tape::new();
+        let g = t.gather_leaf(&src, Arc::new(vec![1, 3, 4]));
+        let s = t.sum_all(g);
+        t.backward(s);
+        let sg = t.take_sparse_grad(g).expect("participated");
+        assert_eq!(sg.rows, vec![1, 3, 4]);
+        assert_eq!(sg.values.shape(), (3, 2));
+        assert!(sg.values.as_slice().iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn take_sparse_grad_is_none_for_unreached_node() {
+        let src = Matrix::from_vec(2, 2, vec![0.; 4]);
+        let mut t = Tape::new();
+        let unused = t.gather_leaf(&src, Arc::new(vec![0]));
+        let x = t.leaf(Matrix::filled(1, 1, 2.0));
+        let loss = t.frobenius_sq(x);
+        t.backward(loss);
+        assert!(t.take_sparse_grad(unused).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn gather_leaf_rejects_out_of_bounds() {
+        let src = Matrix::from_vec(2, 2, vec![0.; 4]);
+        let mut t = Tape::new();
+        t.gather_leaf(&src, Arc::new(vec![2]));
     }
 
     #[test]

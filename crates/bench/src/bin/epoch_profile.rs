@@ -3,27 +3,45 @@
 //!
 //! Trains a few epochs in each mode with identical seeds, collects the
 //! [`EpochProfile`] each epoch (sampling / attention refresh / forward /
-//! backward / eval wall time, estimated forward FLOPs, and gathered-vs-
-//! full row/edge counts), and writes the lot to `BENCH_ckat_epoch.json`
-//! so later PRs have a perf trajectory to compare against. Exits nonzero
-//! if the batch-local mode fails to gather strictly fewer rows and edges
-//! than full-graph propagation.
+//! backward / optimizer / prefetch timings, estimated forward FLOPs, and
+//! gathered-vs-full row/edge counts), and writes the lot to
+//! `BENCH_ckat_epoch.json` so later PRs have a perf trajectory to compare
+//! against. Dropout is forced off (`keep_prob = 1.0`) in both modes so the
+//! two loss trajectories are directly comparable — the sparse/lazy
+//! batch-local path is proven bitwise-equal to the dense full-graph oracle
+//! in that regime (`tests/batch_local_diff.rs`), and this binary asserts
+//! the trajectories agree within float tolerance as an end-to-end check of
+//! the same claim. Exits nonzero if batch-local mode fails to gather
+//! strictly fewer rows and edges than full-graph propagation, or if the
+//! losses drift apart.
+//!
+//! `--epochs N` overrides the default 3 epochs per mode; `--huge` profiles
+//! the ~106k-entity stress world where the sparse path's advantage is
+//! decisive rather than incremental.
 
-use facility_bench::HarnessOpts;
+use facility_bench::{HarnessOpts, Profile};
 use facility_ckat::{Experiment, ExperimentConfig};
 use facility_linalg::seeded_rng;
 use facility_models::ckat::Ckat;
 use facility_models::{EpochProfile, Recommender};
 use std::time::Instant;
 
-const EPOCHS: usize = 3;
+const DEFAULT_EPOCHS: usize = 3;
+
+/// Relative tolerance for the cross-mode loss comparison. The paths are
+/// bitwise-identical by construction at `keep_prob = 1.0`, but the gate is
+/// a float comparison so a future legitimate reordering (e.g. a fused
+/// kernel) degrades this check to "still training the same model" instead
+/// of tripping on the last ulp.
+const LOSS_RTOL: f32 = 1e-5;
 
 fn run_entry(mode: &str, epoch: usize, loss: f32, p: &EpochProfile) -> String {
     format!(
         concat!(
             "    {{\"mode\": \"{}\", \"epoch\": {}, \"loss\": {:.6}, ",
             "\"sampling_ns\": {}, \"attention_ns\": {}, \"forward_ns\": {}, ",
-            "\"backward_ns\": {}, \"eval_ns\": {}, \"forward_flops\": {}, ",
+            "\"backward_ns\": {}, \"optimizer_ns\": {}, \"extract_ns\": {}, ",
+            "\"extract_wait_ns\": {}, \"eval_ns\": {}, \"forward_flops\": {}, ",
             "\"gathered_rows\": {}, \"gathered_edges\": {}, ",
             "\"full_rows\": {}, \"full_edges\": {}, \"batches\": {}, ",
             "\"row_fraction\": {:.6}, \"edge_fraction\": {:.6}}}"
@@ -35,6 +53,9 @@ fn run_entry(mode: &str, epoch: usize, loss: f32, p: &EpochProfile) -> String {
         p.attention_ns,
         p.forward_ns,
         p.backward_ns,
+        p.optimizer_ns,
+        p.extract_ns,
+        p.extract_wait_ns,
         p.eval_ns,
         p.forward_flops,
         p.gathered_rows,
@@ -49,6 +70,7 @@ fn run_entry(mode: &str, epoch: usize, loss: f32, p: &EpochProfile) -> String {
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let epochs = opts.epochs.unwrap_or(DEFAULT_EPOCHS);
     let (name, facility) = opts.facilities().remove(0);
     let exp = Experiment::prepare(&ExperimentConfig {
         facility,
@@ -62,27 +84,34 @@ fn main() {
         exp.ckg.n_edges()
     );
 
-    // Profile at a small batch and depth 2: receptive-field locality is a
-    // function of seeds-per-batch relative to graph size, and the profile
-    // worlds are tiny (a few thousand entities) with hub attribute nodes
-    // (shared sites/data types), so a paper-sized batch of 512 seeds at
-    // depth 3 saturates the L-hop closure. 32 seeds at depth 2 is the
-    // regime the subgraph engine targets at facility scale, where the CKG
-    // is orders of magnitude larger than one batch's neighborhood.
-    const PROFILE_BATCH: usize = 32;
+    // Profile at a small batch and depth 2 on the paper-scale worlds:
+    // receptive-field locality is a function of seeds-per-batch relative to
+    // graph size, and those worlds are tiny (a few thousand entities) with
+    // hub attribute nodes (shared sites/data types), so a paper-sized batch
+    // of 512 seeds at depth 3 saturates the L-hop closure. 32 seeds at
+    // depth 2 is the regime the subgraph engine targets at facility scale.
+    // The huge world IS facility scale, so it keeps its configured batch.
+    let profile_batch =
+        if opts.profile == Profile::Huge { opts.model_config().batch_size } else { 32 };
 
     let mut entries: Vec<String> = Vec::new();
     let mut totals: Vec<(&str, EpochProfile)> = Vec::new();
+    let mut losses: Vec<Vec<f32>> = Vec::new();
     for (mode, batch_local) in [("batch_local", true), ("full_graph", false)] {
         let mut cfg = opts.ckat_config();
         cfg.batch_local = batch_local;
-        cfg.base.batch_size = PROFILE_BATCH;
+        cfg.base.batch_size = profile_batch;
+        // No dropout: makes the two modes' RNG consumption and loss
+        // trajectories directly comparable (bitwise-equal by the autograd
+        // differential tests).
+        cfg.base.keep_prob = 1.0;
         let d = cfg.base.embed_dim;
         cfg.layer_dims = vec![d, d / 2];
         let mut model = Ckat::new(&ctx, &cfg);
         let mut rng = seeded_rng(opts.seed);
         let mut sum = EpochProfile::default();
-        for epoch in 1..=EPOCHS {
+        let mut mode_losses = Vec::with_capacity(epochs);
+        for epoch in 1..=epochs {
             let loss = model.train_epoch(&ctx, &mut rng);
             let mut p = model.take_epoch_profile().expect("CKAT records profiles");
             let clock = Instant::now();
@@ -90,19 +119,27 @@ fn main() {
             p.eval_ns = clock.elapsed().as_nanos() as u64;
             eprintln!(
                 "  {mode} epoch {epoch}: loss {loss:.4}, forward {:.1} ms, \
-                 backward {:.1} ms, rows {}/{}, edges {}/{}",
+                 backward {:.1} ms, optimizer {:.1} ms, extract {:.1} ms \
+                 (waited {:.1} ms), rows {}/{}, edges {}/{}",
                 p.forward_ns as f64 / 1e6,
                 p.backward_ns as f64 / 1e6,
+                p.optimizer_ns as f64 / 1e6,
+                p.extract_ns as f64 / 1e6,
+                p.extract_wait_ns as f64 / 1e6,
                 p.gathered_rows,
                 p.full_rows,
                 p.gathered_edges,
                 p.full_edges,
             );
             entries.push(run_entry(mode, epoch, loss, &p));
+            mode_losses.push(loss);
             sum.sampling_ns += p.sampling_ns;
             sum.attention_ns += p.attention_ns;
             sum.forward_ns += p.forward_ns;
             sum.backward_ns += p.backward_ns;
+            sum.optimizer_ns += p.optimizer_ns;
+            sum.extract_ns += p.extract_ns;
+            sum.extract_wait_ns += p.extract_wait_ns;
             sum.eval_ns += p.eval_ns;
             sum.forward_flops += p.forward_flops;
             sum.gathered_rows += p.gathered_rows;
@@ -112,11 +149,14 @@ fn main() {
             sum.batches += p.batches;
         }
         totals.push((mode, sum));
+        losses.push(mode_losses);
     }
 
     let local = totals[0].1;
     let full = totals[1].1;
-    let speedup = full.forward_ns as f64 / local.forward_ns.max(1) as f64;
+    let forward_speedup = full.forward_ns as f64 / local.forward_ns.max(1) as f64;
+    let backward_speedup = full.backward_ns as f64 / local.backward_ns.max(1) as f64;
+    let end_to_end_speedup = full.train_ns() as f64 / local.train_ns().max(1) as f64;
     let json = format!(
         concat!(
             "{{\n",
@@ -130,7 +170,10 @@ fn main() {
             "    \"batch_local_row_fraction\": {:.6},\n",
             "    \"batch_local_edge_fraction\": {:.6},\n",
             "    \"batch_local_flop_fraction\": {:.6},\n",
-            "    \"forward_speedup_vs_full\": {:.3}\n",
+            "    \"optimizer_ns\": {{\"batch_local\": {}, \"full_graph\": {}}},\n",
+            "    \"forward_speedup_vs_full\": {:.3},\n",
+            "    \"backward_speedup_vs_full\": {:.3},\n",
+            "    \"end_to_end_speedup_vs_full\": {:.3}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -138,21 +181,33 @@ fn main() {
         opts.seed,
         exp.ckg.n_entities(),
         exp.ckg.n_edges(),
-        EPOCHS,
+        epochs,
         entries.join(",\n"),
         local.row_fraction(),
         local.edge_fraction(),
         local.forward_flops as f64 / full.forward_flops.max(1) as f64,
-        speedup,
+        local.optimizer_ns,
+        full.optimizer_ns,
+        forward_speedup,
+        backward_speedup,
+        end_to_end_speedup,
     );
     std::fs::write("BENCH_ckat_epoch.json", &json).expect("write BENCH_ckat_epoch.json");
     println!(
-        "batch-local gathered {:.1}% of rows, {:.1}% of edges; forward speedup {speedup:.2}x \
-         -> BENCH_ckat_epoch.json",
+        "batch-local gathered {:.1}% of rows, {:.1}% of edges; speedups vs full: \
+         forward {forward_speedup:.2}x, backward {backward_speedup:.2}x, \
+         end-to-end {end_to_end_speedup:.2}x -> BENCH_ckat_epoch.json",
         100.0 * local.row_fraction(),
         100.0 * local.edge_fraction(),
     );
 
+    for (epoch, (l, f)) in losses[0].iter().zip(&losses[1]).enumerate() {
+        assert!(
+            (l - f).abs() <= LOSS_RTOL * l.abs().max(1.0),
+            "epoch {} loss diverged between modes: batch_local {l} vs full_graph {f}",
+            epoch + 1
+        );
+    }
     assert!(
         local.gathered_rows < local.full_rows,
         "batch-local mode must gather strictly fewer rows than the full graph \

@@ -13,7 +13,12 @@
 //! * `--paper` — the paper's hyperparameters (embedding 64, layer dims
 //!   `[64,32,16]`, batch 512) on the full-scale synthetic facilities.
 //!   This is the profile used for the numbers in `EXPERIMENTS.md`.
+//! * `--huge` — a single ~106k-entity stress facility for profiling the
+//!   sparse/lazy training path (see `FacilityConfig::huge`); not a paper
+//!   reproduction profile.
 //! * `--seed N` — change the simulation/training seed.
+//! * `--epochs N` — override the epoch count of binaries that honor it
+//!   (currently `epoch_profile`).
 //!
 //! The default profile sits between the two: full-scale facilities with
 //! medium embedding width, tuned so the whole table suite regenerates in
@@ -33,6 +38,9 @@ pub struct HarnessOpts {
     pub seed: u64,
     /// Top-K cutoff.
     pub k: usize,
+    /// Epoch-count override for binaries that honor it (`epoch_profile`);
+    /// `None` keeps each binary's default.
+    pub epochs: Option<usize>,
 }
 
 /// Harness profiles (see the crate docs).
@@ -44,17 +52,27 @@ pub enum Profile {
     Default,
     /// The paper's hyperparameters.
     Paper,
+    /// ~106k-entity stress world for the sparse training path.
+    Huge,
 }
 
 impl HarnessOpts {
     /// Parse `std::env::args`; unknown flags abort with usage help.
     pub fn from_args() -> Self {
-        let mut opts = Self { profile: Profile::Default, seed: 42, k: 20 };
+        let mut opts = Self { profile: Profile::Default, seed: 42, k: 20, epochs: None };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--fast" => opts.profile = Profile::Fast,
                 "--paper" => opts.profile = Profile::Paper,
+                "--huge" => opts.profile = Profile::Huge,
+                "--epochs" => {
+                    opts.epochs = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--epochs needs an integer")),
+                    );
+                }
                 "--seed" => {
                     opts.seed = args
                         .next()
@@ -74,13 +92,16 @@ impl HarnessOpts {
         opts
     }
 
-    /// The two facilities of the paper, scaled per profile.
+    /// The two facilities of the paper, scaled per profile. The `Huge`
+    /// profile is the exception: one oversized synthetic world, because it
+    /// exists to stress the training path, not to reproduce Table I.
     pub fn facilities(&self) -> Vec<(&'static str, FacilityConfig)> {
         match self.profile {
             Profile::Fast => vec![
                 ("OOI-like (scaled)", scale(FacilityConfig::ooi(), 4)),
                 ("GAGE-like (scaled)", scale(FacilityConfig::gage(), 8)),
             ],
+            Profile::Huge => vec![("huge-synthetic", FacilityConfig::huge())],
             _ => vec![("OOI-like", FacilityConfig::ooi()), ("GAGE-like", FacilityConfig::gage())],
         }
     }
@@ -107,6 +128,16 @@ impl HarnessOpts {
             Profile::Paper => ModelConfig {
                 embed_dim: 64,
                 batch_size: 512,
+                lr: 0.01,
+                l2: 1e-5,
+                keep_prob: 0.9,
+                seed: self.seed,
+            },
+            // Default-width embeddings over a 100k+-row entity matrix;
+            // batches are bigger so an epoch is fewer, heavier steps.
+            Profile::Huge => ModelConfig {
+                embed_dim: 32,
+                batch_size: 1024,
                 lr: 0.01,
                 l2: 1e-5,
                 keep_prob: 0.9,
@@ -162,6 +193,17 @@ impl HarnessOpts {
                 verbose: true,
                 ..TrainSettings::default()
             },
+            // The stress world is for profiling, not convergence: a couple
+            // of epochs, evaluation only at the end.
+            Profile::Huge => TrainSettings {
+                max_epochs: 2,
+                eval_every: 2,
+                patience: 0,
+                k: self.k,
+                seed: self.seed,
+                verbose: true,
+                ..TrainSettings::default()
+            },
         }
     }
 }
@@ -170,7 +212,7 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--fast | --paper] [--seed N] [--k N]");
+    eprintln!("usage: <bin> [--fast | --paper | --huge] [--seed N] [--k N] [--epochs N]");
     std::process::exit(if err.is_empty() { 0 } else { 2 })
 }
 
@@ -220,7 +262,7 @@ mod tests {
     #[test]
     fn profiles_produce_consistent_configs() {
         for profile in [Profile::Fast, Profile::Default, Profile::Paper] {
-            let opts = HarnessOpts { profile, seed: 1, k: 20 };
+            let opts = HarnessOpts { profile, seed: 1, k: 20, epochs: None };
             let mc = opts.model_config();
             let cc = opts.ckat_config();
             assert_eq!(cc.base.embed_dim, mc.embed_dim);
@@ -228,5 +270,17 @@ mod tests {
             assert_eq!(opts.facilities().len(), 2);
             assert!(opts.train_settings().max_epochs > 0);
         }
+    }
+
+    #[test]
+    fn huge_profile_is_single_oversized_world() {
+        let opts = HarnessOpts { profile: Profile::Huge, seed: 1, k: 20, epochs: None };
+        let facilities = opts.facilities();
+        assert_eq!(facilities.len(), 1);
+        let (_, config) = &facilities[0];
+        config.validate();
+        assert!(config.n_users + config.n_items > 100_000);
+        assert_eq!(opts.ckat_config().base.embed_dim, opts.model_config().embed_dim);
+        assert!(opts.train_settings().max_epochs > 0);
     }
 }

@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"FKCK"
-//! 4       1     format version (current: 1)
+//! 4       1     format version (current: 2)
 //! 5       4     CRC-32 (IEEE) of the payload, little-endian
 //! 9       8     payload length in bytes, little-endian
 //! 17      n     payload
@@ -28,7 +28,8 @@
 //! restore is bitwise exact. [`ModelState`] captures everything a model
 //! needs to resume training mid-run: every named parameter matrix of its
 //! [`ParamStore`] plus the full Adam state (learning rate, moment
-//! estimates, and per-slot step counts).
+//! estimates, per-slot step counts, and — since format v2 — the per-row
+//! step counters of lazily-updated embedding slots).
 
 use facility_autograd::{Adam, AdamState, ParamStore};
 use facility_linalg::Matrix;
@@ -40,7 +41,9 @@ use std::path::Path;
 pub const MAGIC: [u8; 4] = *b"FKCK";
 
 /// Current checkpoint format version. Readers reject anything else.
-pub const FORMAT_VERSION: u8 = 1;
+/// Version history: 1 — initial; 2 — per-row lazy-Adam step counters
+/// appended to each optimizer slot.
+pub const FORMAT_VERSION: u8 = 2;
 
 const HEADER_LEN: usize = 4 + 1 + 4 + 8;
 
@@ -240,6 +243,12 @@ impl<'a> Reader<'a> {
         self.pos == self.buf.len()
     }
 
+    /// True when at least `n` more bytes remain (pre-validate a length
+    /// field before allocating for it).
+    pub fn fits(&self, n: usize) -> bool {
+        self.pos.saturating_add(n) <= self.buf.len()
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8], CkptError> {
         if self.pos + n > self.buf.len() {
             return Err(CkptError::Format(format!(
@@ -406,6 +415,17 @@ impl ModelState {
                 _ => w.put_u8(0),
             }
             w.put_u64(a.t[i]);
+            // Format v2: per-row step counters for lazily-updated slots.
+            match a.row_t.get(i).and_then(|r| r.as_ref()) {
+                Some(rows) => {
+                    w.put_u8(1);
+                    w.put_u64(rows.len() as u64);
+                    for &rt in rows {
+                        w.put_u64(rt);
+                    }
+                }
+                None => w.put_u8(0),
+            }
         }
     }
 
@@ -427,6 +447,7 @@ impl ModelState {
         let mut m = Vec::with_capacity(n_slots);
         let mut v = Vec::with_capacity(n_slots);
         let mut t = Vec::with_capacity(n_slots);
+        let mut row_t = Vec::with_capacity(n_slots);
         for _ in 0..n_slots {
             if r.get_u8()? == 1 {
                 m.push(Some(r.get_matrix()?));
@@ -436,8 +457,23 @@ impl ModelState {
                 v.push(None);
             }
             t.push(r.get_u64()?);
+            if r.get_u8()? == 1 {
+                let n_rows = r.get_u64()? as usize;
+                if !r.fits(n_rows.saturating_mul(8)) {
+                    return Err(CkptError::Format(format!(
+                        "row-counter list of {n_rows} entries does not fit the remaining payload"
+                    )));
+                }
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    rows.push(r.get_u64()?);
+                }
+                row_t.push(Some(rows));
+            } else {
+                row_t.push(None);
+            }
         }
-        Ok(Self { params, adam: AdamState { lr, beta1, beta2, eps, clip, m, v, t } })
+        Ok(Self { params, adam: AdamState { lr, beta1, beta2, eps, clip, m, v, t, row_t } })
     }
 }
 
@@ -569,6 +605,55 @@ mod tests {
             s2.m[0].as_ref().unwrap().as_slice(),
             adam.export_state().m[0].as_ref().unwrap().as_slice()
         );
+    }
+
+    #[test]
+    fn lazy_adam_row_counters_roundtrip_and_resume_bitwise() {
+        use facility_autograd::{Grad, SparseRowGrad};
+        // Drive a parameter with sparse gradients so row counters diverge.
+        let mut store = ParamStore::new();
+        let w = store.add("emb", Matrix::from_vec(4, 2, vec![1., 2., 3., 4., 5., 6., 7., 8.]));
+        let mut adam = Adam::default_for(&store, 0.05);
+        for step in 0..6usize {
+            let rows = vec![step % 4, (step + 1) % 4];
+            let sg = SparseRowGrad {
+                n_rows: 4,
+                rows,
+                values: Matrix::from_vec(2, 2, vec![0.1, -0.2, 0.3, 0.05]),
+            };
+            store.apply(&mut adam, &[(w, Grad::Sparse(sg))]);
+        }
+        let state = ModelState::capture(&store, &adam);
+        assert!(
+            state.adam.row_t.iter().any(|r| r.is_some()),
+            "sparse steps must produce per-row counters"
+        );
+        let mut wtr = Writer::new();
+        state.encode(&mut wtr);
+        let bytes = wtr.into_bytes();
+        let back = ModelState::decode(&mut Reader::new(&bytes)).unwrap();
+        for (a, b) in state.adam.row_t.iter().zip(&back.adam.row_t) {
+            assert_eq!(a, b, "row counters round-trip exactly");
+        }
+
+        // Resume both the original and the restored copy with the same
+        // sparse step; the values must stay bitwise identical.
+        let mut store2 = ParamStore::new();
+        let w2 = store2.add("emb", Matrix::zeros(4, 2));
+        let mut adam2 = Adam::default_for(&store2, 0.001);
+        back.restore(&mut store2, &mut adam2).unwrap();
+        let resume = SparseRowGrad {
+            n_rows: 4,
+            rows: vec![0, 3],
+            values: Matrix::from_vec(2, 2, vec![-0.4, 0.4, 0.2, -0.2]),
+        };
+        store.apply(&mut adam, &[(w, Grad::Sparse(resume.clone()))]);
+        store2.apply(&mut adam2, &[(w2, Grad::Sparse(resume))]);
+        store.sync_all(&mut adam, w);
+        store2.sync_all(&mut adam2, w2);
+        for (a, b) in store.value(w).as_slice().iter().zip(store2.value(w2).as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resumed run must be bitwise identical");
+        }
     }
 
     #[test]

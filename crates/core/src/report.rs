@@ -75,7 +75,10 @@ pub fn run_summary_row(report: &facility_eval::TrainReport) -> String {
             sampling += p.sampling_ns;
             attention += p.attention_ns;
             forward += p.forward_ns;
-            backward += p.backward_ns;
+            // The ledger's backward column predates the backward/optimizer
+            // split and keeps meaning "everything after the forward pass";
+            // prefetch wait rides along for the same reason.
+            backward += p.backward_ns + p.optimizer_ns + p.extract_wait_ns;
             eval += p.eval_ns;
         }
     }

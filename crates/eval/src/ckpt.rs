@@ -68,6 +68,9 @@ fn put_profile(w: &mut Writer, p: &EpochProfile) {
         p.attention_ns,
         p.forward_ns,
         p.backward_ns,
+        p.optimizer_ns,
+        p.extract_ns,
+        p.extract_wait_ns,
         p.eval_ns,
         p.forward_flops,
         p.gathered_rows,
@@ -86,6 +89,9 @@ fn get_profile(r: &mut Reader<'_>) -> Result<EpochProfile, CkptError> {
         attention_ns: r.get_u64()?,
         forward_ns: r.get_u64()?,
         backward_ns: r.get_u64()?,
+        optimizer_ns: r.get_u64()?,
+        extract_ns: r.get_u64()?,
+        extract_wait_ns: r.get_u64()?,
         eval_ns: r.get_u64()?,
         forward_flops: r.get_u64()?,
         gathered_rows: r.get_u64()?,

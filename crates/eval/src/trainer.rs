@@ -385,6 +385,18 @@ fn run_loop(
 
         if settings.ckpt_every > 0 && epoch.is_multiple_of(settings.ckpt_every) {
             if let Some(dir) = settings.ckpt_dir.as_ref() {
+                // The per-epoch divergence guard above is incremental (it
+                // scans only rows the optimizer touched), so a checkpoint
+                // about to be persisted gets one absolute full scan — a
+                // poisoned snapshot on disk would outlive every in-memory
+                // rollback target.
+                if !last_good.all_finite() {
+                    return Err(CkptError::Mismatch(format!(
+                        "refusing to checkpoint non-finite state for {} at epoch {epoch}",
+                        model.name()
+                    ))
+                    .into());
+                }
                 let ck = TrainCheckpoint {
                     model_name: model.name(),
                     seed: settings.seed,

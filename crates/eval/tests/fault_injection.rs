@@ -125,7 +125,7 @@ impl Recommender for Injector {
         self.inner.scale_lr(factor)
     }
 
-    fn params_finite(&self) -> bool {
+    fn params_finite(&mut self) -> bool {
         !self.params_poisoned && self.inner.params_finite()
     }
 }

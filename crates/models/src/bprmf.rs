@@ -3,16 +3,20 @@
 //!
 //! Score: `ŷ(u, v) = e_uᵀ e_v` over free user/item embeddings; trained
 //! with the BPR pairwise loss and L2 regularization on the embeddings
-//! touched by each batch.
+//! touched by each batch. The embedding matrices enter each tape as
+//! gather leaves over the batch's unique user/item ids, so gradients are
+//! row-sparse and lazy Adam updates only those rows
+//! ([`facility_autograd::SparseRowGrad`]).
 
-use crate::common::{dot_scores, ModelConfig, TrainContext};
+use crate::common::{dot_scores, union_locals, ModelConfig, TrainContext};
 use crate::Recommender;
-use facility_autograd::{Adam, ParamId, ParamStore, Tape};
+use facility_autograd::{Adam, Grad, ParamId, ParamStore, Tape};
 use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::sample_bpr_batch;
 use facility_kg::Id;
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// The BPRMF model.
 pub struct Bprmf {
@@ -62,13 +66,19 @@ impl Recommender for Bprmf {
             let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
             let pos: Vec<usize> = batch.iter().map(|s| s.pos as usize).collect();
             let neg: Vec<usize> = batch.iter().map(|s| s.neg as usize).collect();
+            // One gather leaf per embedding matrix over the batch's unique
+            // row ids; the loss indexes the gathered rows by local id.
+            let (uniq_users, user_locals) = union_locals(&[&users]);
+            let (uniq_items, item_locals) = union_locals(&[&pos, &neg]);
+            self.store.sync_rows(&mut self.adam, self.user_emb, &uniq_users);
+            self.store.sync_rows(&mut self.adam, self.item_emb, &uniq_items);
 
             let mut t = Tape::new();
-            let uemb = t.leaf(self.store.value(self.user_emb).clone());
-            let vemb = t.leaf(self.store.value(self.item_emb).clone());
-            let u = t.gather_rows(uemb, &users);
-            let i = t.gather_rows(vemb, &pos);
-            let j = t.gather_rows(vemb, &neg);
+            let uemb = t.gather_leaf(self.store.value(self.user_emb), Arc::new(uniq_users));
+            let vemb = t.gather_leaf(self.store.value(self.item_emb), Arc::new(uniq_items));
+            let u = t.gather_rows(uemb, &user_locals[0]);
+            let i = t.gather_rows(vemb, &item_locals[0]);
+            let j = t.gather_rows(vemb, &item_locals[1]);
             let y_pos = t.rowwise_dot(u, i);
             let y_neg = t.rowwise_dot(u, j);
             let diff = t.sub(y_pos, y_neg);
@@ -85,12 +95,16 @@ impl Recommender for Bprmf {
             let loss = t.add(bpr, reg);
             total += t.value(loss)[(0, 0)];
             t.backward(loss);
-            let grads: Vec<_> = [(self.user_emb, uemb), (self.item_emb, vemb)]
+            let grads: Vec<(ParamId, Grad)> = [(self.user_emb, uemb), (self.item_emb, vemb)]
                 .into_iter()
-                .filter_map(|(p, v)| t.take_grad(v).map(|g| (p, g)))
+                .filter_map(|(p, v)| t.take_sparse_grad(v).map(|g| (p, Grad::Sparse(g))))
                 .collect();
             self.store.apply(&mut self.adam, &grads);
         }
+        // Catch every deferred row up before eval/checkpointing reads the
+        // matrices directly.
+        self.store.sync_all(&mut self.adam, self.user_emb);
+        self.store.sync_all(&mut self.adam, self.item_emb);
         self.cached_users = None;
         self.cached_items = None;
         total / n_batches as f32
@@ -128,8 +142,8 @@ impl Recommender for Bprmf {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 }
 

@@ -5,15 +5,21 @@
 //! together — with TransE: every triple `(h, r, t)`, including the
 //! `(user, Interact, item)` triples, should satisfy `e_h + e_r ≈ e_t`.
 //! Recommendation scores rank items by `−‖e_u + e_interact − e_v‖²`.
+//!
+//! The entity matrix enters each tape as a gather leaf over the batch's
+//! head/tail/corrupt-tail union, so its gradient is row-sparse and lazy
+//! Adam steps only the touched rows; the (small) relation table stays a
+//! dense leaf.
 
-use crate::common::{ModelConfig, TrainContext};
+use crate::common::{union_locals, ModelConfig, TrainContext};
 use crate::Recommender;
-use facility_autograd::{Adam, ParamId, ParamStore, Tape};
+use facility_autograd::{Adam, Grad, ParamId, ParamStore, Tape};
 use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::sample_kg_batch;
 use facility_kg::Id;
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
+use std::sync::Arc;
 
 /// The CFKG model.
 pub struct Cfkg {
@@ -77,14 +83,18 @@ impl Recommender for Cfkg {
             let rels: Vec<usize> = batch.iter().map(|s| s.rel as usize).collect();
             let tails: Vec<usize> = batch.iter().map(|s| s.tail as usize).collect();
             let negs: Vec<usize> = batch.iter().map(|s| s.neg_tail as usize).collect();
+            // One gather leaf over the entity union; the three loss
+            // gathers index the union rows by local id.
+            let (union, locals) = union_locals(&[&heads, &tails, &negs]);
+            self.store.sync_rows(&mut self.adam, self.ent_emb, &union);
 
             let mut t = Tape::new();
-            let eemb = t.leaf(self.store.value(self.ent_emb).clone());
+            let eemb = t.gather_leaf(self.store.value(self.ent_emb), Arc::new(union));
             let remb = t.leaf(self.store.value(self.rel_emb).clone());
-            let h = t.gather_rows(eemb, &heads);
+            let h = t.gather_rows(eemb, &locals[0]);
             let r = t.gather_rows(remb, &rels);
-            let tl = t.gather_rows(eemb, &tails);
-            let ng = t.gather_rows(eemb, &negs);
+            let tl = t.gather_rows(eemb, &locals[1]);
+            let ng = t.gather_rows(eemb, &locals[2]);
             let hr = t.add(h, r);
             let pos_diff = t.sub(hr, tl);
             let neg_diff = t.sub(hr, ng);
@@ -102,12 +112,18 @@ impl Recommender for Cfkg {
             let loss = t.add(main, reg);
             total += t.value(loss)[(0, 0)];
             t.backward(loss);
-            let grads: Vec<_> = [(self.ent_emb, eemb), (self.rel_emb, remb)]
-                .into_iter()
-                .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
-                .collect();
+            let mut grads: Vec<(ParamId, Grad)> = Vec::new();
+            if let Some(g) = t.take_sparse_grad(eemb) {
+                grads.push((self.ent_emb, Grad::Sparse(g)));
+            }
+            if let Some(g) = t.take_grad(remb) {
+                grads.push((self.rel_emb, Grad::Dense(g)));
+            }
             self.store.apply(&mut self.adam, &grads);
         }
+        // Catch every deferred entity row up before eval/checkpointing
+        // reads the matrix directly.
+        self.store.sync_all(&mut self.adam, self.ent_emb);
         self.cached_query = None;
         self.cached_items = None;
         total / n_batches as f32
@@ -159,8 +175,8 @@ impl Recommender for Cfkg {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 }
 

@@ -22,7 +22,7 @@
 //! propagation stack. The "w/o Att" ablation of Table IV replaces the
 //! attention with uniform `1/|N_h|` weights.
 //!
-//! ## Batch-local subgraph propagation
+//! ## Batch-local subgraph propagation, sparse gradients, and prefetch
 //!
 //! Training only ever reads the final representations of the batch's
 //! users/items, whose `L`-layer receptive field is the batch seeds' L-hop
@@ -31,26 +31,44 @@
 //! receptive field as a compact remapped CSR subgraph
 //! ([`facility_kg::SubgraphScratch`]) and runs the propagation stack over
 //! it, so every intermediate activation and its gradient are
-//! O(subgraph) instead of O(graph). Because the subgraph preserves the
-//! global CSR accumulation order (interior nodes sorted by global id, full
-//! edge slices copied verbatim), the batch-local forward/backward is
-//! **bitwise identical** to full-graph propagation on every row that
-//! reaches the loss; the dense entity gradient produced by the initial
-//! row-gather keeps Adam's moment updates exactly equivalent too.
+//! O(subgraph) instead of O(graph). Three further optimizations ride on
+//! that structure:
+//!
+//! * **Sparse embedding gradients** — the entity matrix enters the tape
+//!   as a [`Tape::gather_leaf`] over exactly the subgraph rows, so
+//!   backward produces a row-sparse gradient
+//!   ([`facility_autograd::SparseRowGrad`]) and never materializes an
+//!   `n_entities × d` buffer. The TransR phase does the same over the
+//!   KG batch's head/tail/corrupt-tail union.
+//! * **Lazy Adam** — sparse gradients step only the touched rows;
+//!   untouched rows defer their zero-gradient moment decay until the next
+//!   time they are read ([`ParamStore::sync_rows`] /
+//!   [`ParamStore::sync_all`]), which replays the skipped steps exactly.
+//! * **Double-buffered extraction** — a scoped worker thread extracts
+//!   batch `b+1`'s receptive field while the main thread trains batch
+//!   `b`, handing subgraphs over a bounded channel; all mini-batches are
+//!   drawn up front (in the same RNG order as inline sampling) so the
+//!   worker knows every seed set.
+//!
+//! Because the subgraph preserves the global CSR accumulation order
+//! (interior nodes sorted by global id, full edge slices copied
+//! verbatim), and lazy Adam's catch-up replays the exact per-step update
+//! recurrence, the batch-local path remains **bitwise identical** to
+//! full-graph propagation with dense Adam whenever dropout is off.
 //! Full-graph propagation remains the evaluation path and the
 //! differential-test oracle (`tests/batch_local_diff.rs`).
 
-use crate::common::{dot_scores, ModelConfig, TrainContext};
+use crate::common::{dot_scores, union_locals, ModelConfig, TrainContext};
 use crate::profile::EpochProfile;
 use crate::transr;
 use crate::Recommender;
-use facility_autograd::{Adam, ParamId, ParamStore, Tape, Var};
+use facility_autograd::{Adam, Grad, ParamId, ParamStore, Tape, Var};
 use facility_ckpt::{CkptError, ModelState};
-use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch};
-use facility_kg::{Id, SubgraphScratch};
+use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch, BprSample, KgSample};
+use facility_kg::{BatchSubgraph, Id, SubgraphScratch};
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
 /// Neighborhood aggregation variants (Table IV).
@@ -282,7 +300,8 @@ impl Ckat {
     ) -> Var {
         assert!(!self.att.is_empty(), "attention not refreshed");
         let att = t.constant(Matrix::from_vec(self.att.len(), 1, self.att.clone()));
-        self.propagate_over(
+        propagate_over(
+            &self.config,
             t,
             ent,
             att,
@@ -293,75 +312,6 @@ impl Ckat {
             layer_b,
             dropout_rng,
         )
-    }
-
-    /// The propagation stack over an arbitrary CSR edge view: `h0` holds
-    /// one embedding row per node, `tails`/`heads` are gather indices and
-    /// segment ids into those rows, and `att` is the matching `(E, 1)`
-    /// per-edge weight column. Used with the full CKG by
-    /// [`Ckat::propagate`] and with a batch receptive field by
-    /// [`Ckat::train_epoch`] — both views emit the exact same tape op
-    /// sequence, which is what makes them differentially comparable.
-    #[allow(clippy::too_many_arguments)]
-    fn propagate_over(
-        &self,
-        t: &mut Tape,
-        h0: Var,
-        att: Var,
-        tails: Arc<Vec<usize>>,
-        heads: Arc<Vec<usize>>,
-        n_segments: usize,
-        layer_w: &[Var],
-        layer_b: &[Var],
-        mut dropout_rng: Option<&mut StdRng>,
-    ) -> Var {
-        let mut h = h0;
-        let mut all = h0;
-        for l in 0..self.config.layer_dims.len() {
-            let et = t.gather_rows_arc(h, Arc::clone(&tails));
-            let msg = t.mul_broadcast_col(et, att);
-            let e_n = t.segment_sum(msg, Arc::clone(&heads), n_segments);
-            let mixed = match self.config.aggregator {
-                Aggregator::Concat => t.concat_cols(h, e_n),
-                Aggregator::Sum => t.add(h, e_n),
-            };
-            let z = t.matmul(mixed, layer_w[l]);
-            let zb = t.add_broadcast_row(z, layer_b[l]);
-            let activated = t.leaky_relu(zb);
-            let dropped = match dropout_rng.as_deref_mut() {
-                Some(r) if self.config.base.keep_prob < 1.0 => {
-                    t.dropout(activated, self.config.base.keep_prob, r)
-                }
-                _ => activated,
-            };
-            // KGAT l2-normalizes each layer's output so no single order of
-            // connectivity dominates the concatenated representation.
-            h = t.normalize_rows(dropped);
-            all = t.concat_cols(all, h);
-        }
-        all
-    }
-
-    /// Closed-form FLOP estimate for one propagation forward pass over
-    /// `rows` node rows and `edges` messages.
-    fn propagation_flops(&self, rows: u64, edges: u64) -> u64 {
-        let mut flops = 0u64;
-        let mut in_dim = self.config.base.embed_dim as u64;
-        for &out_dim in &self.config.layer_dims {
-            let out = out_dim as u64;
-            let w_rows = match self.config.aggregator {
-                Aggregator::Concat => 2 * in_dim,
-                Aggregator::Sum => in_dim,
-            };
-            // Attention scaling plus segment-sum accumulation per message.
-            flops += 2 * edges * in_dim;
-            // Dense layer matmul plus bias.
-            flops += rows * (2 * w_rows + 1) * out;
-            // LeakyReLU and row normalization.
-            flops += 4 * rows * out;
-            in_dim = out;
-        }
-        flops
     }
 
     /// Forward-only final representations of **all** entities (users,
@@ -399,6 +349,401 @@ impl Ckat {
         let all = self.propagate(&mut t, ent, &lw, &lb, None);
         t.value(all).clone()
     }
+
+    /// Full-graph training arm: dense leaves, dense gradients, dense Adam
+    /// steps. Deliberately untouched by the sparse/lazy machinery — it is
+    /// the differential oracle the batch-local path is tested against.
+    fn run_batches_full(
+        &mut self,
+        ctx: &TrainContext<'_>,
+        batches: &[(Vec<BprSample>, Vec<KgSample>)],
+        rng: &mut StdRng,
+        prof: &mut EpochProfile,
+    ) -> f32 {
+        let d = self.config.base.embed_dim;
+        let full_edges = ctx.ckg.n_edges() as u64;
+        let mut total = 0.0;
+        for (batch, kg_batch) in batches {
+            prof.batches += 1;
+            prof.full_rows += self.n_entities as u64;
+            prof.full_edges += full_edges;
+            prof.gathered_rows += self.n_entities as u64;
+            prof.gathered_edges += full_edges;
+            prof.forward_flops +=
+                propagation_flops(&self.config, self.n_entities as u64, full_edges);
+            let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
+            let pos: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
+            let neg: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
+
+            let clock = Instant::now();
+            let mut t = Tape::new();
+            let ent = t.leaf(self.store.value(self.ent_emb).clone());
+            let lw: Vec<Var> =
+                self.layer_w.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
+            let lb: Vec<Var> =
+                self.layer_b.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
+            let all = self.propagate(&mut t, ent, &lw, &lb, Some(rng));
+            let u = t.gather_rows(all, &users);
+            let i = t.gather_rows(all, &pos);
+            let j = t.gather_rows(all, &neg);
+            let loss = bpr_head(&mut t, u, i, j, batch.len(), self.config.base.l2);
+            total += t.value(loss)[(0, 0)];
+            prof.forward_ns += clock.elapsed().as_nanos() as u64;
+            let clock = Instant::now();
+            t.backward(loss);
+            let mut grads: Vec<(ParamId, Grad)> = Vec::new();
+            if let Some(g) = t.take_grad(ent) {
+                grads.push((self.ent_emb, Grad::Dense(g)));
+            }
+            for (&p, &var) in self.layer_w.iter().zip(&lw) {
+                if let Some(g) = t.take_grad(var) {
+                    grads.push((p, Grad::Dense(g)));
+                }
+            }
+            for (&p, &var) in self.layer_b.iter().zip(&lb) {
+                if let Some(g) = t.take_grad(var) {
+                    grads.push((p, Grad::Dense(g)));
+                }
+            }
+            prof.backward_ns += clock.elapsed().as_nanos() as u64;
+            let clock = Instant::now();
+            self.store.apply(&mut self.adam, &grads);
+            prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+
+            // --- TransR phase (L₁, Eq. 2) ---
+            if !kg_batch.is_empty() {
+                let clock = Instant::now();
+                let mut t = Tape::new();
+                let ent = t.leaf(self.store.value(self.ent_emb).clone());
+                let remb = t.leaf(self.store.value(self.rel_emb).clone());
+                let rproj = t.leaf(self.store.value(self.rel_proj).clone());
+                let loss = transr::margin_loss(
+                    &mut t,
+                    ent,
+                    remb,
+                    rproj,
+                    d,
+                    self.n_rel,
+                    kg_batch,
+                    self.config.margin,
+                );
+                total += t.value(loss)[(0, 0)];
+                prof.forward_ns += clock.elapsed().as_nanos() as u64;
+                let clock = Instant::now();
+                t.backward(loss);
+                let grads: Vec<(ParamId, Grad)> =
+                    [(self.ent_emb, ent), (self.rel_emb, remb), (self.rel_proj, rproj)]
+                        .into_iter()
+                        .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, Grad::Dense(g))))
+                        .collect();
+                prof.backward_ns += clock.elapsed().as_nanos() as u64;
+                let clock = Instant::now();
+                self.store.apply(&mut self.adam, &grads);
+                prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+            }
+        }
+        total
+    }
+
+    /// Batch-local training arm — the sparse/lazy fast path:
+    ///
+    /// * a scoped worker thread extracts batch `b+1`'s receptive field
+    ///   while the main thread trains batch `b` (double buffering over a
+    ///   bounded rendezvous channel),
+    /// * the entity matrix enters each tape as a gather leaf over exactly
+    ///   the rows the batch reads, so backward yields a row-sparse
+    ///   gradient and lazy Adam steps only those rows,
+    /// * [`ParamStore::sync_rows`] catches every row up before a tape
+    ///   snapshots it, and [`ParamStore::sync_all`] squares the whole
+    ///   matrix off at epoch end — keeping the result bitwise identical
+    ///   to [`Ckat::run_batches_full`] whenever dropout is off.
+    fn run_batches_local(
+        &mut self,
+        ctx: &TrainContext<'_>,
+        batches: &[(Vec<BprSample>, Vec<KgSample>)],
+        rng: &mut StdRng,
+        prof: &mut EpochProfile,
+    ) -> f32 {
+        let Ckat {
+            store,
+            adam,
+            ent_emb,
+            rel_emb,
+            rel_proj,
+            layer_w,
+            layer_b,
+            config,
+            n_entities,
+            n_rel,
+            att,
+            scratch,
+            ..
+        } = self;
+        let (ent_emb, rel_emb, rel_proj) = (*ent_emb, *rel_emb, *rel_proj);
+        let (n_entities, n_rel) = (*n_entities, *n_rel);
+        let config: &CkatConfig = config;
+        let att: &[f32] = att;
+        let d = config.base.embed_dim;
+        let depth = config.depth();
+        let ckg = ctx.ckg;
+        let full_edges = ckg.n_edges() as u64;
+
+        // Seed sets for the extraction worker: users ++ pos ++ neg, so
+        // `seed_locals` splits into thirds on the training side.
+        let seed_sets: Vec<Vec<usize>> = batches
+            .iter()
+            .map(|(bpr, _)| {
+                let mut s = Vec::with_capacity(3 * bpr.len());
+                s.extend(bpr.iter().map(|x| x.user as usize));
+                s.extend(bpr.iter().map(|x| ckg.item_entity(x.pos)));
+                s.extend(bpr.iter().map(|x| ckg.item_entity(x.neg)));
+                s
+            })
+            .collect();
+
+        let mut total = 0.0;
+        std::thread::scope(|sc| {
+            // Capacity 1 = classic double buffering: the worker stays at
+            // most one extraction ahead of the trainer, bounding memory to
+            // two subgraphs.
+            let (tx, rx) = mpsc::sync_channel::<(BatchSubgraph, Vec<f32>, u64)>(1);
+            sc.spawn(move || {
+                for seeds in &seed_sets {
+                    let clock = Instant::now();
+                    let sub = scratch.extract(ckg, seeds, depth);
+                    let att_vals: Vec<f32> = sub.edge_ids.iter().map(|&k| att[k]).collect();
+                    let ns = clock.elapsed().as_nanos() as u64;
+                    if tx.send((sub, att_vals, ns)).is_err() {
+                        return; // trainer bailed out early
+                    }
+                }
+            });
+            for (batch, kg_batch) in batches {
+                let b = batch.len();
+                prof.batches += 1;
+                prof.full_rows += n_entities as u64;
+                prof.full_edges += full_edges;
+
+                let clock = Instant::now();
+                let (sub, att_vals, extract_ns) =
+                    rx.recv().expect("extraction worker terminated early");
+                prof.extract_wait_ns += clock.elapsed().as_nanos() as u64;
+                prof.extract_ns += extract_ns;
+                let n_sub = sub.n_nodes();
+                let n_sub_edges = sub.n_edges();
+                prof.gathered_rows += n_sub as u64;
+                prof.gathered_edges += n_sub_edges as u64;
+                prof.forward_flops += propagation_flops(config, n_sub as u64, n_sub_edges as u64);
+
+                // Catch the subgraph's rows up to Adam's step count before
+                // the tape snapshots them.
+                let clock = Instant::now();
+                store.sync_rows(adam, ent_emb, &sub.nodes);
+                prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+
+                let clock = Instant::now();
+                let mut t = Tape::new();
+                let lw: Vec<Var> =
+                    layer_w.iter().map(|&p| t.leaf(store.value(p).clone())).collect();
+                let lb: Vec<Var> =
+                    layer_b.iter().map(|&p| t.leaf(store.value(p).clone())).collect();
+                let BatchSubgraph { nodes, seed_locals, tails, heads, .. } = sub;
+                let att_col = t.constant(Matrix::from_vec(n_sub_edges, 1, att_vals));
+                let ent_sub = t.gather_leaf(store.value(ent_emb), Arc::new(nodes));
+                let all = propagate_over(
+                    config,
+                    &mut t,
+                    ent_sub,
+                    att_col,
+                    Arc::new(tails),
+                    Arc::new(heads),
+                    n_sub,
+                    &lw,
+                    &lb,
+                    Some(rng),
+                );
+                let u = t.gather_rows(all, &seed_locals[..b]);
+                let i = t.gather_rows(all, &seed_locals[b..2 * b]);
+                let j = t.gather_rows(all, &seed_locals[2 * b..]);
+                let loss = bpr_head(&mut t, u, i, j, b, config.base.l2);
+                total += t.value(loss)[(0, 0)];
+                prof.forward_ns += clock.elapsed().as_nanos() as u64;
+
+                let clock = Instant::now();
+                t.backward(loss);
+                let mut grads: Vec<(ParamId, Grad)> = Vec::new();
+                if let Some(g) = t.take_sparse_grad(ent_sub) {
+                    grads.push((ent_emb, Grad::Sparse(g)));
+                }
+                for (&p, &var) in layer_w.iter().zip(&lw) {
+                    if let Some(g) = t.take_grad(var) {
+                        grads.push((p, Grad::Dense(g)));
+                    }
+                }
+                for (&p, &var) in layer_b.iter().zip(&lb) {
+                    if let Some(g) = t.take_grad(var) {
+                        grads.push((p, Grad::Dense(g)));
+                    }
+                }
+                prof.backward_ns += clock.elapsed().as_nanos() as u64;
+                let clock = Instant::now();
+                store.apply(adam, &grads);
+                prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+
+                // --- TransR phase (L₁, Eq. 2), sparse over the batch's
+                // head/tail/corrupt-tail entity union ---
+                if !kg_batch.is_empty() {
+                    let heads_g: Vec<usize> = kg_batch.iter().map(|s| s.head as usize).collect();
+                    let tails_g: Vec<usize> = kg_batch.iter().map(|s| s.tail as usize).collect();
+                    let negs_g: Vec<usize> = kg_batch.iter().map(|s| s.neg_tail as usize).collect();
+                    let (union, locals) = union_locals(&[&heads_g, &tails_g, &negs_g]);
+                    let local_kg: Vec<KgSample> = kg_batch
+                        .iter()
+                        .enumerate()
+                        .map(|(n, s)| KgSample {
+                            head: locals[0][n] as Id,
+                            rel: s.rel,
+                            tail: locals[1][n] as Id,
+                            neg_tail: locals[2][n] as Id,
+                        })
+                        .collect();
+                    let clock = Instant::now();
+                    store.sync_rows(adam, ent_emb, &union);
+                    prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+
+                    let clock = Instant::now();
+                    let mut t = Tape::new();
+                    let ent_u = t.gather_leaf(store.value(ent_emb), Arc::new(union));
+                    let remb = t.leaf(store.value(rel_emb).clone());
+                    let rproj = t.leaf(store.value(rel_proj).clone());
+                    let loss = transr::margin_loss(
+                        &mut t,
+                        ent_u,
+                        remb,
+                        rproj,
+                        d,
+                        n_rel,
+                        &local_kg,
+                        config.margin,
+                    );
+                    total += t.value(loss)[(0, 0)];
+                    prof.forward_ns += clock.elapsed().as_nanos() as u64;
+                    let clock = Instant::now();
+                    t.backward(loss);
+                    let mut grads: Vec<(ParamId, Grad)> = Vec::new();
+                    if let Some(g) = t.take_sparse_grad(ent_u) {
+                        grads.push((ent_emb, Grad::Sparse(g)));
+                    }
+                    for (p, var) in [(rel_emb, remb), (rel_proj, rproj)] {
+                        if let Some(g) = t.take_grad(var) {
+                            grads.push((p, Grad::Dense(g)));
+                        }
+                    }
+                    prof.backward_ns += clock.elapsed().as_nanos() as u64;
+                    let clock = Instant::now();
+                    store.apply(adam, &grads);
+                    prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+                }
+            }
+        });
+        // Square every deferred row off before anything outside the loop
+        // (attention refresh, eval, checkpointing, cross-mode comparison)
+        // reads the matrix.
+        let clock = Instant::now();
+        store.sync_all(adam, ent_emb);
+        prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+        total
+    }
+}
+
+/// The propagation stack over an arbitrary CSR edge view: `h0` holds
+/// one embedding row per node, `tails`/`heads` are gather indices and
+/// segment ids into those rows, and `att` is the matching `(E, 1)`
+/// per-edge weight column. Used with the full CKG by [`Ckat::propagate`]
+/// and with a batch receptive field by [`Ckat::train_epoch`] — both views
+/// emit the exact same tape op sequence, which is what makes them
+/// differentially comparable. A free function (not a method) so the
+/// training loop can run it while a worker thread holds the model's
+/// extraction scratch.
+#[allow(clippy::too_many_arguments)]
+fn propagate_over(
+    config: &CkatConfig,
+    t: &mut Tape,
+    h0: Var,
+    att: Var,
+    tails: Arc<Vec<usize>>,
+    heads: Arc<Vec<usize>>,
+    n_segments: usize,
+    layer_w: &[Var],
+    layer_b: &[Var],
+    mut dropout_rng: Option<&mut StdRng>,
+) -> Var {
+    let mut h = h0;
+    let mut all = h0;
+    for l in 0..config.layer_dims.len() {
+        let et = t.gather_rows_arc(h, Arc::clone(&tails));
+        let msg = t.mul_broadcast_col(et, att);
+        let e_n = t.segment_sum(msg, Arc::clone(&heads), n_segments);
+        let mixed = match config.aggregator {
+            Aggregator::Concat => t.concat_cols(h, e_n),
+            Aggregator::Sum => t.add(h, e_n),
+        };
+        let z = t.matmul(mixed, layer_w[l]);
+        let zb = t.add_broadcast_row(z, layer_b[l]);
+        let activated = t.leaky_relu(zb);
+        let dropped = match dropout_rng.as_deref_mut() {
+            Some(r) if config.base.keep_prob < 1.0 => {
+                t.dropout(activated, config.base.keep_prob, r)
+            }
+            _ => activated,
+        };
+        // KGAT l2-normalizes each layer's output so no single order of
+        // connectivity dominates the concatenated representation.
+        h = t.normalize_rows(dropped);
+        all = t.concat_cols(all, h);
+    }
+    all
+}
+
+/// Closed-form FLOP estimate for one propagation forward pass over
+/// `rows` node rows and `edges` messages.
+fn propagation_flops(config: &CkatConfig, rows: u64, edges: u64) -> u64 {
+    let mut flops = 0u64;
+    let mut in_dim = config.base.embed_dim as u64;
+    for &out_dim in &config.layer_dims {
+        let out = out_dim as u64;
+        let w_rows = match config.aggregator {
+            Aggregator::Concat => 2 * in_dim,
+            Aggregator::Sum => in_dim,
+        };
+        // Attention scaling plus segment-sum accumulation per message.
+        flops += 2 * edges * in_dim;
+        // Dense layer matmul plus bias.
+        flops += rows * (2 * w_rows + 1) * out;
+        // LeakyReLU and row normalization.
+        flops += 4 * rows * out;
+        in_dim = out;
+    }
+    flops
+}
+
+/// BPR + L2 loss head over gathered user/pos/neg representation rows
+/// (Eqs. 12–13). Shared verbatim by both training arms so their op
+/// sequences stay identical.
+fn bpr_head(t: &mut Tape, u: Var, i: Var, j: Var, batch: usize, l2: f32) -> Var {
+    let y_pos = t.rowwise_dot(u, i);
+    let y_neg = t.rowwise_dot(u, j);
+    let diff = t.sub(y_pos, y_neg);
+    let ls = t.log_sigmoid(diff);
+    let s = t.sum_all(ls);
+    let bpr = t.scale(s, -1.0 / batch as f32);
+    let ru = t.frobenius_sq(u);
+    let ri = t.frobenius_sq(i);
+    let rj = t.frobenius_sq(j);
+    let reg0 = t.add(ru, ri);
+    let reg1 = t.add(reg0, rj);
+    let reg = t.scale(reg1, l2 / batch as f32);
+    t.add(bpr, reg)
 }
 
 impl Recommender for Ckat {
@@ -417,146 +762,34 @@ impl Recommender for Ckat {
         self.refresh_attention(ctx);
         prof.attention_ns = clock.elapsed().as_nanos() as u64;
         let n_batches = ctx.batches_per_epoch(self.config.base.batch_size);
-        let d = self.config.base.embed_dim;
-        let full_edges = ctx.ckg.n_edges() as u64;
-        let mut total = 0.0;
+
+        // Draw every mini-batch up front, in the legacy interleaved order
+        // (BPR then TransR per batch, stopping at the first empty BPR
+        // draw before its TransR draw). With dropout off this consumes
+        // the RNG stream exactly as inline sampling did, which is what
+        // lets the prefetching batch-local arm stay bitwise comparable to
+        // the full-graph oracle; it also hands the extraction worker
+        // every seed set ahead of time. An empty first draw abandons the
+        // epoch but still *falls through* to the invalidation below — an
+        // earlier version returned 0.0 early and kept serving stale eval
+        // caches.
+        let clock = Instant::now();
+        let mut batches: Vec<(Vec<BprSample>, Vec<KgSample>)> = Vec::new();
         for _ in 0..n_batches {
-            // --- BPR phase over the propagated representations ---
-            let clock = Instant::now();
-            let batch = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
-            prof.sampling_ns += clock.elapsed().as_nanos() as u64;
-            if batch.is_empty() {
-                // Nothing trainable: abandon the epoch, but *fall through*
-                // to the invalidation below — an earlier version returned
-                // 0.0 here and kept serving stale eval caches.
+            let bpr = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
+            if bpr.is_empty() {
                 break;
             }
-            prof.batches += 1;
-            prof.full_rows += self.n_entities as u64;
-            prof.full_edges += full_edges;
-            let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
-            let pos: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.pos)).collect();
-            let neg: Vec<usize> = batch.iter().map(|s| ctx.ckg.item_entity(s.neg)).collect();
-
-            let clock = Instant::now();
-            let mut t = Tape::new();
-            let ent = t.leaf(self.store.value(self.ent_emb).clone());
-            let lw: Vec<Var> =
-                self.layer_w.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
-            let lb: Vec<Var> =
-                self.layer_b.iter().map(|&p| t.leaf(self.store.value(p).clone())).collect();
-            let (u, i, j) = if self.config.batch_local {
-                // Extract the batch's L-hop receptive field and propagate
-                // over it alone. Gradients flow through the initial
-                // row-gather back into the dense entity leaf, so the Adam
-                // update is identical to the full-graph path.
-                let mut seeds = Vec::with_capacity(3 * batch.len());
-                seeds.extend_from_slice(&users);
-                seeds.extend_from_slice(&pos);
-                seeds.extend_from_slice(&neg);
-                let sub = self.scratch.extract(ctx.ckg, &seeds, self.config.depth());
-                let n_sub = sub.n_nodes();
-                let n_sub_edges = sub.n_edges();
-                prof.gathered_rows += n_sub as u64;
-                prof.gathered_edges += n_sub_edges as u64;
-                prof.forward_flops += self.propagation_flops(n_sub as u64, n_sub_edges as u64);
-                let b = batch.len();
-                let local_u: Vec<usize> = sub.seed_locals[..b].to_vec();
-                let local_i: Vec<usize> = sub.seed_locals[b..2 * b].to_vec();
-                let local_j: Vec<usize> = sub.seed_locals[2 * b..].to_vec();
-                let att_vals: Vec<f32> = sub.edge_ids.iter().map(|&k| self.att[k]).collect();
-                let att = t.constant(Matrix::from_vec(n_sub_edges, 1, att_vals));
-                let ent_sub = t.gather_rows_arc(ent, Arc::new(sub.nodes));
-                let all = self.propagate_over(
-                    &mut t,
-                    ent_sub,
-                    att,
-                    Arc::new(sub.tails),
-                    Arc::new(sub.heads),
-                    n_sub,
-                    &lw,
-                    &lb,
-                    Some(rng),
-                );
-                (
-                    t.gather_rows(all, &local_u),
-                    t.gather_rows(all, &local_i),
-                    t.gather_rows(all, &local_j),
-                )
-            } else {
-                prof.gathered_rows += self.n_entities as u64;
-                prof.gathered_edges += full_edges;
-                prof.forward_flops += self.propagation_flops(self.n_entities as u64, full_edges);
-                let all = self.propagate(&mut t, ent, &lw, &lb, Some(rng));
-                (t.gather_rows(all, &users), t.gather_rows(all, &pos), t.gather_rows(all, &neg))
-            };
-            let y_pos = t.rowwise_dot(u, i);
-            let y_neg = t.rowwise_dot(u, j);
-            let diff = t.sub(y_pos, y_neg);
-            let ls = t.log_sigmoid(diff);
-            let s = t.sum_all(ls);
-            let bpr = t.scale(s, -1.0 / batch.len() as f32);
-            let ru = t.frobenius_sq(u);
-            let ri = t.frobenius_sq(i);
-            let rj = t.frobenius_sq(j);
-            let reg0 = t.add(ru, ri);
-            let reg1 = t.add(reg0, rj);
-            let reg = t.scale(reg1, self.config.base.l2 / batch.len() as f32);
-            let loss = t.add(bpr, reg);
-            total += t.value(loss)[(0, 0)];
-            prof.forward_ns += clock.elapsed().as_nanos() as u64;
-            let clock = Instant::now();
-            t.backward(loss);
-            let mut grads: Vec<_> = Vec::new();
-            if let Some(g) = t.take_grad(ent) {
-                grads.push((self.ent_emb, g));
-            }
-            for (&p, &var) in self.layer_w.iter().zip(&lw) {
-                if let Some(g) = t.take_grad(var) {
-                    grads.push((p, g));
-                }
-            }
-            for (&p, &var) in self.layer_b.iter().zip(&lb) {
-                if let Some(g) = t.take_grad(var) {
-                    grads.push((p, g));
-                }
-            }
-            self.store.apply(&mut self.adam, &grads);
-            prof.backward_ns += clock.elapsed().as_nanos() as u64;
-
-            // --- TransR phase (L₁, Eq. 2) ---
-            let clock = Instant::now();
-            let kg_batch = sample_kg_batch(ctx.ckg, self.config.base.batch_size, rng);
-            prof.sampling_ns += clock.elapsed().as_nanos() as u64;
-            if !kg_batch.is_empty() {
-                let clock = Instant::now();
-                let mut t = Tape::new();
-                let ent = t.leaf(self.store.value(self.ent_emb).clone());
-                let remb = t.leaf(self.store.value(self.rel_emb).clone());
-                let rproj = t.leaf(self.store.value(self.rel_proj).clone());
-                let loss = transr::margin_loss(
-                    &mut t,
-                    ent,
-                    remb,
-                    rproj,
-                    d,
-                    self.n_rel,
-                    &kg_batch,
-                    self.config.margin,
-                );
-                total += t.value(loss)[(0, 0)];
-                prof.forward_ns += clock.elapsed().as_nanos() as u64;
-                let clock = Instant::now();
-                t.backward(loss);
-                let grads: Vec<_> =
-                    [(self.ent_emb, ent), (self.rel_emb, remb), (self.rel_proj, rproj)]
-                        .into_iter()
-                        .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
-                        .collect();
-                self.store.apply(&mut self.adam, &grads);
-                prof.backward_ns += clock.elapsed().as_nanos() as u64;
-            }
+            let kg = sample_kg_batch(ctx.ckg, self.config.base.batch_size, rng);
+            batches.push((bpr, kg));
         }
+        prof.sampling_ns += clock.elapsed().as_nanos() as u64;
+
+        let total = if self.config.batch_local {
+            self.run_batches_local(ctx, &batches, rng, &mut prof)
+        } else {
+            self.run_batches_full(ctx, &batches, rng, &mut prof)
+        };
         // Every exit path must drop the eval caches *and* the per-edge
         // attention snapshot: parameters changed, so both are stale.
         self.cached_users = None;
@@ -604,8 +837,8 @@ impl Recommender for Ckat {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 
     fn take_epoch_profile(&mut self) -> Option<EpochProfile> {

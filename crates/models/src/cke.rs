@@ -125,7 +125,7 @@ impl Recommender for Cke {
             let grads: Vec<_> =
                 [(self.user_emb, uemb), (self.item_emb, vemb), (self.ent_emb, eemb)]
                     .into_iter()
-                    .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                    .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g.into())))
                     .collect();
             self.store.apply(&mut self.adam, &grads);
 
@@ -151,7 +151,7 @@ impl Recommender for Cke {
                 let grads: Vec<_> =
                     [(self.ent_emb, eemb), (self.rel_emb, remb), (self.rel_proj, rproj)]
                         .into_iter()
-                        .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                        .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g.into())))
                         .collect();
                 self.store.apply(&mut self.adam, &grads);
             }
@@ -193,8 +193,8 @@ impl Recommender for Cke {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 }
 

@@ -77,6 +77,26 @@ pub fn dot_scores(user_reprs: &Matrix, item_reprs: &Matrix, user: Id) -> Vec<f32
     item_reprs.iter_rows().map(|v| facility_linalg::matrix::dot(u, v)).collect()
 }
 
+/// Sorted-unique union of several index lists, plus each list remapped to
+/// positions in the union.
+///
+/// The union is strictly increasing, so it can feed
+/// `Tape::gather_leaf` and the resulting sparse gradient takes the fast
+/// (already-sorted) accumulation path. The remapped lists let a loss built
+/// on global ids run unchanged over the gathered union rows.
+pub fn union_locals(lists: &[&[usize]]) -> (Vec<usize>, Vec<Vec<usize>>) {
+    let mut union: Vec<usize> = lists.iter().flat_map(|l| l.iter().copied()).collect();
+    union.sort_unstable();
+    union.dedup();
+    let locals = lists
+        .iter()
+        .map(|l| {
+            l.iter().map(|g| union.binary_search(g).expect("every id is in the union")).collect()
+        })
+        .collect();
+    (union, locals)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +121,20 @@ mod tests {
             assert_eq!(list.len(), 2, "each item has site + type");
             for &e in list {
                 assert!(e >= attr_lo);
+            }
+        }
+    }
+
+    #[test]
+    fn union_locals_builds_sorted_union_and_roundtrips() {
+        let a = [7usize, 2, 7];
+        let b = [5usize, 2];
+        let (union, locals) = union_locals(&[&a, &b]);
+        assert_eq!(union, vec![2, 5, 7]);
+        assert!(union.windows(2).all(|w| w[0] < w[1]));
+        for (list, loc) in [(&a[..], &locals[0]), (&b[..], &locals[1])] {
+            for (g, &l) in list.iter().zip(loc) {
+                assert_eq!(union[l], *g);
             }
         }
     }

@@ -156,7 +156,7 @@ impl Recommender for Fm {
             t.backward(loss);
             let grads: Vec<_> = [(self.w, w), (self.v, v)]
                 .into_iter()
-                .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g.into())))
                 .collect();
             self.store.apply(&mut self.adam, &grads);
         }
@@ -209,8 +209,8 @@ impl Recommender for Fm {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 }
 

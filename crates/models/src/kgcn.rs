@@ -261,16 +261,16 @@ impl Recommender for Kgcn {
             let mut grads: Vec<_> =
                 [(self.user_emb, uemb), (self.ent_emb, eemb), (self.rel_emb, remb)]
                     .into_iter()
-                    .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                    .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g.into())))
                     .collect();
             for (&p, &var) in self.layer_w.iter().zip(&lw) {
                 if let Some(g) = t.take_grad(var) {
-                    grads.push((p, g));
+                    grads.push((p, g.into()));
                 }
             }
             for (&p, &var) in self.layer_b.iter().zip(&lb) {
                 if let Some(g) = t.take_grad(var) {
-                    grads.push((p, g));
+                    grads.push((p, g.into()));
                 }
             }
             self.store.apply(&mut self.adam, &grads);
@@ -342,8 +342,8 @@ impl Recommender for Kgcn {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 
     fn take_epoch_profile(&mut self) -> Option<EpochProfile> {

@@ -108,10 +108,15 @@ pub trait Recommender: Send + Sync {
     /// backs off with factors < 1). No-op for parameter-free models.
     fn scale_lr(&mut self, _factor: f32) {}
 
-    /// True when every trainable scalar is finite. The trainer's
-    /// divergence guard checks this after each epoch; parameter-free
-    /// models are always healthy.
-    fn params_finite(&self) -> bool {
+    /// True when every trainable scalar *touched since the last check* is
+    /// finite. The trainer's divergence guard calls this after each
+    /// epoch, so store-backed models answer from
+    /// [`facility_autograd::ParamStore::touched_finite`] — an incremental
+    /// scan over rows the optimizer actually updated — rather than a full
+    /// sweep of every parameter. Anything needing an absolute guarantee
+    /// (e.g. a checkpoint about to be persisted) must full-scan the
+    /// snapshot instead. Parameter-free models are always healthy.
+    fn params_finite(&mut self) -> bool {
         true
     }
 }

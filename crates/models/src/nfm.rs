@@ -135,7 +135,7 @@ impl Recommender for Nfm {
             let grads: Vec<_> =
                 [(self.w, w), (self.v, v), (self.w1, w1), (self.b1, b1), (self.h, h)]
                     .into_iter()
-                    .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                    .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g.into())))
                     .collect();
             self.store.apply(&mut self.adam, &grads);
         }
@@ -190,8 +190,8 @@ impl Recommender for Nfm {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 }
 

@@ -23,8 +23,18 @@ pub struct EpochProfile {
     pub attention_ns: u64,
     /// Time building forward tapes (propagation + losses).
     pub forward_ns: u64,
-    /// Time in backward passes and optimizer updates.
+    /// Time in backward passes (gradient computation only).
     pub backward_ns: u64,
+    /// Time in optimizer updates (`ParamStore::apply` + lazy-row syncs).
+    pub optimizer_ns: u64,
+    /// Time the extraction worker spent building batch subgraphs. Under
+    /// double-buffered prefetch this overlaps training of the previous
+    /// batch, so it is *not* part of [`EpochProfile::train_ns`]; the
+    /// blocked portion shows up as [`EpochProfile::extract_wait_ns`].
+    pub extract_ns: u64,
+    /// Time the training thread blocked waiting for the next prefetched
+    /// subgraph (0 when extraction hides fully behind training).
+    pub extract_wait_ns: u64,
     /// Time spent in evaluation, when the caller evaluated this epoch
     /// (filled by the trainer, not the model).
     pub eval_ns: u64,
@@ -62,9 +72,18 @@ impl EpochProfile {
         }
     }
 
-    /// Total instrumented wall time (training phases only).
+    /// Total instrumented wall time (training phases only): sampling,
+    /// attention refresh, forward, backward, optimizer, and any time
+    /// blocked on subgraph prefetch. Overlapped extraction work
+    /// ([`EpochProfile::extract_ns`]) is excluded — it runs off the
+    /// critical path.
     pub fn train_ns(&self) -> u64 {
-        self.sampling_ns + self.attention_ns + self.forward_ns + self.backward_ns
+        self.sampling_ns
+            + self.attention_ns
+            + self.forward_ns
+            + self.backward_ns
+            + self.optimizer_ns
+            + self.extract_wait_ns
     }
 }
 
@@ -91,5 +110,20 @@ mod tests {
         };
         assert_eq!(p.row_fraction(), 0.25);
         assert_eq!(p.edge_fraction(), 0.25);
+    }
+
+    #[test]
+    fn train_ns_counts_wait_but_not_overlapped_extraction() {
+        let p = EpochProfile {
+            sampling_ns: 1,
+            attention_ns: 2,
+            forward_ns: 3,
+            backward_ns: 4,
+            optimizer_ns: 5,
+            extract_ns: 1000,
+            extract_wait_ns: 6,
+            ..Default::default()
+        };
+        assert_eq!(p.train_ns(), 1 + 2 + 3 + 4 + 5 + 6);
     }
 }

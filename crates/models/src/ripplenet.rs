@@ -272,7 +272,7 @@ impl Recommender for RippleNet {
             t.backward(loss);
             let grads: Vec<_> = [(self.ent_emb, ent), (self.rel_proj, proj)]
                 .into_iter()
-                .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g)))
+                .filter_map(|(p, var)| t.take_grad(var).map(|g| (p, g.into())))
                 .collect();
             self.store.apply(&mut self.adam, &grads);
         }
@@ -307,8 +307,8 @@ impl Recommender for RippleNet {
         self.adam.lr *= factor;
     }
 
-    fn params_finite(&self) -> bool {
-        self.store.all_finite()
+    fn params_finite(&mut self) -> bool {
+        self.store.touched_finite()
     }
 }
 

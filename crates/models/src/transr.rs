@@ -216,7 +216,7 @@ mod tests {
             t.backward(loss);
             let grads: Vec<_> = [(ent, ev), (rel, rv), (proj, pv)]
                 .into_iter()
-                .filter_map(|(p, v)| t.take_grad(v).map(|g| (p, g)))
+                .filter_map(|(p, v)| t.take_grad(v).map(|g| (p, g.into())))
                 .collect();
             store.apply(&mut adam, &grads);
         }
@@ -245,7 +245,7 @@ mod tests {
             t.backward(loss);
             let grads: Vec<_> = [(ent, ev), (rel, rv), (proj, pv)]
                 .into_iter()
-                .filter_map(|(p, v)| t.take_grad(v).map(|g| (p, g)))
+                .filter_map(|(p, v)| t.take_grad(v).map(|g| (p, g.into())))
                 .collect();
             store.apply(&mut adam, &grads);
         }
