@@ -59,5 +59,7 @@ pub mod gradcheck;
 pub mod optim;
 pub mod tape;
 
-pub use optim::{Adam, AdamState, Grad, Optimizer, ParamId, ParamStore, Sgd, SparseRowGrad};
+pub use optim::{
+    fold_grads_ordered, Adam, AdamState, Grad, Optimizer, ParamId, ParamStore, Sgd, SparseRowGrad,
+};
 pub use tape::{Tape, Var};

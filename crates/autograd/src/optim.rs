@@ -52,6 +52,109 @@ impl SparseRowGrad {
         }
         d
     }
+
+    /// Fold several sparse gradients for the same parameter into one.
+    ///
+    /// The result's row index is the sorted union of the parts' rows (so it
+    /// keeps feeding `apply`'s unique-rows contract), and each union row
+    /// accumulates its contributions **part by part in the order given** —
+    /// the scatter-order trick [`Tape::gather_leaf`](crate::Tape) already
+    /// relies on. Because float addition is not associative, fixing this
+    /// order is what makes a data-parallel reduction a pure function of the
+    /// part *order* rather than of which thread finished first.
+    ///
+    /// Returns `None` for an empty part list.
+    ///
+    /// # Panics
+    /// Panics if the parts disagree on the parameter shape.
+    pub fn fold_ordered(parts: &[&SparseRowGrad]) -> Option<SparseRowGrad> {
+        let first = parts.first()?;
+        let (n_rows, cols) = (first.n_rows, first.values.cols());
+        let mut union: Vec<usize> = parts.iter().flat_map(|p| p.rows.iter().copied()).collect();
+        union.sort_unstable();
+        union.dedup();
+        let mut values = Matrix::zeros(union.len(), cols);
+        for p in parts {
+            assert_eq!(p.n_rows, n_rows, "fold_ordered: parameter row-count mismatch");
+            assert_eq!(p.values.cols(), cols, "fold_ordered: gradient width mismatch");
+            for (k, &r) in p.rows.iter().enumerate() {
+                let u = union.binary_search(&r).expect("every part row is in the union");
+                for (o, &x) in values.row_mut(u).iter_mut().zip(p.values.row(k)) {
+                    *o += x;
+                }
+            }
+        }
+        Some(SparseRowGrad { n_rows, rows: union, values })
+    }
+}
+
+/// Fold per-replica gradient lists into one list suitable for a single
+/// [`ParamStore::apply`], then scale every folded gradient by `scale`
+/// (e.g. `1/K` to average over a macro-step of `K` micro-batches).
+///
+/// Parameters appear in the output in order of first occurrence across
+/// `parts`; each parameter's contributions accumulate part-by-part in the
+/// order of `parts` (sparse parts through [`SparseRowGrad::fold_ordered`],
+/// dense parts by in-order summation), so the result is deterministic for
+/// a fixed part order regardless of how the parts were produced.
+pub fn fold_grads_ordered(parts: &[Vec<(ParamId, Grad)>], scale: f32) -> Vec<(ParamId, Grad)> {
+    let mut order: Vec<ParamId> = Vec::new();
+    for part in parts {
+        for (id, _) in part {
+            if !order.contains(id) {
+                order.push(*id);
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|id| {
+            let grads: Vec<&Grad> = parts
+                .iter()
+                .flat_map(|p| p.iter().filter(|(i, _)| *i == id).map(|(_, g)| g))
+                .collect();
+            let all_sparse = grads.iter().all(|g| matches!(g, Grad::Sparse(_)));
+            let folded = if all_sparse {
+                let sparse: Vec<&SparseRowGrad> = grads
+                    .iter()
+                    .map(|g| match g {
+                        Grad::Sparse(s) => s,
+                        Grad::Dense(_) => unreachable!("all_sparse checked"),
+                    })
+                    .collect();
+                let mut f = SparseRowGrad::fold_ordered(&sparse).expect("id has at least one part");
+                for x in f.values.as_mut_slice() {
+                    *x *= scale;
+                }
+                Grad::Sparse(f)
+            } else {
+                // At least one dense contribution: fold densely, scattering
+                // any sparse parts, still strictly in part order.
+                let shape = match grads[0] {
+                    Grad::Dense(d) => d.shape(),
+                    Grad::Sparse(s) => (s.n_rows, s.values.cols()),
+                };
+                let mut acc = Matrix::zeros(shape.0, shape.1);
+                for g in grads {
+                    match g {
+                        Grad::Dense(d) => acc.axpy(1.0, d),
+                        Grad::Sparse(s) => {
+                            for (k, &r) in s.rows.iter().enumerate() {
+                                for (o, &x) in acc.row_mut(r).iter_mut().zip(s.values.row(k)) {
+                                    *o += x;
+                                }
+                            }
+                        }
+                    }
+                }
+                for x in acc.as_mut_slice() {
+                    *x *= scale;
+                }
+                Grad::Dense(acc)
+            };
+            (id, folded)
+        })
+        .collect()
 }
 
 /// A gradient handed to [`ParamStore::apply`]: dense, or row-sparse for
@@ -911,6 +1014,109 @@ mod tests {
         a.apply(&mut sa, &[(wa, Grad::Dense(sg.to_dense()))]);
         b.apply(&mut sb, &[(wb, Grad::Sparse(sg))]);
         assert_bitwise_eq(a.value(wa), b.value(wb), "sgd sparse");
+    }
+
+    /// `fold_ordered` matches a dense oracle that sums the parts'
+    /// densified gradients in the same part order — bitwise, because both
+    /// walk the parts in the identical sequence.
+    #[test]
+    fn fold_ordered_matches_in_order_dense_sum() {
+        let (n, d) = (9, 4);
+        let parts = [
+            SparseRowGrad { n_rows: n, rows: vec![3, 1, 7], values: fake_grad(3, d, 1) },
+            SparseRowGrad { n_rows: n, rows: vec![1, 4], values: fake_grad(2, d, 2) },
+            SparseRowGrad { n_rows: n, rows: vec![7, 3, 0], values: fake_grad(3, d, 3) },
+        ];
+        let refs: Vec<&SparseRowGrad> = parts.iter().collect();
+        let folded = SparseRowGrad::fold_ordered(&refs).expect("non-empty");
+        assert_eq!(folded.rows, vec![0, 1, 3, 4, 7], "union rows sorted unique");
+        let mut oracle = Matrix::zeros(n, d);
+        for p in &parts {
+            for (k, &r) in p.rows.iter().enumerate() {
+                for (o, &x) in oracle.row_mut(r).iter_mut().zip(p.values.row(k)) {
+                    *o += x;
+                }
+            }
+        }
+        assert_bitwise_eq(&folded.to_dense(), &oracle, "fold vs in-order dense sum");
+        assert!(SparseRowGrad::fold_ordered(&[]).is_none());
+    }
+
+    /// `fold_grads_ordered` groups by parameter (first-occurrence order),
+    /// folds sparse and dense contributions in part order, and scales once
+    /// at the end.
+    #[test]
+    fn fold_grads_ordered_groups_scales_and_keeps_order() {
+        let (n, d) = (6, 3);
+        let mut s = ParamStore::new();
+        let we = s.add("ent", Matrix::zeros(n, d));
+        let wr = s.add("rel", Matrix::zeros(2, d));
+        let sg = |rows: Vec<usize>, salt| {
+            let v = fake_grad(rows.len(), d, salt);
+            Grad::Sparse(SparseRowGrad { n_rows: n, rows, values: v })
+        };
+        let parts = vec![
+            vec![(we, sg(vec![0, 2], 10)), (wr, Grad::Dense(fake_grad(2, d, 11)))],
+            vec![(we, sg(vec![2, 5], 12)), (wr, Grad::Dense(fake_grad(2, d, 13)))],
+        ];
+        let folded = fold_grads_ordered(&parts, 0.5);
+        assert_eq!(folded.len(), 2);
+        assert_eq!(folded[0].0, we, "first-occurrence order");
+        assert_eq!(folded[1].0, wr);
+        match &folded[0].1 {
+            Grad::Sparse(f) => {
+                assert_eq!(f.rows, vec![0, 2, 5]);
+                // Row 0 appears only in part 0: folded value is exactly
+                // 0.5 * that part's row.
+                let p0 = match &parts[0][0].1 {
+                    Grad::Sparse(s0) => s0,
+                    Grad::Dense(_) => unreachable!(),
+                };
+                for (o, &x) in f.values.row(0).iter().zip(p0.values.row(0)) {
+                    assert_eq!(o.to_bits(), (x * 0.5).to_bits());
+                }
+            }
+            Grad::Dense(_) => panic!("ent gradient must stay sparse"),
+        }
+        match &folded[1].1 {
+            Grad::Dense(f) => {
+                let (a, b) = match (&parts[0][1].1, &parts[1][1].1) {
+                    (Grad::Dense(a), Grad::Dense(b)) => (a, b),
+                    _ => unreachable!(),
+                };
+                let mut oracle = Matrix::zeros(2, d);
+                oracle.axpy(1.0, a);
+                oracle.axpy(1.0, b);
+                for x in oracle.as_mut_slice() {
+                    *x *= 0.5;
+                }
+                assert_bitwise_eq(f, &oracle, "dense fold");
+            }
+            Grad::Sparse(_) => panic!("rel gradient must stay dense"),
+        }
+    }
+
+    /// Folding K micro-gradients and applying once is the contract the
+    /// replica trainer relies on; the folded gradient must be accepted by
+    /// the normal `apply` path (unique sorted rows, in-bounds).
+    #[test]
+    fn folded_gradient_passes_apply_invariants() {
+        let (n, d) = (8, 2);
+        let mut s = ParamStore::new();
+        let w = s.add("w", fake_grad(n, d, 40));
+        let mut adam = Adam::default_for(&s, 0.05);
+        let parts: Vec<Vec<(ParamId, Grad)>> = (0..4u64)
+            .map(|i| {
+                let rows: Vec<usize> =
+                    (0..n).filter(|&r| !(r as u64 + i).is_multiple_of(3)).collect();
+                let v = fake_grad(rows.len(), d, 50 + i);
+                vec![(w, Grad::Sparse(SparseRowGrad { n_rows: n, rows, values: v }))]
+            })
+            .collect();
+        let folded = fold_grads_ordered(&parts, 0.25);
+        s.apply(&mut adam, &folded);
+        s.sync_all(&mut adam, w);
+        assert!(s.all_finite());
     }
 
     /// Exported Adam state carries the per-row counters; importing it

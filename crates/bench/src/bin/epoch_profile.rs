@@ -18,11 +18,23 @@
 //! `--epochs N` overrides the default 3 epochs per mode; `--huge` profiles
 //! the ~106k-entity stress world where the sparse path's advantage is
 //! decisive rather than incremental.
+//!
+//! `--replicas N` switches the binary to the **replica sweep**: instead of
+//! the batch-local/full-graph comparison it trains the same CKAT on the
+//! deterministic macro-step path at every replica count in
+//! `{1, 2, 4, 8} ∩ [1, N]`, asserts the loss trajectories are **bitwise
+//! identical** across counts (the schedule is thread-count-invariant by
+//! construction), reports wall-clock speedups vs `R = 1`, and merges one
+//! record per facility into `BENCH_ckat_replicas.json`. The `> 1.5×`
+//! speedup gate at `R = 4` only fires on the `--huge` world with at least
+//! 4 cores — on fewer cores the sweep still proves determinism and
+//! records honest (≈1×) numbers.
 
 use facility_bench::{HarnessOpts, Profile};
 use facility_ckat::{Experiment, ExperimentConfig};
 use facility_linalg::seeded_rng;
 use facility_models::ckat::Ckat;
+use facility_models::replica::MACRO_WIDTH;
 use facility_models::{EpochProfile, Recommender};
 use std::time::Instant;
 
@@ -93,6 +105,11 @@ fn main() {
     // The huge world IS facility scale, so it keeps its configured batch.
     let profile_batch =
         if opts.profile == Profile::Huge { opts.model_config().batch_size } else { 32 };
+
+    if let Some(max_r) = opts.replicas {
+        run_replica_sweep(&opts, name, &exp, epochs, max_r, profile_batch);
+        return;
+    }
 
     let mut entries: Vec<String> = Vec::new();
     let mut totals: Vec<(&str, EpochProfile)> = Vec::new();
@@ -222,4 +239,183 @@ fn main() {
         local.gathered_edges,
         local.full_edges
     );
+}
+
+/// One replica count's aggregate over the sweep's epochs.
+struct ReplicaRun {
+    r: usize,
+    wall_ns: u64,
+    reduce_ns: u64,
+    extract_ns: u64,
+    extract_wait_ns: u64,
+    losses: Vec<f32>,
+}
+
+/// Train the macro-step path at every replica count in `{1,2,4,8} ∩
+/// [1, max_r]`, assert bitwise-identical loss trajectories, report
+/// wall-clock scaling, and merge a record into
+/// `BENCH_ckat_replicas.json`.
+fn run_replica_sweep(
+    opts: &HarnessOpts,
+    name: &str,
+    exp: &Experiment,
+    epochs: usize,
+    max_r: usize,
+    profile_batch: usize,
+) {
+    let ctx = exp.ctx();
+    let sweep: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&r| r <= max_r).collect();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!(
+        "== replica sweep on {name}: R in {sweep:?}, {cores} cores, \
+         macro width {MACRO_WIDTH}, {epochs} epochs each =="
+    );
+
+    let mut runs: Vec<ReplicaRun> = Vec::new();
+    for &r in &sweep {
+        let mut cfg = opts.ckat_config();
+        cfg.batch_local = true;
+        cfg.base.batch_size = profile_batch;
+        // No dropout, as in the mode comparison: keeps the per-epoch loss a
+        // pure function of the seed so the cross-R bitwise gate is strict.
+        cfg.base.keep_prob = 1.0;
+        let d = cfg.base.embed_dim;
+        cfg.layer_dims = vec![d, d / 2];
+        cfg.base.replicas = r;
+        let mut model = Ckat::new(&ctx, &cfg);
+        let mut rng = seeded_rng(opts.seed);
+        let mut run = ReplicaRun {
+            r,
+            wall_ns: 0,
+            reduce_ns: 0,
+            extract_ns: 0,
+            extract_wait_ns: 0,
+            losses: Vec::with_capacity(epochs),
+        };
+        for epoch in 1..=epochs {
+            let loss = model.train_epoch(&ctx, &mut rng);
+            let p = model.take_epoch_profile().expect("CKAT records profiles");
+            eprintln!(
+                "  R={r} epoch {epoch}: loss {loss:.4}, wall {:.1} ms \
+                 (reduce {:.1} ms, extract {:.1} ms, waited {:.1} ms)",
+                p.wall_ns as f64 / 1e6,
+                p.reduce_ns as f64 / 1e6,
+                p.extract_ns as f64 / 1e6,
+                p.extract_wait_ns as f64 / 1e6,
+            );
+            run.losses.push(loss);
+            run.wall_ns += p.wall_ns;
+            run.reduce_ns += p.reduce_ns;
+            run.extract_ns += p.extract_ns;
+            run.extract_wait_ns += p.extract_wait_ns;
+        }
+        runs.push(run);
+    }
+
+    // Determinism gate: every replica count reproduces R=1's loss
+    // trajectory bit for bit.
+    let reference = &runs[0];
+    assert_eq!(reference.r, 1, "sweep always includes R=1");
+    for run in &runs[1..] {
+        for (epoch, (a, b)) in reference.losses.iter().zip(&run.losses).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "epoch {} loss diverged: R=1 got {a}, R={} got {b}",
+                epoch + 1,
+                run.r
+            );
+        }
+    }
+
+    let speedup = |run: &ReplicaRun| reference.wall_ns as f64 / run.wall_ns.max(1) as f64;
+    let run_fields = runs
+        .iter()
+        .map(|run| {
+            format!(
+                concat!(
+                    "{{\"r\": {}, \"wall_ns\": {}, \"reduce_ns\": {}, ",
+                    "\"extract_ns\": {}, \"extract_wait_ns\": {}, ",
+                    "\"final_loss\": {:.6}, \"speedup_vs_r1\": {:.3}}}"
+                ),
+                run.r,
+                run.wall_ns,
+                run.reduce_ns,
+                run.extract_ns,
+                run.extract_wait_ns,
+                run.losses.last().copied().unwrap_or(f32::NAN),
+                speedup(run),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let record = format!(
+        concat!(
+            "{{\"facility\": \"{}\", \"profile\": \"{}\", \"seed\": {}, ",
+            "\"cores\": {}, \"n_entities\": {}, \"n_edges\": {}, ",
+            "\"epochs\": {}, \"macro_width\": {}, \"losses_bitwise_equal\": true, ",
+            "\"runs\": [{}]}}"
+        ),
+        name,
+        format!("{:?}", opts.profile).to_lowercase(),
+        opts.seed,
+        cores,
+        exp.ckg.n_entities(),
+        exp.ckg.n_edges(),
+        epochs,
+        MACRO_WIDTH,
+        run_fields,
+    );
+    merge_replica_records("BENCH_ckat_replicas.json", name, record);
+
+    for run in &runs[1..] {
+        println!(
+            "R={}: {:.2}x wall-clock vs R=1 ({:.1} ms -> {:.1} ms), losses bitwise equal",
+            run.r,
+            speedup(run),
+            reference.wall_ns as f64 / 1e6,
+            run.wall_ns as f64 / 1e6,
+        );
+    }
+    println!("-> BENCH_ckat_replicas.json ({name})");
+
+    // The scaling gate only means something with real cores under the
+    // pool and enough work per macro-step to amortize the fold; elsewhere
+    // the sweep still proves determinism and records honest numbers.
+    if let Some(r4) = runs.iter().find(|run| run.r == 4) {
+        if cores >= 4 && opts.profile == Profile::Huge {
+            let s = speedup(r4);
+            assert!(
+                s > 1.5,
+                "replica pool must beat 1.5x at R=4 on the huge world with {cores} cores \
+                 (got {s:.2}x)"
+            );
+        } else {
+            eprintln!(
+                "speedup gate skipped: {cores} cores, {:?} profile (needs >= 4 cores and --huge)",
+                opts.profile
+            );
+        }
+    }
+}
+
+/// Merge `record` into the JSON-array file at `path`, replacing any
+/// previous record for the same facility (records are one line each, so
+/// the file stays diffable as history accumulates).
+fn merge_replica_records(path: &str, facility: &str, record: String) {
+    let needle = format!("\"facility\": \"{facility}\"");
+    let mut records: Vec<String> = Vec::new();
+    if let Ok(existing) = std::fs::read_to_string(path) {
+        for line in existing.lines() {
+            let t = line.trim().trim_end_matches(',');
+            if t.starts_with('{') && !t.contains(&needle) {
+                records.push(t.to_string());
+            }
+        }
+    }
+    records.push(record);
+    let body = records.iter().map(|r| format!("  {r}")).collect::<Vec<_>>().join(",\n");
+    std::fs::write(path, format!("[\n{body}\n]\n")).unwrap_or_else(|e| {
+        panic!("write {path}: {e}");
+    });
 }

@@ -19,6 +19,10 @@
 //! * `--seed N` — change the simulation/training seed.
 //! * `--epochs N` — override the epoch count of binaries that honor it
 //!   (currently `epoch_profile`).
+//! * `--replicas N|auto` — train on the deterministic data-parallel
+//!   macro-step path with up to `N` worker threads (`auto` = available
+//!   cores capped at the macro-step width); omit for the legacy serial
+//!   per-batch path. `epoch_profile` treats this as a sweep bound.
 //!
 //! The default profile sits between the two: full-scale facilities with
 //! medium embedding width, tuned so the whole table suite regenerates in
@@ -41,6 +45,12 @@ pub struct HarnessOpts {
     /// Epoch-count override for binaries that honor it (`epoch_profile`);
     /// `None` keeps each binary's default.
     pub epochs: Option<usize>,
+    /// Replica-count override: `Some(r)` trains on the deterministic
+    /// macro-step path with up to `r` worker threads (binaries that honor
+    /// it sweep the counts below `r` too); `None` keeps the legacy
+    /// per-batch path. `--replicas auto` resolves to available cores
+    /// capped at the macro-step width.
+    pub replicas: Option<usize>,
 }
 
 /// Harness profiles (see the crate docs).
@@ -59,7 +69,8 @@ pub enum Profile {
 impl HarnessOpts {
     /// Parse `std::env::args`; unknown flags abort with usage help.
     pub fn from_args() -> Self {
-        let mut opts = Self { profile: Profile::Default, seed: 42, k: 20, epochs: None };
+        let mut opts =
+            Self { profile: Profile::Default, seed: 42, k: 20, epochs: None, replicas: None };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -72,6 +83,19 @@ impl HarnessOpts {
                             .and_then(|v| v.parse().ok())
                             .unwrap_or_else(|| usage("--epochs needs an integer")),
                     );
+                }
+                "--replicas" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--replicas needs an integer >= 1, or `auto`"));
+                    opts.replicas = Some(if v == "auto" {
+                        facility_models::replica::default_replicas()
+                    } else {
+                        v.parse()
+                            .ok()
+                            .filter(|&r| r >= 1)
+                            .unwrap_or_else(|| usage("--replicas needs an integer >= 1, or `auto`"))
+                    });
                 }
                 "--seed" => {
                     opts.seed = args
@@ -116,6 +140,7 @@ impl HarnessOpts {
                 l2: 1e-5,
                 keep_prob: 1.0,
                 seed: self.seed,
+                replicas: self.replicas.unwrap_or(0),
             },
             Profile::Default => ModelConfig {
                 embed_dim: 32,
@@ -124,6 +149,7 @@ impl HarnessOpts {
                 l2: 1e-5,
                 keep_prob: 0.9,
                 seed: self.seed,
+                replicas: self.replicas.unwrap_or(0),
             },
             Profile::Paper => ModelConfig {
                 embed_dim: 64,
@@ -132,6 +158,7 @@ impl HarnessOpts {
                 l2: 1e-5,
                 keep_prob: 0.9,
                 seed: self.seed,
+                replicas: self.replicas.unwrap_or(0),
             },
             // Default-width embeddings over a 100k+-row entity matrix;
             // batches are bigger so an epoch is fewer, heavier steps.
@@ -142,6 +169,7 @@ impl HarnessOpts {
                 l2: 1e-5,
                 keep_prob: 0.9,
                 seed: self.seed,
+                replicas: self.replicas.unwrap_or(0),
             },
         }
     }
@@ -212,7 +240,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--fast | --paper | --huge] [--seed N] [--k N] [--epochs N]");
+    eprintln!(
+        "usage: <bin> [--fast | --paper | --huge] [--seed N] [--k N] [--epochs N] [--replicas N|auto]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 })
 }
 
@@ -262,7 +292,7 @@ mod tests {
     #[test]
     fn profiles_produce_consistent_configs() {
         for profile in [Profile::Fast, Profile::Default, Profile::Paper] {
-            let opts = HarnessOpts { profile, seed: 1, k: 20, epochs: None };
+            let opts = HarnessOpts { profile, seed: 1, k: 20, epochs: None, replicas: None };
             let mc = opts.model_config();
             let cc = opts.ckat_config();
             assert_eq!(cc.base.embed_dim, mc.embed_dim);
@@ -274,7 +304,8 @@ mod tests {
 
     #[test]
     fn huge_profile_is_single_oversized_world() {
-        let opts = HarnessOpts { profile: Profile::Huge, seed: 1, k: 20, epochs: None };
+        let opts =
+            HarnessOpts { profile: Profile::Huge, seed: 1, k: 20, epochs: None, replicas: None };
         let facilities = opts.facilities();
         assert_eq!(facilities.len(), 1);
         let (_, config) = &facilities[0];

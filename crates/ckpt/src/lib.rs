@@ -42,8 +42,10 @@ pub const MAGIC: [u8; 4] = *b"FKCK";
 
 /// Current checkpoint format version. Readers reject anything else.
 /// Version history: 1 — initial; 2 — per-row lazy-Adam step counters
-/// appended to each optimizer slot.
-pub const FORMAT_VERSION: u8 = 2;
+/// appended to each optimizer slot; 3 — replica count stamped into the
+/// trainer checkpoint and pool accounting fields (`reduce_ns`,
+/// `wall_ns`, `replicas`) appended to each epoch profile.
+pub const FORMAT_VERSION: u8 = 3;
 
 const HEADER_LEN: usize = 4 + 1 + 4 + 8;
 

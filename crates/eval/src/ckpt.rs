@@ -24,6 +24,12 @@ pub struct TrainCheckpoint {
     /// Training seed; resume refuses a different seed (the epoch RNG
     /// derivation would silently change the stream).
     pub seed: u64,
+    /// `Recommender::replicas()` of the model that wrote this checkpoint
+    /// (0 = legacy per-batch path). Resume refuses a *mode* change
+    /// (legacy ↔ replica) because the two paths draw different RNG
+    /// schedules; switching between nonzero replica counts is fine — the
+    /// macro-step schedule is thread-count-invariant.
+    pub replicas: u64,
     /// Last completed epoch (1-based); resume continues at `epoch + 1`.
     pub epoch: usize,
     /// Best evaluation observed so far, if any epoch was evaluated.
@@ -78,6 +84,9 @@ fn put_profile(w: &mut Writer, p: &EpochProfile) {
         p.full_rows,
         p.full_edges,
         p.batches,
+        p.reduce_ns,
+        p.wall_ns,
+        p.replicas,
     ] {
         w.put_u64(v);
     }
@@ -99,6 +108,9 @@ fn get_profile(r: &mut Reader<'_>) -> Result<EpochProfile, CkptError> {
         full_rows: r.get_u64()?,
         full_edges: r.get_u64()?,
         batches: r.get_u64()?,
+        reduce_ns: r.get_u64()?,
+        wall_ns: r.get_u64()?,
+        replicas: r.get_u64()?,
     })
 }
 
@@ -108,6 +120,7 @@ impl TrainCheckpoint {
         let mut w = Writer::new();
         w.put_str(&self.model_name);
         w.put_u64(self.seed);
+        w.put_u64(self.replicas);
         w.put_u64(self.epoch as u64);
         match &self.best {
             Some(b) => {
@@ -157,6 +170,7 @@ impl TrainCheckpoint {
         let mut r = Reader::new(bytes);
         let model_name = r.get_str()?;
         let seed = r.get_u64()?;
+        let replicas = r.get_u64()?;
         let epoch = r.get_u64()? as usize;
         let best = if r.get_u8()? == 1 { Some(get_eval(&mut r)?) } else { None };
         let best_epoch = r.get_u64()? as usize;
@@ -193,6 +207,7 @@ impl TrainCheckpoint {
         Ok(Self {
             model_name,
             seed,
+            replicas,
             epoch,
             best,
             best_epoch,
@@ -247,6 +262,7 @@ mod tests {
         TrainCheckpoint {
             model_name: "BPRMF".into(),
             seed: 7,
+            replicas: 2,
             epoch: 4,
             best: Some(EvalResult {
                 recall: 0.25,
@@ -289,6 +305,7 @@ mod tests {
         assert_eq!(back.model_name, "BPRMF");
         assert_eq!(back.epoch, 4);
         assert_eq!(back.seed, 7);
+        assert_eq!(back.replicas, 2);
         assert_eq!(back.stale, 1);
         assert_eq!(back.retries, 1);
         assert_eq!(back.best.unwrap().recall, 0.25);

@@ -51,7 +51,7 @@ pub struct GridResult {
 }
 
 /// Exhaustively train `kind` over the grid (sequentially — each training
-/// run already saturates the rayon pool) and return the configuration
+/// run already saturates the worker pool) and return the configuration
 /// with the best recall@K.
 ///
 /// # Panics

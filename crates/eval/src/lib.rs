@@ -9,8 +9,10 @@
 //!
 //! * [`metrics`] — per-user top-K metrics with careful edge-case handling
 //!   (no test items, `K` > catalog size, ties).
-//! * [`evaluate`] — full-ranking evaluation, parallelized over users with
-//!   rayon (models are `Sync`, scoring is read-only).
+//! * [`evaluate`] — full-ranking evaluation, parallelized over contiguous
+//!   user chunks with scoped threads (models are `Sync`, scoring is
+//!   read-only) and merged in user order, so the result is identical for
+//!   every thread count.
 //! * [`trainer`] — epoch loop with periodic evaluation, early stopping
 //!   on `recall@K`, divergence recovery, and periodic checkpointing.
 //! * [`ckpt`] — the trainer-state checkpoint written through the
@@ -32,7 +34,6 @@ pub use trainer::{
 
 use facility_kg::Interactions;
 use facility_models::Recommender;
-use rayon::prelude::*;
 
 /// Evaluate `model` on the held-out test interactions by full ranking.
 ///
@@ -41,16 +42,62 @@ use rayon::prelude::*;
 /// skipped (they contribute nothing, matching the common protocol).
 /// Returns averages over evaluated users.
 ///
+/// Runs on [`eval_threads`] workers; see [`evaluate_chunked`] for the
+/// threading contract (the result is thread-count-invariant).
+///
 /// The caller must have called [`Recommender::prepare_eval`].
 pub fn evaluate(model: &dyn Recommender, inter: &Interactions, k: usize) -> EvalResult {
+    evaluate_chunked(model, inter, k, eval_threads())
+}
+
+/// Default evaluation worker count: available cores, capped at 8.
+pub fn eval_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// [`evaluate`] with an explicit worker count.
+///
+/// Users are split into `threads` contiguous chunks, each scored on its
+/// own scoped thread (scoring is read-only over a `Sync` model), and the
+/// per-user metrics are concatenated back in user order before
+/// aggregation. Because per-user scoring is independent and the merge is
+/// in-order, the result is bitwise identical for every `threads` value;
+/// `threads <= 1` (or a single-user chunk) runs inline with no spawns.
+pub fn evaluate_chunked(
+    model: &dyn Recommender,
+    inter: &Interactions,
+    k: usize,
+    threads: usize,
+) -> EvalResult {
     let users = inter.test_users();
-    let per_user: Vec<TopKMetrics> = users
-        .par_iter()
-        .filter_map(|&u| {
-            let scores = model.score_items(u);
-            metrics::topk_for_user(&scores, &inter.train[u as usize], &inter.test[u as usize], k)
+    let score_chunk = |chunk: &[facility_kg::Id]| -> Vec<TopKMetrics> {
+        chunk
+            .iter()
+            .filter_map(|&u| {
+                let scores = model.score_items(u);
+                metrics::topk_for_user(
+                    &scores,
+                    &inter.train[u as usize],
+                    &inter.test[u as usize],
+                    k,
+                )
+            })
+            .collect()
+    };
+
+    let per_user: Vec<TopKMetrics> = if threads <= 1 || users.len() <= 1 {
+        score_chunk(&users)
+    } else {
+        let chunk_len = users.len().div_ceil(threads);
+        let score_chunk = &score_chunk;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = users
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || score_chunk(chunk)))
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("eval worker panicked")).collect()
         })
-        .collect();
+    };
     EvalResult::aggregate(&per_user, k)
 }
 
@@ -115,6 +162,36 @@ mod tests {
         let oracle = Oracle { scores: vec![vec![100.0, 1.0, 0.5]] };
         let r = evaluate(&oracle, &inter, 1);
         assert!((r.recall - 1.0).abs() < 1e-9, "masking failed: recall {}", r.recall);
+    }
+
+    #[test]
+    fn chunked_evaluation_matches_serial_for_every_thread_count() {
+        // 9 users with assorted train/test lists (including skipped users)
+        // so the chunks are uneven; every thread count must reproduce the
+        // serial result bitwise.
+        let n_users = 9usize;
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        let mut scores = Vec::new();
+        for u in 0..n_users {
+            train.push(vec![(u % 5) as Id]);
+            test.push(if u % 3 == 2 { vec![] } else { vec![((u + 1) % 5) as Id] });
+            scores.push((0..5).map(|i| ((i * 7 + u * 3) % 11) as f32).collect());
+        }
+        let inter = Interactions::from_lists(5, train, test);
+        let oracle = Oracle { scores };
+        let serial = evaluate_chunked(&oracle, &inter, 3, 1);
+        assert!(serial.n_users > 0);
+        for threads in [2usize, 3, 4, 16] {
+            let chunked = evaluate_chunked(&oracle, &inter, 3, threads);
+            assert_eq!(chunked.n_users, serial.n_users, "threads={threads}");
+            assert_eq!(chunked.recall.to_bits(), serial.recall.to_bits(), "threads={threads}");
+            assert_eq!(chunked.ndcg.to_bits(), serial.ndcg.to_bits(), "threads={threads}");
+            assert_eq!(chunked.hit.to_bits(), serial.hit.to_bits(), "threads={threads}");
+        }
+        // The public entry point uses the default pool.
+        let default = evaluate(&oracle, &inter, 3);
+        assert_eq!(default.recall.to_bits(), serial.recall.to_bits());
     }
 
     #[test]

@@ -267,9 +267,12 @@ pub fn try_train(
 /// Continue a run from a checkpoint written by an earlier (possibly
 /// killed) invocation with the same settings.
 ///
-/// Refuses checkpoints from a different model or seed with
-/// [`CkptError::Mismatch`] — silently resuming them would change the
+/// Refuses checkpoints from a different model, a different seed, or a
+/// different training *mode* (legacy per-batch vs. replica macro-step)
+/// with [`CkptError::Mismatch`] — silently resuming them would change the
 /// derived RNG streams and poison the run's determinism guarantee.
+/// Resuming with a different **nonzero** replica count is allowed: the
+/// macro-step gradient schedule does not depend on the thread count.
 pub fn train_resumed(
     model: &mut dyn Recommender,
     ctx: &TrainContext<'_>,
@@ -289,6 +292,20 @@ pub fn train_resumed(
         return Err(CkptError::Mismatch(format!(
             "checkpoint was trained with seed {}, settings say {}",
             ck.seed, settings.seed
+        ))
+        .into());
+    }
+    // The legacy per-batch path and the replica macro-step path draw
+    // different RNG schedules, so switching *modes* mid-run would silently
+    // diverge from the uninterrupted run. Switching between nonzero
+    // replica counts is safe: the macro-step schedule is fixed-width and
+    // thread-count-invariant.
+    let replicas = model.replicas() as u64;
+    if (ck.replicas == 0) != (replicas == 0) {
+        return Err(CkptError::Mismatch(format!(
+            "checkpoint was trained with replicas = {} but the model resumes with replicas = {}; \
+             legacy (0) and replica (>=1) modes draw different RNG schedules",
+            ck.replicas, replicas
         ))
         .into());
     }
@@ -400,6 +417,7 @@ fn run_loop(
                 let ck = TrainCheckpoint {
                     model_name: model.name(),
                     seed: settings.seed,
+                    replicas: model.replicas() as u64,
                     epoch,
                     best: st.best,
                     best_epoch: st.best_epoch,

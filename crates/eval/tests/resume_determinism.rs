@@ -106,12 +106,24 @@ fn assert_reports_identical(a: &TrainReport, b: &TrainReport) {
 /// Train `2n` epochs straight vs. `n` epochs → checkpoint → restore →
 /// `n` more, and demand bitwise-identical state and reports.
 fn check_resume_is_bitwise(kind: ModelKind, tag: &str) {
+    check_resume_is_bitwise_cfg(kind, &config(), &config(), tag);
+}
+
+/// [`check_resume_is_bitwise`] with explicit configs: the straight run
+/// and the first leg use `cfg`, the resumed leg uses `resume_cfg` (they
+/// may differ only in ways that keep the gradient schedule identical,
+/// e.g. two nonzero replica counts).
+fn check_resume_is_bitwise_cfg(
+    kind: ModelKind,
+    cfg: &ModelConfig,
+    resume_cfg: &ModelConfig,
+    tag: &str,
+) {
     let (inter, ckg) = world();
     let ctx = TrainContext { inter: &inter, ckg: &ckg };
-    let cfg = config();
 
     // Uninterrupted run: 8 epochs, no checkpointing.
-    let mut straight = kind.build(&ctx, &cfg);
+    let mut straight = kind.build(&ctx, cfg);
     let report_straight =
         try_train(straight.as_mut(), &ctx, &settings(8)).expect("straight run trains");
 
@@ -119,14 +131,14 @@ fn check_resume_is_bitwise(kind: ModelKind, tag: &str) {
     // model restores and continues to 8 (simulating a killed process —
     // nothing survives in memory).
     let dir = tmpdir(tag);
-    let mut first_leg = kind.build(&ctx, &cfg);
+    let mut first_leg = kind.build(&ctx, cfg);
     let mut s4 = settings(4);
     s4.ckpt_every = 4;
     s4.ckpt_dir = Some(dir.clone());
     try_train(first_leg.as_mut(), &ctx, &s4).expect("first leg trains");
     drop(first_leg);
 
-    let mut resumed = kind.build(&ctx, &cfg);
+    let mut resumed = kind.build(&ctx, resume_cfg);
     let report_resumed =
         train_resumed(resumed.as_mut(), &ctx, &settings(8), &checkpoint_path(&dir, 4))
             .expect("resume trains");
@@ -145,6 +157,66 @@ fn bprmf_resume_is_bitwise_identical() {
 #[test]
 fn ckat_resume_is_bitwise_identical() {
     check_resume_is_bitwise(ModelKind::Ckat, "ckat");
+}
+
+/// Interrupt a replica-mode (`R = 4`) run mid-way and resume it — with a
+/// *different* nonzero replica count — and demand the result is bitwise
+/// identical to the uninterrupted run. The macro-step schedule is a pure
+/// function of the seed, so the thread count may change freely across a
+/// save/resume boundary.
+#[test]
+fn ckat_replica_resume_is_bitwise_identical() {
+    let four = ModelConfig { replicas: 4, ..config() };
+    let two = ModelConfig { replicas: 2, ..config() };
+    check_resume_is_bitwise_cfg(ModelKind::Ckat, &four, &two, "ckat-replica");
+}
+
+#[test]
+fn bprmf_replica_resume_is_bitwise_identical() {
+    let four = ModelConfig { replicas: 4, ..config() };
+    check_resume_is_bitwise_cfg(ModelKind::Bprmf, &four, &four, "bprmf-replica");
+}
+
+/// A checkpoint written in one training *mode* (legacy per-batch vs.
+/// replica macro-step) must refuse to resume in the other: the two paths
+/// draw different RNG schedules and would silently diverge.
+#[test]
+fn resume_refuses_replica_mode_change() {
+    let (inter, ckg) = world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let dir = tmpdir("mode-change");
+
+    // Legacy-mode checkpoint...
+    let legacy_cfg = config();
+    let mut model = ModelKind::Bprmf.build(&ctx, &legacy_cfg);
+    let mut s = settings(2);
+    s.ckpt_every = 2;
+    s.ckpt_dir = Some(dir.clone());
+    try_train(model.as_mut(), &ctx, &s).expect("trains");
+    let ckpt = checkpoint_path(&dir, 2);
+
+    // ...must not resume in replica mode.
+    let replica_cfg = ModelConfig { replicas: 2, ..config() };
+    let mut replica = ModelKind::Bprmf.build(&ctx, &replica_cfg);
+    let err = train_resumed(replica.as_mut(), &ctx, &settings(4), &ckpt)
+        .expect_err("legacy checkpoint must not resume in replica mode");
+    assert!(err.to_string().contains("replicas"), "{err}");
+
+    // And the reverse: a replica-mode checkpoint refuses a legacy resume.
+    let rdir = tmpdir("mode-change-rev");
+    let mut rmodel = ModelKind::Bprmf.build(&ctx, &replica_cfg);
+    let mut rs = settings(2);
+    rs.ckpt_every = 2;
+    rs.ckpt_dir = Some(rdir.clone());
+    try_train(rmodel.as_mut(), &ctx, &rs).expect("trains");
+    let rckpt = checkpoint_path(&rdir, 2);
+    let mut back = ModelKind::Bprmf.build(&ctx, &legacy_cfg);
+    let err = train_resumed(back.as_mut(), &ctx, &settings(4), &rckpt)
+        .expect_err("replica checkpoint must not resume in legacy mode");
+    assert!(err.to_string().contains("replicas"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&rdir);
 }
 
 #[test]

@@ -26,6 +26,16 @@
 //! exactly the order the full-graph pass uses — batch-local propagation is
 //! bitwise identical on the rows that matter, which the differential tests
 //! in `facility-models` pin down.
+//!
+//! ## Thread safety
+//!
+//! Extraction reads the [`Ckg`] *only* through `&`-references — the graph
+//! is immutable CSR data and `Sync` — so any number of workers may
+//! extract concurrently from one shared graph, each with its **own**
+//! [`SubgraphScratch`] (the scratch holds the mutable BFS state). The
+//! replica training pool in `facility-models` relies on this: one scratch
+//! per worker, one shared graph, and the extracted subgraph for a given
+//! seed set is identical no matter which worker produced it.
 
 use crate::builder::Ckg;
 
@@ -254,6 +264,43 @@ mod tests {
         assert_eq!(a.nodes, a2.nodes);
         assert_eq!(a.edge_ids, a2.edge_ids);
         assert_ne!(a.nodes, b.nodes);
+    }
+
+    #[test]
+    fn concurrent_extraction_matches_serial() {
+        // Many workers, one shared `&Ckg`, one scratch each: every worker
+        // must produce exactly the subgraph a serial extraction yields for
+        // the same seed set (extraction never mutates the graph).
+        let ckg = world();
+        let seed_sets: Vec<Vec<usize>> =
+            vec![vec![0], vec![2, 0, 2], vec![1, 5], vec![0, 1, 2], vec![6], vec![3, 4]];
+
+        let mut serial = SubgraphScratch::new(ckg.n_entities());
+        let expected: Vec<BatchSubgraph> =
+            seed_sets.iter().map(|s| serial.extract(&ckg, s, 2)).collect();
+
+        let concurrent: Vec<BatchSubgraph> = std::thread::scope(|scope| {
+            let handles: Vec<_> = seed_sets
+                .iter()
+                .map(|seeds| {
+                    let ckg = &ckg;
+                    scope.spawn(move || {
+                        let mut scratch = SubgraphScratch::new(ckg.n_entities());
+                        scratch.extract(ckg, seeds, 2)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        for (i, (e, c)) in expected.iter().zip(&concurrent).enumerate() {
+            assert_eq!(e.nodes, c.nodes, "seed set {i}: nodes");
+            assert_eq!(e.n_interior, c.n_interior, "seed set {i}: interior");
+            assert_eq!(e.seed_locals, c.seed_locals, "seed set {i}: seed locals");
+            assert_eq!(e.edge_ids, c.edge_ids, "seed set {i}: edge ids");
+            assert_eq!(e.tails, c.tails, "seed set {i}: tails");
+            assert_eq!(e.heads, c.heads, "seed set {i}: heads");
+        }
     }
 
     #[test]

@@ -9,13 +9,19 @@
 //! ([`facility_autograd::SparseRowGrad`]).
 
 use crate::common::{dot_scores, union_locals, ModelConfig, TrainContext};
+use crate::replica::{batch_rng, pooled_map, MACRO_WIDTH};
 use crate::Recommender;
-use facility_autograd::{Adam, Grad, ParamId, ParamStore, Tape};
+use facility_autograd::{fold_grads_ordered, Adam, Grad, ParamId, ParamStore, Tape};
 use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::sample_bpr_batch;
 use facility_kg::Id;
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// One worker's output for a micro-batch: the per-parameter gradients in
+/// application order, and the batch loss.
+type BatchOut = (Vec<(ParamId, Grad)>, f32);
 use std::sync::Arc;
 
 /// The BPRMF model.
@@ -48,6 +54,118 @@ impl Bprmf {
             cached_items: None,
         }
     }
+
+    /// Replica macro-step arm (see `crate::replica`): `MACRO_WIDTH`
+    /// micro-batches per optimizer step, each sampled from its own RNG
+    /// stream and trained against the frozen snapshot on a pool worker,
+    /// gradients folded in batch order and applied once. Identical for
+    /// every replica count ≥ 1.
+    fn train_epoch_replicated(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        let threads = self.config.replicas.max(1);
+        let n_batches = ctx.batches_per_epoch(self.config.batch_size);
+        let stream_base = rng.next_u64();
+        let batch_size = self.config.batch_size;
+        let l2 = self.config.l2;
+        let (user_emb, item_emb) = (self.user_emb, self.item_emb);
+        let mut total = 0.0;
+        for start in (0..n_batches).step_by(MACRO_WIDTH) {
+            let end = (start + MACRO_WIDTH).min(n_batches);
+            // Sampling is cheap relative to the tapes; drawing each
+            // batch's stream on the main thread keeps the prepare phase
+            // simple without affecting the schedule.
+            let prepared: Vec<Option<BprPrep>> = (start..end)
+                .map(|idx| {
+                    let mut brng = batch_rng(stream_base, idx as u64);
+                    let batch = sample_bpr_batch(ctx.inter, batch_size, &mut brng);
+                    if batch.is_empty() {
+                        return None;
+                    }
+                    let users: Vec<usize> = batch.iter().map(|s| s.user as usize).collect();
+                    let pos: Vec<usize> = batch.iter().map(|s| s.pos as usize).collect();
+                    let neg: Vec<usize> = batch.iter().map(|s| s.neg as usize).collect();
+                    let (uniq_users, user_locals) = union_locals(&[&users]);
+                    let (uniq_items, item_locals) = union_locals(&[&pos, &neg]);
+                    Some(BprPrep {
+                        n: batch.len(),
+                        uniq_users,
+                        user_locals,
+                        uniq_items,
+                        item_locals,
+                    })
+                })
+                .collect();
+            if prepared.iter().all(Option::is_none) {
+                continue;
+            }
+            // Lazy Adam must settle every row the macro-step reads before
+            // the workers snapshot the frozen values.
+            let mut need_u: Vec<usize> =
+                prepared.iter().flatten().flat_map(|p| p.uniq_users.iter().copied()).collect();
+            let mut need_i: Vec<usize> =
+                prepared.iter().flatten().flat_map(|p| p.uniq_items.iter().copied()).collect();
+            need_u.sort_unstable();
+            need_u.dedup();
+            need_i.sort_unstable();
+            need_i.dedup();
+            self.store.sync_rows(&mut self.adam, user_emb, &need_u);
+            self.store.sync_rows(&mut self.adam, item_emb, &need_i);
+
+            let frozen: &ParamStore = &self.store;
+            let mut units = vec![(); threads];
+            let outs: Vec<Option<BatchOut>> =
+                pooled_map(&mut units, prepared, |_unit, _slot, p: Option<BprPrep>| {
+                    let p = p?;
+                    let mut t = Tape::new();
+                    let uemb = t.gather_leaf(frozen.value(user_emb), Arc::new(p.uniq_users));
+                    let vemb = t.gather_leaf(frozen.value(item_emb), Arc::new(p.uniq_items));
+                    let u = t.gather_rows(uemb, &p.user_locals[0]);
+                    let i = t.gather_rows(vemb, &p.item_locals[0]);
+                    let j = t.gather_rows(vemb, &p.item_locals[1]);
+                    let y_pos = t.rowwise_dot(u, i);
+                    let y_neg = t.rowwise_dot(u, j);
+                    let diff = t.sub(y_pos, y_neg);
+                    let ls = t.log_sigmoid(diff);
+                    let s = t.sum_all(ls);
+                    let bpr = t.scale(s, -1.0 / p.n as f32);
+                    let ru = t.frobenius_sq(u);
+                    let ri = t.frobenius_sq(i);
+                    let rj = t.frobenius_sq(j);
+                    let reg0 = t.add(ru, ri);
+                    let reg1 = t.add(reg0, rj);
+                    let reg = t.scale(reg1, l2 / p.n as f32);
+                    let loss = t.add(bpr, reg);
+                    let loss_val = t.value(loss)[(0, 0)];
+                    t.backward(loss);
+                    let grads: Vec<(ParamId, Grad)> = [(user_emb, uemb), (item_emb, vemb)]
+                        .into_iter()
+                        .filter_map(|(q, v)| t.take_sparse_grad(v).map(|g| (q, Grad::Sparse(g))))
+                        .collect();
+                    Some((grads, loss_val))
+                });
+            let mut parts: Vec<Vec<(ParamId, Grad)>> = Vec::new();
+            for (grads, loss) in outs.into_iter().flatten() {
+                total += loss;
+                parts.push(grads);
+            }
+            let folded = fold_grads_ordered(&parts, 1.0 / parts.len() as f32);
+            self.store.apply(&mut self.adam, &folded);
+        }
+        self.store.sync_all(&mut self.adam, self.user_emb);
+        self.store.sync_all(&mut self.adam, self.item_emb);
+        self.cached_users = None;
+        self.cached_items = None;
+        total / n_batches as f32
+    }
+}
+
+/// One prepared micro-batch: samples drawn and remapped to union-local
+/// ids, ready for a worker to tape against the frozen snapshot.
+struct BprPrep {
+    n: usize,
+    uniq_users: Vec<usize>,
+    user_locals: Vec<Vec<usize>>,
+    uniq_items: Vec<usize>,
+    item_locals: Vec<Vec<usize>>,
 }
 
 impl Recommender for Bprmf {
@@ -56,6 +174,9 @@ impl Recommender for Bprmf {
     }
 
     fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        if self.config.replicas >= 1 {
+            return self.train_epoch_replicated(ctx, rng);
+        }
         let n_batches = ctx.batches_per_epoch(self.config.batch_size);
         let mut total = 0.0;
         for _ in 0..n_batches {
@@ -140,6 +261,10 @@ impl Recommender for Bprmf {
 
     fn scale_lr(&mut self, factor: f32) {
         self.adam.lr *= factor;
+    }
+
+    fn replicas(&self) -> usize {
+        self.config.replicas
     }
 
     fn params_finite(&mut self) -> bool {

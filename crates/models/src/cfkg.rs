@@ -12,13 +12,19 @@
 //! dense leaf.
 
 use crate::common::{union_locals, ModelConfig, TrainContext};
+use crate::replica::{batch_rng, pooled_map, MACRO_WIDTH};
 use crate::Recommender;
-use facility_autograd::{Adam, Grad, ParamId, ParamStore, Tape};
+use facility_autograd::{fold_grads_ordered, Adam, Grad, ParamId, ParamStore, Tape};
 use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::sample_kg_batch;
 use facility_kg::Id;
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
+use rand::RngCore;
+
+/// One worker's output for a micro-batch: the per-parameter gradients in
+/// application order, and the batch loss.
+type BatchOut = (Vec<(ParamId, Grad)>, f32);
 use std::sync::Arc;
 
 /// The CFKG model.
@@ -61,6 +67,105 @@ impl Cfkg {
             cached_items: None,
         }
     }
+
+    /// Replica macro-step arm (see `crate::replica`): `MACRO_WIDTH`
+    /// micro-batches per optimizer step, each sampled from its own RNG
+    /// stream and taped against the frozen snapshot on a pool worker,
+    /// gradients folded in batch order and applied once. Identical for
+    /// every replica count ≥ 1.
+    fn train_epoch_replicated(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        let threads = self.config.replicas.max(1);
+        let n_batches = ctx.batches_per_epoch(self.config.batch_size);
+        let stream_base = rng.next_u64();
+        let batch_size = self.config.batch_size;
+        let (l2, margin) = (self.config.l2, self.margin);
+        let (ent_emb, rel_emb) = (self.ent_emb, self.rel_emb);
+        let mut total = 0.0;
+        for start in (0..n_batches).step_by(MACRO_WIDTH) {
+            let end = (start + MACRO_WIDTH).min(n_batches);
+            let prepared: Vec<Option<KgPrep>> = (start..end)
+                .map(|idx| {
+                    let mut brng = batch_rng(stream_base, idx as u64);
+                    let batch = sample_kg_batch(ctx.ckg, batch_size, &mut brng);
+                    if batch.is_empty() {
+                        return None;
+                    }
+                    let heads: Vec<usize> = batch.iter().map(|s| s.head as usize).collect();
+                    let rels: Vec<usize> = batch.iter().map(|s| s.rel as usize).collect();
+                    let tails: Vec<usize> = batch.iter().map(|s| s.tail as usize).collect();
+                    let negs: Vec<usize> = batch.iter().map(|s| s.neg_tail as usize).collect();
+                    let (union, locals) = union_locals(&[&heads, &tails, &negs]);
+                    Some(KgPrep { n: batch.len(), rels, union, locals })
+                })
+                .collect();
+            if prepared.iter().all(Option::is_none) {
+                continue;
+            }
+            let mut need: Vec<usize> =
+                prepared.iter().flatten().flat_map(|p| p.union.iter().copied()).collect();
+            need.sort_unstable();
+            need.dedup();
+            self.store.sync_rows(&mut self.adam, ent_emb, &need);
+
+            let frozen: &ParamStore = &self.store;
+            let mut units = vec![(); threads];
+            let outs: Vec<Option<BatchOut>> =
+                pooled_map(&mut units, prepared, |_unit, _slot, p: Option<KgPrep>| {
+                    let p = p?;
+                    let mut t = Tape::new();
+                    let eemb = t.gather_leaf(frozen.value(ent_emb), Arc::new(p.union));
+                    let remb = t.leaf(frozen.value(rel_emb).clone());
+                    let h = t.gather_rows(eemb, &p.locals[0]);
+                    let r = t.gather_rows(remb, &p.rels);
+                    let tl = t.gather_rows(eemb, &p.locals[1]);
+                    let ng = t.gather_rows(eemb, &p.locals[2]);
+                    let hr = t.add(h, r);
+                    let pos_diff = t.sub(hr, tl);
+                    let neg_diff = t.sub(hr, ng);
+                    let f_pos = t.rowwise_norm_sq(pos_diff);
+                    let f_neg = t.rowwise_norm_sq(neg_diff);
+                    let gap = t.sub(f_pos, f_neg);
+                    let shifted = t.add_scalar(gap, margin);
+                    let hinge = t.relu(shifted);
+                    let s = t.sum_all(hinge);
+                    let main = t.scale(s, 1.0 / p.n as f32);
+                    let re = t.frobenius_sq(h);
+                    let rr = t.frobenius_sq(r);
+                    let reg0 = t.add(re, rr);
+                    let reg = t.scale(reg0, l2 / p.n as f32);
+                    let loss = t.add(main, reg);
+                    let loss_val = t.value(loss)[(0, 0)];
+                    t.backward(loss);
+                    let mut grads: Vec<(ParamId, Grad)> = Vec::new();
+                    if let Some(g) = t.take_sparse_grad(eemb) {
+                        grads.push((ent_emb, Grad::Sparse(g)));
+                    }
+                    if let Some(g) = t.take_grad(remb) {
+                        grads.push((rel_emb, Grad::Dense(g)));
+                    }
+                    Some((grads, loss_val))
+                });
+            let mut parts: Vec<Vec<(ParamId, Grad)>> = Vec::new();
+            for (grads, loss) in outs.into_iter().flatten() {
+                total += loss;
+                parts.push(grads);
+            }
+            let folded = fold_grads_ordered(&parts, 1.0 / parts.len() as f32);
+            self.store.apply(&mut self.adam, &folded);
+        }
+        self.store.sync_all(&mut self.adam, self.ent_emb);
+        self.cached_query = None;
+        self.cached_items = None;
+        total / n_batches as f32
+    }
+}
+
+/// One prepared micro-batch: TransE samples remapped to union-local ids.
+struct KgPrep {
+    n: usize,
+    rels: Vec<usize>,
+    union: Vec<usize>,
+    locals: Vec<Vec<usize>>,
 }
 
 impl Recommender for Cfkg {
@@ -72,6 +177,9 @@ impl Recommender for Cfkg {
         // The unified graph's canonical triples include the Interact
         // triples, so TransE over `sample_kg_batch` trains both behaviour
         // and knowledge — exactly CFKG's design.
+        if self.config.replicas >= 1 {
+            return self.train_epoch_replicated(ctx, rng);
+        }
         let n_batches = ctx.batches_per_epoch(self.config.batch_size);
         let mut total = 0.0;
         for _ in 0..n_batches {
@@ -173,6 +281,10 @@ impl Recommender for Cfkg {
 
     fn scale_lr(&mut self, factor: f32) {
         self.adam.lr *= factor;
+    }
+
+    fn replicas(&self) -> usize {
+        self.config.replicas
     }
 
     fn params_finite(&mut self) -> bool {

@@ -60,14 +60,16 @@
 
 use crate::common::{dot_scores, union_locals, ModelConfig, TrainContext};
 use crate::profile::EpochProfile;
+use crate::replica::{batch_rng, pooled_map, MACRO_WIDTH};
 use crate::transr;
 use crate::Recommender;
-use facility_autograd::{Adam, Grad, ParamId, ParamStore, Tape, Var};
+use facility_autograd::{fold_grads_ordered, Adam, Grad, ParamId, ParamStore, Tape, Var};
 use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch, BprSample, KgSample};
 use facility_kg::{BatchSubgraph, Id, SubgraphScratch};
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
+use rand::RngCore;
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
@@ -154,6 +156,9 @@ pub struct Ckat {
     cached_items: Option<Matrix>,
     /// Reusable arena for per-batch receptive-field extraction.
     scratch: SubgraphScratch,
+    /// One extraction arena per replica worker (grown lazily; empty until
+    /// the first replica-mode epoch).
+    pool_scratches: Vec<SubgraphScratch>,
     /// Instrumentation from the most recent epoch, consumed by
     /// [`Recommender::take_epoch_profile`].
     last_profile: Option<EpochProfile>,
@@ -209,6 +214,7 @@ impl Ckat {
             cached_users: None,
             cached_items: None,
             scratch: SubgraphScratch::new(n_ent),
+            pool_scratches: Vec::new(),
             last_profile: None,
         }
     }
@@ -654,6 +660,296 @@ impl Ckat {
         prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
         total
     }
+
+    /// Replica training arm: macro-steps of [`MACRO_WIDTH`] independent
+    /// micro-batches, each sampled/extracted/trained against a *frozen*
+    /// parameter snapshot on its own tape, gradients folded in batch
+    /// order and applied once per phase (BPR, then TransR). The replica
+    /// count only sets how many threads execute the fixed schedule, so
+    /// the run is bitwise-identical for every `replicas ≥ 1` (see
+    /// `crate::replica` for the determinism argument). This retires the
+    /// single-slot prefetch thread: extraction happens inside the pool's
+    /// prepare phase instead.
+    ///
+    /// Each macro-step is two [`pooled_map`] phases with a main-thread
+    /// reduction between and after:
+    ///
+    /// * **Prepare** (parallel): per batch, sample BPR + TransR from the
+    ///   batch's private RNG stream and extract the receptive field.
+    /// * main: one [`ParamStore::sync_rows`] over the union of every
+    ///   row the macro-step will read — lazy Adam must settle rows
+    ///   *before* workers snapshot them.
+    /// * **Train** (parallel): per batch, build the BPR and TransR tapes
+    ///   against the frozen snapshot and return their gradients.
+    /// * main: fold gradients in batch order, scale by `1/K`, apply.
+    fn run_batches_replicated(
+        &mut self,
+        ctx: &TrainContext<'_>,
+        n_batches: usize,
+        stream_base: u64,
+        prof: &mut EpochProfile,
+    ) -> f32 {
+        let threads = self.config.base.replicas.max(1);
+        while self.pool_scratches.len() < threads {
+            self.pool_scratches.push(SubgraphScratch::new(self.n_entities));
+        }
+        let Ckat {
+            store,
+            adam,
+            ent_emb,
+            rel_emb,
+            rel_proj,
+            layer_w,
+            layer_b,
+            config,
+            n_entities,
+            n_rel,
+            att,
+            pool_scratches,
+            ..
+        } = self;
+        let (ent_emb, rel_emb, rel_proj) = (*ent_emb, *rel_emb, *rel_proj);
+        let (n_entities, n_rel) = (*n_entities, *n_rel);
+        let config: &CkatConfig = config;
+        let att: &[f32] = att;
+        let d = config.base.embed_dim;
+        let depth = config.depth();
+        let batch_size = config.base.batch_size;
+        let ckg = ctx.ckg;
+        let inter = ctx.inter;
+        let full_edges = ckg.n_edges() as u64;
+        let scratches = &mut pool_scratches[..threads];
+
+        let mut total = 0.0;
+        for start in (0..n_batches).step_by(MACRO_WIDTH) {
+            let end = (start + MACRO_WIDTH).min(n_batches);
+
+            // --- Prepare phase: sample + extract, one batch per job ---
+            let clock = Instant::now();
+            let prepared: Vec<Option<PreparedBatch>> =
+                pooled_map(scratches, (start..end).collect(), |scratch, _slot, idx: usize| {
+                    let sample_clock = Instant::now();
+                    let mut rng = batch_rng(stream_base, idx as u64);
+                    let bpr = sample_bpr_batch(inter, batch_size, &mut rng);
+                    if bpr.is_empty() {
+                        return None;
+                    }
+                    let kg = sample_kg_batch(ckg, batch_size, &mut rng);
+                    let sampling_ns = sample_clock.elapsed().as_nanos() as u64;
+
+                    let extract_clock = Instant::now();
+                    let mut seeds = Vec::with_capacity(3 * bpr.len());
+                    seeds.extend(bpr.iter().map(|x| x.user as usize));
+                    seeds.extend(bpr.iter().map(|x| ckg.item_entity(x.pos)));
+                    seeds.extend(bpr.iter().map(|x| ckg.item_entity(x.neg)));
+                    let sub = scratch.extract(ckg, &seeds, depth);
+                    let att_vals: Vec<f32> = sub.edge_ids.iter().map(|&k| att[k]).collect();
+                    let extract_ns = extract_clock.elapsed().as_nanos() as u64;
+
+                    let (kg_union, local_kg) = if kg.is_empty() {
+                        (Vec::new(), Vec::new())
+                    } else {
+                        let heads_g: Vec<usize> = kg.iter().map(|s| s.head as usize).collect();
+                        let tails_g: Vec<usize> = kg.iter().map(|s| s.tail as usize).collect();
+                        let negs_g: Vec<usize> = kg.iter().map(|s| s.neg_tail as usize).collect();
+                        let (union, locals) = union_locals(&[&heads_g, &tails_g, &negs_g]);
+                        let local_kg: Vec<KgSample> = kg
+                            .iter()
+                            .enumerate()
+                            .map(|(n, s)| KgSample {
+                                head: locals[0][n] as Id,
+                                rel: s.rel,
+                                tail: locals[1][n] as Id,
+                                neg_tail: locals[2][n] as Id,
+                            })
+                            .collect();
+                        (union, local_kg)
+                    };
+                    Some(PreparedBatch {
+                        bpr,
+                        local_kg,
+                        kg_union,
+                        sub,
+                        att_vals,
+                        rng,
+                        sampling_ns,
+                        extract_ns,
+                    })
+                });
+            prof.extract_wait_ns += clock.elapsed().as_nanos() as u64;
+
+            // Accounting + the union of every row this macro-step reads.
+            let mut need: Vec<usize> = Vec::new();
+            for p in prepared.iter().flatten() {
+                prof.batches += 1;
+                prof.sampling_ns += p.sampling_ns;
+                prof.extract_ns += p.extract_ns;
+                prof.full_rows += n_entities as u64;
+                prof.full_edges += full_edges;
+                prof.gathered_rows += p.sub.n_nodes() as u64;
+                prof.gathered_edges += p.sub.n_edges() as u64;
+                prof.forward_flops +=
+                    propagation_flops(config, p.sub.n_nodes() as u64, p.sub.n_edges() as u64);
+                need.extend_from_slice(&p.sub.nodes);
+                need.extend_from_slice(&p.kg_union);
+            }
+            let k = prepared.iter().flatten().count();
+            if k == 0 {
+                continue;
+            }
+            need.sort_unstable();
+            need.dedup();
+            let clock = Instant::now();
+            store.sync_rows(adam, ent_emb, &need);
+            prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+
+            // --- Train phase: frozen snapshot, one tape pair per batch ---
+            let frozen: &ParamStore = store;
+            let mut units = vec![(); threads];
+            let outs: Vec<Option<BatchOut>> =
+                pooled_map(&mut units, prepared, |_unit, _slot, p: Option<PreparedBatch>| {
+                    let mut p = p?;
+                    let b = p.bpr.len();
+                    let clock = Instant::now();
+                    let mut t = Tape::new();
+                    let lw: Vec<Var> =
+                        layer_w.iter().map(|&q| t.leaf(frozen.value(q).clone())).collect();
+                    let lb: Vec<Var> =
+                        layer_b.iter().map(|&q| t.leaf(frozen.value(q).clone())).collect();
+                    let n_sub = p.sub.n_nodes();
+                    let n_sub_edges = p.sub.n_edges();
+                    let BatchSubgraph { nodes, seed_locals, tails, heads, .. } = p.sub;
+                    let att_col = t.constant(Matrix::from_vec(n_sub_edges, 1, p.att_vals));
+                    let ent_sub = t.gather_leaf(frozen.value(ent_emb), Arc::new(nodes));
+                    let all = propagate_over(
+                        config,
+                        &mut t,
+                        ent_sub,
+                        att_col,
+                        Arc::new(tails),
+                        Arc::new(heads),
+                        n_sub,
+                        &lw,
+                        &lb,
+                        Some(&mut p.rng),
+                    );
+                    let u = t.gather_rows(all, &seed_locals[..b]);
+                    let i = t.gather_rows(all, &seed_locals[b..2 * b]);
+                    let j = t.gather_rows(all, &seed_locals[2 * b..]);
+                    let loss = bpr_head(&mut t, u, i, j, b, config.base.l2);
+                    let mut loss_val = t.value(loss)[(0, 0)];
+                    let mut forward_ns = clock.elapsed().as_nanos() as u64;
+
+                    let clock = Instant::now();
+                    t.backward(loss);
+                    let mut bpr_grads: Vec<(ParamId, Grad)> = Vec::new();
+                    if let Some(g) = t.take_sparse_grad(ent_sub) {
+                        bpr_grads.push((ent_emb, Grad::Sparse(g)));
+                    }
+                    for (&q, &var) in layer_w.iter().zip(&lw) {
+                        if let Some(g) = t.take_grad(var) {
+                            bpr_grads.push((q, Grad::Dense(g)));
+                        }
+                    }
+                    for (&q, &var) in layer_b.iter().zip(&lb) {
+                        if let Some(g) = t.take_grad(var) {
+                            bpr_grads.push((q, Grad::Dense(g)));
+                        }
+                    }
+                    let mut backward_ns = clock.elapsed().as_nanos() as u64;
+
+                    // TransR tape against the *same* frozen snapshot.
+                    let mut kg_grads: Vec<(ParamId, Grad)> = Vec::new();
+                    if !p.local_kg.is_empty() {
+                        let clock = Instant::now();
+                        let mut t = Tape::new();
+                        let ent_u = t.gather_leaf(frozen.value(ent_emb), Arc::new(p.kg_union));
+                        let remb = t.leaf(frozen.value(rel_emb).clone());
+                        let rproj = t.leaf(frozen.value(rel_proj).clone());
+                        let loss = transr::margin_loss(
+                            &mut t,
+                            ent_u,
+                            remb,
+                            rproj,
+                            d,
+                            n_rel,
+                            &p.local_kg,
+                            config.margin,
+                        );
+                        loss_val += t.value(loss)[(0, 0)];
+                        forward_ns += clock.elapsed().as_nanos() as u64;
+                        let clock = Instant::now();
+                        t.backward(loss);
+                        if let Some(g) = t.take_sparse_grad(ent_u) {
+                            kg_grads.push((ent_emb, Grad::Sparse(g)));
+                        }
+                        for (q, var) in [(rel_emb, remb), (rel_proj, rproj)] {
+                            if let Some(g) = t.take_grad(var) {
+                                kg_grads.push((q, Grad::Dense(g)));
+                            }
+                        }
+                        backward_ns += clock.elapsed().as_nanos() as u64;
+                    }
+                    Some(BatchOut { bpr_grads, kg_grads, loss: loss_val, forward_ns, backward_ns })
+                });
+
+            // --- Reduce: fold in batch order, scale by 1/K, apply once ---
+            let mut bpr_parts: Vec<Vec<(ParamId, Grad)>> = Vec::with_capacity(k);
+            let mut kg_parts: Vec<Vec<(ParamId, Grad)>> = Vec::new();
+            for o in outs.into_iter().flatten() {
+                total += o.loss;
+                prof.forward_ns += o.forward_ns;
+                prof.backward_ns += o.backward_ns;
+                bpr_parts.push(o.bpr_grads);
+                if !o.kg_grads.is_empty() {
+                    kg_parts.push(o.kg_grads);
+                }
+            }
+            let clock = Instant::now();
+            let folded_bpr = fold_grads_ordered(&bpr_parts, 1.0 / bpr_parts.len() as f32);
+            let folded_kg = if kg_parts.is_empty() {
+                Vec::new()
+            } else {
+                fold_grads_ordered(&kg_parts, 1.0 / kg_parts.len() as f32)
+            };
+            prof.reduce_ns += clock.elapsed().as_nanos() as u64;
+            let clock = Instant::now();
+            store.apply(adam, &folded_bpr);
+            if !folded_kg.is_empty() {
+                store.apply(adam, &folded_kg);
+            }
+            prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+        }
+        let clock = Instant::now();
+        store.sync_all(adam, ent_emb);
+        prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+        total
+    }
+}
+
+/// One micro-batch after the prepare phase: samples drawn, receptive
+/// field extracted, TransR ids remapped — everything the train phase
+/// needs except the frozen parameter snapshot. Carries the batch's
+/// private RNG (post-sampling state) forward for dropout.
+struct PreparedBatch {
+    bpr: Vec<BprSample>,
+    local_kg: Vec<KgSample>,
+    kg_union: Vec<usize>,
+    sub: BatchSubgraph,
+    att_vals: Vec<f32>,
+    rng: StdRng,
+    sampling_ns: u64,
+    extract_ns: u64,
+}
+
+/// One micro-batch's contribution to the macro-step: per-phase gradient
+/// lists (folded on the main thread), its loss, and worker-side timings.
+struct BatchOut {
+    bpr_grads: Vec<(ParamId, Grad)>,
+    kg_grads: Vec<(ParamId, Grad)>,
+    loss: f32,
+    forward_ns: u64,
+    backward_ns: u64,
 }
 
 /// The propagation stack over an arbitrary CSR edge view: `h0` holds
@@ -757,44 +1053,57 @@ impl Recommender for Ckat {
     }
 
     fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
-        let mut prof = EpochProfile::default();
+        let wall = Instant::now();
+        let mut prof =
+            EpochProfile { replicas: self.config.base.replicas as u64, ..EpochProfile::default() };
         let clock = Instant::now();
         self.refresh_attention(ctx);
         prof.attention_ns = clock.elapsed().as_nanos() as u64;
         let n_batches = ctx.batches_per_epoch(self.config.base.batch_size);
 
-        // Draw every mini-batch up front, in the legacy interleaved order
-        // (BPR then TransR per batch, stopping at the first empty BPR
-        // draw before its TransR draw). With dropout off this consumes
-        // the RNG stream exactly as inline sampling did, which is what
-        // lets the prefetching batch-local arm stay bitwise comparable to
-        // the full-graph oracle; it also hands the extraction worker
-        // every seed set ahead of time. An empty first draw abandons the
-        // epoch but still *falls through* to the invalidation below — an
-        // earlier version returned 0.0 early and kept serving stale eval
-        // caches.
-        let clock = Instant::now();
-        let mut batches: Vec<(Vec<BprSample>, Vec<KgSample>)> = Vec::new();
-        for _ in 0..n_batches {
-            let bpr = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
-            if bpr.is_empty() {
-                break;
-            }
-            let kg = sample_kg_batch(ctx.ckg, self.config.base.batch_size, rng);
-            batches.push((bpr, kg));
-        }
-        prof.sampling_ns += clock.elapsed().as_nanos() as u64;
-
-        let total = if self.config.batch_local {
-            self.run_batches_local(ctx, &batches, rng, &mut prof)
+        let total = if self.config.base.replicas >= 1 {
+            // Replica macro-step mode: the epoch RNG contributes exactly
+            // one draw (the stream base); every batch derives its own
+            // sampling/dropout stream from it, so the schedule does not
+            // depend on the replica count (see `crate::replica`).
+            let stream_base = rng.next_u64();
+            self.run_batches_replicated(ctx, n_batches, stream_base, &mut prof)
         } else {
-            self.run_batches_full(ctx, &batches, rng, &mut prof)
+            // Legacy per-batch path. Draw every mini-batch up front, in
+            // the legacy interleaved order (BPR then TransR per batch,
+            // stopping at the first empty BPR draw before its TransR
+            // draw). With dropout off this consumes the RNG stream
+            // exactly as inline sampling did, which is what lets the
+            // prefetching batch-local arm stay bitwise comparable to the
+            // full-graph oracle; it also hands the extraction worker
+            // every seed set ahead of time. An empty first draw abandons
+            // the epoch but still *falls through* to the invalidation
+            // below — an earlier version returned 0.0 early and kept
+            // serving stale eval caches.
+            let clock = Instant::now();
+            let mut batches: Vec<(Vec<BprSample>, Vec<KgSample>)> = Vec::new();
+            for _ in 0..n_batches {
+                let bpr = sample_bpr_batch(ctx.inter, self.config.base.batch_size, rng);
+                if bpr.is_empty() {
+                    break;
+                }
+                let kg = sample_kg_batch(ctx.ckg, self.config.base.batch_size, rng);
+                batches.push((bpr, kg));
+            }
+            prof.sampling_ns += clock.elapsed().as_nanos() as u64;
+
+            if self.config.batch_local {
+                self.run_batches_local(ctx, &batches, rng, &mut prof)
+            } else {
+                self.run_batches_full(ctx, &batches, rng, &mut prof)
+            }
         };
         // Every exit path must drop the eval caches *and* the per-edge
         // attention snapshot: parameters changed, so both are stale.
         self.cached_users = None;
         self.cached_items = None;
         self.att_fresh = false;
+        prof.wall_ns = wall.elapsed().as_nanos() as u64;
         self.last_profile = Some(prof);
         total / n_batches as f32
     }
@@ -835,6 +1144,10 @@ impl Recommender for Ckat {
 
     fn scale_lr(&mut self, factor: f32) {
         self.adam.lr *= factor;
+    }
+
+    fn replicas(&self) -> usize {
+        self.config.base.replicas
     }
 
     fn params_finite(&mut self) -> bool {

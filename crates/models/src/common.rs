@@ -54,11 +54,25 @@ pub struct ModelConfig {
     pub keep_prob: f32,
     /// RNG seed for parameter initialization.
     pub seed: u64,
+    /// Data-parallel replica workers for macro-step training (see
+    /// `crate::replica`). `0` keeps the legacy per-batch path; `R ≥ 1`
+    /// trains `MACRO_WIDTH` micro-batches per optimizer step on `R`
+    /// threads — the schedule (and so the whole run) is identical for
+    /// every `R ≥ 1`, only the wall-clock changes.
+    pub replicas: usize,
 }
 
 impl Default for ModelConfig {
     fn default() -> Self {
-        Self { embed_dim: 64, batch_size: 512, lr: 0.01, l2: 1e-5, keep_prob: 0.9, seed: 0 }
+        Self {
+            embed_dim: 64,
+            batch_size: 512,
+            lr: 0.01,
+            l2: 1e-5,
+            keep_prob: 0.9,
+            seed: 0,
+            replicas: 0,
+        }
     }
 }
 

@@ -38,6 +38,7 @@ pub mod heuristics;
 pub mod kgcn;
 pub mod nfm;
 pub mod profile;
+pub mod replica;
 pub mod ripplenet;
 pub mod transr;
 
@@ -107,6 +108,15 @@ pub trait Recommender: Send + Sync {
     /// Scale the optimizer learning rate by `factor` (divergence recovery
     /// backs off with factors < 1). No-op for parameter-free models.
     fn scale_lr(&mut self, _factor: f32) {}
+
+    /// Data-parallel replica count this model trains with (see
+    /// [`replica`]): `0` = legacy per-batch path, `R ≥ 1` = macro-step
+    /// replica mode on `R` threads. The trainer stamps this into
+    /// checkpoints so a resume cannot silently switch gradient schedules.
+    /// Models without a replica path always report 0.
+    fn replicas(&self) -> usize {
+        0
+    }
 
     /// True when every trainable scalar *touched since the last check* is
     /// finite. The trainer's divergence guard calls this after each

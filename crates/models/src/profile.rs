@@ -27,14 +27,27 @@ pub struct EpochProfile {
     pub backward_ns: u64,
     /// Time in optimizer updates (`ParamStore::apply` + lazy-row syncs).
     pub optimizer_ns: u64,
-    /// Time the extraction worker spent building batch subgraphs. Under
-    /// double-buffered prefetch this overlaps training of the previous
-    /// batch, so it is *not* part of [`EpochProfile::train_ns`]; the
-    /// blocked portion shows up as [`EpochProfile::extract_wait_ns`].
+    /// Time spent building batch subgraphs, **summed across however many
+    /// extraction workers ran** — the single prefetch thread on the
+    /// legacy path, or every pool worker in replica mode. Extraction
+    /// overlaps other work, so it is *not* part of
+    /// [`EpochProfile::train_ns`]; the blocked portion shows up as
+    /// [`EpochProfile::extract_wait_ns`].
     pub extract_ns: u64,
-    /// Time the training thread blocked waiting for the next prefetched
-    /// subgraph (0 when extraction hides fully behind training).
+    /// Time the main training thread blocked on extraction: waiting for
+    /// the next prefetched subgraph on the legacy path, or for the
+    /// macro-step's parallel prepare phase in replica mode.
     pub extract_wait_ns: u64,
+    /// Time folding per-replica gradients into the macro-step gradient
+    /// (main thread, replica mode only; 0 on the per-batch paths).
+    pub reduce_ns: u64,
+    /// End-to-end wall-clock time of the `train_epoch` call. Unlike
+    /// [`EpochProfile::train_ns`] — a *sum of component times*, which
+    /// under data-parallel replicas aggregates across workers and can
+    /// exceed real time — this is the honest speedup denominator.
+    pub wall_ns: u64,
+    /// Replica workers used for this epoch (0 = legacy per-batch path).
+    pub replicas: u64,
     /// Time spent in evaluation, when the caller evaluated this epoch
     /// (filled by the trainer, not the model).
     pub eval_ns: u64,

@@ -1,0 +1,155 @@
+//! Deterministic data-parallel worker pool for macro-step training and
+//! chunked evaluation.
+//!
+//! A *macro-step* draws [`MACRO_WIDTH`] independent micro-batches and
+//! trains each against a shared frozen parameter snapshot; the per-batch
+//! sparse gradients are then folded **in batch order**
+//! ([`facility_autograd::fold_grads_ordered`]) and applied once. Three
+//! choices make the whole schedule a pure function of the seed,
+//! independent of how many worker threads execute it:
+//!
+//! 1. **Fixed macro width.** The macro-step always spans `MACRO_WIDTH`
+//!    micro-batches no matter how many workers exist, so the gradient
+//!    schedule (partitioning, fold order, optimizer step count) is
+//!    identical for every `--replicas` value; the replica count only
+//!    chooses how many threads chew through the fixed schedule.
+//! 2. **Per-batch RNG streams.** Each micro-batch seeds its own RNG from
+//!    [`replica_stream`]`(stream_base, batch_index)`, so sampling and
+//!    dropout never race on a shared stream and batch `i` draws the same
+//!    samples whichever worker runs it.
+//! 3. **Slot-ordered results.** [`pooled_map`] assigns job `j` to worker
+//!    `j % threads` and writes its result into slot `j`, so downstream
+//!    folds see results in job order, never completion order.
+
+use rand::rngs::StdRng;
+
+/// Number of micro-batches per macro-step. Fixed (rather than equal to
+/// the replica count) so the gradient schedule — and therefore the loss
+/// trajectory — is bitwise-identical for every `--replicas` value.
+pub const MACRO_WIDTH: usize = 8;
+
+/// Default replica count: available cores, capped at [`MACRO_WIDTH`]
+/// (more workers than micro-batches per macro-step would idle).
+pub fn default_replicas() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(MACRO_WIDTH)
+}
+
+/// SplitMix64 finalizer — the same mixer the trainer uses for per-epoch
+/// seeds, duplicated here because `facility-eval` depends on this crate.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive the seed for micro-batch `idx`'s private RNG stream from the
+/// epoch's `stream_base` (itself one `next_u64` draw from the epoch RNG,
+/// so retries/resumes re-derive it for free).
+pub fn replica_stream(stream_base: u64, idx: u64) -> u64 {
+    splitmix(stream_base ^ splitmix(idx))
+}
+
+/// A fresh [`StdRng`] for micro-batch `idx` of the current epoch.
+pub fn batch_rng(stream_base: u64, idx: u64) -> StdRng {
+    facility_linalg::seeded_rng(replica_stream(stream_base, idx))
+}
+
+/// Map `jobs` across `states.len()` workers with a deterministic static
+/// assignment (job `j` runs on worker `j % threads`, with exclusive use
+/// of `states[j % threads]`), returning results **in job order**.
+///
+/// With a single state the jobs run inline on the calling thread — no
+/// spawns — which is what makes an R=1 replica run bitwise-identical to
+/// the same schedule executed serially.
+///
+/// # Panics
+/// Panics if `states` is empty or a worker panics.
+pub fn pooled_map<S, I, T, F>(states: &mut [S], jobs: Vec<I>, f: F) -> Vec<T>
+where
+    S: Send,
+    I: Send,
+    T: Send,
+    F: Fn(&mut S, usize, I) -> T + Sync,
+{
+    let threads = states.len();
+    assert!(threads > 0, "pooled_map needs at least one worker state");
+    if threads == 1 || jobs.len() <= 1 {
+        let s = &mut states[0];
+        return jobs.into_iter().enumerate().map(|(j, job)| f(s, j, job)).collect();
+    }
+    let n_jobs = jobs.len();
+    let mut per_worker: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (j, job) in jobs.into_iter().enumerate() {
+        per_worker[j % threads].push((j, job));
+    }
+    let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
+    std::thread::scope(|sc| {
+        let handles: Vec<_> = states
+            .iter_mut()
+            .zip(per_worker)
+            .map(|(state, work)| {
+                let f = &f;
+                sc.spawn(move || {
+                    work.into_iter().map(|(j, job)| (j, f(state, j, job))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (j, out) in h.join().expect("replica worker panicked") {
+                slots[j] = Some(out);
+            }
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every job produced a result")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn pooled_map_preserves_job_order_for_any_thread_count() {
+        let square = |_s: &mut (), j: usize, x: usize| (j, x * x);
+        let jobs: Vec<usize> = (10..30).collect();
+        let serial = pooled_map(&mut [()], jobs.clone(), square);
+        for threads in 2..=5 {
+            let mut states = vec![(); threads];
+            let par = pooled_map(&mut states, jobs.clone(), square);
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pooled_map_gives_each_worker_exclusive_state() {
+        // Each worker counts its jobs; the static assignment puts job j on
+        // worker j % threads exactly.
+        let mut states = vec![0usize; 3];
+        let out = pooled_map(&mut states, (0..10).collect::<Vec<usize>>(), |count, j, x| {
+            *count += 1;
+            j + x
+        });
+        assert_eq!(out, (0..10).map(|j| 2 * j).collect::<Vec<_>>());
+        assert_eq!(states, vec![4, 3, 3]);
+    }
+
+    #[test]
+    fn replica_streams_are_distinct_and_stable() {
+        let base = 0xDEAD_BEEF;
+        let a = replica_stream(base, 0);
+        let b = replica_stream(base, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, replica_stream(base, 0), "pure function of (base, idx)");
+        // The derived RNGs draw different streams.
+        let mut ra = batch_rng(base, 0);
+        let mut rb = batch_rng(base, 1);
+        assert_ne!(ra.next_u64(), rb.next_u64());
+    }
+
+    #[test]
+    fn default_replicas_is_positive_and_capped() {
+        let r = default_replicas();
+        assert!((1..=MACRO_WIDTH).contains(&r));
+    }
+}

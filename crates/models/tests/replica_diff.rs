@@ -1,0 +1,172 @@
+//! Differential tests for deterministic data-parallel replica training.
+//!
+//! The replica macro-step has a **fixed width** (`MACRO_WIDTH`
+//! micro-batches per optimizer step) and per-batch RNG streams, so the
+//! gradient schedule is a pure function of the seed: the `--replicas`
+//! value only picks how many threads execute it. `R = 1` runs the exact
+//! schedule inline on the calling thread (no spawns) — it *is* the
+//! single-threaded reference — and every `R ≥ 2` must reproduce it
+//! bitwise: same per-epoch losses, same final parameters, dropout on or
+//! off.
+
+use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
+use facility_linalg::seeded_rng;
+use facility_models::bprmf::Bprmf;
+use facility_models::cfkg::Cfkg;
+use facility_models::ckat::{Aggregator, Ckat, CkatConfig};
+use facility_models::{ModelConfig, Recommender, TrainContext};
+
+/// The same toy world the in-crate unit tests use: 4 users, 6 items, two
+/// co-location pairs, and location/data-type attributes.
+fn toy_world() -> (Interactions, facility_kg::Ckg) {
+    let events: Vec<(Id, Id)> =
+        vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 3), (2, 2), (2, 4), (3, 1), (3, 5)];
+    let inter = Interactions::split(4, 6, &events, 0.0, &mut seeded_rng(0));
+    let mut b = CkgBuilder::new(4, 6);
+    b.add_interactions(&inter.train_pairs);
+    b.add_user_user(&[(0, 1), (2, 3)]);
+    for i in 0..6u32 {
+        b.add_item_attribute(KnowledgeSource::Loc, "locatedAt", i, format!("site:{}", i % 2));
+        b.add_item_attribute(KnowledgeSource::Dkg, "hasDataType", i, format!("type:{}", i % 3));
+    }
+    (inter, b.build(SourceMask::all()))
+}
+
+fn base_config(replicas: usize, keep_prob: f32) -> ModelConfig {
+    let mut base = ModelConfig::fast();
+    base.batch_size = 4; // several macro-steps per epoch on the toy world
+    base.keep_prob = keep_prob;
+    base.replicas = replicas;
+    base
+}
+
+fn ckat_config(replicas: usize, keep_prob: f32) -> CkatConfig {
+    CkatConfig {
+        layer_dims: vec![16, 8],
+        use_attention: true,
+        aggregator: Aggregator::Concat,
+        transr_dim: 16,
+        margin: 1.0,
+        batch_local: true,
+        base: base_config(replicas, keep_prob),
+    }
+}
+
+fn assert_states_bitwise(a: &dyn Recommender, b: &dyn Recommender, what: &str) {
+    let (sa, sb) = (a.save_state(), b.save_state());
+    assert_eq!(sa.params.len(), sb.params.len(), "{what}: param count");
+    for ((na, ma), (nb, mb)) in sa.params.iter().zip(&sb.params) {
+        assert_eq!(na, nb, "{what}: param order");
+        assert_eq!(ma.shape(), mb.shape(), "{what}: `{na}` shape");
+        for (idx, (x, y)) in ma.as_slice().iter().zip(mb.as_slice()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: `{na}` scalar {idx} differs: {x} vs {y}");
+        }
+    }
+}
+
+/// Train the same model under every replica count and demand identical
+/// loss trajectories and final parameters. `R = 1` is the serial
+/// reference (inline execution, no worker threads), so this subsumes
+/// both "R=1 matches the single-threaded path" and "R∈{2,4} match each
+/// other".
+fn assert_replica_counts_match<M, F>(build: F, epochs: usize, what: &str)
+where
+    M: Recommender,
+    F: Fn(&TrainContext<'_>, usize) -> M,
+{
+    let (inter, ckg) = toy_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut reference = build(&ctx, 1);
+    let mut ref_losses = Vec::new();
+    let mut rng = seeded_rng(42);
+    for _ in 0..epochs {
+        ref_losses.push(reference.train_epoch(&ctx, &mut rng));
+    }
+    for replicas in [2usize, 4, 8] {
+        let mut model = build(&ctx, replicas);
+        let mut rng = seeded_rng(42);
+        for (epoch, &ref_loss) in ref_losses.iter().enumerate() {
+            let loss = model.train_epoch(&ctx, &mut rng);
+            assert_eq!(
+                loss.to_bits(),
+                ref_loss.to_bits(),
+                "{what}: epoch {epoch} loss diverged at R={replicas}: {loss} vs {ref_loss}"
+            );
+        }
+        assert_states_bitwise(&reference, &model, &format!("{what} R={replicas}"));
+    }
+}
+
+#[test]
+fn ckat_replica_counts_produce_identical_runs() {
+    assert_replica_counts_match(
+        |ctx, r| Ckat::new(ctx, &ckat_config(r, 1.0)),
+        3,
+        "CKAT (no dropout)",
+    );
+}
+
+/// Dropout draws come from each batch's private stream, so the replica
+/// schedule stays thread-count-invariant even with dropout *on* — a
+/// property the legacy shared-stream path never had.
+#[test]
+fn ckat_replica_counts_match_with_dropout_on() {
+    assert_replica_counts_match(
+        |ctx, r| Ckat::new(ctx, &ckat_config(r, 0.7)),
+        3,
+        "CKAT (dropout 0.7)",
+    );
+}
+
+#[test]
+fn bprmf_replica_counts_produce_identical_runs() {
+    assert_replica_counts_match(|ctx, r| Bprmf::new(ctx, &base_config(r, 1.0)), 4, "BPRMF");
+}
+
+#[test]
+fn cfkg_replica_counts_produce_identical_runs() {
+    assert_replica_counts_match(|ctx, r| Cfkg::new(ctx, &base_config(r, 1.0)), 4, "CFKG");
+}
+
+/// The replica path must actually train, not just be self-consistent.
+#[test]
+fn ckat_replica_mode_learns() {
+    let (inter, ckg) = toy_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut model = Ckat::new(&ctx, &ckat_config(2, 1.0));
+    let mut rng = seeded_rng(7);
+    let first = model.train_epoch(&ctx, &mut rng);
+    let mut last = first;
+    for _ in 0..30 {
+        last = model.train_epoch(&ctx, &mut rng);
+    }
+    assert!(last < first, "replica-mode CKAT loss should fall: {first} -> {last}");
+    assert!(model.replicas() == 2, "model reports its replica count");
+}
+
+/// The profile in replica mode reports the new accounting fields:
+/// extraction aggregated across workers, the fold time, the wall clock,
+/// and the replica count.
+#[test]
+fn replica_profile_reports_pool_accounting() {
+    let (inter, ckg) = toy_world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let mut model = Ckat::new(&ctx, &ckat_config(4, 1.0));
+    let mut rng = seeded_rng(9);
+    model.train_epoch(&ctx, &mut rng);
+    let prof = model.take_epoch_profile().expect("profile recorded");
+    assert_eq!(prof.replicas, 4);
+    assert!(prof.batches >= 1);
+    assert!(prof.extract_ns > 0, "worker extraction time aggregated");
+    assert!(prof.wall_ns > 0, "wall clock stamped");
+    assert!(prof.wall_ns >= prof.extract_wait_ns, "wall covers the blocked prepare time");
+    assert!(prof.gathered_rows <= prof.full_rows);
+
+    // The legacy path stamps wall_ns too, and reports replicas = 0.
+    let mut legacy = Ckat::new(&ctx, &ckat_config(0, 1.0));
+    legacy.train_epoch(&ctx, &mut rng);
+    let lprof = legacy.take_epoch_profile().expect("profile recorded");
+    assert_eq!(lprof.replicas, 0);
+    assert!(lprof.wall_ns > 0);
+    assert_eq!(lprof.reduce_ns, 0, "no fold step on the per-batch path");
+}
