@@ -1,0 +1,13 @@
+//! Fixture: a bench-crate file that must produce ZERO findings — wall
+//! clocks and hash maps are in-policy for benchmarks.
+
+use std::collections::HashMap;
+use std::time::{Instant, SystemTime};
+
+pub fn profile() -> HashMap<String, u128> {
+    let t0 = Instant::now();
+    let mut out = HashMap::new();
+    out.insert("wall".to_string(), t0.elapsed().as_nanos());
+    let _stamp = SystemTime::now();
+    out
+}

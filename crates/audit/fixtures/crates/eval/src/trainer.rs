@@ -1,0 +1,19 @@
+//! Fixture: hot-panic positives and waived sites. The path mirrors the
+//! real deny-listed trainer module so the rule applies.
+
+pub fn hot(xs: &[u32], i: usize) -> u32 {
+    let a = xs.first().unwrap(); // POSITIVE: hot-panic (.unwrap)
+    let b = xs.get(1).expect("second element"); // POSITIVE: hot-panic (.expect)
+    let c = xs[i]; // POSITIVE: hot-panic (indexing)
+    a + b + c
+}
+
+pub fn waived(xs: &[u32]) -> u32 {
+    // audit: unwrap — caller guarantees xs is non-empty
+    xs[0]
+}
+
+pub fn fallible(xs: &[u32], i: usize) -> Option<u32> {
+    // NEGATIVE: get-based access never panics.
+    xs.get(i).copied()
+}

@@ -1,0 +1,11 @@
+//! Fixture: unsafe-comment positives and justified blocks.
+
+pub fn bare(ptr: *const u32) -> u32 {
+    unsafe { *ptr } // POSITIVE: unsafe-comment
+}
+
+pub fn justified(xs: &[u32], i: usize) -> u32 {
+    assert!(i < xs.len());
+    // SAFETY: i was bounds-checked by the assert above.
+    unsafe { *xs.get_unchecked(i) }
+}

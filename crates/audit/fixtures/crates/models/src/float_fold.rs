@@ -1,0 +1,46 @@
+//! Fixture: float-fold positives, exemptions, and routed folds.
+
+pub fn unordered(parts: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    pooled_map(parts, |_, _, p| {
+        total += p; // POSITIVE: float-fold (cross-thread +=)
+        let s: f32 = parts.iter().sum(); // POSITIVE: float-fold (.sum in closure)
+        s
+    });
+    total
+}
+
+pub fn exempt(parts: &[f32]) -> u64 {
+    let mut ns = 0u64;
+    let mut count = 0usize;
+    pooled_map(parts, |_, _, _| {
+        count += 1; // NEGATIVE: integer counter
+        ns += elapsed().as_nanos() as u64; // NEGATIVE: integer cast
+    });
+    ns
+}
+
+pub fn routed(parts: Vec<Grad>) -> Grad {
+    pooled_map(&parts, |_, _, p| {
+        // NEGATIVE: routed through the ordered fold.
+        fold_ordered(p, 1.0)
+    })
+}
+
+pub fn waived(parts: &[f32]) -> f32 {
+    pooled_map(parts, |_, _, p| {
+        let mut local = 0.0f32;
+        // audit: fold — accumulator is job-local; folded in job order later
+        local += p;
+        local
+    })
+}
+
+pub fn outside(parts: &[f32]) -> f32 {
+    // NEGATIVE: sequential main-thread accumulation.
+    let mut total = 0.0f32;
+    for p in parts {
+        total += p;
+    }
+    total
+}

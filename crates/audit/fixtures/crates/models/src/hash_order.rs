@@ -1,0 +1,25 @@
+//! Fixture: hash-order positives and waived uses. Never compiled —
+//! scanned by `tests/fixtures.rs` through the real rule engine.
+
+use std::collections::HashMap; // POSITIVE: hash-order
+
+pub fn iterate(map: &HashMap<u32, f32>) -> f32 {
+    // POSITIVE: hash-order (type mention on the fn line above)
+    map.values().sum()
+}
+
+// audit: ordered — membership checks only, never iterated
+pub fn waived(set: &std::collections::HashSet<u32>, x: u32) -> bool {
+    set.contains(&x)
+}
+
+#[cfg(test)]
+mod tests {
+    // NEGATIVE: test code is out of scope.
+    use std::collections::HashMap;
+
+    #[test]
+    fn t() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

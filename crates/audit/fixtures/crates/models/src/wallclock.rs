@@ -1,0 +1,20 @@
+//! Fixture: wallclock positives and waived uses.
+
+use std::time::SystemTime; // POSITIVE: wallclock
+
+pub fn seeded_by_clock() -> u64 {
+    let rng = rand::thread_rng(); // POSITIVE: wallclock
+    let seed = Instant::now().elapsed().as_nanos() as u64; // POSITIVE: Instant + seed
+    seed ^ rng.next_u64()
+}
+
+pub fn profiling_only() -> u128 {
+    // NEGATIVE: Instant for timing, no seeding on the line.
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}
+
+// audit: wallclock — wall time goes to the report header, never a seed
+pub fn waived_timestamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,238 @@
+//! `facility-audit`: a source-level determinism/safety linter for this
+//! workspace, plus the library API behind the `cargo run -p
+//! facility-audit` binary.
+//!
+//! The repo's core contract (PRs 2–4) is bitwise determinism: resume
+//! from a checkpoint is bit-identical, and replica training produces the
+//! same folded gradients for any thread count. That contract rests on
+//! source-level invariants nothing enforced until now — no hash-order
+//! iteration in training paths, no wall-clock values feeding seeds, all
+//! cross-thread float folds routed through `fold_ordered`. This crate
+//! audits those invariants statically; the `debug-audit` cargo feature
+//! in `facility-autograd` / `facility-kg` checks the runtime half.
+//!
+//! See DESIGN.md § "Determinism invariants" for the rule catalogue and
+//! waiver syntax.
+
+pub mod rules;
+pub mod scrub;
+
+pub use rules::{audit_source, Finding, Rule};
+pub use scrub::Scrubbed;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Audit every workspace source file under `root` and return all
+/// findings in deterministic (path, line) order.
+///
+/// Scanned: `crates/*/src/**/*.rs` and `crates/*/tests/**/*.rs`. The
+/// auditor's own fixture tree (`crates/audit/fixtures`) is excluded —
+/// it exists to be *non*-clean.
+pub fn audit_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    for krate in sorted_dir(&crates_dir)? {
+        if !krate.is_dir() {
+            continue;
+        }
+        for sub in ["src", "tests"] {
+            let dir = krate.join(sub);
+            if dir.is_dir() {
+                collect_rs(&dir, &mut files)?;
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = rel_path(root, &file);
+        if rel.starts_with("crates/audit/fixtures/") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(audit_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(findings)
+}
+
+/// Audit a directory tree rooted at `root` (used for the fixture tests:
+/// the fixtures mirror workspace-relative paths so path-scoped rules
+/// apply to them).
+pub fn audit_tree(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs(root, &mut files)?;
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = rel_path(root, &file);
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(audit_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(findings)
+}
+
+fn rel_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Recursively collect `.rs` files under `dir`, sorted for determinism.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in sorted_dir(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn sorted_dir(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        audit_source(path, src)
+    }
+
+    fn rule_lines(findings: &[Finding], rule: Rule) -> Vec<usize> {
+        findings.iter().filter(|f| f.rule == rule).map(|f| f.line).collect()
+    }
+
+    // ---- hash-order ----------------------------------------------------
+
+    #[test]
+    fn hash_order_flags_hashmap_in_deterministic_crate() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let f = lint("crates/models/src/x.rs", src);
+        assert_eq!(rule_lines(&f, Rule::HashOrder), vec![1, 2]);
+    }
+
+    #[test]
+    fn hash_order_respects_waiver_and_scope() {
+        let waived =
+            "// audit: ordered — membership only, never iterated\nuse std::collections::HashSet;\n";
+        assert!(lint("crates/kg/src/x.rs", waived).is_empty());
+        // Same-line waiver form.
+        let same = "let s = HashSet::new(); // audit: ordered — membership only\n";
+        assert!(lint("crates/kg/src/x.rs", same).is_empty());
+        // Out-of-scope crate: no finding.
+        let src = "use std::collections::HashMap;\n";
+        assert!(lint("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_order_ignores_tests_comments_and_strings() {
+        let src = "// HashMap in a comment\nlet s = \"HashMap\";\n#[cfg(test)]\nmod tests { use std::collections::HashMap; }\n";
+        assert!(lint("crates/eval/src/x.rs", src).is_empty());
+    }
+
+    // ---- wallclock -----------------------------------------------------
+
+    #[test]
+    fn wallclock_flags_entropy_sources() {
+        let src = "fn f() { let t = SystemTime::now(); let r = rand::thread_rng(); }\n";
+        let f = lint("crates/models/src/x.rs", src);
+        assert_eq!(rule_lines(&f, Rule::Wallclock).len(), 2);
+        let waived =
+            "// audit: wallclock — log timestamp only, never a seed\nlet t = SystemTime::now();\n";
+        assert!(lint("crates/models/src/x.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn wallclock_allows_instant_profiling_but_not_seeding() {
+        let profiling = "let t0 = Instant::now();\nlet dt = t0.elapsed();\n";
+        assert!(lint("crates/models/src/x.rs", profiling).is_empty());
+        let seeding = "let seed = Instant::now().elapsed().as_nanos() as u64;\n";
+        assert!(!rule_lines(&lint("crates/models/src/x.rs", seeding), Rule::Wallclock).is_empty());
+        // Bench crate measures wall time by design.
+        assert!(lint("crates/bench/src/x.rs", "let t = SystemTime::now();\n").is_empty());
+    }
+
+    // ---- unsafe-comment ------------------------------------------------
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bare = "fn f() { unsafe { do_it() } }\n";
+        assert_eq!(rule_lines(&lint("crates/kg/src/x.rs", bare), Rule::UnsafeComment), vec![1]);
+        let justified = "// SAFETY: indices were bounds-checked above\nunsafe { do_it() }\n";
+        assert!(lint("crates/kg/src/x.rs", justified).is_empty());
+        // Comment up to three lines above still counts (rustfmt may wrap).
+        let wrapped = "// SAFETY: the slice lives as long as\n// the borrow, checked above\n\nunsafe { do_it() }\n";
+        assert!(lint("crates/kg/src/x.rs", wrapped).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_word_position_only() {
+        let src = "fn f() { let not_unsafe_name = 1; }\n";
+        assert!(lint("crates/kg/src/x.rs", src).is_empty());
+    }
+
+    // ---- hot-panic -----------------------------------------------------
+
+    #[test]
+    fn hot_panic_flags_unwrap_expect_and_indexing_in_denylisted_files() {
+        let src = "fn f(xs: &[u32]) { let a = g().unwrap(); let b = h().expect(\"x\"); let c = xs[0]; }\n";
+        let f = lint("crates/models/src/replica.rs", src);
+        assert_eq!(rule_lines(&f, Rule::HotPanic).len(), 3);
+        // Same source in a non-denylisted file: clean.
+        assert!(lint("crates/models/src/ckat.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_panic_waiver_and_non_index_brackets() {
+        let waived = "// audit: unwrap — slot j exists for every job by construction\nlet r = slots[j].take().expect(\"slot filled\");\n";
+        assert!(lint("crates/eval/src/trainer.rs", waived).is_empty());
+        // Attributes, macros, slice types, array literals are not indexing.
+        let src =
+            "#[derive(Debug)]\nfn f(xs: &[u32]) -> Vec<u32> { vec![1, 2] }\nlet a = [0u32; 4];\n";
+        assert!(lint("crates/eval/src/trainer.rs", src).is_empty());
+    }
+
+    // ---- float-fold ----------------------------------------------------
+
+    #[test]
+    fn float_fold_flags_accumulation_in_pooled_closures() {
+        let src = "fn f() {\n    pooled_map(n, |j| {\n        total += part;\n        let s: f32 = xs.iter().sum();\n    });\n}\n";
+        let f = lint("crates/models/src/x.rs", src);
+        assert_eq!(rule_lines(&f, Rule::FloatFold), vec![3, 4]);
+    }
+
+    #[test]
+    fn float_fold_exemptions() {
+        // Integer counters and fold_ordered routing are fine; so is
+        // accumulation outside any worker closure.
+        let src = "fn f() {\n    pooled_map(n, |j| {\n        count += 1;\n        ns += t.as_nanos() as u64;\n        let g = fold_ordered(parts, 1.0);\n    });\n    total += part;\n}\n";
+        assert!(lint("crates/models/src/x.rs", src).is_empty());
+        let waived = "fn f() {\n    pooled_map(n, |j| {\n        // audit: fold — per-job local, folded on the main thread in job order\n        local += part;\n    });\n}\n";
+        assert!(lint("crates/models/src/x.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn float_fold_flags_parallel_reductions_anywhere() {
+        let src = "let s: f32 = xs.par_iter().sum();\n";
+        assert_eq!(rule_lines(&lint("crates/eval/src/x.rs", src), Rule::FloatFold), vec![1]);
+    }
+
+    // ---- display -------------------------------------------------------
+
+    #[test]
+    fn finding_display_is_path_line_rule() {
+        let f = lint("crates/models/src/x.rs", "use std::collections::HashMap;\n");
+        let line = f[0].to_string();
+        assert!(line.starts_with("crates/models/src/x.rs:1: [hash-order]"), "{line}");
+    }
+}

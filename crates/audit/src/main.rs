@@ -1,0 +1,61 @@
+//! `cargo run -p facility-audit` — audit the workspace sources and exit
+//! nonzero if any rule fires without a waiver.
+//!
+//! Usage: `facility-audit [--root <workspace-dir>]`. The root defaults
+//! to the workspace this binary was built from, so running it via cargo
+//! from any subdirectory audits the right tree.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("facility-audit [--root <workspace-dir>]");
+                println!("Lints workspace sources for determinism/safety violations.");
+                println!("Exit 0: clean (all findings fixed or waived). Exit 1: findings.");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // CARGO_MANIFEST_DIR = crates/audit → workspace root is two levels up.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let findings = match facility_audit::audit_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: failed to audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("audit clean: 0 findings in {}", root.display());
+        ExitCode::SUCCESS
+    } else {
+        println!("audit: {} finding(s) — fix or add `// audit: <tag>` waivers", findings.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,380 @@
+//! The audit rules: what counts as a finding, where each rule applies,
+//! and how findings are waived.
+//!
+//! Every rule is a *deliberate over-approximation* — the auditor has no
+//! type information, so it bans the pattern outright and lets genuinely
+//! order-insensitive / structurally-safe uses carry an inline waiver:
+//!
+//! ```text
+//! // audit: <tag> — <why this use is safe>
+//! ```
+//!
+//! on the finding's line or the line directly above it. DESIGN.md
+//! ("Determinism invariants") documents each rule's rationale.
+
+use crate::scrub::Scrubbed;
+
+/// Crates whose non-test code sits on a deterministic training/eval/data
+/// path: hash-order and float-fold rules apply here.
+const DETERMINISTIC_SCOPES: &[&str] = &[
+    "crates/models/src",
+    "crates/eval/src",
+    "crates/kg/src",
+    "crates/autograd/src",
+    "crates/datagen/src",
+];
+
+/// Files whose hot loops may not panic implicitly: bare `.unwrap()`,
+/// `.expect(…)`, and `xs[i]` indexing all require a waiver here.
+const HOT_PATH_FILES: &[&str] =
+    &["crates/eval/src/trainer.rs", "crates/eval/src/lib.rs", "crates/models/src/replica.rs"];
+
+/// Crates exempt from the wall-clock rule: benchmarks measure wall time
+/// by design, and the auditor itself names the banned tokens.
+const WALLCLOCK_EXEMPT: &[&str] = &["crates/bench", "crates/audit", "crates/tsne"];
+
+/// Identifier of one audit rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Hash-ordered collections in deterministic crates.
+    HashOrder,
+    /// Wall-clock / entropy sources feeding values or seeds.
+    Wallclock,
+    /// `unsafe` without a `// SAFETY:` justification.
+    UnsafeComment,
+    /// Implicit panics (`unwrap`/`expect`/indexing) in hot-path files.
+    HotPanic,
+    /// Unordered float accumulation inside worker-pool closures.
+    FloatFold,
+}
+
+impl Rule {
+    /// Short machine-readable rule id, as printed in reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::HashOrder => "hash-order",
+            Rule::Wallclock => "wallclock",
+            Rule::UnsafeComment => "unsafe-comment",
+            Rule::HotPanic => "hot-panic",
+            Rule::FloatFold => "float-fold",
+        }
+    }
+
+    /// The waiver tag accepted in `// audit: <tag>` comments (the
+    /// `unsafe-comment` rule is waived by a `// SAFETY:` comment instead).
+    pub fn waiver_tag(self) -> &'static str {
+        match self {
+            Rule::HashOrder => "ordered",
+            Rule::Wallclock => "wallclock",
+            Rule::UnsafeComment => "SAFETY",
+            Rule::HotPanic => "unwrap",
+            Rule::FloatFold => "fold",
+        }
+    }
+}
+
+/// One audit finding: a rule violation at a source line.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.id(), self.message)
+    }
+}
+
+/// Audit one file's source. `rel_path` must be the workspace-relative
+/// path with `/` separators — rule scoping is path-based.
+pub fn audit_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let s = Scrubbed::new(source);
+    let mut out = Vec::new();
+    let in_scope = |scopes: &[&str]| scopes.iter().any(|p| rel_path.starts_with(p));
+
+    if in_scope(DETERMINISTIC_SCOPES) {
+        hash_order(rel_path, &s, &mut out);
+        float_fold(rel_path, &s, &mut out);
+    }
+    if !in_scope(WALLCLOCK_EXEMPT) {
+        wallclock(rel_path, &s, &mut out);
+    }
+    unsafe_comment(rel_path, &s, &mut out);
+    if HOT_PATH_FILES.contains(&rel_path) {
+        hot_panic(rel_path, &s, &mut out);
+    }
+    out.sort_by_key(|f| f.line);
+    // Repeated identical tokens on a line add noise, not information —
+    // keep one finding per (line, rule, message).
+    out.dedup_by(|a, b| a.line == b.line && a.rule == b.rule && a.message == b.message);
+    out
+}
+
+/// True when `line` carries `// audit: <tag>`, or one of the three lines
+/// above does (waiver comments may wrap under rustfmt).
+fn waived(s: &Scrubbed, line: usize, tag: &str) -> bool {
+    let pat = format!("audit: {tag}");
+    (line.saturating_sub(3)..=line).filter(|&l| l >= 1).any(|l| s.comment_line(l).contains(&pat))
+}
+
+/// Whole-word occurrences of `word` in `hay` (identifier boundaries).
+fn word_positions(hay: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    let ident = |c: u8| c == b'_' || c.is_ascii_alphanumeric();
+    while let Some(rel) = hay[from..].find(word) {
+        let pos = from + rel;
+        let before_ok = pos == 0 || !ident(hay.as_bytes()[pos - 1]);
+        let after = pos + word.len();
+        let after_ok = after >= hay.len() || !ident(hay.as_bytes()[after]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + word.len();
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Rule: hash-order
+// ----------------------------------------------------------------------
+
+/// `HashMap`/`HashSet` anywhere in non-test code of a deterministic
+/// crate. Iteration order over hash collections depends on the hasher's
+/// per-process random state, so one stray `for (k, v) in map` silently
+/// breaks bitwise determinism; membership-only uses carry a waiver.
+fn hash_order(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for word in ["HashMap", "HashSet"] {
+        for_each_code_match(s, word, |line| {
+            if !waived(s, line, Rule::HashOrder.waiver_tag()) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::HashOrder,
+                    message: format!(
+                        "{word} in a deterministic crate: iteration order is nondeterministic — \
+                         use BTreeMap/BTreeSet or a sorted collect, or waive membership-only use \
+                         with `// audit: ordered — <reason>`"
+                    ),
+                });
+            }
+        });
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: wallclock
+// ----------------------------------------------------------------------
+
+/// Wall-clock and ambient-entropy sources outside the bench crate.
+/// `Instant` is fine for *profiling*; it becomes a finding only when the
+/// same statement mentions seeding.
+fn wallclock(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for word in ["SystemTime", "thread_rng", "from_entropy"] {
+        for_each_code_match(s, word, |line| {
+            if !waived(s, line, Rule::Wallclock.waiver_tag()) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::Wallclock,
+                    message: format!(
+                        "{word} is an ambient nondeterminism source — derive values from the \
+                         run seed instead, or waive with `// audit: wallclock — <reason>`"
+                    ),
+                });
+            }
+        });
+    }
+    for word in ["Instant", "elapsed"] {
+        for_each_code_match(s, word, |line| {
+            let code = s.code_line(line);
+            if code.contains("seed") && !waived(s, line, Rule::Wallclock.waiver_tag()) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::Wallclock,
+                    message: "clock value on a line that mentions seeding — wall time must \
+                              never reach RNG seeds or model state"
+                        .to_string(),
+                });
+            }
+        });
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: unsafe-comment
+// ----------------------------------------------------------------------
+
+/// Every `unsafe` keyword needs a `// SAFETY:` comment on the same line
+/// or within the three lines above it. Applies to test code too — TSan
+/// runs the tests, and an unsound test block poisons its verdicts.
+fn unsafe_comment(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for line in 1..=s.n_lines() {
+        for _pos in word_positions(s.code_line(line), "unsafe") {
+            let justified = (line.saturating_sub(3)..=line)
+                .filter(|&l| l >= 1)
+                .any(|l| s.comment_line(l).contains("SAFETY:"));
+            if !justified {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::UnsafeComment,
+                    message: "`unsafe` without a `// SAFETY:` comment on or above the line"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: hot-panic
+// ----------------------------------------------------------------------
+
+/// Implicit panics inside the trainer / replica-pool hot loops: a panic
+/// on a worker thread tears down the whole scope and loses the epoch, so
+/// each such site must be structurally infallible and say why.
+fn hot_panic(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for line in 1..=s.n_lines() {
+        if s.in_test_line(line) {
+            continue;
+        }
+        let code = s.code_line(line);
+        let waived_here = waived(s, line, Rule::HotPanic.waiver_tag());
+        for pat in [".unwrap()", ".expect("] {
+            if code.contains(pat) && !waived_here {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::HotPanic,
+                    message: format!(
+                        "`{pat}…` in a hot-path module — propagate a typed error or waive with \
+                         `// audit: unwrap — <why this cannot fail>`"
+                    ),
+                });
+            }
+        }
+        for pos in index_positions(code) {
+            if !waived_here {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::HotPanic,
+                    message: format!(
+                        "panicking index `{}` in a hot-path module — use `get`/iterators or \
+                         waive with `// audit: unwrap — <why in bounds>`",
+                        snippet(code, pos)
+                    ),
+                });
+                break; // one indexing finding per line is enough
+            }
+        }
+    }
+}
+
+/// Positions where an identifier is immediately followed by `[` — the
+/// panicking-index pattern. Attribute (`#[…]`), macro (`vec![…]`), slice
+/// type (`&[T]`), and array literal (`= [`) contexts all fail the
+/// "identifier char right before `[`" test.
+fn index_positions(code: &str) -> Vec<usize> {
+    let b = code.as_bytes();
+    (1..b.len())
+        .filter(|&i| b[i] == b'[' && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()))
+        .collect()
+}
+
+fn snippet(code: &str, open_bracket: usize) -> String {
+    let b = code.as_bytes();
+    let mut lo = open_bracket;
+    while lo > 0 && (b[lo - 1] == b'_' || b[lo - 1].is_ascii_alphanumeric()) {
+        lo -= 1;
+    }
+    let hi = (open_bracket + 12).min(code.len());
+    format!("{}…", &code[lo..hi])
+}
+
+// ----------------------------------------------------------------------
+// Rule: float-fold
+// ----------------------------------------------------------------------
+
+/// Float accumulation inside closures handed to `pooled_map` or scoped
+/// `spawn`, and parallel-iterator reductions anywhere in a deterministic
+/// crate. Float addition is not associative: any cross-thread fold must
+/// run through `fold_ordered`/`fold_grads_ordered` (fixed part order) or
+/// carry a waiver explaining why the accumulation is thread-local.
+fn float_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    // Spans of worker closures: from each `pooled_map(`/`.spawn(` to the
+    // call's matching close paren.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for word in ["pooled_map", "spawn"] {
+        for pos in word_positions(&s.code, word) {
+            if let Some(open) = s.code[pos..].find('(').map(|r| pos + r) {
+                spans.push((open, match_paren(s.code.as_bytes(), open)));
+            }
+        }
+    }
+    for line in 1..=s.n_lines() {
+        if s.in_test_line(line) {
+            continue;
+        }
+        let code = s.code_line(line);
+        let offset = s.line_offset(line);
+        let in_span = spans.iter().any(|&(lo, hi)| offset > lo && offset < hi);
+        let integerish = code.contains("as u64")
+            || code.contains("as u32")
+            || code.contains("as usize")
+            || code.contains("+= 1");
+        let accumulates = code.contains("+=") || code.contains(".sum(") || code.contains(".sum::");
+        let par_reduce = code.contains("par_")
+            && (code.contains(".sum(") || code.contains(".reduce(") || code.contains(".fold("));
+        let routed = code.contains("fold_ordered");
+        let hit = par_reduce || (in_span && accumulates && !integerish);
+        if hit && !routed && !waived(s, line, Rule::FloatFold.waiver_tag()) {
+            out.push(Finding {
+                file: path.to_string(),
+                line,
+                rule: Rule::FloatFold,
+                message: "float accumulation in a worker closure / parallel reduction — route \
+                          cross-thread folds through fold_ordered, or waive thread-local \
+                          accumulation with `// audit: fold — <reason>`"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Offset of the `)` matching the `(` at `open` (or end of input).
+fn match_paren(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    b.len()
+}
+
+/// Run `f` on the line of every whole-word, non-test occurrence of
+/// `word` in the code channel.
+fn for_each_code_match(s: &Scrubbed, word: &str, mut f: impl FnMut(usize)) {
+    for pos in word_positions(&s.code, word) {
+        if !s.in_test(pos) {
+            f(s.line_of(pos));
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Lossless source scrubbing: separate a Rust file into its *code* text
+//! and its *comment* text, and mark `#[cfg(test)]` regions.
+//!
+//! The auditor has no `syn` (the workspace builds offline with stub
+//! dependencies only), so rules match token patterns against a scrubbed
+//! view of the source instead of an AST:
+//!
+//! * [`Scrubbed::code`] — the original text with every comment body and
+//!   every string/char literal body replaced by spaces. Byte offsets and
+//!   line structure are preserved exactly, so a match position maps
+//!   straight back to a source line.
+//! * [`Scrubbed::comments`] — the complement: only comment text survives
+//!   (used to find `// audit:` waivers and `// SAFETY:` justifications).
+//!
+//! The scanner understands line comments, *nested* block comments, string
+//! literals with escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth,
+//! plus byte variants), char/byte literals, and distinguishes lifetimes
+//! (`'a`) from char literals.
+
+/// A source file split into code and comment channels.
+pub struct Scrubbed {
+    /// Code with comments and literal bodies blanked; same length and
+    /// line structure as the input.
+    pub code: String,
+    /// Comment text only (everything else blanked); same length as input.
+    pub comments: String,
+    /// Byte ranges covered by `#[cfg(test)]` items (test modules/fns).
+    test_ranges: Vec<(usize, usize)>,
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+}
+
+impl Scrubbed {
+    /// Scrub `source` and locate its test regions.
+    pub fn new(source: &str) -> Self {
+        let (code, comments) = split_channels(source);
+        let test_ranges = find_test_ranges(&code);
+        let mut line_starts = vec![0usize];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self { code, comments, test_ranges, line_starts }
+    }
+
+    /// 1-based line number of byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// True when byte `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..hi).contains(&offset))
+    }
+
+    /// The comment text of 1-based `line` (blanks where code was).
+    pub fn comment_line(&self, line: usize) -> &str {
+        self.channel_line(&self.comments, line)
+    }
+
+    /// The code text of 1-based `line` (blanks where comments were).
+    pub fn code_line(&self, line: usize) -> &str {
+        self.channel_line(&self.code, line)
+    }
+
+    /// True when 1-based `line` starts inside a `#[cfg(test)]` item.
+    pub fn in_test_line(&self, line: usize) -> bool {
+        self.in_test(self.line_offset(line))
+    }
+
+    /// Byte offset of the start of 1-based `line`.
+    pub fn line_offset(&self, line: usize) -> usize {
+        self.line_starts.get(line.saturating_sub(1)).copied().unwrap_or(self.code.len())
+    }
+
+    /// Number of lines in the file.
+    pub fn n_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    fn channel_line<'a>(&self, channel: &'a str, line: usize) -> &'a str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let lo = self.line_starts[line - 1];
+        let hi = self.line_starts.get(line).copied().unwrap_or(channel.len());
+        channel[lo..hi].trim_end_matches('\n')
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Split `source` into (code, comments), both the same length as the
+/// input with the other channel's bytes replaced by spaces (newlines are
+/// kept in both so line numbers survive).
+fn split_channels(source: &str) -> (String, String) {
+    let bytes = source.as_bytes();
+    let n = bytes.len();
+    let mut code = vec![b' '; n];
+    let mut comments = vec![b' '; n];
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < n {
+        let b = bytes[i];
+        if b == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && i + 1 < n && bytes[i + 1] == b'/' {
+                    state = State::LineComment;
+                    comments[i] = b'/';
+                    comments[i + 1] = b'/';
+                    i += 2;
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    state = State::BlockComment(1);
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    i += 2;
+                } else if b == b'"' {
+                    // Keep the delimiter in the code channel so patterns
+                    // like `"` never match literal *contents*.
+                    code[i] = b'"';
+                    state = State::Str;
+                    i += 1;
+                } else if b == b'r' && raw_str_hashes(bytes, i).is_some() {
+                    let hashes = raw_str_hashes(bytes, i).unwrap_or(0);
+                    code[i] = b'r';
+                    // Blank the `#…"` opener too (already spaces).
+                    state = State::RawStr(hashes);
+                    i += 1 + hashes as usize + 1;
+                } else if b == b'b' && i + 1 < n && bytes[i + 1] == b'"' {
+                    code[i] = b'b';
+                    code[i + 1] = b'"';
+                    state = State::Str;
+                    i += 2;
+                } else if b == b'b' && i + 2 < n && bytes[i + 1] == b'r' {
+                    if let Some(hashes) = raw_str_hashes(bytes, i + 1) {
+                        code[i] = b'b';
+                        code[i + 1] = b'r';
+                        state = State::RawStr(hashes);
+                        i += 2 + hashes as usize + 1;
+                    } else {
+                        code[i] = b;
+                        i += 1;
+                    }
+                } else if b == b'\'' && is_char_literal(bytes, i) {
+                    code[i] = b'\'';
+                    state = State::Char;
+                    i += 1;
+                } else {
+                    code[i] = b;
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comments[i] = b;
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && i + 1 < n && bytes[i + 1] == b'/' {
+                    comments[i] = b'*';
+                    comments[i + 1] = b'/';
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else if b == b'/' && i + 1 < n && bytes[i + 1] == b'*' {
+                    comments[i] = b'/';
+                    comments[i + 1] = b'*';
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comments[i] = b;
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < n {
+                    i += 2;
+                } else if b == b'"' {
+                    code[i] = b'"';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' && closes_raw(bytes, i, hashes) {
+                    code[i] = b'"';
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' && i + 1 < n {
+                    i += 2;
+                } else if b == b'\'' {
+                    code[i] = b'\'';
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Both channels were built byte-for-byte from ASCII writes over a
+    // space-filled buffer, so they are valid UTF-8 (multi-byte chars in
+    // literals/comments become runs of spaces — fine for matching).
+    (String::from_utf8(code).unwrap_or_default(), String::from_utf8(comments).unwrap_or_default())
+}
+
+/// If `bytes[i..]` opens a raw string (`r"`, `r#"`, `r##"`, …), return the
+/// hash count.
+fn raw_str_hashes(bytes: &[u8], i: usize) -> Option<u32> {
+    if bytes.get(i) != Some(&b'r') {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&b'"')).then_some(hashes)
+}
+
+/// True when the `"` at `i` is followed by `hashes` `#` bytes.
+fn closes_raw(bytes: &[u8], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| bytes.get(i + k) == Some(&b'#'))
+}
+
+/// Distinguish a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+/// Byte ranges of items annotated `#[cfg(test)]` (attribute through the
+/// item's closing brace or terminating semicolon), found on the code
+/// channel so commented-out attributes don't count.
+fn find_test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_cfg_test(code, from) {
+        let end = item_end(code.as_bytes(), pos);
+        ranges.push((pos, end));
+        from = end.max(pos + 1);
+    }
+    ranges
+}
+
+/// Next `#[cfg(test)]`-style attribute at or after `from` (tolerates
+/// whitespace and `cfg(all(test, …))`).
+fn find_cfg_test(code: &str, from: usize) -> Option<usize> {
+    let mut at = from;
+    while let Some(rel) = code[at..].find("cfg") {
+        let pos = at + rel;
+        // Must look like an attribute containing `test` before the `)`.
+        let tail = &code[pos..code.len().min(pos + 64)];
+        let open = tail.find('(');
+        if let Some(open) = open {
+            if tail[..open].trim() == "cfg" {
+                if let Some(close) = tail[open..].find(')').map(|c| open + c) {
+                    if tail[open..close].contains("test") {
+                        // Walk back to the `#` of the attribute.
+                        let head = code[..pos].rfind('#').unwrap_or(pos);
+                        if code[head..pos]
+                            .chars()
+                            .all(|c| c == '#' || c == '[' || c.is_whitespace())
+                        {
+                            return Some(head);
+                        }
+                    }
+                }
+            }
+        }
+        at = pos + 3;
+    }
+    None
+}
+
+/// End offset of the item starting at (or after) attribute offset `pos`:
+/// the matching `}` of its first brace block, or the first top-level `;`.
+fn item_end(bytes: &[u8], pos: usize) -> usize {
+    let mut i = pos;
+    let mut depth = 0usize;
+    let mut seen_brace = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                depth += 1;
+                seen_brace = true;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if seen_brace && depth == 0 {
+                    return i + 1;
+                }
+            }
+            // `#[cfg(test)] mod tests;` or a cfg'd use/static. Skip
+            // semicolons inside the attribute's own brackets.
+            b';' if !seen_brace
+                && (!bytes[pos..i].contains(&b'[') || bytes[pos..i].contains(&b']')) =>
+            {
+                return i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_leave_the_code_channel() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = HashMap::new();\n";
+        let s = Scrubbed::new(src);
+        assert!(!s.code_line(1).contains("HashMap"), "literal body must be blanked");
+        assert!(s.comment_line(1).contains("HashMap"));
+        assert!(s.code_line(2).contains("HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let z = 1;\n";
+        let s = Scrubbed::new(src);
+        assert!(s.code_line(1).contains("let z = 1;"));
+        assert!(!s.code_line(1).contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_are_handled() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"un\"safe\"#; let c = '\"'; let d = 'x'; }\n";
+        let s = Scrubbed::new(src);
+        assert!(s.code_line(1).contains("fn f<'a>"));
+        assert!(!s.code_line(1).contains("un\"safe"));
+        assert!(s.code_line(1).contains("let d ="));
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_the_test_module() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { bad(); }\n}\nfn after() {}\n";
+        let s = Scrubbed::new(src);
+        let bad_at = src.find("bad").expect("fixture");
+        let after_at = src.find("after").expect("fixture");
+        assert!(s.in_test(bad_at));
+        assert!(!s.in_test(after_at));
+        assert!(!s.in_test(0));
+    }
+
+    #[test]
+    fn line_numbers_map_back() {
+        let src = "a\nb\nc\n";
+        let s = Scrubbed::new(src);
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(2), 2);
+        assert_eq!(s.line_of(4), 3);
+        assert_eq!(s.n_lines(), 4); // trailing newline opens a last, empty line
+    }
+}

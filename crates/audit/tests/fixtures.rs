@@ -1,0 +1,91 @@
+//! Run the rule engine over the fixture tree (`fixtures/crates/...`) and
+//! assert each rule produces exactly its marked positives — and that the
+//! CLI exits nonzero on that tree, per the acceptance criteria.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use facility_audit::{audit_tree, Finding, Rule};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn findings() -> Vec<Finding> {
+    audit_tree(&fixture_root()).expect("fixture tree must be readable")
+}
+
+fn of(findings: &[Finding], rule: Rule, file: &str) -> Vec<usize> {
+    findings.iter().filter(|f| f.rule == rule && f.file == file).map(|f| f.line).collect()
+}
+
+#[test]
+fn hash_order_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::HashOrder, "crates/models/src/hash_order.rs");
+    // `use` line + fn signature mentioning HashMap; waived + test uses silent.
+    assert_eq!(lines.len(), 2, "{lines:?}");
+}
+
+#[test]
+fn wallclock_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::Wallclock, "crates/models/src/wallclock.rs");
+    assert_eq!(lines.len(), 3, "{lines:?}");
+}
+
+#[test]
+fn unsafe_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::UnsafeComment, "crates/kg/src/unsafe_block.rs");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+}
+
+#[test]
+fn hot_panic_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::HotPanic, "crates/eval/src/trainer.rs");
+    assert_eq!(lines.len(), 3, "{lines:?}");
+}
+
+#[test]
+fn float_fold_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::FloatFold, "crates/models/src/float_fold.rs");
+    assert_eq!(lines.len(), 2, "{lines:?}");
+}
+
+#[test]
+fn bench_fixture_is_clean() {
+    let f = findings();
+    assert!(
+        f.iter().all(|x| x.file != "crates/bench/src/clean.rs"),
+        "bench crate must be exempt from wallclock/hash-order: {f:?}"
+    );
+}
+
+#[test]
+fn cli_exits_nonzero_on_fixtures_and_zero_on_workspace() {
+    let bin = env!("CARGO_BIN_EXE_facility-audit");
+    let on_fixtures = Command::new(bin)
+        .args(["--root", fixture_root().to_str().expect("utf-8 path")])
+        .output()
+        .expect("run auditor on fixtures");
+    assert_eq!(on_fixtures.status.code(), Some(1), "fixtures must fail the audit");
+
+    let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .expect("workspace root");
+    let on_workspace = Command::new(bin)
+        .args(["--root", workspace.to_str().expect("utf-8 path")])
+        .output()
+        .expect("run auditor on workspace");
+    assert_eq!(
+        on_workspace.status.code(),
+        Some(0),
+        "workspace must be audit-clean:\n{}",
+        String::from_utf8_lossy(&on_workspace.stdout)
+    );
+}

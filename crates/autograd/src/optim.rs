@@ -41,6 +41,44 @@ pub struct SparseRowGrad {
 }
 
 impl SparseRowGrad {
+    /// Validate the structural contract: `values` has one row per entry
+    /// of `rows`, and `rows` are unique and within the parameter's
+    /// bounds. Panics with `ctx` in the message on violation.
+    ///
+    /// Called automatically at fold/apply sites when the `debug-audit`
+    /// feature is enabled; always available for tests.
+    pub fn validate(&self, ctx: &str) {
+        assert_eq!(
+            self.values.rows(),
+            self.rows.len(),
+            "{ctx}: sparse gradient has {} value rows for {} row indices",
+            self.values.rows(),
+            self.rows.len()
+        );
+        let mut sorted = self.rows.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        sorted.dedup();
+        assert_eq!(sorted.len(), n, "{ctx}: sparse gradient row indices are not unique");
+        if let Some(&max) = sorted.last() {
+            assert!(
+                max < self.n_rows,
+                "{ctx}: sparse gradient row {max} out of bounds ({} parameter rows)",
+                self.n_rows
+            );
+        }
+    }
+
+    /// [`SparseRowGrad::validate`] plus the sortedness guarantee
+    /// [`SparseRowGrad::fold_ordered`] outputs carry.
+    pub fn validate_sorted(&self, ctx: &str) {
+        self.validate(ctx);
+        assert!(
+            self.rows.windows(2).all(|w| w[0] < w[1]),
+            "{ctx}: folded sparse gradient rows are not sorted"
+        );
+    }
+
     /// Expand to the equivalent dense gradient (zero rows for untouched
     /// rows). Test/fallback path; the point of the type is to avoid this.
     pub fn to_dense(&self) -> Matrix {
@@ -68,6 +106,10 @@ impl SparseRowGrad {
     /// # Panics
     /// Panics if the parts disagree on the parameter shape.
     pub fn fold_ordered(parts: &[&SparseRowGrad]) -> Option<SparseRowGrad> {
+        #[cfg(feature = "debug-audit")]
+        for p in parts {
+            p.validate("fold_ordered input");
+        }
         let first = parts.first()?;
         let (n_rows, cols) = (first.n_rows, first.values.cols());
         let mut union: Vec<usize> = parts.iter().flat_map(|p| p.rows.iter().copied()).collect();
@@ -84,7 +126,10 @@ impl SparseRowGrad {
                 }
             }
         }
-        Some(SparseRowGrad { n_rows, rows: union, values })
+        let folded = SparseRowGrad { n_rows, rows: union, values };
+        #[cfg(feature = "debug-audit")]
+        folded.validate_sorted("fold_ordered output");
+        Some(folded)
     }
 }
 
@@ -332,6 +377,8 @@ impl ParamStore {
                         },
                         "apply: sparse gradient rows must be unique and in bounds"
                     );
+                    #[cfg(feature = "debug-audit")]
+                    sg.validate(&format!("apply `{}`", self.names[id.0]));
                     opt.step_sparse(id.0, &mut self.values[id.0], sg);
                     self.mark_rows(id.0, &sg.rows);
                 }

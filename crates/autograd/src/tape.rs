@@ -291,7 +291,10 @@ impl Tape {
             for x in g.as_mut_slice() {
                 *x += 0.0;
             }
-            return Some(SparseRowGrad { n_rows: src_rows, rows: indices.to_vec(), values: g });
+            let sg = SparseRowGrad { n_rows: src_rows, rows: indices.to_vec(), values: g };
+            #[cfg(feature = "debug-audit")]
+            sg.validate("take_sparse_grad (unique fast path)");
+            return Some(sg);
         }
         // Duplicates (or unsorted indices): group gather positions by
         // parameter row. Sorting by `(row, position)` keeps each row's
@@ -315,7 +318,10 @@ impl Tape {
                 *o += x;
             }
         }
-        Some(SparseRowGrad { n_rows: src_rows, rows, values })
+        let sg = SparseRowGrad { n_rows: src_rows, rows, values };
+        #[cfg(feature = "debug-audit")]
+        sg.validate_sorted("take_sparse_grad (fold path)");
+        Some(sg)
     }
 
     /// Horizontal concatenation `[a | b]`.
@@ -579,6 +585,8 @@ impl Tape {
     /// Panics if `root` is not `1 × 1`.
     pub fn backward(&mut self, root: Var) {
         assert_eq!(self.value(root).shape(), (1, 1), "backward: root must be a 1x1 scalar");
+        #[cfg(feature = "debug-audit")]
+        self.audit_invariants();
         self.grads = (0..self.nodes.len()).map(|_| None).collect();
         self.grads[root.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
@@ -834,6 +842,162 @@ impl Tape {
                 self.acc(a, d);
             }
         }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Debug audit (feature = "debug-audit")
+// ----------------------------------------------------------------------
+
+#[cfg(feature = "debug-audit")]
+impl Tape {
+    /// Validate the structural invariants every [`Tape::backward`] sweep
+    /// relies on, panicking with the offending node id on violation:
+    ///
+    /// * **topological order** — every op input was created before the op
+    ///   itself (creation order is the backward sweep's topo order);
+    /// * **per-op shape agreement** — each node's stored value has the
+    ///   shape its op implies from its inputs' shapes;
+    /// * **index bounds** — gather indices, segment offsets, scatter
+    ///   targets, and dropout masks are in range for their operands;
+    /// * **leaf non-aliasing** — no two non-empty leaf values share a
+    ///   buffer, so gradient accumulation on one leaf can never observe
+    ///   another leaf's updates.
+    ///
+    /// Runs automatically at the start of `backward()` when the
+    /// `debug-audit` feature is enabled.
+    pub fn audit_invariants(&self) {
+        let mut leaf_bufs: Vec<*const f32> = Vec::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            self.audit_node(id, node);
+            if matches!(node.op, Op::Leaf) && !node.value.as_slice().is_empty() {
+                leaf_bufs.push(node.value.as_slice().as_ptr());
+            }
+        }
+        leaf_bufs.sort_unstable();
+        let n = leaf_bufs.len();
+        leaf_bufs.dedup();
+        assert_eq!(leaf_bufs.len(), n, "debug-audit: two leaf nodes alias the same value buffer");
+    }
+
+    fn audit_node(&self, id: usize, node: &Node) {
+        let shape = node.value.shape();
+        let input = |v: Var| -> (usize, usize) {
+            assert!(
+                v.0 < id,
+                "debug-audit: node {id} reads node {} created after it — not topologically ordered",
+                v.0
+            );
+            self.nodes[v.0].value.shape()
+        };
+        let expect = |cond: bool, what: &str| {
+            assert!(cond, "debug-audit: node {id}: {what} (value shape {shape:?})");
+        };
+        match &node.op {
+            Op::Leaf => {}
+            Op::ParamGather { indices, src_rows } => {
+                expect(shape.0 == indices.len(), "ParamGather row count != index count");
+                expect(
+                    indices.iter().all(|&i| i < *src_rows),
+                    "ParamGather index out of parameter bounds",
+                );
+            }
+            Op::Gather { src, indices } => {
+                let s = input(*src);
+                expect(shape == (indices.len(), s.1), "Gather shape mismatch");
+                expect(indices.iter().all(|&i| i < s.0), "Gather index out of bounds");
+            }
+            Op::MatMul { a, b } => {
+                let (a, b) = (input(*a), input(*b));
+                expect(a.1 == b.0, "MatMul inner dimensions disagree");
+                expect(shape == (a.0, b.1), "MatMul output shape mismatch");
+            }
+            Op::MatMulTransB { a, b } => {
+                let (a, b) = (input(*a), input(*b));
+                expect(a.1 == b.1, "MatMulTransB inner dimensions disagree");
+                expect(shape == (a.0, b.0), "MatMulTransB output shape mismatch");
+            }
+            Op::Add { a, b } | Op::Sub { a, b } | Op::Mul { a, b } => {
+                let (a, b) = (input(*a), input(*b));
+                expect(a == b, "elementwise op operand shapes disagree");
+                expect(shape == a, "elementwise op output shape mismatch");
+            }
+            Op::AddBroadcastRow { a, bias } => {
+                let (a, bias) = (input(*a), input(*bias));
+                expect(bias == (1, a.1), "AddBroadcastRow bias is not 1 x cols");
+                expect(shape == a, "AddBroadcastRow output shape mismatch");
+            }
+            Op::MulBroadcastCol { a, w } => {
+                let (a, w) = (input(*a), input(*w));
+                expect(w == (a.0, 1), "MulBroadcastCol weight is not rows x 1");
+                expect(shape == a, "MulBroadcastCol output shape mismatch");
+            }
+            Op::Scale { a, .. }
+            | Op::AddScalar { a }
+            | Op::LeakyRelu { a }
+            | Op::Relu { a }
+            | Op::Tanh { a }
+            | Op::Sigmoid { a }
+            | Op::LogSigmoid { a }
+            | Op::NormalizeRows { a } => {
+                expect(shape == input(*a), "unary op output shape mismatch");
+            }
+            Op::Dropout { a, mask } => {
+                let a = input(*a);
+                expect(shape == a, "Dropout output shape mismatch");
+                expect(mask.len() == a.0 * a.1, "Dropout mask length != element count");
+            }
+            Op::ConcatCols { a, b } => {
+                let (a, b) = (input(*a), input(*b));
+                expect(a.0 == b.0, "ConcatCols row counts disagree");
+                expect(shape == (a.0, a.1 + b.1), "ConcatCols output shape mismatch");
+            }
+            Op::ConcatRows { a, b } => {
+                let (a, b) = (input(*a), input(*b));
+                expect(a.1 == b.1, "ConcatRows column counts disagree");
+                expect(shape == (a.0 + b.0, a.1), "ConcatRows output shape mismatch");
+            }
+            Op::RowwiseDot { a, b } => {
+                let (a, b) = (input(*a), input(*b));
+                expect(a == b, "RowwiseDot operand shapes disagree");
+                expect(shape == (a.0, 1), "RowwiseDot output is not rows x 1");
+            }
+            Op::RowwiseNormSq { a } => {
+                expect(shape == (input(*a).0, 1), "RowwiseNormSq output is not rows x 1");
+            }
+            Op::SegmentSoftmax { a, offsets } => {
+                let a = input(*a);
+                expect(a.1 == 1, "SegmentSoftmax input is not a score column");
+                expect(shape == a, "SegmentSoftmax output shape mismatch");
+                expect(
+                    offsets.first() == Some(&0) && offsets.last() == Some(&a.0),
+                    "SegmentSoftmax offsets must span 0..rows",
+                );
+                expect(
+                    offsets.windows(2).all(|w| w[0] <= w[1]),
+                    "SegmentSoftmax offsets must be non-decreasing",
+                );
+            }
+            Op::SegmentSum { a, seg_of_row } => {
+                let a = input(*a);
+                expect(seg_of_row.len() == a.0, "SegmentSum map length != input rows");
+                expect(shape.1 == a.1, "SegmentSum output width mismatch");
+                expect(
+                    seg_of_row.iter().all(|&s| s < shape.0),
+                    "SegmentSum segment id out of output bounds",
+                );
+            }
+            Op::SumAll { .. } | Op::MeanAll { .. } | Op::FrobeniusSq { .. } => {
+                expect(shape == (1, 1), "reduction output is not 1 x 1");
+            }
+        }
+    }
+
+    /// Test hook: overwrite the stored value of `v` so corruption tests
+    /// can violate shape invariants without going through the public op
+    /// constructors (which check shapes eagerly).
+    pub fn debug_replace_value_for_test(&mut self, v: Var, value: Matrix) {
+        self.nodes[v.0].value = value;
     }
 }
 

@@ -298,6 +298,7 @@ pub fn read_trace_with(dir: &Path, mode: ReadMode) -> Result<(Trace, SkipSummary
     // meta.csv → FacilityConfig. Always strict: without a sane
     // configuration no other file can be interpreted.
     let meta_text = fs::read_to_string(dir.join("meta.csv"))?;
+    // audit: ordered — key lookup only (`kv.get`), never iterated
     let mut kv = std::collections::HashMap::new();
     for (i, line) in meta_text.lines().enumerate().skip(1) {
         let (k, v) = line.split_once(',').ok_or_else(|| {

@@ -15,7 +15,7 @@ use crate::trace::Trace;
 use facility_linalg::Matrix;
 use rand::Rng;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-user distinct-count series for Figure 3, each sorted descending.
 #[derive(Debug, Clone)]
@@ -31,8 +31,11 @@ pub struct Fig3Series {
 /// Compute the Figure 3 distribution curves.
 pub fn fig3_series(trace: &Trace) -> Fig3Series {
     let n_users = trace.population.n_users();
+    // audit: ordered — only `len()` is read from these sets, never iterated
     let mut items: Vec<std::collections::HashSet<u32>> = vec![Default::default(); n_users];
+    // audit: ordered — len-only, as above
     let mut sites: Vec<std::collections::HashSet<u32>> = vec![Default::default(); n_users];
+    // audit: ordered — len-only, as above
     let mut types: Vec<std::collections::HashSet<u32>> = vec![Default::default(); n_users];
     for e in &trace.events {
         let meta = &trace.catalog.items[e.item as usize];
@@ -40,6 +43,7 @@ pub fn fig3_series(trace: &Trace) -> Fig3Series {
         sites[e.user as usize].insert(meta.site as u32);
         types[e.user as usize].insert(meta.data_type as u32);
     }
+    // audit: ordered — len-only
     let collect = |sets: Vec<std::collections::HashSet<u32>>| {
         let mut v: Vec<usize> = sets.iter().map(|s| s.len()).collect();
         v.sort_unstable_by(|a, b| b.cmp(a));
@@ -56,8 +60,8 @@ pub fn fig3_series(trace: &Trace) -> Fig3Series {
 /// their modal data type (users with no queries are skipped).
 pub fn affinity_shares(trace: &Trace) -> (f64, f64) {
     let n_users = trace.population.n_users();
-    let mut region_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
-    let mut type_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
+    let mut region_counts: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_users];
+    let mut type_counts: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_users];
     let mut totals = vec![0usize; n_users];
     for e in &trace.events {
         let meta = &trace.catalog.items[e.item as usize];
@@ -132,14 +136,17 @@ fn safe_ratio(num: f64, den: f64) -> f64 {
 pub fn pair_affinity(trace: &Trace, n_pairs: usize, rng: &mut impl Rng) -> PairAffinity {
     let n_users = trace.population.n_users();
     // Modal site/type per user.
-    let mut region_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
-    let mut type_counts: Vec<HashMap<usize, usize>> = vec![HashMap::new(); n_users];
+    let mut region_counts: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_users];
+    let mut type_counts: Vec<BTreeMap<usize, usize>> = vec![BTreeMap::new(); n_users];
     for e in &trace.events {
         let meta = &trace.catalog.items[e.item as usize];
         *region_counts[e.user as usize].entry(meta.site).or_insert(0) += 1;
         *type_counts[e.user as usize].entry(meta.data_type).or_insert(0) += 1;
     }
-    let modal = |counts: &HashMap<usize, usize>| -> Option<usize> {
+    // BTreeMap iteration is key-ascending, so a count tie resolves to the
+    // *largest* tied key on every run — the old HashMap version broke ties
+    // by hasher state and made pair_affinity nondeterministic.
+    let modal = |counts: &BTreeMap<usize, usize>| -> Option<usize> {
         counts.iter().max_by_key(|&(_, c)| c).map(|(&k, _)| k)
     };
     let modal_region: Vec<Option<usize>> = region_counts.iter().map(modal).collect();

@@ -77,7 +77,10 @@ pub fn evaluate_chunked(
                 let scores = model.score_items(u);
                 metrics::topk_for_user(
                     &scores,
+                    // audit: unwrap — u comes from 0..inter.n_users, and
+                    // train/test both have exactly n_users rows
                     &inter.train[u as usize],
+                    // audit: unwrap — same bound as train above
                     &inter.test[u as usize],
                     k,
                 )
@@ -95,6 +98,8 @@ pub fn evaluate_chunked(
                 .chunks(chunk_len)
                 .map(|chunk| scope.spawn(move || score_chunk(chunk)))
                 .collect();
+            // audit: unwrap — a worker panic is unrecoverable here; join
+            // only fails on panic, and re-raising it is the right behavior
             handles.into_iter().flat_map(|h| h.join().expect("eval worker panicked")).collect()
         })
     };

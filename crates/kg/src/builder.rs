@@ -6,7 +6,7 @@
 //! graph once per knowledge combination.
 
 use crate::Id;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The knowledge sources the paper distinguishes (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -193,16 +193,16 @@ impl CkgBuilder {
 
         // Intern relations: Interact is always relation 0.
         let mut relation_names = vec!["Interact".to_string()];
-        let mut rel_ids: HashMap<String, Id> = HashMap::new();
+        let mut rel_ids: BTreeMap<String, Id> = BTreeMap::new();
         // Intern attribute entities included by the mask.
         let mut attr_names: Vec<String> = Vec::new();
-        let mut attr_ids: HashMap<String, Id> = HashMap::new();
+        let mut attr_ids: BTreeMap<String, Id> = BTreeMap::new();
 
         let mut triples: Vec<(Id, Id, Id)> = Vec::new();
-        let mut seen: HashSet<(Id, Id, Id)> = HashSet::new();
+        let mut seen: BTreeSet<(Id, Id, Id)> = BTreeSet::new();
 
         let push_triple = |triples: &mut Vec<(Id, Id, Id)>,
-                           seen: &mut HashSet<(Id, Id, Id)>,
+                           seen: &mut BTreeSet<(Id, Id, Id)>,
                            h: Id,
                            r: Id,
                            t: Id| {
@@ -342,7 +342,7 @@ pub struct Ckg {
     pub offsets: Vec<usize>,
     /// Canonical (non-inverse) triples — the TransR training set `S`.
     pub canonical_triples: Vec<(Id, Id, Id)>,
-    triple_set: HashSet<(Id, Id, Id)>,
+    triple_set: BTreeSet<(Id, Id, Id)>,
     /// Attribute entity names (index = attribute index).
     pub attr_names: Vec<String>,
 }

@@ -85,6 +85,74 @@ impl BatchSubgraph {
     pub fn n_edges(&self) -> usize {
         self.edge_ids.len()
     }
+
+    /// Validate the structural contract against the graph this subgraph
+    /// was extracted from, panicking on violation:
+    ///
+    /// * node groups (interior, ring) are strictly sorted by global id,
+    ///   disjoint, and within the graph's entity range;
+    /// * every interior node carries its *complete* CSR slice, in global
+    ///   edge order (which also proves the edge list is duplicate-free);
+    /// * every edge endpoint resolves inside the node set — the closure
+    ///   property CKAT's batch-local propagation relies on;
+    /// * `seed_locals` are valid local ids.
+    ///
+    /// Called automatically at the end of
+    /// [`SubgraphScratch::extract`] when the `debug-audit` feature is
+    /// enabled; always available for tests.
+    pub fn validate(&self, ckg: &Ckg) {
+        let n = self.nodes.len();
+        assert!(self.n_interior <= n, "debug-audit: n_interior {} > {n} nodes", self.n_interior);
+        let interior = &self.nodes[..self.n_interior];
+        let ring = &self.nodes[self.n_interior..];
+        assert!(
+            interior.windows(2).all(|w| w[0] < w[1]),
+            "debug-audit: interior nodes not strictly sorted"
+        );
+        assert!(
+            ring.windows(2).all(|w| w[0] < w[1]),
+            "debug-audit: ring nodes not strictly sorted"
+        );
+        for &g in &self.nodes {
+            assert!(g < ckg.n_entities(), "debug-audit: node {g} outside the entity range");
+        }
+        // Disjointness: both groups are strictly sorted, so a global id in
+        // both would survive a sort+dedup of the union as a duplicate.
+        let mut union: Vec<usize> = self.nodes.clone();
+        union.sort_unstable();
+        let before = union.len();
+        union.dedup();
+        assert_eq!(union.len(), before, "debug-audit: a node appears in both interior and ring");
+
+        // Interior CSR slices: complete, in order, closed over the nodes.
+        let mut k = 0usize;
+        for (li, &g) in interior.iter().enumerate() {
+            for e in ckg.offsets[g]..ckg.offsets[g + 1] {
+                assert!(
+                    k < self.edge_ids.len() && self.edge_ids[k] == e,
+                    "debug-audit: interior node {g} is missing edge {e} — slice incomplete or \
+                     out of order"
+                );
+                assert_eq!(self.heads[k], li, "debug-audit: edge {e} grouped under the wrong head");
+                let tail_local = self.tails[k];
+                assert!(tail_local < n, "debug-audit: edge {e} tail escapes the node set");
+                assert_eq!(
+                    self.nodes[tail_local], ckg.tails[e] as usize,
+                    "debug-audit: edge {e} tail remapped to the wrong node"
+                );
+                k += 1;
+            }
+        }
+        assert_eq!(
+            k,
+            self.edge_ids.len(),
+            "debug-audit: {} edges beyond the interior nodes' CSR slices",
+            self.edge_ids.len() - k
+        );
+        for &sl in &self.seed_locals {
+            assert!(sl < n, "debug-audit: seed local id {sl} out of range");
+        }
+    }
 }
 
 impl SubgraphScratch {
@@ -166,7 +234,10 @@ impl SubgraphScratch {
         }
 
         let seed_locals = seeds.iter().map(|&s| self.local[s] as usize).collect();
-        BatchSubgraph { nodes, n_interior, seed_locals, edge_ids, tails, heads }
+        let sub = BatchSubgraph { nodes, n_interior, seed_locals, edge_ids, tails, heads };
+        #[cfg(feature = "debug-audit")]
+        sub.validate(ckg);
+        sub
     }
 
     fn bump_version(&mut self) {

@@ -1,0 +1,111 @@
+//! Corruption tests for the kg `debug-audit` subgraph checker: mangle an
+//! extracted subgraph's public fields and assert `validate` panics with
+//! a message that names the violation.
+//!
+//! Run with `cargo test -p facility-kg --features debug-audit`.
+
+#![cfg(feature = "debug-audit")]
+
+use facility_kg::builder::{Ckg, CkgBuilder, KnowledgeSource, SourceMask};
+use facility_kg::subgraph::{BatchSubgraph, SubgraphScratch};
+
+fn world() -> Ckg {
+    let mut b = CkgBuilder::new(3, 4);
+    b.add_interactions(&[(0, 0), (0, 1), (1, 1), (2, 2)]);
+    for i in 0..4u32 {
+        b.add_item_attribute(KnowledgeSource::Dkg, "dataType", i, format!("t{}", i % 2));
+    }
+    b.build(SourceMask::all())
+}
+
+fn extract(ckg: &Ckg) -> BatchSubgraph {
+    let mut scratch = SubgraphScratch::new(ckg.n_entities());
+    scratch.extract(ckg, &[0, 1], 2)
+}
+
+fn catch(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+    let err = std::panic::catch_unwind(f).expect_err("validate must panic");
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn clean_extraction_validates() {
+    let ckg = world();
+    let sub = extract(&ckg); // extract() itself validates under debug-audit
+    sub.validate(&ckg);
+    assert!(sub.n_nodes() > 0);
+}
+
+#[test]
+fn dropped_edge_is_caught() {
+    let ckg = world();
+    let mut sub = extract(&ckg);
+    assert!(sub.n_edges() > 1, "fixture needs edges");
+    sub.edge_ids.remove(0);
+    sub.tails.remove(0);
+    sub.heads.remove(0);
+    let msg = catch(move || sub.validate(&ckg));
+    assert!(msg.contains("missing edge"), "unhelpful panic: {msg}");
+}
+
+#[test]
+fn unsorted_nodes_are_caught() {
+    let ckg = world();
+    let mut sub = extract(&ckg);
+    assert!(sub.n_interior >= 2, "fixture needs 2+ interior nodes");
+    sub.nodes.swap(0, 1);
+    let msg = catch(move || sub.validate(&ckg));
+    assert!(msg.contains("not strictly sorted"), "unhelpful panic: {msg}");
+}
+
+#[test]
+fn duplicated_node_is_caught() {
+    let ckg = world();
+    let mut sub = extract(&ckg);
+    // Replace the last ring node with a copy of an interior node: both
+    // groups stay sorted, but the union now has a duplicate.
+    assert!(sub.n_interior < sub.n_nodes(), "fixture needs a ring");
+    let n = sub.n_nodes();
+    sub.nodes[n - 1] = sub.nodes[0];
+    let msg = catch(move || sub.validate(&ckg));
+    assert!(
+        msg.contains("both interior and ring") || msg.contains("not strictly sorted"),
+        "unhelpful panic: {msg}"
+    );
+}
+
+#[test]
+fn escaped_tail_is_caught() {
+    let ckg = world();
+    let mut sub = extract(&ckg);
+    assert!(!sub.tails.is_empty(), "fixture needs edges");
+    sub.tails[0] = sub.n_nodes(); // one past the node set
+    let msg = catch(move || sub.validate(&ckg));
+    assert!(msg.contains("escapes the node set"), "unhelpful panic: {msg}");
+}
+
+#[test]
+fn trailing_phantom_edge_is_caught() {
+    let ckg = world();
+    let mut sub = extract(&ckg);
+    sub.edge_ids.push(0);
+    sub.tails.push(0);
+    sub.heads.push(sub.n_interior.saturating_sub(1));
+    let msg = catch(move || sub.validate(&ckg));
+    assert!(
+        msg.contains("beyond the interior") || msg.contains("missing edge"),
+        "unhelpful panic: {msg}"
+    );
+}
+
+#[test]
+fn bad_seed_local_is_caught() {
+    let ckg = world();
+    let mut sub = extract(&ckg);
+    sub.seed_locals[0] = sub.n_nodes() + 3;
+    let msg = catch(move || sub.validate(&ckg));
+    assert!(msg.contains("seed local id"), "unhelpful panic: {msg}");
+}

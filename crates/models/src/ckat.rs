@@ -876,6 +876,8 @@ impl Ckat {
                             &p.local_kg,
                             config.margin,
                         );
+                        // audit: fold — per-job accumulator local to this
+                        // closure; jobs fold on the main thread in job order
                         loss_val += t.value(loss)[(0, 0)];
                         forward_ns += clock.elapsed().as_nanos() as u64;
                         let clock = Instant::now();

@@ -75,13 +75,14 @@ where
     let threads = states.len();
     assert!(threads > 0, "pooled_map needs at least one worker state");
     if threads == 1 || jobs.len() <= 1 {
+        // audit: unwrap — threads > 0 asserted above, so states[0] exists
         let s = &mut states[0];
         return jobs.into_iter().enumerate().map(|(j, job)| f(s, j, job)).collect();
     }
     let n_jobs = jobs.len();
     let mut per_worker: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
     for (j, job) in jobs.into_iter().enumerate() {
-        per_worker[j % threads].push((j, job));
+        per_worker[j % threads].push((j, job)); // audit: unwrap — j % threads < threads = len
     }
     let mut slots: Vec<Option<T>> = (0..n_jobs).map(|_| None).collect();
     std::thread::scope(|sc| {
@@ -96,11 +97,14 @@ where
             })
             .collect();
         for h in handles {
+            // audit: unwrap — join fails only on worker panic; re-raising
+            // it on the main thread is the intended failure mode
             for (j, out) in h.join().expect("replica worker panicked") {
-                slots[j] = Some(out);
+                slots[j] = Some(out); // audit: unwrap — j < n_jobs = slots.len()
             }
         }
     });
+    // audit: unwrap — every j in 0..n_jobs was assigned to exactly one worker
     slots.into_iter().map(|s| s.expect("every job produced a result")).collect()
 }
 
