@@ -55,6 +55,8 @@ fn bench_ckat_depth(c: &mut Criterion) {
             transr_dim: 32,
             margin: 1.0,
             batch_local: true,
+            hub_cache: true,
+            hub_percentile: 0.99,
             base: cfg(),
         };
         group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
@@ -78,6 +80,8 @@ fn bench_attention_ablation(c: &mut Criterion) {
             transr_dim: 32,
             margin: 1.0,
             batch_local: true,
+            hub_cache: true,
+            hub_percentile: 0.99,
             base: cfg(),
         };
         group.bench_function(label, |b| {

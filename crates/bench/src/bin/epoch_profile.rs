@@ -29,6 +29,13 @@
 //! speedup gate at `R = 4` only fires on the `--huge` world with at least
 //! 4 cores — on fewer cores the sweep still proves determinism and
 //! records honest (≈1×) numbers.
+//!
+//! The sweep runs with the hub-representation cache on (the default
+//! config) and always enforces the extraction-scaling gate: aggregate
+//! extraction CPU (`extract_ns`, summed across the pool) at the largest
+//! replica count must stay within [`EXTRACT_CPU_RTOL`]× of `R = 1`,
+//! because one shared union traversal per macro-step serves every
+//! micro-batch regardless of `R`.
 
 use facility_bench::{HarnessOpts, Profile};
 use facility_ckat::{Experiment, ExperimentConfig};
@@ -53,7 +60,8 @@ fn run_entry(mode: &str, epoch: usize, loss: f32, p: &EpochProfile) -> String {
             "    {{\"mode\": \"{}\", \"epoch\": {}, \"loss\": {:.6}, ",
             "\"sampling_ns\": {}, \"attention_ns\": {}, \"forward_ns\": {}, ",
             "\"backward_ns\": {}, \"optimizer_ns\": {}, \"extract_ns\": {}, ",
-            "\"extract_wait_ns\": {}, \"eval_ns\": {}, \"forward_flops\": {}, ",
+            "\"extract_wall_ns\": {}, \"extract_wait_ns\": {}, ",
+            "\"hub_cache_ns\": {}, \"eval_ns\": {}, \"forward_flops\": {}, ",
             "\"gathered_rows\": {}, \"gathered_edges\": {}, ",
             "\"full_rows\": {}, \"full_edges\": {}, \"batches\": {}, ",
             "\"row_fraction\": {:.6}, \"edge_fraction\": {:.6}}}"
@@ -67,7 +75,9 @@ fn run_entry(mode: &str, epoch: usize, loss: f32, p: &EpochProfile) -> String {
         p.backward_ns,
         p.optimizer_ns,
         p.extract_ns,
+        p.extract_wall_ns,
         p.extract_wait_ns,
+        p.hub_cache_ns,
         p.eval_ns,
         p.forward_flops,
         p.gathered_rows,
@@ -156,7 +166,9 @@ fn main() {
             sum.backward_ns += p.backward_ns;
             sum.optimizer_ns += p.optimizer_ns;
             sum.extract_ns += p.extract_ns;
+            sum.extract_wall_ns += p.extract_wall_ns;
             sum.extract_wait_ns += p.extract_wait_ns;
+            sum.hub_cache_ns += p.hub_cache_ns;
             sum.eval_ns += p.eval_ns;
             sum.forward_flops += p.forward_flops;
             sum.gathered_rows += p.gathered_rows;
@@ -247,9 +259,17 @@ struct ReplicaRun {
     wall_ns: u64,
     reduce_ns: u64,
     extract_ns: u64,
+    extract_wall_ns: u64,
     extract_wait_ns: u64,
+    hub_cache_ns: u64,
     losses: Vec<f32>,
 }
+
+/// Aggregate extraction CPU may grow at most this much from `R = 1` to
+/// the largest swept replica count. Extraction is shared per macro-step
+/// (one union traversal regardless of `R`), so the aggregate cost is
+/// structurally flat; the headroom absorbs timer noise on short runs.
+const EXTRACT_CPU_RTOL: f64 = 1.3;
 
 /// Train the macro-step path at every replica count in `{1,2,4,8} ∩
 /// [1, max_r]`, assert bitwise-identical loss trajectories, report
@@ -272,6 +292,7 @@ fn run_replica_sweep(
     );
 
     let mut runs: Vec<ReplicaRun> = Vec::new();
+    let mut hub_entities = 0usize;
     for &r in &sweep {
         let mut cfg = opts.ckat_config();
         cfg.batch_local = true;
@@ -289,25 +310,35 @@ fn run_replica_sweep(
             wall_ns: 0,
             reduce_ns: 0,
             extract_ns: 0,
+            extract_wall_ns: 0,
             extract_wait_ns: 0,
+            hub_cache_ns: 0,
             losses: Vec::with_capacity(epochs),
         };
+        if r == sweep[0] {
+            hub_entities = model.hub_count();
+            eprintln!("  hub cache: {hub_entities} hub entities");
+        }
         for epoch in 1..=epochs {
             let loss = model.train_epoch(&ctx, &mut rng);
             let p = model.take_epoch_profile().expect("CKAT records profiles");
             eprintln!(
                 "  R={r} epoch {epoch}: loss {loss:.4}, wall {:.1} ms \
-                 (reduce {:.1} ms, extract {:.1} ms, waited {:.1} ms)",
+                 (reduce {:.1} ms, extract {:.1} ms CPU / {:.1} ms wall, \
+                 hub cache {:.1} ms)",
                 p.wall_ns as f64 / 1e6,
                 p.reduce_ns as f64 / 1e6,
                 p.extract_ns as f64 / 1e6,
-                p.extract_wait_ns as f64 / 1e6,
+                p.extract_wall_ns as f64 / 1e6,
+                p.hub_cache_ns as f64 / 1e6,
             );
             run.losses.push(loss);
             run.wall_ns += p.wall_ns;
             run.reduce_ns += p.reduce_ns;
             run.extract_ns += p.extract_ns;
+            run.extract_wall_ns += p.extract_wall_ns;
             run.extract_wait_ns += p.extract_wait_ns;
+            run.hub_cache_ns += p.hub_cache_ns;
         }
         runs.push(run);
     }
@@ -328,6 +359,21 @@ fn run_replica_sweep(
         }
     }
 
+    // Scaling-regression gate: one union traversal serves the whole
+    // macro-step, so aggregate extraction CPU must stay flat in R instead
+    // of growing with the replica count as it did when every micro-batch
+    // re-extracted its own receptive field.
+    for run in &runs[1..] {
+        let ratio = run.extract_ns as f64 / reference.extract_ns.max(1) as f64;
+        assert!(
+            ratio <= EXTRACT_CPU_RTOL,
+            "aggregate extraction CPU regressed with replica count: R={} spent {:.2}x \
+             the R=1 extraction CPU (gate {EXTRACT_CPU_RTOL}x)",
+            run.r,
+            ratio
+        );
+    }
+
     let speedup = |run: &ReplicaRun| reference.wall_ns as f64 / run.wall_ns.max(1) as f64;
     let run_fields = runs
         .iter()
@@ -335,14 +381,17 @@ fn run_replica_sweep(
             format!(
                 concat!(
                     "{{\"r\": {}, \"wall_ns\": {}, \"reduce_ns\": {}, ",
-                    "\"extract_ns\": {}, \"extract_wait_ns\": {}, ",
+                    "\"extract_ns\": {}, \"extract_wall_ns\": {}, ",
+                    "\"extract_wait_ns\": {}, \"hub_cache_ns\": {}, ",
                     "\"final_loss\": {:.6}, \"speedup_vs_r1\": {:.3}}}"
                 ),
                 run.r,
                 run.wall_ns,
                 run.reduce_ns,
                 run.extract_ns,
+                run.extract_wall_ns,
                 run.extract_wait_ns,
+                run.hub_cache_ns,
                 run.losses.last().copied().unwrap_or(f32::NAN),
                 speedup(run),
             )
@@ -353,7 +402,8 @@ fn run_replica_sweep(
         concat!(
             "{{\"facility\": \"{}\", \"profile\": \"{}\", \"seed\": {}, ",
             "\"cores\": {}, \"n_entities\": {}, \"n_edges\": {}, ",
-            "\"epochs\": {}, \"macro_width\": {}, \"losses_bitwise_equal\": true, ",
+            "\"epochs\": {}, \"macro_width\": {}, \"hub_entities\": {}, ",
+            "\"losses_bitwise_equal\": true, ",
             "\"runs\": [{}]}}"
         ),
         name,
@@ -364,6 +414,7 @@ fn run_replica_sweep(
         exp.ckg.n_edges(),
         epochs,
         MACRO_WIDTH,
+        hub_entities,
         run_fields,
     );
     merge_replica_records("BENCH_ckat_replicas.json", name, record);

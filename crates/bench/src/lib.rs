@@ -187,6 +187,8 @@ impl HarnessOpts {
             transr_dim: d,
             margin: 1.0,
             batch_local: true,
+            hub_cache: true,
+            hub_percentile: 0.99,
             base,
         }
     }

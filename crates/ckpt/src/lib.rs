@@ -9,7 +9,7 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"FKCK"
-//! 4       1     format version (current: 2)
+//! 4       1     format version (current: 4)
 //! 5       4     CRC-32 (IEEE) of the payload, little-endian
 //! 9       8     payload length in bytes, little-endian
 //! 17      n     payload
@@ -44,8 +44,10 @@ pub const MAGIC: [u8; 4] = *b"FKCK";
 /// Version history: 1 — initial; 2 — per-row lazy-Adam step counters
 /// appended to each optimizer slot; 3 — replica count stamped into the
 /// trainer checkpoint and pool accounting fields (`reduce_ns`,
-/// `wall_ns`, `replicas`) appended to each epoch profile.
-pub const FORMAT_VERSION: u8 = 3;
+/// `wall_ns`, `replicas`) appended to each epoch profile; 4 — split
+/// extraction attribution (`extract_wall_ns`) and the hub-cache refresh
+/// time (`hub_cache_ns`) appended to each epoch profile.
+pub const FORMAT_VERSION: u8 = 4;
 
 const HEADER_LEN: usize = 4 + 1 + 4 + 8;
 

@@ -87,6 +87,10 @@ fn put_profile(w: &mut Writer, p: &EpochProfile) {
         p.reduce_ns,
         p.wall_ns,
         p.replicas,
+        // Format v4 appends the split extraction attribution and the
+        // hub-cache refresh time at the end of the record.
+        p.extract_wall_ns,
+        p.hub_cache_ns,
     ] {
         w.put_u64(v);
     }
@@ -111,6 +115,8 @@ fn get_profile(r: &mut Reader<'_>) -> Result<EpochProfile, CkptError> {
         reduce_ns: r.get_u64()?,
         wall_ns: r.get_u64()?,
         replicas: r.get_u64()?,
+        extract_wall_ns: r.get_u64()?,
+        hub_cache_ns: r.get_u64()?,
     })
 }
 

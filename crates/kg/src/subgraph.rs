@@ -53,6 +53,16 @@ pub struct SubgraphScratch {
     version: u32,
     /// Discovery buffer reused across extractions (capacity persists).
     discovered: Vec<usize>,
+    /// Per-entity closure membership bitmask for [`SubgraphScratch::extract_many`]
+    /// (bit `b` ⇒ in seed set `b`'s closure). Allocated on first use.
+    mask: Vec<u64>,
+    /// Per-round pending bits during the level-synchronous multi-source BFS.
+    pending: Vec<u64>,
+    /// Snapshot of `mask` after `depth - 1` expansion rounds (bit `b` ⇒
+    /// in seed set `b`'s interior, before the cut rule is applied).
+    interior_bits: Vec<u64>,
+    /// Bit `b` ⇒ the entity is one of seed set `b`'s seeds.
+    seed_bits: Vec<u64>,
 }
 
 /// A compact remapped CSR subgraph: the `depth`-hop receptive field of a
@@ -155,6 +165,50 @@ impl BatchSubgraph {
     }
 }
 
+/// The union receptive field of one macro-step's micro-batch seed sets,
+/// extracted by [`SubgraphScratch::extract_many`] in a single traversal.
+///
+/// `subgraphs[b]` is **bitwise identical** to what an independent
+/// [`SubgraphScratch::extract`] (or [`SubgraphScratch::extract_cut`] when
+/// a cut was supplied) of seed set `b` produces — same node order, same
+/// edge list, same `seed_locals` — because both paths sort node groups by
+/// global id and copy complete CSR slices in global edge order. The union
+/// exists so the traversal cost is paid once per macro-step instead of
+/// once per micro-batch.
+#[derive(Debug, Clone, Default)]
+pub struct UnionExtraction {
+    /// Sorted global ids of every node in any seed set's closure.
+    pub union_nodes: Vec<usize>,
+    /// One derived subgraph per seed set, in input order.
+    pub subgraphs: Vec<BatchSubgraph>,
+}
+
+impl UnionExtraction {
+    /// Validate the union's structural contract, panicking on violation:
+    /// the union node list is strictly sorted and in range, every derived
+    /// subgraph satisfies [`BatchSubgraph::validate`], and every subgraph
+    /// node is a member of the union. Called automatically at the end of
+    /// [`SubgraphScratch::extract_many`] under the `debug-audit` feature.
+    pub fn validate(&self, ckg: &Ckg) {
+        assert!(
+            self.union_nodes.windows(2).all(|w| w[0] < w[1]),
+            "debug-audit: union nodes not strictly sorted"
+        );
+        for &g in &self.union_nodes {
+            assert!(g < ckg.n_entities(), "debug-audit: union node {g} outside the entity range");
+        }
+        for (b, sub) in self.subgraphs.iter().enumerate() {
+            sub.validate(ckg);
+            for &g in &sub.nodes {
+                assert!(
+                    self.union_nodes.binary_search(&g).is_ok(),
+                    "debug-audit: subgraph {b} node {g} escapes the union"
+                );
+            }
+        }
+    }
+}
+
 impl SubgraphScratch {
     /// Workspace for a graph with `n_entities` entities.
     pub fn new(n_entities: usize) -> Self {
@@ -163,6 +217,10 @@ impl SubgraphScratch {
             local: vec![0; n_entities],
             version: 0,
             discovered: Vec::new(),
+            mask: Vec::new(),
+            pending: Vec::new(),
+            interior_bits: Vec::new(),
+            seed_bits: Vec::new(),
         }
     }
 
@@ -238,6 +296,274 @@ impl SubgraphScratch {
         #[cfg(feature = "debug-audit")]
         sub.validate(ckg);
         sub
+    }
+
+    /// [`SubgraphScratch::extract`] with a *hub cut*: entities flagged in
+    /// `cut` do not expand during the BFS unless they are seeds of this
+    /// very batch, and a cut non-seed is always classified as **ring**
+    /// even when discovered within `depth - 1` hops (its edge slice would
+    /// be enormous and its deep-layer values are injected from a cache
+    /// instead of computed in-graph — see `facility-models`' hub cache).
+    ///
+    /// With an all-`false` cut this is exactly [`SubgraphScratch::extract`].
+    /// This is the single-seed-set oracle that
+    /// [`SubgraphScratch::extract_many`] is differentially tested against.
+    ///
+    /// # Panics
+    /// Panics if `cut` is not sized for the graph or a seed is out of
+    /// range.
+    pub fn extract_cut(
+        &mut self,
+        ckg: &Ckg,
+        seeds: &[usize],
+        depth: usize,
+        cut: &[bool],
+    ) -> BatchSubgraph {
+        assert_eq!(self.stamp.len(), ckg.n_entities(), "scratch sized for a different graph");
+        assert_eq!(cut.len(), ckg.n_entities(), "cut flags sized for a different graph");
+        self.bump_version();
+        let version = self.version;
+        self.discovered.clear();
+
+        let mut seed_sorted: Vec<usize> = seeds.to_vec();
+        seed_sorted.sort_unstable();
+        seed_sorted.dedup();
+        let expands = |g: usize| !cut[g] || seed_sorted.binary_search(&g).is_ok();
+
+        for &s in seeds {
+            if self.stamp[s] != version {
+                self.stamp[s] = version;
+                self.discovered.push(s);
+            }
+        }
+        let mut frontier_start = 0;
+        let mut n_interior_raw = if depth == 0 { 0 } else { self.discovered.len() };
+        for hop in 0..depth {
+            let frontier_end = self.discovered.len();
+            for fi in frontier_start..frontier_end {
+                let g = self.discovered[fi];
+                if !expands(g) {
+                    continue;
+                }
+                for k in ckg.offsets[g]..ckg.offsets[g + 1] {
+                    let t = ckg.tails[k] as usize;
+                    if self.stamp[t] != version {
+                        self.stamp[t] = version;
+                        self.discovered.push(t);
+                    }
+                }
+            }
+            frontier_start = frontier_end;
+            if hop + 1 == depth - 1 {
+                n_interior_raw = self.discovered.len();
+            }
+        }
+
+        // Like `extract`, but cut non-seeds are demoted from the interior
+        // prefix to the ring before local ids are assigned.
+        let mut nodes: Vec<usize> = Vec::with_capacity(self.discovered.len());
+        let mut ring: Vec<usize> = Vec::new();
+        for &g in &self.discovered[..n_interior_raw] {
+            if expands(g) {
+                nodes.push(g);
+            } else {
+                ring.push(g);
+            }
+        }
+        nodes.sort_unstable();
+        let n_interior = nodes.len();
+        ring.extend_from_slice(&self.discovered[n_interior_raw..]);
+        ring.sort_unstable();
+        nodes.extend_from_slice(&ring);
+        for (li, &g) in nodes.iter().enumerate() {
+            self.local[g] = li as u32;
+        }
+
+        let mut edge_ids = Vec::new();
+        let mut tails = Vec::new();
+        let mut heads = Vec::new();
+        for (li, &g) in nodes[..n_interior].iter().enumerate() {
+            for k in ckg.offsets[g]..ckg.offsets[g + 1] {
+                edge_ids.push(k);
+                heads.push(li);
+                tails.push(self.local[ckg.tails[k] as usize] as usize);
+            }
+        }
+
+        let seed_locals = seeds.iter().map(|&s| self.local[s] as usize).collect();
+        let sub = BatchSubgraph { nodes, n_interior, seed_locals, edge_ids, tails, heads };
+        #[cfg(feature = "debug-audit")]
+        sub.validate(ckg);
+        sub
+    }
+
+    /// Extract the union receptive field of up to 64 seed sets in **one**
+    /// traversal and derive every per-set [`BatchSubgraph`] from it.
+    ///
+    /// A level-synchronous multi-source BFS tracks, per entity, a `u64`
+    /// bitmask of which seed sets' closures contain it; bits discovered in
+    /// the same round are committed together, so per-set hop distances —
+    /// and therefore the interior/ring split — are exactly what `depth`
+    /// independent BFS runs would compute. Each subgraph is then
+    /// materialized by filtering the sorted union with its bit, which
+    /// reproduces independent extraction bit for bit (proved in
+    /// `facility-models/tests/batch_local_diff.rs` and the tests below).
+    ///
+    /// `cut` applies [`SubgraphScratch::extract_cut`]'s hub rule to every
+    /// set: a cut entity only expands the bits for which it is a seed and
+    /// is forced to the ring of every set it is not a seed of.
+    ///
+    /// # Panics
+    /// Panics if more than 64 seed sets are passed, a seed is out of
+    /// range, or `cut` is mis-sized.
+    pub fn extract_many(
+        &mut self,
+        ckg: &Ckg,
+        seed_sets: &[Vec<usize>],
+        depth: usize,
+        cut: Option<&[bool]>,
+    ) -> UnionExtraction {
+        assert_eq!(self.stamp.len(), ckg.n_entities(), "scratch sized for a different graph");
+        assert!(seed_sets.len() <= 64, "extract_many tracks at most 64 seed sets per union");
+        if let Some(c) = cut {
+            assert_eq!(c.len(), ckg.n_entities(), "cut flags sized for a different graph");
+        }
+        let n = ckg.n_entities();
+        if self.mask.len() != n {
+            self.mask = vec![0; n];
+            self.pending = vec![0; n];
+            self.interior_bits = vec![0; n];
+            self.seed_bits = vec![0; n];
+        }
+        self.bump_version();
+        let version = self.version;
+        self.discovered.clear();
+        let is_cut = |g: usize| cut.is_some_and(|c| c[g]);
+
+        // Seed round: first touch lazily clears an entity's bit state.
+        for (b, seeds) in seed_sets.iter().enumerate() {
+            let bit = 1u64 << b;
+            for &s in seeds {
+                if self.stamp[s] != version {
+                    self.stamp[s] = version;
+                    self.mask[s] = 0;
+                    self.pending[s] = 0;
+                    self.interior_bits[s] = 0;
+                    self.seed_bits[s] = 0;
+                    self.discovered.push(s);
+                }
+                self.mask[s] |= bit;
+                self.seed_bits[s] |= bit;
+            }
+        }
+        let mut frontier: Vec<(usize, u64)> =
+            self.discovered.iter().map(|&s| (s, self.mask[s])).collect();
+        if depth == 1 {
+            // Interior = closure after depth - 1 = 0 expansions: the seeds.
+            for &s in &self.discovered {
+                self.interior_bits[s] = self.mask[s];
+            }
+        }
+
+        let mut touched: Vec<usize> = Vec::new();
+        for round in 1..=depth {
+            let mut next: Vec<(usize, u64)> = Vec::new();
+            touched.clear();
+            for &(g, delta) in &frontier {
+                // The hub cut: a cut entity expands only the bits it is a
+                // seed of (those are exactly its round-0 delta bits).
+                let expand = if is_cut(g) { delta & self.seed_bits[g] } else { delta };
+                if expand == 0 {
+                    continue;
+                }
+                for k in ckg.offsets[g]..ckg.offsets[g + 1] {
+                    let t = ckg.tails[k] as usize;
+                    if self.stamp[t] != version {
+                        self.stamp[t] = version;
+                        self.mask[t] = 0;
+                        self.pending[t] = 0;
+                        self.interior_bits[t] = 0;
+                        self.seed_bits[t] = 0;
+                        self.discovered.push(t);
+                    }
+                    if self.pending[t] == 0 {
+                        touched.push(t);
+                    }
+                    self.pending[t] |= expand;
+                }
+            }
+            // Commit after the whole frontier expanded — bits reaching a
+            // node in this round must not re-expand within it, or per-set
+            // hop distances (and the interior split) would be wrong.
+            for &t in &touched {
+                let delta = self.pending[t] & !self.mask[t];
+                self.pending[t] = 0;
+                if delta != 0 {
+                    self.mask[t] |= delta;
+                    if round < depth {
+                        next.push((t, delta));
+                    }
+                }
+            }
+            frontier = next;
+            if round == depth - 1 {
+                for &g in &self.discovered {
+                    self.interior_bits[g] = self.mask[g];
+                }
+            }
+        }
+
+        // Materialize: iterate the sorted union once per set and bucket by
+        // bit, so each subgraph's node groups come out sorted by global id
+        // exactly as independent extraction sorts them.
+        self.discovered.sort_unstable();
+        let union_nodes = self.discovered.clone();
+        let mut subgraphs = Vec::with_capacity(seed_sets.len());
+        for (b, seeds) in seed_sets.iter().enumerate() {
+            let bit = 1u64 << b;
+            let mut nodes: Vec<usize> = Vec::new();
+            for &g in &union_nodes {
+                if self.interior_bits[g] & bit != 0 && !(is_cut(g) && self.seed_bits[g] & bit == 0)
+                {
+                    nodes.push(g);
+                }
+            }
+            let n_interior = nodes.len();
+            for &g in &union_nodes {
+                let in_closure = self.mask[g] & bit != 0;
+                let interior = self.interior_bits[g] & bit != 0
+                    && !(is_cut(g) && self.seed_bits[g] & bit == 0);
+                if in_closure && !interior {
+                    nodes.push(g);
+                }
+            }
+            for (li, &g) in nodes.iter().enumerate() {
+                self.local[g] = li as u32;
+            }
+            let mut edge_ids = Vec::new();
+            let mut tails = Vec::new();
+            let mut heads = Vec::new();
+            for (li, &g) in nodes[..n_interior].iter().enumerate() {
+                for k in ckg.offsets[g]..ckg.offsets[g + 1] {
+                    edge_ids.push(k);
+                    heads.push(li);
+                    tails.push(self.local[ckg.tails[k] as usize] as usize);
+                }
+            }
+            let seed_locals = seeds.iter().map(|&s| self.local[s] as usize).collect();
+            subgraphs.push(BatchSubgraph {
+                nodes,
+                n_interior,
+                seed_locals,
+                edge_ids,
+                tails,
+                heads,
+            });
+        }
+        let out = UnionExtraction { union_nodes, subgraphs };
+        #[cfg(feature = "debug-audit")]
+        out.validate(ckg);
+        out
     }
 
     fn bump_version(&mut self) {
@@ -372,6 +698,178 @@ mod tests {
             assert_eq!(e.tails, c.tails, "seed set {i}: tails");
             assert_eq!(e.heads, c.heads, "seed set {i}: heads");
         }
+    }
+
+    /// 4 users, 8 items; every item shares one "common" attribute (the
+    /// hub) and has one unique attribute, so the common attribute's CSR
+    /// slice dominates any closure that reaches it.
+    fn hub_world() -> Ckg {
+        let mut b = CkgBuilder::new(4, 8);
+        let pairs: Vec<(Id, Id)> = (0..8u32).map(|i| (i % 4, i)).collect();
+        b.add_interactions(&pairs);
+        for i in 0..8u32 {
+            b.add_item_attribute(KnowledgeSource::Dkg, "dataType", i, "common".to_string());
+            b.add_item_attribute(KnowledgeSource::Dkg, "dataType", i, format!("unique{i}"));
+        }
+        b.build(SourceMask::all())
+    }
+
+    /// The hub entity (highest out-degree) of a graph.
+    fn hub_of(ckg: &Ckg) -> usize {
+        (0..ckg.n_entities())
+            .max_by_key(|&g| (ckg.offsets[g + 1] - ckg.offsets[g], g))
+            .expect("non-empty graph")
+    }
+
+    fn assert_subgraphs_bitwise_equal(e: &BatchSubgraph, c: &BatchSubgraph, what: &str) {
+        assert_eq!(e.nodes, c.nodes, "{what}: nodes");
+        assert_eq!(e.n_interior, c.n_interior, "{what}: n_interior");
+        assert_eq!(e.seed_locals, c.seed_locals, "{what}: seed_locals");
+        assert_eq!(e.edge_ids, c.edge_ids, "{what}: edge_ids");
+        assert_eq!(e.tails, c.tails, "{what}: tails");
+        assert_eq!(e.heads, c.heads, "{what}: heads");
+    }
+
+    /// One union traversal must reproduce independent extraction exactly,
+    /// for every union width the replica macro-step uses and every depth
+    /// the model configs use.
+    #[test]
+    fn union_extraction_matches_independent_extraction() {
+        let ckg = world();
+        let all_sets: Vec<Vec<usize>> = vec![
+            vec![0, 5, 0],
+            vec![2],
+            vec![1, 6, 3],
+            vec![0, 1, 2],
+            vec![6],
+            vec![3, 4, 3],
+            vec![5, 2],
+            vec![0, 6, 4],
+        ];
+        for width in [1usize, 2, 4, 8] {
+            for depth in 1..=3 {
+                let sets = &all_sets[..width];
+                let mut u_scratch = SubgraphScratch::new(ckg.n_entities());
+                let union = u_scratch.extract_many(&ckg, sets, depth, None);
+                union.validate(&ckg);
+                assert_eq!(union.subgraphs.len(), width);
+                let mut i_scratch = SubgraphScratch::new(ckg.n_entities());
+                for (b, seeds) in sets.iter().enumerate() {
+                    let independent = i_scratch.extract(&ckg, seeds, depth);
+                    assert_subgraphs_bitwise_equal(
+                        &independent,
+                        &union.subgraphs[b],
+                        &format!("width {width} depth {depth} set {b}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The same equivalence under the hub cut, against the single-set
+    /// `extract_cut` oracle, on a graph with a genuine hub.
+    #[test]
+    fn union_extraction_matches_extract_cut_under_hub_cut() {
+        let ckg = hub_world();
+        let hub = hub_of(&ckg);
+        let mut cut = vec![false; ckg.n_entities()];
+        cut[hub] = true;
+        let sets: Vec<Vec<usize>> = vec![
+            vec![0, 4, 8],
+            vec![1, 5],
+            vec![2, 6, 10],
+            vec![3, 7],
+            vec![0, 9],
+            vec![hub, 1], // the hub as a seed must stay interior for this set
+            vec![2, 11],
+            vec![3, 4, 5],
+        ];
+        for depth in 1..=3 {
+            let mut u_scratch = SubgraphScratch::new(ckg.n_entities());
+            let union = u_scratch.extract_many(&ckg, &sets, depth, Some(&cut));
+            union.validate(&ckg);
+            let mut i_scratch = SubgraphScratch::new(ckg.n_entities());
+            for (b, seeds) in sets.iter().enumerate() {
+                let independent = i_scratch.extract_cut(&ckg, seeds, depth, &cut);
+                assert_subgraphs_bitwise_equal(
+                    &independent,
+                    &union.subgraphs[b],
+                    &format!("cut depth {depth} set {b}"),
+                );
+            }
+        }
+    }
+
+    /// A cut hub discovered well inside the receptive field is forced to
+    /// the ring (no edge slice), while the same hub used as a seed keeps
+    /// its full slice — the structural rule the hub cache depends on.
+    #[test]
+    fn cut_hub_is_ring_unless_seeded() {
+        let ckg = hub_world();
+        let hub = hub_of(&ckg);
+        let mut cut = vec![false; ckg.n_entities()];
+        cut[hub] = true;
+        let mut scratch = SubgraphScratch::new(ckg.n_entities());
+
+        // Seed a user: the hub is 2 hops away, inside a depth-3 interior.
+        let plain = scratch.extract(&ckg, &[0], 3);
+        let plain_local = plain.nodes.iter().position(|&g| g == hub).expect("hub reachable");
+        assert!(plain_local < plain.n_interior, "without a cut the hub is interior");
+
+        let cut_sub = scratch.extract_cut(&ckg, &[0], 3, &cut);
+        let cut_local = cut_sub.nodes.iter().position(|&g| g == hub).expect("hub still reached");
+        assert!(cut_local >= cut_sub.n_interior, "cut hub must be demoted to the ring");
+        assert!(
+            cut_sub.n_edges() < plain.n_edges(),
+            "cutting the hub must shrink the copied edge slices"
+        );
+        assert!(
+            cut_sub.n_nodes() < plain.n_nodes(),
+            "nodes reachable only through the hub must disappear"
+        );
+
+        // Seeding the hub itself keeps it interior with its full slice.
+        let seeded = scratch.extract_cut(&ckg, &[hub], 2, &cut);
+        let li = seeded.nodes.iter().position(|&g| g == hub).expect("seed present");
+        assert!(li < seeded.n_interior, "a cut entity seeded by the batch stays interior");
+    }
+
+    #[test]
+    fn extract_cut_with_no_cut_flags_matches_extract() {
+        let ckg = world();
+        let cut = vec![false; ckg.n_entities()];
+        let mut a = SubgraphScratch::new(ckg.n_entities());
+        let mut b = SubgraphScratch::new(ckg.n_entities());
+        for depth in 0..=3 {
+            let plain = a.extract(&ckg, &[0, 5, 0], depth);
+            let cutted = b.extract_cut(&ckg, &[0, 5, 0], depth, &cut);
+            assert_subgraphs_bitwise_equal(&plain, &cutted, &format!("depth {depth}"));
+        }
+    }
+
+    #[test]
+    fn union_scratch_interleaves_with_single_extractions() {
+        // The bitmask arrays are lazily cleared via the version stamps, so
+        // extract / extract_many calls can alternate on one scratch.
+        let ckg = world();
+        let mut scratch = SubgraphScratch::new(ckg.n_entities());
+        let a = scratch.extract(&ckg, &[0], 2);
+        let u1 = scratch.extract_many(&ckg, &[vec![0], vec![2]], 2, None);
+        let b = scratch.extract(&ckg, &[0], 2);
+        let u2 = scratch.extract_many(&ckg, &[vec![0], vec![2]], 2, None);
+        assert_subgraphs_bitwise_equal(&a, &b, "extract after extract_many");
+        assert_subgraphs_bitwise_equal(&u1.subgraphs[0], &u2.subgraphs[0], "union set 0");
+        assert_subgraphs_bitwise_equal(&u1.subgraphs[1], &u2.subgraphs[1], "union set 1");
+        assert_subgraphs_bitwise_equal(&a, &u1.subgraphs[0], "union vs single");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 seed sets")]
+    fn union_extraction_rejects_too_many_sets() {
+        let ckg = world();
+        let mut scratch = SubgraphScratch::new(ckg.n_entities());
+        let sets: Vec<Vec<usize>> = (0..65).map(|_| vec![0usize]).collect();
+        let _ = scratch.extract_many(&ckg, &sets, 2, None);
     }
 
     #[test]

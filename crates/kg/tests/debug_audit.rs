@@ -7,7 +7,7 @@
 #![cfg(feature = "debug-audit")]
 
 use facility_kg::builder::{Ckg, CkgBuilder, KnowledgeSource, SourceMask};
-use facility_kg::subgraph::{BatchSubgraph, SubgraphScratch};
+use facility_kg::subgraph::{BatchSubgraph, SubgraphScratch, UnionExtraction};
 
 fn world() -> Ckg {
     let mut b = CkgBuilder::new(3, 4);
@@ -108,4 +108,66 @@ fn bad_seed_local_is_caught() {
     sub.seed_locals[0] = sub.n_nodes() + 3;
     let msg = catch(move || sub.validate(&ckg));
     assert!(msg.contains("seed local id"), "unhelpful panic: {msg}");
+}
+
+fn extract_union(ckg: &Ckg) -> UnionExtraction {
+    let mut scratch = SubgraphScratch::new(ckg.n_entities());
+    // extract_many() itself validates under debug-audit.
+    scratch.extract_many(ckg, &[vec![0, 1], vec![2]], 2, None)
+}
+
+#[test]
+fn clean_union_extraction_validates() {
+    let ckg = world();
+    let union = extract_union(&ckg);
+    union.validate(&ckg);
+    assert_eq!(union.subgraphs.len(), 2);
+    assert!(!union.union_nodes.is_empty());
+}
+
+#[test]
+fn unsorted_union_nodes_are_caught() {
+    let ckg = world();
+    let mut union = extract_union(&ckg);
+    assert!(union.union_nodes.len() >= 2, "fixture needs 2+ union nodes");
+    union.union_nodes.swap(0, 1);
+    let msg = catch(move || union.validate(&ckg));
+    assert!(msg.contains("union nodes not strictly sorted"), "unhelpful panic: {msg}");
+}
+
+#[test]
+fn out_of_range_union_node_is_caught() {
+    let ckg = world();
+    let mut union = extract_union(&ckg);
+    // Keep the list sorted so only the range check can fire; the id is now
+    // absent from the union, so the escape check fires on a subgraph —
+    // either message names the corruption.
+    *union.union_nodes.last_mut().unwrap() = ckg.n_entities();
+    let msg = catch(move || union.validate(&ckg));
+    assert!(
+        msg.contains("outside the entity range") || msg.contains("escapes the union"),
+        "unhelpful panic: {msg}"
+    );
+}
+
+#[test]
+fn subgraph_node_escaping_the_union_is_caught() {
+    let ckg = world();
+    let mut union = extract_union(&ckg);
+    // Shrink the union under an untouched (still individually valid)
+    // subgraph: its nodes now reference an id the union no longer holds.
+    let victim = union.subgraphs[0].nodes[0];
+    union.union_nodes.retain(|&g| g != victim);
+    let msg = catch(move || union.validate(&ckg));
+    assert!(msg.contains("escapes the union"), "unhelpful panic: {msg}");
+}
+
+#[test]
+fn corrupt_member_subgraph_fails_union_validation() {
+    let ckg = world();
+    let mut union = extract_union(&ckg);
+    // Union-level validation must recurse into every derived subgraph.
+    union.subgraphs[1].tails[0] = union.subgraphs[1].n_nodes();
+    let msg = catch(move || union.validate(&ckg));
+    assert!(msg.contains("escapes the node set"), "unhelpful panic: {msg}");
 }

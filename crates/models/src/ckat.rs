@@ -57,8 +57,39 @@
 //! full-graph propagation with dense Adam whenever dropout is off.
 //! Full-graph propagation remains the evaluation path and the
 //! differential-test oracle (`tests/batch_local_diff.rs`).
+//!
+//! ## Replica mode: shared macro-step extraction + hub-representation cache
+//!
+//! Replica training (`base.replicas ≥ 1`, see `crate::replica`) batches
+//! [`MACRO_WIDTH`] micro-batches per optimizer step, and their receptive
+//! fields overlap heavily — each re-walks the same high-degree
+//! neighborhoods. Two structures remove that redundancy without changing
+//! the schedule:
+//!
+//! * **Union extraction** — one [`SubgraphScratch::extract_many`] BFS
+//!   extracts the union receptive field of all seed sets per macro-step;
+//!   each batch's [`BatchSubgraph`] is then derived by local-id remap, and
+//!   is bitwise-identical to what an independent extraction would build
+//!   (proven in `tests/batch_local_diff.rs`). Aggregate extraction CPU
+//!   stops scaling with the replica count.
+//! * **Hub-representation cache** ([`CkatConfig::hub_cache`]) — entities
+//!   above the [`CkatConfig::hub_percentile`] out-degree threshold get
+//!   their per-layer outputs computed once per macro-step by a full-graph
+//!   forward against the frozen snapshot ([`HubReps`], invalidated by the
+//!   `param_version`/`att_epoch` stamps). Inside each batch tape the hub
+//!   rows are replaced with those cached values after every layer's
+//!   normalization ([`Tape::override_rows`] — a stop-gradient: hubs keep
+//!   learning through the layer-0 gather and TransR), and the union BFS
+//!   treats hubs as *cut* nodes whose neighborhoods are never extracted.
+//!   Cached hub values equal the values their full neighborhoods would
+//!   produce, so the first macro-step is bitwise-identical to the
+//!   uncached path, and whole runs stay bitwise-identical across replica
+//!   counts. The uncached path (`hub_cache: false`) remains the
+//!   eval/test oracle.
+//!
+//! [`Tape::override_rows`]: facility_autograd::Tape::override_rows
 
-use crate::common::{dot_scores, union_locals, ModelConfig, TrainContext};
+use crate::common::{dedup_seeds, dot_scores, union_locals, ModelConfig, TrainContext};
 use crate::profile::EpochProfile;
 use crate::replica::{batch_rng, pooled_map, MACRO_WIDTH};
 use crate::transr;
@@ -66,7 +97,7 @@ use crate::Recommender;
 use facility_autograd::{fold_grads_ordered, Adam, Grad, ParamId, ParamStore, Tape, Var};
 use facility_ckpt::{CkptError, ModelState};
 use facility_kg::sampling::{sample_bpr_batch, sample_kg_batch, BprSample, KgSample};
-use facility_kg::{BatchSubgraph, Id, SubgraphScratch};
+use facility_kg::{BatchSubgraph, Ckg, Id, SubgraphScratch};
 use facility_linalg::{init, seeded_rng, Matrix};
 use rand::rngs::StdRng;
 use rand::RngCore;
@@ -101,6 +132,20 @@ pub struct CkatConfig {
     /// Propagate over the batch's L-hop receptive field instead of the
     /// full CKG during training (numerically identical; see module docs).
     pub batch_local: bool,
+    /// Replica mode only: compute the layer-stack outputs of hub entities
+    /// (degree above [`CkatConfig::hub_percentile`]) once per macro-step
+    /// against the frozen snapshot and reuse them across the macro-step's
+    /// micro-batches. Hubs stop participating in BFS expansion (their
+    /// closure-exploding neighborhoods are never re-extracted) and their
+    /// deep-layer values become stop-gradient constants inside each batch
+    /// tape; they keep learning through the layer-0 embedding gather and
+    /// the TransR objective. The uncached path remains the eval/test
+    /// oracle.
+    pub hub_cache: bool,
+    /// Out-degree percentile above which an entity counts as a hub
+    /// (strictly above the percentile value). `>= 1.0` marks no hubs,
+    /// which disables the cache regardless of [`CkatConfig::hub_cache`].
+    pub hub_percentile: f32,
 }
 
 impl From<&ModelConfig> for CkatConfig {
@@ -114,6 +159,8 @@ impl From<&ModelConfig> for CkatConfig {
             transr_dim: d,
             margin: 1.0,
             batch_local: true,
+            hub_cache: true,
+            hub_percentile: 0.99,
         }
     }
 }
@@ -154,14 +201,82 @@ pub struct Ckat {
     att_fresh: bool,
     cached_users: Option<Matrix>,
     cached_items: Option<Matrix>,
-    /// Reusable arena for per-batch receptive-field extraction.
+    /// Reusable arena for per-batch and macro-step receptive-field
+    /// extraction (always on the thread that owns `&mut self`).
     scratch: SubgraphScratch,
-    /// One extraction arena per replica worker (grown lazily; empty until
-    /// the first replica-mode epoch).
-    pool_scratches: Vec<SubgraphScratch>,
+    /// `hub_flags[g]` — entity `g`'s out-degree is strictly above the
+    /// [`CkatConfig::hub_percentile`] degree threshold. Empty when the hub
+    /// cache is off.
+    hub_flags: Vec<bool>,
+    /// The hub entity ids, strictly increasing (the row order of
+    /// [`HubReps::layers`]).
+    hub_ids: Arc<Vec<usize>>,
+    /// Per-macro-step cache of the hubs' layer-stack outputs; stamped with
+    /// the parameter/attention versions it was computed against.
+    hub_cache: Option<HubReps>,
+    /// Bumped after every optimizer apply; invalidates [`Ckat::hub_cache`].
+    param_version: u64,
+    /// Bumped by [`Ckat::refresh_attention`]; invalidates
+    /// [`Ckat::hub_cache`].
+    att_epoch: u64,
     /// Instrumentation from the most recent epoch, consumed by
     /// [`Recommender::take_epoch_profile`].
     last_profile: Option<EpochProfile>,
+}
+
+/// Layer-stack outputs of every hub entity, computed once per macro-step
+/// by a full-graph forward pass against the frozen parameter snapshot.
+///
+/// `layers[l]` is `hub_ids.len() × layer_dims[l]`: row `i` holds the
+/// *normalized* layer-`l` output of `hub_ids[i]` — exactly the rows a
+/// batch-local pass would compute for those entities, because per-row ops
+/// (matmul, bias, LeakyReLU, row normalization) and the verbatim-copied
+/// CSR edge slices make layer outputs independent of which other rows
+/// share the subgraph.
+struct HubReps {
+    /// [`Ckat::param_version`] this cache was computed against.
+    param_version: u64,
+    /// [`Ckat::att_epoch`] this cache was computed against.
+    att_epoch: u64,
+    layers: Vec<Matrix>,
+}
+
+/// Per-batch view of the hub cache: the hub rows present in one batch
+/// subgraph, remapped to local row indices, with their cached per-layer
+/// values ready for [`Tape::override_rows`].
+struct HubOverride {
+    /// Local row indices of hub nodes in the batch subgraph, strictly
+    /// increasing (subgraph locals are assigned in traversal order, so
+    /// scanning `sub.nodes` in order yields sorted locals).
+    locals: Arc<Vec<usize>>,
+    /// `layers[l]`: `locals.len() × layer_dims[l]` cached values.
+    layers: Vec<Matrix>,
+}
+
+/// Mark every entity whose out-degree is strictly above the
+/// `hub_percentile` quantile of the degree distribution. Returns
+/// `(flags, ids)` with `ids` strictly increasing; both empty when the hub
+/// cache is off or the percentile admits no hubs.
+fn select_hubs(ckg: &Ckg, config: &CkatConfig) -> (Vec<bool>, Vec<usize>) {
+    let n = ckg.n_entities();
+    // `>= 1.0` disables via the percentile; NaN disables too (a NaN
+    // percentile is nonsense, so fail toward the exact uncached path).
+    let enabled = config.hub_cache && config.hub_percentile < 1.0;
+    if !enabled || n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let degrees: Vec<usize> = (0..n).map(|g| ckg.offsets[g + 1] - ckg.offsets[g]).collect();
+    let mut sorted = degrees.clone();
+    sorted.sort_unstable();
+    let q = (f64::from(config.hub_percentile.max(0.0)) * (n - 1) as f64).floor() as usize;
+    let threshold = sorted[q.min(n - 1)];
+    let flags: Vec<bool> = degrees.iter().map(|&d| d > threshold).collect();
+    let ids: Vec<usize> = (0..n).filter(|&g| flags[g]).collect();
+    if ids.is_empty() {
+        (Vec::new(), Vec::new())
+    } else {
+        (flags, ids)
+    }
 }
 
 impl Ckat {
@@ -194,6 +309,7 @@ impl Ckat {
         let heads: Arc<Vec<usize>> = Arc::new(ctx.ckg.heads.iter().map(|&h| h as usize).collect());
         let item_entities: Vec<usize> =
             (0..ctx.inter.n_items).map(|i| ctx.ckg.item_entity(i as Id)).collect();
+        let (hub_flags, hub_ids) = select_hubs(ctx.ckg, config);
         Self {
             store,
             adam,
@@ -214,7 +330,11 @@ impl Ckat {
             cached_users: None,
             cached_items: None,
             scratch: SubgraphScratch::new(n_ent),
-            pool_scratches: Vec::new(),
+            hub_flags,
+            hub_ids: Arc::new(hub_ids),
+            hub_cache: None,
+            param_version: 0,
+            att_epoch: 0,
             last_profile: None,
         }
     }
@@ -292,6 +412,9 @@ impl Ckat {
             transr::uniform_scores(ctx.ckg)
         };
         self.att_fresh = true;
+        // Any hub representations cached against the previous attention
+        // snapshot are stale from here on.
+        self.att_epoch += 1;
     }
 
     /// Build the full propagation stack on `t` and return the final
@@ -317,6 +440,7 @@ impl Ckat {
             layer_w,
             layer_b,
             dropout_rng,
+            None,
         )
     }
 
@@ -333,6 +457,12 @@ impl Ckat {
     /// (empty before the first refresh).
     pub fn attention_weights(&self) -> &[f32] {
         &self.att
+    }
+
+    /// Number of entities the hub-representation cache tracks (0 when
+    /// [`CkatConfig::hub_cache`] is off or the percentile admits none).
+    pub fn hub_count(&self) -> usize {
+        self.hub_ids.len()
     }
 
     /// Clones of the per-layer aggregation weights and biases (`W_l`,
@@ -494,18 +624,22 @@ impl Ckat {
         let ckg = ctx.ckg;
         let full_edges = ckg.n_edges() as u64;
 
-        // Seed sets for the extraction worker: users ++ pos ++ neg, so
-        // `seed_locals` splits into thirds on the training side.
-        let seed_sets: Vec<Vec<usize>> = batches
+        // Seed sets for the extraction worker: users ++ pos ++ neg,
+        // deduplicated so BFS never re-walks a repeated user/item (batches
+        // routinely repeat both). `pos_map` recovers the positional
+        // thirds-layout on the training side: position `p`'s seed local is
+        // `seed_locals[pos_map[p]]`. Dedup is bitwise-safe — extraction
+        // discovers seeds in first-occurrence order either way.
+        let (seed_sets, pos_maps): (Vec<Vec<usize>>, Vec<Vec<usize>>) = batches
             .iter()
             .map(|(bpr, _)| {
                 let mut s = Vec::with_capacity(3 * bpr.len());
                 s.extend(bpr.iter().map(|x| x.user as usize));
                 s.extend(bpr.iter().map(|x| ckg.item_entity(x.pos)));
                 s.extend(bpr.iter().map(|x| ckg.item_entity(x.neg)));
-                s
+                dedup_seeds(&s)
             })
-            .collect();
+            .unzip();
 
         let mut total = 0.0;
         std::thread::scope(|sc| {
@@ -524,7 +658,7 @@ impl Ckat {
                     }
                 }
             });
-            for (batch, kg_batch) in batches {
+            for ((batch, kg_batch), pos_map) in batches.iter().zip(&pos_maps) {
                 let b = batch.len();
                 prof.batches += 1;
                 prof.full_rows += n_entities as u64;
@@ -567,10 +701,15 @@ impl Ckat {
                     &lw,
                     &lb,
                     Some(rng),
+                    None,
                 );
-                let u = t.gather_rows(all, &seed_locals[..b]);
-                let i = t.gather_rows(all, &seed_locals[b..2 * b]);
-                let j = t.gather_rows(all, &seed_locals[2 * b..]);
+                let local_of = |p: usize| seed_locals[pos_map[p]];
+                let u_locals: Vec<usize> = (0..b).map(local_of).collect();
+                let i_locals: Vec<usize> = (b..2 * b).map(local_of).collect();
+                let j_locals: Vec<usize> = (2 * b..3 * b).map(local_of).collect();
+                let u = t.gather_rows(all, &u_locals);
+                let i = t.gather_rows(all, &i_locals);
+                let j = t.gather_rows(all, &j_locals);
                 let loss = bpr_head(&mut t, u, i, j, b, config.base.l2);
                 total += t.value(loss)[(0, 0)];
                 prof.forward_ns += clock.elapsed().as_nanos() as u64;
@@ -667,21 +806,36 @@ impl Ckat {
     /// order and applied once per phase (BPR, then TransR). The replica
     /// count only sets how many threads execute the fixed schedule, so
     /// the run is bitwise-identical for every `replicas ≥ 1` (see
-    /// `crate::replica` for the determinism argument). This retires the
-    /// single-slot prefetch thread: extraction happens inside the pool's
-    /// prepare phase instead.
+    /// `crate::replica` for the determinism argument).
     ///
-    /// Each macro-step is two [`pooled_map`] phases with a main-thread
-    /// reduction between and after:
+    /// Each macro-step runs as main-thread shared work, then one
+    /// [`pooled_map`] train phase, then a main-thread reduction:
     ///
-    /// * **Prepare** (parallel): per batch, sample BPR + TransR from the
-    ///   batch's private RNG stream and extract the receptive field.
-    /// * main: one [`ParamStore::sync_rows`] over the union of every
-    ///   row the macro-step will read — lazy Adam must settle rows
-    ///   *before* workers snapshot them.
+    /// * main: sample every micro-batch from its private RNG stream (the
+    ///   exact draw order of the other training arms, so the schedule is
+    ///   independent of the replica count), dedup each batch's seeds, and
+    ///   extract the **union receptive field** of all `K` seed sets with
+    ///   one [`SubgraphScratch::extract_many`] BFS — each batch's
+    ///   subgraph is a local-id view derived from the union, so shared
+    ///   high-degree neighborhoods are walked once per macro-step instead
+    ///   of once per replica.
+    /// * main: settle lazy Adam ([`ParamStore::sync_rows`] over the
+    ///   union, or [`ParamStore::sync_all`] when the hub cache runs) and,
+    ///   with the hub cache on, refresh [`HubReps`] if parameters or
+    ///   attention moved, then slice each batch's [`HubOverride`] out of
+    ///   it.
     /// * **Train** (parallel): per batch, build the BPR and TransR tapes
     ///   against the frozen snapshot and return their gradients.
     /// * main: fold gradients in batch order, scale by `1/K`, apply.
+    ///
+    /// This retires both the single-slot prefetch thread and the old
+    /// pooled prepare phase, whose per-replica independent extractions
+    /// made aggregate extraction CPU scale linearly with `R` and whose
+    /// closing barrier was (mis)charged to `extract_wait_ns`. Extraction
+    /// now sits on the main thread and is charged to both
+    /// [`EpochProfile::extract_ns`] (aggregate CPU) and
+    /// [`EpochProfile::extract_wall_ns`] (critical path);
+    /// `extract_wait_ns` stays 0 in this arm.
     fn run_batches_replicated(
         &mut self,
         ctx: &TrainContext<'_>,
@@ -690,9 +844,6 @@ impl Ckat {
         prof: &mut EpochProfile,
     ) -> f32 {
         let threads = self.config.base.replicas.max(1);
-        while self.pool_scratches.len() < threads {
-            self.pool_scratches.push(SubgraphScratch::new(self.n_entities));
-        }
         let Ckat {
             store,
             adam,
@@ -704,8 +855,15 @@ impl Ckat {
             config,
             n_entities,
             n_rel,
+            tails,
+            heads,
             att,
-            pool_scratches,
+            scratch,
+            hub_flags,
+            hub_ids,
+            hub_cache,
+            param_version,
+            att_epoch,
             ..
         } = self;
         let (ent_emb, rel_emb, rel_proj) = (*ent_emb, *rel_emb, *rel_proj);
@@ -718,98 +876,145 @@ impl Ckat {
         let ckg = ctx.ckg;
         let inter = ctx.inter;
         let full_edges = ckg.n_edges() as u64;
-        let scratches = &mut pool_scratches[..threads];
+        let use_cache = config.hub_cache && !hub_ids.is_empty();
 
         let mut total = 0.0;
         for start in (0..n_batches).step_by(MACRO_WIDTH) {
             let end = (start + MACRO_WIDTH).min(n_batches);
 
-            // --- Prepare phase: sample + extract, one batch per job ---
+            // --- Sample phase (main thread, fixed schedule) ---
             let clock = Instant::now();
-            let prepared: Vec<Option<PreparedBatch>> =
-                pooled_map(scratches, (start..end).collect(), |scratch, _slot, idx: usize| {
-                    let sample_clock = Instant::now();
-                    let mut rng = batch_rng(stream_base, idx as u64);
-                    let bpr = sample_bpr_batch(inter, batch_size, &mut rng);
-                    if bpr.is_empty() {
-                        return None;
-                    }
-                    let kg = sample_kg_batch(ckg, batch_size, &mut rng);
-                    let sampling_ns = sample_clock.elapsed().as_nanos() as u64;
-
-                    let extract_clock = Instant::now();
-                    let mut seeds = Vec::with_capacity(3 * bpr.len());
-                    seeds.extend(bpr.iter().map(|x| x.user as usize));
-                    seeds.extend(bpr.iter().map(|x| ckg.item_entity(x.pos)));
-                    seeds.extend(bpr.iter().map(|x| ckg.item_entity(x.neg)));
-                    let sub = scratch.extract(ckg, &seeds, depth);
-                    let att_vals: Vec<f32> = sub.edge_ids.iter().map(|&k| att[k]).collect();
-                    let extract_ns = extract_clock.elapsed().as_nanos() as u64;
-
-                    let (kg_union, local_kg) = if kg.is_empty() {
-                        (Vec::new(), Vec::new())
-                    } else {
-                        let heads_g: Vec<usize> = kg.iter().map(|s| s.head as usize).collect();
-                        let tails_g: Vec<usize> = kg.iter().map(|s| s.tail as usize).collect();
-                        let negs_g: Vec<usize> = kg.iter().map(|s| s.neg_tail as usize).collect();
-                        let (union, locals) = union_locals(&[&heads_g, &tails_g, &negs_g]);
-                        let local_kg: Vec<KgSample> = kg
-                            .iter()
-                            .enumerate()
-                            .map(|(n, s)| KgSample {
-                                head: locals[0][n] as Id,
-                                rel: s.rel,
-                                tail: locals[1][n] as Id,
-                                neg_tail: locals[2][n] as Id,
-                            })
-                            .collect();
-                        (union, local_kg)
-                    };
-                    Some(PreparedBatch {
-                        bpr,
-                        local_kg,
-                        kg_union,
-                        sub,
-                        att_vals,
-                        rng,
-                        sampling_ns,
-                        extract_ns,
-                    })
-                });
-            prof.extract_wait_ns += clock.elapsed().as_nanos() as u64;
-
-            // Accounting + the union of every row this macro-step reads.
-            let mut need: Vec<usize> = Vec::new();
-            for p in prepared.iter().flatten() {
-                prof.batches += 1;
-                prof.sampling_ns += p.sampling_ns;
-                prof.extract_ns += p.extract_ns;
-                prof.full_rows += n_entities as u64;
-                prof.full_edges += full_edges;
-                prof.gathered_rows += p.sub.n_nodes() as u64;
-                prof.gathered_edges += p.sub.n_edges() as u64;
-                prof.forward_flops +=
-                    propagation_flops(config, p.sub.n_nodes() as u64, p.sub.n_edges() as u64);
-                need.extend_from_slice(&p.sub.nodes);
-                need.extend_from_slice(&p.kg_union);
+            let mut sampled: Vec<(Vec<BprSample>, Vec<KgSample>, StdRng)> = Vec::new();
+            for idx in start..end {
+                let mut rng = batch_rng(stream_base, idx as u64);
+                let bpr = sample_bpr_batch(inter, batch_size, &mut rng);
+                if bpr.is_empty() {
+                    continue;
+                }
+                let kg = sample_kg_batch(ckg, batch_size, &mut rng);
+                sampled.push((bpr, kg, rng));
             }
-            let k = prepared.iter().flatten().count();
+            prof.sampling_ns += clock.elapsed().as_nanos() as u64;
+            let k = sampled.len();
             if k == 0 {
                 continue;
             }
-            need.sort_unstable();
-            need.dedup();
+
+            // --- Union extraction: one cut-BFS serves all K batches ---
             let clock = Instant::now();
-            store.sync_rows(adam, ent_emb, &need);
-            prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+            let (seed_sets, pos_maps): (Vec<Vec<usize>>, Vec<Vec<usize>>) = sampled
+                .iter()
+                .map(|(bpr, _, _)| {
+                    let mut s = Vec::with_capacity(3 * bpr.len());
+                    s.extend(bpr.iter().map(|x| x.user as usize));
+                    s.extend(bpr.iter().map(|x| ckg.item_entity(x.pos)));
+                    s.extend(bpr.iter().map(|x| ckg.item_entity(x.neg)));
+                    dedup_seeds(&s)
+                })
+                .unzip();
+            let cut = if use_cache { Some(hub_flags.as_slice()) } else { None };
+            let union = scratch.extract_many(ckg, &seed_sets, depth, cut);
+            let union_nodes = union.union_nodes;
+            let extract_ns = clock.elapsed().as_nanos() as u64;
+            prof.extract_ns += extract_ns;
+            prof.extract_wall_ns += extract_ns;
+
+            // Assemble one PreparedBatch per micro-batch: remap the
+            // TransR ids, snapshot the per-edge attention, and account
+            // the derived subgraph's size.
+            let mut need: Vec<usize> = Vec::new();
+            let mut prepared: Vec<PreparedBatch> = Vec::with_capacity(k);
+            for (((bpr, kg, rng), sub), pos_map) in
+                sampled.into_iter().zip(union.subgraphs).zip(pos_maps)
+            {
+                prof.batches += 1;
+                prof.full_rows += n_entities as u64;
+                prof.full_edges += full_edges;
+                prof.gathered_rows += sub.n_nodes() as u64;
+                prof.gathered_edges += sub.n_edges() as u64;
+                prof.forward_flops +=
+                    propagation_flops(config, sub.n_nodes() as u64, sub.n_edges() as u64);
+                let att_vals: Vec<f32> = sub.edge_ids.iter().map(|&e| att[e]).collect();
+                let (kg_union, local_kg) = if kg.is_empty() {
+                    (Vec::new(), Vec::new())
+                } else {
+                    let heads_g: Vec<usize> = kg.iter().map(|s| s.head as usize).collect();
+                    let tails_g: Vec<usize> = kg.iter().map(|s| s.tail as usize).collect();
+                    let negs_g: Vec<usize> = kg.iter().map(|s| s.neg_tail as usize).collect();
+                    let (kg_u, locals) = union_locals(&[&heads_g, &tails_g, &negs_g]);
+                    let local_kg: Vec<KgSample> = kg
+                        .iter()
+                        .enumerate()
+                        .map(|(n, s)| KgSample {
+                            head: locals[0][n] as Id,
+                            rel: s.rel,
+                            tail: locals[1][n] as Id,
+                            neg_tail: locals[2][n] as Id,
+                        })
+                        .collect();
+                    (kg_u, local_kg)
+                };
+                if !use_cache {
+                    need.extend_from_slice(&kg_union);
+                }
+                prepared.push(PreparedBatch {
+                    b: bpr.len(),
+                    local_kg,
+                    kg_union,
+                    sub,
+                    pos_map,
+                    att_vals,
+                    hub: None,
+                    rng,
+                });
+            }
+
+            if use_cache {
+                // --- Hub cache: the full-graph pass snapshots every row,
+                // so settle lazy Adam globally, refresh if the stamps
+                // moved, then slice each batch's override out of it ---
+                let clock = Instant::now();
+                store.sync_all(adam, ent_emb);
+                let stale = hub_cache
+                    .as_ref()
+                    .is_none_or(|c| c.param_version != *param_version || c.att_epoch != *att_epoch);
+                if stale {
+                    let layers = compute_hub_reps(
+                        config, store, ent_emb, layer_w, layer_b, att, tails, heads, n_entities,
+                        hub_ids,
+                    );
+                    *hub_cache = Some(HubReps {
+                        param_version: *param_version,
+                        att_epoch: *att_epoch,
+                        layers,
+                    });
+                    prof.gathered_rows += n_entities as u64;
+                    prof.gathered_edges += full_edges;
+                    prof.forward_flops += propagation_flops(config, n_entities as u64, full_edges);
+                }
+                let reps = hub_cache.as_ref().expect("hub cache refreshed above");
+                for p in &mut prepared {
+                    p.hub = build_hub_override(&p.sub.nodes, hub_flags, hub_ids, reps);
+                }
+                prof.hub_cache_ns += clock.elapsed().as_nanos() as u64;
+            } else {
+                // Lazy Adam must settle every row the macro-step reads
+                // before workers snapshot them: the union nodes (a
+                // superset of every derived subgraph) plus TransR unions.
+                need.extend_from_slice(&union_nodes);
+                need.sort_unstable();
+                need.dedup();
+                let clock = Instant::now();
+                store.sync_rows(adam, ent_emb, &need);
+                prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+            }
 
             // --- Train phase: frozen snapshot, one tape pair per batch ---
             let frozen: &ParamStore = store;
             let mut units = vec![(); threads];
-            let outs: Vec<Option<BatchOut>> =
-                pooled_map(&mut units, prepared, |_unit, _slot, p: Option<PreparedBatch>| {
-                    let mut p = p?;
-                    let b = p.bpr.len();
+            let outs: Vec<BatchOut> =
+                pooled_map(&mut units, prepared, |_unit, _slot, mut p: PreparedBatch| {
+                    let b = p.b;
                     let clock = Instant::now();
                     let mut t = Tape::new();
                     let lw: Vec<Var> =
@@ -832,10 +1037,15 @@ impl Ckat {
                         &lw,
                         &lb,
                         Some(&mut p.rng),
+                        p.hub.as_ref(),
                     );
-                    let u = t.gather_rows(all, &seed_locals[..b]);
-                    let i = t.gather_rows(all, &seed_locals[b..2 * b]);
-                    let j = t.gather_rows(all, &seed_locals[2 * b..]);
+                    let local_of = |pos: usize| seed_locals[p.pos_map[pos]];
+                    let u_locals: Vec<usize> = (0..b).map(local_of).collect();
+                    let i_locals: Vec<usize> = (b..2 * b).map(local_of).collect();
+                    let j_locals: Vec<usize> = (2 * b..3 * b).map(local_of).collect();
+                    let u = t.gather_rows(all, &u_locals);
+                    let i = t.gather_rows(all, &i_locals);
+                    let j = t.gather_rows(all, &j_locals);
                     let loss = bpr_head(&mut t, u, i, j, b, config.base.l2);
                     let mut loss_val = t.value(loss)[(0, 0)];
                     let mut forward_ns = clock.elapsed().as_nanos() as u64;
@@ -892,13 +1102,13 @@ impl Ckat {
                         }
                         backward_ns += clock.elapsed().as_nanos() as u64;
                     }
-                    Some(BatchOut { bpr_grads, kg_grads, loss: loss_val, forward_ns, backward_ns })
+                    BatchOut { bpr_grads, kg_grads, loss: loss_val, forward_ns, backward_ns }
                 });
 
             // --- Reduce: fold in batch order, scale by 1/K, apply once ---
             let mut bpr_parts: Vec<Vec<(ParamId, Grad)>> = Vec::with_capacity(k);
             let mut kg_parts: Vec<Vec<(ParamId, Grad)>> = Vec::new();
-            for o in outs.into_iter().flatten() {
+            for o in outs {
                 total += o.loss;
                 prof.forward_ns += o.forward_ns;
                 prof.backward_ns += o.backward_ns;
@@ -921,6 +1131,9 @@ impl Ckat {
                 store.apply(adam, &folded_kg);
             }
             prof.optimizer_ns += clock.elapsed().as_nanos() as u64;
+            // Parameters moved: the next macro-step must recompute the
+            // hub representations.
+            *param_version += 1;
         }
         let clock = Instant::now();
         store.sync_all(adam, ent_emb);
@@ -929,19 +1142,27 @@ impl Ckat {
     }
 }
 
-/// One micro-batch after the prepare phase: samples drawn, receptive
-/// field extracted, TransR ids remapped — everything the train phase
-/// needs except the frozen parameter snapshot. Carries the batch's
-/// private RNG (post-sampling state) forward for dropout.
+/// One micro-batch after the main-thread shared work: samples drawn,
+/// subgraph derived from the macro-step union, TransR ids remapped, hub
+/// override sliced — everything the train phase needs except the frozen
+/// parameter snapshot. Carries the batch's private RNG (post-sampling
+/// state) forward for dropout.
 struct PreparedBatch {
-    bpr: Vec<BprSample>,
+    /// BPR batch size (the seed list is `3·b` positions deduped into
+    /// `pos_map`).
+    b: usize,
     local_kg: Vec<KgSample>,
     kg_union: Vec<usize>,
+    /// This batch's subgraph, derived as a view of the macro-step union.
     sub: BatchSubgraph,
+    /// Position `p` of the users‖pos‖neg seed layout maps to
+    /// `sub.seed_locals[pos_map[p]]`.
+    pos_map: Vec<usize>,
     att_vals: Vec<f32>,
+    /// Hub rows present in `sub` with their cached layer values; `None`
+    /// when the hub cache is off or no hub landed in this subgraph.
+    hub: Option<HubOverride>,
     rng: StdRng,
-    sampling_ns: u64,
-    extract_ns: u64,
 }
 
 /// One micro-batch's contribution to the macro-step: per-phase gradient
@@ -975,6 +1196,7 @@ fn propagate_over(
     layer_w: &[Var],
     layer_b: &[Var],
     mut dropout_rng: Option<&mut StdRng>,
+    hub: Option<&HubOverride>,
 ) -> Var {
     let mut h = h0;
     let mut all = h0;
@@ -998,9 +1220,101 @@ fn propagate_over(
         // KGAT l2-normalizes each layer's output so no single order of
         // connectivity dominates the concatenated representation.
         h = t.normalize_rows(dropped);
+        if let Some(h_ov) = hub {
+            // Replace hub rows with their cached full-graph values
+            // *after* normalization, so layer `l+1` aggregates the exact
+            // representations the hubs' (un-extracted) neighborhoods
+            // would have produced. Gradients through hub rows stop here.
+            h = t.override_rows(h, Arc::clone(&h_ov.locals), &h_ov.layers[l]);
+        }
         all = t.concat_cols(all, h);
     }
     all
+}
+
+/// Full-graph layer-stack outputs of every hub, against the *current*
+/// (settled) parameters — the per-macro-step [`HubReps`] refresh. Runs
+/// the exact constants-tape forward of [`Ckat::final_representations`]
+/// (no dropout — cached hub values are deterministic), then slices each
+/// layer's column block down to the hub rows.
+#[allow(clippy::too_many_arguments)]
+fn compute_hub_reps(
+    config: &CkatConfig,
+    store: &ParamStore,
+    ent_emb: ParamId,
+    layer_w: &[ParamId],
+    layer_b: &[ParamId],
+    att: &[f32],
+    tails: &Arc<Vec<usize>>,
+    heads: &Arc<Vec<usize>>,
+    n_entities: usize,
+    hub_ids: &[usize],
+) -> Vec<Matrix> {
+    let mut t = Tape::new();
+    let ent = t.constant(store.value(ent_emb).clone());
+    let lw: Vec<Var> = layer_w.iter().map(|&p| t.constant(store.value(p).clone())).collect();
+    let lb: Vec<Var> = layer_b.iter().map(|&p| t.constant(store.value(p).clone())).collect();
+    let att_col = t.constant(Matrix::from_vec(att.len(), 1, att.to_vec()));
+    let all = propagate_over(
+        config,
+        &mut t,
+        ent,
+        att_col,
+        Arc::clone(tails),
+        Arc::clone(heads),
+        n_entities,
+        &lw,
+        &lb,
+        None,
+        None,
+    );
+    let val = t.value(all);
+    let mut col = config.base.embed_dim;
+    let mut layers = Vec::with_capacity(config.layer_dims.len());
+    for &dim in &config.layer_dims {
+        let mut m = Matrix::zeros(hub_ids.len(), dim);
+        for (r, &g) in hub_ids.iter().enumerate() {
+            m.row_mut(r).copy_from_slice(&val.row(g)[col..col + dim]);
+        }
+        layers.push(m);
+        col += dim;
+    }
+    layers
+}
+
+/// Slice one batch's [`HubOverride`] out of the macro-step [`HubReps`]:
+/// the hub nodes present in the subgraph (seed hubs stay interior, cut
+/// hubs sit in the ring), as strictly-increasing local rows with their
+/// cached per-layer values.
+fn build_hub_override(
+    sub_nodes: &[usize],
+    hub_flags: &[bool],
+    hub_ids: &[usize],
+    reps: &HubReps,
+) -> Option<HubOverride> {
+    let mut locals = Vec::new();
+    let mut rows = Vec::new();
+    for (local, &g) in sub_nodes.iter().enumerate() {
+        if hub_flags[g] {
+            locals.push(local);
+            rows.push(hub_ids.binary_search(&g).expect("every hub flag has a hub id"));
+        }
+    }
+    if locals.is_empty() {
+        return None;
+    }
+    let layers = reps
+        .layers
+        .iter()
+        .map(|m| {
+            let mut out = Matrix::zeros(rows.len(), m.cols());
+            for (r, &src) in rows.iter().enumerate() {
+                out.row_mut(r).copy_from_slice(m.row(src));
+            }
+            out
+        })
+        .collect();
+    Some(HubOverride { locals: Arc::new(locals), layers })
 }
 
 /// Closed-form FLOP estimate for one propagation forward pass over
@@ -1141,6 +1455,10 @@ impl Recommender for Ckat {
         self.cached_users = None;
         self.cached_items = None;
         self.att_fresh = false;
+        // The restored parameters are arbitrary relative to the stamps;
+        // drop the hub cache rather than risk a stale match.
+        self.hub_cache = None;
+        self.param_version += 1;
         Ok(())
     }
 
@@ -1177,6 +1495,8 @@ mod tests {
             transr_dim: 16,
             margin: 1.0,
             batch_local: true,
+            hub_cache: true,
+            hub_percentile: 0.99,
             base,
         }
     }
@@ -1409,5 +1729,128 @@ mod tests {
         let mut cfg = fast_config();
         cfg.layer_dims = vec![];
         let _ = Ckat::new(&ctx, &cfg);
+    }
+
+    #[test]
+    fn hub_selection_respects_percentile() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+
+        // Percentile 0.0: everything above the *minimum* degree is a hub.
+        let mut cfg = fast_config();
+        cfg.hub_percentile = 0.0;
+        let model = Ckat::new(&ctx, &cfg);
+        assert!(!model.hub_ids.is_empty(), "toy world has unequal degrees");
+        assert!(model.hub_ids.windows(2).all(|w| w[0] < w[1]));
+        for (g, &flag) in model.hub_flags.iter().enumerate() {
+            assert_eq!(flag, model.hub_ids.binary_search(&g).is_ok());
+        }
+        let min_deg =
+            (0..ckg.n_entities()).map(|g| ckg.offsets[g + 1] - ckg.offsets[g]).min().unwrap();
+        for &g in model.hub_ids.iter() {
+            assert!(ckg.offsets[g + 1] - ckg.offsets[g] > min_deg);
+        }
+
+        // Percentile ≥ 1.0 disables hub selection entirely.
+        let mut cfg = fast_config();
+        cfg.hub_percentile = 1.0;
+        let model = Ckat::new(&ctx, &cfg);
+        assert!(model.hub_ids.is_empty() && model.hub_flags.is_empty());
+
+        // So does turning the cache off.
+        let mut cfg = fast_config();
+        cfg.hub_percentile = 0.0;
+        cfg.hub_cache = false;
+        let model = Ckat::new(&ctx, &cfg);
+        assert!(model.hub_ids.is_empty());
+    }
+
+    /// The cached hub values are the exact representations their full
+    /// neighborhoods produce, so the forward pass of the *first*
+    /// macro-step (before any stop-gradient apply can diverge the
+    /// trajectories) must be bitwise identical with the cache on or off.
+    /// Toy world fits one macro-step per epoch (3 batches ≤ MACRO_WIDTH).
+    #[test]
+    fn hub_cache_first_macro_step_loss_is_bitwise_exact() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        assert!(ctx.batches_per_epoch(ModelConfig::fast().batch_size) <= MACRO_WIDTH);
+        let mut cfg = fast_config();
+        cfg.base.replicas = 1;
+        cfg.hub_percentile = 0.25;
+        let mut cached = Ckat::new(&ctx, &cfg);
+        assert!(!cached.hub_ids.is_empty(), "percentile 0.25 must select hubs");
+        let mut plain_cfg = cfg.clone();
+        plain_cfg.hub_cache = false;
+        let mut plain = Ckat::new(&ctx, &plain_cfg);
+
+        let mut rng_a = seeded_rng(11);
+        let mut rng_b = seeded_rng(11);
+        let loss_cached = cached.train_epoch(&ctx, &mut rng_a);
+        let loss_plain = plain.train_epoch(&ctx, &mut rng_b);
+        assert_eq!(
+            loss_cached.to_bits(),
+            loss_plain.to_bits(),
+            "first-macro-step losses diverged: {loss_cached} vs {loss_plain}"
+        );
+        let prof = cached.take_epoch_profile().expect("profile recorded");
+        assert!(prof.hub_cache_ns > 0, "cache refresh must be timed");
+    }
+
+    /// The cache is stamped with the parameter/attention versions it was
+    /// computed against and must be discarded when either moves.
+    #[test]
+    fn hub_cache_invalidates_on_stamp_movement() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut cfg = fast_config();
+        cfg.base.replicas = 1;
+        cfg.hub_percentile = 0.0;
+        let mut model = Ckat::new(&ctx, &cfg);
+        let mut rng = seeded_rng(12);
+
+        model.train_epoch(&ctx, &mut rng);
+        let c1 = model.hub_cache.as_ref().expect("cache populated");
+        assert_eq!(c1.att_epoch, model.att_epoch);
+        assert!(
+            c1.param_version < model.param_version,
+            "the apply after the refresh must stale the cache"
+        );
+        let stamp1 = (c1.param_version, c1.att_epoch);
+
+        // Next epoch refreshes attention and applies again — both stamps
+        // must move, i.e. the cache was recomputed, not reused.
+        model.train_epoch(&ctx, &mut rng);
+        let c2 = model.hub_cache.as_ref().expect("cache repopulated");
+        assert!(c2.att_epoch > stamp1.1, "attention refresh must bump att_epoch");
+        assert!(c2.param_version > stamp1.0);
+
+        // Restoring a checkpoint drops the cache outright.
+        let state = model.save_state();
+        model.load_state(&state).unwrap();
+        assert!(model.hub_cache.is_none(), "load_state must drop the hub cache");
+    }
+
+    /// End-to-end: replica training with the hub cache active still
+    /// learns the toy world.
+    #[test]
+    fn replica_hub_cache_training_learns() {
+        let (inter, ckg) = toy_world();
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut cfg = fast_config();
+        cfg.base.replicas = 2;
+        cfg.hub_percentile = 0.5;
+        let mut model = Ckat::new(&ctx, &cfg);
+        assert!(!model.hub_ids.is_empty());
+        let mut rng = seeded_rng(13);
+        let first = model.train_epoch(&ctx, &mut rng);
+        let mut last = first;
+        for _ in 0..30 {
+            last = model.train_epoch(&ctx, &mut rng);
+        }
+        assert!(last < first, "loss should fall with the hub cache on: {first} -> {last}");
+        model.prepare_eval(&ctx);
+        let a = auc(&model, &inter);
+        assert!(a > 0.7, "replica+hub-cache AUC {a}");
     }
 }

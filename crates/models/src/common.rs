@@ -111,10 +111,47 @@ pub fn union_locals(lists: &[&[usize]]) -> (Vec<usize>, Vec<Vec<usize>>) {
     (union, locals)
 }
 
+/// Order-preserving dedup of an extraction seed list.
+///
+/// Returns `(unique, pos_map)` where `unique` keeps the first occurrence
+/// of every id in input order and `pos_map[i]` is the index in `unique`
+/// of the original position `i`. Because BFS extraction discovers seeds
+/// in first-occurrence order, extracting from `unique` yields the exact
+/// subgraph that the duplicated list would have, while callers recover
+/// their per-position seed locals as `seed_locals[pos_map[i]]`.
+pub fn dedup_seeds(seeds: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    // audit: ordered — membership-only map, iteration order never observed.
+    let mut first_at: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut unique = Vec::new();
+    let mut pos_map = Vec::with_capacity(seeds.len());
+    for &s in seeds {
+        let at = *first_at.entry(s).or_insert_with(|| {
+            unique.push(s);
+            unique.len() - 1
+        });
+        pos_map.push(at);
+    }
+    (unique, pos_map)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::test_fixtures::toy_world;
+
+    #[test]
+    fn dedup_seeds_keeps_first_occurrence_order_and_maps_positions() {
+        let seeds = [5usize, 3, 5, 7, 3, 5];
+        let (unique, pos_map) = dedup_seeds(&seeds);
+        assert_eq!(unique, vec![5, 3, 7], "first-occurrence order");
+        assert_eq!(pos_map, vec![0, 1, 0, 2, 1, 0]);
+        for (i, &p) in pos_map.iter().enumerate() {
+            assert_eq!(unique[p], seeds[i], "position {i} round-trips");
+        }
+
+        let (empty, map) = dedup_seeds(&[]);
+        assert!(empty.is_empty() && map.is_empty());
+    }
 
     #[test]
     fn batches_per_epoch_rounds_up() {

@@ -27,17 +27,36 @@ pub struct EpochProfile {
     pub backward_ns: u64,
     /// Time in optimizer updates (`ParamStore::apply` + lazy-row syncs).
     pub optimizer_ns: u64,
-    /// Time spent building batch subgraphs, **summed across however many
-    /// extraction workers ran** — the single prefetch thread on the
-    /// legacy path, or every pool worker in replica mode. Extraction
-    /// overlaps other work, so it is *not* part of
-    /// [`EpochProfile::train_ns`]; the blocked portion shows up as
-    /// [`EpochProfile::extract_wait_ns`].
+    /// **Aggregate extraction CPU**: time spent inside BFS subgraph
+    /// extraction summed across *every* thread that extracted — the
+    /// prefetch thread on the legacy path, the main thread in replica
+    /// mode. Under concurrency this is CPU-seconds, not wall time (it can
+    /// exceed `wall_ns`), so it measures redundant extraction *work* —
+    /// the quantity the macro-step union extraction drives sublinear in
+    /// the replica count. Cross-R comparisons of this field are
+    /// apples-to-apples; for critical-path attribution use
+    /// [`EpochProfile::extract_wall_ns`].
     pub extract_ns: u64,
-    /// Time the main training thread blocked on extraction: waiting for
-    /// the next prefetched subgraph on the legacy path, or for the
-    /// macro-step's parallel prepare phase in replica mode.
+    /// **Wall-attributed extraction**: extraction time that sat on the
+    /// main thread's critical path — the once-per-macro-step union
+    /// extraction in replica mode, or the inline extraction of the
+    /// serial (non-prefetch) batch-local path. 0 when extraction is fully
+    /// overlapped by the legacy prefetch thread. Part of
+    /// [`EpochProfile::train_ns`].
+    pub extract_wall_ns: u64,
+    /// Time the main training thread spent **blocked waiting** on an
+    /// extraction running elsewhere — the `recv` on the legacy prefetch
+    /// channel. It does *not* include work the main thread performed
+    /// itself (sampling, remaps, union extraction): those are charged to
+    /// their own fields. 0 in replica mode, where extraction happens on
+    /// the main thread and is charged to
+    /// [`EpochProfile::extract_wall_ns`].
     pub extract_wait_ns: u64,
+    /// Time computing the per-macro-step hub-representation cache (the
+    /// full-graph forward over the frozen snapshot plus the per-layer row
+    /// gathers). Main thread, replica mode with the hub cache on; 0
+    /// otherwise. Part of [`EpochProfile::train_ns`].
+    pub hub_cache_ns: u64,
     /// Time folding per-replica gradients into the macro-step gradient
     /// (main thread, replica mode only; 0 on the per-batch paths).
     pub reduce_ns: u64,
@@ -86,17 +105,21 @@ impl EpochProfile {
     }
 
     /// Total instrumented wall time (training phases only): sampling,
-    /// attention refresh, forward, backward, optimizer, and any time
-    /// blocked on subgraph prefetch. Overlapped extraction work
-    /// ([`EpochProfile::extract_ns`]) is excluded — it runs off the
-    /// critical path.
+    /// attention refresh, forward, backward, optimizer, critical-path
+    /// extraction ([`EpochProfile::extract_wall_ns`]), the hub-cache
+    /// refresh, and any time blocked on subgraph prefetch. Aggregate
+    /// extraction CPU ([`EpochProfile::extract_ns`]) is excluded — under
+    /// concurrency it double-counts time that other fields already
+    /// attribute to the critical path.
     pub fn train_ns(&self) -> u64 {
         self.sampling_ns
             + self.attention_ns
             + self.forward_ns
             + self.backward_ns
             + self.optimizer_ns
+            + self.extract_wall_ns
             + self.extract_wait_ns
+            + self.hub_cache_ns
     }
 }
 
@@ -138,5 +161,21 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(p.train_ns(), 1 + 2 + 3 + 4 + 5 + 6);
+    }
+
+    #[test]
+    fn train_ns_counts_wall_attributed_extraction_and_hub_cache() {
+        // Replica-mode shape: union extraction + hub cache on the main
+        // thread, no prefetch blocking, aggregate CPU reported separately.
+        let p = EpochProfile {
+            forward_ns: 10,
+            backward_ns: 20,
+            extract_ns: 9999,
+            extract_wall_ns: 7,
+            extract_wait_ns: 0,
+            hub_cache_ns: 5,
+            ..Default::default()
+        };
+        assert_eq!(p.train_ns(), 10 + 20 + 7 + 5);
     }
 }

@@ -20,6 +20,14 @@
 //! 3. **Slot-ordered results.** [`pooled_map`] assigns job `j` to worker
 //!    `j % threads` and writes its result into slot `j`, so downstream
 //!    folds see results in job order, never completion order.
+//!
+//! Workers only run tapes: the macro-step's *prepare* phase — sampling,
+//! the shared union subgraph extraction
+//! (`facility_kg::subgraph::SubgraphScratch::extract_many`), and the
+//! hub-representation cache refresh — happens once on the main thread
+//! before the pool is invoked, so per-batch work contains no redundant
+//! traversal and aggregate extraction cost is independent of the
+//! replica count (DESIGN.md §4f).
 
 use rand::rngs::StdRng;
 

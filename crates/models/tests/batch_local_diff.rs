@@ -9,7 +9,10 @@
 //! produce *identical* training trajectories — same per-epoch losses,
 //! same parameters, same final representations — not merely close ones.
 
-use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
+use facility_kg::sampling::sample_bpr_batch;
+use facility_kg::{
+    BatchSubgraph, CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask, SubgraphScratch,
+};
 use facility_linalg::seeded_rng;
 use facility_models::ckat::{Aggregator, Ckat, CkatConfig};
 use facility_models::{ModelConfig, Recommender, TrainContext};
@@ -40,6 +43,8 @@ fn config(layer_dims: Vec<usize>, aggregator: Aggregator, batch_local: bool) -> 
         transr_dim: 16,
         margin: 1.0,
         batch_local,
+        hub_cache: true,
+        hub_percentile: 0.99,
         base,
     }
 }
@@ -93,6 +98,50 @@ fn losses_and_representations_match_at_depth_one_and_three() {
 #[test]
 fn losses_and_representations_match_with_sum_aggregator() {
     assert_modes_match(vec![16, 8], Aggregator::Sum);
+}
+
+fn assert_subgraphs_bitwise_equal(a: &BatchSubgraph, b: &BatchSubgraph, what: &str) {
+    assert_eq!(a.nodes, b.nodes, "{what}: nodes");
+    assert_eq!(a.n_interior, b.n_interior, "{what}: n_interior");
+    assert_eq!(a.seed_locals, b.seed_locals, "{what}: seed_locals");
+    assert_eq!(a.edge_ids, b.edge_ids, "{what}: edge_ids");
+    assert_eq!(a.tails, b.tails, "{what}: tails");
+    assert_eq!(a.heads, b.heads, "{what}: heads");
+}
+
+/// Macro-step union extraction is an optimization, not a semantic change:
+/// for every macro width the per-batch subgraphs derived from one
+/// `extract_many` traversal must be **bitwise identical** — same node
+/// order, same edge list, same seed locals — to independent `extract`
+/// calls on realistically sampled batch seed sets.
+#[test]
+fn union_extraction_matches_independent_extraction_at_all_widths() {
+    let (inter, ckg) = toy_world();
+    let depth = 2;
+    let mut union_scratch = SubgraphScratch::new(ckg.n_entities());
+    let mut solo_scratch = SubgraphScratch::new(ckg.n_entities());
+    let mut rng = seeded_rng(99);
+    for width in [1usize, 2, 4, 8] {
+        let seed_sets: Vec<Vec<usize>> = (0..width)
+            .map(|_| {
+                let bpr = sample_bpr_batch(&inter, 4, &mut rng);
+                let mut s: Vec<usize> = bpr.iter().map(|x| x.user as usize).collect();
+                s.extend(bpr.iter().map(|x| ckg.item_entity(x.pos)));
+                s.extend(bpr.iter().map(|x| ckg.item_entity(x.neg)));
+                s
+            })
+            .collect();
+        let union = union_scratch.extract_many(&ckg, &seed_sets, depth, None);
+        assert_eq!(union.subgraphs.len(), width);
+        for (b, seeds) in seed_sets.iter().enumerate() {
+            let solo = solo_scratch.extract(&ckg, seeds, depth);
+            assert_subgraphs_bitwise_equal(
+                &union.subgraphs[b],
+                &solo,
+                &format!("width {width}, batch {b}"),
+            );
+        }
+    }
 }
 
 /// The equivalence is in fact bitwise, not merely within tolerance: the

@@ -48,8 +48,20 @@ fn ckat_config(replicas: usize, keep_prob: f32) -> CkatConfig {
         transr_dim: 16,
         margin: 1.0,
         batch_local: true,
+        hub_cache: true,
+        // The toy world is tiny; 0.99 selects no hubs, so these tests run
+        // the plain union-extraction path unless they lower it.
+        hub_percentile: 0.99,
         base: base_config(replicas, keep_prob),
     }
+}
+
+/// `ckat_config` with the hub-representation cache actually *active*:
+/// a low percentile so the toy world has hubs.
+fn ckat_hub_config(replicas: usize, keep_prob: f32) -> CkatConfig {
+    let mut cfg = ckat_config(replicas, keep_prob);
+    cfg.hub_percentile = 0.25;
+    cfg
 }
 
 fn assert_states_bitwise(a: &dyn Recommender, b: &dyn Recommender, what: &str) {
@@ -118,6 +130,28 @@ fn ckat_replica_counts_match_with_dropout_on() {
     );
 }
 
+/// The hub-representation cache recomputes against the frozen snapshot
+/// once per macro-step on the main thread, so it is part of the fixed
+/// schedule: runs must stay bitwise identical across replica counts with
+/// the cache *on* — with and without dropout.
+#[test]
+fn ckat_replica_counts_match_with_hub_cache_on() {
+    assert_replica_counts_match(
+        |ctx, r| {
+            let model = Ckat::new(ctx, &ckat_hub_config(r, 1.0));
+            assert!(model.hub_count() > 0, "percentile 0.25 must select hubs");
+            model
+        },
+        3,
+        "CKAT (hub cache)",
+    );
+    assert_replica_counts_match(
+        |ctx, r| Ckat::new(ctx, &ckat_hub_config(r, 0.7)),
+        3,
+        "CKAT (hub cache, dropout 0.7)",
+    );
+}
+
 #[test]
 fn bprmf_replica_counts_produce_identical_runs() {
     assert_replica_counts_match(|ctx, r| Bprmf::new(ctx, &base_config(r, 1.0)), 4, "BPRMF");
@@ -144,9 +178,11 @@ fn ckat_replica_mode_learns() {
     assert!(model.replicas() == 2, "model reports its replica count");
 }
 
-/// The profile in replica mode reports the new accounting fields:
-/// extraction aggregated across workers, the fold time, the wall clock,
-/// and the replica count.
+/// The profile in replica mode reports the corrected accounting: union
+/// extraction charged to both aggregate CPU (`extract_ns`) and the
+/// critical path (`extract_wall_ns`), no phantom `extract_wait_ns` (the
+/// old prepare-phase barrier misattribution), the fold time, the wall
+/// clock, and the replica count.
 #[test]
 fn replica_profile_reports_pool_accounting() {
     let (inter, ckg) = toy_world();
@@ -157,10 +193,24 @@ fn replica_profile_reports_pool_accounting() {
     let prof = model.take_epoch_profile().expect("profile recorded");
     assert_eq!(prof.replicas, 4);
     assert!(prof.batches >= 1);
-    assert!(prof.extract_ns > 0, "worker extraction time aggregated");
+    assert!(prof.extract_ns > 0, "aggregate extraction CPU recorded");
+    assert!(prof.extract_wall_ns > 0, "union extraction sits on the critical path");
+    assert_eq!(
+        prof.extract_wait_ns, 0,
+        "replica mode never blocks on a prefetch channel — the old \
+         prepare-barrier misattribution must stay gone"
+    );
+    assert_eq!(prof.hub_cache_ns, 0, "no hubs selected at percentile 0.99");
     assert!(prof.wall_ns > 0, "wall clock stamped");
-    assert!(prof.wall_ns >= prof.extract_wait_ns, "wall covers the blocked prepare time");
     assert!(prof.gathered_rows <= prof.full_rows);
+
+    // With the hub cache active, the refresh is timed and the cache's
+    // full-graph pass is accounted as gathered work.
+    let mut hub = Ckat::new(&ctx, &ckat_hub_config(2, 1.0));
+    hub.train_epoch(&ctx, &mut rng);
+    let hprof = hub.take_epoch_profile().expect("profile recorded");
+    assert!(hprof.hub_cache_ns > 0, "hub cache refresh timed");
+    assert_eq!(hprof.extract_wait_ns, 0);
 
     // The legacy path stamps wall_ns too, and reports replicas = 0.
     let mut legacy = Ckat::new(&ctx, &ckat_config(0, 1.0));
@@ -168,5 +218,6 @@ fn replica_profile_reports_pool_accounting() {
     let lprof = legacy.take_epoch_profile().expect("profile recorded");
     assert_eq!(lprof.replicas, 0);
     assert!(lprof.wall_ns > 0);
+    assert_eq!(lprof.extract_wall_ns, 0, "prefetch extraction is fully overlapped");
     assert_eq!(lprof.reduce_ns, 0, "no fold step on the per-batch path");
 }
