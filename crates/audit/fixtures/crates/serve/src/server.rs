@@ -1,0 +1,31 @@
+//! Fixture: serving hot path. Positives for the `unbounded-queue` rule
+//! (three unbounded constructions) and the `hot-panic` rule (one bare
+//! unwrap); one waived bounded queue and one `sync_channel` negative.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+
+fn build_queues(cap: usize) {
+    let backlog: VecDeque<u32> = VecDeque::new(); // finding: grows without bound
+    let (tx, _rx) = mpsc::channel::<u32>(); // finding: unbounded channel
+    let (ftx, _frx) = unbounded::<u32>(); // finding: crossbeam-style unbounded
+    // audit: bounded — admission-capped by the submit() length check
+    let waived: VecDeque<u32> = VecDeque::with_capacity(cap);
+    let (btx, _brx) = mpsc::sync_channel::<u32>(cap); // bounded: clean
+    drop((backlog, tx, ftx, waived, btx));
+}
+
+fn hot_path(jobs: &[u32]) -> u32 {
+    jobs.iter().copied().max().unwrap() // finding: implicit panic on a worker
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let q: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+        let (tx, _rx) = std::sync::mpsc::channel::<u32>();
+        assert!(q.is_empty());
+        drop(tx);
+    }
+}

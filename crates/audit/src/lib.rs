@@ -227,6 +227,45 @@ mod tests {
         assert_eq!(rule_lines(&lint("crates/eval/src/x.rs", src), Rule::FloatFold), vec![1]);
     }
 
+    // ---- unbounded-queue -----------------------------------------------
+
+    #[test]
+    fn unbounded_queue_flags_channels_and_growable_queues_in_serving_code() {
+        let src = "let (tx, rx) = mpsc::channel();\nlet q: VecDeque<u32> = VecDeque::new();\nlet c = unbounded();\n";
+        let f = lint("crates/serve/src/queue.rs", src);
+        assert_eq!(rule_lines(&f, Rule::UnboundedQueue), vec![1, 2, 3]);
+        // Same source outside the serving scope: no finding.
+        assert!(lint("crates/models/src/queue.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_queue_spares_bounded_constructions_and_waivers() {
+        // `sync_channel` fails the whole-word `channel` match by design.
+        let bounded = "let (tx, rx) = mpsc::sync_channel(cap);\n";
+        assert!(lint("crates/serve/src/queue.rs", bounded).is_empty());
+        // with_capacity still needs a waiver (pushes past capacity grow)…
+        let unwaived = "let q: VecDeque<u32> = VecDeque::with_capacity(cap);\n";
+        let f = lint("crates/serve/src/queue.rs", unwaived);
+        assert_eq!(rule_lines(&f, Rule::UnboundedQueue), vec![1]);
+        // …and the waiver names the admission check that caps it.
+        let waived = "// audit: bounded — capacity enforced by submit()\nlet q = VecDeque::with_capacity(cap);\n";
+        assert!(lint("crates/serve/src/queue.rs", waived).is_empty());
+    }
+
+    #[test]
+    fn serve_hot_paths_are_panic_denylisted() {
+        let src = "fn f() { let a = g().unwrap(); }\n";
+        for file in [
+            "crates/serve/src/server.rs",
+            "crates/serve/src/engine.rs",
+            "crates/serve/src/snapshot.rs",
+        ] {
+            assert_eq!(rule_lines(&lint(file, src), Rule::HotPanic), vec![1], "{file}");
+        }
+        // Not every serve module is denylisted — only the request path.
+        assert!(rule_lines(&lint("crates/serve/src/load.rs", src), Rule::HotPanic).is_empty());
+    }
+
     // ---- display -------------------------------------------------------
 
     #[test]

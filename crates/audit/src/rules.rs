@@ -25,9 +25,21 @@ const DETERMINISTIC_SCOPES: &[&str] = &[
 ];
 
 /// Files whose hot loops may not panic implicitly: bare `.unwrap()`,
-/// `.expect(…)`, and `xs[i]` indexing all require a waiver here.
-const HOT_PATH_FILES: &[&str] =
-    &["crates/eval/src/trainer.rs", "crates/eval/src/lib.rs", "crates/models/src/replica.rs"];
+/// `.expect(…)`, and `xs[i]` indexing all require a waiver here. The
+/// serving request path is included: a panic there burns a worker thread
+/// and (without the catch-unwind net) silently drops an admitted request.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/eval/src/trainer.rs",
+    "crates/eval/src/lib.rs",
+    "crates/models/src/replica.rs",
+    "crates/serve/src/server.rs",
+    "crates/serve/src/engine.rs",
+    "crates/serve/src/snapshot.rs",
+];
+
+/// Online-serving code: the unbounded-queue rule applies here. Overload
+/// must be shed at admission, never absorbed into a growing buffer.
+const SERVING_SCOPES: &[&str] = &["crates/serve/src"];
 
 /// Crates exempt from the wall-clock rule: benchmarks measure wall time
 /// by design, and the auditor itself names the banned tokens.
@@ -46,6 +58,8 @@ pub enum Rule {
     HotPanic,
     /// Unordered float accumulation inside worker-pool closures.
     FloatFold,
+    /// Unbounded channel/queue construction in serving code.
+    UnboundedQueue,
 }
 
 impl Rule {
@@ -57,6 +71,7 @@ impl Rule {
             Rule::UnsafeComment => "unsafe-comment",
             Rule::HotPanic => "hot-panic",
             Rule::FloatFold => "float-fold",
+            Rule::UnboundedQueue => "unbounded-queue",
         }
     }
 
@@ -69,6 +84,7 @@ impl Rule {
             Rule::UnsafeComment => "SAFETY",
             Rule::HotPanic => "unwrap",
             Rule::FloatFold => "fold",
+            Rule::UnboundedQueue => "bounded",
         }
     }
 }
@@ -105,6 +121,9 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Finding> {
     }
     if !in_scope(WALLCLOCK_EXEMPT) {
         wallclock(rel_path, &s, &mut out);
+    }
+    if in_scope(SERVING_SCOPES) {
+        unbounded_queue(rel_path, &s, &mut out);
     }
     unsafe_comment(rel_path, &s, &mut out);
     if HOT_PATH_FILES.contains(&rel_path) {
@@ -347,6 +366,57 @@ fn float_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                           accumulation with `// audit: fold — <reason>`"
                     .to_string(),
             });
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Rule: unbounded-queue
+// ----------------------------------------------------------------------
+
+/// Unbounded queue/channel construction in serving code. An online
+/// server sheds overload at admission or not at all: `mpsc::channel` and
+/// crossbeam-style `unbounded` senders grow without limit under load and
+/// turn a deadline miss into an OOM, and a `VecDeque` work queue grows
+/// past any preallocated capacity unless an admission check caps it —
+/// the waiver must point at that check. Bounded `sync_channel` passes
+/// the whole-word filter by construction.
+fn unbounded_queue(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for word in ["channel", "unbounded"] {
+        for_each_code_match(s, word, |line| {
+            if !waived(s, line, Rule::UnboundedQueue.waiver_tag()) {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::UnboundedQueue,
+                    message: format!(
+                        "`{word}` construction in serving code grows without bound under \
+                         overload — use a bounded `sync_channel` / admission-capped queue, or \
+                         waive with `// audit: bounded — <where the cap is enforced>`"
+                    ),
+                });
+            }
+        });
+    }
+    for line in 1..=s.n_lines() {
+        if s.in_test_line(line) {
+            continue;
+        }
+        let code = s.code_line(line);
+        let waived_here = waived(s, line, Rule::UnboundedQueue.waiver_tag());
+        for pat in ["VecDeque::new(", "VecDeque::with_capacity("] {
+            if code.contains(pat) && !waived_here {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::UnboundedQueue,
+                    message: format!(
+                        "`{pat}…)` in serving code — a VecDeque grows past any preallocated \
+                         capacity; cap it at admission and waive with \
+                         `// audit: bounded — <where the cap is enforced>`"
+                    ),
+                });
+            }
         }
     }
 }

@@ -56,6 +56,22 @@ fn float_fold_fixture_positives() {
 }
 
 #[test]
+fn unbounded_queue_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::UnboundedQueue, "crates/serve/src/server.rs");
+    // VecDeque::new + mpsc::channel + crossbeam-style unbounded; the
+    // waived with_capacity, the sync_channel, and test code stay silent.
+    assert_eq!(lines.len(), 3, "{lines:?}");
+}
+
+#[test]
+fn serve_hot_panic_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::HotPanic, "crates/serve/src/server.rs");
+    assert_eq!(lines.len(), 1, "{lines:?}");
+}
+
+#[test]
 fn bench_fixture_is_clean() {
     let f = findings();
     assert!(

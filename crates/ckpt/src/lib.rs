@@ -147,15 +147,19 @@ pub fn load_bytes(path: &Path) -> Result<Vec<u8>, CkptError> {
             file.len()
         )));
     }
-    if file[..4] != MAGIC {
+    // Parse the header through the length-checked Reader so a malformed
+    // file is always a typed error, never a slicing panic.
+    let mut hdr = Reader::new(&file);
+    let magic: [u8; 4] = hdr.take_array()?;
+    if magic != MAGIC {
         return Err(CkptError::Format("bad magic (not a facility checkpoint)".into()));
     }
-    let version = file[4];
+    let version = hdr.get_u8()?;
     if version != FORMAT_VERSION {
         return Err(CkptError::Version(version));
     }
-    let expected = u32::from_le_bytes(file[5..9].try_into().unwrap());
-    let len = u64::from_le_bytes(file[9..17].try_into().unwrap()) as usize;
+    let expected = hdr.get_u32()?;
+    let len = hdr.get_u64()? as usize;
     let payload = &file[HEADER_LEN..];
     if payload.len() != len {
         return Err(CkptError::Format(format!(
@@ -266,19 +270,28 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
+    /// [`Reader::take`] into a fixed-size array, with the length proven by
+    /// construction — truncation is a typed error, never a panic.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], CkptError> {
+        let s = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(s);
+        Ok(out)
+    }
+
     /// Read one byte.
     pub fn get_u8(&mut self) -> Result<u8, CkptError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take_array::<1>()?[0])
     }
 
     /// Read a little-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CkptError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
 
     /// Read a little-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CkptError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
 
     /// Read an `f32` bit pattern.
@@ -528,6 +541,55 @@ mod tests {
         std::fs::write(&path, &raw[..8]).unwrap();
         assert!(matches!(load_bytes(&path), Err(CkptError::Format(_))));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_crc_header_byte_is_a_checksum_error() {
+        // Corrupt the *stored* CRC (header bytes 5..9) rather than the
+        // payload: the recomputed payload CRC no longer matches it.
+        let path = tmpfile("crcflip");
+        save_bytes(&path, b"well-formed payload").unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[6] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(load_bytes(&path), Err(CkptError::Checksum { .. })));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn garbage_length_field_is_a_format_error() {
+        let path = tmpfile("badlen");
+        save_bytes(&path, b"sized payload").unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[9..17].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(load_bytes(&path), Err(CkptError::Format(_))));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn next_format_version_is_rejected_not_panicked() {
+        // A file from a hypothetical future build must fail cleanly so an
+        // old server rejects (and keeps serving its current snapshot)
+        // instead of crashing.
+        let path = tmpfile("futurever");
+        save_bytes(&path, b"from the future").unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[4] = FORMAT_VERSION + 1;
+        std::fs::write(&path, &raw).unwrap();
+        match load_bytes(&path) {
+            Err(CkptError::Version(v)) => assert_eq!(v, FORMAT_VERSION + 1),
+            other => panic!("expected a version error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn reader_scalar_reads_fail_cleanly_on_truncation() {
+        let mut r = Reader::new(&[1, 2, 3]); // too short for u32 or u64
+        assert!(matches!(r.get_u32(), Err(CkptError::Format(_))));
+        assert!(matches!(r.get_u64(), Err(CkptError::Format(_))));
+        assert_eq!(r.get_u8().unwrap(), 1, "failed reads consume nothing");
     }
 
     #[test]

@@ -173,6 +173,7 @@ mod tests {
                 cause: DivergenceCause::NonFiniteLoss,
             }],
             resumed_from: Some(1),
+            interrupted: false,
         };
         let row = run_summary_row(&report);
         assert!(row.starts_with("| CKAT | 2 | 0.3100 | 2 |"), "{row}");

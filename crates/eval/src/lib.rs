@@ -15,6 +15,9 @@
 //!   every thread count.
 //! * [`trainer`] — epoch loop with periodic evaluation, early stopping
 //!   on `recall@K`, divergence recovery, and periodic checkpointing.
+//! * [`shutdown`] — cooperative stop flag (wired to `SIGINT`/`SIGTERM`)
+//!   that makes the trainer write a final checkpoint and return instead
+//!   of losing an interrupted run.
 //! * [`ckpt`] — the trainer-state checkpoint written through the
 //!   `facility-ckpt` envelope; resuming one is bitwise identical to never
 //!   having stopped.
@@ -22,11 +25,13 @@
 pub mod ckpt;
 pub mod grid;
 pub mod metrics;
+pub mod shutdown;
 pub mod trainer;
 
 pub use ckpt::{checkpoint_path, latest_checkpoint, TrainCheckpoint};
 pub use grid::{grid_search, Grid, GridResult};
-pub use metrics::{EvalResult, TopKMetrics};
+pub use metrics::{rank_top_k, EvalResult, TopKMetrics};
+pub use shutdown::{install_ctrl_c, ShutdownFlag};
 pub use trainer::{
     train, train_resumed, try_train, DivergenceCause, DivergenceEvent, EpochLog, TrainError,
     TrainReport, TrainSettings,

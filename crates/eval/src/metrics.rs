@@ -54,6 +54,34 @@ impl EvalResult {
     }
 }
 
+/// Rank the top-`k` items by `(score desc, id asc)` over every item not
+/// in `exclude` (sorted ascending), via partial selection — the scoring
+/// kernel shared by offline evaluation and the online serving layer's
+/// exact rung. Returns at most `k` `(item, score)` pairs, best first;
+/// `k` is clamped to the number of rankable items.
+pub fn rank_top_k(scores: &[f32], exclude: &[Id], k: usize) -> Vec<(Id, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<u32> =
+        (0..scores.len() as u32).filter(|&i| exclude.binary_search(&i).is_err()).collect();
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let k_eff = k.min(candidates.len());
+    let by = |a: &u32, b: &u32| {
+        scores[*b as usize]
+            .partial_cmp(&scores[*a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(b))
+    };
+    // Partial selection of the top-k_eff by (score desc, id asc).
+    candidates.select_nth_unstable_by(k_eff - 1, by);
+    candidates.truncate(k_eff);
+    candidates.sort_unstable_by(by);
+    candidates.into_iter().map(|i| (i, scores[i as usize])).collect()
+}
+
 /// Compute one user's top-K metrics from raw item scores.
 ///
 /// * `scores` — one score per item;
@@ -72,28 +100,11 @@ pub fn topk_for_user(
     if test_items.is_empty() || k == 0 {
         return None;
     }
-    let n_items = scores.len();
-    // Rankable items: everything not in train.
-    let mut candidates: Vec<u32> =
-        (0..n_items as u32).filter(|&i| train_items.binary_search(&i).is_err()).collect();
-    if candidates.is_empty() {
+    let top: Vec<Id> = rank_top_k(scores, train_items, k).into_iter().map(|(i, _)| i).collect();
+    if top.is_empty() {
         return None;
     }
-    let k_eff = k.min(candidates.len());
-    // Partial selection of the top-k_eff by (score desc, id asc).
-    candidates.select_nth_unstable_by(k_eff - 1, |&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    let mut top: Vec<u32> = candidates[..k_eff].to_vec();
-    top.sort_unstable_by(|&a, &b| {
-        scores[b as usize]
-            .partial_cmp(&scores[a as usize])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    let k_eff = top.len();
 
     let mut hits = 0usize;
     let mut dcg = 0.0f64;
@@ -117,6 +128,19 @@ pub fn topk_for_user(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rank_top_k_orders_masks_and_clamps() {
+        let scores = vec![0.5, 2.0, 1.0, 2.0, 0.0];
+        // Item 1 masked; ties (1 vs 3) would break by id, so 3 wins here.
+        assert_eq!(rank_top_k(&scores, &[1], 3), vec![(3, 2.0), (2, 1.0), (0, 0.5)]);
+        // Tie between 1 and 3: lower id first.
+        assert_eq!(rank_top_k(&scores, &[], 2), vec![(1, 2.0), (3, 2.0)]);
+        // k clamps to catalog, k=0 and all-masked yield empty.
+        assert_eq!(rank_top_k(&scores, &[], 99).len(), 5);
+        assert!(rank_top_k(&scores, &[], 0).is_empty());
+        assert!(rank_top_k(&[1.0], &[0], 3).is_empty());
+    }
 
     #[test]
     fn perfect_ranking_is_all_ones() {

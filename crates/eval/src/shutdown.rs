@@ -1,0 +1,118 @@
+//! Cooperative shutdown for long training runs.
+//!
+//! A [`ShutdownFlag`] is a cheap cloneable handle the trainer polls after
+//! every healthy epoch. [`install_ctrl_c`] additionally wires `SIGINT` /
+//! `SIGTERM` into the flag, so a `^C` during `fkgrec train` stops the loop
+//! at the next epoch boundary and lets it write a final checkpoint instead
+//! of tearing the process down mid-epoch — the interrupted run then resumes
+//! bitwise-identically (see `trainer`'s determinism contract).
+//!
+//! The signal handler itself only performs a relaxed store to a static
+//! `AtomicBool` (async-signal-safe); everything else — checkpointing,
+//! logging, unwinding the loop — happens on the training thread at a safe
+//! point.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Set by the installed signal handler; observed by every flag.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+/// A cooperative stop request, polled by the trainer between epochs.
+///
+/// Clones share the same underlying flag. Every flag also observes the
+/// process-wide signal bit set by [`install_ctrl_c`], so programmatic
+/// requests (tests, embedding applications) and OS signals look identical
+/// to the trainer.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownFlag {
+    local: Arc<AtomicBool>,
+}
+
+impl ShutdownFlag {
+    /// A fresh, unset flag (not yet wired to any signal handler).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a stop: the trainer finishes the current epoch, writes a
+    /// final checkpoint, and returns with `TrainReport::interrupted` set.
+    pub fn request(&self) {
+        self.local.store(true, Ordering::Relaxed);
+    }
+
+    /// True once a stop has been requested on this flag (or any clone of
+    /// it), or a `SIGINT`/`SIGTERM` arrived after [`install_ctrl_c`].
+    pub fn is_requested(&self) -> bool {
+        self.local.load(Ordering::Relaxed) || SIGNALLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Install `SIGINT`/`SIGTERM` handlers (once per process) and return a
+/// flag that observes them.
+///
+/// Idempotent: later calls skip re-registration and just hand out another
+/// flag. On non-unix targets this is a no-op that returns a plain flag —
+/// the trainer still honors programmatic [`ShutdownFlag::request`]s.
+pub fn install_ctrl_c() -> ShutdownFlag {
+    install_handlers();
+    ShutdownFlag::new()
+}
+
+#[cfg(unix)]
+fn install_handlers() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        extern "C" fn on_signal(_signum: i32) {
+            SIGNALLED.store(true, Ordering::Relaxed);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        // SAFETY: `signal` is the C-standard registration call; the
+        // handler is a plain `extern "C" fn(i32)` (sighandler_t ABI) whose
+        // body is one relaxed store to a static — async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+        }
+    });
+}
+
+#[cfg(not(unix))]
+fn install_handlers() {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_flag_is_unset_and_clones_share_state() {
+        let flag = ShutdownFlag::new();
+        assert!(!flag.is_requested());
+        let clone = flag.clone();
+        clone.request();
+        assert!(flag.is_requested(), "clones share the underlying flag");
+    }
+
+    #[test]
+    fn independent_flags_do_not_cross_talk() {
+        let a = ShutdownFlag::new();
+        let b = ShutdownFlag::new();
+        a.request();
+        assert!(!b.is_requested(), "a request on one flag must not leak to another");
+    }
+
+    #[test]
+    fn install_ctrl_c_is_idempotent() {
+        // Registration must not panic or double-register; the returned
+        // flags start unset (no signal has been delivered in tests).
+        let a = install_ctrl_c();
+        let b = install_ctrl_c();
+        assert!(!a.is_requested());
+        assert!(!b.is_requested());
+    }
+}

@@ -10,6 +10,11 @@
 //!   RNG is derived per epoch by [`epoch_rng`] from `(seed, epoch,
 //!   retries)`, an interrupted-then-resumed run is *bitwise identical* to
 //!   an uninterrupted one — no RNG state needs to survive the restart.
+//! * **Graceful shutdown** — with a [`TrainSettings::stop`] flag (wired
+//!   to `SIGINT`/`SIGTERM` by [`crate::shutdown::install_ctrl_c`]), the
+//!   loop stops at the next epoch boundary, writes a final checkpoint
+//!   even off the `ckpt_every` cadence, and reports
+//!   [`TrainReport::interrupted`] instead of losing the run.
 //! * **Divergence guards** — after every epoch the loop checks that the
 //!   loss and all parameters are finite. On a divergence it rolls the
 //!   model back to the last good in-memory snapshot, multiplies the
@@ -19,8 +24,9 @@
 //!   structured [`TrainError::Diverged`] instead of logging NaN metrics.
 
 use crate::ckpt::{checkpoint_path, TrainCheckpoint};
+use crate::shutdown::ShutdownFlag;
 use crate::{evaluate, EvalResult};
-use facility_ckpt::CkptError;
+use facility_ckpt::{CkptError, ModelState};
 use facility_linalg::seeded_rng;
 use facility_models::{EpochProfile, Recommender, TrainContext};
 use rand::rngs::StdRng;
@@ -53,6 +59,14 @@ pub struct TrainSettings {
     pub max_retries: usize,
     /// Learning-rate multiplier applied on each divergence rollback.
     pub lr_backoff: f32,
+    /// Cooperative shutdown flag, polled after every healthy epoch. When
+    /// requested (programmatically or by a signal via
+    /// [`crate::shutdown::install_ctrl_c`]), the loop writes a final
+    /// checkpoint into [`TrainSettings::ckpt_dir`] — even off the periodic
+    /// [`TrainSettings::ckpt_every`] cadence — and returns early with
+    /// [`TrainReport::interrupted`] set, so the run can be resumed
+    /// bitwise-identically.
+    pub stop: Option<ShutdownFlag>,
 }
 
 impl Default for TrainSettings {
@@ -68,6 +82,7 @@ impl Default for TrainSettings {
             ckpt_dir: None,
             max_retries: 2,
             lr_backoff: 0.5,
+            stop: None,
         }
     }
 }
@@ -125,6 +140,11 @@ pub struct TrainReport {
     pub divergences: Vec<DivergenceEvent>,
     /// Epoch of the checkpoint this run resumed from, when it did.
     pub resumed_from: Option<usize>,
+    /// True when the run stopped early on a [`TrainSettings::stop`]
+    /// request (signal or programmatic) rather than by convergence or
+    /// the epoch budget; a final checkpoint was written if a
+    /// [`TrainSettings::ckpt_dir`] was configured.
+    pub interrupted: bool,
 }
 
 /// Why a fault-tolerant training run failed.
@@ -207,6 +227,7 @@ struct LoopState {
     divergences: Vec<DivergenceEvent>,
     logs: Vec<EpochLog>,
     resumed_from: Option<usize>,
+    interrupted: bool,
 }
 
 impl LoopState {
@@ -219,6 +240,7 @@ impl LoopState {
             divergences: Vec::new(),
             logs: Vec::new(),
             resumed_from: None,
+            interrupted: false,
         }
     }
 
@@ -231,6 +253,7 @@ impl LoopState {
             divergences: ck.divergences.clone(),
             logs: ck.logs.clone(),
             resumed_from: Some(ck.epoch),
+            interrupted: false,
         }
     }
 }
@@ -322,7 +345,10 @@ fn run_loop(
     mut st: LoopState,
 ) -> Result<TrainReport, TrainError> {
     assert!(settings.eval_every > 0, "eval_every must be positive");
-    if let (true, Some(dir)) = (settings.ckpt_every > 0, settings.ckpt_dir.as_ref()) {
+    // Created whenever a checkpoint dir is configured, not only on the
+    // periodic cadence: a shutdown request writes a final checkpoint even
+    // with `ckpt_every == 0`.
+    if let Some(dir) = settings.ckpt_dir.as_ref() {
         std::fs::create_dir_all(dir).map_err(CkptError::Io)?;
     }
     // Rollback target for the divergence guard: the snapshot taken after
@@ -400,35 +426,31 @@ fn run_loop(
         st.logs.push(EpochLog { epoch, loss, eval, profile });
         last_good = model.save_state();
 
+        let mut checkpointed = false;
         if settings.ckpt_every > 0 && epoch.is_multiple_of(settings.ckpt_every) {
             if let Some(dir) = settings.ckpt_dir.as_ref() {
-                // The per-epoch divergence guard above is incremental (it
-                // scans only rows the optimizer touched), so a checkpoint
-                // about to be persisted gets one absolute full scan — a
-                // poisoned snapshot on disk would outlive every in-memory
-                // rollback target.
-                if !last_good.all_finite() {
-                    return Err(CkptError::Mismatch(format!(
-                        "refusing to checkpoint non-finite state for {} at epoch {epoch}",
-                        model.name()
-                    ))
-                    .into());
-                }
-                let ck = TrainCheckpoint {
-                    model_name: model.name(),
-                    seed: settings.seed,
-                    replicas: model.replicas() as u64,
-                    epoch,
-                    best: st.best,
-                    best_epoch: st.best_epoch,
-                    stale: st.stale,
-                    retries: st.retries,
-                    divergences: st.divergences.clone(),
-                    logs: st.logs.clone(),
-                    state: last_good.clone(),
-                };
-                ck.save(&checkpoint_path(dir, epoch))?;
+                persist_checkpoint(model, settings, &st, epoch, &last_good, dir)?;
+                checkpointed = true;
             }
+        }
+
+        // Cooperative shutdown (signal or programmatic): leave a final
+        // checkpoint behind — even off the periodic cadence — so the run
+        // resumes bitwise-identically, then stop at this epoch boundary.
+        if settings.stop.as_ref().is_some_and(ShutdownFlag::is_requested) {
+            if let (false, Some(dir)) = (checkpointed, settings.ckpt_dir.as_ref()) {
+                persist_checkpoint(model, settings, &st, epoch, &last_good, dir)?;
+                checkpointed = true;
+            }
+            st.interrupted = true;
+            if settings.verbose {
+                eprintln!(
+                    "[{}] epoch {epoch}: shutdown requested — stopping{}",
+                    model.name(),
+                    if checkpointed { ", final checkpoint written" } else { "" }
+                );
+            }
+            break;
         }
 
         if settings.patience > 0 && st.stale >= settings.patience {
@@ -452,7 +474,45 @@ fn run_loop(
         model: model.name(),
         divergences: st.divergences,
         resumed_from: st.resumed_from,
+        interrupted: st.interrupted,
     })
+}
+
+/// Persist the harness state as a [`TrainCheckpoint`] at `epoch`.
+///
+/// The per-epoch divergence guard is incremental (it scans only rows the
+/// optimizer touched), so a checkpoint about to be persisted gets one
+/// absolute full scan — a poisoned snapshot on disk would outlive every
+/// in-memory rollback target.
+fn persist_checkpoint(
+    model: &dyn Recommender,
+    settings: &TrainSettings,
+    st: &LoopState,
+    epoch: usize,
+    state: &ModelState,
+    dir: &Path,
+) -> Result<(), TrainError> {
+    if !state.all_finite() {
+        return Err(CkptError::Mismatch(format!(
+            "refusing to checkpoint non-finite state for {} at epoch {epoch}",
+            model.name()
+        ))
+        .into());
+    }
+    let ck = TrainCheckpoint {
+        model_name: model.name(),
+        seed: settings.seed,
+        replicas: model.replicas() as u64,
+        epoch,
+        best: st.best,
+        best_epoch: st.best_epoch,
+        stale: st.stale,
+        retries: st.retries,
+        divergences: st.divergences.clone(),
+        logs: st.logs.clone(),
+        state: state.clone(),
+    };
+    Ok(ck.save(&checkpoint_path(dir, epoch))?)
 }
 
 #[cfg(test)]

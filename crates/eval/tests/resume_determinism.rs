@@ -4,11 +4,12 @@
 //! uninterrupted run — parameters, Adam moments, and the `TrainReport`
 //! logs all agree, with dropout on so the RNG round-trip is exercised.
 
-use facility_ckpt::ModelState;
+use facility_ckpt::{CkptError, ModelState};
 use facility_eval::trainer::TrainSettings;
-use facility_eval::{checkpoint_path, train_resumed, try_train, TrainReport};
+use facility_eval::{checkpoint_path, train_resumed, try_train, ShutdownFlag, TrainReport};
 use facility_kg::{CkgBuilder, Id, Interactions, KnowledgeSource, SourceMask};
-use facility_models::{ModelConfig, ModelKind, TrainContext};
+use facility_models::{EpochProfile, ModelConfig, ModelKind, Recommender, TrainContext};
+use rand::rngs::StdRng;
 use std::path::PathBuf;
 
 fn world() -> (Interactions, facility_kg::Ckg) {
@@ -217,6 +218,105 @@ fn resume_refuses_replica_mode_change() {
 
     let _ = std::fs::remove_dir_all(&dir);
     let _ = std::fs::remove_dir_all(&rdir);
+}
+
+/// Wraps a model and requests a cooperative shutdown after `after`
+/// completed epochs — a deterministic stand-in for `^C` landing mid-run.
+/// Everything else delegates, so the wrapped runs train identically.
+struct StopAfter {
+    inner: Box<dyn Recommender>,
+    after: usize,
+    trained: usize,
+    flag: ShutdownFlag,
+}
+
+impl Recommender for StopAfter {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn train_epoch(&mut self, ctx: &TrainContext<'_>, rng: &mut StdRng) -> f32 {
+        let loss = self.inner.train_epoch(ctx, rng);
+        self.trained += 1;
+        if self.trained == self.after {
+            self.flag.request();
+        }
+        loss
+    }
+    fn prepare_eval(&mut self, ctx: &TrainContext<'_>) {
+        self.inner.prepare_eval(ctx)
+    }
+    fn score_items(&self, user: Id) -> Vec<f32> {
+        self.inner.score_items(user)
+    }
+    fn eval_matrices(&self) -> Option<(&facility_linalg::Matrix, &facility_linalg::Matrix)> {
+        self.inner.eval_matrices()
+    }
+    fn num_parameters(&self) -> usize {
+        self.inner.num_parameters()
+    }
+    fn take_epoch_profile(&mut self) -> Option<EpochProfile> {
+        self.inner.take_epoch_profile()
+    }
+    fn save_state(&self) -> ModelState {
+        self.inner.save_state()
+    }
+    fn load_state(&mut self, state: &ModelState) -> Result<(), CkptError> {
+        self.inner.load_state(state)
+    }
+    fn scale_lr(&mut self, factor: f32) {
+        self.inner.scale_lr(factor)
+    }
+    fn replicas(&self) -> usize {
+        self.inner.replicas()
+    }
+    fn params_finite(&mut self) -> bool {
+        self.inner.params_finite()
+    }
+}
+
+/// A shutdown request mid-run must (a) surface in the report, (b) leave a
+/// final checkpoint behind even with periodic checkpointing *disabled*,
+/// and (c) resume into a run bitwise identical to never having stopped.
+#[test]
+fn interrupted_run_writes_final_checkpoint_and_resumes_bitwise() {
+    let (inter, ckg) = world();
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+    let cfg = config();
+
+    // Uninterrupted reference: 8 epochs straight.
+    let mut straight = ModelKind::Bprmf.build(&ctx, &cfg);
+    let report_straight =
+        try_train(straight.as_mut(), &ctx, &settings(8)).expect("straight run trains");
+
+    // Interrupted leg: the "signal" lands after epoch 3. `ckpt_every`
+    // stays 0, so the only checkpoint on disk is the interrupt-time one.
+    let dir = tmpdir("interrupt");
+    let flag = ShutdownFlag::new();
+    let mut wrapped = StopAfter {
+        inner: ModelKind::Bprmf.build(&ctx, &cfg),
+        after: 3,
+        trained: 0,
+        flag: flag.clone(),
+    };
+    let mut s = settings(8);
+    s.ckpt_dir = Some(dir.clone());
+    s.stop = Some(flag);
+    let report = try_train(&mut wrapped, &ctx, &s).expect("interrupted leg trains");
+    assert!(report.interrupted, "stop request must surface in the report");
+    assert_eq!(report.logs.len(), 3, "stopped at the epoch-3 boundary");
+    let ckpt = checkpoint_path(&dir, 3);
+    assert!(ckpt.exists(), "final checkpoint written off the periodic cadence");
+    drop(wrapped); // simulate the killed process: nothing survives in memory
+
+    // Fresh model resumes from the final checkpoint and finishes.
+    let mut resumed = ModelKind::Bprmf.build(&ctx, &cfg);
+    let report_resumed =
+        train_resumed(resumed.as_mut(), &ctx, &settings(8), &ckpt).expect("resume trains");
+    assert!(!report_resumed.interrupted);
+    assert_eq!(report_resumed.resumed_from, Some(3));
+    assert_states_bitwise(&straight.save_state(), &resumed.save_state(), "interrupt");
+    assert_reports_identical(&report_straight, &report_resumed);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -174,6 +174,10 @@ impl Recommender for Cke {
         )
     }
 
+    fn eval_matrices(&self) -> Option<(&Matrix, &Matrix)> {
+        self.cached_users.as_ref().zip(self.cached_items.as_ref())
+    }
+
     fn num_parameters(&self) -> usize {
         self.store.num_scalars()
     }

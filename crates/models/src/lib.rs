@@ -65,6 +65,17 @@ pub trait Recommender: Send + Sync {
     /// Length is `ctx.inter.n_items`.
     fn score_items(&self, user: Id) -> Vec<f32>;
 
+    /// The cached `(user, item)` representation matrices built by
+    /// [`Recommender::prepare_eval`], for models whose scoring is a plain
+    /// user·item inner product over those caches. The serving layer
+    /// freezes them into an immutable snapshot. `None` when the caches
+    /// have not been built yet or the model scores some other way
+    /// (sum-pooled features, per-hop attention, …) — such models cannot
+    /// be snapshotted for online serving.
+    fn eval_matrices(&self) -> Option<(&facility_linalg::Matrix, &facility_linalg::Matrix)> {
+        None
+    }
+
     /// Number of scalar parameters (for reporting).
     fn num_parameters(&self) -> usize;
 

@@ -1,0 +1,534 @@
+//! The deadline-aware degradation ladder.
+//!
+//! Each request gets a fixed latency budget from its *arrival* (not
+//! dequeue) time. The engine picks the best rung the remaining budget
+//! affords:
+//!
+//! 1. **Exact** — full dot-product scoring + partial-sort top-K, the same
+//!    kernel offline evaluation uses ([`facility_eval::rank_top_k`]).
+//!    Attempted when the running cost estimate fits the remaining budget.
+//! 2. **Cached** — the user's last exact top-K, tagged with the snapshot
+//!    version that produced it. A swap invalidates every entry for free:
+//!    a version-mismatched entry is discarded on sight, the same
+//!    discipline the offline eval caches use when parameters change.
+//! 3. **Popularity** — the snapshot's train-popularity prior with the
+//!    user's own train items masked; model-free, never fails, and cheap
+//!    enough for a request whose budget is already gone.
+//!
+//! Injected scoring panics are caught here and converted to a degraded
+//! (rung 2/3) response — a worker thread never dies, a request is never
+//! lost. Every response carries the rung that produced it and the
+//! snapshot version it was served from.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use facility_eval::rank_top_k;
+use facility_kg::Id;
+
+use crate::clock::Clock;
+use crate::fault::FaultPlan;
+use crate::snapshot::{SnapshotStore, VersionedSnapshot};
+use crate::sync;
+
+/// Which ladder rung produced a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// Full scoring + partial-sort top-K on the current snapshot.
+    Exact,
+    /// Reused per-user score cache entry from the same snapshot version.
+    Cached,
+    /// Train-popularity prior (model-free last resort).
+    Popularity,
+}
+
+impl Rung {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Rung::Exact => "exact",
+            Rung::Cached => "cached",
+            Rung::Popularity => "popularity",
+        }
+    }
+}
+
+/// Per-request latency budget and result size.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlinePolicy {
+    /// Budget from request arrival to response, in nanoseconds.
+    pub deadline_ns: u64,
+    /// Items per response.
+    pub k: usize,
+}
+
+impl Default for DeadlinePolicy {
+    fn default() -> Self {
+        Self { deadline_ns: 500_000, k: 20 }
+    }
+}
+
+/// An admitted request.
+#[derive(Debug, Clone, Copy)]
+pub struct Request {
+    /// Server-assigned id (admission order).
+    pub id: u64,
+    /// The user asking for recommendations.
+    pub user: Id,
+    /// Clock time at admission; the deadline counts from here, so queue
+    /// wait eats budget.
+    pub arrival_ns: u64,
+}
+
+/// A completed response — every admitted request produces exactly one.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// Request id this answers.
+    pub id: u64,
+    /// The requesting user.
+    pub user: Id,
+    /// The ladder rung that produced the items.
+    pub rung: Rung,
+    /// Snapshot version the response was served from (a single version
+    /// end-to-end, even across concurrent swaps).
+    pub snapshot_version: u64,
+    /// Recommended `(item, score)` pairs, best first.
+    pub items: Vec<(Id, f32)>,
+    /// Admission time.
+    pub arrival_ns: u64,
+    /// Scoring start time (arrival + queue wait).
+    pub started_ns: u64,
+    /// Completion time.
+    pub finished_ns: u64,
+    /// True when the response finished past its deadline (served anyway,
+    /// on the cheapest available rung).
+    pub deadline_missed: bool,
+    /// True when an injected/unexpected scoring panic was absorbed and
+    /// this response came from a fallback rung.
+    pub recovered_panic: bool,
+}
+
+struct CacheEntry {
+    version: u64,
+    items: Vec<(Id, f32)>,
+}
+
+/// Per-user top-K cache keyed by snapshot version.
+///
+/// Entries are only ever trusted when their version matches the current
+/// snapshot — a hot swap therefore invalidates the whole cache without
+/// touching it (stale entries are dropped lazily on next access), the
+/// same invalidation discipline the models use for their eval caches.
+pub struct ScoreCache {
+    slots: Vec<Mutex<Option<CacheEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+}
+
+impl ScoreCache {
+    /// An empty cache with one slot per user.
+    pub fn new(n_users: usize) -> Self {
+        Self {
+            slots: (0..n_users).map(|_| Mutex::new(None)).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
+        }
+    }
+
+    /// The user's cached top-K *if* it was produced by snapshot
+    /// `version`; a version mismatch evicts the entry and misses.
+    pub fn get(&self, user: Id, version: u64) -> Option<Vec<(Id, f32)>> {
+        let slot = self.slots.get(user as usize)?;
+        let mut guard = sync::lock(slot);
+        match guard.as_ref() {
+            Some(entry) if entry.version == version => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.items.clone())
+            }
+            Some(_) => {
+                *guard = None;
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store the user's exact top-K under the producing version.
+    pub fn insert(&self, user: Id, version: u64, items: &[(Id, f32)]) {
+        if let Some(slot) = self.slots.get(user as usize) {
+            *sync::lock(slot) = Some(CacheEntry { version, items: items.to_vec() });
+        }
+    }
+}
+
+/// Counter snapshot for reporting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineCounters {
+    /// Responses served by the exact rung.
+    pub exact: u64,
+    /// Responses served from the score cache.
+    pub cached: u64,
+    /// Responses served from the popularity prior.
+    pub popularity: u64,
+    /// Responses that finished past their deadline.
+    pub deadline_misses: u64,
+    /// Scoring panics absorbed into degraded responses.
+    pub panics_recovered: u64,
+    /// Score-cache hits.
+    pub cache_hits: u64,
+    /// Score-cache misses.
+    pub cache_misses: u64,
+    /// Cache entries evicted because a swap outdated their version.
+    pub cache_stale: u64,
+}
+
+/// The scoring engine: one per server, shared by all workers.
+pub struct Engine {
+    store: Arc<SnapshotStore>,
+    train: Arc<Vec<Vec<Id>>>,
+    cache: ScoreCache,
+    policy: DeadlinePolicy,
+    faults: FaultPlan,
+    clock: Arc<dyn Clock>,
+    /// EWMA of observed exact-scoring cost; 0 = no observation yet (try
+    /// exact). Degraded requests decay it so the exact rung is re-probed
+    /// once a latency burst passes.
+    cost_est_ns: AtomicU64,
+    exact: AtomicU64,
+    cached: AtomicU64,
+    popularity: AtomicU64,
+    deadline_misses: AtomicU64,
+    panics_recovered: AtomicU64,
+}
+
+impl Engine {
+    /// Build an engine serving from `store`.
+    ///
+    /// `train` holds each user's *sorted* train items (masked out of
+    /// every rung, exactly like offline evaluation).
+    pub fn new(
+        store: Arc<SnapshotStore>,
+        train: Arc<Vec<Vec<Id>>>,
+        policy: DeadlinePolicy,
+        faults: FaultPlan,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let n_users = store.current().snap.n_users();
+        Self {
+            store,
+            train,
+            cache: ScoreCache::new(n_users),
+            policy,
+            faults,
+            clock,
+            cost_est_ns: AtomicU64::new(0),
+            exact: AtomicU64::new(0),
+            cached: AtomicU64::new(0),
+            popularity: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            panics_recovered: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot store this engine serves from.
+    pub fn store(&self) -> &Arc<SnapshotStore> {
+        &self.store
+    }
+
+    /// The engine's deadline/K policy.
+    pub fn policy(&self) -> DeadlinePolicy {
+        self.policy
+    }
+
+    /// Current clock reading (the server stamps arrivals with this).
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Let time pass on the engine clock (open-loop pacing shares the
+    /// engine's time source so virtual-clock runs stay deterministic).
+    pub fn wait_ns(&self, ns: u64) {
+        self.clock.wait_ns(ns);
+    }
+
+    /// Users the current snapshot can score.
+    pub fn n_users(&self) -> usize {
+        self.store.current().snap.n_users()
+    }
+
+    /// Seed the cost estimate (tests use this to force degradation
+    /// deterministically; a server could prewarm from a prior run).
+    pub fn prime_cost_estimate(&self, ns: u64) {
+        self.cost_est_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Current exact-cost estimate in nanoseconds.
+    pub fn cost_estimate_ns(&self) -> u64 {
+        self.cost_est_ns.load(Ordering::Relaxed)
+    }
+
+    /// Serve one admitted request; infallible by construction — scoring
+    /// panics degrade, they never escape.
+    pub fn handle(&self, req: &Request) -> Served {
+        let snap = self.store.current();
+        let started = self.clock.now_ns();
+        let deadline = req.arrival_ns.saturating_add(self.policy.deadline_ns);
+        let remaining = deadline.saturating_sub(started);
+        let est = self.cost_est_ns.load(Ordering::Relaxed);
+        let mut recovered_panic = false;
+        let (rung, items) = if remaining > 0 && est <= remaining {
+            match catch_unwind(AssertUnwindSafe(|| self.exact_top_k(&snap, req))) {
+                Ok(items) => {
+                    let cost = self.clock.now_ns().saturating_sub(started);
+                    self.update_cost(est, cost);
+                    self.cache.insert(req.user, snap.version, &items);
+                    self.exact.fetch_add(1, Ordering::Relaxed);
+                    (Rung::Exact, items)
+                }
+                Err(_) => {
+                    recovered_panic = true;
+                    self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                    self.fallback(&snap, req.user)
+                }
+            }
+        } else {
+            // Budget already blown (or exact predicted too slow): degrade,
+            // and decay the estimate so exact is re-probed after a burst.
+            self.cost_est_ns.store(est.saturating_sub(est / 4), Ordering::Relaxed);
+            self.fallback(&snap, req.user)
+        };
+        let finished = self.clock.now_ns();
+        let deadline_missed = finished > deadline;
+        if deadline_missed {
+            self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        Served {
+            id: req.id,
+            user: req.user,
+            rung,
+            snapshot_version: snap.version,
+            items,
+            arrival_ns: req.arrival_ns,
+            started_ns: started,
+            finished_ns: finished,
+            deadline_missed,
+            recovered_panic,
+        }
+    }
+
+    /// Last-ditch response builder for a worker whose `handle` call
+    /// somehow panicked outside the guarded scoring path: serve the
+    /// cheapest rung, flag the recovery. Never panics itself (the
+    /// fallback path is lock-poisoning-free and bounds-checked).
+    pub fn degraded_response(&self, req: &Request) -> Served {
+        let snap = self.store.current();
+        let started = self.clock.now_ns();
+        self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+        let (rung, items) = self.fallback(&snap, req.user);
+        let finished = self.clock.now_ns();
+        let deadline = req.arrival_ns.saturating_add(self.policy.deadline_ns);
+        Served {
+            id: req.id,
+            user: req.user,
+            rung,
+            snapshot_version: snap.version,
+            items,
+            arrival_ns: req.arrival_ns,
+            started_ns: started,
+            finished_ns: finished,
+            deadline_missed: finished > deadline,
+            recovered_panic: true,
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> EngineCounters {
+        EngineCounters {
+            exact: self.exact.load(Ordering::Relaxed),
+            cached: self.cached.load(Ordering::Relaxed),
+            popularity: self.popularity.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            panics_recovered: self.panics_recovered.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits.load(Ordering::Relaxed),
+            cache_misses: self.cache.misses.load(Ordering::Relaxed),
+            cache_stale: self.cache.stale.load(Ordering::Relaxed),
+        }
+    }
+
+    fn train_items(&self, user: Id) -> &[Id] {
+        self.train.get(user as usize).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The exact rung, with fault injection on the scoring path. Runs
+    /// under `catch_unwind` in [`Engine::handle`].
+    fn exact_top_k(&self, snap: &VersionedSnapshot, req: &Request) -> Vec<(Id, f32)> {
+        let spike = self.faults.latency_spike_ns(req.id);
+        if spike > 0 {
+            self.clock.wait_ns(spike);
+        }
+        if self.faults.should_panic(req.id) {
+            // Deliberate: the injected worker fault the ladder must absorb.
+            panic!("injected scoring fault on request {}", req.id);
+        }
+        let scores = snap.snap.score_user(req.user);
+        rank_top_k(&scores, self.train_items(req.user), self.policy.k)
+    }
+
+    fn fallback(&self, snap: &Arc<VersionedSnapshot>, user: Id) -> (Rung, Vec<(Id, f32)>) {
+        if let Some(items) = self.cache.get(user, snap.version) {
+            self.cached.fetch_add(1, Ordering::Relaxed);
+            (Rung::Cached, items)
+        } else {
+            self.popularity.fetch_add(1, Ordering::Relaxed);
+            (Rung::Popularity, snap.snap.popularity_top_k(self.train_items(user), self.policy.k))
+        }
+    }
+
+    fn update_cost(&self, old: u64, cost: u64) {
+        let new = if old == 0 { cost } else { (old.saturating_mul(3).saturating_add(cost)) / 4 };
+        self.cost_est_ns.store(new, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use crate::fault::FaultConfig;
+    use crate::snapshot::ModelSnapshot;
+    use facility_linalg::Matrix;
+
+    fn toy_store() -> Arc<SnapshotStore> {
+        let users = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let items = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5]);
+        let popularity = vec![(2u32, 5.0), (0, 3.0), (1, 1.0), (3, 0.0)];
+        Arc::new(SnapshotStore::new(ModelSnapshot {
+            model_name: "toy".into(),
+            epoch: 1,
+            users,
+            items,
+            popularity,
+        }))
+    }
+
+    fn toy_engine(faults: FaultPlan) -> Engine {
+        let train: Arc<Vec<Vec<u32>>> = Arc::new(vec![vec![0], vec![], vec![1, 3]]);
+        Engine::new(
+            toy_store(),
+            train,
+            DeadlinePolicy { deadline_ns: 1_000, k: 2 },
+            faults,
+            Arc::new(VirtualClock::new()),
+        )
+    }
+
+    fn req(id: u64, user: u32, arrival_ns: u64) -> Request {
+        Request { id, user, arrival_ns }
+    }
+
+    #[test]
+    fn healthy_request_serves_exact_and_masks_train_items() {
+        let eng = toy_engine(FaultPlan::healthy());
+        let r = eng.handle(&req(0, 2, 0));
+        assert_eq!(r.rung, Rung::Exact);
+        assert_eq!(r.snapshot_version, 1);
+        // User 2 scores [1,1,2,1]; items 1 and 3 are train-masked.
+        assert_eq!(r.items, vec![(2, 2.0), (0, 1.0)]);
+        assert!(!r.deadline_missed && !r.recovered_panic);
+    }
+
+    #[test]
+    fn blown_budget_degrades_to_popularity_then_cache() {
+        let eng = toy_engine(FaultPlan::healthy());
+        // No cache yet and the estimate exceeds the whole budget.
+        eng.prime_cost_estimate(10_000);
+        let r = eng.handle(&req(0, 2, 0));
+        assert_eq!(r.rung, Rung::Popularity);
+        assert_eq!(r.items, vec![(2, 5.0), (0, 3.0)], "train items 1,3 masked from prior");
+
+        // Decay eventually readmits exact (10000 * 0.75^n < 1000 budget),
+        // which primes the cache…
+        let mut rungs = Vec::new();
+        for i in 1..20 {
+            rungs.push(eng.handle(&req(i, 2, 0)).rung);
+        }
+        assert!(rungs.contains(&Rung::Exact), "estimate decay must re-probe exact: {rungs:?}");
+
+        // …so the next degraded request hits the cache instead.
+        eng.prime_cost_estimate(10_000);
+        let r = eng.handle(&req(99, 2, 0));
+        assert_eq!(r.rung, Rung::Cached);
+        assert_eq!(r.items, vec![(2, 2.0), (0, 1.0)], "cache replays the exact result");
+    }
+
+    #[test]
+    fn swap_invalidates_cache_by_version() {
+        let eng = toy_engine(FaultPlan::healthy());
+        assert_eq!(eng.handle(&req(0, 1, 0)).rung, Rung::Exact); // primes cache v1
+        eng.prime_cost_estimate(u64::MAX);
+        assert_eq!(eng.handle(&req(1, 1, 0)).rung, Rung::Cached);
+
+        // Install v2: the v1 entry must not serve.
+        let next = eng.store().current().snap.clone();
+        eng.store().swap(next);
+        eng.prime_cost_estimate(u64::MAX);
+        let r = eng.handle(&req(2, 1, 0));
+        assert_eq!(r.rung, Rung::Popularity, "stale cache entry must be evicted");
+        assert_eq!(r.snapshot_version, 2);
+        assert_eq!(eng.counters().cache_stale, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_absorbed_into_degraded_response() {
+        let eng = toy_engine(FaultPlan::new(FaultConfig {
+            seed: 1,
+            latency_spike_prob: 0.0,
+            latency_spike_ns: 0,
+            panic_prob: 1.0,
+        }));
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let r = eng.handle(&req(0, 0, 0));
+        std::panic::set_hook(prev_hook);
+        assert!(r.recovered_panic);
+        assert_eq!(r.rung, Rung::Popularity);
+        assert_eq!(eng.counters().panics_recovered, 1);
+        assert_eq!(eng.counters().exact, 0);
+    }
+
+    #[test]
+    fn latency_spike_advances_clock_and_marks_deadline_miss() {
+        let eng = toy_engine(FaultPlan::new(FaultConfig {
+            seed: 2,
+            latency_spike_prob: 1.0,
+            latency_spike_ns: 5_000, // 5× the 1µs budget
+            panic_prob: 0.0,
+        }));
+        let r = eng.handle(&req(0, 0, 0));
+        assert_eq!(r.rung, Rung::Exact, "first request has no cost estimate yet");
+        assert!(r.deadline_missed, "spike blows the budget");
+        assert!(eng.cost_estimate_ns() >= 5_000, "spike feeds the estimate");
+        // A fresh arrival now predicts exact won't fit and degrades
+        // *within* budget.
+        let r2 = eng.handle(&req(1, 0, eng.now_ns()));
+        assert_eq!(r2.rung, Rung::Cached, "request 0's exact result was cached");
+        assert!(!r2.deadline_missed);
+    }
+
+    #[test]
+    fn degraded_response_never_panics_and_flags_recovery() {
+        let eng = toy_engine(FaultPlan::healthy());
+        let r = eng.degraded_response(&req(7, 1, 0));
+        assert!(r.recovered_panic);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.rung, Rung::Popularity);
+    }
+}

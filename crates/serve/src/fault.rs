@@ -1,0 +1,186 @@
+//! Seeded, deterministic fault injection.
+//!
+//! Every fault decision is a pure function of `(seed, request id)` via a
+//! splitmix64 hash, so a scenario replays identically across runs and
+//! worker counts: the *set* of faulted requests never changes, only which
+//! worker happens to hit each one. File-corruption helpers cover the
+//! snapshot-load faults (truncation, bit flips, version skew) that the
+//! envelope verification must catch.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// The splitmix64 mixer — the same finalizer the trainer uses to derive
+/// per-epoch RNG streams, reused here so fault schedules are stable,
+/// well-distributed functions of the scenario seed.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform-ish value in `[0, 1)` from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// What to inject on the scoring path, with what probability.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Scenario seed; all per-request decisions derive from it.
+    pub seed: u64,
+    /// Probability that a request's exact-scoring path stalls.
+    pub latency_spike_prob: f64,
+    /// Stall duration when a latency spike fires.
+    pub latency_spike_ns: u64,
+    /// Probability that the exact-scoring path panics (the worker must
+    /// catch it and degrade, never die).
+    pub panic_prob: f64,
+}
+
+impl FaultConfig {
+    /// No faults at all.
+    pub fn healthy() -> Self {
+        Self { seed: 0, latency_spike_prob: 0.0, latency_spike_ns: 0, panic_prob: 0.0 }
+    }
+}
+
+/// A scenario's deterministic fault schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Plan for one scenario.
+    pub fn new(cfg: FaultConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// A plan that injects nothing.
+    pub fn healthy() -> Self {
+        Self::new(FaultConfig::healthy())
+    }
+
+    fn roll(&self, request_id: u64, salt: u64) -> f64 {
+        unit(splitmix64(self.cfg.seed ^ salt.wrapping_mul(0x9E37_79B9).wrapping_add(request_id)))
+    }
+
+    /// Injected stall (ns) on this request's scoring path; 0 = none.
+    pub fn latency_spike_ns(&self, request_id: u64) -> u64 {
+        if self.cfg.latency_spike_prob > 0.0
+            && self.roll(request_id, 1) < self.cfg.latency_spike_prob
+        {
+            self.cfg.latency_spike_ns
+        } else {
+            0
+        }
+    }
+
+    /// True when this request's exact-scoring path must panic.
+    pub fn should_panic(&self, request_id: u64) -> bool {
+        self.cfg.panic_prob > 0.0 && self.roll(request_id, 2) < self.cfg.panic_prob
+    }
+}
+
+/// Truncate a copy of `src` to `keep` bytes at `dst` (a torn write).
+pub fn corrupt_truncate(src: &Path, dst: &Path, keep: usize) -> io::Result<()> {
+    let mut bytes = fs::read(src)?;
+    bytes.truncate(keep);
+    fs::write(dst, bytes)
+}
+
+/// Copy `src` to `dst` with the byte at `offset` bit-flipped. Offsets past
+/// the end wrap, so any offset corrupts *something*.
+pub fn corrupt_flip_byte(src: &Path, dst: &Path, offset: usize) -> io::Result<()> {
+    let mut bytes = fs::read(src)?;
+    if bytes.is_empty() {
+        return fs::write(dst, bytes);
+    }
+    let at = offset % bytes.len();
+    bytes[at] ^= 0x40;
+    fs::write(dst, bytes)
+}
+
+/// Copy `src` to `dst` with the envelope's format-version byte bumped to a
+/// future version this build does not understand.
+pub fn corrupt_version(src: &Path, dst: &Path) -> io::Result<()> {
+    let mut bytes = fs::read(src)?;
+    if bytes.len() > 4 {
+        bytes[4] = bytes[4].wrapping_add(40);
+    }
+    fs::write(dst, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let cfg = FaultConfig {
+            seed: 42,
+            latency_spike_prob: 0.3,
+            latency_spike_ns: 1_000,
+            panic_prob: 0.1,
+        };
+        let a = FaultPlan::new(cfg);
+        let b = FaultPlan::new(cfg);
+        for id in 0..500 {
+            assert_eq!(a.latency_spike_ns(id), b.latency_spike_ns(id));
+            assert_eq!(a.should_panic(id), b.should_panic(id));
+        }
+    }
+
+    #[test]
+    fn probabilities_roughly_hold() {
+        let plan = FaultPlan::new(FaultConfig {
+            seed: 7,
+            latency_spike_prob: 0.25,
+            latency_spike_ns: 10,
+            panic_prob: 0.25,
+        });
+        let n = 4000u64;
+        let spikes = (0..n).filter(|&id| plan.latency_spike_ns(id) > 0).count();
+        let panics = (0..n).filter(|&id| plan.should_panic(id)).count();
+        for hits in [spikes, panics] {
+            let frac = hits as f64 / n as f64;
+            assert!((0.18..0.32).contains(&frac), "fault rate {frac} far from 0.25");
+        }
+        // The two fault streams must be independent (different salts).
+        let both =
+            (0..n).filter(|&id| plan.latency_spike_ns(id) > 0 && plan.should_panic(id)).count();
+        assert!(both < spikes, "streams must not be perfectly correlated");
+    }
+
+    #[test]
+    fn healthy_plan_injects_nothing() {
+        let plan = FaultPlan::healthy();
+        for id in 0..200 {
+            assert_eq!(plan.latency_spike_ns(id), 0);
+            assert!(!plan.should_panic(id));
+        }
+    }
+
+    #[test]
+    fn corruption_helpers_modify_files() {
+        let dir = std::env::temp_dir().join("facility_serve_fault_helpers");
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("src.bin");
+        fs::write(&src, [1u8, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+
+        let t = dir.join("trunc.bin");
+        corrupt_truncate(&src, &t, 3).unwrap();
+        assert_eq!(fs::read(&t).unwrap(), vec![1, 2, 3]);
+
+        let f = dir.join("flip.bin");
+        corrupt_flip_byte(&src, &f, 1).unwrap();
+        assert_eq!(fs::read(&f).unwrap()[1], 2 ^ 0x40);
+
+        let v = dir.join("ver.bin");
+        corrupt_version(&src, &v).unwrap();
+        assert_eq!(fs::read(&v).unwrap()[4], 5u8.wrapping_add(40));
+    }
+}

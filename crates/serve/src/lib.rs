@@ -1,0 +1,96 @@
+#![warn(missing_docs)]
+
+//! # facility-serve
+//!
+//! Fault-tolerant online serving for the discovery recommender — the
+//! interactive half of the paper's pipeline, built robust from day one:
+//!
+//! * **Snapshots** ([`snapshot`]) — an immutable [`ModelSnapshot`]
+//!   (trained user/item representations + popularity prior) behind an
+//!   atomically hot-swappable [`SnapshotStore`]. Loads go through the
+//!   `facility-ckpt` envelope with CRC/version verification and
+//!   jittered-backoff retry on transient I/O; corrupt or poisoned
+//!   snapshots are rejected and the previous one keeps serving.
+//! * **Degradation ladder** ([`engine`]) — per-request deadline budget
+//!   with three rungs: exact dot-product + partial-sort top-K → per-user
+//!   score-cache hit (invalidated on snapshot swap) → popularity prior.
+//!   Every response is tagged with its rung and snapshot version.
+//! * **Admission control** ([`server`]) — a bounded queue with load
+//!   shedding; shed requests get structured [`Rejection`]s, admitted
+//!   requests get exactly one response, nothing is silently dropped.
+//! * **Fault injection** ([`fault`]) — seeded, deterministic latency
+//!   spikes, scoring panics, and snapshot-file corruption, so the
+//!   robustness guarantees are *testable* and replayable.
+//! * **Load** ([`load`]) — open/closed-loop replay of the heavy-tailed
+//!   `facility-datagen` trace, with per-scenario stats for
+//!   `BENCH_serve.json`.
+
+pub mod clock;
+pub mod engine;
+pub mod fault;
+pub mod load;
+pub mod server;
+pub mod snapshot;
+pub(crate) mod sync;
+
+pub use clock::{Clock, RealClock, VirtualClock};
+pub use engine::{DeadlinePolicy, Engine, EngineCounters, Request, Rung, ScoreCache, Served};
+pub use fault::{corrupt_flip_byte, corrupt_truncate, corrupt_version, FaultConfig, FaultPlan};
+pub use load::{
+    drive_closed_loop, drive_closed_loop_with, drive_open_loop, percentile, replay_users,
+    DriveReport, ScenarioStats,
+};
+pub use server::{Rejection, Response, Server, ServerConfig, ServerStats, ShedReason};
+pub use snapshot::{
+    load_snapshot, load_snapshot_with_retry, load_snapshot_with_retry_from, popularity_rank,
+    ModelSnapshot, RetryPolicy, SnapshotStore, VersionedSnapshot,
+};
+
+use facility_ckpt::CkptError;
+
+/// Why a snapshot could not be loaded or installed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Envelope or payload failure from the checkpoint layer (I/O,
+    /// corruption, version skew, wrong payload kind).
+    Ckpt(CkptError),
+    /// The snapshot decoded cleanly but its contents are unservable
+    /// (non-finite values, inconsistent shapes, broken popularity rank).
+    Poisoned(String),
+    /// The model cannot produce a snapshot (no cached dot-product
+    /// representations).
+    Unsupported(String),
+}
+
+impl ServeError {
+    /// True for failures worth retrying (transient I/O); corruption and
+    /// poisoning are permanent for a given file.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ServeError::Ckpt(CkptError::Io(_)))
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Ckpt(e) => write!(f, "snapshot envelope error: {e}"),
+            ServeError::Poisoned(msg) => write!(f, "poisoned snapshot rejected: {msg}"),
+            ServeError::Unsupported(msg) => write!(f, "cannot snapshot model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Ckpt(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CkptError> for ServeError {
+    fn from(e: CkptError) -> Self {
+        ServeError::Ckpt(e)
+    }
+}

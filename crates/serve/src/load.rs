@@ -1,0 +1,312 @@
+//! Trace-replay load drivers and scenario statistics.
+//!
+//! The request stream is the heavy-tailed `facility-datagen` trace: the
+//! same log-normal user activity and Zipf item popularity the models
+//! train on also drives serving load, so hot users hammer the score
+//! cache exactly as they would in production. Two drive modes:
+//!
+//! * **closed loop** — at most `concurrency` requests in flight; each
+//!   response immediately funds the next submission (throughput-bound).
+//! * **open loop** — submissions arrive on a fixed interarrival schedule
+//!   regardless of completions (latency-bound; overload sheds).
+//!
+//! [`ScenarioStats`] folds a drive's responses into the numbers
+//! `BENCH_serve.json` reports: latency percentiles, QPS, shed fraction,
+//! and per-rung fractions.
+
+use std::time::{Duration, Instant};
+
+use facility_datagen::Trace;
+use facility_kg::Id;
+
+use crate::server::{Response, Server, ServerStats};
+
+/// How long a driver waits for *any* progress before declaring the run
+/// wedged and bailing out (so a lost response can never hang CI — it
+/// surfaces as a silent drop in the stats instead).
+const STALL_LIMIT: Duration = Duration::from_secs(30);
+
+/// The first `n` users of the trace's event stream (cycling if the trace
+/// is shorter), preserving its heavy-tailed arrival pattern.
+pub fn replay_users(trace: &Trace, n: usize) -> Vec<Id> {
+    if trace.events.is_empty() {
+        return Vec::new();
+    }
+    (0..n).map(|i| trace.events[i % trace.events.len()].user).collect()
+}
+
+/// Everything a drive produced: one [`Response`] per submission (served
+/// or rejected) and the wall time the drive took.
+#[derive(Debug)]
+pub struct DriveReport {
+    /// One entry per submission, in completion/rejection order.
+    pub responses: Vec<Response>,
+    /// Wall-clock duration of the whole drive.
+    pub wall_ns: u64,
+}
+
+/// Closed-loop drive: keep up to `concurrency` requests in flight until
+/// every user in `users` has been submitted and accounted for.
+pub fn drive_closed_loop(server: &Server, users: &[Id], concurrency: usize) -> DriveReport {
+    drive_closed_loop_with(server, users, concurrency, |_| {})
+}
+
+/// [`drive_closed_loop`] with a hook called before each submission index —
+/// scenarios use it to trigger mid-load snapshot swaps or corruptions at a
+/// deterministic point in the stream.
+pub fn drive_closed_loop_with(
+    server: &Server,
+    users: &[Id],
+    concurrency: usize,
+    mut before_submit: impl FnMut(usize),
+) -> DriveReport {
+    let started = Instant::now();
+    let window = concurrency.max(1);
+    let mut responses = Vec::with_capacity(users.len());
+    let mut in_flight = 0usize;
+    let mut next = 0usize;
+    let mut last_progress = Instant::now();
+    while next < users.len() || in_flight > 0 {
+        while in_flight < window && next < users.len() {
+            before_submit(next);
+            match server.submit(users[next]) {
+                Ok(_) => in_flight += 1,
+                Err(rej) => responses.push(Response::Rejected(rej)),
+            }
+            next += 1;
+            last_progress = Instant::now();
+        }
+        if in_flight > 0 {
+            match server.recv_timeout(Duration::from_millis(20)) {
+                Some(resp) => {
+                    in_flight -= 1;
+                    responses.push(resp);
+                    last_progress = Instant::now();
+                }
+                None if last_progress.elapsed() > STALL_LIMIT => break,
+                None => {}
+            }
+        }
+    }
+    DriveReport { responses, wall_ns: started.elapsed().as_nanos() as u64 }
+}
+
+/// Open-loop drive: submit on a fixed `interarrival_ns` schedule (paced
+/// on the *engine* clock), draining responses opportunistically, then
+/// collect the stragglers.
+pub fn drive_open_loop(server: &Server, users: &[Id], interarrival_ns: u64) -> DriveReport {
+    let started = Instant::now();
+    let mut responses = Vec::with_capacity(users.len());
+    let mut in_flight = 0usize;
+    for (i, &user) in users.iter().enumerate() {
+        if i > 0 {
+            server.engine().wait_ns(interarrival_ns);
+        }
+        match server.submit(user) {
+            Ok(_) => in_flight += 1,
+            Err(rej) => responses.push(Response::Rejected(rej)),
+        }
+        while let Some(resp) = server.try_recv() {
+            in_flight -= 1;
+            responses.push(resp);
+        }
+    }
+    let mut last_progress = Instant::now();
+    while in_flight > 0 {
+        match server.recv_timeout(Duration::from_millis(20)) {
+            Some(resp) => {
+                in_flight -= 1;
+                responses.push(resp);
+                last_progress = Instant::now();
+            }
+            None if last_progress.elapsed() > STALL_LIMIT => break,
+            None => {}
+        }
+    }
+    DriveReport { responses, wall_ns: started.elapsed().as_nanos() as u64 }
+}
+
+/// One scenario's aggregate numbers for `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct ScenarioStats {
+    /// Scenario name (`healthy`, `latency`, …).
+    pub name: String,
+    /// Total submissions.
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Responses served (any rung).
+    pub served: u64,
+    /// Submissions shed with structured rejections.
+    pub rejected: u64,
+    /// Admitted requests that never got a response (must be 0).
+    pub silent_drops: i64,
+    /// Served-response counts per rung: (exact, cached, popularity).
+    pub rung_counts: (u64, u64, u64),
+    /// Fraction of submissions shed.
+    pub shed_frac: f64,
+    /// Fraction of served responses past their deadline.
+    pub deadline_miss_frac: f64,
+    /// Median served latency (arrival → finish), nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile served latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Served responses per wall-clock second.
+    pub qps: f64,
+    /// QPS divided by worker threads.
+    pub qps_per_core: f64,
+    /// Scoring panics absorbed into degraded responses.
+    pub panics_recovered: u64,
+    /// Successful snapshot swaps during the scenario.
+    pub swaps: u64,
+    /// Snapshot swaps rejected by verification.
+    pub rejected_swaps: u64,
+    /// Distinct snapshot versions that served responses, ascending.
+    pub versions_served: Vec<u64>,
+}
+
+impl ScenarioStats {
+    /// Fold a drive plus the server's final stats into scenario numbers.
+    pub fn collect(name: &str, report: &DriveReport, stats: &ServerStats) -> Self {
+        let served: Vec<_> = report.responses.iter().filter_map(|r| r.served()).collect();
+        let mut latencies: Vec<u64> =
+            served.iter().map(|s| s.finished_ns.saturating_sub(s.arrival_ns)).collect();
+        latencies.sort_unstable();
+        let exact = served.iter().filter(|s| s.rung == crate::engine::Rung::Exact).count() as u64;
+        let cached = served.iter().filter(|s| s.rung == crate::engine::Rung::Cached).count() as u64;
+        let pop =
+            served.iter().filter(|s| s.rung == crate::engine::Rung::Popularity).count() as u64;
+        let misses = served.iter().filter(|s| s.deadline_missed).count() as u64;
+        let mut versions: Vec<u64> = served.iter().map(|s| s.snapshot_version).collect();
+        versions.sort_unstable();
+        versions.dedup();
+        let n_served = served.len() as u64;
+        let wall_s = (report.wall_ns as f64 / 1e9).max(1e-9);
+        let qps = n_served as f64 / wall_s;
+        Self {
+            name: name.to_string(),
+            submitted: stats.submitted,
+            admitted: stats.admitted,
+            served: n_served,
+            rejected: stats.rejected,
+            silent_drops: stats.admitted as i64 - n_served as i64,
+            rung_counts: (exact, cached, pop),
+            shed_frac: if stats.submitted > 0 {
+                stats.rejected as f64 / stats.submitted as f64
+            } else {
+                0.0
+            },
+            deadline_miss_frac: if n_served > 0 { misses as f64 / n_served as f64 } else { 0.0 },
+            p50_ns: percentile(&latencies, 50),
+            p99_ns: percentile(&latencies, 99),
+            qps,
+            qps_per_core: qps / stats.workers.max(1) as f64,
+            panics_recovered: stats.engine.panics_recovered,
+            swaps: stats.swaps,
+            rejected_swaps: stats.rejected_swaps,
+            versions_served: versions,
+        }
+    }
+
+    /// Fraction of served responses per rung: (exact, cached, popularity).
+    pub fn rung_fractions(&self) -> (f64, f64, f64) {
+        let n = self.served.max(1) as f64;
+        (
+            self.rung_counts.0 as f64 / n,
+            self.rung_counts.1 as f64 / n,
+            self.rung_counts.2 as f64 / n,
+        )
+    }
+
+    /// Render as a JSON object (hand-formatted, like the other BENCH
+    /// writers in this workspace).
+    pub fn to_json(&self) -> String {
+        let (fe, fc, fp) = self.rung_fractions();
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"scenario\": \"{}\",\n",
+                "      \"submitted\": {},\n",
+                "      \"admitted\": {},\n",
+                "      \"served\": {},\n",
+                "      \"rejected\": {},\n",
+                "      \"silent_drops\": {},\n",
+                "      \"rung_counts\": {{ \"exact\": {}, \"cached\": {}, \"popularity\": {} }},\n",
+                "      \"rung_fractions\": {{ \"exact\": {:.4}, \"cached\": {:.4}, \"popularity\": {:.4} }},\n",
+                "      \"shed_frac\": {:.4},\n",
+                "      \"deadline_miss_frac\": {:.4},\n",
+                "      \"p50_us\": {:.1},\n",
+                "      \"p99_us\": {:.1},\n",
+                "      \"qps\": {:.1},\n",
+                "      \"qps_per_core\": {:.1},\n",
+                "      \"panics_recovered\": {},\n",
+                "      \"snapshot_swaps\": {},\n",
+                "      \"rejected_swaps\": {},\n",
+                "      \"versions_served\": [{}]\n",
+                "    }}"
+            ),
+            self.name,
+            self.submitted,
+            self.admitted,
+            self.served,
+            self.rejected,
+            self.silent_drops,
+            self.rung_counts.0,
+            self.rung_counts.1,
+            self.rung_counts.2,
+            fe,
+            fc,
+            fp,
+            self.shed_frac,
+            self.deadline_miss_frac,
+            self.p50_ns as f64 / 1e3,
+            self.p99_ns as f64 / 1e3,
+            self.qps,
+            self.qps_per_core,
+            self.panics_recovered,
+            self.swaps,
+            self.rejected_swaps,
+            self.versions_served
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        )
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+pub fn percentile(sorted: &[u64], pct: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as u64 * pct).div_euclid(100) as usize;
+    sorted.get(idx).copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use facility_datagen::FacilityConfig;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&xs, 50), 50);
+        assert_eq!(percentile(&xs, 99), 99);
+        assert_eq!(percentile(&xs, 0), 1);
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 99), 7);
+    }
+
+    #[test]
+    fn replay_preserves_trace_users_and_cycles() {
+        let trace = Trace::generate(&FacilityConfig::tiny(), 3);
+        let n = trace.events.len();
+        let users = replay_users(&trace, n + 5);
+        assert_eq!(users.len(), n + 5);
+        for (i, &u) in users.iter().enumerate() {
+            assert_eq!(u, trace.events[i % n].user, "position {i} replays the trace");
+        }
+    }
+}

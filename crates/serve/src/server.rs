@@ -1,0 +1,429 @@
+//! Admission control and the worker pool.
+//!
+//! The request loop is a *bounded* queue in front of N workers. A full
+//! queue sheds load at the door with a structured [`Rejection`] — the
+//! caller always learns the fate of every submission, nothing is ever
+//! silently dropped. Workers pull from the queue, run the engine's
+//! degradation ladder, and push every completed response into a bounded
+//! channel; an unexpected worker panic is absorbed into a degraded
+//! response rather than killing the thread. Shutdown stops admissions
+//! (further submissions shed as `ShuttingDown`) but drains everything
+//! already admitted, preserving the exactly-one-response-per-admission
+//! invariant end-to-end.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use facility_kg::Id;
+
+use crate::engine::{Engine, EngineCounters, Request, Served};
+use crate::sync;
+
+/// Why a submission was shed instead of admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was full (overload).
+    QueueFull,
+    /// The server is shutting down and admits nothing new.
+    ShuttingDown,
+    /// The user id is outside the snapshot's user range.
+    UnknownUser,
+}
+
+impl ShedReason {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue_full",
+            ShedReason::ShuttingDown => "shutting_down",
+            ShedReason::UnknownUser => "unknown_user",
+        }
+    }
+}
+
+/// Structured load-shed notice: the submission was *not* admitted, and
+/// this is the caller's receipt.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejection {
+    /// The id the submission would have had.
+    pub id: u64,
+    /// The user that was asking.
+    pub user: Id,
+    /// Why admission was refused.
+    pub reason: ShedReason,
+    /// Clock time of the refusal.
+    pub at_ns: u64,
+}
+
+/// The fate of one submission: served (with rung tag) or shed (with
+/// reason) — there is no third outcome.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Admitted and answered by some ladder rung.
+    Served(Served),
+    /// Shed at admission with a structured reason.
+    Rejected(Rejection),
+}
+
+impl Response {
+    /// The submission id this response accounts for.
+    pub fn id(&self) -> u64 {
+        match self {
+            Response::Served(s) => s.id,
+            Response::Rejected(r) => r.id,
+        }
+    }
+
+    /// The served payload, if admitted.
+    pub fn served(&self) -> Option<&Served> {
+        match self {
+            Response::Served(s) => Some(s),
+            Response::Rejected(_) => None,
+        }
+    }
+
+    /// True when this submission was shed.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, Response::Rejected(_))
+    }
+}
+
+/// Worker-pool and queue sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads pulling from the queue (≥ 1).
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it shed (≥ 1).
+    pub queue_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 2, queue_capacity: 64 }
+    }
+}
+
+/// Accounting snapshot; `submitted == admitted + rejected` always, and
+/// after shutdown `completed == admitted` (zero silent drops).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerStats {
+    /// Total submissions seen.
+    pub submitted: u64,
+    /// Submissions admitted to the queue.
+    pub admitted: u64,
+    /// Submissions shed with a structured rejection.
+    pub rejected: u64,
+    /// Admitted requests answered.
+    pub completed: u64,
+    /// Engine-side rung/cache/fault counters.
+    pub engine: EngineCounters,
+    /// Successful snapshot hot-swaps.
+    pub swaps: u64,
+    /// Snapshot swaps rejected by verification.
+    pub rejected_swaps: u64,
+    /// Worker thread count (for QPS/core).
+    pub workers: usize,
+}
+
+impl ServerStats {
+    /// Admitted requests that never produced a response. Must be 0 after
+    /// shutdown; positive values mean the no-silent-drop invariant broke.
+    pub fn silent_drops(&self) -> i64 {
+        self.admitted as i64 - self.completed as i64
+    }
+}
+
+struct Shared {
+    engine: Engine,
+    queue: Mutex<VecDeque<Request>>,
+    not_empty: Condvar,
+    capacity: usize,
+    closing: AtomicBool,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    live_workers: AtomicUsize,
+}
+
+/// A running serving instance: bounded queue, worker pool, response
+/// channel.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    rx: mpsc::Receiver<Response>,
+    n_workers: usize,
+}
+
+impl Server {
+    /// Spawn the worker pool and start serving.
+    pub fn start(engine: Engine, cfg: &ServerConfig) -> Server {
+        let n_workers = cfg.workers.max(1);
+        let capacity = cfg.queue_capacity.max(1);
+        let shared = Arc::new(Shared {
+            engine,
+            // audit: bounded — capacity is enforced by the explicit
+            // `q.len() >= capacity` check in submit().
+            queue: Mutex::new(VecDeque::with_capacity(capacity)),
+            not_empty: Condvar::new(),
+            capacity,
+            closing: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            live_workers: AtomicUsize::new(n_workers),
+        });
+        // Bounded response channel: room for every queueable request plus
+        // one in-flight response per worker. A slow consumer therefore
+        // backpressures workers, fills the queue, and sheds at the door —
+        // load has nowhere to pile up unboundedly.
+        let (tx, rx) = mpsc::sync_channel(capacity + n_workers);
+        let workers = (0..n_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("fkgserve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &tx))
+                    // audit: unwrap — OS refusing a thread at startup is
+                    // unrecoverable; nothing is serving yet.
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Server { shared, workers, rx, n_workers }
+    }
+
+    /// Submit a request for `user`. `Ok(id)` means admitted — exactly one
+    /// [`Response::Served`] with that id will eventually arrive. `Err`
+    /// is the structured shed path; nothing was enqueued.
+    pub fn submit(&self, user: Id) -> Result<u64, Rejection> {
+        let s = &*self.shared;
+        let now = s.engine.now_ns();
+        let id = s.next_id.fetch_add(1, Ordering::Relaxed);
+        s.submitted.fetch_add(1, Ordering::Relaxed);
+        let reject = |reason: ShedReason| {
+            s.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(Rejection { id, user, reason, at_ns: now })
+        };
+        if s.closing.load(Ordering::Acquire) {
+            return reject(ShedReason::ShuttingDown);
+        }
+        if (user as usize) >= s.engine.n_users() {
+            return reject(ShedReason::UnknownUser);
+        }
+        let mut q = sync::lock(&s.queue);
+        if q.len() >= s.capacity {
+            drop(q);
+            return reject(ShedReason::QueueFull);
+        }
+        q.push_back(Request { id, user, arrival_ns: now });
+        drop(q);
+        s.admitted.fetch_add(1, Ordering::Relaxed);
+        s.not_empty.notify_one();
+        Ok(id)
+    }
+
+    /// Next completed response, if one is ready.
+    pub fn try_recv(&self) -> Option<Response> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Next completed response, waiting up to `timeout` (wall time).
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Response> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// The shared scoring engine (for counters, clock, and store access).
+    pub fn engine(&self) -> &Engine {
+        &self.shared.engine
+    }
+
+    /// Current accounting snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let s = &*self.shared;
+        ServerStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            admitted: s.admitted.load(Ordering::Relaxed),
+            rejected: s.rejected.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            engine: s.engine.counters(),
+            swaps: s.engine.store().swaps(),
+            rejected_swaps: s.engine.store().rejected_swaps(),
+            workers: self.n_workers,
+        }
+    }
+
+    /// Stop admitting new requests (they shed as `ShuttingDown`) without
+    /// stopping the workers; already-admitted requests keep draining.
+    pub fn close(&self) {
+        self.shared.closing.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+    }
+
+    /// Stop admissions, drain every admitted request, join the workers,
+    /// and return all not-yet-received responses plus final stats.
+    pub fn shutdown(mut self) -> (Vec<Response>, ServerStats) {
+        self.shared.closing.store(true, Ordering::Release);
+        self.shared.not_empty.notify_all();
+        let mut responses = Vec::new();
+        while self.shared.live_workers.load(Ordering::Acquire) > 0 {
+            if let Ok(r) = self.rx.recv_timeout(Duration::from_millis(5)) {
+                responses.push(r);
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        while let Ok(r) = self.rx.try_recv() {
+            responses.push(r);
+        }
+        let stats = self.stats();
+        (responses, stats)
+    }
+}
+
+fn worker_loop(shared: &Shared, tx: &mpsc::SyncSender<Response>) {
+    /// Decrements the live-worker count however the loop exits.
+    struct Live<'a>(&'a AtomicUsize);
+    impl Drop for Live<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(1, Ordering::Release);
+        }
+    }
+    let _live = Live(&shared.live_workers);
+    loop {
+        let next = {
+            let mut q = sync::lock(&shared.queue);
+            loop {
+                if let Some(r) = q.pop_front() {
+                    break Some(r);
+                }
+                if shared.closing.load(Ordering::Acquire) {
+                    break None;
+                }
+                q = sync::wait(&shared.not_empty, q);
+            }
+        };
+        let Some(req) = next else { return };
+        // handle() already absorbs scoring panics; this outer guard makes
+        // the exactly-one-response invariant structural even against a
+        // panic outside the scoring path.
+        let served = catch_unwind(AssertUnwindSafe(|| shared.engine.handle(&req)))
+            .unwrap_or_else(|_| shared.engine.degraded_response(&req));
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        if tx.send(Response::Served(served)).is_err() {
+            // Receiver gone: the Server value itself was dropped.
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{RealClock, VirtualClock};
+    use crate::engine::DeadlinePolicy;
+    use crate::fault::{FaultConfig, FaultPlan};
+    use crate::snapshot::{ModelSnapshot, SnapshotStore};
+    use facility_linalg::Matrix;
+
+    fn toy_engine(faults: FaultPlan, clock: Arc<dyn crate::clock::Clock>) -> Engine {
+        let users = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let items = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5]);
+        let popularity = vec![(2u32, 5.0), (0, 3.0), (1, 1.0), (3, 0.0)];
+        let store = Arc::new(SnapshotStore::new(ModelSnapshot {
+            model_name: "toy".into(),
+            epoch: 1,
+            users,
+            items,
+            popularity,
+        }));
+        let train: Arc<Vec<Vec<u32>>> = Arc::new(vec![vec![0], vec![], vec![1, 3]]);
+        Engine::new(store, train, DeadlinePolicy { deadline_ns: 1_000_000, k: 2 }, faults, clock)
+    }
+
+    #[test]
+    fn every_admitted_request_is_answered_exactly_once() {
+        let eng = toy_engine(FaultPlan::healthy(), Arc::new(VirtualClock::new()));
+        let server = Server::start(eng, &ServerConfig { workers: 2, queue_capacity: 128 });
+        let mut admitted = Vec::new();
+        for i in 0..60u32 {
+            match server.submit(i % 3) {
+                Ok(id) => admitted.push(id),
+                Err(r) => panic!("unexpected rejection: {r:?}"),
+            }
+        }
+        let (responses, stats) = server.shutdown();
+        assert_eq!(stats.submitted, 60);
+        assert_eq!(stats.admitted, 60);
+        assert_eq!(stats.completed, 60);
+        assert_eq!(stats.silent_drops(), 0);
+        let mut ids: Vec<u64> = responses.iter().map(|r| r.id()).collect();
+        ids.sort_unstable();
+        admitted.sort_unstable();
+        assert_eq!(ids, admitted, "one response per admission, no dupes, no losses");
+    }
+
+    #[test]
+    fn unknown_users_shed_with_structured_reason() {
+        let eng = toy_engine(FaultPlan::healthy(), Arc::new(VirtualClock::new()));
+        let server = Server::start(eng, &ServerConfig::default());
+        let err = server.submit(99).unwrap_err();
+        assert_eq!(err.reason, ShedReason::UnknownUser);
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn overload_sheds_at_the_door_never_silently() {
+        // Real clock + forced 3ms stalls: one worker drains slowly while a
+        // burst of 40 submissions hits a 2-deep queue.
+        let eng = toy_engine(
+            FaultPlan::new(FaultConfig {
+                seed: 5,
+                latency_spike_prob: 1.0,
+                latency_spike_ns: 3_000_000,
+                panic_prob: 0.0,
+            }),
+            Arc::new(RealClock::new()),
+        );
+        let server = Server::start(eng, &ServerConfig { workers: 1, queue_capacity: 2 });
+        let mut rejections = 0u64;
+        for i in 0..40u32 {
+            if let Err(r) = server.submit(i % 3) {
+                assert_eq!(r.reason, ShedReason::QueueFull);
+                rejections += 1;
+            }
+        }
+        let (responses, stats) = server.shutdown();
+        assert!(rejections > 0, "a 2-deep queue must shed under a 40-burst");
+        assert_eq!(stats.rejected, rejections);
+        assert_eq!(stats.admitted + stats.rejected, stats.submitted);
+        assert_eq!(stats.silent_drops(), 0, "every admitted request still answered");
+        assert_eq!(responses.len() as u64, stats.admitted);
+    }
+
+    #[test]
+    fn shutdown_refuses_new_but_drains_admitted() {
+        let eng = toy_engine(FaultPlan::healthy(), Arc::new(VirtualClock::new()));
+        let server = Server::start(eng, &ServerConfig { workers: 1, queue_capacity: 32 });
+        for i in 0..10u32 {
+            server.submit(i % 3).unwrap();
+        }
+        server.close();
+        let late = server.submit(0).unwrap_err();
+        assert_eq!(late.reason, ShedReason::ShuttingDown);
+        let (responses, stats) = server.shutdown();
+        assert_eq!(stats.completed, 10, "queued work drains through shutdown");
+        assert_eq!(responses.len(), 10);
+        assert_eq!(stats.rejected, 1);
+    }
+}

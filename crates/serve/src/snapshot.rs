@@ -1,0 +1,544 @@
+//! Immutable, atomically hot-swappable model snapshots.
+//!
+//! A [`ModelSnapshot`] freezes everything scoring needs — the cached
+//! user/item representation matrices a model builds in `prepare_eval`
+//! (for CKAT these are the layer-concat representations) plus a
+//! popularity prior — into one immutable value. Snapshots persist through
+//! the `facility-ckpt` envelope, so every load re-verifies magic, format
+//! version, and CRC-32; a snapshot that fails verification (or carries
+//! non-finite values) is *rejected* and the previously installed one
+//! keeps serving. Transient I/O failures retry with seeded, jittered
+//! exponential backoff; corruption never retries.
+//!
+//! [`SnapshotStore`] holds the currently-serving snapshot behind an
+//! `RwLock<Arc<…>>`: readers clone the `Arc` (wait-free after the brief
+//! read lock) and keep scoring the snapshot they grabbed even while a
+//! swap installs a successor — a request is always served end-to-end by
+//! exactly one snapshot version.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use facility_ckpt::{self as ckpt, CkptError, Reader, Writer};
+use facility_kg::{Id, Interactions};
+use facility_linalg::Matrix;
+use facility_models::Recommender;
+
+use crate::clock::Clock;
+use crate::fault::splitmix64;
+use crate::sync;
+use crate::ServeError;
+
+/// Payload tag distinguishing serve snapshots from trainer checkpoints
+/// sharing the same envelope.
+const SNAPSHOT_TAG: &str = "serve-snapshot";
+
+/// Snapshot payload layout version.
+const SNAPSHOT_VERSION: u8 = 1;
+
+/// Everything the scoring path needs, frozen at one training point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSnapshot {
+    /// Name of the model that produced the representations.
+    pub model_name: String,
+    /// Training epoch the representations were captured at.
+    pub epoch: u64,
+    /// Per-user representation rows (`n_users × d`).
+    pub users: Matrix,
+    /// Per-item representation rows (`n_items × d`).
+    pub items: Matrix,
+    /// Items ranked by training popularity (count desc, id asc), with the
+    /// raw train count as weight — the ladder's last-resort prior.
+    pub popularity: Vec<(Id, f32)>,
+}
+
+impl ModelSnapshot {
+    /// Freeze a trained model's eval caches into a snapshot.
+    ///
+    /// The model must have run `prepare_eval`; models whose scoring is not
+    /// a cached user·item dot product are rejected as `Unsupported`.
+    pub fn from_model(
+        model: &dyn Recommender,
+        inter: &Interactions,
+        epoch: u64,
+    ) -> Result<Self, ServeError> {
+        let (users, items) = model.eval_matrices().ok_or_else(|| {
+            ServeError::Unsupported(format!(
+                "{} has no cached dot-product representations (missing prepare_eval, or the \
+                 model does not expose eval matrices)",
+                model.name()
+            ))
+        })?;
+        let snap = Self {
+            model_name: model.name(),
+            epoch,
+            users: users.clone(),
+            items: items.clone(),
+            popularity: popularity_rank(inter),
+        };
+        snap.validate()?;
+        Ok(snap)
+    }
+
+    /// Number of users scorable by this snapshot.
+    pub fn n_users(&self) -> usize {
+        self.users.rows()
+    }
+
+    /// Number of items in the catalog.
+    pub fn n_items(&self) -> usize {
+        self.items.rows()
+    }
+
+    /// Scores of all items for `user` by inner product (the exact rung).
+    /// `user` must be `< n_users()`; admission control enforces this.
+    pub fn score_user(&self, user: Id) -> Vec<f32> {
+        let u = self.users.row(user as usize);
+        self.items.iter_rows().map(|v| facility_linalg::matrix::dot(u, v)).collect()
+    }
+
+    /// Top-`k` most popular items not in `exclude` (sorted ascending) —
+    /// the model-free fallback rung.
+    pub fn popularity_top_k(&self, exclude: &[Id], k: usize) -> Vec<(Id, f32)> {
+        self.popularity
+            .iter()
+            .filter(|(id, _)| exclude.binary_search(id).is_err())
+            .take(k)
+            .copied()
+            .collect()
+    }
+
+    /// Structural soundness: finite values, matching shapes, a complete
+    /// popularity ranking. A snapshot failing this is *poisoned* and must
+    /// never be installed.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.users.cols() != self.items.cols() {
+            return Err(ServeError::Poisoned(format!(
+                "user dim {} != item dim {}",
+                self.users.cols(),
+                self.items.cols()
+            )));
+        }
+        for (name, m) in [("users", &self.users), ("items", &self.items)] {
+            if !m.as_slice().iter().all(|v| v.is_finite()) {
+                return Err(ServeError::Poisoned(format!("non-finite value in {name} matrix")));
+            }
+        }
+        if self.popularity.len() != self.items.rows() {
+            return Err(ServeError::Poisoned(format!(
+                "popularity ranks {} items, catalog has {}",
+                self.popularity.len(),
+                self.items.rows()
+            )));
+        }
+        let n = self.items.rows();
+        let mut seen = vec![false; n];
+        for &(id, w) in &self.popularity {
+            let slot = seen.get_mut(id as usize);
+            match slot {
+                Some(s) if !*s && w.is_finite() => *s = true,
+                _ => {
+                    return Err(ServeError::Poisoned(format!(
+                        "popularity entry ({id}, {w}) is out of range, duplicated, or non-finite"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to envelope payload bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_str(SNAPSHOT_TAG);
+        w.put_u8(SNAPSHOT_VERSION);
+        w.put_str(&self.model_name);
+        w.put_u64(self.epoch);
+        w.put_matrix(&self.users);
+        w.put_matrix(&self.items);
+        w.put_u64(self.popularity.len() as u64);
+        for &(id, weight) in &self.popularity {
+            w.put_u32(id);
+            w.put_f32(weight);
+        }
+        w.into_bytes()
+    }
+
+    /// Parse payload bytes written by [`ModelSnapshot::encode`].
+    pub fn decode(payload: &[u8]) -> Result<Self, ServeError> {
+        let mut r = Reader::new(payload);
+        let tag = r.get_str()?;
+        if tag != SNAPSHOT_TAG {
+            return Err(CkptError::Mismatch(format!(
+                "payload tag {tag:?} is not a serve snapshot"
+            ))
+            .into());
+        }
+        let version = r.get_u8()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(CkptError::Version(version).into());
+        }
+        let model_name = r.get_str()?;
+        let epoch = r.get_u64()?;
+        let users = r.get_matrix()?;
+        let items = r.get_matrix()?;
+        let n_pop = r.get_u64()? as usize;
+        if !r.fits(n_pop.saturating_mul(8)) {
+            return Err(CkptError::Format(format!(
+                "popularity list of {n_pop} entries does not fit the remaining payload"
+            ))
+            .into());
+        }
+        let mut popularity = Vec::with_capacity(n_pop);
+        for _ in 0..n_pop {
+            let id = r.get_u32()?;
+            let weight = r.get_f32()?;
+            popularity.push((id, weight));
+        }
+        if !r.is_exhausted() {
+            return Err(CkptError::Format("trailing bytes after snapshot payload".into()).into());
+        }
+        Ok(Self { model_name, epoch, users, items, popularity })
+    }
+
+    /// Persist atomically (tmp + rename) inside the CRC'd envelope.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        ckpt::save_bytes(path, &self.encode())
+    }
+}
+
+/// Items ranked by train-interaction count (desc), ties by id (asc).
+/// Every catalog item appears, so the prior can always fill `k` slots.
+pub fn popularity_rank(inter: &Interactions) -> Vec<(Id, f32)> {
+    let mut counts = vec![0u32; inter.n_items];
+    for &(_, item) in &inter.train_pairs {
+        if let Some(c) = counts.get_mut(item as usize) {
+            *c += 1;
+        }
+    }
+    let mut ranked: Vec<(Id, f32)> =
+        counts.iter().enumerate().map(|(i, &c)| (i as Id, c as f32)).collect();
+    ranked.sort_unstable_by(|a, b| {
+        b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+    });
+    ranked
+}
+
+/// How loads retry on *transient* (I/O) failure. Corruption — bad magic,
+/// version skew, CRC mismatch, truncation, non-finite values — never
+/// retries: re-reading a corrupt file cannot fix it.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts (≥ 1).
+    pub attempts: usize,
+    /// First backoff; doubles each retry.
+    pub base_ns: u64,
+    /// Backoff ceiling.
+    pub max_ns: u64,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { attempts: 4, base_ns: 2_000_000, max_ns: 50_000_000, seed: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based): exponential with
+    /// seeded jitter in `[0, base/2)`, capped at `max_ns`.
+    pub fn backoff_ns(&self, attempt: usize) -> u64 {
+        let exp =
+            self.base_ns.checked_shl(attempt.min(32) as u32).unwrap_or(u64::MAX).min(self.max_ns);
+        let jitter_span = (self.base_ns / 2).max(1);
+        let jitter = splitmix64(self.seed ^ (attempt as u64).wrapping_add(0xA5A5)) % jitter_span;
+        exp.saturating_add(jitter)
+    }
+}
+
+/// Load a snapshot from `path`, verifying envelope CRC/version and
+/// snapshot soundness. No retry — see [`load_snapshot_with_retry`].
+pub fn load_snapshot(path: &Path) -> Result<ModelSnapshot, ServeError> {
+    let payload = ckpt::load_bytes(path)?;
+    let snap = ModelSnapshot::decode(&payload)?;
+    snap.validate()?;
+    Ok(snap)
+}
+
+/// [`load_snapshot`] with jittered-backoff retry on transient I/O
+/// failure. Backoff waits go through `clock`, so tests retry instantly.
+pub fn load_snapshot_with_retry(
+    path: &Path,
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+) -> Result<ModelSnapshot, ServeError> {
+    load_snapshot_with_retry_from(&mut ckpt::load_bytes, path, policy, clock)
+}
+
+/// Retry-loading core with an injectable reader, the hook the fault suite
+/// uses to simulate transient I/O failure without touching a filesystem.
+pub fn load_snapshot_with_retry_from(
+    read: &mut dyn FnMut(&Path) -> Result<Vec<u8>, CkptError>,
+    path: &Path,
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+) -> Result<ModelSnapshot, ServeError> {
+    let attempts = policy.attempts.max(1);
+    let mut attempt = 0usize;
+    loop {
+        let result = read(path).map_err(ServeError::from).and_then(|payload| {
+            let snap = ModelSnapshot::decode(&payload)?;
+            snap.validate()?;
+            Ok(snap)
+        });
+        match result {
+            Ok(snap) => return Ok(snap),
+            Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                clock.wait_ns(policy.backoff_ns(attempt));
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// A snapshot plus the monotonically increasing store version that
+/// installed it — the tag every response carries and the score cache
+/// keys invalidation on.
+#[derive(Debug)]
+pub struct VersionedSnapshot {
+    /// Store-assigned install version (1 for the initial snapshot).
+    pub version: u64,
+    /// The immutable snapshot itself.
+    pub snap: ModelSnapshot,
+}
+
+/// The currently-serving snapshot, hot-swappable without pausing workers.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<VersionedSnapshot>>,
+    next_version: AtomicU64,
+    swaps: AtomicU64,
+    rejected_swaps: AtomicU64,
+}
+
+impl SnapshotStore {
+    /// A store serving `snap` as version 1.
+    pub fn new(snap: ModelSnapshot) -> Self {
+        Self {
+            current: RwLock::new(Arc::new(VersionedSnapshot { version: 1, snap })),
+            next_version: AtomicU64::new(2),
+            swaps: AtomicU64::new(0),
+            rejected_swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The snapshot serving right now. The `Arc` stays valid (and
+    /// immutable) for as long as the caller holds it, across any swaps.
+    pub fn current(&self) -> Arc<VersionedSnapshot> {
+        Arc::clone(&sync::read(&self.current))
+    }
+
+    /// Version of the currently-installed snapshot.
+    pub fn version(&self) -> u64 {
+        sync::read(&self.current).version
+    }
+
+    /// Atomically install an already-validated snapshot; returns its new
+    /// version. In-flight requests keep the version they grabbed.
+    pub fn swap(&self, snap: ModelSnapshot) -> u64 {
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        *sync::write(&self.current) = Arc::new(VersionedSnapshot { version, snap });
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        version
+    }
+
+    /// Load `path` with full verification (+ retry on transient I/O) and
+    /// install it. On *any* failure the currently-installed snapshot
+    /// keeps serving untouched and the rejection is counted — a corrupt
+    /// file can never reach the scoring path.
+    pub fn swap_verified_from(
+        &self,
+        path: &Path,
+        policy: &RetryPolicy,
+        clock: &dyn Clock,
+    ) -> Result<u64, ServeError> {
+        match load_snapshot_with_retry(path, policy, clock) {
+            Ok(snap) => Ok(self.swap(snap)),
+            Err(e) => {
+                self.rejected_swaps.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Successful swaps since construction (initial install not counted).
+    pub fn swaps(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Swap attempts rejected by verification.
+    pub fn rejected_swaps(&self) -> u64 {
+        self.rejected_swaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn toy_snapshot() -> ModelSnapshot {
+        let users = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let items = Matrix::from_vec(4, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.5, 0.5]);
+        let popularity = vec![(2u32, 5.0), (0, 3.0), (1, 1.0), (3, 0.0)];
+        ModelSnapshot { model_name: "toy".into(), epoch: 7, users, items, popularity }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("facility_serve_snapshot_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_is_bitwise() {
+        let snap = toy_snapshot();
+        let decoded = ModelSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(snap, decoded);
+    }
+
+    #[test]
+    fn save_load_verifies_and_roundtrips() {
+        let snap = toy_snapshot();
+        let path = tmp("roundtrip.fks");
+        snap.save(&path).unwrap();
+        let loaded = load_snapshot(&path).unwrap();
+        assert_eq!(snap, loaded);
+    }
+
+    #[test]
+    fn score_user_is_dot_product() {
+        let snap = toy_snapshot();
+        assert_eq!(snap.score_user(2), vec![1.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn popularity_prior_masks_excluded_items() {
+        let snap = toy_snapshot();
+        let top = snap.popularity_top_k(&[0, 2], 2);
+        assert_eq!(top, vec![(1, 1.0), (3, 0.0)]);
+    }
+
+    #[test]
+    fn poisoned_values_are_rejected() {
+        let mut snap = toy_snapshot();
+        snap.users = Matrix::from_vec(3, 2, vec![1.0, f32::NAN, 0.0, 1.0, 1.0, 1.0]);
+        assert!(matches!(snap.validate(), Err(ServeError::Poisoned(_))));
+        // …and a poisoned snapshot saved to disk still fails on load,
+        // even though its CRC is intact.
+        let path = tmp("poisoned.fks");
+        snap.save(&path).unwrap();
+        assert!(matches!(load_snapshot(&path), Err(ServeError::Poisoned(_))));
+    }
+
+    #[test]
+    fn incomplete_popularity_is_rejected() {
+        let mut snap = toy_snapshot();
+        snap.popularity.pop();
+        assert!(matches!(snap.validate(), Err(ServeError::Poisoned(_))));
+        snap.popularity = vec![(0, 1.0), (0, 1.0), (1, 0.0), (2, 0.0)];
+        assert!(matches!(snap.validate(), Err(ServeError::Poisoned(_))));
+    }
+
+    #[test]
+    fn wrong_payload_kind_is_a_mismatch() {
+        let mut w = Writer::new();
+        w.put_str("trainer-checkpoint");
+        let err = ModelSnapshot::decode(&w.into_bytes()).unwrap_err();
+        assert!(matches!(err, ServeError::Ckpt(CkptError::Mismatch(_))), "{err}");
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_io_and_backs_off_deterministically() {
+        let snap = toy_snapshot();
+        let payload = snap.encode();
+        let clock = VirtualClock::new();
+        let policy = RetryPolicy { attempts: 5, base_ns: 1_000, max_ns: 10_000, seed: 9 };
+        let mut calls = 0usize;
+        let mut read = |_: &Path| {
+            calls += 1;
+            if calls <= 2 {
+                Err(CkptError::Io(std::io::Error::other("flaky mount")))
+            } else {
+                Ok(payload.clone())
+            }
+        };
+        let got =
+            load_snapshot_with_retry_from(&mut read, Path::new("virtual.fks"), &policy, &clock)
+                .unwrap();
+        assert_eq!(got, snap);
+        assert_eq!(calls, 3, "two failures then success");
+        let expected_wait = policy.backoff_ns(0) + policy.backoff_ns(1);
+        assert_eq!(clock.now_ns(), expected_wait, "backoff schedule is deterministic");
+    }
+
+    #[test]
+    fn corruption_never_retries() {
+        let clock = VirtualClock::new();
+        let policy = RetryPolicy { attempts: 10, ..RetryPolicy::default() };
+        let mut calls = 0usize;
+        let mut read = |_: &Path| {
+            calls += 1;
+            Err(CkptError::Checksum { expected: 1, actual: 2 })
+        };
+        let err = load_snapshot_with_retry_from(&mut read, Path::new("x.fks"), &policy, &clock)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Ckpt(CkptError::Checksum { .. })));
+        assert_eq!(calls, 1, "corruption must fail fast");
+        assert_eq!(clock.now_ns(), 0, "no backoff for permanent errors");
+    }
+
+    #[test]
+    fn store_swaps_bump_versions_and_keep_old_arcs_alive() {
+        let store = SnapshotStore::new(toy_snapshot());
+        let v1 = store.current();
+        assert_eq!(v1.version, 1);
+        let mut next = toy_snapshot();
+        next.epoch = 8;
+        assert_eq!(store.swap(next), 2);
+        assert_eq!(store.version(), 2);
+        assert_eq!(store.swaps(), 1);
+        // The pre-swap handle still scores the old snapshot.
+        assert_eq!(v1.snap.epoch, 7);
+        assert_eq!(store.current().snap.epoch, 8);
+    }
+
+    #[test]
+    fn corrupt_file_swap_is_rejected_and_old_snapshot_survives() {
+        let snap = toy_snapshot();
+        let path = tmp("swap_corrupt.fks");
+        snap.save(&path).unwrap();
+        let bad = tmp("swap_corrupt_bad.fks");
+        crate::fault::corrupt_flip_byte(&path, &bad, 40).unwrap();
+
+        let store = SnapshotStore::new(snap);
+        let clock = VirtualClock::new();
+        let err = store.swap_verified_from(&bad, &RetryPolicy::default(), &clock).unwrap_err();
+        assert!(matches!(err, ServeError::Ckpt(CkptError::Checksum { .. })), "{err}");
+        assert_eq!(store.version(), 1, "old snapshot keeps serving");
+        assert_eq!(store.rejected_swaps(), 1);
+        assert_eq!(store.swaps(), 0);
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy { attempts: 8, base_ns: 1_000, max_ns: 4_000, seed: 3 };
+        assert!(p.backoff_ns(1) >= 2_000);
+        assert!(p.backoff_ns(6) <= 4_000 + 500, "capped at max + jitter");
+        // Deterministic across calls.
+        assert_eq!(p.backoff_ns(2), p.backoff_ns(2));
+    }
+}

@@ -1,0 +1,31 @@
+//! Poison-recovering wrappers over `std::sync` locks.
+//!
+//! Scoring panics are caught before any serve lock is reacquired, but the
+//! serving path must be structurally panic-free anyway: if a lock ever
+//! *is* poisoned by a stray panic, these helpers recover the inner data
+//! instead of propagating the poison — a poisoned mutex must degrade a
+//! response, never kill a worker.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Lock `m`, recovering the data if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock `l`, recovering from poison.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock `l`, recovering from poison.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Block on `cv` until notified, recovering the guard from poison.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}

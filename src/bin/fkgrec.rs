@@ -16,12 +16,15 @@
 //! Fault tolerance: `--lenient N` skips up to `N` malformed trace rows
 //! (`--verbose` prints the per-file skip summary), `--checkpoint DIR`
 //! writes periodic training checkpoints, and `--resume` continues from the
-//! latest one after an interruption. Read and checkpoint failures exit
-//! with code 1 and a friendly message, never a panic backtrace.
+//! latest one after an interruption. `^C`/`SIGTERM` during `train` stops at
+//! the next epoch boundary and writes a final checkpoint (defaulting to
+//! `<trace>/checkpoints` when `--checkpoint` is absent) so the run resumes
+//! bitwise-identically. Read and checkpoint failures exit with code 1 and
+//! a friendly message, never a panic backtrace.
 
 use facility_kgrec::ckat::{recommend_top_k, report, Experiment, ExperimentConfig};
 use facility_kgrec::datagen::{io as trace_io, stats, FacilityConfig, ReadMode, Trace};
-use facility_kgrec::eval::{latest_checkpoint, train, TrainSettings};
+use facility_kgrec::eval::{install_ctrl_c, latest_checkpoint, train, TrainSettings};
 use facility_kgrec::kg::{CkgStats, SourceMask};
 use facility_kgrec::models::{ModelConfig, ModelKind, TrainContext};
 use facility_kgrec::prelude::seeded_rng;
@@ -67,7 +70,9 @@ fn usage(err: &str) -> ! {
            --checkpoint DIR  write periodic training checkpoints into DIR\n\
            --ckpt-every N    checkpoint cadence in epochs (default 5)\n\
            --resume          continue from the latest checkpoint in --checkpoint DIR\n\
-           --max-retries N   divergence rollback budget (default 2)"
+           --max-retries N   divergence rollback budget (default 2)\n\
+           ^C / SIGTERM      train stops at the next epoch boundary and writes a\n\
+                             final checkpoint (default dir: <trace>/checkpoints)"
     );
     exit(if err.is_empty() { 0 } else { 2 })
 }
@@ -200,6 +205,7 @@ fn settings(opts: &HashMap<String, String>) -> TrainSettings {
         ckpt_dir,
         max_retries: parse_num(get_or(opts, "max-retries", "2"), "--max-retries"),
         lr_backoff: 0.5,
+        stop: None,
     }
 }
 
@@ -254,12 +260,22 @@ fn cmd_train(opts: &HashMap<String, String>) {
     let mask = parse_mask(get_or(opts, "mask", "uug+loc+dkg"));
     let trace = load_trace(opts);
     let exp = experiment_from(trace, mask, 42);
-    let s = settings(opts);
+    let mut s = settings(opts);
+    // An interrupted run should always leave something to resume from:
+    // without --checkpoint, the final interrupt-time checkpoint (and
+    // --resume) default to `<trace>/checkpoints`. Periodic cadence stays
+    // off unless --checkpoint/--ckpt-every asked for it.
+    if s.ckpt_dir.is_none() {
+        s.ckpt_dir = Some(PathBuf::from(get(opts, "trace")).join("checkpoints"));
+    }
+    // ^C / SIGTERM stops at the next epoch boundary with a final
+    // checkpoint instead of killing the process mid-epoch.
+    s.stop = Some(install_ctrl_c());
     let model_config = ModelConfig::default();
+    let ckpt_dir = s.ckpt_dir.clone().unwrap_or_default();
     let run = if flag_set(opts, "resume") {
-        let dir = s.ckpt_dir.clone().unwrap_or_else(|| usage("--resume needs --checkpoint DIR"));
-        let Some(ckpt) = latest_checkpoint(&dir) else {
-            fail(&format_args!("no checkpoint found in {}", dir.display()));
+        let Some(ckpt) = latest_checkpoint(&ckpt_dir) else {
+            fail(&format_args!("no checkpoint found in {}", ckpt_dir.display()));
         };
         eprintln!("resuming from {}", ckpt.display());
         exp.resume_model(kind, &model_config, &s, &ckpt)
@@ -267,6 +283,15 @@ fn cmd_train(opts: &HashMap<String, String>) {
         exp.try_run_model(kind, &model_config, &s)
     };
     let report = run.unwrap_or_else(|e| fail(&e));
+    if report.interrupted {
+        eprintln!(
+            "interrupted — final checkpoint saved; resume with:\n  \
+             fkgrec train --trace {} --model {} --checkpoint {} --resume",
+            get(opts, "trace"),
+            get(opts, "model"),
+            ckpt_dir.display()
+        );
+    }
     if !report.divergences.is_empty() {
         eprintln!(
             "recovered from {} divergence(s) via rollback + lr backoff",

@@ -1,0 +1,455 @@
+//! `fkgserve` — fault-tolerant online serving bench for facility
+//! discovery recommendations.
+//!
+//! ```text
+//! fkgserve bench --facility ooi|gage|tiny [--seed N] [--model NAME]
+//!                [--epochs N] [--requests N] [--workers N] [--queue N]
+//!                [--deadline-us N] [--k N] [--concurrency N]
+//!                [--snapshot-dir DIR] [--out FILE]
+//! fkgserve bench --trace DIR [...]
+//! ```
+//!
+//! `bench` trains a model on the facility trace, freezes two serving
+//! snapshots (an early one and a later one, for the hot-swap scenario),
+//! then replays the heavy-tailed trace against a fresh server under a
+//! suite of scenarios — healthy, latency spikes, injected worker panics,
+//! open-loop overload, a mid-load hot swap, and a mid-load *corrupt* swap
+//! — writing per-scenario latency/QPS/shed/rung numbers to
+//! `BENCH_serve.json`.
+//!
+//! The bench gates itself: any silent drop, a healthy run without exact
+//! responses, or a corrupt snapshot reaching the scoring path exits
+//! nonzero, so CI can run it as a robustness smoke test.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::sync::Arc;
+
+use facility_kgrec::datagen::{io as trace_io, FacilityConfig, ReadMode, Trace};
+use facility_kgrec::kg::{Interactions, SourceMask};
+use facility_kgrec::models::{ModelConfig, ModelKind, Recommender, TrainContext};
+use facility_kgrec::prelude::seeded_rng;
+use facility_kgrec::serve::{
+    drive_closed_loop, drive_closed_loop_with, drive_open_loop, load_snapshot_with_retry,
+    DeadlinePolicy, DriveReport, Engine, FaultConfig, FaultPlan, ModelSnapshot, RealClock,
+    RetryPolicy, ScenarioStats, Server, ServerConfig, SnapshotStore,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage("missing command");
+    };
+    let opts = parse_flags(rest);
+    match cmd.as_str() {
+        "bench" => cmd_bench(&opts),
+        "--help" | "-h" | "help" => usage(""),
+        other => usage(&format!("unknown command `{other}`")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "fkgserve — fault-tolerant online serving bench\n\n\
+         commands:\n\
+           bench  --facility ooi|gage|tiny | --trace DIR\n\
+                  [--seed N]          world + fault seed (default 42)\n\
+                  [--model NAME]      bprmf|cke|ckat (default bprmf)\n\
+                  [--epochs N]        training epochs before snapshot A (default 3)\n\
+                  [--requests N]      submissions per scenario (default 400)\n\
+                  [--workers N]       serving worker threads (default 2)\n\
+                  [--queue N]         bounded admission queue depth (default 32)\n\
+                  [--deadline-us N]   per-request budget in µs (default 500)\n\
+                  [--k N]             items per response (default 20)\n\
+                  [--concurrency N]   closed-loop in-flight window (default 2×workers)\n\
+                  [--snapshot-dir DIR] where snapshot files go (default target/fkgserve)\n\
+                  [--out FILE]        report path (default BENCH_serve.json)\n\n\
+         only models with cached dot-product representations can serve\n\
+         (bprmf, cke, ckat); exit code is nonzero if any robustness\n\
+         invariant breaks mid-bench."
+    );
+    exit(if err.is_empty() { 0 } else { 2 })
+}
+
+/// Exit with a one-line friendly message and code 1 — serving-bench
+/// failures must never surface as panic backtraces.
+fn fail(msg: &dyn std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    exit(1)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(key) = flag.strip_prefix("--") else {
+            usage(&format!("expected a --flag, got `{flag}`"));
+        };
+        let Some(value) = it.next() else {
+            usage(&format!("--{key} needs a value"));
+        };
+        map.insert(key.to_string(), value.clone());
+    }
+    map
+}
+
+fn get_or<'a>(opts: &'a HashMap<String, String>, key: &str, default: &'a str) -> &'a str {
+    opts.get(key).map(String::as_str).unwrap_or(default)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> T {
+    s.parse().unwrap_or_else(|_| usage(&format!("bad {what}: `{s}`")))
+}
+
+/// Everything one scenario needs to build a fresh server.
+struct BenchWorld {
+    trace: Trace,
+    inter: Interactions,
+    snap_a_path: PathBuf,
+    snap_b_path: PathBuf,
+    corrupt_paths: Vec<PathBuf>,
+    policy: DeadlinePolicy,
+    server_cfg: ServerConfig,
+    seed: u64,
+}
+
+impl BenchWorld {
+    /// Fresh server for one scenario: the snapshot is re-loaded from disk
+    /// through the full verification + retry path every time.
+    fn server(&self, faults: FaultConfig, cfg: &ServerConfig) -> Server {
+        let clock: Arc<RealClock> = Arc::new(RealClock::new());
+        let snap = load_snapshot_with_retry(&self.snap_a_path, &RetryPolicy::default(), &*clock)
+            .unwrap_or_else(|e| fail(&e));
+        let store = Arc::new(SnapshotStore::new(snap));
+        let train = Arc::new(self.inter.train.clone());
+        let engine = Engine::new(store, train, self.policy, FaultPlan::new(faults), clock);
+        Server::start(engine, cfg)
+    }
+
+    fn healthy_faults(&self) -> FaultConfig {
+        FaultConfig {
+            seed: self.seed,
+            latency_spike_prob: 0.0,
+            latency_spike_ns: 0,
+            panic_prob: 0.0,
+        }
+    }
+}
+
+fn cmd_bench(opts: &HashMap<String, String>) {
+    let seed: u64 = parse_num(get_or(opts, "seed", "42"), "--seed");
+    let model_name = get_or(opts, "model", "bprmf");
+    let kind = match model_name {
+        "bprmf" => ModelKind::Bprmf,
+        "cke" => ModelKind::Cke,
+        "ckat" => ModelKind::Ckat,
+        other => usage(&format!("model `{other}` cannot serve (needs dot-product reprs)")),
+    };
+    let epochs: usize = parse_num(get_or(opts, "epochs", "3"), "--epochs");
+    let requests: usize = parse_num(get_or(opts, "requests", "400"), "--requests");
+    let workers: usize = parse_num(get_or(opts, "workers", "2"), "--workers");
+    let queue: usize = parse_num(get_or(opts, "queue", "32"), "--queue");
+    let deadline_us: u64 = parse_num(get_or(opts, "deadline-us", "500"), "--deadline-us");
+    let k: usize = parse_num(get_or(opts, "k", "20"), "--k");
+    let default_conc = (workers * 2).to_string();
+    let concurrency: usize = parse_num(get_or(opts, "concurrency", &default_conc), "--concurrency");
+    let snap_dir = PathBuf::from(get_or(opts, "snapshot-dir", "target/fkgserve"));
+    let out = PathBuf::from(get_or(opts, "out", "BENCH_serve.json"));
+
+    // --- world ---
+    let trace = match opts.get("trace") {
+        Some(dir) => match trace_io::read_trace_with(Path::new(dir), ReadMode::Strict) {
+            Ok((trace, _)) => trace,
+            Err(e) => fail(&format_args!("failed to read trace at {dir}: {e}")),
+        },
+        None => {
+            let facility = match get_or(opts, "facility", "tiny") {
+                "ooi" => FacilityConfig::ooi(),
+                "gage" => FacilityConfig::gage(),
+                "tiny" => FacilityConfig::tiny(),
+                other => usage(&format!("unknown facility `{other}` (ooi|gage|tiny)")),
+            };
+            Trace::generate(&facility, seed)
+        }
+    };
+    let mut rng = seeded_rng(seed ^ 0x517);
+    let inter = trace.split_interactions(0.2, &mut rng);
+    let mut builder = trace.ckg_builder(4);
+    builder.add_interactions(&inter.train_pairs);
+    let ckg = builder.build(SourceMask::all());
+    let ctx = TrainContext { inter: &inter, ckg: &ckg };
+
+    // --- train + freeze two snapshots ---
+    eprintln!(
+        "training {model_name} on {} ({} users, {} items) for {epochs}+2 epochs…",
+        trace.config.name, inter.n_users, inter.n_items
+    );
+    let mut model = kind.build(&ctx, &ModelConfig::fast());
+    let mut train_rng = seeded_rng(seed);
+    for _ in 0..epochs {
+        model.train_epoch(&ctx, &mut train_rng);
+    }
+    let snap_a = freeze(model.as_mut(), &ctx, &inter, epochs as u64);
+    for _ in 0..2 {
+        model.train_epoch(&ctx, &mut train_rng);
+    }
+    let snap_b = freeze(model.as_mut(), &ctx, &inter, epochs as u64 + 2);
+
+    std::fs::create_dir_all(&snap_dir)
+        .unwrap_or_else(|e| fail(&format_args!("cannot create {}: {e}", snap_dir.display())));
+    let snap_a_path = snap_dir.join("snapshot_a.fks");
+    let snap_b_path = snap_dir.join("snapshot_b.fks");
+    snap_a.save(&snap_a_path).unwrap_or_else(|e| fail(&e));
+    snap_b.save(&snap_b_path).unwrap_or_else(|e| fail(&e));
+
+    // Corrupted siblings of snapshot A for the corrupt-swap scenario.
+    let truncated = snap_dir.join("snapshot_truncated.fks");
+    let flipped = snap_dir.join("snapshot_flipped.fks");
+    let future = snap_dir.join("snapshot_future_version.fks");
+    facility_kgrec::serve::corrupt_truncate(&snap_a_path, &truncated, 64)
+        .unwrap_or_else(|e| fail(&e));
+    facility_kgrec::serve::corrupt_flip_byte(&snap_a_path, &flipped, 200)
+        .unwrap_or_else(|e| fail(&e));
+    facility_kgrec::serve::corrupt_version(&snap_a_path, &future).unwrap_or_else(|e| fail(&e));
+
+    let world = BenchWorld {
+        trace,
+        inter,
+        snap_a_path,
+        snap_b_path,
+        corrupt_paths: vec![truncated, flipped, future],
+        policy: DeadlinePolicy { deadline_ns: deadline_us * 1_000, k },
+        server_cfg: ServerConfig { workers, queue_capacity: queue },
+        seed,
+    };
+
+    // --- scenarios ---
+    let mut scenarios: Vec<ScenarioStats> = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
+    let users = facility_kgrec::serve::replay_users(&world.trace, requests);
+    if users.is_empty() {
+        fail(&"trace has no events to replay");
+    }
+
+    // A panic inside a worker is injected and absorbed by design; keep the
+    // default hook from spraying backtraces over the bench output.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let base_cfg = world.server_cfg;
+    scenarios.push(run_scenario("healthy", &world, world.healthy_faults(), &base_cfg, |server| {
+        drive_closed_loop(server, &users, concurrency)
+    }));
+
+    scenarios.push(run_scenario(
+        "latency_spikes",
+        &world,
+        FaultConfig {
+            seed: seed ^ 1,
+            latency_spike_prob: 0.30,
+            latency_spike_ns: 4 * deadline_us * 1_000,
+            panic_prob: 0.0,
+        },
+        &base_cfg,
+        |server| drive_closed_loop(server, &users, concurrency),
+    ));
+
+    scenarios.push(run_scenario(
+        "worker_panics",
+        &world,
+        FaultConfig {
+            seed: seed ^ 2,
+            latency_spike_prob: 0.0,
+            latency_spike_ns: 0,
+            panic_prob: 0.05,
+        },
+        &base_cfg,
+        |server| drive_closed_loop(server, &users, concurrency),
+    ));
+
+    scenarios.push(run_scenario(
+        "open_loop_paced",
+        &world,
+        FaultConfig {
+            seed: seed ^ 3,
+            latency_spike_prob: 0.50,
+            latency_spike_ns: 2 * deadline_us * 1_000,
+            panic_prob: 0.0,
+        },
+        &base_cfg,
+        |server| drive_open_loop(server, &users, (deadline_us * 1_000) / 8),
+    ));
+
+    // Arrivals paced faster than a single spiking worker behind a
+    // deliberately tiny queue can drain: admission control must shed the
+    // overflow structurally.
+    scenarios.push(run_scenario(
+        "overload_shed",
+        &world,
+        FaultConfig {
+            seed: seed ^ 4,
+            latency_spike_prob: 0.6,
+            latency_spike_ns: 4 * deadline_us * 1_000,
+            panic_prob: 0.0,
+        },
+        &ServerConfig { workers: 1, queue_capacity: queue.min(4) },
+        |server| drive_open_loop(server, &users, (deadline_us * 1_000) / 8),
+    ));
+
+    scenarios.push(run_scenario("hot_swap", &world, world.healthy_faults(), &base_cfg, |server| {
+        let store = Arc::clone(server.engine().store());
+        let swap_at = users.len() / 2;
+        let path = world.snap_b_path.clone();
+        drive_closed_loop_with(server, &users, concurrency, move |i| {
+            if i == swap_at {
+                store
+                    .swap_verified_from(&path, &RetryPolicy::default(), &RealClock::new())
+                    .unwrap_or_else(|e| fail(&e));
+            }
+        })
+    }));
+
+    scenarios.push(run_scenario(
+        "corrupt_swap",
+        &world,
+        world.healthy_faults(),
+        &base_cfg,
+        |server| {
+            let store = Arc::clone(server.engine().store());
+            let swap_at = users.len() / 2;
+            let paths = world.corrupt_paths.clone();
+            drive_closed_loop_with(server, &users, concurrency, move |i| {
+                if i == swap_at {
+                    for p in &paths {
+                        let swapped =
+                            store.swap_verified_from(p, &RetryPolicy::default(), &RealClock::new());
+                        if swapped.is_ok() {
+                            fail(&format_args!("corrupt snapshot {} was accepted", p.display()));
+                        }
+                    }
+                }
+            })
+        },
+    ));
+
+    std::panic::set_hook(prev_hook);
+
+    // --- gate ---
+    for s in &scenarios {
+        if s.silent_drops != 0 {
+            violations.push(format!("{}: {} silent drops", s.name, s.silent_drops));
+        }
+        if s.submitted != s.served + s.rejected + s.silent_drops.unsigned_abs() {
+            violations.push(format!(
+                "{}: accounting broke ({} submitted != {} served + {} rejected)",
+                s.name, s.submitted, s.served, s.rejected
+            ));
+        }
+    }
+    if let Some(h) = scenarios.iter().find(|s| s.name == "healthy") {
+        if h.rung_counts.0 == 0 {
+            violations.push("healthy: no exact-rung responses at all".into());
+        }
+    }
+    if let Some(o) = scenarios.iter().find(|s| s.name == "overload_shed") {
+        if o.rejected == 0 {
+            violations.push("overload_shed: burst overload never shed".into());
+        }
+    }
+    if let Some(c) = scenarios.iter().find(|s| s.name == "corrupt_swap") {
+        if c.rejected_swaps != 3 || c.versions_served != vec![1] {
+            violations.push(format!(
+                "corrupt_swap: expected 3 rejected swaps and only version 1 serving, got {} and {:?}",
+                c.rejected_swaps, c.versions_served
+            ));
+        }
+    }
+    if let Some(h) = scenarios.iter().find(|s| s.name == "hot_swap") {
+        if h.swaps != 1 || !h.versions_served.contains(&2) {
+            violations.push(format!(
+                "hot_swap: expected 1 swap with version 2 serving, got {} and {:?}",
+                h.swaps, h.versions_served
+            ));
+        }
+    }
+
+    // --- report ---
+    let body = scenarios.iter().map(ScenarioStats::to_json).collect::<Vec<_>>().join(",\n");
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"fkgserve\",\n",
+            "  \"facility\": \"{}\",\n",
+            "  \"model\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"requests_per_scenario\": {},\n",
+            "  \"workers\": {},\n",
+            "  \"queue_capacity\": {},\n",
+            "  \"deadline_us\": {},\n",
+            "  \"k\": {},\n",
+            "  \"scenarios\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        world.trace.config.name, model_name, seed, requests, workers, queue, deadline_us, k, body
+    );
+    std::fs::write(&out, &json)
+        .unwrap_or_else(|e| fail(&format_args!("cannot write {}: {e}", out.display())));
+    eprintln!("wrote {}", out.display());
+
+    for s in &scenarios {
+        let (fe, fc, fp) = s.rung_fractions();
+        eprintln!(
+            "  {:<18} served {:>5}/{:<5} shed {:>5.1}%  rungs e/c/p {:>4.0}/{:.0}/{:.0}%  \
+             p50 {:>7.1}µs  p99 {:>8.1}µs  qps {:>8.0}",
+            s.name,
+            s.served,
+            s.submitted,
+            s.shed_frac * 100.0,
+            fe * 100.0,
+            fc * 100.0,
+            fp * 100.0,
+            s.p50_ns as f64 / 1e3,
+            s.p99_ns as f64 / 1e3,
+            s.qps,
+        );
+    }
+
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("ROBUSTNESS VIOLATION: {v}");
+        }
+        exit(1);
+    }
+    eprintln!("all robustness invariants held");
+}
+
+/// Run `prepare_eval` and freeze the model's serving snapshot.
+fn freeze(
+    model: &mut dyn Recommender,
+    ctx: &TrainContext<'_>,
+    inter: &Interactions,
+    epoch: u64,
+) -> ModelSnapshot {
+    model.prepare_eval(ctx);
+    ModelSnapshot::from_model(model, inter, epoch).unwrap_or_else(|e| fail(&e))
+}
+
+/// Build a fresh server, drive it with `drive`, shut down, and fold the
+/// responses + final stats into one [`ScenarioStats`] row.
+fn run_scenario(
+    name: &str,
+    world: &BenchWorld,
+    faults: FaultConfig,
+    cfg: &ServerConfig,
+    drive: impl FnOnce(&Server) -> DriveReport,
+) -> ScenarioStats {
+    let server = world.server(faults, cfg);
+    let mut report = drive(&server);
+    let (stragglers, stats) = server.shutdown();
+    report.responses.extend(stragglers);
+    ScenarioStats::collect(name, &report, &stats)
+}

@@ -17,6 +17,7 @@ pub use facility_eval as eval;
 pub use facility_kg as kg;
 pub use facility_linalg as linalg;
 pub use facility_models as models;
+pub use facility_serve as serve;
 pub use facility_tsne as tsne;
 
 /// Convenience prelude bringing the most common types into scope.

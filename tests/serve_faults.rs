@@ -1,0 +1,542 @@
+//! Fault-injection suite for the online serving layer.
+//!
+//! Acceptance criteria exercised here, end to end on a real trained
+//! snapshot rather than toy matrices:
+//!
+//! - **No silent drops**: under every fault scenario (latency spikes,
+//!   injected worker panics, corrupt snapshot swaps, queue overload) every
+//!   submission is answered with exactly one rung-tagged response or a
+//!   structured rejection.
+//! - **Hot swap fidelity**: a mid-load snapshot swap yields responses that
+//!   are bitwise identical to offline `rank_top_k` on whichever snapshot
+//!   version served them.
+//! - **Verified swaps**: corrupt snapshot files are rejected at swap time
+//!   and the previous snapshot keeps serving, bit-for-bit.
+//! - **Deterministic recovery**: the retry loader backs off through the
+//!   injected clock with seeded jitter and retries transient I/O only.
+
+use std::cell::Cell;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, OnceLock};
+
+use facility_kgrec::datagen::{FacilityConfig, Trace};
+use facility_kgrec::eval::rank_top_k;
+use facility_kgrec::kg::{Id, SourceMask};
+use facility_kgrec::models::{ModelConfig, ModelKind, TrainContext};
+use facility_kgrec::prelude::seeded_rng;
+use facility_kgrec::serve::{
+    corrupt_flip_byte, corrupt_truncate, corrupt_version, drive_closed_loop,
+    drive_closed_loop_with, load_snapshot_with_retry_from, Clock, DeadlinePolicy, Engine,
+    FaultConfig, FaultPlan, ModelSnapshot, RealClock, Response, RetryPolicy, Rung, Server,
+    ServerConfig, ServerStats, ShedReason, SnapshotStore, VirtualClock,
+};
+
+use facility_kgrec::ckpt::CkptError;
+
+const SEED: u64 = 0xFAC1_117;
+const K: usize = 10;
+/// Deadline long enough that virtual-clock runs never degrade unless a
+/// fault injects virtual latency.
+const AMPLE_NS: u64 = u64::MAX / 4;
+
+/// A trained model frozen at two different epochs, shared by every test.
+struct World {
+    train: Vec<Vec<Id>>,
+    snap_a: ModelSnapshot,
+    snap_b: ModelSnapshot,
+}
+
+static WORLD: OnceLock<World> = OnceLock::new();
+
+fn world() -> &'static World {
+    WORLD.get_or_init(|| {
+        let trace = Trace::generate(&FacilityConfig::tiny(), SEED);
+        let inter = trace.split_interactions(0.2, &mut seeded_rng(SEED ^ 0x517));
+        let mut builder = trace.ckg_builder(4);
+        builder.add_interactions(&inter.train_pairs);
+        let ckg = builder.build(SourceMask::all());
+        let ctx = TrainContext { inter: &inter, ckg: &ckg };
+        let mut model = ModelKind::Bprmf.build(&ctx, &ModelConfig::fast());
+        let mut rng = seeded_rng(SEED);
+        for _ in 0..3 {
+            model.train_epoch(&ctx, &mut rng);
+        }
+        model.prepare_eval(&ctx);
+        let snap_a = ModelSnapshot::from_model(model.as_ref(), &inter, 3).expect("snapshot A");
+        for _ in 0..2 {
+            model.train_epoch(&ctx, &mut rng);
+        }
+        model.prepare_eval(&ctx);
+        let snap_b = ModelSnapshot::from_model(model.as_ref(), &inter, 5).expect("snapshot B");
+        assert_ne!(snap_a, snap_b, "the two frozen epochs must differ for swap tests");
+        World { train: inter.train.clone(), snap_a, snap_b }
+    })
+}
+
+fn request_stream(n: usize) -> Vec<Id> {
+    let n_users = world().snap_a.n_users() as u32;
+    (0..n as u32).map(|i| i % n_users).collect()
+}
+
+fn start_server(
+    snap: &ModelSnapshot,
+    faults: FaultPlan,
+    deadline_ns: u64,
+    clock: Arc<dyn Clock>,
+    cfg: &ServerConfig,
+) -> Server {
+    let w = world();
+    let store = Arc::new(SnapshotStore::new(snap.clone()));
+    let engine = Engine::new(
+        store,
+        Arc::new(w.train.clone()),
+        DeadlinePolicy { deadline_ns, k: K },
+        faults,
+        clock,
+    );
+    Server::start(engine, cfg)
+}
+
+/// Silence the default panic hook while `f` runs so injected worker
+/// panics don't spam the test output, then restore it. The hook is
+/// process-global, so concurrent panic-injecting tests serialize here.
+fn quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    use std::sync::Mutex;
+    static HOOK: Mutex<()> = Mutex::new(());
+    let guard = HOOK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    drop(guard);
+    out
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("facility_serve_faults").join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// The no-silent-drops contract: one response per submission, distinct
+/// ids, and the server's own accounting closes.
+fn assert_fully_accounted(submitted: usize, responses: &[Response], stats: &ServerStats) {
+    assert_eq!(responses.len(), submitted, "one response per submission");
+    let mut ids: Vec<u64> = responses.iter().map(Response::id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), submitted, "response ids must be distinct");
+    assert_eq!(stats.submitted, submitted as u64);
+    assert_eq!(stats.submitted, stats.admitted + stats.rejected, "admission accounting");
+    assert_eq!(stats.silent_drops(), 0, "every admitted request must be answered");
+}
+
+/// Offline ground truth for the exact rung on a given snapshot.
+fn expected_exact(snap: &ModelSnapshot, user: Id) -> Vec<(Id, f32)> {
+    rank_top_k(&snap.score_user(user), &world().train[user as usize], K)
+}
+
+fn bits(items: &[(Id, f32)]) -> Vec<(Id, u32)> {
+    items.iter().map(|&(id, s)| (id, s.to_bits())).collect()
+}
+
+#[test]
+fn every_fault_scenario_answers_every_submission_with_a_tagged_rung() {
+    let w = world();
+    let scenarios: Vec<(&str, FaultConfig)> = vec![
+        ("healthy", FaultConfig::healthy()),
+        (
+            "latency_spikes",
+            FaultConfig {
+                seed: SEED ^ 1,
+                latency_spike_prob: 0.4,
+                latency_spike_ns: 2_000_000,
+                panic_prob: 0.0,
+            },
+        ),
+        (
+            "worker_panics",
+            FaultConfig {
+                seed: SEED ^ 2,
+                latency_spike_prob: 0.0,
+                latency_spike_ns: 0,
+                panic_prob: 0.25,
+            },
+        ),
+        (
+            "mixed",
+            FaultConfig {
+                seed: SEED ^ 3,
+                latency_spike_prob: 0.3,
+                latency_spike_ns: 2_000_000,
+                panic_prob: 0.1,
+            },
+        ),
+    ];
+    quiet_panics(|| {
+        for (name, cfg) in scenarios {
+            let users = request_stream(150);
+            let server = start_server(
+                &w.snap_a,
+                FaultPlan::new(cfg),
+                1_000_000, // 1ms: spikes blow the budget, clean requests fit
+                Arc::new(VirtualClock::new()),
+                &ServerConfig { workers: 2, queue_capacity: 64 },
+            );
+            let report = drive_closed_loop(&server, &users, 8);
+            let (stragglers, stats) = server.shutdown();
+            let mut responses = report.responses;
+            responses.extend(stragglers);
+            assert_fully_accounted(users.len(), &responses, &stats);
+            let mut tagged = 0u64;
+            for resp in &responses {
+                let served = resp
+                    .served()
+                    .unwrap_or_else(|| panic!("[{name}] nothing should be shed: {resp:?}"));
+                assert!(!served.rung.label().is_empty());
+                assert_eq!(served.snapshot_version, 1, "[{name}] no swap happened");
+                tagged += 1;
+            }
+            assert_eq!(tagged, users.len() as u64);
+            let counters = &stats.engine;
+            assert_eq!(
+                counters.exact + counters.cached + counters.popularity,
+                users.len() as u64,
+                "[{name}] every response came off exactly one ladder rung"
+            );
+            if name == "worker_panics" || name == "mixed" {
+                assert!(
+                    counters.panics_recovered > 0,
+                    "[{name}] the injected panics must actually fire"
+                );
+                let recovered =
+                    responses.iter().filter(|r| r.served().is_some_and(|s| s.recovered_panic));
+                assert_eq!(recovered.count() as u64, counters.panics_recovered);
+            }
+            if name == "healthy" {
+                assert_eq!(counters.exact, users.len() as u64, "healthy run stays on exact");
+                assert_eq!(counters.panics_recovered, 0);
+                assert_eq!(counters.deadline_misses, 0);
+            }
+        }
+    });
+}
+
+#[test]
+fn same_seed_fault_replay_is_deterministic() {
+    let w = world();
+    let faulty = FaultConfig {
+        seed: SEED ^ 7,
+        latency_spike_prob: 0.5,
+        latency_spike_ns: 3_000_000,
+        panic_prob: 0.15,
+    };
+    let run = || {
+        let users = request_stream(80);
+        let server = start_server(
+            &w.snap_a,
+            FaultPlan::new(faulty),
+            1_000_000,
+            Arc::new(VirtualClock::new()),
+            &ServerConfig { workers: 1, queue_capacity: 64 },
+        );
+        let report = drive_closed_loop(&server, &users, 1);
+        let (stragglers, stats) = server.shutdown();
+        assert!(stragglers.is_empty(), "concurrency-1 drive leaves nothing in flight");
+        assert_fully_accounted(users.len(), &report.responses, &stats);
+        report
+            .responses
+            .iter()
+            .map(|r| {
+                let s = r.served().expect("nothing shed at concurrency 1");
+                (
+                    s.id,
+                    s.user,
+                    s.rung.label(),
+                    s.snapshot_version,
+                    s.recovered_panic,
+                    bits(&s.items),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    let (a, b) = quiet_panics(|| (run(), run()));
+    assert_eq!(a, b, "same seed + virtual clock must replay bitwise-identically");
+}
+
+#[test]
+fn injected_panics_always_degrade_and_never_drop() {
+    let w = world();
+    let always_panic = FaultConfig {
+        seed: SEED ^ 11,
+        latency_spike_prob: 0.0,
+        latency_spike_ns: 0,
+        panic_prob: 1.0,
+    };
+    quiet_panics(|| {
+        let users = request_stream(40);
+        let server = start_server(
+            &w.snap_a,
+            FaultPlan::new(always_panic),
+            AMPLE_NS,
+            Arc::new(VirtualClock::new()),
+            &ServerConfig { workers: 2, queue_capacity: 64 },
+        );
+        let report = drive_closed_loop(&server, &users, 4);
+        let (stragglers, stats) = server.shutdown();
+        let mut responses = report.responses;
+        responses.extend(stragglers);
+        assert_fully_accounted(users.len(), &responses, &stats);
+        for resp in &responses {
+            let s = resp.served().expect("panics must degrade, not shed");
+            assert!(s.recovered_panic, "every response rode the recovery path");
+            assert!(
+                matches!(s.rung, Rung::Popularity),
+                "no exact rung ever succeeded, so no cache entry exists"
+            );
+            assert_eq!(
+                bits(&s.items),
+                bits(&w.snap_a.popularity_top_k(&w.train[s.user as usize], K)),
+                "the popularity prior itself stays deterministic"
+            );
+        }
+        assert_eq!(stats.engine.panics_recovered, users.len() as u64);
+        assert_eq!(stats.engine.exact, 0);
+    });
+}
+
+#[test]
+fn corrupt_swaps_are_rejected_and_the_previous_snapshot_keeps_serving() {
+    let w = world();
+    let dir = fresh_dir("corrupt_swaps");
+    let good = dir.join("snap_a.fkc");
+    w.snap_a.save(&good).expect("save snapshot A");
+    let truncated = dir.join("truncated.fkc");
+    let flipped = dir.join("flipped.fkc");
+    let skewed = dir.join("skewed.fkc");
+    corrupt_truncate(&good, &truncated, 64).expect("make truncated copy");
+    corrupt_flip_byte(&good, &flipped, 40).expect("make bit-flipped copy");
+    corrupt_version(&good, &skewed).expect("make version-skewed copy");
+
+    let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+    let server = start_server(
+        &w.snap_a,
+        FaultPlan::healthy(),
+        AMPLE_NS,
+        Arc::clone(&clock),
+        &ServerConfig { workers: 1, queue_capacity: 64 },
+    );
+    let users = request_stream(40);
+    let policy = RetryPolicy { attempts: 3, base_ns: 1_000, max_ns: 8_000, seed: SEED };
+    let report = drive_closed_loop_with(&server, &users, 1, |i| {
+        if i == users.len() / 2 {
+            for corrupt in [&truncated, &flipped, &skewed] {
+                let err = server
+                    .engine()
+                    .store()
+                    .swap_verified_from(corrupt, &policy, clock.as_ref())
+                    .expect_err("corrupt snapshot must be rejected at swap time");
+                assert!(!err.is_transient(), "corruption is permanent, not retryable: {err}");
+            }
+        }
+    });
+    assert_eq!(server.engine().store().version(), 1);
+    let (stragglers, stats) = server.shutdown();
+    assert!(stragglers.is_empty());
+    assert_fully_accounted(users.len(), &report.responses, &stats);
+    assert_eq!(stats.rejected_swaps, 3, "all three corruptions counted as rejected");
+    assert_eq!(stats.swaps, 0, "no corrupt file may ever install");
+    for resp in &report.responses {
+        let s = resp.served().expect("healthy run sheds nothing");
+        assert_eq!(s.snapshot_version, 1);
+        assert!(matches!(s.rung, Rung::Exact));
+        assert_eq!(
+            bits(&s.items),
+            bits(&expected_exact(&w.snap_a, s.user)),
+            "serving through three rejected swaps stays bitwise-faithful to snapshot A"
+        );
+    }
+}
+
+#[test]
+fn hot_swap_mid_load_is_bitwise_faithful_to_each_version() {
+    let w = world();
+    let dir = fresh_dir("hot_swap");
+    let path_b = dir.join("snap_b.fkc");
+    w.snap_b.save(&path_b).expect("save snapshot B");
+
+    let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+    let server = start_server(
+        &w.snap_a,
+        FaultPlan::healthy(),
+        AMPLE_NS,
+        Arc::clone(&clock),
+        &ServerConfig { workers: 1, queue_capacity: 64 },
+    );
+    let users = request_stream(60);
+    let policy = RetryPolicy { attempts: 2, base_ns: 1_000, max_ns: 8_000, seed: SEED };
+    let mid = users.len() / 2;
+    let report = drive_closed_loop_with(&server, &users, 1, |i| {
+        if i == mid {
+            let version = server
+                .engine()
+                .store()
+                .swap_verified_from(&path_b, &policy, clock.as_ref())
+                .expect("verified swap of a sound snapshot succeeds");
+            assert_eq!(version, 2);
+        }
+    });
+    let (stragglers, stats) = server.shutdown();
+    assert!(stragglers.is_empty());
+    assert_fully_accounted(users.len(), &report.responses, &stats);
+    assert_eq!(stats.swaps, 1);
+    assert_eq!(stats.rejected_swaps, 0);
+
+    let (mut before, mut after) = (0usize, 0usize);
+    for resp in &report.responses {
+        let s = resp.served().expect("healthy run sheds nothing");
+        let expected = match s.snapshot_version {
+            1 => {
+                before += 1;
+                expected_exact(&w.snap_a, s.user)
+            }
+            2 => {
+                after += 1;
+                expected_exact(&w.snap_b, s.user)
+            }
+            v => panic!("unexpected snapshot version {v}"),
+        };
+        assert!(matches!(s.rung, Rung::Exact));
+        assert_eq!(
+            bits(&s.items),
+            bits(&expected),
+            "request {} must match the snapshot version that served it",
+            s.id
+        );
+    }
+    assert_eq!(before, mid, "requests before the swap rode version 1");
+    assert_eq!(after, users.len() - mid, "requests after the swap rode version 2");
+}
+
+#[test]
+fn overload_sheds_with_structured_rejections_never_silently() {
+    let w = world();
+    // Real clock + guaranteed latency spikes: the single worker is slow in
+    // wall time, so the tiny admission queue actually fills.
+    let slow = FaultConfig {
+        seed: SEED ^ 13,
+        latency_spike_prob: 1.0,
+        latency_spike_ns: 1_000_000,
+        panic_prob: 0.0,
+    };
+    let users = request_stream(60);
+    let server = start_server(
+        &w.snap_a,
+        FaultPlan::new(slow),
+        AMPLE_NS, // ample deadline keeps every request on the slow exact rung
+        Arc::new(RealClock::new()),
+        &ServerConfig { workers: 1, queue_capacity: 2 },
+    );
+    let report = drive_closed_loop(&server, &users, 16);
+    let (stragglers, stats) = server.shutdown();
+    let mut responses = report.responses;
+    responses.extend(stragglers);
+    assert_fully_accounted(users.len(), &responses, &stats);
+    assert!(stats.rejected > 0, "the overload must actually shed");
+    assert!(stats.admitted > 0, "shedding everything would prove nothing");
+    for resp in &responses {
+        match resp {
+            Response::Served(s) => assert!(!s.rung.label().is_empty()),
+            Response::Rejected(rej) => {
+                assert!(
+                    matches!(rej.reason, ShedReason::QueueFull),
+                    "overload rejections carry the queue-full reason: {rej:?}"
+                );
+                assert!(!rej.reason.label().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn closed_server_and_unknown_users_shed_structurally() {
+    let w = world();
+    let server = start_server(
+        &w.snap_a,
+        FaultPlan::healthy(),
+        AMPLE_NS,
+        Arc::new(VirtualClock::new()),
+        &ServerConfig { workers: 1, queue_capacity: 8 },
+    );
+    let bogus = w.snap_a.n_users() as Id + 17;
+    let rej = server.submit(bogus).expect_err("out-of-range user must be shed");
+    assert!(matches!(rej.reason, ShedReason::UnknownUser));
+    server.close();
+    let rej = server.submit(0).expect_err("a closed server admits nothing");
+    assert!(matches!(rej.reason, ShedReason::ShuttingDown));
+    let (stragglers, stats) = server.shutdown();
+    assert!(stragglers.is_empty());
+    assert_eq!(stats.submitted, 2);
+    assert_eq!(stats.rejected, 2);
+    assert_eq!(stats.silent_drops(), 0);
+}
+
+#[test]
+fn retry_loader_backs_off_deterministically_and_only_on_transient_io() {
+    let w = world();
+    let clock = VirtualClock::new();
+    let payload = w.snap_a.encode();
+    let policy = RetryPolicy { attempts: 4, base_ns: 1_000, max_ns: 10_000, seed: 7 };
+
+    // Two transient I/O failures, then success: the loader retries through
+    // the injected clock with exactly the seeded backoff schedule.
+    let calls = Cell::new(0usize);
+    let mut flaky = |_: &Path| -> Result<Vec<u8>, CkptError> {
+        calls.set(calls.get() + 1);
+        if calls.get() <= 2 {
+            Err(CkptError::Io(std::io::Error::new(std::io::ErrorKind::Interrupted, "flaky")))
+        } else {
+            Ok(payload.clone())
+        }
+    };
+    let t0 = clock.now_ns();
+    let snap = load_snapshot_with_retry_from(&mut flaky, Path::new("virtual"), &policy, &clock)
+        .expect("transient failures retry through to success");
+    assert_eq!(calls.get(), 3, "two failures cost exactly two retries");
+    assert_eq!(snap, w.snap_a, "the retried load returns the snapshot bit-for-bit");
+    assert_eq!(
+        clock.now_ns() - t0,
+        policy.backoff_ns(0) + policy.backoff_ns(1),
+        "waits follow the seeded backoff schedule exactly"
+    );
+    let same = RetryPolicy { attempts: 4, base_ns: 1_000, max_ns: 10_000, seed: 7 };
+    for attempt in 0..4 {
+        assert_eq!(policy.backoff_ns(attempt), same.backoff_ns(attempt), "jitter is seeded");
+        assert!(policy.backoff_ns(attempt) <= policy.max_ns + policy.base_ns / 2);
+    }
+
+    // Corrupt payloads are permanent: exactly one attempt, no waiting.
+    let bad_calls = Cell::new(0usize);
+    let mut corrupt = |_: &Path| -> Result<Vec<u8>, CkptError> {
+        bad_calls.set(bad_calls.get() + 1);
+        Ok(vec![0xDE, 0xAD, 0xBE, 0xEF])
+    };
+    let t1 = clock.now_ns();
+    let err = load_snapshot_with_retry_from(&mut corrupt, Path::new("virtual"), &policy, &clock)
+        .expect_err("garbage payload must fail");
+    assert!(!err.is_transient());
+    assert_eq!(bad_calls.get(), 1, "corruption never retries");
+    assert_eq!(clock.now_ns(), t1, "no backoff waits on a permanent failure");
+
+    // Persistent transient failure exhausts the attempt budget, no more.
+    let io_calls = Cell::new(0usize);
+    let mut dead = |_: &Path| -> Result<Vec<u8>, CkptError> {
+        io_calls.set(io_calls.get() + 1);
+        Err(CkptError::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone")))
+    };
+    let err = load_snapshot_with_retry_from(&mut dead, Path::new("virtual"), &policy, &clock)
+        .expect_err("a dead path fails after the budget");
+    assert!(err.is_transient(), "the terminal error still reports its transient class");
+    assert_eq!(io_calls.get(), policy.attempts, "attempt budget is exact");
+}
