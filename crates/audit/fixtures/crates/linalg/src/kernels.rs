@@ -1,0 +1,57 @@
+//! Fixture: lane-fold positives, per-lane negatives, and waivers.
+
+pub fn unordered_reduction(a: &[f32], b: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        total += x * y; // POSITIVE: single-f32 accumulator in the kernel module
+    }
+    total
+}
+
+pub fn iterator_order(a: &[f32]) -> f32 {
+    let s: f32 = a.iter().sum(); // POSITIVE: iterator-order reduction
+    let p = a.iter().fold(0.0f32, |acc, x| acc + x); // POSITIVE: iterator fold
+    s + p
+}
+
+pub fn per_lane(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 8];
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        acc[i % 8] += x * y; // NEGATIVE: per-lane accumulation
+    }
+    fold_lanes(acc)
+}
+
+pub fn per_element(out: &mut [f32], src: &[f32]) {
+    for (o, &x) in out.iter_mut().zip(src) {
+        *o += x; // NEGATIVE: deref target, independent per element
+    }
+}
+
+pub fn counters(a: &[f32]) -> usize {
+    let mut n = 0usize;
+    for _ in a {
+        n += 1; // NEGATIVE: integer counter
+    }
+    n
+}
+
+pub fn waived_scan(a: &[f32]) -> f32 {
+    let mut hi = f32::NEG_INFINITY;
+    for &x in a {
+        // audit: lanes — max is order-insensitive for non-NaN inputs
+        hi += x.max(hi) - hi;
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_silent() {
+        let mut total = 0.0f32; // NEGATIVE: test code
+        total += 1.5;
+        let _ = total;
+        let _: f32 = [1.0f32].iter().sum();
+    }
+}

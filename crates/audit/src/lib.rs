@@ -266,6 +266,29 @@ mod tests {
         assert!(rule_lines(&lint("crates/serve/src/load.rs", src), Rule::HotPanic).is_empty());
     }
 
+    // ---- lane-fold -----------------------------------------------------
+
+    #[test]
+    fn lane_fold_flags_bare_accumulators_and_iterator_reductions() {
+        let src = "fn f(a: &[f32]) -> f32 {\n    let mut total = 0.0f32;\n    total += a[0];\n    let s: f32 = a.iter().sum();\n    total + s\n}\n";
+        let f = lint("crates/linalg/src/kernels.rs", src);
+        assert_eq!(rule_lines(&f, Rule::LaneFold), vec![3, 4]);
+        // Same source anywhere else: out of scope.
+        assert!(lint("crates/linalg/src/matrix.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lane_fold_spares_per_lane_and_per_element_accumulation() {
+        let src = "fn f() {\n    acc[j] += ca[j] * cb[j];\n    *o += a * bv;\n    self.n += x;\n    count += 1;\n    ns += t as u64;\n}\n";
+        assert!(lint("crates/linalg/src/kernels.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lane_fold_waiver() {
+        let src = "fn f() {\n    // audit: lanes — max is order-insensitive for non-NaN inputs\n    hi += step;\n    let s: f32 = xs.iter().sum(); // audit: lanes — test-only shim\n}\n";
+        assert!(lint("crates/linalg/src/kernels.rs", src).is_empty());
+    }
+
     // ---- display -------------------------------------------------------
 
     #[test]

@@ -45,6 +45,13 @@ const SERVING_SCOPES: &[&str] = &["crates/serve/src"];
 /// by design, and the auditor itself names the banned tokens.
 const WALLCLOCK_EXEMPT: &[&str] = &["crates/bench", "crates/audit", "crates/tsne"];
 
+/// The hand-unrolled SIMD kernel module: the lane-fold rule applies
+/// here. Every reduction in this file must follow the documented
+/// 8-lane accumulate-then-`fold_lanes` contract — a stray sequential
+/// accumulator silently changes the float association order and breaks
+/// the SIMD ≡ scalar bitwise guarantee.
+const LANE_KERNEL_SCOPES: &[&str] = &["crates/linalg/src/kernels.rs"];
+
 /// Identifier of one audit rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
@@ -60,6 +67,8 @@ pub enum Rule {
     FloatFold,
     /// Unbounded channel/queue construction in serving code.
     UnboundedQueue,
+    /// Undocumented float reduction order in the lane-kernel module.
+    LaneFold,
 }
 
 impl Rule {
@@ -72,6 +81,7 @@ impl Rule {
             Rule::HotPanic => "hot-panic",
             Rule::FloatFold => "float-fold",
             Rule::UnboundedQueue => "unbounded-queue",
+            Rule::LaneFold => "lane-fold",
         }
     }
 
@@ -85,6 +95,7 @@ impl Rule {
             Rule::HotPanic => "unwrap",
             Rule::FloatFold => "fold",
             Rule::UnboundedQueue => "bounded",
+            Rule::LaneFold => "lanes",
         }
     }
 }
@@ -124,6 +135,9 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Finding> {
     }
     if in_scope(SERVING_SCOPES) {
         unbounded_queue(rel_path, &s, &mut out);
+    }
+    if in_scope(LANE_KERNEL_SCOPES) {
+        lane_fold(rel_path, &s, &mut out);
     }
     unsafe_comment(rel_path, &s, &mut out);
     if HOT_PATH_FILES.contains(&rel_path) {
@@ -419,6 +433,85 @@ fn unbounded_queue(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+// ----------------------------------------------------------------------
+// Rule: lane-fold
+// ----------------------------------------------------------------------
+
+/// Undocumented float reduction order inside the hand-unrolled kernel
+/// module. Both renderings of every kernel promise the identical
+/// association order — `[f32; LANES]` partial sums folded by
+/// `fold_lanes` — so two accumulation shapes are banned there:
+///
+/// * a **single-f32 accumulator** (`total += …` on a bare identifier):
+///   the lanes of an unrolled loop would collapse into it in whatever
+///   order the author happened to interleave, which the scalar oracle
+///   cannot reproduce bit-for-bit;
+/// * **iterator-order reductions** (`.sum()` / `.fold()` /
+///   `.product()`): the order comes from the iterator, not the
+///   documented lane tree.
+///
+/// Per-lane (`acc[j] += …`) and per-element (`*o += …`, `dst[i] += …`)
+/// accumulation never re-associates and stays silent. Genuinely
+/// order-insensitive scans (e.g. a running `max`) carry
+/// `// audit: lanes — <why the order cannot change the bits>`.
+fn lane_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+    for line in 1..=s.n_lines() {
+        if s.in_test_line(line) {
+            continue;
+        }
+        let code = s.code_line(line);
+        let waived_here = waived(s, line, Rule::LaneFold.waiver_tag());
+        let integerish = code.contains("as u64")
+            || code.contains("as u32")
+            || code.contains("as usize")
+            || code.contains("+= 1");
+        if bare_float_accumulation(code) && !integerish && !waived_here {
+            out.push(Finding {
+                file: path.to_string(),
+                line,
+                rule: Rule::LaneFold,
+                message: "single-f32 accumulation in the lane-kernel module — reductions must \
+                          use a `[f32; LANES]` accumulator folded by `fold_lanes`, or waive \
+                          with `// audit: lanes — <why the order is fixed>`"
+                    .to_string(),
+            });
+        }
+        for pat in [".sum(", ".sum::", ".fold(", ".product("] {
+            if code.contains(pat) && !waived_here {
+                out.push(Finding {
+                    file: path.to_string(),
+                    line,
+                    rule: Rule::LaneFold,
+                    message: format!(
+                        "iterator-order reduction `{pat}…)` in the lane-kernel module — the \
+                         fold order must be the documented lane tree (`fold_lanes`), or waive \
+                         with `// audit: lanes — <reason>`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// True when the line accumulates into a *bare identifier* (`total += x`).
+/// Indexed (`acc[j] +=`) and deref (`*o +=`) targets are per-lane /
+/// per-element accumulation and pass.
+fn bare_float_accumulation(code: &str) -> bool {
+    let b = code.as_bytes();
+    let Some(pos) = code.find("+=") else { return false };
+    let mut i = pos;
+    while i > 0 && b[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()) {
+        i -= 1;
+    }
+    // Non-empty identifier, preceded by nothing but whitespace — `]`,
+    // `*`, or `.` before it means an indexed / deref / field target.
+    i < end && (i == 0 || b[i - 1] == b' ' || b[i - 1] == b'\t')
 }
 
 /// Offset of the `)` matching the `(` at `open` (or end of input).

@@ -72,6 +72,15 @@ fn serve_hot_panic_fixture_positives() {
 }
 
 #[test]
+fn lane_fold_fixture_positives() {
+    let f = findings();
+    let lines = of(&f, Rule::LaneFold, "crates/linalg/src/kernels.rs");
+    // Bare accumulator + `.sum()` + `.fold(`; per-lane / per-element /
+    // integer / waived / test accumulation all stay silent.
+    assert_eq!(lines.len(), 3, "{lines:?}");
+}
+
+#[test]
 fn bench_fixture_is_clean() {
     let f = findings();
     assert!(

@@ -17,7 +17,7 @@
 //! synced parameter is bitwise identical to one stepped densely with
 //! zero-padded gradients (see the differential tests below).
 
-use facility_linalg::Matrix;
+use facility_linalg::{kernels, Matrix};
 
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,11 +83,12 @@ impl SparseRowGrad {
     /// rows). Test/fallback path; the point of the type is to avoid this.
     pub fn to_dense(&self) -> Matrix {
         let mut d = Matrix::zeros(self.n_rows, self.values.cols());
-        for (k, &r) in self.rows.iter().enumerate() {
-            for (o, &x) in d.row_mut(r).iter_mut().zip(self.values.row(k)) {
-                *o += x;
-            }
-        }
+        kernels::scatter_add_rows(
+            d.as_mut_slice(),
+            self.values.cols(),
+            &self.rows,
+            self.values.as_slice(),
+        );
         d
     }
 
@@ -119,12 +120,12 @@ impl SparseRowGrad {
         for p in parts {
             assert_eq!(p.n_rows, n_rows, "fold_ordered: parameter row-count mismatch");
             assert_eq!(p.values.cols(), cols, "fold_ordered: gradient width mismatch");
-            for (k, &r) in p.rows.iter().enumerate() {
-                let u = union.binary_search(&r).expect("every part row is in the union");
-                for (o, &x) in values.row_mut(u).iter_mut().zip(p.values.row(k)) {
-                    *o += x;
-                }
-            }
+            let u_idx: Vec<usize> = p
+                .rows
+                .iter()
+                .map(|r| union.binary_search(r).expect("every part row is in the union"))
+                .collect();
+            kernels::scatter_add_rows(values.as_mut_slice(), cols, &u_idx, p.values.as_slice());
         }
         let folded = SparseRowGrad { n_rows, rows: union, values };
         #[cfg(feature = "debug-audit")]
@@ -183,13 +184,12 @@ pub fn fold_grads_ordered(parts: &[Vec<(ParamId, Grad)>], scale: f32) -> Vec<(Pa
                 for g in grads {
                     match g {
                         Grad::Dense(d) => acc.axpy(1.0, d),
-                        Grad::Sparse(s) => {
-                            for (k, &r) in s.rows.iter().enumerate() {
-                                for (o, &x) in acc.row_mut(r).iter_mut().zip(s.values.row(k)) {
-                                    *o += x;
-                                }
-                            }
-                        }
+                        Grad::Sparse(s) => kernels::scatter_add_rows(
+                            acc.as_mut_slice(),
+                            shape.1,
+                            &s.rows,
+                            s.values.as_slice(),
+                        ),
                     }
                 }
                 for x in acc.as_mut_slice() {
@@ -458,9 +458,7 @@ impl Optimizer for Sgd {
         let scale = clip_scale(&grad.values, self.clip);
         let s = -self.lr * scale;
         for (k, &r) in grad.rows.iter().enumerate() {
-            for (o, &g) in value.row_mut(r).iter_mut().zip(grad.values.row(k)) {
-                *o += s * g;
-            }
+            kernels::axpy(value.row_mut(r), s, grad.values.row(k));
         }
     }
 }

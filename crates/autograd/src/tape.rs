@@ -8,13 +8,19 @@
 //! backward sweep.
 
 use crate::optim::SparseRowGrad;
-use facility_linalg::{matrix::dot, ops, Matrix};
+use facility_linalg::{kernels, ops, Matrix};
 use rand::Rng;
 use std::sync::Arc;
 
 /// Norm floor for [`Tape::normalize_rows`]; rows below it are treated as
 /// having this norm, keeping the op (and its gradient) finite.
 const NORM_EPS: f32 = 1e-12;
+
+/// `MatMul` backward computes `dA = g·Bᵀ`; when `B` has at most this many
+/// elements (32 KiB — every layer/projection weight here qualifies) it is
+/// transposed once so `dA` rides the register-blocked row-major matmul,
+/// which is ~3x faster on tall `g` than the dot-per-element `A·Bᵀ` kernel.
+const SMALL_WEIGHT_TRANSPOSE_LIMIT: usize = 1 << 13;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -140,6 +146,15 @@ enum Op {
     SegmentSum {
         a: Var,
         seg_of_row: Arc<Vec<usize>>,
+    },
+    /// Fused attention aggregation
+    /// `out[heads[e]] += h[tails[e]] · att[e]` over an edge list, in
+    /// edge order (see [`Tape::gather_scale_segment_sum`]).
+    GatherScaleSegmentSum {
+        h: Var,
+        att: Var,
+        tails: Arc<Vec<usize>>,
+        heads: Arc<Vec<usize>>,
     },
     /// Inverted dropout with a fixed 0/scale mask.
     Dropout {
@@ -321,9 +336,7 @@ impl Tape {
             if rows[out] != indices[k] {
                 out += 1;
             }
-            for (o, &x) in values.row_mut(out).iter_mut().zip(g.row(k)) {
-                *o += x;
-            }
+            kernels::add_assign(values.row_mut(out), g.row(k));
         }
         let sg = SparseRowGrad { n_rows: src_rows, rows, values };
         #[cfg(feature = "debug-audit")]
@@ -388,13 +401,15 @@ impl Tape {
         let (av, wv) = (self.value(a), self.value(w));
         assert_eq!(wv.cols(), 1, "mul_broadcast_col: w must be a column");
         assert_eq!(av.rows(), wv.rows(), "mul_broadcast_col: row mismatch");
-        let mut value = av.clone();
-        for r in 0..value.rows() {
-            let s = wv[(r, 0)];
-            for x in value.row_mut(r) {
-                *x *= s;
-            }
+        let (rows, cols) = (av.rows(), av.cols());
+        // Build the scaled matrix in one pass instead of clone +
+        // in-place `scale_rows`: the products are identical, so the bits
+        // are too, and `a` streams through once instead of twice.
+        let mut data = Vec::with_capacity(av.len());
+        for (row, &s) in av.as_slice().chunks_exact(cols.max(1)).zip(wv.as_slice()) {
+            data.extend(row.iter().map(move |&x| x * s));
         }
+        let value = Matrix::from_vec(rows, cols, data);
         self.push(value, Op::MulBroadcastCol { a, w })
     }
 
@@ -470,7 +485,7 @@ impl Tape {
         let mut value = av.clone();
         for r in 0..value.rows() {
             let row = value.row_mut(r);
-            let norm = row.iter().map(|x| x * x).sum::<f32>().sqrt().max(NORM_EPS);
+            let norm = kernels::dot(row, row).sqrt().max(NORM_EPS);
             for x in row {
                 *x /= norm;
             }
@@ -500,10 +515,7 @@ impl Tape {
             "segment_softmax: offsets must end at the row count"
         );
         let mut value = av.clone();
-        let data = value.as_mut_slice();
-        for w in offsets.windows(2) {
-            ops::softmax_in_place(&mut data[w[0]..w[1]]);
-        }
+        kernels::segment_softmax_in_place(value.as_mut_slice(), &offsets);
         self.push(value, Op::SegmentSoftmax { a, offsets })
     }
 
@@ -518,14 +530,49 @@ impl Tape {
         let av = self.value(a);
         assert_eq!(seg_of_row.len(), av.rows(), "segment_sum: length mismatch");
         let mut value = Matrix::zeros(num_segments, av.cols());
-        for (row, &s) in seg_of_row.iter().enumerate() {
+        for &s in seg_of_row.iter() {
             assert!(s < num_segments, "segment_sum: segment {s} out of range");
-            let out = value.row_mut(s);
-            for (o, &x) in out.iter_mut().zip(av.row(row)) {
-                *o += x;
-            }
         }
+        kernels::segment_sum_into(av.as_slice(), av.cols(), &seg_of_row, value.as_mut_slice());
         self.push(value, Op::SegmentSum { a, seg_of_row })
+    }
+
+    /// Fused `gather_rows → mul_broadcast_col → segment_sum` over an
+    /// edge list: `out[heads[e]] += h[tails[e]] · att[e]` for every edge
+    /// `e`, in edge order. One pass over the edges replaces the two
+    /// `E × cols` intermediates (the gathered tails and the scaled
+    /// messages) the unfused chain materializes — and every product and
+    /// every add happens with the same operands in the same order, so
+    /// both the value and the backward are bit-for-bit the unfused
+    /// chain's.
+    pub fn gather_scale_segment_sum(
+        &mut self,
+        h: Var,
+        att: Var,
+        tails: Arc<Vec<usize>>,
+        heads: Arc<Vec<usize>>,
+        num_segments: usize,
+    ) -> Var {
+        let (hv, wv) = (self.value(h), self.value(att));
+        assert_eq!(wv.cols(), 1, "gather_scale_segment_sum: att must be a column");
+        assert_eq!(wv.rows(), tails.len(), "gather_scale_segment_sum: att rows != edges");
+        assert_eq!(tails.len(), heads.len(), "gather_scale_segment_sum: edge lists disagree");
+        let hr = hv.rows();
+        assert!(tails.iter().all(|&t| t < hr), "gather_scale_segment_sum: tail out of range");
+        assert!(
+            heads.iter().all(|&s| s < num_segments),
+            "gather_scale_segment_sum: head out of range"
+        );
+        let mut value = Matrix::zeros(num_segments, hv.cols());
+        kernels::gather_scale_segment_sum_into(
+            hv.as_slice(),
+            hv.cols(),
+            &tails,
+            wv.as_slice(),
+            &heads,
+            value.as_mut_slice(),
+        );
+        self.push(value, Op::GatherScaleSegmentSum { h, att, tails, heads })
     }
 
     // ------------------------------------------------------------------
@@ -646,6 +693,36 @@ impl Tape {
         }
     }
 
+    /// Row-sparse gradient accumulation: `grad[v][indices[i]] += src[i]`.
+    ///
+    /// When `v` already has a gradient the rows scatter straight into it,
+    /// touching only `indices.len()` rows — the dense
+    /// `zeros + scatter + full-matrix add` detour would stream the whole
+    /// `rows(v) × cols` buffer three times per gather, which dominated the
+    /// backward pass on batch-local subgraphs (~75k-row unions, ~1k-row
+    /// scatters).
+    fn acc_scatter(&mut self, v: Var, cols: usize, indices: &[usize], src: &[f32]) {
+        let rows = self.nodes[v.0].value.rows();
+        match &mut self.grads[v.0] {
+            Some(g) => kernels::scatter_add_rows(g.as_mut_slice(), cols, indices, src),
+            slot @ None => {
+                let mut d = Matrix::zeros(rows, cols);
+                kernels::scatter_add_rows(d.as_mut_slice(), cols, indices, src);
+                *slot = Some(d);
+            }
+        }
+    }
+
+    /// Like [`Tape::acc`] for a borrowed delta: adds in place when the
+    /// slot already exists and clones only on first touch. Same bits as
+    /// `acc(v, delta.clone())`, minus the unconditional clone.
+    fn acc_ref(&mut self, v: Var, delta: &Matrix) {
+        match &mut self.grads[v.0] {
+            Some(g) => g.add_assign(delta),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
     fn apply_backward(&mut self, id: usize, g: &Matrix) {
         // `Op` only stores Vars and shared metadata, so we can copy what we
         // need out of the node before mutating the grad slots.
@@ -656,21 +733,43 @@ impl Tape {
             Op::ParamGather { .. } => {}
             Op::Gather { src, indices } => {
                 let (src, indices) = (*src, Arc::clone(indices));
-                let mut d = Matrix::zeros(self.value(src).rows(), g.cols());
-                for (row, &i) in indices.iter().enumerate() {
-                    let dst = d.row_mut(i);
-                    for (o, &x) in dst.iter_mut().zip(g.row(row)) {
-                        *o += x;
-                    }
-                }
-                self.acc(src, d);
+                self.acc_scatter(src, g.cols(), &indices, g.as_slice());
             }
             Op::MatMul { a, b } => {
                 let (a, b) = (*a, *b);
-                let da = g.matmul_transpose_b(self.value(b));
-                let db = self.value(a).transpose_matmul(g);
+                let bv = self.value(b);
+                // `dA = g·Bᵀ`. When `B` is a small weight matrix (every
+                // layer/projection weight in this workspace), transposing
+                // it once and riding the register-blocked row-major matmul
+                // is ~3x faster on tall gradients than the dot-per-element
+                // `A·Bᵀ` kernel; the transposed copy is a few KiB.
+                let da = if bv.len() <= SMALL_WEIGHT_TRANSPOSE_LIMIT {
+                    g.matmul(&bv.transpose())
+                } else {
+                    g.matmul_transpose_b(bv)
+                };
                 self.acc(a, da);
-                self.acc(b, db);
+                // `dB = Aᵀ·g` rides the accumulating transpose-matmul
+                // kernel straight into the grad slot: on first touch the
+                // slot starts from zeros exactly like the former
+                // temporary, and on later touches the rank-1 updates land
+                // on the running total — a pure reassociation that is
+                // deterministic and identical across extraction modes
+                // (the op stream, and hence the visit order, is).
+                let (brows, bcols) = {
+                    let bm = &self.nodes[b.0].value;
+                    (bm.rows(), bm.cols())
+                };
+                let db = self.grads[b.0]
+                    .get_or_insert_with(|| Matrix::zeros(brows, bcols));
+                let av = &self.nodes[a.0].value;
+                kernels::transpose_matmul_into(
+                    av.as_slice(),
+                    av.cols(),
+                    g.as_slice(),
+                    g.cols(),
+                    db.as_mut_slice(),
+                );
             }
             Op::MatMulTransB { a, b } => {
                 let (a, b) = (*a, *b);
@@ -681,12 +780,12 @@ impl Tape {
             }
             Op::Add { a, b } => {
                 let (a, b) = (*a, *b);
-                self.acc(a, g.clone());
-                self.acc(b, g.clone());
+                self.acc_ref(a, g);
+                self.acc_ref(b, g);
             }
             Op::Sub { a, b } => {
                 let (a, b) = (*a, *b);
-                self.acc(a, g.clone());
+                self.acc_ref(a, g);
                 self.acc(b, g.scale(-1.0));
             }
             Op::Mul { a, b } => {
@@ -698,24 +797,33 @@ impl Tape {
             }
             Op::AddBroadcastRow { a, bias } => {
                 let (a, bias) = (*a, *bias);
-                self.acc(a, g.clone());
+                self.acc_ref(a, g);
                 self.acc(bias, g.col_sums());
             }
             Op::MulBroadcastCol { a, w } => {
                 let (a, w) = (*a, *w);
-                let wv = self.value(w);
-                let av = self.value(a);
-                let mut da = g.clone();
-                let mut dw = Matrix::zeros(wv.rows(), 1);
-                for r in 0..da.rows() {
-                    let s = wv[(r, 0)];
-                    dw[(r, 0)] = dot(g.row(r), av.row(r));
-                    for x in da.row_mut(r) {
-                        *x *= s;
-                    }
-                }
-                self.acc(a, da);
-                self.acc(w, dw);
+                // Take both grad slots (zeroed on first touch) and fold
+                // the fused kernel's `+=` halves straight into them — the
+                // exact element adds the former temporary-then-
+                // `add_assign` detour performed, with two fewer
+                // full-matrix passes.
+                let wv_rows = self.nodes[w.0].value.rows();
+                let mut da = self.grads[a.0]
+                    .take()
+                    .unwrap_or_else(|| Matrix::zeros(g.rows(), g.cols()));
+                let mut dw = self.grads[w.0]
+                    .take()
+                    .unwrap_or_else(|| Matrix::zeros(wv_rows, 1));
+                kernels::mul_broadcast_col_grad_acc(
+                    g.as_slice(),
+                    self.nodes[a.0].value.as_slice(),
+                    self.nodes[w.0].value.as_slice(),
+                    g.cols(),
+                    da.as_mut_slice(),
+                    dw.as_mut_slice(),
+                );
+                self.grads[a.0] = Some(da);
+                self.grads[w.0] = Some(dw);
             }
             Op::Scale { a, s } => {
                 let (a, s) = (*a, *s);
@@ -723,19 +831,53 @@ impl Tape {
             }
             Op::AddScalar { a } => {
                 let a = *a;
-                self.acc(a, g.clone());
+                self.acc_ref(a, g);
             }
             Op::ConcatCols { a, b } => {
                 let (a, b) = (*a, *b);
-                let ac = self.value(a).cols();
-                let mut da = Matrix::zeros(g.rows(), ac);
-                let mut db = Matrix::zeros(g.rows(), g.cols() - ac);
-                for r in 0..g.rows() {
-                    da.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
-                    db.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                let ac = self.nodes[a.0].value.cols();
+                let (rows, n) = (g.rows(), g.cols());
+                // When a half already has a gradient, add its column
+                // block straight in, row by row — the same per-element
+                // adds that splitting into a temporary and `add_assign`ing
+                // would perform, minus the temporary and its extra pass.
+                // On first touch, build the half by extension (skips the
+                // `zeros` memset) and install it.
+                match &mut self.grads[a.0] {
+                    Some(da) => {
+                        let rows_a = da.as_mut_slice().chunks_exact_mut(ac.max(1));
+                        for (drow, grow) in
+                            rows_a.zip(g.as_slice().chunks_exact(n.max(1)))
+                        {
+                            kernels::add_assign(drow, &grow[..ac]);
+                        }
+                    }
+                    slot @ None => {
+                        let mut va = Vec::with_capacity(rows * ac);
+                        for grow in g.as_slice().chunks_exact(n.max(1)) {
+                            va.extend_from_slice(&grow[..ac]);
+                        }
+                        *slot = Some(Matrix::from_vec(rows, ac, va));
+                    }
                 }
-                self.acc(a, da);
-                self.acc(b, db);
+                match &mut self.grads[b.0] {
+                    Some(db) => {
+                        let bc = (n - ac).max(1);
+                        let rows_b = db.as_mut_slice().chunks_exact_mut(bc);
+                        for (drow, grow) in
+                            rows_b.zip(g.as_slice().chunks_exact(n.max(1)))
+                        {
+                            kernels::add_assign(drow, &grow[ac..]);
+                        }
+                    }
+                    slot @ None => {
+                        let mut vb = Vec::with_capacity(rows * (n - ac));
+                        for grow in g.as_slice().chunks_exact(n.max(1)) {
+                            vb.extend_from_slice(&grow[ac..]);
+                        }
+                        *slot = Some(Matrix::from_vec(rows, n - ac, vb));
+                    }
+                }
             }
             Op::ConcatRows { a, b } => {
                 let (a, b) = (*a, *b);
@@ -747,70 +889,68 @@ impl Tape {
             }
             Op::LeakyRelu { a } => {
                 let a = *a;
-                let d = self.value(a).map(ops::leaky_relu_grad).hadamard(g);
+                let x = self.value(a);
+                let mut d = Matrix::zeros(x.rows(), x.cols());
+                kernels::leaky_relu_grad_mul(x.as_slice(), g.as_slice(), d.as_mut_slice());
                 self.acc(a, d);
             }
             Op::Relu { a } => {
                 let a = *a;
-                let d = self.value(a).map(ops::relu_grad).hadamard(g);
+                let x = self.value(a);
+                let mut d = Matrix::zeros(x.rows(), x.cols());
+                kernels::relu_grad_mul(x.as_slice(), g.as_slice(), d.as_mut_slice());
                 self.acc(a, d);
             }
             Op::Tanh { a } => {
                 let a = *a;
-                let d = self.nodes[id].value.map(ops::tanh_grad_from_output).hadamard(g);
+                let y = &self.nodes[id].value;
+                let mut d = Matrix::zeros(y.rows(), y.cols());
+                kernels::tanh_grad_mul(y.as_slice(), g.as_slice(), d.as_mut_slice());
                 self.acc(a, d);
             }
             Op::Sigmoid { a } => {
                 let a = *a;
-                let d = self.nodes[id].value.map(ops::sigmoid_grad_from_output).hadamard(g);
+                let y = &self.nodes[id].value;
+                let mut d = Matrix::zeros(y.rows(), y.cols());
+                kernels::sigmoid_grad_mul(y.as_slice(), g.as_slice(), d.as_mut_slice());
                 self.acc(a, d);
             }
             Op::LogSigmoid { a } => {
                 let a = *a;
                 // d/dx ln σ(x) = σ(−x)
-                let d = self.value(a).map(|x| ops::sigmoid(-x)).hadamard(g);
+                let x = self.value(a);
+                let mut d = Matrix::zeros(x.rows(), x.cols());
+                kernels::log_sigmoid_grad_mul(x.as_slice(), g.as_slice(), d.as_mut_slice());
                 self.acc(a, d);
             }
             Op::RowwiseDot { a, b } => {
                 let (a, b) = (*a, *b);
-                let av = self.value(a).clone();
-                let bv = self.value(b).clone();
-                let mut da = bv;
-                let mut db = av;
-                for r in 0..g.rows() {
-                    let s = g[(r, 0)];
-                    for x in da.row_mut(r) {
-                        *x *= s;
-                    }
-                    for x in db.row_mut(r) {
-                        *x *= s;
-                    }
-                }
+                let mut da = self.value(b).clone();
+                let mut db = self.value(a).clone();
+                let (ca, cb) = (da.cols(), db.cols());
+                kernels::scale_rows(da.as_mut_slice(), ca, g.as_slice());
+                kernels::scale_rows(db.as_mut_slice(), cb, g.as_slice());
                 self.acc(a, da);
                 self.acc(b, db);
             }
             Op::RowwiseNormSq { a } => {
                 let a = *a;
                 let mut da = self.value(a).clone();
-                for r in 0..da.rows() {
-                    let s = 2.0 * g[(r, 0)];
-                    for x in da.row_mut(r) {
-                        *x *= s;
-                    }
-                }
+                let g2 = g.scale(2.0);
+                let cols = da.cols();
+                kernels::scale_rows(da.as_mut_slice(), cols, g2.as_slice());
                 self.acc(a, da);
             }
             Op::NormalizeRows { a } => {
                 let a = *a;
-                let x = self.value(a).clone();
+                let x = self.value(a);
                 let mut da = Matrix::zeros(x.rows(), x.cols());
                 // With y = x/‖x‖:  dL/dx = (g − y (y · g)) / ‖x‖.
                 for r in 0..x.rows() {
                     let xr = x.row(r);
                     let gr = g.row(r);
-                    let norm = xr.iter().map(|v| v * v).sum::<f32>().sqrt().max(NORM_EPS);
-                    let dot_yg: f32 =
-                        xr.iter().zip(gr).map(|(&xv, &gv)| xv * gv).sum::<f32>() / norm;
+                    let norm = kernels::dot(xr, xr).sqrt().max(NORM_EPS);
+                    let dot_yg: f32 = kernels::dot(xr, gr) / norm;
                     let out = da.row_mut(r);
                     for ((o, &xv), &gv) in out.iter_mut().zip(xr).zip(gr) {
                         let y = xv / norm;
@@ -823,25 +963,64 @@ impl Tape {
                 let (a, offsets) = (*a, Arc::clone(offsets));
                 let y = &self.nodes[id].value;
                 let mut da = Matrix::zeros(g.rows(), 1);
-                for w in offsets.windows(2) {
-                    let (lo, hi) = (w[0], w[1]);
-                    let mut sum_gy = 0.0;
-                    for r in lo..hi {
-                        sum_gy += g[(r, 0)] * y[(r, 0)];
-                    }
-                    for r in lo..hi {
-                        da[(r, 0)] = y[(r, 0)] * (g[(r, 0)] - sum_gy);
-                    }
-                }
+                kernels::segment_softmax_grad_into(
+                    y.as_slice(),
+                    g.as_slice(),
+                    &offsets,
+                    da.as_mut_slice(),
+                );
                 self.acc(a, da);
+            }
+            Op::GatherScaleSegmentSum { h, att, tails, heads } => {
+                let (h, att) = (*h, *att);
+                let (tails, heads) = (Arc::clone(tails), Arc::clone(heads));
+                // Mirror image of the forward fusion: one pass over the
+                // edges folds `dh[tails[e]] += g[heads[e]] · att[e]` and
+                // `datt[e] += g[heads[e]] ⋅ h[tails[e]]` straight into
+                // the grad slots (zeroed on first touch). Values, dots
+                // and scatter order all match the unfused
+                // segment-sum / mul-broadcast / gather backward chain,
+                // so the bits do too.
+                let (hrows, hcols) = {
+                    let hm = &self.nodes[h.0].value;
+                    (hm.rows(), hm.cols())
+                };
+                let mut dh = self.grads[h.0]
+                    .take()
+                    .unwrap_or_else(|| Matrix::zeros(hrows, hcols));
+                let mut datt = self.grads[att.0]
+                    .take()
+                    .unwrap_or_else(|| Matrix::zeros(tails.len(), 1));
+                kernels::gather_scale_segment_sum_grad(
+                    g.as_slice(),
+                    self.nodes[h.0].value.as_slice(),
+                    hcols,
+                    &tails,
+                    self.nodes[att.0].value.as_slice(),
+                    &heads,
+                    dh.as_mut_slice(),
+                    datt.as_mut_slice(),
+                );
+                self.grads[h.0] = Some(dh);
+                self.grads[att.0] = Some(datt);
             }
             Op::SegmentSum { a, seg_of_row } => {
                 let (a, seg_of_row) = (*a, Arc::clone(seg_of_row));
                 let cols = g.cols();
+                if let Some(da) = &mut self.grads[a.0] {
+                    // Gather-add each gradient row straight into the
+                    // existing slot — the same element adds the
+                    // temporary-then-`add_assign` detour performed.
+                    let drows = da.as_mut_slice().chunks_exact_mut(cols.max(1));
+                    for (drow, &seg) in drows.zip(seg_of_row.iter()) {
+                        kernels::add_assign(drow, g.row(seg));
+                    }
+                    return;
+                }
                 let mut da = Matrix::zeros(seg_of_row.len(), cols);
                 // Each output row reads exactly one gradient row, so the
                 // backward is embarrassingly parallel; fall back to the
-                // serial loop when the matrix is too small to amortize
+                // serial kernel when the matrix is too small to amortize
                 // the fork/join overhead.
                 if seg_of_row.len() * cols >= 1 << 14 && cols > 0 {
                     use rayon::prelude::*;
@@ -849,9 +1028,7 @@ impl Tape {
                         out.copy_from_slice(g.row(seg_of_row[row]));
                     });
                 } else {
-                    for (row, &s) in seg_of_row.iter().enumerate() {
-                        da.row_mut(row).copy_from_slice(g.row(s));
-                    }
+                    kernels::gather_rows_into(g.as_slice(), cols, &seg_of_row, da.as_mut_slice());
                 }
                 self.acc(a, da);
             }
@@ -1039,6 +1216,20 @@ impl Tape {
                     "SegmentSoftmax offsets must be non-decreasing",
                 );
             }
+            Op::GatherScaleSegmentSum { h, att, tails, heads } => {
+                let (h, att) = (input(*h), input(*att));
+                expect(att == (tails.len(), 1), "GatherScaleSegmentSum att is not edges x 1");
+                expect(tails.len() == heads.len(), "GatherScaleSegmentSum edge lists disagree");
+                expect(shape.1 == h.1, "GatherScaleSegmentSum output width mismatch");
+                expect(
+                    tails.iter().all(|&t| t < h.0),
+                    "GatherScaleSegmentSum tail index out of bounds",
+                );
+                expect(
+                    heads.iter().all(|&s| s < shape.0),
+                    "GatherScaleSegmentSum head index out of bounds",
+                );
+            }
             Op::SegmentSum { a, seg_of_row } => {
                 let a = input(*a);
                 expect(seg_of_row.len() == a.0, "SegmentSum map length != input rows");
@@ -1061,7 +1252,6 @@ impl Tape {
         self.nodes[v.0].value = value;
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1181,6 +1371,60 @@ mod tests {
         let loss = t.sum_all(yw);
         t.backward(loss);
         assert_eq!(t.grad(x).unwrap().as_slice(), &[1., 1., 10., 10., 1., 1.]);
+    }
+
+    #[test]
+    fn gather_scale_segment_sum_is_bitwise_the_unfused_chain() {
+        // The fused attention aggregation must match
+        // gather → mul_broadcast_col → segment_sum bit for bit, in both
+        // the forward value and every gradient — the property that lets
+        // `propagate_over` swap chains without moving any training gate.
+        let rows = 23;
+        let cols = 5;
+        let n_seg = 6;
+        let tails: Vec<usize> = (0..40).map(|e| (e * 7 + 3) % rows).collect();
+        let heads: Vec<usize> = (0..40).map(|e| (e * 5) % n_seg).collect();
+        let h_data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i * 37 + 11) % 19) as f32 * 0.173 - 1.5)
+            .collect();
+        let att_data: Vec<f32> = (0..40).map(|e| ((e * 13 + 5) % 23) as f32 * 0.071 - 0.6).collect();
+
+        let run = |fused: bool| {
+            let mut t = Tape::new();
+            let h = t.leaf(Matrix::from_vec(rows, cols, h_data.clone()));
+            let att = t.leaf(Matrix::from_vec(40, 1, att_data.clone()));
+            let e_n = if fused {
+                t.gather_scale_segment_sum(
+                    h,
+                    att,
+                    Arc::new(tails.clone()),
+                    Arc::new(heads.clone()),
+                    n_seg,
+                )
+            } else {
+                let et = t.gather_rows(h, &tails);
+                let msg = t.mul_broadcast_col(et, att);
+                t.segment_sum(msg, Arc::new(heads.clone()), n_seg)
+            };
+            let loss = t.frobenius_sq(e_n);
+            t.backward(loss);
+            (
+                t.value(e_n).as_slice().to_vec(),
+                t.grad(h).unwrap().as_slice().to_vec(),
+                t.grad(att).unwrap().as_slice().to_vec(),
+            )
+        };
+        let (v_f, dh_f, datt_f) = run(true);
+        let (v_u, dh_u, datt_u) = run(false);
+        for (a, b) in v_f.iter().zip(&v_u) {
+            assert_eq!(a.to_bits(), b.to_bits(), "forward value diverged");
+        }
+        for (a, b) in dh_f.iter().zip(&dh_u) {
+            assert_eq!(a.to_bits(), b.to_bits(), "dh diverged");
+        }
+        for (a, b) in datt_f.iter().zip(&datt_u) {
+            assert_eq!(a.to_bits(), b.to_bits(), "datt diverged");
+        }
     }
 
     #[test]

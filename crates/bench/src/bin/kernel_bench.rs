@@ -1,0 +1,472 @@
+//! Per-kernel scalar-vs-SIMD microbenchmark for `facility_linalg::kernels`.
+//!
+//! Times every backward-path kernel in both renderings — the naive scalar
+//! oracle and the 8-lane unrolled path — on shapes drawn from the CKAT
+//! workload (tall-skinny entity×projection matmuls, per-edge head-dim
+//! dots, flat parameter-sized vectors), reports ns/call, GB/s and
+//! GFLOP/s, and writes the lot to `BENCH_kernels.json`.
+//!
+//! Before timing, each case runs once in each rendering on identical
+//! inputs and the outputs are compared **bitwise** — the same contract
+//! `crates/linalg/tests/kernel_diff.rs` proves exhaustively. Exits
+//! nonzero if any kernel's two renderings disagree on a single bit, so
+//! the CI bench-smoke job doubles as an end-to-end determinism check on
+//! release-opt codegen (the differential suite runs under the test
+//! profile; this binary covers `--release`).
+//!
+//! `--fast` shrinks the iteration budget for CI smoke runs.
+
+use facility_linalg::kernels;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Signature of the fused activation-backward kernels.
+type ActGradFn = fn(&[f32], &[f32], &mut [f32]);
+
+/// Entity embedding width used across the CKAT configs.
+const D: usize = 64;
+/// Attention head / relation-projection width.
+const K: usize = 16;
+/// Row count for the tall-skinny gather/matmul shapes — about one
+/// macro-step's worth of gathered entity rows on the default profile.
+const ROWS: usize = 2048;
+/// Flat-vector length for the elementwise kernels (one embedding table
+/// shard's worth of parameters).
+const FLAT: usize = 1 << 16;
+
+/// Deterministic splitmix-style value generator — no RNG state to seed,
+/// so every run (and both renderings within a run) sees identical bits.
+fn val(i: usize, salt: u64) -> f32 {
+    let mut z = (i as u64).wrapping_add(salt).wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+}
+
+fn vec_of(n: usize, salt: u64) -> Vec<f32> {
+    (0..n).map(|i| val(i, salt)).collect()
+}
+
+/// One benchmarked kernel invocation. The closure runs the kernel; when
+/// called with `collect = true` it must return the bits of every output
+/// byte the kernel produced (for the scalar-vs-SIMD differential), and
+/// when `collect = false` it returns an empty vec so the timed loop pays
+/// no allocation overhead.
+struct Case {
+    name: &'static str,
+    shape: String,
+    /// Bytes moved per call (reads + writes) for the GB/s column.
+    bytes: u64,
+    /// Floating-point ops per call for the GFLOP/s column.
+    flops: u64,
+    run: Box<dyn FnMut(bool) -> Vec<u32>>,
+}
+
+fn time_case(case: &mut Case, iters: u32) -> f64 {
+    // Warm the caches and the branch predictor once before timing.
+    let _ = (case.run)(false);
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        std::hint::black_box((case.run)(false));
+    }
+    t0.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let iters: u32 = if fast { 20 } else { 200 };
+
+    let mut cases = build_cases();
+    let mut rows = Vec::new();
+    let mut mismatches = 0usize;
+
+    for case in &mut cases {
+        // Bitwise differential first: identical inputs, both renderings.
+        kernels::set_scalar_kernels(true);
+        let scalar_bits = (case.run)(true);
+        kernels::set_scalar_kernels(false);
+        let simd_bits = (case.run)(true);
+        let bitwise_equal = scalar_bits == simd_bits;
+        if !bitwise_equal {
+            mismatches += 1;
+            eprintln!("BITWISE MISMATCH: {} ({})", case.name, case.shape);
+        }
+
+        kernels::set_scalar_kernels(true);
+        let scalar_ns = time_case(case, iters);
+        kernels::set_scalar_kernels(false);
+        let simd_ns = time_case(case, iters);
+
+        let gbps = case.bytes as f64 / simd_ns;
+        let gflops = case.flops as f64 / simd_ns;
+        println!(
+            "{:<28} {:<22} scalar {:>9.0} ns  simd {:>9.0} ns  {:>5.2}x  {:>6.2} GB/s  {:>6.2} GFLOP/s{}",
+            case.name,
+            case.shape,
+            scalar_ns,
+            simd_ns,
+            scalar_ns / simd_ns,
+            gbps,
+            gflops,
+            if bitwise_equal { "" } else { "  [MISMATCH]" },
+        );
+        rows.push(format!(
+            concat!(
+                "    {{\"kernel\": \"{}\", \"shape\": \"{}\", ",
+                "\"scalar_ns_per_call\": {:.1}, \"simd_ns_per_call\": {:.1}, ",
+                "\"speedup\": {:.3}, \"simd_gbps\": {:.3}, \"simd_gflops\": {:.3}, ",
+                "\"bitwise_equal\": {}}}"
+            ),
+            case.name,
+            case.shape,
+            scalar_ns,
+            simd_ns,
+            scalar_ns / simd_ns,
+            gbps,
+            gflops,
+            bitwise_equal,
+        ));
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n");
+    let _ = writeln!(json, "  \"iters_per_case\": {iters},");
+    let _ = writeln!(json, "  \"bitwise_mismatches\": {mismatches},");
+    json.push_str("  \"kernels\": [\n");
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json ({} kernels)", rows.len());
+
+    if mismatches > 0 {
+        eprintln!("{mismatches} kernel(s) diverged bitwise between renderings");
+        std::process::exit(1);
+    }
+}
+
+fn build_cases() -> Vec<Case> {
+    let mut cases: Vec<Case> = Vec::new();
+
+    // --- Lane-folded reductions -------------------------------------
+    {
+        let a = vec_of(FLAT, 1);
+        let b = vec_of(FLAT, 2);
+        cases.push(Case {
+            name: "dot",
+            shape: format!("n={FLAT}"),
+            bytes: 8 * FLAT as u64,
+            flops: 2 * FLAT as u64,
+            run: Box::new(move |collect| {
+                let r = kernels::dot(&a, &b).to_bits();
+                if collect { vec![r] } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        let a = vec_of(FLAT, 3);
+        cases.push(Case {
+            name: "sum",
+            shape: format!("n={FLAT}"),
+            bytes: 4 * FLAT as u64,
+            flops: FLAT as u64,
+            run: Box::new(move |collect| {
+                let r = kernels::sum(&a).to_bits();
+                if collect { vec![r] } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        // The attention score inner loop: Σ t·tanh(h + r) at head width K,
+        // batched here over many edges' worth of contiguous lanes.
+        let n = ROWS * K;
+        let t = vec_of(n, 4);
+        let h = vec_of(n, 5);
+        let r = vec_of(n, 6);
+        cases.push(Case {
+            name: "fused_tanh_dot",
+            shape: format!("n={n}"),
+            bytes: 12 * n as u64,
+            flops: 4 * n as u64, // add + tanh + mul + acc
+            run: Box::new(move |collect| {
+                let r = kernels::fused_tanh_dot(&t, &h, &r).to_bits();
+                if collect { vec![r] } else { Vec::new() }
+            }),
+        });
+    }
+
+    // --- Blocked matmuls (forward + both backward transposes) --------
+    {
+        let a = vec_of(ROWS * D, 7);
+        let b = vec_of(D * K, 8);
+        let mut out = vec![0.0f32; ROWS * K];
+        cases.push(Case {
+            name: "matmul_rows_into",
+            shape: format!("{ROWS}x{D} * {D}x{K}"),
+            bytes: 4 * (ROWS * D + D * K + 2 * ROWS * K) as u64,
+            flops: 2 * (ROWS * D * K) as u64,
+            run: Box::new(move |collect| {
+                out.fill(0.0);
+                kernels::matmul_rows_into(&a, D, &b, K, &mut out);
+                if collect { out.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        let a = vec_of(ROWS * K, 9);
+        let b = vec_of(D * K, 10);
+        let mut out = vec![0.0f32; ROWS * D];
+        cases.push(Case {
+            name: "matmul_transpose_b_rows_into",
+            shape: format!("{ROWS}x{K} * ({D}x{K})^T"),
+            bytes: 4 * (ROWS * K + D * K + 2 * ROWS * D) as u64,
+            flops: 2 * (ROWS * K * D) as u64,
+            run: Box::new(move |collect| {
+                out.fill(0.0);
+                kernels::matmul_transpose_b_rows_into(&a, K, &b, D, &mut out);
+                if collect { out.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        let a = vec_of(ROWS * D, 11);
+        let b = vec_of(ROWS * K, 12);
+        let mut out = vec![0.0f32; D * K];
+        cases.push(Case {
+            name: "transpose_matmul_into",
+            shape: format!("({ROWS}x{D})^T * {ROWS}x{K}"),
+            bytes: 4 * (ROWS * D + ROWS * K + 2 * D * K) as u64,
+            flops: 2 * (ROWS * D * K) as u64,
+            run: Box::new(move |collect| {
+                out.fill(0.0);
+                kernels::transpose_matmul_into(&a, D, &b, K, &mut out);
+                if collect { out.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+
+    // --- Gather / scatter (sparse-grad backbone) ---------------------
+    {
+        let src = vec_of(4 * ROWS * D, 13);
+        // Strided pseudo-random indices incl. repeats, like batch sampling.
+        let idx: Vec<usize> = (0..ROWS).map(|i| (i * 2654435761) % (4 * ROWS)).collect();
+        let mut out = vec![0.0f32; ROWS * D];
+        cases.push(Case {
+            name: "gather_rows_into",
+            shape: format!("{ROWS} rows x {D}"),
+            bytes: 4 * (2 * ROWS * D) as u64,
+            flops: 0,
+            run: Box::new(move |collect| {
+                kernels::gather_rows_into(&src, D, &idx, &mut out);
+                if collect { out.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        let src = vec_of(ROWS * D, 14);
+        let idx: Vec<usize> = (0..ROWS).map(|i| (i * 2654435761) % (4 * ROWS)).collect();
+        let mut dst = vec![0.0f32; 4 * ROWS * D];
+        cases.push(Case {
+            name: "scatter_add_rows",
+            shape: format!("{ROWS} rows x {D} (dup idx)"),
+            bytes: 4 * (3 * ROWS * D) as u64,
+            flops: (ROWS * D) as u64,
+            run: Box::new(move |collect| {
+                dst.fill(0.0);
+                kernels::scatter_add_rows(&mut dst, D, &idx, &src);
+                if collect { dst.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+
+    // --- Elementwise column-lane kernels ------------------------------
+    {
+        let src = vec_of(FLAT, 15);
+        let mut dst = vec_of(FLAT, 16);
+        cases.push(Case {
+            name: "axpy",
+            shape: format!("n={FLAT}"),
+            bytes: 4 * (3 * FLAT) as u64,
+            flops: 2 * FLAT as u64,
+            run: Box::new(move |collect| {
+                dst.fill(0.5);
+                kernels::axpy(&mut dst, -0.125, &src);
+                if collect { dst.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        let a = vec_of(FLAT, 17);
+        let b = vec_of(FLAT, 18);
+        let mut dst = vec![0.0f32; FLAT];
+        cases.push(Case {
+            name: "hadamard_acc",
+            shape: format!("n={FLAT}"),
+            bytes: 4 * (4 * FLAT) as u64,
+            flops: 2 * FLAT as u64,
+            run: Box::new(move |collect| {
+                dst.fill(0.0);
+                kernels::hadamard_acc(&mut dst, &a, &b);
+                if collect { dst.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        let w = vec_of(ROWS, 19);
+        let mut data = vec![0.0f32; ROWS * D];
+        let init = vec_of(ROWS * D, 20);
+        cases.push(Case {
+            name: "scale_rows",
+            shape: format!("{ROWS} rows x {D}"),
+            bytes: 4 * (2 * ROWS * D + ROWS) as u64,
+            flops: (ROWS * D) as u64,
+            run: Box::new(move |collect| {
+                data.copy_from_slice(&init);
+                kernels::scale_rows(&mut data, D, &w);
+                if collect { data.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+    {
+        let a = vec_of(ROWS * D, 21);
+        let b = vec_of(ROWS * D, 22);
+        let mut out = vec![0.0f32; ROWS];
+        cases.push(Case {
+            name: "rowwise_dot_into",
+            shape: format!("{ROWS} rows x {D}"),
+            bytes: 4 * (2 * ROWS * D + ROWS) as u64,
+            flops: 2 * (ROWS * D) as u64,
+            run: Box::new(move |collect| {
+                kernels::rowwise_dot_into(&a, &b, D, &mut out);
+                if collect { out.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+
+    // --- Fused MulBroadcastCol backward (attention row-scale) ---------
+    {
+        let g = vec_of(ROWS * D, 31);
+        let a = vec_of(ROWS * D, 32);
+        let w = vec_of(ROWS, 33);
+        let mut da = vec![0.0f32; ROWS * D];
+        let mut dw = vec![0.0f32; ROWS];
+        cases.push(Case {
+            name: "mul_broadcast_col_grad",
+            shape: format!("{ROWS} rows x {D}"),
+            bytes: 4 * (3 * ROWS * D + 2 * ROWS) as u64,
+            flops: (3 * ROWS * D) as u64,
+            run: Box::new(move |collect| {
+                kernels::mul_broadcast_col_grad(&g, &a, &w, D, &mut da, &mut dw);
+                if collect {
+                    da.iter().chain(dw.iter()).map(|v| v.to_bits()).collect()
+                } else {
+                    Vec::new()
+                }
+            }),
+        });
+    }
+
+    // --- Fused attention aggregation (gather → scale → segment-sum) ---
+    {
+        let n_seg = ROWS / 4;
+        let tails: Vec<usize> = (0..ROWS).map(|e| (e * 7 + 3) % ROWS).collect();
+        let heads: Vec<usize> = (0..ROWS).map(|e| (e * 5 + 1) % n_seg).collect();
+        let h = vec_of(ROWS * D, 34);
+        let att = vec_of(ROWS, 35);
+        let mut out = vec![0.0f32; n_seg * D];
+        let (t2, hd2) = (tails.clone(), heads.clone());
+        cases.push(Case {
+            name: "gather_scale_segment_sum_into",
+            shape: format!("{ROWS} edges x {D} -> {n_seg} segs"),
+            bytes: 4 * (3 * ROWS * D + ROWS) as u64,
+            flops: (2 * ROWS * D) as u64,
+            run: Box::new(move |collect| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                kernels::gather_scale_segment_sum_into(&h, D, &t2, &att, &hd2, &mut out);
+                if collect { out.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+
+        let g = vec_of(n_seg * D, 36);
+        let h2 = vec_of(ROWS * D, 34);
+        let att2 = vec_of(ROWS, 35);
+        let mut dh = vec![0.0f32; ROWS * D];
+        let mut datt = vec![0.0f32; ROWS];
+        cases.push(Case {
+            name: "gather_scale_segment_sum_grad",
+            shape: format!("{ROWS} edges x {D} -> {n_seg} segs"),
+            bytes: 4 * (4 * ROWS * D + 2 * ROWS) as u64,
+            flops: (4 * ROWS * D) as u64,
+            run: Box::new(move |collect| {
+                dh.iter_mut().for_each(|v| *v = 0.0);
+                datt.iter_mut().for_each(|v| *v = 0.0);
+                kernels::gather_scale_segment_sum_grad(
+                    &g, &h2, D, &tails, &att2, &heads, &mut dh, &mut datt,
+                );
+                if collect {
+                    dh.iter().chain(datt.iter()).map(|v| v.to_bits()).collect()
+                } else {
+                    Vec::new()
+                }
+            }),
+        });
+    }
+
+    // --- Fused activation backwards -----------------------------------
+    let grads: [(&'static str, ActGradFn); 3] = [
+        ("tanh_grad_mul", kernels::tanh_grad_mul),
+        ("sigmoid_grad_mul", kernels::sigmoid_grad_mul),
+        ("leaky_relu_grad_mul", kernels::leaky_relu_grad_mul),
+    ];
+    for (name, f) in grads {
+        let x = vec_of(FLAT, 23);
+        let g = vec_of(FLAT, 24);
+        let mut out = vec![0.0f32; FLAT];
+        cases.push(Case {
+            name,
+            shape: format!("n={FLAT}"),
+            bytes: 4 * (3 * FLAT) as u64,
+            flops: 3 * FLAT as u64,
+            run: Box::new(move |collect| {
+                f(&x, &g, &mut out);
+                if collect { out.iter().map(|v| v.to_bits()).collect() } else { Vec::new() }
+            }),
+        });
+    }
+
+    // --- Segment softmax (attention normalization) --------------------
+    {
+        // CSR segments of mixed length incl. empties, like per-head
+        // neighborhood fans.
+        let mut offsets = vec![0usize];
+        let mut total = 0usize;
+        let mut s = 0usize;
+        while total < ROWS * 8 {
+            let len = [0, 3, 8, 17, 33][s % 5];
+            total += len;
+            offsets.push(total);
+            s += 1;
+        }
+        let init = vec_of(total, 25);
+        let g = vec_of(total, 26);
+        let mut data = vec![0.0f32; total];
+        let mut grad = vec![0.0f32; total];
+        cases.push(Case {
+            name: "segment_softmax_fwd+bwd",
+            shape: format!("{total} scores / {} segs", offsets.len() - 1),
+            bytes: 4 * (4 * total) as u64,
+            flops: 8 * total as u64,
+            run: Box::new(move |collect| {
+                data.copy_from_slice(&init);
+                kernels::segment_softmax_in_place(&mut data, &offsets);
+                kernels::segment_softmax_grad_into(&data, &g, &offsets, &mut grad);
+                if collect {
+                    data.iter().chain(grad.iter()).map(|v| v.to_bits()).collect()
+                } else {
+                    Vec::new()
+                }
+            }),
+        });
+    }
+
+    cases
+}

@@ -1,0 +1,1346 @@
+//! Explicit 8-lane f32 kernels for the training hot path.
+//!
+//! Every inner loop that bounds CKAT epoch time — gather/scatter-add,
+//! (transposed) matmul, row-wise dot/axpy, fused activation gradients,
+//! segment-softmax/segment-sum — lives here in two renderings:
+//!
+//! * [`lanes`] — manually unrolled over [`LANES`] independent f32
+//!   accumulator lanes, written so LLVM turns each lane loop into packed
+//!   vector arithmetic (no external SIMD crate, no intrinsics);
+//! * [`scalar`] — the naive one-element-at-a-time differential oracle.
+//!
+//! On x86-64 the dispatcher additionally recompiles the *identical*
+//! [`lanes`] bodies under `#[target_feature(enable = "avx2,fma")]` and
+//! picks that rendering when the CPU supports both (the default Rust
+//! x86-64 baseline is SSE2, which halves the vector width the lane loops
+//! can use). Every multiply-accumulate in the reducing/matmul kernels is
+//! an *explicit* [`f32::mul_add`] — a single-rounding IEEE fused
+//! multiply-add that produces the same bits in every rendering (`vfmadd`
+//! under the feature gate, libm `fmaf` on the baseline and in the
+//! oracle). What the contract bans is the *compiler* choosing to
+//! contract (Rust never does); an explicit fma is just another pinned
+//! operation, so all three renderings stay bitwise-identical —
+//! `kernel_diff.rs` and `kernel_bench` verify that on whatever path the
+//! host actually takes.
+//!
+//! # The lane-fold determinism contract
+//!
+//! Float addition is not associative, so a vectorized reduction is only
+//! deterministic if its association order is pinned. Every reducing
+//! kernel in this module follows one contract, the lane-level
+//! generalization of the workspace's `fold_ordered` pattern:
+//!
+//! 1. element `i` of the reduction belongs to lane `i % LANES`;
+//! 2. each lane accumulates its elements in increasing `i`;
+//! 3. the [`LANES`] partial sums fold in the fixed tree order of
+//!    [`fold_lanes`]: `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+//!
+//! The [`scalar`] oracle implements the *same* contract with plain
+//! indexed loops, which is what makes "vectorized ≡ scalar" a **bitwise**
+//! statement rather than a tolerance (`crates/linalg/tests/kernel_diff.rs`
+//! proves it for every kernel, including ragged tails and empty inputs).
+//! Kernels that only stream independent lanes (scatter-add, axpy,
+//! hadamard, fused activation gradients) never re-associate anything and
+//! are bitwise-stable by construction; they still ship both renderings so
+//! the oracle stays total.
+//!
+//! # Tiling parameters
+//!
+//! [`matmul_rows_into`] register-blocks each output row: a 16-column
+//! stack tile (`lanes::RB`) accumulates across the whole `k` walk, so
+//! `out` traffic drops to one load + one store per block while `b` is
+//! read in column strips ([`TILE_K`] documents the `k`-panel bound that
+//! keeps a `b` strip L1-resident for the widths this workspace uses).
+//! [`matmul_transpose_b_rows_into`] processes [`TILE_J`]-row blocks of
+//! `b` so each block is reused across all rows of `a` from L1 instead of
+//! re-streaming from L2/DRAM. Neither blocking scheme changes the
+//! per-element accumulation order (each output element still sees plain
+//! increasing `k`/`j`), so tiling is invisible to the determinism
+//! contract.
+//!
+//! # Adding a kernel
+//!
+//! 1. Write the [`scalar`] rendering first; if it reduces floats, express
+//!    it through lane accumulators + [`fold_lanes`] (the `lane-fold`
+//!    audit rule flags single-accumulator reductions in this file).
+//! 2. Mirror it in [`lanes`] with `chunks_exact(LANES)` bodies; the tail
+//!    must feed remainder element `j` into lane `j`, exactly like the
+//!    oracle's `i % LANES` assignment.
+//! 3. Add a dispatching wrapper, a case to `kernel_diff.rs` (odd sizes,
+//!    empty inputs), and a row to `kernel_bench`.
+
+use crate::ops;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Accumulator lanes per reducing kernel — matches one AVX2 register of
+/// f32 and is enough independent add chains to hide FP add latency on
+/// anything newer.
+pub const LANES: usize = 8;
+
+/// When set, every dispatching kernel routes to the [`scalar`] oracle
+/// instead of the [`lanes`] rendering. The two are bitwise-identical (see
+/// the module docs), so this is a debugging/verification switch, not a
+/// numerics switch.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Route all dispatching kernels to the [`scalar`] oracle (`true`) or
+/// back to the [`lanes`] rendering (`false`). Used by differential tests
+/// and `fkgserve bench`'s exactness gate; training never calls this.
+pub fn set_scalar_kernels(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// True when [`set_scalar_kernels`] has routed kernels to the oracle.
+pub fn scalar_kernels() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Fold [`LANES`] partial sums in the contract's fixed tree order:
+/// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+#[inline(always)]
+pub fn fold_lanes(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// `k`-panel height of [`matmul_rows_into`]: 64 rows of a ≤256-wide `b`
+/// panel occupy ≤64 KiB, within reach of L1/L2 while one output row
+/// accumulates.
+pub const TILE_K: usize = 64;
+
+/// `b`-row block of [`matmul_transpose_b_rows_into`]: 32 rows × ≤256
+/// columns ≤ 32 KiB, so a block stays L1-resident while every row of `a`
+/// dots against it.
+pub const TILE_J: usize = 32;
+
+/// True once the host is known to support AVX2 *and* FMA (x86-64
+/// only; cached
+/// after the first query). Determinism is unaffected either way — the
+/// AVX2 rendering is the same source compiled wider — so this only
+/// selects codegen, never numerics.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn avx2_enabled() -> bool {
+    use std::sync::atomic::AtomicU8;
+    // 0 = unknown, 1 = absent, 2 = present.
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let on = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
+macro_rules! dispatch {
+    ($name:ident($($arg:expr),*)) => {{
+        #[cfg(target_arch = "x86_64")]
+        {
+            if scalar_kernels() {
+                scalar::$name($($arg),*)
+            } else if avx2_enabled() {
+                // SAFETY: `avx2_enabled()` just verified AVX2 + FMA support.
+                unsafe { avx2::$name($($arg),*) }
+            } else {
+                lanes::$name($($arg),*)
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            if scalar_kernels() {
+                scalar::$name($($arg),*)
+            } else {
+                lanes::$name($($arg),*)
+            }
+        }
+    }};
+}
+
+/// Dispatch for memory-bound kernels (elementwise maps, gathers): the
+/// wider AVX2 rendering buys nothing once DRAM bandwidth is the limit —
+/// measured on `kernel_bench` it *loses* to the baseline codegen — so
+/// these skip the `avx2` tier and go straight to [`lanes`].
+macro_rules! dispatch_membound {
+    ($name:ident($($arg:expr),*)) => {{
+        if scalar_kernels() {
+            scalar::$name($($arg),*)
+        } else {
+            lanes::$name($($arg),*)
+        }
+    }};
+}
+
+// ----------------------------------------------------------------------
+// Dispatching wrappers (the public kernel surface)
+// ----------------------------------------------------------------------
+
+/// Lane-folded dot product of two equal-length slices.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    dispatch!(dot(a, b))
+}
+
+/// Lane-folded sum of a slice.
+#[inline]
+pub fn sum(a: &[f32]) -> f32 {
+    dispatch!(sum(a))
+}
+
+/// Fused CKAT attention reduction `Σᵢ t[i] · tanh(h[i] + r[i])`
+/// (the `W_r e_h + e_r → tanh → dot` chain collapsed to one pass).
+#[inline]
+pub fn fused_tanh_dot(t: &[f32], h: &[f32], r: &[f32]) -> f32 {
+    debug_assert_eq!(t.len(), h.len());
+    debug_assert_eq!(t.len(), r.len());
+    dispatch!(fused_tanh_dot(t, h, r))
+}
+
+/// `out += a_rows · b` for row-major `a_rows` (`?×k`), `b` (`k×n`),
+/// `out` (same row count as `a_rows`, width `n`). Each output element
+/// accumulates over `k` in increasing order; rows with `a == 0.0` are
+/// skipped in both renderings (identical bits — the skipped term is an
+/// exact `±0.0` contribution to a non-negative-zero accumulator).
+#[inline]
+pub fn matmul_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(a_rows.len() / k.max(1) * n, out.len());
+    dispatch!(matmul_rows_into(a_rows, k, b, n, out))
+}
+
+/// `out[i·n + j] += a_rows[i] · b[j]` — the `a · bᵀ` kernel over
+/// row-major `a_rows` (`?×k`) and `b` (`n×k`); every output element is a
+/// lane-folded length-`k` dot product.
+#[inline]
+pub fn matmul_transpose_b_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(b.len(), n * k);
+    dispatch!(matmul_transpose_b_rows_into(a_rows, k, b, n, out))
+}
+
+/// `out (m×n) += aᵀ · b` for row-major `a` (`r×m`) and `b` (`r×n`),
+/// accumulated as a sequence of rank-1 outer products in increasing row
+/// order (zero `a` entries skipped, as in [`matmul_rows_into`]).
+#[inline]
+pub fn transpose_matmul_into(a: &[f32], m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
+    dispatch!(transpose_matmul_into(a, m, b, n, out))
+}
+
+/// Gather rows: `out[i] = src[indices[i]]` over row-major storage with
+/// `cols` columns.
+#[inline]
+pub fn gather_rows_into(src: &[f32], cols: usize, indices: &[usize], out: &mut [f32]) {
+    debug_assert_eq!(out.len(), indices.len() * cols);
+    dispatch_membound!(gather_rows_into(src, cols, indices, out))
+}
+
+/// Scatter-add rows: `dst[indices[i]] += src[i]`, visiting `i` in
+/// increasing order (the scatter-order contract `SparseRowGrad` and the
+/// dense gather backward both rely on). Lanes are independent columns,
+/// so no re-association happens.
+#[inline]
+pub fn scatter_add_rows(dst: &mut [f32], cols: usize, indices: &[usize], src: &[f32]) {
+    debug_assert_eq!(src.len(), indices.len() * cols);
+    dispatch_membound!(scatter_add_rows(dst, cols, indices, src))
+}
+
+/// Segment-sum over CSR-style segment ids: `out[seg_of_row[i]] += src[i]`
+/// — [`scatter_add_rows`] under its message-passing name (paper Eq. 3).
+#[inline]
+pub fn segment_sum_into(src: &[f32], cols: usize, seg_of_row: &[usize], out: &mut [f32]) {
+    scatter_add_rows(out, cols, seg_of_row, src);
+}
+
+/// Fused attention aggregation `out[heads[e]] += h[tails[e]] · att[e]`,
+/// in edge order — the `gather_rows → scale_rows → segment_sum` chain in
+/// one pass, with no `E × cols` intermediates. Each product is rounded
+/// once and then added, exactly as the unfused chain rounds the scaled
+/// message before segment-summing it, so the output bits match the
+/// chain's.
+#[inline]
+pub fn gather_scale_segment_sum_into(
+    h: &[f32],
+    cols: usize,
+    tails: &[usize],
+    att: &[f32],
+    heads: &[usize],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(tails.len(), heads.len());
+    debug_assert_eq!(tails.len(), att.len());
+    dispatch_membound!(gather_scale_segment_sum_into(h, cols, tails, att, heads, out))
+}
+
+/// Backward of [`gather_scale_segment_sum_into`], folded straight into
+/// live gradient buffers: for every edge `e`, in edge order,
+/// `datt[e] += g[heads[e]] ⋅ h[tails[e]]` (lane-folded, the
+/// [`rowwise_dot_into`] contract) and `dh[tails[e]] += g[heads[e]] · att[e]`
+/// (plain product-then-add, the [`scatter_add_rows`] rounding). These are
+/// the exact values and the exact accumulation order of the unfused
+/// segment-sum/mul-broadcast/gather backward chain.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn gather_scale_segment_sum_grad(
+    g: &[f32],
+    h: &[f32],
+    cols: usize,
+    tails: &[usize],
+    att: &[f32],
+    heads: &[usize],
+    dh: &mut [f32],
+    datt: &mut [f32],
+) {
+    debug_assert_eq!(tails.len(), heads.len());
+    debug_assert_eq!(tails.len(), att.len());
+    debug_assert_eq!(tails.len(), datt.len());
+    debug_assert_eq!(h.len(), dh.len());
+    dispatch!(gather_scale_segment_sum_grad(g, h, cols, tails, att, heads, dh, datt))
+}
+
+/// `dst += alpha · src`, elementwise.
+#[inline]
+pub fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    dispatch_membound!(axpy(dst, alpha, src))
+}
+
+/// `dst += src`, elementwise.
+#[inline]
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    debug_assert_eq!(dst.len(), src.len());
+    dispatch_membound!(add_assign(dst, src))
+}
+
+/// Hadamard-accumulate `dst += a ∘ b`, elementwise.
+#[inline]
+pub fn hadamard_acc(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    dispatch_membound!(hadamard_acc(dst, a, b))
+}
+
+/// Scale row `r` of a row-major buffer by `w[r]`.
+#[inline]
+pub fn scale_rows(data: &mut [f32], cols: usize, w: &[f32]) {
+    debug_assert_eq!(data.len(), w.len() * cols);
+    dispatch_membound!(scale_rows(data, cols, w))
+}
+
+/// Per-row lane-folded dot products: `out[i] = a_row_i · b_row_i`.
+#[inline]
+pub fn rowwise_dot_into(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len() * cols);
+    dispatch!(rowwise_dot_into(a, b, cols, out))
+}
+
+/// Fused backward of the attention row-scale (`MulBroadcastCol`): one
+/// pass computes `da[r][c] = g[r][c] · w[r]` (elementwise, the same
+/// product order as [`scale_rows`]) and `dw[r] = g_row_r ⋅ a_row_r`
+/// (lane-folded, the same contract as [`rowwise_dot_into`]), reading `g`
+/// once instead of streaming it through the clone + scale + rowwise-dot
+/// trio.
+#[inline]
+pub fn mul_broadcast_col_grad(
+    g: &[f32],
+    a: &[f32],
+    w: &[f32],
+    cols: usize,
+    da: &mut [f32],
+    dw: &mut [f32],
+) {
+    debug_assert_eq!(g.len(), a.len());
+    debug_assert_eq!(g.len(), da.len());
+    debug_assert_eq!(dw.len(), w.len());
+    dispatch!(mul_broadcast_col_grad(g, a, w, cols, da, dw))
+}
+
+/// Accumulating twin of [`mul_broadcast_col_grad`]: folds both halves
+/// straight into live gradient buffers (`dw[r] += g_row ⋅ a_row`,
+/// `da[r][c] += g[r][c] · w[r]`). Each element performs
+/// `existing + computed` — exactly the adds a `Matrix::add_assign` of a
+/// separate temporary would have done — so routing a backward arm
+/// through this kernel leaves every bit unchanged while skipping the
+/// temporary allocation and its extra full-matrix pass.
+#[inline]
+pub fn mul_broadcast_col_grad_acc(
+    g: &[f32],
+    a: &[f32],
+    w: &[f32],
+    cols: usize,
+    da: &mut [f32],
+    dw: &mut [f32],
+) {
+    debug_assert_eq!(g.len(), a.len());
+    debug_assert_eq!(g.len(), da.len());
+    debug_assert_eq!(dw.len(), w.len());
+    dispatch!(mul_broadcast_col_grad_acc(g, a, w, cols, da, dw))
+}
+
+/// Fused LeakyReLU backward: `out[i] = leaky_relu'(x[i]) · g[i]` in one
+/// pass (same product, same bits as the former map-then-hadamard pair).
+#[inline]
+pub fn leaky_relu_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
+    dispatch_membound!(leaky_relu_grad_mul(x, g, out))
+}
+
+/// Fused ReLU backward: `out[i] = relu'(x[i]) · g[i]`.
+#[inline]
+pub fn relu_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
+    dispatch_membound!(relu_grad_mul(x, g, out))
+}
+
+/// Fused tanh backward from the forward *output*:
+/// `out[i] = (1 − y[i]²) · g[i]`.
+#[inline]
+pub fn tanh_grad_mul(y: &[f32], g: &[f32], out: &mut [f32]) {
+    dispatch_membound!(tanh_grad_mul(y, g, out))
+}
+
+/// Fused sigmoid backward from the forward *output*:
+/// `out[i] = y[i] · (1 − y[i]) · g[i]`.
+#[inline]
+pub fn sigmoid_grad_mul(y: &[f32], g: &[f32], out: &mut [f32]) {
+    dispatch_membound!(sigmoid_grad_mul(y, g, out))
+}
+
+/// Fused log-sigmoid backward: `out[i] = σ(−x[i]) · g[i]`.
+#[inline]
+pub fn log_sigmoid_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
+    dispatch_membound!(log_sigmoid_grad_mul(x, g, out))
+}
+
+/// Numerically stable softmax over one span, with the span's exp-sum
+/// reduced under the lane-fold contract. Empty spans are a no-op.
+#[inline]
+pub fn softmax_in_place(xs: &mut [f32]) {
+    dispatch_membound!(softmax_in_place(xs))
+}
+
+/// Softmax over contiguous CSR segments of a score column: segment `s`
+/// spans `offsets[s] .. offsets[s+1]` (paper Eq. 5).
+#[inline]
+pub fn segment_softmax_in_place(data: &mut [f32], offsets: &[usize]) {
+    for w in offsets.windows(2) {
+        softmax_in_place(&mut data[w[0]..w[1]]);
+    }
+}
+
+/// Segment-softmax backward: per segment,
+/// `da[i] = y[i] · (g[i] − Σⱼ g[j]·y[j])` with the inner sum lane-folded.
+#[inline]
+pub fn segment_softmax_grad_into(y: &[f32], g: &[f32], offsets: &[usize], out: &mut [f32]) {
+    debug_assert_eq!(y.len(), g.len());
+    debug_assert_eq!(y.len(), out.len());
+    dispatch!(segment_softmax_grad_into(y, g, offsets, out))
+}
+
+// ----------------------------------------------------------------------
+// Scalar oracle
+// ----------------------------------------------------------------------
+
+/// Naive one-element-at-a-time renderings of every kernel, implementing
+/// the identical lane-fold contract (module docs) — the differential
+/// oracle the vectorized path is proven bitwise-equal against.
+pub mod scalar {
+    use super::{fold_lanes, ops, LANES};
+
+    /// Oracle for [`super::dot`].
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+            acc[i % LANES] = x.mul_add(y, acc[i % LANES]);
+        }
+        fold_lanes(acc)
+    }
+
+    /// Oracle for [`super::sum`].
+    pub fn sum(a: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        for (i, &x) in a.iter().enumerate() {
+            acc[i % LANES] += x;
+        }
+        fold_lanes(acc)
+    }
+
+    /// Oracle for [`super::fused_tanh_dot`].
+    pub fn fused_tanh_dot(t: &[f32], h: &[f32], r: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        for (i, ((&tv, &hv), &rv)) in t.iter().zip(h).zip(r).enumerate() {
+            acc[i % LANES] = tv.mul_add(ops::tanh(hv + rv), acc[i % LANES]);
+        }
+        fold_lanes(acc)
+    }
+
+    /// Oracle for [`super::matmul_rows_into`].
+    pub fn matmul_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        if k == 0 || n == 0 {
+            return;
+        }
+        for (a_row, out_row) in a_rows.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    out_row[j] = a.mul_add(b_row[j], out_row[j]);
+                }
+            }
+        }
+    }
+
+    /// Oracle for [`super::matmul_transpose_b_rows_into`].
+    pub fn matmul_transpose_b_rows_into(
+        a_rows: &[f32],
+        k: usize,
+        b: &[f32],
+        n: usize,
+        out: &mut [f32],
+    ) {
+        if n == 0 {
+            return;
+        }
+        let m = a_rows.len().checked_div(k).unwrap_or(out.len() / n);
+        for i in 0..m {
+            let a_row = &a_rows[i * k..(i + 1) * k];
+            for j in 0..n {
+                out[i * n + j] += dot(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// Oracle for [`super::transpose_matmul_into`].
+    pub fn transpose_matmul_into(a: &[f32], m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        if m == 0 || n == 0 {
+            return;
+        }
+        for (a_row, b_row) in a.chunks_exact(m).zip(b.chunks_exact(n)) {
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[i * n..(i + 1) * n];
+                for j in 0..n {
+                    out_row[j] = av.mul_add(b_row[j], out_row[j]);
+                }
+            }
+        }
+    }
+
+    /// Oracle for [`super::gather_rows_into`].
+    pub fn gather_rows_into(src: &[f32], cols: usize, indices: &[usize], out: &mut [f32]) {
+        for (dst_row, &i) in out.chunks_exact_mut(cols.max(1)).zip(indices) {
+            for (c, o) in dst_row.iter_mut().enumerate() {
+                *o = src[i * cols + c];
+            }
+        }
+    }
+
+    /// Oracle for [`super::scatter_add_rows`].
+    pub fn scatter_add_rows(dst: &mut [f32], cols: usize, indices: &[usize], src: &[f32]) {
+        for (src_row, &i) in src.chunks_exact(cols.max(1)).zip(indices) {
+            for (c, &x) in src_row.iter().enumerate() {
+                dst[i * cols + c] += x;
+            }
+        }
+    }
+
+    /// Oracle for [`super::axpy`].
+    pub fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += alpha * s;
+        }
+    }
+
+    /// Oracle for [`super::add_assign`].
+    pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+    }
+
+    /// Oracle for [`super::hadamard_acc`].
+    pub fn hadamard_acc(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d += x * y;
+        }
+    }
+
+    /// Oracle for [`super::scale_rows`].
+    pub fn scale_rows(data: &mut [f32], cols: usize, w: &[f32]) {
+        for (row, &s) in data.chunks_exact_mut(cols.max(1)).zip(w) {
+            for x in row {
+                *x *= s;
+            }
+        }
+    }
+
+    /// Oracle for [`super::rowwise_dot_into`].
+    pub fn rowwise_dot_into(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]) {
+        for ((a_row, b_row), o) in
+            a.chunks_exact(cols.max(1)).zip(b.chunks_exact(cols.max(1))).zip(out)
+        {
+            *o = dot(a_row, b_row);
+        }
+    }
+
+    /// Oracle for [`super::mul_broadcast_col_grad`].
+    pub fn mul_broadcast_col_grad(
+        g: &[f32],
+        a: &[f32],
+        w: &[f32],
+        cols: usize,
+        da: &mut [f32],
+        dw: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for (((g_row, a_row), da_row), (o, &wr)) in g
+            .chunks_exact(c)
+            .zip(a.chunks_exact(c))
+            .zip(da.chunks_exact_mut(c))
+            .zip(dw.iter_mut().zip(w))
+        {
+            *o = dot(g_row, a_row);
+            for (d, &gv) in da_row.iter_mut().zip(g_row) {
+                *d = gv * wr;
+            }
+        }
+    }
+
+    /// Oracle for [`super::gather_scale_segment_sum_into`].
+    pub fn gather_scale_segment_sum_into(
+        h: &[f32],
+        cols: usize,
+        tails: &[usize],
+        att: &[f32],
+        heads: &[usize],
+        out: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for ((&t, &seg), &a) in tails.iter().zip(heads).zip(att) {
+            let h_row = &h[t * c..t * c + cols];
+            let out_row = &mut out[seg * c..seg * c + cols];
+            for (o, &x) in out_row.iter_mut().zip(h_row) {
+                *o += x * a;
+            }
+        }
+    }
+
+    /// Oracle for [`super::gather_scale_segment_sum_grad`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn gather_scale_segment_sum_grad(
+        g: &[f32],
+        h: &[f32],
+        cols: usize,
+        tails: &[usize],
+        att: &[f32],
+        heads: &[usize],
+        dh: &mut [f32],
+        datt: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for (((&t, &seg), &a), d) in
+            tails.iter().zip(heads).zip(att).zip(datt.iter_mut())
+        {
+            let g_row = &g[seg * c..seg * c + cols];
+            let h_row = &h[t * c..t * c + cols];
+            *d += dot(g_row, h_row);
+            let dh_row = &mut dh[t * c..t * c + cols];
+            for (o, &gv) in dh_row.iter_mut().zip(g_row) {
+                *o += gv * a;
+            }
+        }
+    }
+
+    /// Oracle for [`super::mul_broadcast_col_grad_acc`].
+    pub fn mul_broadcast_col_grad_acc(
+        g: &[f32],
+        a: &[f32],
+        w: &[f32],
+        cols: usize,
+        da: &mut [f32],
+        dw: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for (((g_row, a_row), da_row), (o, &wr)) in g
+            .chunks_exact(c)
+            .zip(a.chunks_exact(c))
+            .zip(da.chunks_exact_mut(c))
+            .zip(dw.iter_mut().zip(w))
+        {
+            *o += dot(g_row, a_row);
+            for (d, &gv) in da_row.iter_mut().zip(g_row) {
+                *d += gv * wr;
+            }
+        }
+    }
+
+    /// Oracle for [`super::leaky_relu_grad_mul`].
+    pub fn leaky_relu_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
+        for ((o, &xv), &gv) in out.iter_mut().zip(x).zip(g) {
+            *o = ops::leaky_relu_grad(xv) * gv;
+        }
+    }
+
+    /// Oracle for [`super::relu_grad_mul`].
+    pub fn relu_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
+        for ((o, &xv), &gv) in out.iter_mut().zip(x).zip(g) {
+            *o = ops::relu_grad(xv) * gv;
+        }
+    }
+
+    /// Oracle for [`super::tanh_grad_mul`].
+    pub fn tanh_grad_mul(y: &[f32], g: &[f32], out: &mut [f32]) {
+        for ((o, &yv), &gv) in out.iter_mut().zip(y).zip(g) {
+            *o = ops::tanh_grad_from_output(yv) * gv;
+        }
+    }
+
+    /// Oracle for [`super::sigmoid_grad_mul`].
+    pub fn sigmoid_grad_mul(y: &[f32], g: &[f32], out: &mut [f32]) {
+        for ((o, &yv), &gv) in out.iter_mut().zip(y).zip(g) {
+            *o = ops::sigmoid_grad_from_output(yv) * gv;
+        }
+    }
+
+    /// Oracle for [`super::log_sigmoid_grad_mul`].
+    pub fn log_sigmoid_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
+        for ((o, &xv), &gv) in out.iter_mut().zip(x).zip(g) {
+            *o = ops::sigmoid(-xv) * gv;
+        }
+    }
+
+    /// Oracle for [`super::softmax_in_place`].
+    pub fn softmax_in_place(xs: &mut [f32]) {
+        if xs.is_empty() {
+            return;
+        }
+        let mut max = f32::NEG_INFINITY;
+        for &x in xs.iter() {
+            max = max.max(x);
+        }
+        for x in xs.iter_mut() {
+            *x = (*x - max).exp();
+        }
+        // The max element maps to exp(0) = 1, so sum >= 1 and the divide
+        // is safe.
+        let s = sum(xs);
+        for x in xs.iter_mut() {
+            *x /= s;
+        }
+    }
+
+    /// Oracle for [`super::segment_softmax_grad_into`].
+    pub fn segment_softmax_grad_into(y: &[f32], g: &[f32], offsets: &[usize], out: &mut [f32]) {
+        for w in offsets.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut acc = [0.0f32; LANES];
+            for i in lo..hi {
+                acc[(i - lo) % LANES] = g[i].mul_add(y[i], acc[(i - lo) % LANES]);
+            }
+            let sum_gy = fold_lanes(acc);
+            for i in lo..hi {
+                out[i] = y[i] * (g[i] - sum_gy);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Vectorized (manually unrolled) renderings
+// ----------------------------------------------------------------------
+
+/// Manually unrolled 8-lane renderings. Bitwise-identical to [`scalar`]
+/// under the module's lane-fold contract; the unrolled accumulator arrays
+/// and `chunks_exact` bodies are what lets LLVM emit packed vector code.
+pub mod lanes {
+    use super::{fold_lanes, ops, LANES, TILE_J};
+
+    /// 8-lane dot product (see the module's determinism contract).
+    #[inline(always)]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut ac = a.chunks_exact(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for (ca, cb) in (&mut ac).zip(&mut bc) {
+            for j in 0..LANES {
+                acc[j] = ca[j].mul_add(cb[j], acc[j]);
+            }
+        }
+        for (j, (&x, &y)) in ac.remainder().iter().zip(bc.remainder()).enumerate() {
+            acc[j] = x.mul_add(y, acc[j]);
+        }
+        fold_lanes(acc)
+    }
+
+    /// 8-lane sum.
+    #[inline(always)]
+    pub fn sum(a: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut chunks = a.chunks_exact(LANES);
+        for c in &mut chunks {
+            for j in 0..LANES {
+                acc[j] += c[j];
+            }
+        }
+        for (j, &x) in chunks.remainder().iter().enumerate() {
+            acc[j] += x;
+        }
+        fold_lanes(acc)
+    }
+
+    /// Fused `Σ t·tanh(h+r)` with 8 accumulator lanes. `tanh` itself is
+    /// evaluated per element (libm has no packed tanh); the win is one
+    /// pass over the operands and no temporaries.
+    #[inline(always)]
+    pub fn fused_tanh_dot(t: &[f32], h: &[f32], r: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANES];
+        let mut tc = t.chunks_exact(LANES);
+        let mut hc = h.chunks_exact(LANES);
+        let mut rc = r.chunks_exact(LANES);
+        for ((ct, ch), cr) in (&mut tc).zip(&mut hc).zip(&mut rc) {
+            for j in 0..LANES {
+                acc[j] = ct[j].mul_add(ops::tanh(ch[j] + cr[j]), acc[j]);
+            }
+        }
+        for (j, ((&tv, &hv), &rv)) in
+            tc.remainder().iter().zip(hc.remainder()).zip(rc.remainder()).enumerate()
+        {
+            acc[j] = tv.mul_add(ops::tanh(hv + rv), acc[j]);
+        }
+        fold_lanes(acc)
+    }
+
+    /// Unrolled saxpy body shared by the matmul kernels: `out += a · b`.
+    #[inline(always)]
+    fn saxpy(a: f32, b: &[f32], out: &mut [f32]) {
+        let mut bc = b.chunks_exact(LANES);
+        let mut oc = out.chunks_exact_mut(LANES);
+        for (cb, co) in (&mut bc).zip(&mut oc) {
+            for j in 0..LANES {
+                co[j] = a.mul_add(cb[j], co[j]);
+            }
+        }
+        for (o, &bv) in oc.into_remainder().iter_mut().zip(bc.remainder()) {
+            *o = a.mul_add(bv, *o);
+        }
+    }
+
+    /// Register width of [`matmul_rows_into`]'s output block: 16 f32 =
+    /// two vector registers' worth of accumulators held across the whole
+    /// `k` walk, so `out` is loaded and stored once per block instead of
+    /// once per `k` step.
+    const RB: usize = 16;
+
+    /// Register-blocked `out += a_rows · b`: each 16-column block of an
+    /// output row accumulates in a stack tile across the full `k` walk
+    /// (one load + one store of `out` per block), with `b` read in
+    /// column-block strips. Per output element the accumulation order is
+    /// plain increasing `k` — exactly the scalar oracle's — so blocking
+    /// changes memory traffic, not bits.
+    #[inline(always)]
+    pub fn matmul_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        if k == 0 || n == 0 {
+            return;
+        }
+        for (a_row, out_row) in a_rows.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            let mut j0 = 0;
+            while j0 + RB <= n {
+                let mut acc = [0.0f32; RB];
+                acc.copy_from_slice(&out_row[j0..j0 + RB]);
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n + j0..kk * n + j0 + RB];
+                    for j in 0..RB {
+                        acc[j] = a.mul_add(brow[j], acc[j]);
+                    }
+                }
+                out_row[j0..j0 + RB].copy_from_slice(&acc);
+                j0 += RB; // audit: lanes — integer column stride, not a float reduction
+            }
+            if j0 < n {
+                // Ragged column tail: per-`k` saxpy over the remainder.
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    saxpy(a, &b[kk * n + j0..(kk + 1) * n], &mut out_row[j0..]);
+                }
+            }
+        }
+    }
+
+    /// Blocked-transposed `out += a_rows · bᵀ`: `b` rows are processed in
+    /// [`TILE_J`] blocks reused across all `a` rows; each output element
+    /// is one 8-lane [`dot`]. Within a block, `b`-row *pairs* share each
+    /// `a_row` load — the two dots keep their own lane accumulators, so
+    /// pairing changes load traffic, not any accumulation order.
+    #[inline(always)]
+    pub fn matmul_transpose_b_rows_into(
+        a_rows: &[f32],
+        k: usize,
+        b: &[f32],
+        n: usize,
+        out: &mut [f32],
+    ) {
+        if n == 0 {
+            return;
+        }
+        let m = a_rows.len().checked_div(k).unwrap_or(out.len() / n);
+        for j0 in (0..n).step_by(TILE_J) {
+            let j1 = (j0 + TILE_J).min(n);
+            for i in 0..m {
+                let a_row = &a_rows[i * k..(i + 1) * k];
+                let out_row = &mut out[i * n..(i + 1) * n];
+                let mut j = j0;
+                while j + 2 <= j1 {
+                    let (d0, d1) = dot_pair(a_row, &b[j * k..(j + 1) * k], &b[(j + 1) * k..(j + 2) * k]);
+                    out_row[j] += d0;
+                    out_row[j + 1] += d1;
+                    j += 2; // audit: lanes — integer stride bookkeeping, not a float reduction
+                }
+                if j < j1 {
+                    out_row[j] += dot(a_row, &b[j * k..(j + 1) * k]);
+                }
+            }
+        }
+    }
+
+    /// Two independent 8-lane dots of `a` against `b0` and `b1`, sharing
+    /// the `a` loads. Each dot follows the lane-fold contract on its own
+    /// accumulator array — bitwise-identical to two [`dot`] calls.
+    #[inline(always)]
+    fn dot_pair(a: &[f32], b0: &[f32], b1: &[f32]) -> (f32, f32) {
+        let mut acc0 = [0.0f32; LANES];
+        let mut acc1 = [0.0f32; LANES];
+        let mut ac = a.chunks_exact(LANES);
+        let mut b0c = b0.chunks_exact(LANES);
+        let mut b1c = b1.chunks_exact(LANES);
+        for ((ca, cb0), cb1) in (&mut ac).zip(&mut b0c).zip(&mut b1c) {
+            for j in 0..LANES {
+                acc0[j] = ca[j].mul_add(cb0[j], acc0[j]);
+                acc1[j] = ca[j].mul_add(cb1[j], acc1[j]);
+            }
+        }
+        for (j, ((&x, &y0), &y1)) in
+            ac.remainder().iter().zip(b0c.remainder()).zip(b1c.remainder()).enumerate()
+        {
+            acc0[j] = x.mul_add(y0, acc0[j]);
+            acc1[j] = x.mul_add(y1, acc1[j]);
+        }
+        (fold_lanes(acc0), fold_lanes(acc1))
+    }
+
+    /// `out (m×n) += aᵀ · b` as unrolled rank-1 updates in row order.
+    /// Data rows are walked in *pairs* so each `out` row is loaded and
+    /// stored once per two updates; within the fused pass the two terms
+    /// are still added sequentially (`o += a₀·b₀[j]` then `o += a₁·b₁[j]`),
+    /// so the accumulation order — and the zero-skip — match the scalar
+    /// oracle exactly.
+    #[inline(always)]
+    pub fn transpose_matmul_into(a: &[f32], m: usize, b: &[f32], n: usize, out: &mut [f32]) {
+        if m == 0 || n == 0 {
+            return;
+        }
+        let r = a.len() / m;
+        let mut r0 = 0;
+        while r0 + 2 <= r {
+            let a0 = &a[r0 * m..(r0 + 1) * m];
+            let a1 = &a[(r0 + 1) * m..(r0 + 2) * m];
+            let b0 = &b[r0 * n..(r0 + 1) * n];
+            let b1 = &b[(r0 + 1) * n..(r0 + 2) * n];
+            for i in 0..m {
+                let (av0, av1) = (a0[i], a1[i]);
+                let out_row = &mut out[i * n..(i + 1) * n];
+                if av0 != 0.0 && av1 != 0.0 {
+                    for ((o, &x0), &x1) in out_row.iter_mut().zip(b0).zip(b1) {
+                        *o = av0.mul_add(x0, *o);
+                        *o = av1.mul_add(x1, *o);
+                    }
+                } else if av0 != 0.0 {
+                    saxpy(av0, b0, out_row);
+                } else if av1 != 0.0 {
+                    saxpy(av1, b1, out_row);
+                }
+            }
+            r0 += 2; // audit: lanes — integer stride bookkeeping, not a float reduction
+        }
+        if r0 < r {
+            let a_row = &a[r0 * m..(r0 + 1) * m];
+            let b_row = &b[r0 * n..(r0 + 1) * n];
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                saxpy(av, b_row, &mut out[i * n..(i + 1) * n]);
+            }
+        }
+    }
+
+    /// Row gather — `copy_from_slice` per row (memcpy is already the
+    /// vector rendering).
+    #[inline(always)]
+    pub fn gather_rows_into(src: &[f32], cols: usize, indices: &[usize], out: &mut [f32]) {
+        for (dst_row, &i) in out.chunks_exact_mut(cols.max(1)).zip(indices) {
+            dst_row.copy_from_slice(&src[i * cols..(i + 1) * cols]);
+        }
+    }
+
+    /// Row scatter-add; rows visit in increasing `i` (the scatter-order
+    /// contract). Columns are independent lanes, so the flat zip loop —
+    /// which LLVM vectorizes without the `chunks_exact` bookkeeping that
+    /// dominates at typical embedding widths — is bitwise-identical to
+    /// any unrolling.
+    #[inline(always)]
+    pub fn scatter_add_rows(dst: &mut [f32], cols: usize, indices: &[usize], src: &[f32]) {
+        for (src_row, &i) in src.chunks_exact(cols.max(1)).zip(indices) {
+            let base = i * cols;
+            for (c, &x) in src_row.iter().enumerate() {
+                dst[base + c] += x;
+            }
+        }
+    }
+
+    /// Unrolled `dst += alpha · src`.
+    #[inline(always)]
+    pub fn axpy(dst: &mut [f32], alpha: f32, src: &[f32]) {
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut sc = src.chunks_exact(LANES);
+        for (cd, cs) in (&mut dc).zip(&mut sc) {
+            for j in 0..LANES {
+                cd[j] += alpha * cs[j];
+            }
+        }
+        for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d += alpha * s;
+        }
+    }
+
+    /// Unrolled `dst += src`.
+    #[inline(always)]
+    pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut sc = src.chunks_exact(LANES);
+        for (cd, cs) in (&mut dc).zip(&mut sc) {
+            for j in 0..LANES {
+                cd[j] += cs[j];
+            }
+        }
+        for (d, &s) in dc.into_remainder().iter_mut().zip(sc.remainder()) {
+            *d += s;
+        }
+    }
+
+    /// Unrolled `dst += a ∘ b`.
+    #[inline(always)]
+    pub fn hadamard_acc(dst: &mut [f32], a: &[f32], b: &[f32]) {
+        let mut dc = dst.chunks_exact_mut(LANES);
+        let mut ac = a.chunks_exact(LANES);
+        let mut bc = b.chunks_exact(LANES);
+        for ((cd, ca), cb) in (&mut dc).zip(&mut ac).zip(&mut bc) {
+            for j in 0..LANES {
+                cd[j] += ca[j] * cb[j];
+            }
+        }
+        for ((d, &x), &y) in dc.into_remainder().iter_mut().zip(ac.remainder()).zip(bc.remainder())
+        {
+            *d += x * y;
+        }
+    }
+
+    /// Row scaling with unrolled column lanes.
+    #[inline(always)]
+    pub fn scale_rows(data: &mut [f32], cols: usize, w: &[f32]) {
+        for (row, &s) in data.chunks_exact_mut(cols.max(1)).zip(w) {
+            let mut rc = row.chunks_exact_mut(LANES);
+            for cr in &mut rc {
+                for x in cr {
+                    *x *= s;
+                }
+            }
+            for x in rc.into_remainder() {
+                *x *= s;
+            }
+        }
+    }
+
+    /// Per-row 8-lane dots.
+    #[inline(always)]
+    pub fn rowwise_dot_into(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]) {
+        for ((a_row, b_row), o) in
+            a.chunks_exact(cols.max(1)).zip(b.chunks_exact(cols.max(1))).zip(out)
+        {
+            *o = dot(a_row, b_row);
+        }
+    }
+
+    /// One-pass [`super::mul_broadcast_col_grad`]: the dot reuses this
+    /// module's lane-folded [`dot`]; the row scale is an independent-lane
+    /// map, so the flat loop is bitwise-identical to any unrolling.
+    #[inline(always)]
+    pub fn mul_broadcast_col_grad(
+        g: &[f32],
+        a: &[f32],
+        w: &[f32],
+        cols: usize,
+        da: &mut [f32],
+        dw: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for (((g_row, a_row), da_row), (o, &wr)) in g
+            .chunks_exact(c)
+            .zip(a.chunks_exact(c))
+            .zip(da.chunks_exact_mut(c))
+            .zip(dw.iter_mut().zip(w))
+        {
+            *o = dot(g_row, a_row);
+            for (d, &gv) in da_row.iter_mut().zip(g_row) {
+                *d = gv * wr;
+            }
+        }
+    }
+
+    /// Fused attention aggregation; a per-edge scatter walk whose inner
+    /// loop is an independent-lane map, so the flat rendering is
+    /// bitwise-identical to any unrolling.
+    #[inline(always)]
+    pub fn gather_scale_segment_sum_into(
+        h: &[f32],
+        cols: usize,
+        tails: &[usize],
+        att: &[f32],
+        heads: &[usize],
+        out: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for ((&t, &seg), &a) in tails.iter().zip(heads).zip(att) {
+            let h_row = &h[t * c..t * c + cols];
+            let out_row = &mut out[seg * c..seg * c + cols];
+            for (o, &x) in out_row.iter_mut().zip(h_row) {
+                *o += x * a;
+            }
+        }
+    }
+
+    /// Backward of the fused attention aggregation: the dot reuses this
+    /// module's lane-folded [`dot`]; the scatter half is an
+    /// independent-lane map.
+    #[allow(clippy::too_many_arguments)]
+    #[inline(always)]
+    pub fn gather_scale_segment_sum_grad(
+        g: &[f32],
+        h: &[f32],
+        cols: usize,
+        tails: &[usize],
+        att: &[f32],
+        heads: &[usize],
+        dh: &mut [f32],
+        datt: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for (((&t, &seg), &a), d) in
+            tails.iter().zip(heads).zip(att).zip(datt.iter_mut())
+        {
+            let g_row = &g[seg * c..seg * c + cols];
+            let h_row = &h[t * c..t * c + cols];
+            *d += dot(g_row, h_row);
+            let dh_row = &mut dh[t * c..t * c + cols];
+            for (o, &gv) in dh_row.iter_mut().zip(g_row) {
+                *o += gv * a;
+            }
+        }
+    }
+
+    /// Accumulating twin of [`mul_broadcast_col_grad`]; see the
+    /// dispatcher-level docs for the bitwise argument.
+    #[inline(always)]
+    pub fn mul_broadcast_col_grad_acc(
+        g: &[f32],
+        a: &[f32],
+        w: &[f32],
+        cols: usize,
+        da: &mut [f32],
+        dw: &mut [f32],
+    ) {
+        let c = cols.max(1);
+        for (((g_row, a_row), da_row), (o, &wr)) in g
+            .chunks_exact(c)
+            .zip(a.chunks_exact(c))
+            .zip(da.chunks_exact_mut(c))
+            .zip(dw.iter_mut().zip(w))
+        {
+            *o += dot(g_row, a_row);
+            for (d, &gv) in da_row.iter_mut().zip(g_row) {
+                *d += gv * wr;
+            }
+        }
+    }
+
+    macro_rules! fused_grad_mul {
+        ($($(#[$doc:meta])* $name:ident via $gradf:expr;)*) => {$(
+            $(#[$doc])*
+            #[inline(always)]
+            pub fn $name(x: &[f32], g: &[f32], out: &mut [f32]) {
+                let mut oc = out.chunks_exact_mut(LANES);
+                let mut xc = x.chunks_exact(LANES);
+                let mut gc = g.chunks_exact(LANES);
+                for ((co, cx), cg) in (&mut oc).zip(&mut xc).zip(&mut gc) {
+                    for j in 0..LANES {
+                        co[j] = $gradf(cx[j]) * cg[j];
+                    }
+                }
+                for ((o, &xv), &gv) in
+                    oc.into_remainder().iter_mut().zip(xc.remainder()).zip(gc.remainder())
+                {
+                    *o = $gradf(xv) * gv;
+                }
+            }
+        )*};
+    }
+
+    fused_grad_mul! {
+        /// Fused LeakyReLU backward (`grad(x) · g` in one unrolled pass).
+        leaky_relu_grad_mul via ops::leaky_relu_grad;
+        /// Fused ReLU backward.
+        relu_grad_mul via ops::relu_grad;
+        /// Fused tanh backward from the output.
+        tanh_grad_mul via ops::tanh_grad_from_output;
+        /// Fused sigmoid backward from the output.
+        sigmoid_grad_mul via ops::sigmoid_grad_from_output;
+        /// Fused log-sigmoid backward.
+        log_sigmoid_grad_mul via |xv: f32| ops::sigmoid(-xv);
+    }
+
+    /// Softmax with an 8-lane exp-sum. The max scan stays a sequential
+    /// fold in both renderings (`max` needs no lane fold to be
+    /// deterministic here — both paths scan in the same order).
+    #[inline(always)]
+    pub fn softmax_in_place(xs: &mut [f32]) {
+        if xs.is_empty() {
+            return;
+        }
+        let mut max = f32::NEG_INFINITY;
+        for &x in xs.iter() {
+            max = max.max(x);
+        }
+        for x in xs.iter_mut() {
+            *x = (*x - max).exp();
+        }
+        let s = sum(xs);
+        for x in xs.iter_mut() {
+            *x /= s;
+        }
+    }
+
+    /// Segment-softmax backward with 8-lane per-segment `Σ g·y`.
+    #[inline(always)]
+    pub fn segment_softmax_grad_into(y: &[f32], g: &[f32], offsets: &[usize], out: &mut [f32]) {
+        for w in offsets.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let sum_gy = dot(&g[lo..hi], &y[lo..hi]);
+            for i in lo..hi {
+                out[i] = y[i] * (g[i] - sum_gy);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// AVX2 rendering (x86-64)
+// ----------------------------------------------------------------------
+
+/// The [`lanes`] bodies recompiled under `#[target_feature(enable =
+/// "avx2,fma")]`. Every function here is a one-line forward to its
+/// `lanes` twin — the `#[inline(always)]` bodies inline into these
+/// wrappers and LLVM regenerates them with 256-bit vectors and `vfmadd`
+/// for the explicit [`f32::mul_add`] calls (the crate's baseline is
+/// SSE2, where the same `mul_add` lowers to libm's exact `fmaf`). No
+/// intrinsics, no new code paths: identical Rust source means identical
+/// operations — fma is single-rounding IEEE in both lowerings — so this
+/// rendering is bitwise-equal to [`lanes`] and [`scalar`] by
+/// construction (and re-verified at runtime by `kernel_diff.rs` and
+/// `kernel_bench` on AVX2+FMA hosts).
+#[cfg(target_arch = "x86_64")]
+pub mod avx2 {
+    use super::lanes;
+
+    macro_rules! avx2_wrap {
+        ($( fn $name:ident($($arg:ident: $ty:ty),*) $(-> $ret:ty)?; )*) => {$(
+            /// AVX2-codegen rendering of the same-named [`lanes`] kernel.
+            ///
+            /// # Safety
+            /// The CPU must support AVX2 and FMA; the `dispatch!` macro
+            /// checks both with `is_x86_feature_detected!` first.
+            #[target_feature(enable = "avx2,fma")]
+            #[allow(clippy::too_many_arguments)]
+            // SAFETY: callers reach this only through `dispatch!`, which
+            // verifies avx2+fma with `is_x86_feature_detected!`.
+            pub unsafe fn $name($($arg: $ty),*) $(-> $ret)? {
+                lanes::$name($($arg),*)
+            }
+        )*};
+    }
+
+    avx2_wrap! {
+        fn dot(a: &[f32], b: &[f32]) -> f32;
+        fn sum(a: &[f32]) -> f32;
+        fn fused_tanh_dot(t: &[f32], h: &[f32], r: &[f32]) -> f32;
+        fn matmul_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]);
+        fn matmul_transpose_b_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]);
+        fn transpose_matmul_into(a: &[f32], m: usize, b: &[f32], n: usize, out: &mut [f32]);
+        fn rowwise_dot_into(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]);
+        fn mul_broadcast_col_grad(g: &[f32], a: &[f32], w: &[f32], cols: usize, da: &mut [f32], dw: &mut [f32]);
+        fn mul_broadcast_col_grad_acc(g: &[f32], a: &[f32], w: &[f32], cols: usize, da: &mut [f32], dw: &mut [f32]);
+        fn gather_scale_segment_sum_grad(g: &[f32], h: &[f32], cols: usize, tails: &[usize], att: &[f32], heads: &[usize], dh: &mut [f32], datt: &mut [f32]);
+        fn segment_softmax_grad_into(y: &[f32], g: &[f32], offsets: &[usize], out: &mut [f32]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_lanes_is_the_documented_tree() {
+        let acc = [1e8f32, 1.0, -1e8, 1.0, 3.0, 4.0, 5.0, 6.0];
+        let expect = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+        assert_eq!(fold_lanes(acc).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn dot_differs_from_sequential_sum_but_matches_oracle() {
+        // A vector engineered so association order matters.
+        let a: Vec<f32> = (0..37).map(|i| if i % 2 == 0 { 1e7 } else { -1e7 + 0.5 }).collect();
+        let b = vec![1.0f32; 37];
+        assert_eq!(dot(&a, &b).to_bits(), scalar::dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn scalar_mode_routes_to_oracle() {
+        let a: Vec<f32> = (0..19).map(|i| i as f32 * 0.37 - 2.0).collect();
+        let b: Vec<f32> = (0..19).map(|i| 1.5 - i as f32 * 0.11).collect();
+        set_scalar_kernels(true);
+        let s = dot(&a, &b);
+        set_scalar_kernels(false);
+        let v = dot(&a, &b);
+        assert_eq!(s.to_bits(), v.to_bits());
+        assert_eq!(s.to_bits(), scalar::dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn empty_inputs_are_safe() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(sum(&[]), 0.0);
+        assert_eq!(fused_tanh_dot(&[], &[], &[]), 0.0);
+        let mut out: Vec<f32> = vec![];
+        matmul_rows_into(&[], 0, &[], 0, &mut out);
+        softmax_in_place(&mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -15,15 +15,20 @@
 //!   broadcast, and reduction operations.
 //! * [`Matrix::matmul`] and friends — cache-friendly `ikj` matrix products
 //!   that switch to [rayon] data parallelism above a size threshold.
+//! * [`kernels`] — explicit 8-lane vectorized inner loops (and their
+//!   scalar differential oracles) that every hot matrix op routes
+//!   through; see that module's lane-fold determinism contract.
 //! * [`init`] — seeded Xavier/normal/uniform initializers.
 //! * [`ops`] — scalar activation functions and stable softmax used by both
 //!   the autograd engine and hand-rolled model code.
 //!
 //! Everything is deterministic given a seed: parallel kernels only split
 //! *independent output rows* across threads, so results are bitwise
-//! identical to the serial path.
+//! identical to the serial path, and every lane-level float reduction
+//! folds in the fixed order documented in [`kernels`].
 
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod ops;
 

@@ -5,6 +5,7 @@
 //! return a fresh matrix or mutate `self` in place (`*_assign` variants),
 //! which keeps ownership simple in the tape-based autograd.
 
+use crate::kernels;
 use rayon::prelude::*;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -179,9 +180,7 @@ impl Matrix {
     /// In-place elementwise `self += other`.
     pub fn add_assign(&mut self, other: &Self) {
         self.assert_same_shape(other, "add_assign");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += b;
-        }
+        kernels::add_assign(&mut self.data, &other.data);
     }
 
     /// Elementwise difference `self - other`.
@@ -219,9 +218,7 @@ impl Matrix {
     /// `self += alpha * other` (the BLAS `axpy` idiom).
     pub fn axpy(&mut self, alpha: f32, other: &Self) {
         self.assert_same_shape(other, "axpy");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        kernels::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Apply `f` to every element, returning a new matrix.
@@ -248,14 +245,13 @@ impl Matrix {
     pub fn add_row_broadcast(&self, bias: &Self) -> Self {
         assert_eq!(bias.rows, 1, "add_row_broadcast: bias must have one row");
         assert_eq!(bias.cols, self.cols, "add_row_broadcast: column mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows {
-            let row = out.row_mut(r);
-            for (x, b) in row.iter_mut().zip(&bias.data) {
-                *x += b;
-            }
+        // One pass: building by extension streams `self` once instead of
+        // clone-then-add twice; the per-element sums (and bits) match.
+        let mut data = Vec::with_capacity(self.data.len());
+        for row in self.data.chunks_exact(self.cols.max(1)) {
+            data.extend(row.iter().zip(&bias.data).map(|(&x, &b)| x + b));
         }
-        out
+        Self { rows: self.rows, cols: self.cols, data }
     }
 
     // ------------------------------------------------------------------
@@ -264,9 +260,10 @@ impl Matrix {
 
     /// Matrix product `self · other`.
     ///
-    /// Serial `ikj` loop for small problems; parallel over output rows via
-    /// rayon above `PAR_FLOPS_THRESHOLD`. The parallel split is by
-    /// independent output rows, so results match the serial path exactly.
+    /// Routed through the blocked [`kernels::matmul_rows_into`] kernel;
+    /// parallel over output rows via rayon above `PAR_FLOPS_THRESHOLD`.
+    /// The parallel split is by independent output rows, so results match
+    /// the serial path exactly.
     ///
     /// # Panics
     /// Panics on an inner-dimension mismatch.
@@ -281,27 +278,12 @@ impl Matrix {
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         let flops = m * k * n;
-        let kernel = |i: usize, out_row: &mut [f32]| {
-            let a_row = self.row(i);
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(kk);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        };
         if flops >= PAR_FLOPS_THRESHOLD && m > 1 {
-            out.data
-                .par_chunks_exact_mut(n)
-                .enumerate()
-                .for_each(|(i, out_row)| kernel(i, out_row));
+            out.data.par_chunks_exact_mut(n).enumerate().for_each(|(i, out_row)| {
+                kernels::matmul_rows_into(self.row(i), k, &other.data, n, out_row)
+            });
         } else {
-            for (i, out_row) in out.data.chunks_exact_mut(n).enumerate() {
-                kernel(i, out_row);
-            }
+            kernels::matmul_rows_into(&self.data, k, &other.data, n, &mut out.data);
         }
         out
     }
@@ -309,7 +291,8 @@ impl Matrix {
     /// Matrix product `self · otherᵀ`.
     ///
     /// Faster than `self.matmul(&other.transpose())` for row-major data
-    /// because both operands are read along rows.
+    /// because both operands are read along rows; each output element is
+    /// a lane-folded [`kernels::dot`].
     pub fn matmul_transpose_b(&self, other: &Self) -> Self {
         assert_eq!(
             self.cols,
@@ -318,29 +301,21 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let (m, n) = (self.rows, other.rows);
+        let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        let flops = m * self.cols * n;
-        let kernel = |i: usize, out_row: &mut [f32]| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = dot(a_row, other.row(j));
-            }
-        };
+        let flops = m * k * n;
         if flops >= PAR_FLOPS_THRESHOLD && m > 1 {
-            out.data
-                .par_chunks_exact_mut(n)
-                .enumerate()
-                .for_each(|(i, out_row)| kernel(i, out_row));
+            out.data.par_chunks_exact_mut(n).enumerate().for_each(|(i, out_row)| {
+                kernels::matmul_transpose_b_rows_into(self.row(i), k, &other.data, n, out_row)
+            });
         } else {
-            for (i, out_row) in out.data.chunks_exact_mut(n).enumerate() {
-                kernel(i, out_row);
-            }
+            kernels::matmul_transpose_b_rows_into(&self.data, k, &other.data, n, &mut out.data);
         }
         out
     }
 
-    /// Matrix product `selfᵀ · other` without materializing the transpose.
+    /// Matrix product `selfᵀ · other` without materializing the transpose
+    /// (a sequence of rank-1 updates in increasing row order).
     pub fn transpose_matmul(&self, other: &Self) -> Self {
         assert_eq!(
             self.rows,
@@ -351,20 +326,7 @@ impl Matrix {
         );
         let (m, n) = (self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        // Accumulate outer products row by row: out += a_rowᵀ · b_row.
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        kernels::transpose_matmul_into(&self.data, m, &other.data, n, &mut out.data);
         out
     }
 
@@ -383,8 +345,9 @@ impl Matrix {
     /// `rows × 1` column of `self[i] · other[i]`.
     pub fn rowwise_dot(&self, other: &Self) -> Self {
         self.assert_same_shape(other, "rowwise_dot");
-        let data = self.iter_rows().zip(other.iter_rows()).map(|(a, b)| dot(a, b)).collect();
-        Matrix::from_vec(self.rows, 1, data)
+        let mut out = Matrix::zeros(self.rows, 1);
+        kernels::rowwise_dot_into(&self.data, &other.data, self.cols, &mut out.data);
+        out
     }
 
     // ------------------------------------------------------------------
@@ -397,9 +360,7 @@ impl Matrix {
     /// Panics (in debug) if an index is out of bounds.
     pub fn gather_rows(&self, indices: &[usize]) -> Self {
         let mut out = Matrix::zeros(indices.len(), self.cols);
-        for (dst, &src) in indices.iter().enumerate() {
-            out.row_mut(dst).copy_from_slice(self.row(src));
-        }
+        kernels::gather_rows_into(&self.data, self.cols, indices, &mut out.data);
         out
     }
 
@@ -428,9 +389,9 @@ impl Matrix {
     // Reductions
     // ------------------------------------------------------------------
 
-    /// Sum of all elements.
+    /// Sum of all elements (lane-folded; see [`kernels`]).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        kernels::sum(&self.data)
     }
 
     /// Mean of all elements (0 for an empty matrix).
@@ -442,24 +403,24 @@ impl Matrix {
         }
     }
 
-    /// Squared Frobenius norm `Σ x²`.
+    /// Squared Frobenius norm `Σ x²` (lane-folded).
     pub fn frobenius_sq(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum()
+        kernels::dot(&self.data, &self.data)
     }
 
     /// Per-row squared L2 norm as an `rows × 1` column.
     pub fn rowwise_norm_sq(&self) -> Self {
-        let data = self.iter_rows().map(|r| dot(r, r)).collect();
-        Matrix::from_vec(self.rows, 1, data)
+        let mut out = Matrix::zeros(self.rows, 1);
+        kernels::rowwise_dot_into(&self.data, &self.data, self.cols, &mut out.data);
+        out
     }
 
-    /// Column sums as a `1 × cols` row.
+    /// Column sums as a `1 × cols` row (independent column lanes, rows
+    /// accumulated in increasing order).
     pub fn col_sums(&self) -> Self {
         let mut out = Matrix::zeros(1, self.cols);
         for row in self.iter_rows() {
-            for (o, &x) in out.data.iter_mut().zip(row) {
-                *o += x;
-            }
+            kernels::add_assign(&mut out.data, row);
         }
         out
     }
@@ -489,11 +450,11 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, lane-folded per the
+/// [`kernels`] determinism contract.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 impl Index<(usize, usize)> for Matrix {

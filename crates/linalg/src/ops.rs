@@ -10,7 +10,7 @@
 pub const LEAKY_RELU_SLOPE: f32 = 0.2;
 
 /// LeakyReLU activation.
-#[inline]
+#[inline(always)]
 pub fn leaky_relu(x: f32) -> f32 {
     if x >= 0.0 {
         x
@@ -20,7 +20,7 @@ pub fn leaky_relu(x: f32) -> f32 {
 }
 
 /// Derivative of [`leaky_relu`] w.r.t. its input.
-#[inline]
+#[inline(always)]
 pub fn leaky_relu_grad(x: f32) -> f32 {
     if x >= 0.0 {
         1.0
@@ -30,13 +30,13 @@ pub fn leaky_relu_grad(x: f32) -> f32 {
 }
 
 /// ReLU activation.
-#[inline]
+#[inline(always)]
 pub fn relu(x: f32) -> f32 {
     x.max(0.0)
 }
 
 /// Derivative of [`relu`] w.r.t. its input.
-#[inline]
+#[inline(always)]
 pub fn relu_grad(x: f32) -> f32 {
     if x > 0.0 {
         1.0
@@ -46,19 +46,19 @@ pub fn relu_grad(x: f32) -> f32 {
 }
 
 /// Hyperbolic tangent.
-#[inline]
+#[inline(always)]
 pub fn tanh(x: f32) -> f32 {
     x.tanh()
 }
 
 /// Derivative of tanh expressed in terms of the *output* `y = tanh(x)`.
-#[inline]
+#[inline(always)]
 pub fn tanh_grad_from_output(y: f32) -> f32 {
     1.0 - y * y
 }
 
 /// Logistic sigmoid, computed in a way that never overflows.
-#[inline]
+#[inline(always)]
 pub fn sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
         1.0 / (1.0 + (-x).exp())
@@ -70,7 +70,7 @@ pub fn sigmoid(x: f32) -> f32 {
 
 /// Derivative of sigmoid expressed in terms of the *output*
 /// `y = sigmoid(x)`.
-#[inline]
+#[inline(always)]
 pub fn sigmoid_grad_from_output(y: f32) -> f32 {
     y * (1.0 - y)
 }
@@ -79,7 +79,7 @@ pub fn sigmoid_grad_from_output(y: f32) -> f32 {
 ///
 /// This is the per-sample BPR loss term; the naive form loses all precision
 /// for large negative `x`.
-#[inline]
+#[inline(always)]
 pub fn log_sigmoid(x: f32) -> f32 {
     if x >= 0.0 {
         -(-x).exp().ln_1p()
@@ -91,21 +91,10 @@ pub fn log_sigmoid(x: f32) -> f32 {
 /// In-place numerically stable softmax over a slice.
 ///
 /// An empty slice is a no-op. A slice of identical values becomes uniform.
+/// Routed through [`crate::kernels::softmax_in_place`], whose exp-sum
+/// reduces under the kernel module's lane-fold contract.
 pub fn softmax_in_place(xs: &mut [f32]) {
-    if xs.is_empty() {
-        return;
-    }
-    let max = xs.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-    let mut sum = 0.0;
-    for x in xs.iter_mut() {
-        *x = (*x - max).exp();
-        sum += *x;
-    }
-    // `sum >= 1` always holds because the max element maps to exp(0) = 1,
-    // so this division is safe.
-    for x in xs.iter_mut() {
-        *x /= sum;
-    }
+    crate::kernels::softmax_in_place(xs);
 }
 
 #[cfg(test)]

@@ -1,0 +1,435 @@
+//! Differential suite: the vectorized (`kernels::lanes`) rendering of
+//! every kernel must be **bitwise** identical to its scalar oracle
+//! (`kernels::scalar`) — the two implement the same lane-fold contract,
+//! so any diverging bit is a bug, not float noise.
+//!
+//! Sizes sweep the unroll boundaries ({1, 7, 8, 9, 63, 64, 65}: below,
+//! at, and above one lane block and one tile), plus empty segments and
+//! duplicate scatter indices. The last test flips the global
+//! `set_scalar_kernels` switch around a full CKAT-shaped attention
+//! backward and asserts every gradient is bitwise unchanged — the
+//! property the cross-mode training gates stand on.
+//!
+//! Per-kernel tests call the `scalar::`/`lanes::` modules directly (no
+//! global state); only the tape-level test touches the dispatch flag.
+
+use facility_linalg::kernels::{self, lanes, scalar};
+
+/// Sizes below/at/above one 8-lane block and one 64-wide tile.
+const SIZES: &[usize] = &[1, 7, 8, 9, 63, 64, 65];
+
+/// Deterministic, sign-mixed, non-round values: splitmix-style hash to a
+/// float in roughly [-2, 2] with plenty of mantissa bits set.
+fn val(i: u64, salt: u64) -> f32 {
+    let mut z = i.wrapping_add(salt).wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    let u = ((z >> 40) as f32) / (1u64 << 23) as f32; // [0, 2)
+    u - 1.0 + (i as f32) * 1e-3
+}
+
+fn vec_of(n: usize, salt: u64) -> Vec<f32> {
+    (0..n as u64).map(|i| val(i, salt)).collect()
+}
+
+fn assert_bits_eq(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn dot_and_sum_match_across_lane_boundaries() {
+    for &n in SIZES {
+        let a = vec_of(n, 1);
+        let b = vec_of(n, 2);
+        assert_eq!(
+            scalar::dot(&a, &b).to_bits(),
+            lanes::dot(&a, &b).to_bits(),
+            "dot n={n}"
+        );
+        assert_eq!(scalar::sum(&a).to_bits(), lanes::sum(&a).to_bits(), "sum n={n}");
+    }
+    // Empty inputs.
+    assert_eq!(scalar::dot(&[], &[]).to_bits(), lanes::dot(&[], &[]).to_bits());
+    assert_eq!(scalar::sum(&[]).to_bits(), lanes::sum(&[]).to_bits());
+}
+
+#[test]
+fn fused_tanh_dot_matches() {
+    for &n in SIZES {
+        let t = vec_of(n, 3);
+        let h = vec_of(n, 4);
+        let r = vec_of(n, 5);
+        assert_eq!(
+            scalar::fused_tanh_dot(&t, &h, &r).to_bits(),
+            lanes::fused_tanh_dot(&t, &h, &r).to_bits(),
+            "fused_tanh_dot n={n}"
+        );
+    }
+}
+
+#[test]
+fn matmul_rows_matches_including_zero_skip() {
+    for &m in &[1usize, 7, 9] {
+        for &k in SIZES {
+            for &n in SIZES {
+                let mut a = vec_of(m * k, 6);
+                // Exercise the `a == 0.0` skip branch in both renderings.
+                for (i, x) in a.iter_mut().enumerate() {
+                    if i % 5 == 0 {
+                        *x = 0.0;
+                    }
+                }
+                let b = vec_of(k * n, 7);
+                let mut out_s = vec_of(m * n, 8); // accumulate onto junk
+                let mut out_l = out_s.clone();
+                scalar::matmul_rows_into(&a, k, &b, n, &mut out_s);
+                lanes::matmul_rows_into(&a, k, &b, n, &mut out_l);
+                assert_bits_eq(&out_s, &out_l, &format!("matmul {m}x{k}x{n}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn matmul_transpose_b_matches() {
+    for &m in &[1usize, 8, 9] {
+        for &k in SIZES {
+            for &n in SIZES {
+                let a = vec_of(m * k, 9);
+                let b = vec_of(n * k, 10); // n rows of length k
+                let mut out_s = vec![0.0; m * n];
+                let mut out_l = vec![0.0; m * n];
+                scalar::matmul_transpose_b_rows_into(&a, k, &b, n, &mut out_s);
+                lanes::matmul_transpose_b_rows_into(&a, k, &b, n, &mut out_l);
+                assert_bits_eq(&out_s, &out_l, &format!("matmul_tb {m}x{k}x{n}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn transpose_matmul_matches() {
+    for &k in &[1usize, 7, 9, 64] {
+        for &m in SIZES {
+            for &n in SIZES {
+                let a = vec_of(k * m, 11); // k rows of length m (aᵀ result is m×n)
+                let b = vec_of(k * n, 12);
+                let mut out_s = vec![0.0; m * n];
+                let mut out_l = vec![0.0; m * n];
+                scalar::transpose_matmul_into(&a, m, &b, n, &mut out_s);
+                lanes::transpose_matmul_into(&a, m, &b, n, &mut out_l);
+                assert_bits_eq(&out_s, &out_l, &format!("transpose_matmul {k}x{m}x{n}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_and_scatter_match_with_duplicates() {
+    for &cols in SIZES {
+        let src_rows = 9;
+        let src = vec_of(src_rows * cols, 13);
+        // Duplicates, out of order, repeats of the same row.
+        let indices = [3usize, 0, 8, 3, 3, 1, 0];
+        let mut out_s = vec![0.0; indices.len() * cols];
+        let mut out_l = vec![0.0; indices.len() * cols];
+        scalar::gather_rows_into(&src, cols, &indices, &mut out_s);
+        lanes::gather_rows_into(&src, cols, &indices, &mut out_l);
+        assert_bits_eq(&out_s, &out_l, &format!("gather cols={cols}"));
+
+        // Scatter-add the gathered rows back: duplicate targets must fold
+        // in identical (increasing-i) order.
+        let add = vec_of(indices.len() * cols, 14);
+        let mut dst_s = vec_of(src_rows * cols, 15);
+        let mut dst_l = dst_s.clone();
+        scalar::scatter_add_rows(&mut dst_s, cols, &indices, &add);
+        lanes::scatter_add_rows(&mut dst_l, cols, &indices, &add);
+        assert_bits_eq(&dst_s, &dst_l, &format!("scatter cols={cols}"));
+    }
+}
+
+#[test]
+fn elementwise_kernels_match() {
+    for &n in SIZES {
+        let a = vec_of(n, 16);
+        let b = vec_of(n, 17);
+
+        let mut d_s = vec_of(n, 18);
+        let mut d_l = d_s.clone();
+        scalar::axpy(&mut d_s, -0.37, &a);
+        lanes::axpy(&mut d_l, -0.37, &a);
+        assert_bits_eq(&d_s, &d_l, &format!("axpy n={n}"));
+
+        scalar::add_assign(&mut d_s, &b);
+        lanes::add_assign(&mut d_l, &b);
+        assert_bits_eq(&d_s, &d_l, &format!("add_assign n={n}"));
+
+        scalar::hadamard_acc(&mut d_s, &a, &b);
+        lanes::hadamard_acc(&mut d_l, &a, &b);
+        assert_bits_eq(&d_s, &d_l, &format!("hadamard_acc n={n}"));
+    }
+}
+
+#[test]
+fn scale_rows_and_rowwise_dot_match() {
+    for &cols in SIZES {
+        let rows = 7;
+        let w = vec_of(rows, 19);
+        let mut d_s = vec_of(rows * cols, 20);
+        let mut d_l = d_s.clone();
+        scalar::scale_rows(&mut d_s, cols, &w);
+        lanes::scale_rows(&mut d_l, cols, &w);
+        assert_bits_eq(&d_s, &d_l, &format!("scale_rows cols={cols}"));
+
+        let a = vec_of(rows * cols, 21);
+        let b = vec_of(rows * cols, 22);
+        let mut o_s = vec![0.0; rows];
+        let mut o_l = vec![0.0; rows];
+        scalar::rowwise_dot_into(&a, &b, cols, &mut o_s);
+        lanes::rowwise_dot_into(&a, &b, cols, &mut o_l);
+        assert_bits_eq(&o_s, &o_l, &format!("rowwise_dot cols={cols}"));
+    }
+}
+
+#[test]
+fn mul_broadcast_col_grad_matches() {
+    for &cols in SIZES {
+        let rows = 9;
+        let g = vec_of(rows * cols, 23);
+        let a = vec_of(rows * cols, 24);
+        let w = vec_of(rows, 25);
+        let mut da_s = vec![0.0; rows * cols];
+        let mut dw_s = vec![0.0; rows];
+        let mut da_l = vec![0.0; rows * cols];
+        let mut dw_l = vec![0.0; rows];
+        scalar::mul_broadcast_col_grad(&g, &a, &w, cols, &mut da_s, &mut dw_s);
+        lanes::mul_broadcast_col_grad(&g, &a, &w, cols, &mut da_l, &mut dw_l);
+        assert_bits_eq(&da_s, &da_l, &format!("mul_broadcast_col_grad da cols={cols}"));
+        assert_bits_eq(&dw_s, &dw_l, &format!("mul_broadcast_col_grad dw cols={cols}"));
+        // The fused pass must equal the scale + rowwise-dot pair it replaced.
+        let mut da_ref = g.clone();
+        let mut dw_ref = vec![0.0; rows];
+        scalar::scale_rows(&mut da_ref, cols, &w);
+        scalar::rowwise_dot_into(&g, &a, cols, &mut dw_ref);
+        assert_bits_eq(&da_s, &da_ref, &format!("fused da vs pair cols={cols}"));
+        assert_bits_eq(&dw_s, &dw_ref, &format!("fused dw vs pair cols={cols}"));
+    }
+}
+
+#[test]
+fn mul_broadcast_col_grad_acc_matches() {
+    for &cols in SIZES {
+        let rows = 9;
+        let g = vec_of(rows * cols, 29);
+        let a = vec_of(rows * cols, 30);
+        let w = vec_of(rows, 31);
+        // Accumulate on top of a non-trivial running total.
+        let da0 = vec_of(rows * cols, 32);
+        let dw0 = vec_of(rows, 33);
+        let mut da_s = da0.clone();
+        let mut dw_s = dw0.clone();
+        let mut da_l = da0.clone();
+        let mut dw_l = dw0.clone();
+        scalar::mul_broadcast_col_grad_acc(&g, &a, &w, cols, &mut da_s, &mut dw_s);
+        lanes::mul_broadcast_col_grad_acc(&g, &a, &w, cols, &mut da_l, &mut dw_l);
+        assert_bits_eq(&da_s, &da_l, &format!("mul_broadcast_col_grad_acc da cols={cols}"));
+        assert_bits_eq(&dw_s, &dw_l, &format!("mul_broadcast_col_grad_acc dw cols={cols}"));
+        // `+=` into a live total must equal overwrite-then-add — the
+        // bits the tape's former temporary-and-`add_assign` detour made.
+        let mut da_tmp = vec![0.0; rows * cols];
+        let mut dw_tmp = vec![0.0; rows];
+        scalar::mul_broadcast_col_grad(&g, &a, &w, cols, &mut da_tmp, &mut dw_tmp);
+        let da_ref: Vec<f32> = da0.iter().zip(&da_tmp).map(|(&x, &d)| x + d).collect();
+        let dw_ref: Vec<f32> = dw0.iter().zip(&dw_tmp).map(|(&x, &d)| x + d).collect();
+        assert_bits_eq(&da_s, &da_ref, &format!("acc vs overwrite+add da cols={cols}"));
+        assert_bits_eq(&dw_s, &dw_ref, &format!("acc vs overwrite+add dw cols={cols}"));
+    }
+}
+
+#[test]
+fn gather_scale_segment_sum_matches() {
+    for &cols in SIZES {
+        let n_rows = 11;
+        let n_seg = 5;
+        // Edge list with repeats, an unused source row, and an empty
+        // segment (segment 3 never appears as a head).
+        let tails: Vec<usize> = vec![0, 3, 3, 7, 10, 1, 0, 9];
+        let heads: Vec<usize> = vec![0, 0, 1, 2, 4, 4, 4, 1];
+        let h = vec_of(n_rows * cols, 41);
+        let att = vec_of(tails.len(), 42);
+        let mut out_s = vec![0.0; n_seg * cols];
+        let mut out_l = vec![0.0; n_seg * cols];
+        scalar::gather_scale_segment_sum_into(&h, cols, &tails, &att, &heads, &mut out_s);
+        lanes::gather_scale_segment_sum_into(&h, cols, &tails, &att, &heads, &mut out_l);
+        assert_bits_eq(&out_s, &out_l, &format!("gather_scale_segment_sum cols={cols}"));
+        // The fusion must be bit-transparent: gather → scale → segment-sum
+        // through the unfused kernels lands on the same output.
+        let mut et = vec![0.0; tails.len() * cols];
+        scalar::gather_rows_into(&h, cols, &tails, &mut et);
+        scalar::scale_rows(&mut et, cols, &att);
+        let mut out_ref = vec![0.0; n_seg * cols];
+        scalar::scatter_add_rows(&mut out_ref, cols, &heads, &et);
+        assert_bits_eq(&out_s, &out_ref, &format!("fused vs unfused chain cols={cols}"));
+
+        // Backward: fused grad vs the unfused gather/dot/scatter chain,
+        // accumulating into live buffers.
+        let g = vec_of(n_seg * cols, 43);
+        let dh0 = vec_of(n_rows * cols, 44);
+        let datt0 = vec_of(tails.len(), 45);
+        let mut dh_s = dh0.clone();
+        let mut datt_s = datt0.clone();
+        let mut dh_l = dh0.clone();
+        let mut datt_l = datt0.clone();
+        scalar::gather_scale_segment_sum_grad(
+            &g, &h, cols, &tails, &att, &heads, &mut dh_s, &mut datt_s,
+        );
+        lanes::gather_scale_segment_sum_grad(
+            &g, &h, cols, &tails, &att, &heads, &mut dh_l, &mut datt_l,
+        );
+        assert_bits_eq(&dh_s, &dh_l, &format!("fused grad dh cols={cols}"));
+        assert_bits_eq(&datt_s, &datt_l, &format!("fused grad datt cols={cols}"));
+        // Reference: dmsg = g gathered by head; datt += rowwise dots
+        // against the gathered tails; dh scattered by tail.
+        let mut dmsg = vec![0.0; tails.len() * cols];
+        scalar::gather_rows_into(&g, cols, &heads, &mut dmsg);
+        let mut et_raw = vec![0.0; tails.len() * cols];
+        scalar::gather_rows_into(&h, cols, &tails, &mut et_raw);
+        let mut dots = vec![0.0; tails.len()];
+        scalar::rowwise_dot_into(&dmsg, &et_raw, cols, &mut dots);
+        let datt_ref: Vec<f32> = datt0.iter().zip(&dots).map(|(&x, &d)| x + d).collect();
+        scalar::scale_rows(&mut dmsg, cols, &att);
+        let mut dh_ref = dh0.clone();
+        scalar::scatter_add_rows(&mut dh_ref, cols, &tails, &dmsg);
+        assert_bits_eq(&datt_s, &datt_ref, &format!("fused grad datt vs chain cols={cols}"));
+        assert_bits_eq(&dh_s, &dh_ref, &format!("fused grad dh vs chain cols={cols}"));
+    }
+}
+
+#[test]
+fn fused_activation_grads_match() {
+    type Fused = (
+        fn(&[f32], &[f32], &mut [f32]),
+        fn(&[f32], &[f32], &mut [f32]),
+        &'static str,
+    );
+    let cases: Vec<Fused> = vec![
+        (scalar::leaky_relu_grad_mul, lanes::leaky_relu_grad_mul, "leaky_relu"),
+        (scalar::relu_grad_mul, lanes::relu_grad_mul, "relu"),
+        (scalar::tanh_grad_mul, lanes::tanh_grad_mul, "tanh"),
+        (scalar::sigmoid_grad_mul, lanes::sigmoid_grad_mul, "sigmoid"),
+        (scalar::log_sigmoid_grad_mul, lanes::log_sigmoid_grad_mul, "log_sigmoid"),
+    ];
+    for &n in SIZES {
+        let x = vec_of(n, 23);
+        let g = vec_of(n, 24);
+        for (s, l, name) in &cases {
+            let mut o_s = vec![0.0; n];
+            let mut o_l = vec![0.0; n];
+            s(&x, &g, &mut o_s);
+            l(&x, &g, &mut o_l);
+            assert_bits_eq(&o_s, &o_l, &format!("{name}_grad_mul n={n}"));
+        }
+    }
+}
+
+#[test]
+fn softmax_and_segment_kernels_match_with_empty_segments() {
+    for &n in SIZES {
+        let mut s = vec_of(n, 25);
+        let mut l = s.clone();
+        scalar::softmax_in_place(&mut s);
+        lanes::softmax_in_place(&mut l);
+        assert_bits_eq(&s, &l, &format!("softmax n={n}"));
+    }
+
+    // CSR offsets with empty segments at the front, middle, and end.
+    let offsets = [0usize, 0, 3, 3, 10, 17, 17];
+    let n = *offsets.last().unwrap();
+    let y0 = vec_of(n, 26);
+    // Softmax each segment with both renderings.
+    let mut y_s = y0.clone();
+    let mut y_l = y0;
+    for w in offsets.windows(2) {
+        scalar::softmax_in_place(&mut y_s[w[0]..w[1]]);
+        lanes::softmax_in_place(&mut y_l[w[0]..w[1]]);
+    }
+    assert_bits_eq(&y_s, &y_l, "segment softmax with empty segments");
+
+    // Backward over the same segments.
+    let g = vec_of(n, 27);
+    let mut o_s = vec![0.0; n];
+    let mut o_l = vec![0.0; n];
+    scalar::segment_softmax_grad_into(&y_s, &g, &offsets, &mut o_s);
+    lanes::segment_softmax_grad_into(&y_l, &g, &offsets, &mut o_l);
+    assert_bits_eq(&o_s, &o_l, "segment softmax grad");
+}
+
+/// Tape-level: a full CKAT-shaped attention + propagation + BPR backward
+/// is bitwise identical with the vectorized kernels on vs forced off.
+/// This is the property the trainer's cross-mode loss gates stand on.
+#[test]
+fn ckat_shaped_backward_is_bitwise_identical_kernels_on_vs_off() {
+    use facility_autograd::Tape;
+    use facility_linalg::Matrix;
+    use std::sync::Arc;
+
+    // One run of the whole chain; returns (loss_bits, grads_bits).
+    fn run() -> (u32, Vec<Vec<u32>>) {
+        let (n, d, k) = (9, 5, 4);
+        let ent = Matrix::from_vec(n, d, vec_of(n * d, 30));
+        let w = Matrix::from_vec(2 * d, k, vec_of(2 * d * k, 31));
+        let bias = Matrix::from_vec(1, k, vec_of(k, 32));
+        // CSR-ish neighborhood: heads with 0–4 edges each.
+        let tails: Arc<Vec<usize>> = Arc::new(vec![1, 2, 3, 0, 2, 4, 5, 8, 7]);
+        let heads: Arc<Vec<usize>> = Arc::new(vec![0, 0, 0, 1, 1, 2, 3, 3, 6]);
+        let offsets: Arc<Vec<usize>> = Arc::new(vec![0, 3, 5, 6, 8, 8, 8, 9, 9, 9]);
+
+        let mut t = Tape::new();
+        let e = t.leaf(ent);
+        let wv = t.leaf(w);
+        let bv = t.leaf(bias);
+        // Attention scores over edges → segment softmax per head.
+        let et = t.gather_rows(e, &tails);
+        let eh = t.gather_rows(e, &heads);
+        let raw = t.rowwise_dot(et, eh);
+        let att = t.segment_softmax(raw, Arc::clone(&offsets));
+        // Message passing: att-weighted tail rows summed into heads.
+        let weighted = t.mul_broadcast_col(et, att);
+        let agg = t.segment_sum(weighted, Arc::clone(&heads), 9);
+        // Propagation layer: concat, project, bias, activations.
+        let cat = t.concat_cols(e, agg);
+        let proj = t.matmul(cat, wv);
+        let proj = t.add_broadcast_row(proj, bv);
+        let act = t.leaky_relu(proj);
+        let act = t.tanh(act);
+        let normed = t.normalize_rows(act);
+        // BPR-ish head: rowwise dots → log-sigmoid → mean.
+        let pos = t.gather_rows(normed, &[0, 1, 2]);
+        let neg = t.gather_rows(normed, &[3, 4, 5]);
+        let gap = t.rowwise_dot(pos, neg);
+        let ls = t.log_sigmoid(gap);
+        let loss = t.mean_all(ls);
+        t.backward(loss);
+
+        let loss_bits = t.value(loss)[(0, 0)].to_bits();
+        let grads = [e, wv, bv]
+            .iter()
+            .map(|&v| t.grad(v).unwrap().as_slice().iter().map(|x| x.to_bits()).collect())
+            .collect();
+        (loss_bits, grads)
+    }
+
+    assert!(!kernels::scalar_kernels(), "default is vectorized");
+    let fast = run();
+    kernels::set_scalar_kernels(true);
+    let slow = run();
+    kernels::set_scalar_kernels(false);
+
+    assert_eq!(fast.0, slow.0, "loss must be bitwise identical");
+    for (i, (a, b)) in fast.1.iter().zip(&slow.1).enumerate() {
+        assert_eq!(a, b, "gradient {i} must be bitwise identical");
+    }
+}

@@ -667,7 +667,15 @@ impl Ckat {
                 let clock = Instant::now();
                 let (sub, att_vals, extract_ns) =
                     rx.recv().expect("extraction worker terminated early");
-                prof.extract_wait_ns += clock.elapsed().as_nanos() as u64;
+                // Critical-path attribution: the time this recv blocked is
+                // extraction wall time up to the batch's own extraction CPU
+                // cost; any excess is channel/scheduling overhead and stays
+                // in `extract_wait_ns` so `train_ns()` keeps summing to the
+                // epoch wall clock.
+                let wait = clock.elapsed().as_nanos() as u64;
+                let wall = wait.min(extract_ns);
+                prof.extract_wall_ns += wall;
+                prof.extract_wait_ns += wait - wall;
                 prof.extract_ns += extract_ns;
                 let n_sub = sub.n_nodes();
                 let n_sub_edges = sub.n_edges();
@@ -1201,9 +1209,12 @@ fn propagate_over(
     let mut h = h0;
     let mut all = h0;
     for l in 0..config.layer_dims.len() {
-        let et = t.gather_rows_arc(h, Arc::clone(&tails));
-        let msg = t.mul_broadcast_col(et, att);
-        let e_n = t.segment_sum(msg, Arc::clone(&heads), n_segments);
+        // One fused tape op replaces gather → scale → segment-sum: no
+        // `E × cols` intermediates hit memory, and the fusion is
+        // bit-transparent (same products, same add order), so every
+        // cross-mode equality the unfused chain satisfied still holds.
+        let e_n =
+            t.gather_scale_segment_sum(h, att, Arc::clone(&tails), Arc::clone(&heads), n_segments);
         let mixed = match config.aggregator {
             Aggregator::Concat => t.concat_cols(h, e_n),
             Aggregator::Sum => t.add(h, e_n),

@@ -39,18 +39,20 @@ pub struct EpochProfile {
     pub extract_ns: u64,
     /// **Wall-attributed extraction**: extraction time that sat on the
     /// main thread's critical path — the once-per-macro-step union
-    /// extraction in replica mode, or the inline extraction of the
-    /// serial (non-prefetch) batch-local path. 0 when extraction is fully
-    /// overlapped by the legacy prefetch thread. Part of
+    /// extraction in replica mode, or, on the prefetch batch-local path,
+    /// the portion of each blocked `recv` covered by that batch's own
+    /// extraction CPU (`min(blocked, extract)` per batch). 0 when
+    /// extraction is fully overlapped by the prefetch thread. Part of
     /// [`EpochProfile::train_ns`].
     pub extract_wall_ns: u64,
-    /// Time the main training thread spent **blocked waiting** on an
-    /// extraction running elsewhere — the `recv` on the legacy prefetch
-    /// channel. It does *not* include work the main thread performed
-    /// itself (sampling, remaps, union extraction): those are charged to
-    /// their own fields. 0 in replica mode, where extraction happens on
-    /// the main thread and is charged to
-    /// [`EpochProfile::extract_wall_ns`].
+    /// Time the main training thread spent **blocked waiting** on the
+    /// prefetch channel *beyond* the batch's extraction CPU —
+    /// channel/scheduling overhead, not extraction itself (which goes to
+    /// [`EpochProfile::extract_wall_ns`]). It does *not* include work the
+    /// main thread performed itself (sampling, remaps, union extraction):
+    /// those are charged to their own fields. 0 in replica mode, where
+    /// extraction happens on the main thread. Part of
+    /// [`EpochProfile::train_ns`].
     pub extract_wait_ns: u64,
     /// Time computing the per-macro-step hub-representation cache (the
     /// full-graph forward over the frozen snapshot plus the per-layer row

@@ -18,7 +18,7 @@
 use facility_autograd::{Tape, Var};
 use facility_kg::sampling::KgSample;
 use facility_kg::Ckg;
-use facility_linalg::{ops, Matrix};
+use facility_linalg::{kernels, Matrix};
 use rayon::prelude::*;
 
 /// Group `batch` indices by relation id. Returns `(rel, indices)` pairs
@@ -94,30 +94,42 @@ pub fn margin_loss(
 /// neighborhood sums to 1.
 pub fn attention_scores(ckg: &Ckg, ent: &Matrix, rel_emb: &Matrix, rel_proj: &Matrix) -> Vec<f32> {
     let d = ent.cols();
+    let k = rel_emb.cols();
     let n_edges = ckg.n_edges();
     let mut scores = vec![0.0f32; n_edges];
 
-    // Per-relation batched projection: parallel across relations.
+    // Per-relation fused projection, parallel across relations. `W_r` is
+    // the contiguous row block `r·d .. (r+1)·d` of `rel_proj`, so each
+    // edge needs only two 1×d·(d×k) mat-vecs — no gathered intermediate
+    // matrices. Edges within a group arrive in CSR order, so consecutive
+    // edges often share a head; the head projection is reused until the
+    // head changes.
     let groups = ckg.edges_by_relation();
     let per_rel: Vec<(usize, Vec<f32>)> = groups
         .par_iter()
         .enumerate()
         .filter(|(_, g)| !g.is_empty())
         .map(|(r, g)| {
-            let heads: Vec<usize> = g.iter().map(|&e| ckg.heads[e] as usize).collect();
-            let tails: Vec<usize> = g.iter().map(|&e| ckg.tails[e] as usize).collect();
-            let wr_rows: Vec<usize> = (r * d..(r + 1) * d).collect();
-            let wr = rel_proj.gather_rows(&wr_rows);
+            let wr = &rel_proj.as_slice()[r * d * k..(r + 1) * d * k];
             let er = rel_emb.row(r);
-            let hp = ent.gather_rows(&heads).matmul(&wr);
-            let tp = ent.gather_rows(&tails).matmul(&wr);
-            let vals: Vec<f32> = (0..g.len())
-                .map(|i| {
-                    let mut acc = 0.0f32;
-                    for (c, (&h, &t)) in hp.row(i).iter().zip(tp.row(i)).enumerate() {
-                        acc += t * ops::tanh(h + er[c]);
+            let ent_s = ent.as_slice();
+            let mut hp = vec![0.0f32; k];
+            let mut tp = vec![0.0f32; k];
+            let mut last_head = usize::MAX;
+            let vals: Vec<f32> = g
+                .iter()
+                .map(|&e| {
+                    let h = ckg.heads[e] as usize;
+                    let t = ckg.tails[e] as usize;
+                    if h != last_head {
+                        hp.fill(0.0);
+                        kernels::matmul_rows_into(&ent_s[h * d..(h + 1) * d], d, wr, k, &mut hp);
+                        last_head = h;
                     }
-                    acc
+                    tp.fill(0.0);
+                    kernels::matmul_rows_into(&ent_s[t * d..(t + 1) * d], d, wr, k, &mut tp);
+                    // f_a(h,r,t) = (W_r e_t)ᵀ tanh(W_r e_h + e_r), one pass.
+                    kernels::fused_tanh_dot(&tp, &hp, er)
                 })
                 .collect();
             (r, vals)
@@ -130,9 +142,7 @@ pub fn attention_scores(ckg: &Ckg, ent: &Matrix, rel_emb: &Matrix, rel_proj: &Ma
     }
 
     // Softmax per head neighborhood (CSR segments).
-    for w in ckg.offsets.windows(2) {
-        ops::softmax_in_place(&mut scores[w[0]..w[1]]);
-    }
+    kernels::segment_softmax_in_place(&mut scores, &ckg.offsets);
     scores
 }
 

@@ -218,6 +218,13 @@ fn replica_profile_reports_pool_accounting() {
     let lprof = legacy.take_epoch_profile().expect("profile recorded");
     assert_eq!(lprof.replicas, 0);
     assert!(lprof.wall_ns > 0);
-    assert_eq!(lprof.extract_wall_ns, 0, "prefetch extraction is fully overlapped");
+    // Time the training loop spends blocked on the prefetch channel is
+    // split: the share covered by extraction CPU is critical-path wall
+    // (the old reading pinned this at 0 even when the worker could not
+    // keep up), anything beyond it stays wait.
+    assert!(
+        lprof.extract_wall_ns <= lprof.extract_ns,
+        "critical-path share is capped by extraction CPU"
+    );
     assert_eq!(lprof.reduce_ns, 0, "no fold step on the per-batch path");
 }

@@ -24,7 +24,6 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use facility_eval::rank_top_k;
 use facility_kg::Id;
 
 use crate::clock::Clock;
@@ -378,8 +377,7 @@ impl Engine {
             // Deliberate: the injected worker fault the ladder must absorb.
             panic!("injected scoring fault on request {}", req.id);
         }
-        let scores = snap.snap.score_user(req.user);
-        rank_top_k(&scores, self.train_items(req.user), self.policy.k)
+        snap.snap.rank_top_k(req.user, self.train_items(req.user), self.policy.k)
     }
 
     fn fallback(&self, snap: &Arc<VersionedSnapshot>, user: Id) -> (Rung, Vec<(Id, f32)>) {

@@ -91,11 +91,29 @@ impl ModelSnapshot {
         self.items.rows()
     }
 
-    /// Scores of all items for `user` by inner product (the exact rung).
-    /// `user` must be `< n_users()`; admission control enforces this.
+    /// Scores of all items for `user` by inner product (the exact rung),
+    /// on the shared lane-vectorized dot kernel. `user` must be
+    /// `< n_users()`; admission control enforces this.
     pub fn score_user(&self, user: Id) -> Vec<f32> {
         let u = self.users.row(user as usize);
         self.items.iter_rows().map(|v| facility_linalg::matrix::dot(u, v)).collect()
+    }
+
+    /// [`ModelSnapshot::score_user`] through the scalar differential
+    /// oracle (`kernels::scalar::dot`). The lane-fold contract makes this
+    /// bitwise-equal to the vectorized path; `fkgserve bench` asserts it
+    /// on every healthy run.
+    pub fn score_user_scalar_oracle(&self, user: Id) -> Vec<f32> {
+        let u = self.users.row(user as usize);
+        self.items.iter_rows().map(|v| facility_linalg::kernels::scalar::dot(u, v)).collect()
+    }
+
+    /// Exact top-`k` for `user`: kernel-scored, then the same partial
+    /// selection offline evaluation uses ([`facility_eval::rank_top_k`])
+    /// — one ranking implementation serves training eval and the online
+    /// exact rung.
+    pub fn rank_top_k(&self, user: Id, exclude: &[Id], k: usize) -> Vec<(Id, f32)> {
+        facility_eval::rank_top_k(&self.score_user(user), exclude, k)
     }
 
     /// Top-`k` most popular items not in `exclude` (sorted ascending) —

@@ -355,6 +355,35 @@ fn cmd_bench(opts: &HashMap<String, String>) {
             violations.push("healthy: no exact-rung responses at all".into());
         }
     }
+    // Kernel exactness: the exact rung the healthy scenario served must
+    // rank bitwise-identically to the scalar differential oracle (the
+    // lane-fold determinism contract of `facility_linalg::kernels`).
+    {
+        let snap =
+            load_snapshot_with_retry(&world.snap_a_path, &RetryPolicy::default(), &RealClock::new())
+                .unwrap_or_else(|e| fail(&e));
+        let mut checked = 0usize;
+        for &u in users.iter().take(64) {
+            let fast = snap.score_user(u);
+            let oracle = snap.score_user_scalar_oracle(u);
+            if fast.len() != oracle.len()
+                || fast.iter().zip(&oracle).any(|(a, b)| a.to_bits() != b.to_bits())
+            {
+                violations
+                    .push(format!("healthy: kernel scores for user {u} diverge from scalar oracle"));
+                break;
+            }
+            if snap.rank_top_k(u, &[], world.policy.k)
+                != facility_kgrec::eval::rank_top_k(&oracle, &[], world.policy.k)
+            {
+                violations
+                    .push(format!("healthy: top-k for user {u} diverges from the scalar oracle"));
+                break;
+            }
+            checked += 1;
+        }
+        eprintln!("kernel exactness: {checked} users ranked bitwise-equal to the scalar oracle");
+    }
     if let Some(o) = scenarios.iter().find(|s| s.name == "overload_shed") {
         if o.rejected == 0 {
             violations.push("overload_shed: burst overload never shed".into());
