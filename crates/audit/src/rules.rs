@@ -31,6 +31,7 @@ const DETERMINISTIC_SCOPES: &[&str] = &[
 const HOT_PATH_FILES: &[&str] = &[
     "crates/eval/src/trainer.rs",
     "crates/eval/src/lib.rs",
+    "crates/linalg/src/retrieval.rs",
     "crates/models/src/replica.rs",
     "crates/serve/src/server.rs",
     "crates/serve/src/engine.rs",
@@ -49,8 +50,12 @@ const WALLCLOCK_EXEMPT: &[&str] = &["crates/bench", "crates/audit", "crates/tsne
 /// here. Every reduction in this file must follow the documented
 /// 8-lane accumulate-then-`fold_lanes` contract — a stray sequential
 /// accumulator silently changes the float association order and breaks
-/// the SIMD ≡ scalar bitwise guarantee.
-const LANE_KERNEL_SCOPES: &[&str] = &["crates/linalg/src/kernels.rs"];
+/// the SIMD ≡ scalar bitwise guarantee. The batched retrieval engine is
+/// held to the same rule: any score it accumulates must come from the
+/// lane-folded kernels, never a local floating-point loop, or batched
+/// rankings drift off the per-query reference bits.
+const LANE_KERNEL_SCOPES: &[&str] =
+    &["crates/linalg/src/kernels.rs", "crates/linalg/src/retrieval.rs"];
 
 /// Identifier of one audit rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -141,8 +141,12 @@ fn main() {
         for epoch in 1..=epochs {
             let loss = model.train_epoch(&ctx, &mut rng);
             let mut p = model.take_epoch_profile().expect("CKAT records profiles");
+            // Time the full evaluation like the trainer does: cached-matrix
+            // extraction plus the top-K ranking pass (which goes through
+            // the blocked multi-query retrieval engine).
             let clock = Instant::now();
             model.prepare_eval(&ctx);
+            std::hint::black_box(facility_eval::evaluate(&model, ctx.inter, opts.k));
             p.eval_ns = clock.elapsed().as_nanos() as u64;
             eprintln!(
                 "  {mode} epoch {epoch}: loss {loss:.4}, forward {:.1} ms, \

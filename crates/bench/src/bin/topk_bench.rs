@@ -1,0 +1,219 @@
+//! Single-query vs batched top-K retrieval benchmark.
+//!
+//! Pits the production per-query path (a `kernels::dot` scan over the
+//! catalog followed by `facility_eval::rank_top_k`) against the blocked
+//! engine (`facility_linalg::retrieval::BatchTopK::rank_block`, which
+//! tiles the catalog so each item tile is scored against a whole query
+//! block while cache-resident, then streams scores through bounded
+//! selectors with threshold pruning).
+//!
+//! Before timing, every query's batched ranking is compared against the
+//! per-query reference **item-and-bit**: same ids, same order, same
+//! score bits. Exits nonzero on any divergence, so the CI bench-smoke
+//! job doubles as an end-to-end batched-≡-sequential check under
+//! release-opt codegen (the differential test suites cover the test
+//! profile; this binary covers `--release`).
+//!
+//! Writes throughput and [`RetrievalStats`] pruning counters to
+//! `BENCH_topk.json`.
+//!
+//! `--fast` shrinks the problem for CI smoke runs; `--huge` scales the
+//! catalog past cache so the blocked scan's item-tile reuse shows up
+//! (the ≥3x multi-query acceptance number is measured here).
+
+use facility_eval::rank_top_k;
+use facility_kg::Id;
+use facility_linalg::kernels;
+use facility_linalg::retrieval::BatchTopK;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Queries scored per block — matches `facility-eval`'s blocked path.
+const QUERY_BLOCK: usize = 8;
+
+/// Deterministic splitmix-style value generator — no RNG state to seed,
+/// so every run sees identical bits.
+fn val(i: usize, salt: u64) -> f32 {
+    let mut z = (i as u64).wrapping_add(salt).wrapping_mul(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    ((z >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+}
+
+fn vec_of(n: usize, salt: u64) -> Vec<f32> {
+    (0..n).map(|i| val(i, salt)).collect()
+}
+
+struct Workload {
+    mode: &'static str,
+    n_items: usize,
+    d: usize,
+    n_queries: usize,
+    k: usize,
+    reps: u32,
+}
+
+fn workload() -> Workload {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let huge = std::env::args().any(|a| a == "--huge");
+    if fast {
+        Workload { mode: "fast", n_items: 4096, d: 32, n_queries: 64, k: 100, reps: 2 }
+    } else if huge {
+        // 128k x 64 items = 32 MiB of catalog: the per-query scan is
+        // DRAM-bound, the blocked scan re-uses each tile across the
+        // whole query block.
+        Workload { mode: "huge", n_items: 131_072, d: 64, n_queries: 512, k: 100, reps: 3 }
+    } else {
+        Workload { mode: "default", n_items: 32_768, d: 64, n_queries: 256, k: 100, reps: 3 }
+    }
+}
+
+/// Production per-query path: lane-folded dot scan into a reused score
+/// buffer, then the reference selector.
+fn rank_single(
+    queries: &[f32],
+    d: usize,
+    items: &[f32],
+    n_items: usize,
+    excludes: &[Vec<Id>],
+    k: usize,
+) -> Vec<Vec<(Id, f32)>> {
+    let mut scores = vec![0.0f32; n_items];
+    excludes
+        .iter()
+        .enumerate()
+        .map(|(q, ex)| {
+            let query = &queries[q * d..(q + 1) * d];
+            for (j, s) in scores.iter_mut().enumerate() {
+                *s = kernels::dot(query, &items[j * d..(j + 1) * d]);
+            }
+            rank_top_k(&scores, ex, k)
+        })
+        .collect()
+}
+
+/// Blocked path: `QUERY_BLOCK` queries per tiled scan.
+fn rank_batched(
+    engine: &mut BatchTopK,
+    queries: &[f32],
+    d: usize,
+    items: &[f32],
+    n_items: usize,
+    excludes: &[Vec<Id>],
+    k: usize,
+) -> Vec<Vec<(Id, f32)>> {
+    let mut out = Vec::with_capacity(excludes.len());
+    for (block_idx, ex_block) in excludes.chunks(QUERY_BLOCK).enumerate() {
+        let q0 = block_idx * QUERY_BLOCK;
+        let block_queries = &queries[q0 * d..(q0 + ex_block.len()) * d];
+        let ex_refs: Vec<&[Id]> = ex_block.iter().map(Vec::as_slice).collect();
+        out.extend(engine.rank_block(block_queries, d, items, n_items, &ex_refs, k));
+    }
+    out
+}
+
+fn main() {
+    let w = workload();
+    println!(
+        "topk_bench [{}]: {} queries x {} items x d={} (k={}, block={QUERY_BLOCK})",
+        w.mode, w.n_queries, w.n_items, w.d, w.k
+    );
+
+    let queries = vec_of(w.n_queries * w.d, 101);
+    let items = vec_of(w.n_items * w.d, 202);
+    // Small sorted per-query masks, like a user's train items.
+    let excludes: Vec<Vec<Id>> = (0..w.n_queries)
+        .map(|q| {
+            let mut ex: Vec<Id> =
+                (0..16).map(|i| ((q * 2654435761 + i * 40503) % w.n_items) as Id).collect();
+            ex.sort_unstable();
+            ex.dedup();
+            ex
+        })
+        .collect();
+
+    // --- Bitwise gate: batched ≡ per-query, item and bit ---------------
+    let want = rank_single(&queries, w.d, &items, w.n_items, &excludes, w.k);
+    let mut engine = BatchTopK::new();
+    let got = rank_batched(&mut engine, &queries, w.d, &items, w.n_items, &excludes, w.k);
+    let gate_stats = engine.take_stats();
+    let mut mismatches = 0usize;
+    for (q, (g, r)) in got.iter().zip(&want).enumerate() {
+        let same = g.len() == r.len()
+            && g.iter().zip(r).all(|(a, b)| a.0 == b.0 && a.1.to_bits() == b.1.to_bits());
+        if !same {
+            mismatches += 1;
+            eprintln!("BITWISE MISMATCH: query {q} batched ranking differs from rank_top_k");
+        }
+    }
+    let bitwise_equal = mismatches == 0;
+
+    // --- Throughput: best-of-reps full sweeps --------------------------
+    let mut single_ns = f64::INFINITY;
+    for _ in 0..w.reps {
+        let t0 = Instant::now();
+        std::hint::black_box(rank_single(&queries, w.d, &items, w.n_items, &excludes, w.k));
+        single_ns = single_ns.min(t0.elapsed().as_nanos() as f64);
+    }
+    let mut batched_ns = f64::INFINITY;
+    for _ in 0..w.reps {
+        let t0 = Instant::now();
+        std::hint::black_box(rank_batched(
+            &mut engine,
+            &queries,
+            w.d,
+            &items,
+            w.n_items,
+            &excludes,
+            w.k,
+        ));
+        batched_ns = batched_ns.min(t0.elapsed().as_nanos() as f64);
+    }
+    let nq = w.n_queries as f64;
+    let speedup = single_ns / batched_ns;
+    let single_qps = nq / (single_ns / 1e9);
+    let batched_qps = nq / (batched_ns / 1e9);
+    let offered = gate_stats.offers_admitted + gate_stats.offers_pruned;
+    let pruned_frac =
+        if offered > 0 { gate_stats.offers_pruned as f64 / offered as f64 } else { 0.0 };
+
+    println!("single  {:>10.0} ns/query  ({:>9.0} q/s)", single_ns / nq, single_qps);
+    println!(
+        "batched {:>10.0} ns/query  ({:>9.0} q/s)  {:.2}x  pruned {:.1}% of offers",
+        batched_ns / nq,
+        batched_qps,
+        speedup,
+        pruned_frac * 100.0,
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"topk\",\n");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", w.mode);
+    let _ = writeln!(json, "  \"n_items\": {},", w.n_items);
+    let _ = writeln!(json, "  \"d\": {},", w.d);
+    let _ = writeln!(json, "  \"n_queries\": {},", w.n_queries);
+    let _ = writeln!(json, "  \"k\": {},", w.k);
+    let _ = writeln!(json, "  \"query_block\": {QUERY_BLOCK},");
+    let _ = writeln!(json, "  \"reps\": {},", w.reps);
+    let _ = writeln!(json, "  \"bitwise_equal\": {bitwise_equal},");
+    let _ = writeln!(json, "  \"single_ns_per_query\": {:.1},", single_ns / nq);
+    let _ = writeln!(json, "  \"batched_ns_per_query\": {:.1},", batched_ns / nq);
+    let _ = writeln!(json, "  \"multi_query_speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"single_qps\": {single_qps:.1},");
+    let _ = writeln!(json, "  \"batched_qps\": {batched_qps:.1},");
+    json.push_str("  \"retrieval_stats\": {\n");
+    let _ = writeln!(json, "    \"queries\": {},", gate_stats.queries);
+    let _ = writeln!(json, "    \"tiles\": {},", gate_stats.tiles);
+    let _ = writeln!(json, "    \"items_scored\": {},", gate_stats.items_scored);
+    let _ = writeln!(json, "    \"offers_admitted\": {},", gate_stats.offers_admitted);
+    let _ = writeln!(json, "    \"offers_pruned\": {},", gate_stats.offers_pruned);
+    let _ = writeln!(json, "    \"pruned_frac\": {pruned_frac:.4}");
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_topk.json", &json).expect("write BENCH_topk.json");
+    println!("wrote BENCH_topk.json");
+
+    if !bitwise_equal {
+        eprintln!("{mismatches} query ranking(s) diverged between batched and per-query paths");
+        std::process::exit(1);
+    }
+}

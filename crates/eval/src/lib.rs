@@ -30,7 +30,7 @@ pub mod trainer;
 
 pub use ckpt::{checkpoint_path, latest_checkpoint, TrainCheckpoint};
 pub use grid::{grid_search, Grid, GridResult};
-pub use metrics::{rank_top_k, EvalResult, TopKMetrics};
+pub use metrics::{rank_top_k, topk_metrics_from_ranked, EvalResult, TopKMetrics};
 pub use shutdown::{install_ctrl_c, ShutdownFlag};
 pub use trainer::{
     train, train_resumed, try_train, DivergenceCause, DivergenceEvent, EpochLog, TrainError,
@@ -75,7 +75,21 @@ pub fn evaluate_chunked(
     threads: usize,
 ) -> EvalResult {
     let users = inter.test_users();
+    // Models that expose their eval factor matrices take the batched
+    // retrieval path: one blocked multi-query scan per 8 users instead of
+    // a fresh full score vector per user. Both paths produce bitwise
+    // identical metrics — `score_block_into` computes each element with
+    // the same lane-folded dot as `score_items`, and the streaming
+    // selector's order exactly matches `rank_top_k` — so this is a pure
+    // perf routing decision. Shape-mismatched matrices (a model whose
+    // cache does not cover every test user) fall back to per-user scoring.
+    let mats = model
+        .eval_matrices()
+        .filter(|(u_m, i_m)| u_m.cols() == i_m.cols() && u_m.rows() >= inter.train.len());
     let score_chunk = |chunk: &[facility_kg::Id]| -> Vec<TopKMetrics> {
+        if let Some((users_m, items_m)) = mats {
+            return score_chunk_blocked(users_m, items_m, inter, k, chunk);
+        }
         chunk
             .iter()
             .filter_map(|&u| {
@@ -109,6 +123,56 @@ pub fn evaluate_chunked(
         })
     };
     EvalResult::aggregate(&per_user, k)
+}
+
+/// Queries scored together per blocked retrieval scan. Eight d-wide query
+/// rows fit comfortably in L1 alongside an item tile, and the per-user
+/// metrics are independent, so block composition cannot change results —
+/// the thread-count-invariance contract is preserved regardless of how
+/// chunks split across blocks.
+const EVAL_QUERY_BLOCK: usize = 8;
+
+/// Score one contiguous user chunk via the batched retrieval engine.
+///
+/// Users without test items are filtered out first so every scored query
+/// row contributes; the remaining users are ranked in blocks of
+/// [`EVAL_QUERY_BLOCK`] with one blocked scan each (train positives
+/// masked per query). Metrics come from the same
+/// [`metrics::topk_metrics_from_ranked`] tail as the per-user path.
+fn score_chunk_blocked(
+    users_m: &facility_linalg::Matrix,
+    items_m: &facility_linalg::Matrix,
+    inter: &Interactions,
+    k: usize,
+    chunk: &[facility_kg::Id],
+) -> Vec<TopKMetrics> {
+    let d = users_m.cols();
+    let n_items = items_m.rows();
+    let mut engine = facility_linalg::retrieval::BatchTopK::new();
+    let mut queries: Vec<f32> = Vec::with_capacity(EVAL_QUERY_BLOCK * d);
+    let mut excludes: Vec<&[facility_kg::Id]> = Vec::with_capacity(EVAL_QUERY_BLOCK);
+    let mut out = Vec::with_capacity(chunk.len());
+    let evaluable: Vec<facility_kg::Id> = chunk
+        .iter()
+        .copied()
+        .filter(|&u| inter.test.get(u as usize).is_some_and(|t| !t.is_empty()))
+        .collect();
+    for block in evaluable.chunks(EVAL_QUERY_BLOCK) {
+        queries.clear();
+        excludes.clear();
+        for &u in block {
+            queries.extend_from_slice(users_m.row(u as usize));
+            excludes.push(inter.train.get(u as usize).map(Vec::as_slice).unwrap_or(&[]));
+        }
+        let ranked = engine.rank_block(&queries, d, items_m.as_slice(), n_items, &excludes, k);
+        for (&u, top) in block.iter().zip(&ranked) {
+            let test = inter.test.get(u as usize).map(Vec::as_slice).unwrap_or(&[]);
+            if let Some(m) = metrics::topk_metrics_from_ranked(top, test) {
+                out.push(m);
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -210,5 +274,90 @@ mod tests {
         let oracle = Oracle { scores: vec![vec![0.0, 1.0, 0.0], vec![0.0; 3]] };
         let r = evaluate(&oracle, &inter, 2);
         assert_eq!(r.n_users, 1);
+    }
+
+    /// A factor-model fake: scores are user·item dots, and it exposes its
+    /// matrices so `evaluate_chunked` takes the batched retrieval path.
+    struct MatrixOracle {
+        users: facility_linalg::Matrix,
+        items: facility_linalg::Matrix,
+        expose: bool,
+    }
+
+    impl Recommender for MatrixOracle {
+        fn name(&self) -> String {
+            "matrix-oracle".into()
+        }
+        fn train_epoch(
+            &mut self,
+            _ctx: &facility_models::TrainContext<'_>,
+            _rng: &mut rand::rngs::StdRng,
+        ) -> f32 {
+            0.0
+        }
+        fn prepare_eval(&mut self, _ctx: &facility_models::TrainContext<'_>) {}
+        fn score_items(&self, user: Id) -> Vec<f32> {
+            let u = self.users.row(user as usize);
+            self.items.iter_rows().map(|v| facility_linalg::matrix::dot(u, v)).collect()
+        }
+        fn num_parameters(&self) -> usize {
+            0
+        }
+        fn eval_matrices(&self) -> Option<(&facility_linalg::Matrix, &facility_linalg::Matrix)> {
+            if self.expose {
+                Some((&self.users, &self.items))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// The batched retrieval path must reproduce the per-user
+    /// `score_items` + `rank_top_k` path bitwise — same EvalResult bits
+    /// for every thread count and cutoff, including users that fall in
+    /// partial trailing blocks and users with empty test lists.
+    #[test]
+    fn blocked_eval_matches_per_user_path_bitwise() {
+        let n_users = 19usize; // 2 full blocks of 8 plus a ragged tail
+        let n_items = 57usize;
+        let d = 13usize;
+        let mut users = Vec::with_capacity(n_users * d);
+        let mut items = Vec::with_capacity(n_items * d);
+        for i in 0..(n_users * d) as u64 {
+            users.push(((i.wrapping_mul(2654435761) >> 16) as f32) / 65536.0 - 0.5);
+        }
+        for i in 0..(n_items * d) as u64 {
+            items.push((((i + 99).wrapping_mul(2246822519) >> 16) as f32) / 65536.0 - 0.5);
+        }
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for u in 0..n_users {
+            train.push(vec![(u % n_items) as Id, ((u * 7 + 3) % n_items) as Id]);
+            train[u].sort_unstable();
+            train[u].dedup();
+            test.push(if u % 5 == 4 {
+                vec![]
+            } else {
+                vec![((u * 11 + 1) % n_items) as Id, ((u * 3 + 20) % n_items) as Id]
+            });
+            test[u].sort_unstable();
+            test[u].dedup();
+        }
+        let inter = Interactions::from_lists(n_items, train, test);
+        let users_m = facility_linalg::Matrix::from_vec(n_users, d, users);
+        let items_m = facility_linalg::Matrix::from_vec(n_items, d, items);
+        let blocked = MatrixOracle { users: users_m.clone(), items: items_m.clone(), expose: true };
+        let per_user = MatrixOracle { users: users_m, items: items_m, expose: false };
+        for k in [1usize, 5, 20, 100] {
+            for threads in [1usize, 2, 4] {
+                let a = evaluate_chunked(&blocked, &inter, k, threads);
+                let b = evaluate_chunked(&per_user, &inter, k, threads);
+                assert_eq!(a.n_users, b.n_users, "k={k} threads={threads}");
+                assert_eq!(a.recall.to_bits(), b.recall.to_bits(), "k={k} threads={threads}");
+                assert_eq!(a.ndcg.to_bits(), b.ndcg.to_bits(), "k={k} threads={threads}");
+                assert_eq!(a.precision.to_bits(), b.precision.to_bits(), "k={k} threads={threads}");
+                assert_eq!(a.hit.to_bits(), b.hit.to_bits(), "k={k} threads={threads}");
+            }
+        }
     }
 }

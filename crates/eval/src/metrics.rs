@@ -82,6 +82,39 @@ pub fn rank_top_k(scores: &[f32], exclude: &[Id], k: usize) -> Vec<(Id, f32)> {
     candidates.into_iter().map(|i| (i, scores[i as usize])).collect()
 }
 
+/// Compute one user's top-K metrics from an already-ranked list.
+///
+/// `top` is the user's ranked list (best first, train positives already
+/// masked out), `test_items` the held-out positives sorted ascending.
+/// Returns `None` when there are no test items or the ranked list is
+/// empty. This is the shared metric tail of [`topk_for_user`] and the
+/// batched retrieval path in `evaluate_chunked` — both must produce
+/// bitwise-identical metrics from the same ranked list.
+pub fn topk_metrics_from_ranked(top: &[(Id, f32)], test_items: &[Id]) -> Option<TopKMetrics> {
+    if test_items.is_empty() || top.is_empty() {
+        return None;
+    }
+    let k_eff = top.len();
+
+    let mut hits = 0usize;
+    let mut dcg = 0.0f64;
+    for (pos, &(item, _)) in top.iter().enumerate() {
+        if test_items.binary_search(&item).is_ok() {
+            hits += 1;
+            dcg += 1.0 / ((pos + 2) as f64).log2();
+        }
+    }
+    let ideal_hits = test_items.len().min(k_eff);
+    let idcg: f64 = (0..ideal_hits).map(|p| 1.0 / ((p + 2) as f64).log2()).sum();
+
+    Some(TopKMetrics {
+        recall: hits as f64 / test_items.len() as f64,
+        ndcg: if idcg > 0.0 { dcg / idcg } else { 0.0 },
+        precision: hits as f64 / k_eff as f64,
+        hit: if hits > 0 { 1.0 } else { 0.0 },
+    })
+}
+
 /// Compute one user's top-K metrics from raw item scores.
 ///
 /// * `scores` — one score per item;
@@ -100,29 +133,8 @@ pub fn topk_for_user(
     if test_items.is_empty() || k == 0 {
         return None;
     }
-    let top: Vec<Id> = rank_top_k(scores, train_items, k).into_iter().map(|(i, _)| i).collect();
-    if top.is_empty() {
-        return None;
-    }
-    let k_eff = top.len();
-
-    let mut hits = 0usize;
-    let mut dcg = 0.0f64;
-    for (pos, &item) in top.iter().enumerate() {
-        if test_items.binary_search(&item).is_ok() {
-            hits += 1;
-            dcg += 1.0 / ((pos + 2) as f64).log2();
-        }
-    }
-    let ideal_hits = test_items.len().min(k_eff);
-    let idcg: f64 = (0..ideal_hits).map(|p| 1.0 / ((p + 2) as f64).log2()).sum();
-
-    Some(TopKMetrics {
-        recall: hits as f64 / test_items.len() as f64,
-        ndcg: if idcg > 0.0 { dcg / idcg } else { 0.0 },
-        precision: hits as f64 / k_eff as f64,
-        hit: if hits > 0 { 1.0 } else { 0.0 },
-    })
+    let top = rank_top_k(scores, train_items, k);
+    topk_metrics_from_ranked(&top, test_items)
 }
 
 #[cfg(test)]

@@ -1,0 +1,151 @@
+//! Differential suite: the batched retrieval engine
+//! (`facility_linalg::retrieval`) vs the per-query ranking oracle
+//! (`facility_eval::rank_top_k`).
+//!
+//! The retrieval crate's own tests compare against a longhand reference
+//! comparator (linalg cannot depend on eval); this suite closes the loop
+//! against the *actual* production oracle. Every case demands
+//! item-and-bit identical output: same ids in the same order, and the
+//! returned score bits equal to the scanned score bits.
+//!
+//! The `d = 1, query = 1.0` trick pins the blocked scores exactly:
+//! `1.0 * s` is bitwise `s` for every finite `s`, so we can hand the
+//! engine adversarial score vectors (duplicates, signed zeros, equal
+//! runs straddling tile boundaries) with full control.
+
+use facility_eval::rank_top_k;
+use facility_linalg::retrieval::{BatchTopK, TopKSelector};
+
+/// Compare one ranked list against the oracle, bit for bit.
+fn assert_ranked_eq(got: &[(u32, f32)], want: &[(u32, f32)], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length {} vs {}", got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(g.0, w.0, "{what}: rank {i} id {} vs {}", g.0, w.0);
+        assert_eq!(g.1.to_bits(), w.1.to_bits(), "{what}: rank {i} score {} vs {}", g.1, w.1);
+    }
+}
+
+/// Run `scores` through a bare selector (no masking) and compare.
+fn selector_vs_oracle(scores: &[f32], exclude: &[u32], k: usize, what: &str) {
+    let mut sel = TopKSelector::new(k);
+    for (i, &s) in scores.iter().enumerate() {
+        let id = i as u32;
+        if exclude.binary_search(&id).is_err() {
+            sel.offer(id, s);
+        }
+    }
+    let got = sel.into_sorted();
+    let want = rank_top_k(scores, exclude, k);
+    assert_ranked_eq(&got, &want, what);
+}
+
+#[test]
+fn selector_matches_oracle_on_duplicates_and_signed_zeros() {
+    let cases: Vec<Vec<f32>> = vec![
+        vec![1.0, 1.0, 1.0, 1.0],           // all tied
+        vec![0.0, -0.0, 0.0, -0.0, 1.0],    // signed-zero ties
+        vec![2.0, 2.0, 1.0, 2.0, 0.5, 2.0], // duplicate runs
+        vec![-1.0, -1.0, -2.0, -1.0],       // negative ties
+        vec![f32::MIN_POSITIVE, 0.0, -f32::MIN_POSITIVE, -0.0],
+        (0..100).map(|i| ((i * 37) % 10) as f32 / 3.0).collect(), // many collisions
+    ];
+    for (ci, scores) in cases.iter().enumerate() {
+        for k in [0usize, 1, 2, 3, scores.len(), scores.len() * 2] {
+            selector_vs_oracle(scores, &[], k, &format!("case {ci} k={k}"));
+        }
+        // With a mask covering every other id.
+        let mask: Vec<u32> = (0..scores.len() as u32).step_by(2).collect();
+        selector_vs_oracle(scores, &mask, 3, &format!("case {ci} masked"));
+        // Fully masked: both must return empty.
+        let all: Vec<u32> = (0..scores.len() as u32).collect();
+        selector_vs_oracle(scores, &all, 3, &format!("case {ci} fully masked"));
+    }
+}
+
+/// Build a `d = 1` engine run: each query row is `[1.0]`, the item
+/// "matrix" is the score vector itself, so the blocked scan reproduces
+/// `scores` for every query.
+fn rank_block_d1(
+    engine: &mut BatchTopK,
+    scores: &[f32],
+    excludes: &[&[u32]],
+    k: usize,
+) -> Vec<Vec<(u32, f32)>> {
+    let queries = vec![1.0f32; excludes.len()];
+    engine.rank_block(&queries, 1, scores, scores.len(), excludes, k)
+}
+
+/// What the per-query path would see for the same `d = 1` model: the
+/// same lane-folded dot per item. (Not a plain copy — the kernel's
+/// `-0.0 + 0.0` fold canonicalizes `-0.0` inputs to `+0.0`, and the
+/// bitwise contract is against the *scanned* scores, which both paths
+/// compute identically.)
+fn d1_kernel_scores(scores: &[f32]) -> Vec<f32> {
+    scores.iter().map(|&s| facility_linalg::kernels::dot(&[1.0], &[s])).collect()
+}
+
+#[test]
+fn rank_block_matches_oracle_across_tile_boundaries() {
+    // 53 items; an equal-score run [1.75; 12] spans indices 14..26 so it
+    // straddles tile edges for tile sizes 4, 8, and 16.
+    let mut scores: Vec<f32> = (0..53).map(|i| ((i * 29) % 13) as f32 * 0.25).collect();
+    for s in scores.iter_mut().skip(14).take(12) {
+        *s = 1.75;
+    }
+    scores[20] = -0.0; // a signed zero inside the run's range
+    scores[3] = 0.0;
+
+    // B = 4 queries: unmasked, lightly masked, masked inside the tie run,
+    // and fully masked.
+    let light: Vec<u32> = vec![0, 7, 30];
+    let in_run: Vec<u32> = vec![15, 16, 17, 25];
+    let all: Vec<u32> = (0..53).collect();
+    let excludes: Vec<&[u32]> = vec![&[], &light, &in_run, &all];
+
+    let kernel_scores = d1_kernel_scores(&scores);
+    for tile in [1usize, 4, 8, 16, 53, 1024] {
+        for k in [1usize, 5, 12, 53, 200] {
+            let mut engine = BatchTopK::with_tile(tile);
+            let ranked = rank_block_d1(&mut engine, &scores, &excludes, k);
+            assert_eq!(ranked.len(), excludes.len());
+            for (q, (got, ex)) in ranked.iter().zip(&excludes).enumerate() {
+                let want = rank_top_k(&kernel_scores, ex, k);
+                assert_ranked_eq(got, &want, &format!("tile={tile} k={k} q={q}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn rank_block_matches_oracle_for_every_block_width() {
+    let scores: Vec<f32> = (0..40).map(|i| (((i * 17) % 7) as f32) - 3.0).collect();
+    for b in [1usize, 7, 8, 9] {
+        // Distinct mask per query so the rows genuinely differ.
+        let masks: Vec<Vec<u32>> =
+            (0..b).map(|q| (0..40u32).filter(|&i| (i as usize + q) % 5 == 0).collect()).collect();
+        let excludes: Vec<&[u32]> = masks.iter().map(Vec::as_slice).collect();
+        let mut engine = BatchTopK::with_tile(8);
+        let ranked = rank_block_d1(&mut engine, &scores, &excludes, 6);
+        for (q, (got, ex)) in ranked.iter().zip(&excludes).enumerate() {
+            let want = rank_top_k(&scores, ex, 6);
+            assert_ranked_eq(got, &want, &format!("B={b} q={q}"));
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.queries, b as u64, "B={b} stats.queries");
+    }
+}
+
+#[test]
+fn k_at_least_candidate_count_returns_everything_ranked() {
+    let scores = vec![0.5, 0.5, -0.0, 0.0, 2.0, 0.5];
+    let mask = vec![4u32];
+    let kernel_scores = d1_kernel_scores(&scores);
+    for k in [5usize, 6, 100] {
+        let mut engine = BatchTopK::with_tile(2);
+        let excludes: Vec<&[u32]> = vec![&mask];
+        let ranked = rank_block_d1(&mut engine, &scores, &excludes, k);
+        let want = rank_top_k(&kernel_scores, &mask, k);
+        assert_eq!(ranked[0].len(), 5, "all unmasked candidates returned");
+        assert_ranked_eq(&ranked[0], &want, &format!("k={k}"));
+    }
+}

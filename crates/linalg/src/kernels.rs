@@ -173,6 +173,21 @@ macro_rules! dispatch_membound {
     }};
 }
 
+/// Dispatch for pure independent-lane streams (fused activation
+/// backwards, the gather-scale-segment-sum forward): `kernel_bench`
+/// measured the `chunks_exact(LANES)` bookkeeping of the unrolled
+/// rendering 8–27% *slower* than the flat zip loop, which LLVM already
+/// auto-vectorizes — there is no reduction to pin, so the flat [`scalar`]
+/// rendering *is* the vector rendering and both are bitwise-identical by
+/// construction. These kernels therefore route to [`scalar`]
+/// unconditionally; the [`lanes`] twins remain as differential-test
+/// fodder so the oracle surface stays total.
+macro_rules! dispatch_flat {
+    ($name:ident($($arg:expr),*)) => {{
+        scalar::$name($($arg),*)
+    }};
+}
+
 // ----------------------------------------------------------------------
 // Dispatching wrappers (the public kernel surface)
 // ----------------------------------------------------------------------
@@ -215,9 +230,30 @@ pub fn matmul_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut
 /// row-major `a_rows` (`?×k`) and `b` (`n×k`); every output element is a
 /// lane-folded length-`k` dot product.
 #[inline]
-pub fn matmul_transpose_b_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]) {
+pub fn matmul_transpose_b_rows_into(
+    a_rows: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    out: &mut [f32],
+) {
     debug_assert_eq!(b.len(), n * k);
     dispatch!(matmul_transpose_b_rows_into(a_rows, k, b, n, out))
+}
+
+/// Multi-query scoring block: `out[q·n_items + j] = query_q ⋅ item_j`
+/// for row-major `queries` (`B×d`) and `items` (`n_items×d`) —
+/// *assignment* semantics over a reusable buffer, so retrieval callers
+/// never pay a zeroing pass plus an accumulate. Every output element is
+/// the same lane-folded length-`d` dot as [`dot`] /
+/// [`matmul_transpose_b_rows_into`], so a score computed through a block
+/// of any batch size `B` is bitwise-identical to the per-query
+/// `dot(query, item)` the unbatched paths compute.
+#[inline]
+pub fn score_block_into(queries: &[f32], d: usize, items: &[f32], n_items: usize, out: &mut [f32]) {
+    debug_assert_eq!(items.len(), n_items * d);
+    debug_assert_eq!(queries.len() / d.max(1) * n_items, out.len());
+    dispatch!(score_block_into(queries, d, items, n_items, out))
 }
 
 /// `out (m×n) += aᵀ · b` for row-major `a` (`r×m`) and `b` (`r×n`),
@@ -271,7 +307,7 @@ pub fn gather_scale_segment_sum_into(
 ) {
     debug_assert_eq!(tails.len(), heads.len());
     debug_assert_eq!(tails.len(), att.len());
-    dispatch_membound!(gather_scale_segment_sum_into(h, cols, tails, att, heads, out))
+    dispatch_flat!(gather_scale_segment_sum_into(h, cols, tails, att, heads, out))
 }
 
 /// Backward of [`gather_scale_segment_sum_into`], folded straight into
@@ -384,33 +420,33 @@ pub fn mul_broadcast_col_grad_acc(
 /// pass (same product, same bits as the former map-then-hadamard pair).
 #[inline]
 pub fn leaky_relu_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
-    dispatch_membound!(leaky_relu_grad_mul(x, g, out))
+    dispatch_flat!(leaky_relu_grad_mul(x, g, out))
 }
 
 /// Fused ReLU backward: `out[i] = relu'(x[i]) · g[i]`.
 #[inline]
 pub fn relu_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
-    dispatch_membound!(relu_grad_mul(x, g, out))
+    dispatch_flat!(relu_grad_mul(x, g, out))
 }
 
 /// Fused tanh backward from the forward *output*:
 /// `out[i] = (1 − y[i]²) · g[i]`.
 #[inline]
 pub fn tanh_grad_mul(y: &[f32], g: &[f32], out: &mut [f32]) {
-    dispatch_membound!(tanh_grad_mul(y, g, out))
+    dispatch_flat!(tanh_grad_mul(y, g, out))
 }
 
 /// Fused sigmoid backward from the forward *output*:
 /// `out[i] = y[i] · (1 − y[i]) · g[i]`.
 #[inline]
 pub fn sigmoid_grad_mul(y: &[f32], g: &[f32], out: &mut [f32]) {
-    dispatch_membound!(sigmoid_grad_mul(y, g, out))
+    dispatch_flat!(sigmoid_grad_mul(y, g, out))
 }
 
 /// Fused log-sigmoid backward: `out[i] = σ(−x[i]) · g[i]`.
 #[inline]
 pub fn log_sigmoid_grad_mul(x: &[f32], g: &[f32], out: &mut [f32]) {
-    dispatch_membound!(log_sigmoid_grad_mul(x, g, out))
+    dispatch_flat!(log_sigmoid_grad_mul(x, g, out))
 }
 
 /// Numerically stable softmax over one span, with the span's exp-sum
@@ -509,6 +545,33 @@ pub mod scalar {
             let a_row = &a_rows[i * k..(i + 1) * k];
             for j in 0..n {
                 out[i * n + j] += dot(a_row, &b[j * k..(j + 1) * k]);
+            }
+        }
+    }
+
+    /// Oracle for [`super::score_block_into`]: one plain [`dot`] per
+    /// (query, item) pair, written — not accumulated — into `out`.
+    pub fn score_block_into(
+        queries: &[f32],
+        d: usize,
+        items: &[f32],
+        n_items: usize,
+        out: &mut [f32],
+    ) {
+        if n_items == 0 {
+            return;
+        }
+        if d == 0 {
+            // Every score is the empty dot: assignment semantics still
+            // overwrite the whole block.
+            for o in out.iter_mut() {
+                *o = 0.0;
+            }
+            return;
+        }
+        for (q_row, out_row) in queries.chunks_exact(d).zip(out.chunks_exact_mut(n_items)) {
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = dot(q_row, &items[j * d..(j + 1) * d]);
             }
         }
     }
@@ -643,9 +706,7 @@ pub mod scalar {
         datt: &mut [f32],
     ) {
         let c = cols.max(1);
-        for (((&t, &seg), &a), d) in
-            tails.iter().zip(heads).zip(att).zip(datt.iter_mut())
-        {
+        for (((&t, &seg), &a), d) in tails.iter().zip(heads).zip(att).zip(datt.iter_mut()) {
             let g_row = &g[seg * c..seg * c + cols];
             let h_row = &h[t * c..t * c + cols];
             *d += dot(g_row, h_row);
@@ -900,13 +961,61 @@ pub mod lanes {
                 let out_row = &mut out[i * n..(i + 1) * n];
                 let mut j = j0;
                 while j + 2 <= j1 {
-                    let (d0, d1) = dot_pair(a_row, &b[j * k..(j + 1) * k], &b[(j + 1) * k..(j + 2) * k]);
+                    let (d0, d1) =
+                        dot_pair(a_row, &b[j * k..(j + 1) * k], &b[(j + 1) * k..(j + 2) * k]);
                     out_row[j] += d0;
                     out_row[j + 1] += d1;
                     j += 2; // audit: lanes — integer stride bookkeeping, not a float reduction
                 }
                 if j < j1 {
                     out_row[j] += dot(a_row, &b[j * k..(j + 1) * k]);
+                }
+            }
+        }
+    }
+
+    /// Multi-query scoring block with the same [`TILE_J`] item blocking
+    /// as [`matmul_transpose_b_rows_into`] — an item block stays
+    /// L1-resident while every query row dots against it, and item-row
+    /// *pairs* share each query load via [`dot_pair`]. Assignment
+    /// semantics: each output element is written exactly once (the item
+    /// tiles partition `0..n_items`), as one lane-folded [`dot`].
+    #[inline(always)]
+    pub fn score_block_into(
+        queries: &[f32],
+        d: usize,
+        items: &[f32],
+        n_items: usize,
+        out: &mut [f32],
+    ) {
+        if n_items == 0 {
+            return;
+        }
+        if d == 0 {
+            for o in out.iter_mut() {
+                *o = 0.0;
+            }
+            return;
+        }
+        let b = queries.len() / d;
+        for j0 in (0..n_items).step_by(TILE_J) {
+            let j1 = (j0 + TILE_J).min(n_items);
+            for i in 0..b {
+                let q_row = &queries[i * d..(i + 1) * d];
+                let out_row = &mut out[i * n_items..(i + 1) * n_items];
+                let mut j = j0;
+                while j + 2 <= j1 {
+                    let (s0, s1) = dot_pair(
+                        q_row,
+                        &items[j * d..(j + 1) * d],
+                        &items[(j + 1) * d..(j + 2) * d],
+                    );
+                    out_row[j] = s0;
+                    out_row[j + 1] = s1;
+                    j += 2; // audit: lanes — integer stride bookkeeping, not a float reduction
+                }
+                if j < j1 {
+                    out_row[j] = dot(q_row, &items[j * d..(j + 1) * d]);
                 }
             }
         }
@@ -1144,9 +1253,7 @@ pub mod lanes {
         datt: &mut [f32],
     ) {
         let c = cols.max(1);
-        for (((&t, &seg), &a), d) in
-            tails.iter().zip(heads).zip(att).zip(datt.iter_mut())
-        {
+        for (((&t, &seg), &a), d) in tails.iter().zip(heads).zip(att).zip(datt.iter_mut()) {
             let g_row = &g[seg * c..seg * c + cols];
             let h_row = &h[t * c..t * c + cols];
             *d += dot(g_row, h_row);
@@ -1293,6 +1400,7 @@ pub mod avx2 {
         fn fused_tanh_dot(t: &[f32], h: &[f32], r: &[f32]) -> f32;
         fn matmul_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]);
         fn matmul_transpose_b_rows_into(a_rows: &[f32], k: usize, b: &[f32], n: usize, out: &mut [f32]);
+        fn score_block_into(queries: &[f32], d: usize, items: &[f32], n_items: usize, out: &mut [f32]);
         fn transpose_matmul_into(a: &[f32], m: usize, b: &[f32], n: usize, out: &mut [f32]);
         fn rowwise_dot_into(a: &[f32], b: &[f32], cols: usize, out: &mut [f32]);
         fn mul_broadcast_col_grad(g: &[f32], a: &[f32], w: &[f32], cols: usize, da: &mut [f32], dw: &mut [f32]);
@@ -1309,7 +1417,8 @@ mod tests {
     #[test]
     fn fold_lanes_is_the_documented_tree() {
         let acc = [1e8f32, 1.0, -1e8, 1.0, 3.0, 4.0, 5.0, 6.0];
-        let expect = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+        let expect =
+            ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
         assert_eq!(fold_lanes(acc).to_bits(), expect.to_bits());
     }
 

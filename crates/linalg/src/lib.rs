@@ -18,6 +18,9 @@
 //! * [`kernels`] — explicit 8-lane vectorized inner loops (and their
 //!   scalar differential oracles) that every hot matrix op routes
 //!   through; see that module's lane-fold determinism contract.
+//! * [`retrieval`] — batched deterministic top-K retrieval: blocked
+//!   multi-query scoring plus a streaming bounded selector whose order
+//!   exactly matches the per-query ranking contract.
 //! * [`init`] — seeded Xavier/normal/uniform initializers.
 //! * [`ops`] — scalar activation functions and stable softmax used by both
 //!   the autograd engine and hand-rolled model code.
@@ -31,6 +34,7 @@ pub mod init;
 pub mod kernels;
 pub mod matrix;
 pub mod ops;
+pub mod retrieval;
 
 pub use matrix::Matrix;
 

@@ -1,0 +1,441 @@
+//! Batched deterministic top-K retrieval: blocked multi-query scoring
+//! plus a streaming bounded selector, shared by offline evaluation and
+//! the online serving layer's exact rung.
+//!
+//! # Why batching preserves bits
+//!
+//! Both consumers score a query against an item row with the lane-folded
+//! [`kernels::dot`]. The blocked kernel
+//! ([`kernels::score_block_into`]) computes each output element with the
+//! *same* lane-folded dot — tiling only changes which cache lines are hot,
+//! never any per-element accumulation order — so the score matrix of a
+//! `B×d` query block is bitwise-identical to `B` independent per-query
+//! scans, for every batch size `B`.
+//!
+//! # Why the selector matches `rank_top_k`
+//!
+//! The per-query reference (`facility-eval`'s `rank_top_k`) orders
+//! candidates by `partial_cmp` score descending, then item id ascending.
+//! Over finite, non-NaN scores that comparator is a *total* order, and
+//! [`entry_key`] embeds it into `u64`: the IEEE-754 sign-flip trick maps
+//! float order to unsigned order monotonically, `-0.0` is canonicalized
+//! to `+0.0` first (the two compare `Equal` under `partial_cmp`, so the
+//! reference breaks that tie by id — the key must too), and the inverted
+//! id occupies the low bits so a larger key always means "earlier in the
+//! reference ranking". A bounded min-heap on that key therefore keeps
+//! exactly the reference's top-k, and the raw `f32` score travels next to
+//! the key so output *bits* are the scan's, untouched by the encoding.
+//! NaN scores are outside the contract (both consumers score with finite
+//! snapshots/caches; the serve layer validates finiteness on load).
+//!
+//! # Streaming and threshold pruning
+//!
+//! [`BatchTopK`] walks the catalog in item tiles ([`DEFAULT_TILE`] rows)
+//! so a tile's rows stay cache-resident while every query of the block
+//! dots against them, then offers each tile's scores to per-query
+//! selectors. Once a selector holds `k` entries, its running k-th key is
+//! a threshold: a candidate whose key does not beat it is rejected with
+//! one integer compare, no heap surgery — across tiles this prunes the
+//! overwhelming majority of offers on real score distributions (the
+//! [`RetrievalStats`] counters record the ratio). Pruning only skips heap
+//! *updates* that could not change the result, so it is invisible to the
+//! output.
+
+use crate::kernels;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Item rows per scoring tile: at the workspace's typical `d ≤ 256`, one
+/// tile of scores (`B × DEFAULT_TILE` f32) and the tile's item rows both
+/// stay within L2 while the block walks the catalog.
+pub const DEFAULT_TILE: usize = 1024;
+
+/// Monotone `u32` key of a finite score: bigger key ⇔ bigger score, with
+/// `-0.0` canonicalized to `+0.0` so the two are one key (they compare
+/// `Equal` in the reference comparator, which then falls through to the
+/// id tie-break).
+#[inline]
+pub fn score_key(s: f32) -> u32 {
+    let s = if s == 0.0 { 0.0f32 } else { s };
+    let b = s.to_bits();
+    if b & 0x8000_0000 != 0 {
+        !b
+    } else {
+        b | 0x8000_0000
+    }
+}
+
+/// Combined selection key: score (monotone bits) in the high half, the
+/// *inverted* item id in the low half. Comparing keys descending is
+/// exactly the reference order `(score desc, id asc)`, in one `u64`
+/// compare.
+#[inline]
+pub fn entry_key(score: f32, id: u32) -> u64 {
+    (u64::from(score_key(score)) << 32) | u64::from(!id)
+}
+
+/// One retained candidate: the selection key plus the raw `(id, score)`
+/// so output bits are the scan's, not a decoded key.
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    key: u64,
+    id: u32,
+    score: f32,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Streaming bounded top-K selector over `(id, score)` candidates.
+///
+/// Keeps at most `k` entries in a min-heap on [`entry_key`]; offering a
+/// candidate that cannot enter the current top-k is a single compare
+/// against the heap root (the running k-th best). Offer order does not
+/// affect the result — the key order is total — so tiled, streamed, and
+/// one-shot feeding all select the identical list.
+pub struct TopKSelector {
+    k: usize,
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+impl TopKSelector {
+    /// An empty selector retaining at most `k` candidates.
+    pub fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k.min(1 << 16)) }
+    }
+
+    /// Offer one candidate. Returns `true` when it entered the current
+    /// top-k (possibly evicting the running k-th), `false` when the
+    /// threshold pruned it.
+    #[inline]
+    pub fn offer(&mut self, id: u32, score: f32) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let key = entry_key(score, id);
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(Entry { key, id, score }));
+            return true;
+        }
+        match self.heap.peek() {
+            Some(&Reverse(root)) if key > root.key => {
+                self.heap.pop();
+                self.heap.push(Reverse(Entry { key, id, score }));
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of candidates currently retained.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The running k-th-best score once the selector is full — the
+    /// pruning threshold a new candidate must beat. `None` while fewer
+    /// than `k` candidates have been retained.
+    pub fn threshold_score(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            return None;
+        }
+        self.heap.peek().map(|&Reverse(e)| e.score)
+    }
+
+    /// Drain into the final ranking: `(id, score)` pairs, best first,
+    /// ordered by `(score desc, id asc)` — the `rank_top_k` contract.
+    pub fn into_sorted(self) -> Vec<(u32, f32)> {
+        let mut entries: Vec<Entry> = self.heap.into_iter().map(|Reverse(e)| e).collect();
+        entries.sort_unstable_by_key(|e| Reverse(e.key));
+        entries.into_iter().map(|e| (e.id, e.score)).collect()
+    }
+}
+
+/// Work counters of a [`BatchTopK`] engine, for `BENCH_topk.json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetrievalStats {
+    /// Queries ranked.
+    pub queries: u64,
+    /// Scoring tiles processed (per query block).
+    pub tiles: u64,
+    /// `(query, item)` scores computed.
+    pub items_scored: u64,
+    /// Candidates that entered a selector (heap push or replace).
+    pub offers_admitted: u64,
+    /// Candidates rejected by the running k-th-score threshold with a
+    /// single compare.
+    pub offers_pruned: u64,
+}
+
+impl RetrievalStats {
+    /// Fold another counter snapshot into this one (chunked eval merges
+    /// per-worker engines).
+    pub fn merge(&mut self, other: &RetrievalStats) {
+        self.queries += other.queries;
+        self.tiles += other.tiles;
+        self.items_scored += other.items_scored;
+        self.offers_admitted += other.offers_admitted;
+        self.offers_pruned += other.offers_pruned;
+    }
+}
+
+/// Batched top-K retrieval engine: blocked multi-query scoring over a
+/// reused tile buffer, feeding per-query streaming selectors.
+///
+/// One engine value is meant to live across many [`BatchTopK::rank_block`]
+/// calls so the score buffer is reused, not reallocated; it is cheap to
+/// construct and intentionally `!Sync`-free (each worker owns one).
+pub struct BatchTopK {
+    tile: usize,
+    scores: Vec<f32>,
+    stats: RetrievalStats,
+}
+
+impl Default for BatchTopK {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BatchTopK {
+    /// An engine with the default item tile.
+    pub fn new() -> Self {
+        Self::with_tile(DEFAULT_TILE)
+    }
+
+    /// An engine with an explicit item tile (tests shrink it to force
+    /// tile-boundary cases; clamped to ≥ 1).
+    pub fn with_tile(tile: usize) -> Self {
+        Self { tile: tile.max(1), scores: Vec::new(), stats: RetrievalStats::default() }
+    }
+
+    /// Counters accumulated since construction (or the last take).
+    pub fn stats(&self) -> RetrievalStats {
+        self.stats
+    }
+
+    /// Return and reset the accumulated counters.
+    pub fn take_stats(&mut self) -> RetrievalStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Rank the top-`k` items for a block of queries in one tiled scan.
+    ///
+    /// * `queries` — row-major `B×d` query block;
+    /// * `items` — row-major `n_items×d` catalog;
+    /// * `excludes` — one *sorted ascending* id list per query, masked
+    ///   out of that query's ranking (`excludes.len()` must be `B`);
+    /// * `k` — result size per query.
+    ///
+    /// Returns one `(id, score)` list per query, best first, item-and-bit
+    /// identical to scoring that query alone and ranking with the
+    /// per-query reference (`rank_top_k`): same ids, same order, same
+    /// score bits. `k = 0`, a fully-masked query, and `k ≥` the candidate
+    /// count all degrade exactly as the reference does (empty / clamped).
+    pub fn rank_block(
+        &mut self,
+        queries: &[f32],
+        d: usize,
+        items: &[f32],
+        n_items: usize,
+        excludes: &[&[u32]],
+        k: usize,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let b = excludes.len();
+        debug_assert_eq!(queries.len(), b * d);
+        debug_assert_eq!(items.len(), n_items * d);
+        let mut selectors: Vec<TopKSelector> = (0..b).map(|_| TopKSelector::new(k)).collect();
+        // One cursor per query into its sorted exclude list; item ids are
+        // visited in increasing order across tiles, so each cursor only
+        // ever advances.
+        let mut cursors = vec![0usize; b];
+        self.stats.queries += b as u64;
+        let mut j0 = 0usize;
+        while j0 < n_items {
+            let j1 = (j0 + self.tile).min(n_items);
+            let nt = j1 - j0;
+            let tile_items = items.get(j0 * d..j1 * d).unwrap_or(&[]);
+            self.scores.resize(b * nt, 0.0);
+            kernels::score_block_into(queries, d, tile_items, nt, &mut self.scores);
+            self.stats.tiles += 1;
+            self.stats.items_scored += (b * nt) as u64;
+            for ((row, sel), (cur, ex)) in self
+                .scores
+                .chunks_exact(nt)
+                .zip(selectors.iter_mut())
+                .zip(cursors.iter_mut().zip(excludes))
+            {
+                for (off, &s) in row.iter().enumerate() {
+                    let id = (j0 + off) as u32;
+                    while matches!(ex.get(*cur), Some(&e) if e < id) {
+                        *cur += 1;
+                    }
+                    if ex.get(*cur) == Some(&id) {
+                        *cur += 1;
+                        continue;
+                    }
+                    if sel.offer(id, s) {
+                        self.stats.offers_admitted += 1;
+                    } else {
+                        self.stats.offers_pruned += 1;
+                    }
+                }
+            }
+            j0 = j1;
+        }
+        selectors.into_iter().map(TopKSelector::into_sorted).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference ranking with the `rank_top_k` comparator, written out
+    /// longhand (facility-eval depends on this crate, so the true
+    /// cross-crate differential lives in facility-eval's test suite).
+    fn reference(scores: &[f32], exclude: &[u32], k: usize) -> Vec<(u32, f32)> {
+        let mut ids: Vec<u32> =
+            (0..scores.len() as u32).filter(|i| exclude.binary_search(i).is_err()).collect();
+        ids.sort_by(|a, b| {
+            scores[*b as usize]
+                .partial_cmp(&scores[*a as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(b))
+        });
+        ids.truncate(k);
+        ids.into_iter().map(|i| (i, scores[i as usize])).collect()
+    }
+
+    fn offer_all(scores: &[f32], k: usize) -> Vec<(u32, f32)> {
+        let mut sel = TopKSelector::new(k);
+        for (i, &s) in scores.iter().enumerate() {
+            sel.offer(i as u32, s);
+        }
+        sel.into_sorted()
+    }
+
+    #[test]
+    fn key_is_monotone_in_score_and_breaks_ties_by_lower_id() {
+        for (lo, hi) in [(-1.5f32, -0.25), (-0.25, 0.0), (0.0, 0.5), (0.5, 2.0)] {
+            assert!(score_key(lo) < score_key(hi), "{lo} vs {hi}");
+        }
+        assert_eq!(score_key(-0.0), score_key(0.0), "signed zeros are one key");
+        assert!(entry_key(1.0, 3) > entry_key(1.0, 4), "equal score: lower id wins");
+    }
+
+    #[test]
+    fn selector_matches_reference_on_duplicates_and_zeros() {
+        let scores = vec![1.0f32, -0.0, 0.0, 1.0, -2.5, 1.0, 0.0, -0.0, 3.5];
+        for k in [0usize, 1, 3, 8, 9, 20] {
+            let got = offer_all(&scores, k);
+            let want = reference(&scores, &[], k);
+            assert_eq!(got.len(), want.len(), "k={k}");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.0, w.0, "k={k}");
+                assert_eq!(g.1.to_bits(), w.1.to_bits(), "k={k}: score bits preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_appears_exactly_at_k() {
+        let mut sel = TopKSelector::new(2);
+        assert_eq!(sel.threshold_score(), None);
+        sel.offer(0, 5.0);
+        assert_eq!(sel.threshold_score(), None);
+        sel.offer(1, 3.0);
+        assert_eq!(sel.threshold_score(), Some(3.0));
+        assert!(!sel.offer(2, 1.0), "below threshold: pruned");
+        assert!(sel.offer(3, 4.0), "beats threshold: admitted");
+        assert_eq!(sel.threshold_score(), Some(4.0));
+        assert_eq!(sel.into_sorted(), vec![(0, 5.0), (3, 4.0)]);
+    }
+
+    #[test]
+    fn rank_block_matches_reference_across_tile_sizes_and_masks() {
+        // 3 queries × 7 dims against 53 items, scores engineered to
+        // collide across tile boundaries.
+        let d = 7usize;
+        let n_items = 53usize;
+        let queries: Vec<f32> =
+            (0..3 * d).map(|i| ((i * 37 + 11) % 17) as f32 * 0.25 - 2.0).collect();
+        let items: Vec<f32> =
+            (0..n_items * d).map(|i| ((i * 13 + 5) % 23) as f32 * 0.125 - 1.0).collect();
+        let excludes: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0, 1, 2, 3, 4, 50, 51, 52],
+            (0..n_items as u32).collect(), // fully masked
+        ];
+        let ex_refs: Vec<&[u32]> = excludes.iter().map(Vec::as_slice).collect();
+        // Per-query reference scores via the same kernel dot.
+        let ref_scores: Vec<Vec<f32>> = (0..3)
+            .map(|q| {
+                (0..n_items)
+                    .map(|j| kernels::dot(&queries[q * d..(q + 1) * d], &items[j * d..(j + 1) * d]))
+                    .collect()
+            })
+            .collect();
+        for tile in [1usize, 4, 8, 53, 1024] {
+            for k in [1usize, 5, 53, 100] {
+                let mut eng = BatchTopK::with_tile(tile);
+                let got = eng.rank_block(&queries, d, &items, n_items, &ex_refs, k);
+                for (q, (g, ex)) in got.iter().zip(&excludes).enumerate() {
+                    let want = reference(&ref_scores[q], ex, k);
+                    assert_eq!(g.len(), want.len(), "tile={tile} k={k} q={q}");
+                    for (a, b) in g.iter().zip(&want) {
+                        assert_eq!(a.0, b.0, "tile={tile} k={k} q={q}");
+                        assert_eq!(a.1.to_bits(), b.1.to_bits(), "tile={tile} k={k} q={q}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_offer() {
+        let d = 4usize;
+        let n_items = 40usize;
+        let queries: Vec<f32> = (0..2 * d).map(|i| i as f32 * 0.5).collect();
+        let items: Vec<f32> = (0..n_items * d).map(|i| ((i % 9) as f32) - 4.0).collect();
+        let mask: Vec<u32> = vec![3, 17];
+        let ex: Vec<&[u32]> = vec![&mask, &[]];
+        let mut eng = BatchTopK::with_tile(16);
+        eng.rank_block(&queries, d, &items, n_items, &ex, 5);
+        let s = eng.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.items_scored, 2 * 40);
+        assert_eq!(s.tiles, 3, "40 items / 16-tile = 3 tiles");
+        // Every unmasked candidate was either admitted or pruned.
+        assert_eq!(s.offers_admitted + s.offers_pruned, 2 * 40 - 2);
+        assert!(s.offers_pruned > 0, "a 5-deep selector over 40 items must prune");
+    }
+
+    #[test]
+    fn empty_catalog_and_k_zero_are_empty() {
+        let mut eng = BatchTopK::new();
+        let ex: Vec<&[u32]> = vec![&[]];
+        assert_eq!(eng.rank_block(&[1.0, 2.0], 2, &[], 0, &ex, 5), vec![Vec::new()]);
+        let items = vec![1.0f32, 0.0, 0.0, 1.0];
+        assert_eq!(eng.rank_block(&[1.0, 2.0], 2, &items, 2, &ex, 0), vec![Vec::new()]);
+    }
+}

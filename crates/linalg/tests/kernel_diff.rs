@@ -44,11 +44,7 @@ fn dot_and_sum_match_across_lane_boundaries() {
     for &n in SIZES {
         let a = vec_of(n, 1);
         let b = vec_of(n, 2);
-        assert_eq!(
-            scalar::dot(&a, &b).to_bits(),
-            lanes::dot(&a, &b).to_bits(),
-            "dot n={n}"
-        );
+        assert_eq!(scalar::dot(&a, &b).to_bits(), lanes::dot(&a, &b).to_bits(), "dot n={n}");
         assert_eq!(scalar::sum(&a).to_bits(), lanes::sum(&a).to_bits(), "sum n={n}");
     }
     // Empty inputs.
@@ -108,6 +104,47 @@ fn matmul_transpose_b_matches() {
             }
         }
     }
+}
+
+#[test]
+fn score_block_into_matches() {
+    for &b in &[1usize, 7, 8, 9] {
+        for &d in SIZES {
+            for &n in SIZES {
+                let queries = vec_of(b * d, 11);
+                let items = vec_of(n * d, 12);
+                // Pre-fill with garbage to prove assignment (not accumulate)
+                // semantics: both renderings must overwrite every element.
+                let mut out_s = vec![f32::NAN; b * n];
+                let mut out_l = vec![7.5e11; b * n];
+                scalar::score_block_into(&queries, d, &items, n, &mut out_s);
+                lanes::score_block_into(&queries, d, &items, n, &mut out_l);
+                assert_bits_eq(&out_s, &out_l, &format!("score_block {b}x{d}x{n}"));
+                // Each element must equal the single-query dot bit-for-bit —
+                // the contract the batched retrieval engine stands on.
+                for qi in 0..b {
+                    for j in 0..n {
+                        let single =
+                            scalar::dot(&queries[qi * d..(qi + 1) * d], &items[j * d..(j + 1) * d]);
+                        assert_eq!(
+                            out_s[qi * n + j].to_bits(),
+                            single.to_bits(),
+                            "score_block vs dot b={b} d={d} n={n} q={qi} j={j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // Degenerate shapes: empty catalog and zero-width features.
+    let mut out = vec![1.0f32; 0];
+    scalar::score_block_into(&[], 4, &[], 0, &mut out);
+    lanes::score_block_into(&[], 4, &[], 0, &mut out);
+    let mut out_s = vec![9.0f32; 6];
+    let mut out_l = vec![-9.0f32; 6];
+    scalar::score_block_into(&[], 0, &[], 3, &mut out_s);
+    lanes::score_block_into(&[], 0, &[], 3, &mut out_l);
+    assert_bits_eq(&out_s, &out_l, "score_block d=0");
 }
 
 #[test]
@@ -284,10 +321,24 @@ fn gather_scale_segment_sum_matches() {
         let mut dh_l = dh0.clone();
         let mut datt_l = datt0.clone();
         scalar::gather_scale_segment_sum_grad(
-            &g, &h, cols, &tails, &att, &heads, &mut dh_s, &mut datt_s,
+            &g,
+            &h,
+            cols,
+            &tails,
+            &att,
+            &heads,
+            &mut dh_s,
+            &mut datt_s,
         );
         lanes::gather_scale_segment_sum_grad(
-            &g, &h, cols, &tails, &att, &heads, &mut dh_l, &mut datt_l,
+            &g,
+            &h,
+            cols,
+            &tails,
+            &att,
+            &heads,
+            &mut dh_l,
+            &mut datt_l,
         );
         assert_bits_eq(&dh_s, &dh_l, &format!("fused grad dh cols={cols}"));
         assert_bits_eq(&datt_s, &datt_l, &format!("fused grad datt cols={cols}"));
@@ -310,11 +361,7 @@ fn gather_scale_segment_sum_matches() {
 
 #[test]
 fn fused_activation_grads_match() {
-    type Fused = (
-        fn(&[f32], &[f32], &mut [f32]),
-        fn(&[f32], &[f32], &mut [f32]),
-        &'static str,
-    );
+    type Fused = (fn(&[f32], &[f32], &mut [f32]), fn(&[f32], &[f32], &mut [f32]), &'static str);
     let cases: Vec<Fused> = vec![
         (scalar::leaky_relu_grad_mul, lanes::leaky_relu_grad_mul, "leaky_relu"),
         (scalar::relu_grad_mul, lanes::relu_grad_mul, "relu"),

@@ -187,6 +187,10 @@ pub struct EngineCounters {
     pub cache_misses: u64,
     /// Cache entries evicted because a swap outdated their version.
     pub cache_stale: u64,
+    /// Micro-batches answered with one blocked scan (batches of ≥ 2).
+    pub micro_batches: u64,
+    /// Requests served through those micro-batches.
+    pub batched_requests: u64,
 }
 
 /// The scoring engine: one per server, shared by all workers.
@@ -206,6 +210,8 @@ pub struct Engine {
     popularity: AtomicU64,
     deadline_misses: AtomicU64,
     panics_recovered: AtomicU64,
+    micro_batches: AtomicU64,
+    batched_requests: AtomicU64,
 }
 
 impl Engine {
@@ -234,6 +240,8 @@ impl Engine {
             popularity: AtomicU64::new(0),
             deadline_misses: AtomicU64::new(0),
             panics_recovered: AtomicU64::new(0),
+            micro_batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
         }
     }
 
@@ -323,6 +331,143 @@ impl Engine {
         }
     }
 
+    /// Serve a micro-batch of admitted requests with one blocked scan.
+    ///
+    /// Semantics match per-request [`Engine::handle`] exactly where it
+    /// matters:
+    ///
+    /// * **Rung decisions** run per request, in admission order, against
+    ///   the same remaining-budget / cost-estimate test; a request whose
+    ///   budget is gone degrades and decays the estimate just like the
+    ///   sequential path.
+    /// * **Fault injection** stays per request: latency spikes wait on
+    ///   the shared clock and injected panics degrade exactly the
+    ///   requests `FaultPlan` picks — the plan is a pure function of
+    ///   `(seed, request_id)`, so batching cannot change who faults.
+    /// * **Items are bitwise identical** to the sequential path: the
+    ///   blocked scan scores every query with the same lane-folded dot
+    ///   and the selector's order matches `rank_top_k` (see
+    ///   [`crate::snapshot::ModelSnapshot::rank_top_k_batch`]). Cache
+    ///   inserts and fallbacks are applied in request order after the
+    ///   scan, so intra-batch cache interactions replay the sequential
+    ///   ones. Under a virtual clock with no latency spikes the entire
+    ///   `Served` value — timings included — is bitwise equal.
+    /// * **Cost accounting** feeds the EWMA the *amortized* per-request
+    ///   cost (batch wall time / exact requests), once per exact request
+    ///   — batching lowering the estimate is precisely what readmits the
+    ///   exact rung under load.
+    ///
+    /// The whole batch is served from one snapshot version. A real panic
+    /// inside the blocked scan degrades every exact-plan request, never
+    /// the worker. Batches of ≤ 1 route through [`Engine::handle`]
+    /// unchanged.
+    pub fn handle_batch(&self, reqs: &[Request]) -> Vec<Served> {
+        if reqs.len() <= 1 {
+            return reqs.iter().map(|r| self.handle(r)).collect();
+        }
+        self.micro_batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(reqs.len() as u64, Ordering::Relaxed);
+        let snap = self.store.current();
+
+        enum Plan {
+            Exact,
+            Panicked,
+            Degrade,
+        }
+
+        let batch_started = self.clock.now_ns();
+        let mut plans = Vec::with_capacity(reqs.len());
+        let mut exact_users: Vec<Id> = Vec::with_capacity(reqs.len());
+        for req in reqs {
+            let started = self.clock.now_ns();
+            let deadline = req.arrival_ns.saturating_add(self.policy.deadline_ns);
+            let remaining = deadline.saturating_sub(started);
+            let est = self.cost_est_ns.load(Ordering::Relaxed);
+            let plan = if remaining > 0 && est <= remaining {
+                let spike = self.faults.latency_spike_ns(req.id);
+                if spike > 0 {
+                    self.clock.wait_ns(spike);
+                }
+                if self.faults.should_panic(req.id) {
+                    Plan::Panicked
+                } else {
+                    exact_users.push(req.user);
+                    Plan::Exact
+                }
+            } else {
+                self.cost_est_ns.store(est.saturating_sub(est / 4), Ordering::Relaxed);
+                Plan::Degrade
+            };
+            plans.push((plan, started));
+        }
+
+        let ranked: Option<Vec<Vec<(Id, f32)>>> = if exact_users.is_empty() {
+            Some(Vec::new())
+        } else {
+            let excludes: Vec<&[Id]> = exact_users.iter().map(|&u| self.train_items(u)).collect();
+            catch_unwind(AssertUnwindSafe(|| {
+                snap.snap.rank_top_k_batch(&exact_users, &excludes, self.policy.k)
+            }))
+            .ok()
+        };
+        let scan_cost = self.clock.now_ns().saturating_sub(batch_started);
+        let cost_share = scan_cost / exact_users.len().max(1) as u64;
+
+        let mut out = Vec::with_capacity(reqs.len());
+        let mut next_exact = 0usize;
+        for (req, (plan, started)) in reqs.iter().zip(&plans) {
+            let mut recovered_panic = false;
+            let (rung, items) = match plan {
+                Plan::Exact => {
+                    let row = ranked.as_ref().and_then(|r| r.get(next_exact));
+                    next_exact += 1;
+                    match row {
+                        Some(items) => {
+                            let cur = self.cost_est_ns.load(Ordering::Relaxed);
+                            self.update_cost(cur, cost_share);
+                            self.cache.insert(req.user, snap.version, items);
+                            self.exact.fetch_add(1, Ordering::Relaxed);
+                            (Rung::Exact, items.clone())
+                        }
+                        // The blocked scan itself panicked: every
+                        // exact-plan request degrades, like `handle`'s
+                        // Err arm.
+                        None => {
+                            recovered_panic = true;
+                            self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                            self.fallback(&snap, req.user)
+                        }
+                    }
+                }
+                Plan::Panicked => {
+                    recovered_panic = true;
+                    self.panics_recovered.fetch_add(1, Ordering::Relaxed);
+                    self.fallback(&snap, req.user)
+                }
+                Plan::Degrade => self.fallback(&snap, req.user),
+            };
+            let finished = self.clock.now_ns();
+            let deadline = req.arrival_ns.saturating_add(self.policy.deadline_ns);
+            let deadline_missed = finished > deadline;
+            if deadline_missed {
+                self.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            out.push(Served {
+                id: req.id,
+                user: req.user,
+                rung,
+                snapshot_version: snap.version,
+                items,
+                arrival_ns: req.arrival_ns,
+                started_ns: *started,
+                finished_ns: finished,
+                deadline_missed,
+                recovered_panic,
+            });
+        }
+        out
+    }
+
     /// Last-ditch response builder for a worker whose `handle` call
     /// somehow panicked outside the guarded scoring path: serve the
     /// cheapest rung, flag the recovery. Never panics itself (the
@@ -359,6 +504,8 @@ impl Engine {
             cache_hits: self.cache.hits.load(Ordering::Relaxed),
             cache_misses: self.cache.misses.load(Ordering::Relaxed),
             cache_stale: self.cache.stale.load(Ordering::Relaxed),
+            micro_batches: self.micro_batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
         }
     }
 

@@ -157,6 +157,10 @@ pub struct ScenarioStats {
     pub qps_per_core: f64,
     /// Scoring panics absorbed into degraded responses.
     pub panics_recovered: u64,
+    /// Micro-batches answered with one blocked scan (batches of ≥ 2).
+    pub micro_batches: u64,
+    /// Requests served through those micro-batches.
+    pub batched_requests: u64,
     /// Successful snapshot swaps during the scenario.
     pub swaps: u64,
     /// Snapshot swaps rejected by verification.
@@ -202,6 +206,8 @@ impl ScenarioStats {
             qps,
             qps_per_core: qps / stats.workers.max(1) as f64,
             panics_recovered: stats.engine.panics_recovered,
+            micro_batches: stats.engine.micro_batches,
+            batched_requests: stats.engine.batched_requests,
             swaps: stats.swaps,
             rejected_swaps: stats.rejected_swaps,
             versions_served: versions,
@@ -240,6 +246,8 @@ impl ScenarioStats {
                 "      \"qps\": {:.1},\n",
                 "      \"qps_per_core\": {:.1},\n",
                 "      \"panics_recovered\": {},\n",
+                "      \"micro_batches\": {},\n",
+                "      \"batched_requests\": {},\n",
                 "      \"snapshot_swaps\": {},\n",
                 "      \"rejected_swaps\": {},\n",
                 "      \"versions_served\": [{}]\n",
@@ -264,6 +272,8 @@ impl ScenarioStats {
             self.qps,
             self.qps_per_core,
             self.panics_recovered,
+            self.micro_batches,
+            self.batched_requests,
             self.swaps,
             self.rejected_swaps,
             self.versions_served

@@ -99,11 +99,19 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Bounded queue capacity; submissions beyond it shed (≥ 1).
     pub queue_capacity: usize,
+    /// Most requests a worker drains into one micro-batched blocked scan
+    /// (≥ 1; 1 disables batching entirely).
+    pub max_batch: usize,
+    /// Wall-clock slack a worker with a short batch waits for more
+    /// arrivals before scanning, in microseconds (0 = never wait — batch
+    /// only what is already queued). Bounded: a worker never stalls a
+    /// drained request longer than this.
+    pub batch_slack_us: u64,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 2, queue_capacity: 64 }
+        Self { workers: 2, queue_capacity: 64, max_batch: 8, batch_slack_us: 0 }
     }
 }
 
@@ -142,6 +150,8 @@ struct Shared {
     queue: Mutex<VecDeque<Request>>,
     not_empty: Condvar,
     capacity: usize,
+    max_batch: usize,
+    batch_slack: Duration,
     closing: AtomicBool,
     next_id: AtomicU64,
     submitted: AtomicU64,
@@ -165,6 +175,7 @@ impl Server {
     pub fn start(engine: Engine, cfg: &ServerConfig) -> Server {
         let n_workers = cfg.workers.max(1);
         let capacity = cfg.queue_capacity.max(1);
+        let max_batch = cfg.max_batch.max(1);
         let shared = Arc::new(Shared {
             engine,
             // audit: bounded — capacity is enforced by the explicit
@@ -172,6 +183,8 @@ impl Server {
             queue: Mutex::new(VecDeque::with_capacity(capacity)),
             not_empty: Condvar::new(),
             capacity,
+            max_batch,
+            batch_slack: Duration::from_micros(cfg.batch_slack_us),
             closing: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
             submitted: AtomicU64::new(0),
@@ -181,10 +194,10 @@ impl Server {
             live_workers: AtomicUsize::new(n_workers),
         });
         // Bounded response channel: room for every queueable request plus
-        // one in-flight response per worker. A slow consumer therefore
+        // one in-flight micro-batch per worker. A slow consumer therefore
         // backpressures workers, fills the queue, and sheds at the door —
         // load has nowhere to pile up unboundedly.
-        let (tx, rx) = mpsc::sync_channel(capacity + n_workers);
+        let (tx, rx) = mpsc::sync_channel(capacity + n_workers * max_batch);
         let workers = (0..n_workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
@@ -302,8 +315,37 @@ fn worker_loop(shared: &Shared, tx: &mpsc::SyncSender<Response>) {
         let next = {
             let mut q = sync::lock(&shared.queue);
             loop {
-                if let Some(r) = q.pop_front() {
-                    break Some(r);
+                if !q.is_empty() {
+                    // Drain up to a micro-batch of already-queued
+                    // requests; under light load this is a batch of 1 and
+                    // behaves exactly like the unbatched worker.
+                    let take = q.len().min(shared.max_batch);
+                    let mut batch: Vec<Request> = q.drain(..take).collect();
+                    // Deadline-aware slack window: a short batch may wait
+                    // (bounded, wall time) for more arrivals — the wait
+                    // eats into every drained request's own budget, so
+                    // the engine's deadline accounting keeps it honest.
+                    if batch.len() < shared.max_batch
+                        && shared.batch_slack > Duration::ZERO
+                        && !shared.closing.load(Ordering::Acquire)
+                    {
+                        let slack_deadline = std::time::Instant::now() + shared.batch_slack;
+                        while batch.len() < shared.max_batch {
+                            let now = std::time::Instant::now();
+                            if now >= slack_deadline || shared.closing.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let (guard, timed_out) =
+                                sync::wait_timeout(&shared.not_empty, q, slack_deadline - now);
+                            q = guard;
+                            let top_up = q.len().min(shared.max_batch - batch.len());
+                            batch.extend(q.drain(..top_up));
+                            if timed_out {
+                                break;
+                            }
+                        }
+                    }
+                    break Some(batch);
                 }
                 if shared.closing.load(Ordering::Acquire) {
                     break None;
@@ -311,16 +353,24 @@ fn worker_loop(shared: &Shared, tx: &mpsc::SyncSender<Response>) {
                 q = sync::wait(&shared.not_empty, q);
             }
         };
-        let Some(req) = next else { return };
-        // handle() already absorbs scoring panics; this outer guard makes
-        // the exactly-one-response invariant structural even against a
-        // panic outside the scoring path.
-        let served = catch_unwind(AssertUnwindSafe(|| shared.engine.handle(&req)))
-            .unwrap_or_else(|_| shared.engine.degraded_response(&req));
-        shared.completed.fetch_add(1, Ordering::Relaxed);
-        if tx.send(Response::Served(served)).is_err() {
-            // Receiver gone: the Server value itself was dropped.
-            return;
+        let Some(batch) = next else { return };
+        // handle_batch() already absorbs scoring panics; this outer guard
+        // makes the exactly-one-response invariant structural even
+        // against a panic outside the scoring path.
+        let mut served = catch_unwind(AssertUnwindSafe(|| shared.engine.handle_batch(&batch)))
+            .unwrap_or_else(|_| Vec::new());
+        if served.len() != batch.len() {
+            // Engine contract violated (or the outer guard fired):
+            // rebuild degraded responses so every admitted request still
+            // gets exactly one answer.
+            served = batch.iter().map(|r| shared.engine.degraded_response(r)).collect();
+        }
+        for s in served {
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+            if tx.send(Response::Served(s)).is_err() {
+                // Receiver gone: the Server value itself was dropped.
+                return;
+            }
         }
     }
 }
@@ -352,7 +402,10 @@ mod tests {
     #[test]
     fn every_admitted_request_is_answered_exactly_once() {
         let eng = toy_engine(FaultPlan::healthy(), Arc::new(VirtualClock::new()));
-        let server = Server::start(eng, &ServerConfig { workers: 2, queue_capacity: 128 });
+        let server = Server::start(
+            eng,
+            &ServerConfig { workers: 2, queue_capacity: 128, ..ServerConfig::default() },
+        );
         let mut admitted = Vec::new();
         for i in 0..60u32 {
             match server.submit(i % 3) {
@@ -395,7 +448,10 @@ mod tests {
             }),
             Arc::new(RealClock::new()),
         );
-        let server = Server::start(eng, &ServerConfig { workers: 1, queue_capacity: 2 });
+        let server = Server::start(
+            eng,
+            &ServerConfig { workers: 1, queue_capacity: 2, ..ServerConfig::default() },
+        );
         let mut rejections = 0u64;
         for i in 0..40u32 {
             if let Err(r) = server.submit(i % 3) {
@@ -414,7 +470,10 @@ mod tests {
     #[test]
     fn shutdown_refuses_new_but_drains_admitted() {
         let eng = toy_engine(FaultPlan::healthy(), Arc::new(VirtualClock::new()));
-        let server = Server::start(eng, &ServerConfig { workers: 1, queue_capacity: 32 });
+        let server = Server::start(
+            eng,
+            &ServerConfig { workers: 1, queue_capacity: 32, ..ServerConfig::default() },
+        );
         for i in 0..10u32 {
             server.submit(i % 3).unwrap();
         }

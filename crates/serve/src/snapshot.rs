@@ -116,6 +116,30 @@ impl ModelSnapshot {
         facility_eval::rank_top_k(&self.score_user(user), exclude, k)
     }
 
+    /// Batched exact top-`k`: one blocked multi-query scan over the item
+    /// matrix for `users` (with one sorted exclude list per user).
+    ///
+    /// Item-and-bit identical to calling [`ModelSnapshot::rank_top_k`]
+    /// once per user: the blocked kernel computes every score with the
+    /// same lane-folded dot as [`ModelSnapshot::score_user`], and the
+    /// streaming selector's `(score desc, id asc)` order exactly matches
+    /// [`facility_eval::rank_top_k`]. Batching is therefore a pure
+    /// throughput decision — the engine's micro-batch path relies on it.
+    pub fn rank_top_k_batch(
+        &self,
+        users: &[Id],
+        excludes: &[&[Id]],
+        k: usize,
+    ) -> Vec<Vec<(Id, f32)>> {
+        let d = self.users.cols();
+        let mut queries = Vec::with_capacity(users.len() * d);
+        for &u in users {
+            queries.extend_from_slice(self.users.row(u as usize));
+        }
+        let mut engine = facility_linalg::retrieval::BatchTopK::new();
+        engine.rank_block(&queries, d, self.items.as_slice(), self.items.rows(), excludes, k)
+    }
+
     /// Top-`k` most popular items not in `exclude` (sorted ascending) —
     /// the model-free fallback rung.
     pub fn popularity_top_k(&self, exclude: &[Id], k: usize) -> Vec<(Id, f32)> {

@@ -9,6 +9,7 @@
 use std::sync::{
     Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
+use std::time::Duration;
 
 /// Lock `m`, recovering the data if a previous holder panicked.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -28,4 +29,22 @@ pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// Block on `cv` until notified, recovering the guard from poison.
 pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Block on `cv` for at most `dur` (wall time), recovering the guard
+/// from poison. Returns the guard and whether the wait timed out — the
+/// micro-batching slack window uses this to top up a short batch without
+/// ever stalling past its budget.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(e) => {
+            let (g, t) = e.into_inner();
+            (g, t.timed_out())
+        }
+    }
 }

@@ -65,6 +65,8 @@ fn usage(err: &str) -> ! {
                   [--queue N]         bounded admission queue depth (default 32)\n\
                   [--deadline-us N]   per-request budget in µs (default 500)\n\
                   [--k N]             items per response (default 20)\n\
+                  [--batch N]         max requests per micro-batched scan (default 8)\n\
+                  [--batch-slack-us N] wall-clock wait to top up a short batch (default 0)\n\
                   [--concurrency N]   closed-loop in-flight window (default 2×workers)\n\
                   [--snapshot-dir DIR] where snapshot files go (default target/fkgserve)\n\
                   [--out FILE]        report path (default BENCH_serve.json)\n\n\
@@ -155,6 +157,8 @@ fn cmd_bench(opts: &HashMap<String, String>) {
     let queue: usize = parse_num(get_or(opts, "queue", "32"), "--queue");
     let deadline_us: u64 = parse_num(get_or(opts, "deadline-us", "500"), "--deadline-us");
     let k: usize = parse_num(get_or(opts, "k", "20"), "--k");
+    let max_batch: usize = parse_num(get_or(opts, "batch", "8"), "--batch");
+    let batch_slack_us: u64 = parse_num(get_or(opts, "batch-slack-us", "0"), "--batch-slack-us");
     let default_conc = (workers * 2).to_string();
     let concurrency: usize = parse_num(get_or(opts, "concurrency", &default_conc), "--concurrency");
     let snap_dir = PathBuf::from(get_or(opts, "snapshot-dir", "target/fkgserve"));
@@ -223,7 +227,7 @@ fn cmd_bench(opts: &HashMap<String, String>) {
         snap_b_path,
         corrupt_paths: vec![truncated, flipped, future],
         policy: DeadlinePolicy { deadline_ns: deadline_us * 1_000, k },
-        server_cfg: ServerConfig { workers, queue_capacity: queue },
+        server_cfg: ServerConfig { workers, queue_capacity: queue, max_batch, batch_slack_us },
         seed,
     };
 
@@ -296,7 +300,7 @@ fn cmd_bench(opts: &HashMap<String, String>) {
             latency_spike_ns: 4 * deadline_us * 1_000,
             panic_prob: 0.0,
         },
-        &ServerConfig { workers: 1, queue_capacity: queue.min(4) },
+        &ServerConfig { workers: 1, queue_capacity: queue.min(4), max_batch, batch_slack_us },
         |server| drive_open_loop(server, &users, (deadline_us * 1_000) / 8),
     ));
 
@@ -359,9 +363,12 @@ fn cmd_bench(opts: &HashMap<String, String>) {
     // rank bitwise-identically to the scalar differential oracle (the
     // lane-fold determinism contract of `facility_linalg::kernels`).
     {
-        let snap =
-            load_snapshot_with_retry(&world.snap_a_path, &RetryPolicy::default(), &RealClock::new())
-                .unwrap_or_else(|e| fail(&e));
+        let snap = load_snapshot_with_retry(
+            &world.snap_a_path,
+            &RetryPolicy::default(),
+            &RealClock::new(),
+        )
+        .unwrap_or_else(|e| fail(&e));
         let mut checked = 0usize;
         for &u in users.iter().take(64) {
             let fast = snap.score_user(u);
@@ -369,8 +376,9 @@ fn cmd_bench(opts: &HashMap<String, String>) {
             if fast.len() != oracle.len()
                 || fast.iter().zip(&oracle).any(|(a, b)| a.to_bits() != b.to_bits())
             {
-                violations
-                    .push(format!("healthy: kernel scores for user {u} diverge from scalar oracle"));
+                violations.push(format!(
+                    "healthy: kernel scores for user {u} diverge from scalar oracle"
+                ));
                 break;
             }
             if snap.rank_top_k(u, &[], world.policy.k)
@@ -420,10 +428,22 @@ fn cmd_bench(opts: &HashMap<String, String>) {
             "  \"queue_capacity\": {},\n",
             "  \"deadline_us\": {},\n",
             "  \"k\": {},\n",
+            "  \"max_batch\": {},\n",
+            "  \"batch_slack_us\": {},\n",
             "  \"scenarios\": [\n{}\n  ]\n",
             "}}\n"
         ),
-        world.trace.config.name, model_name, seed, requests, workers, queue, deadline_us, k, body
+        world.trace.config.name,
+        model_name,
+        seed,
+        requests,
+        workers,
+        queue,
+        deadline_us,
+        k,
+        max_batch,
+        batch_slack_us,
+        body
     );
     std::fs::write(&out, &json)
         .unwrap_or_else(|e| fail(&format_args!("cannot write {}: {e}", out.display())));

@@ -27,13 +27,13 @@ use facility_kgrec::prelude::seeded_rng;
 use facility_kgrec::serve::{
     corrupt_flip_byte, corrupt_truncate, corrupt_version, drive_closed_loop,
     drive_closed_loop_with, load_snapshot_with_retry_from, Clock, DeadlinePolicy, Engine,
-    FaultConfig, FaultPlan, ModelSnapshot, RealClock, Response, RetryPolicy, Rung, Server,
+    FaultConfig, FaultPlan, ModelSnapshot, RealClock, Request, Response, RetryPolicy, Rung, Server,
     ServerConfig, ServerStats, ShedReason, SnapshotStore, VirtualClock,
 };
 
 use facility_kgrec::ckpt::CkptError;
 
-const SEED: u64 = 0xFAC1_117;
+const SEED: u64 = 0x0FAC_1117;
 const K: usize = 10;
 /// Deadline long enough that virtual-clock runs never degrade unless a
 /// fault injects virtual latency.
@@ -182,7 +182,7 @@ fn every_fault_scenario_answers_every_submission_with_a_tagged_rung() {
                 FaultPlan::new(cfg),
                 1_000_000, // 1ms: spikes blow the budget, clean requests fit
                 Arc::new(VirtualClock::new()),
-                &ServerConfig { workers: 2, queue_capacity: 64 },
+                &ServerConfig { workers: 2, queue_capacity: 64, ..ServerConfig::default() },
             );
             let report = drive_closed_loop(&server, &users, 8);
             let (stragglers, stats) = server.shutdown();
@@ -239,7 +239,7 @@ fn same_seed_fault_replay_is_deterministic() {
             FaultPlan::new(faulty),
             1_000_000,
             Arc::new(VirtualClock::new()),
-            &ServerConfig { workers: 1, queue_capacity: 64 },
+            &ServerConfig { workers: 1, queue_capacity: 64, ..ServerConfig::default() },
         );
         let report = drive_closed_loop(&server, &users, 1);
         let (stragglers, stats) = server.shutdown();
@@ -281,7 +281,7 @@ fn injected_panics_always_degrade_and_never_drop() {
             FaultPlan::new(always_panic),
             AMPLE_NS,
             Arc::new(VirtualClock::new()),
-            &ServerConfig { workers: 2, queue_capacity: 64 },
+            &ServerConfig { workers: 2, queue_capacity: 64, ..ServerConfig::default() },
         );
         let report = drive_closed_loop(&server, &users, 4);
         let (stragglers, stats) = server.shutdown();
@@ -325,7 +325,7 @@ fn corrupt_swaps_are_rejected_and_the_previous_snapshot_keeps_serving() {
         FaultPlan::healthy(),
         AMPLE_NS,
         Arc::clone(&clock),
-        &ServerConfig { workers: 1, queue_capacity: 64 },
+        &ServerConfig { workers: 1, queue_capacity: 64, ..ServerConfig::default() },
     );
     let users = request_stream(40);
     let policy = RetryPolicy { attempts: 3, base_ns: 1_000, max_ns: 8_000, seed: SEED };
@@ -372,7 +372,7 @@ fn hot_swap_mid_load_is_bitwise_faithful_to_each_version() {
         FaultPlan::healthy(),
         AMPLE_NS,
         Arc::clone(&clock),
-        &ServerConfig { workers: 1, queue_capacity: 64 },
+        &ServerConfig { workers: 1, queue_capacity: 64, ..ServerConfig::default() },
     );
     let users = request_stream(60);
     let policy = RetryPolicy { attempts: 2, base_ns: 1_000, max_ns: 8_000, seed: SEED };
@@ -436,7 +436,7 @@ fn overload_sheds_with_structured_rejections_never_silently() {
         FaultPlan::new(slow),
         AMPLE_NS, // ample deadline keeps every request on the slow exact rung
         Arc::new(RealClock::new()),
-        &ServerConfig { workers: 1, queue_capacity: 2 },
+        &ServerConfig { workers: 1, queue_capacity: 2, ..ServerConfig::default() },
     );
     let report = drive_closed_loop(&server, &users, 16);
     let (stragglers, stats) = server.shutdown();
@@ -467,7 +467,7 @@ fn closed_server_and_unknown_users_shed_structurally() {
         FaultPlan::healthy(),
         AMPLE_NS,
         Arc::new(VirtualClock::new()),
-        &ServerConfig { workers: 1, queue_capacity: 8 },
+        &ServerConfig { workers: 1, queue_capacity: 8, ..ServerConfig::default() },
     );
     let bogus = w.snap_a.n_users() as Id + 17;
     let rej = server.submit(bogus).expect_err("out-of-range user must be shed");
@@ -539,4 +539,136 @@ fn retry_loader_backs_off_deterministically_and_only_on_transient_io() {
         .expect_err("a dead path fails after the budget");
     assert!(err.is_transient(), "the terminal error still reports its transient class");
     assert_eq!(io_calls.get(), policy.attempts, "attempt budget is exact");
+}
+
+/// Build a standalone engine (no server) on a virtual clock for the
+/// micro-batching equivalence tests.
+fn bare_engine(faults: FaultPlan) -> Engine {
+    let w = world();
+    Engine::new(
+        Arc::new(SnapshotStore::new(w.snap_a.clone())),
+        Arc::new(w.train.clone()),
+        DeadlinePolicy { deadline_ns: AMPLE_NS, k: K },
+        faults,
+        Arc::new(VirtualClock::new()),
+    )
+}
+
+/// Micro-batched responses must be bitwise identical to per-request
+/// responses under the same seed: same items (id and score bits), same
+/// rung, same snapshot version, same fault decisions — and on a virtual
+/// clock with no latency spikes, identical timings too. Fault decisions
+/// are a pure function of `(seed, request_id)`, so batching cannot
+/// change who faults.
+#[test]
+fn micro_batched_engine_responses_are_bitwise_identical_to_sequential() {
+    let w = world();
+    let n_users = w.snap_a.n_users() as u32;
+    let configs = [
+        ("healthy", FaultConfig::healthy()),
+        (
+            "panics",
+            FaultConfig {
+                seed: SEED ^ 9,
+                latency_spike_prob: 0.0,
+                latency_spike_ns: 0,
+                panic_prob: 0.3,
+            },
+        ),
+    ];
+    quiet_panics(|| {
+        for (name, cfg) in configs {
+            for batch_len in [1usize, 2, 7, 8, 9] {
+                // Duplicate users inside a batch on purpose: intra-batch
+                // cache interactions must replay the sequential ones.
+                let reqs: Vec<Request> = (0..batch_len as u64)
+                    .map(|i| Request { id: i, user: (i as u32 / 2) % n_users, arrival_ns: 0 })
+                    .collect();
+
+                let sequential = bare_engine(FaultPlan::new(cfg));
+                let seq: Vec<_> = reqs.iter().map(|r| sequential.handle(r)).collect();
+
+                let batched = bare_engine(FaultPlan::new(cfg));
+                let bat = batched.handle_batch(&reqs);
+
+                assert_eq!(seq.len(), bat.len(), "[{name}] B={batch_len}");
+                for (s, b) in seq.iter().zip(&bat) {
+                    let what = format!("[{name}] B={batch_len} id={}", s.id);
+                    assert_eq!(s.id, b.id, "{what}");
+                    assert_eq!(s.user, b.user, "{what}");
+                    assert_eq!(s.rung, b.rung, "{what} rung");
+                    assert_eq!(s.snapshot_version, b.snapshot_version, "{what} version");
+                    assert_eq!(bits(&s.items), bits(&b.items), "{what} items");
+                    assert_eq!(s.arrival_ns, b.arrival_ns, "{what}");
+                    assert_eq!(s.started_ns, b.started_ns, "{what} started");
+                    assert_eq!(s.finished_ns, b.finished_ns, "{what} finished");
+                    assert_eq!(s.deadline_missed, b.deadline_missed, "{what} deadline");
+                    assert_eq!(s.recovered_panic, b.recovered_panic, "{what} panic flag");
+                }
+                // Counters close the same way (batch counters aside).
+                let sc = sequential.counters();
+                let bc = batched.counters();
+                assert_eq!(sc.exact, bc.exact, "[{name}] B={batch_len} exact");
+                assert_eq!(sc.popularity, bc.popularity, "[{name}] B={batch_len} popularity");
+                assert_eq!(
+                    sc.panics_recovered, bc.panics_recovered,
+                    "[{name}] B={batch_len} panics"
+                );
+                if batch_len >= 2 {
+                    assert_eq!(bc.micro_batches, 1, "[{name}] one micro-batch");
+                    assert_eq!(bc.batched_requests, batch_len as u64, "[{name}]");
+                } else {
+                    assert_eq!(bc.micro_batches, 0, "[{name}] B=1 routes through handle()");
+                }
+            }
+        }
+    });
+}
+
+/// End-to-end: a single-worker server with micro-batching on (max_batch
+/// = 8) serves every request with items bitwise identical to offline
+/// `rank_top_k` on the served snapshot, and identical per user to a
+/// batching-disabled (max_batch = 1) server under the same seed.
+#[test]
+fn micro_batched_server_matches_unbatched_and_offline_oracle() {
+    let w = world();
+    let users = request_stream(96);
+    // Per config: one sorted `(user, item-bit pairs)` row per response.
+    type ServedBits = Vec<(Id, Vec<(Id, u32)>)>;
+    let mut by_cfg: Vec<ServedBits> = Vec::new();
+    for max_batch in [1usize, 8] {
+        let server = start_server(
+            &w.snap_a,
+            FaultPlan::healthy(),
+            AMPLE_NS,
+            Arc::new(VirtualClock::new()),
+            &ServerConfig { workers: 1, queue_capacity: 128, max_batch, batch_slack_us: 0 },
+        );
+        let report = drive_closed_loop(&server, &users, 32);
+        let (stragglers, stats) = server.shutdown();
+        let mut responses = report.responses;
+        responses.extend(stragglers);
+        assert_fully_accounted(users.len(), &responses, &stats);
+        let mut per_user = Vec::new();
+        for resp in &responses {
+            let served = resp.served().expect("ample budget: nothing sheds");
+            assert_eq!(served.rung, Rung::Exact, "max_batch={max_batch}");
+            assert_eq!(
+                bits(&served.items),
+                bits(&expected_exact(&w.snap_a, served.user)),
+                "max_batch={max_batch} user={} must match the offline oracle bitwise",
+                served.user
+            );
+            per_user.push((served.user, bits(&served.items)));
+        }
+        per_user.sort();
+        by_cfg.push(per_user);
+        if max_batch == 8 {
+            assert!(
+                stats.engine.batched_requests > 0,
+                "a 32-deep closed loop against one worker must form real batches"
+            );
+        }
+    }
+    assert_eq!(by_cfg[0], by_cfg[1], "batched and unbatched servers serve identical bits");
 }
