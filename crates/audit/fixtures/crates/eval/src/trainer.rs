@@ -1,10 +1,15 @@
-//! Fixture: hot-panic positives and waived sites. The path mirrors the
-//! real deny-listed trainer module so the rule applies.
+//! Fixture: panic-reachability from the `run_loop` root. The panic sites
+//! live in helpers — only the call graph connects them to the root.
+
+pub fn run_loop(xs: &[u32]) -> u32 {
+    // The rooted entry point: everything it calls is on the audited path.
+    hot(xs, 0) + waived(xs) + fallible(xs, 1).unwrap_or(0)
+}
 
 pub fn hot(xs: &[u32], i: usize) -> u32 {
-    let a = xs.first().unwrap(); // POSITIVE: hot-panic (.unwrap)
-    let b = xs.get(1).expect("second element"); // POSITIVE: hot-panic (.expect)
-    let c = xs[i]; // POSITIVE: hot-panic (indexing)
+    let a = xs.first().unwrap(); // POSITIVE: panic-reach (.unwrap)
+    let b = xs.get(1).expect("second element"); // POSITIVE: panic-reach (.expect)
+    let c = xs[i]; // POSITIVE: panic-reach (indexing)
     a + b + c
 }
 

@@ -1,0 +1,11 @@
+//! Fixture: a rooted call chain that stays panic-free — must produce
+//! ZERO findings without any waivers.
+
+pub fn clean_root(xs: &[u32], i: usize) -> u32 {
+    clean_helper(xs, i).unwrap_or_default()
+}
+
+fn clean_helper(xs: &[u32], i: usize) -> Option<u32> {
+    // NEGATIVE: get-based access and saturating arithmetic never panic.
+    xs.get(i).copied().map(|v| v.saturating_add(1))
+}

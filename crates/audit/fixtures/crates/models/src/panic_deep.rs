@@ -1,0 +1,20 @@
+//! Fixture: panic-reachability through two helper hops — the
+//! cross-function case a line scanner with file deny-lists provably
+//! misses, because neither helper lives on any deny-listed path.
+
+pub fn deep_root(xs: &[u32]) -> u32 {
+    deep_helper_a(xs)
+}
+
+fn deep_helper_a(xs: &[u32]) -> u32 {
+    deep_helper_b(xs) + 1
+}
+
+fn deep_helper_b(xs: &[u32]) -> u32 {
+    xs.first().unwrap() + 1 // POSITIVE: panic-reach, two hops below deep_root
+}
+
+pub fn unrooted_unwrap(xs: &[u32]) -> u32 {
+    // NEGATIVE: no configured root reaches this fn.
+    xs.first().unwrap() + 2
+}

@@ -1,0 +1,17 @@
+//! Fixture: panic-reachable sites silenced at the site and fn waiver
+//! granularities — must produce ZERO findings.
+
+pub fn waived_root(xs: &[u32]) -> u32 {
+    site_waived(xs) + fn_waived(xs)
+}
+
+fn site_waived(xs: &[u32]) -> u32 {
+    // audit: unwrap — caller checks non-empty before dispatch
+    xs[0]
+}
+
+// audit: fn unwrap — every index below is modulo-reduced into bounds
+fn fn_waived(xs: &[u32]) -> u32 {
+    let i = 3 % xs.len().max(1);
+    xs[i] + xs.last().copied().unwrap_or(0)
+}

@@ -1,0 +1,26 @@
+//! Fixture: a deterministic root on ordered containers — must produce
+//! ZERO findings without any waivers — plus an unreachable hash use
+//! proving the analysis is reachability-gated, not a text match.
+
+use std::collections::BTreeMap;
+
+pub fn taint_clean_root(keys: &[u32]) -> f32 {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_default() += 1;
+    }
+    let mut total = 0.0f32;
+    for (_, &c) in &m {
+        total += c as f32;
+    }
+    total
+}
+
+pub fn unrooted_hash(keys: &[u32]) -> usize {
+    // NEGATIVE: HashSet inside a fn no taint root reaches.
+    let mut s = std::collections::HashSet::new();
+    for &k in keys {
+        s.insert(k);
+    }
+    s.len()
+}

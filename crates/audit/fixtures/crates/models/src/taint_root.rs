@@ -1,0 +1,8 @@
+//! Fixture: a deterministic root whose taint arrives through a helper
+//! crate (`crates/util`) that no scope deny-list ever covered — the
+//! laundering case that motivated the call-graph analysis.
+
+pub fn taint_entry(keys: &[u32], parts: &[f32]) -> f32 {
+    let stats = bucket_stats(keys); // tainted: hash-order iteration in crates/util
+    stats + pooled_sum(parts) // tainted: unordered float fold in crates/util
+}

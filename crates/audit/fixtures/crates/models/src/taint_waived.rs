@@ -1,0 +1,21 @@
+//! Fixture: hash-order taint silenced by a module-level waiver — must
+//! produce ZERO findings.
+//!
+//! audit: module ordered — buckets are drained through a sorted key pass
+//! before anything order-sensitive consumes them.
+
+use std::collections::HashMap;
+
+pub fn taint_waived_root(keys: &[u32]) -> f32 {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_default() += 1;
+    }
+    let mut sorted: Vec<(u32, u32)> = m.into_iter().collect();
+    sorted.sort_unstable();
+    let mut total = 0.0f32;
+    for &(_, c) in &sorted {
+        total += c as f32;
+    }
+    total
+}

@@ -1,5 +1,5 @@
 //! Fixture: serving hot path. Positives for the `unbounded-queue` rule
-//! (three unbounded constructions) and the `hot-panic` rule (one bare
+//! (three unbounded constructions) and the `panic-reach` analysis (one bare
 //! unwrap); one waived bounded queue and one `sync_channel` negative.
 
 use std::collections::VecDeque;

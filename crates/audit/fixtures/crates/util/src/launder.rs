@@ -1,0 +1,22 @@
+//! Fixture: the helper crate that launders nondeterminism. Sits outside
+//! every path a scope list would name; only reachability from a
+//! deterministic root can flag it.
+
+use std::collections::HashMap; // POSITIVE: hash-order (module-level, root reaches this file)
+
+pub fn bucket_stats(keys: &[u32]) -> f32 {
+    let mut m: HashMap<u32, u32> = HashMap::new(); // POSITIVE: hash-order via taint_entry
+    for &k in keys {
+        *m.entry(k).or_default() += 1;
+    }
+    m.values().map(|&c| c as f32).sum()
+}
+
+pub fn pooled_sum(parts: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    pooled_map(parts, |_, _, p| {
+        total += p; // POSITIVE: float-fold via taint_entry
+        p
+    });
+    total
+}

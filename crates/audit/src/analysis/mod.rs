@@ -1,0 +1,66 @@
+//! Call-graph analyses: rules whose subject is a *path through the call
+//! graph*, not a single line.
+//!
+//! * [`panic_reach`] — implicit panics transitively reachable from a
+//!   hot-path root (superseded the old `HOT_PATH_FILES` deny-list);
+//! * [`taint`] — nondeterminism sources transitively reachable from a
+//!   deterministic root (superseded the old `DETERMINISTIC_SCOPES`
+//!   directory list).
+//!
+//! Both consume the same inputs: the parsed files, the workspace call
+//! graph, and a BFS parent map from [`crate::callgraph::CallGraph::reach`]
+//! over the respective root set. Findings carry the root → … → fn chain
+//! that makes the site reachable, so a reviewer can see *why* a line
+//! deep in a helper crate is on the hot path.
+
+pub mod panic_reach;
+pub mod taint;
+
+use crate::callgraph::ParsedFile;
+
+/// Index of the innermost fn in `pf` whose item span (signature start
+/// through closing brace) contains `offset`. Bodiless declarations never
+/// match. Innermost wins for nested fns because its `fn` keyword starts
+/// later.
+pub(crate) fn enclosing_fn(pf: &ParsedFile, offset: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (idx, f) in pf.syn.fns.iter().enumerate() {
+        if f.body_span.1 > 0 && offset >= f.item_lo && offset < f.body_span.1 {
+            match best {
+                Some(b) if pf.syn.fns[b].item_lo >= f.item_lo => {}
+                _ => best = Some(idx),
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::callgraph::{CallGraph, ParsedFile};
+    use crate::lexer::SourceFile;
+    use crate::syntax::parse_file;
+
+    /// Build a tiny in-memory workspace for analysis tests.
+    pub fn workspace(files: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(rel, src)| {
+                let sf = SourceFile::new(src);
+                let syn = parse_file(&sf);
+                ParsedFile { rel: rel.to_string(), sf, syn }
+            })
+            .collect();
+        let graph = CallGraph::build(&parsed);
+        (parsed, graph)
+    }
+
+    /// Resolve root specs and return the BFS parent map.
+    pub fn parents(files: &[ParsedFile], g: &CallGraph, roots: &[&str]) -> Vec<Option<usize>> {
+        let mut ids = Vec::new();
+        for spec in roots {
+            ids.extend(g.resolve_root(files, spec));
+        }
+        g.reach(&ids)
+    }
+}

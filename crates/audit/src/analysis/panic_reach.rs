@@ -1,0 +1,196 @@
+//! Panic-reachability: flag every implicit-panic site — `.unwrap()`,
+//! `.expect(…)`, panicking indexing `xs[i]`, and the `panic!` macro
+//! family — inside any fn *transitively reachable* from a hot-path root.
+//!
+//! A panic on a serving worker burns the thread and drops an admitted
+//! request; a panic inside the trainer's scoped pool tears down the
+//! whole epoch. The old rule deny-listed seven files by path; this
+//! analysis follows the call graph instead, so a helper two crates away
+//! is held to the same standard as the root — and a renamed file cannot
+//! silently fall out of coverage.
+//!
+//! Waivers use the existing `unwrap` tag at any granularity:
+//! site (`// audit: unwrap — <why this cannot fail>`), fn
+//! (`// audit: fn unwrap — …` above the fn), or module
+//! (`audit: module unwrap — …` anywhere in the file).
+
+use crate::callgraph::{CallGraph, ParsedFile};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{self, Finding, Rule};
+
+/// Macro names whose invocation is an unconditional panic.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Run the analysis. `parent` is the BFS parent map over the hot-path
+/// roots; only fns with `parent[gid].is_some()` are scanned.
+pub fn run(files: &[ParsedFile], g: &CallGraph, parent: &[Option<usize>]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (gid, key) in g.nodes.iter().enumerate() {
+        if parent[gid].is_none() {
+            continue;
+        }
+        let pf = &files[key.file];
+        let f = &pf.syn.fns[key.idx];
+        if f.is_test || f.body_span.1 == 0 {
+            continue;
+        }
+        let chain = g.chain(files, parent, gid);
+        scan_fn(pf, f.line, f.body_span, &chain, &mut out);
+    }
+    out
+}
+
+fn scan_fn(
+    pf: &ParsedFile,
+    fn_line: usize,
+    span: (usize, usize),
+    chain: &str,
+    out: &mut Vec<Finding>,
+) {
+    let sf = &pf.sf;
+    let toks: Vec<&Token> = sf
+        .tokens
+        .iter()
+        .filter(|t| {
+            t.lo >= span.0
+                && t.hi <= span.1
+                && !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment)
+        })
+        .collect();
+    let bytes = sf.code.as_bytes();
+    let mut push = |line: usize, message: String| {
+        if !rules::waived_any(sf, line, Some(fn_line), Rule::PanicReach) {
+            out.push(Finding {
+                file: pf.rel.clone(),
+                line,
+                rule: Rule::PanicReach,
+                message,
+                chain: Some(chain.to_string()),
+            });
+        }
+    };
+    let mut last_index_line = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            TokenKind::Ident => {
+                let name = sf.text(t);
+                let prev_dot =
+                    i > 0 && toks[i - 1].kind == TokenKind::Punct && bytes[toks[i - 1].lo] == b'.';
+                let next_is = |ch: u8| {
+                    i + 1 < toks.len()
+                        && toks[i + 1].kind == TokenKind::Punct
+                        && bytes[toks[i + 1].lo] == ch
+                };
+                if (name == "unwrap" || name == "expect") && prev_dot && next_is(b'(') {
+                    push(
+                        sf.line_of(t.lo),
+                        format!(
+                            "`.{name}(…)` reachable from a hot-path root — propagate a typed \
+                             error or waive with `// audit: unwrap — <why this cannot fail>`"
+                        ),
+                    );
+                } else if PANIC_MACROS.contains(&name) && !prev_dot && next_is(b'!') {
+                    push(
+                        sf.line_of(t.lo),
+                        format!(
+                            "`{name}!` reachable from a hot-path root — hot paths must degrade, \
+                             not panic; waive with `// audit: unwrap — <reason>`"
+                        ),
+                    );
+                }
+            }
+            TokenKind::Punct
+                // Panicking index: `[` byte-adjacent to an identifier char
+                // (`#[…]`, `vec![…]`, `&[T]`, `= [` all have a non-ident
+                // byte before the bracket). One finding per line.
+                if bytes[t.lo] == b'['
+                    && t.lo > 0
+                    && (bytes[t.lo - 1] == b'_' || bytes[t.lo - 1].is_ascii_alphanumeric())
+                => {
+                    let line = sf.line_of(t.lo);
+                    if line != last_index_line {
+                        last_index_line = line;
+                        let col = t.lo - sf.line_offset(line);
+                        push(
+                            line,
+                            format!(
+                                "panicking index `{}` reachable from a hot-path root — use \
+                                 `get`/iterators or waive with `// audit: unwrap — <why in \
+                                 bounds>`",
+                                rules::snippet(sf.code_line(line), col)
+                            ),
+                        );
+                    }
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::testutil::{parents, workspace};
+
+    fn lines(f: &[Finding], file: &str) -> Vec<usize> {
+        f.iter().filter(|f| f.file == file).map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn flags_panics_two_calls_below_the_root() {
+        let (files, g) = workspace(&[
+            ("a.rs", "pub fn root(xs: &[u32]) -> u32 { mid(xs) }\nfn mid(xs: &[u32]) -> u32 { leaf(xs) }\n"),
+            ("b.rs", "pub fn leaf(xs: &[u32]) -> u32 { xs.first().unwrap() + xs[0] }\n"),
+        ]);
+        let p = parents(&files, &g, &["root"]);
+        let f = run(&files, &g, &p);
+        assert_eq!(lines(&f, "b.rs"), vec![1, 1], "unwrap + indexing, cross-file");
+        assert!(f[0].chain.as_deref().unwrap().contains("root → mid → leaf"));
+    }
+
+    #[test]
+    fn unreachable_fns_are_not_scanned() {
+        let (files, g) = workspace(&[(
+            "a.rs",
+            "pub fn root() { safe(); }\nfn safe() {}\npub fn dead(xs: &[u32]) -> u32 { xs[0] }\n",
+        )]);
+        let p = parents(&files, &g, &["root"]);
+        assert!(run(&files, &g, &p).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_and_expect_are_flagged() {
+        let (files, g) = workspace(&[(
+            "a.rs",
+            "pub fn root(x: Option<u32>) -> u32 {\n    match x {\n        Some(v) => v,\n        None => unreachable!(),\n    }\n}\npub fn root2(x: Option<u32>) -> u32 { x.expect(\"set\") }\n",
+        )]);
+        let p = parents(&files, &g, &["root", "root2"]);
+        let f = run(&files, &g, &p);
+        assert_eq!(lines(&f, "a.rs"), vec![4, 7]);
+    }
+
+    #[test]
+    fn waivers_at_site_fn_and_module_granularity() {
+        let site = "pub fn root(xs: &[u32]) -> u32 {\n    // audit: unwrap — non-empty by admission check\n    xs[0]\n}\n";
+        let fnlvl = "// audit: fn unwrap — all indices bounds-masked below\npub fn root(xs: &[u32]) -> u32 { xs[0] + xs.first().unwrap() }\n";
+        let modlvl = "//! audit: module unwrap — panics validated by the runtime checker\npub fn root(xs: &[u32]) -> u32 { xs[0] }\n";
+        for src in [site, fnlvl, modlvl] {
+            let (files, g) = workspace(&[("a.rs", src)]);
+            let p = parents(&files, &g, &["root"]);
+            assert!(run(&files, &g, &p).is_empty(), "{src}");
+        }
+    }
+
+    #[test]
+    fn non_panicking_lookalikes_stay_silent() {
+        let (files, g) = workspace(&[(
+            "a.rs",
+            "pub fn root(xs: &[u32]) -> u32 {\n    let a = xs.first().copied().unwrap_or(0);\n    let v = vec![1, 2];\n    let t: &[u32] = &xs[..0.min(xs.len())];\n    a + v.len() as u32 + t.len() as u32\n}\n",
+        )]);
+        let p = parents(&files, &g, &["root"]);
+        let f = run(&files, &g, &p);
+        // `xs[..]` *is* ident-adjacent `[` — range slicing can panic too,
+        // so it is flagged; unwrap_or and vec! are not.
+        assert_eq!(lines(&f, "a.rs"), vec![4]);
+    }
+}

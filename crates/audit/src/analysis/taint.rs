@@ -1,0 +1,292 @@
+//! Nondeterminism taint: flag sources of nondeterminism inside any fn
+//! *transitively reachable* from a deterministic root.
+//!
+//! The repo's core contract is bitwise determinism — resume from a
+//! checkpoint is bit-identical, replica training folds to the same bits
+//! for any thread count. The old rules enforced that per-directory
+//! (`DETERMINISTIC_SCOPES`): a helper crate outside the five listed
+//! directories could iterate a `HashMap` on behalf of the trainer and
+//! nothing fired. This analysis follows the call graph from the
+//! deterministic roots instead, so laundering a source through any
+//! helper — in any crate — still reaches a finding.
+//!
+//! Sources, and the rules/waiver tags they report under:
+//!
+//! * **hash-order** (`ordered`) — `HashMap`/`HashSet` mentions. A token
+//!   outside any fn (a `use`, a struct field) is a *module-level*
+//!   source: it fires when any of the file's fns is reachable, because
+//!   the type is then available to all of them.
+//! * **float-fold** (`fold`) — float accumulation inside closures handed
+//!   to `pooled_map`/scoped `spawn`, and parallel-iterator reductions,
+//!   unless routed through `fold_ordered`.
+//! * **wallclock** (`wallclock`) — `SystemTime`/`thread_rng`/
+//!   `from_entropy` inside crates the *line* rule exempts (bench, the
+//!   auditor): exemption covers measuring wall time locally, not
+//!   handing clock-derived values to a deterministic caller.
+
+use crate::analysis::enclosing_fn;
+use crate::callgraph::{CallGraph, ParsedFile};
+use crate::lexer::TokenKind;
+use crate::rules::{self, AuditConfig, Finding, Rule};
+
+/// Run the analysis. `parent` is the BFS parent map over the
+/// deterministic roots.
+pub fn run(
+    files: &[ParsedFile],
+    g: &CallGraph,
+    parent: &[Option<usize>],
+    cfg: &AuditConfig,
+) -> Vec<Finding> {
+    // gid lookup: (file, fn idx) → global id.
+    let mut gid_of = vec![Vec::new(); files.len()];
+    for (gid, key) in g.nodes.iter().enumerate() {
+        gid_of[key.file].push(gid);
+        debug_assert_eq!(gid_of[key.file].len() - 1, key.idx);
+    }
+    let mut out = Vec::new();
+    for (fi, pf) in files.iter().enumerate() {
+        // The chain to show for module-level sources: the first
+        // reachable non-test fn in the file.
+        let first_reachable = pf
+            .syn
+            .fns
+            .iter()
+            .enumerate()
+            .find(|(idx, f)| !f.is_test && f.body_span.1 > 0 && parent[gid_of[fi][*idx]].is_some())
+            .map(|(idx, _)| gid_of[fi][idx]);
+        let reach_at = |offset: usize| -> Option<(Option<usize>, usize)> {
+            // → (fn line for fn-level waivers, gid whose chain to print)
+            match enclosing_fn(pf, offset) {
+                Some(idx) => {
+                    let gid = gid_of[fi][idx];
+                    parent[gid].map(|_| (Some(pf.syn.fns[idx].line), gid))
+                }
+                None => first_reachable.map(|gid| (None, gid)),
+            }
+        };
+        hash_order(pf, g, files, parent, &reach_at, &mut out);
+        float_fold(pf, g, files, parent, &reach_at, &mut out);
+        if cfg.wallclock_exempt.iter().any(|p| pf.rel.starts_with(p)) {
+            wallclock(pf, g, files, parent, &reach_at, &mut out);
+        }
+    }
+    out
+}
+
+type ReachAt<'a> = dyn Fn(usize) -> Option<(Option<usize>, usize)> + 'a;
+
+fn hash_order(
+    pf: &ParsedFile,
+    g: &CallGraph,
+    files: &[ParsedFile],
+    parent: &[Option<usize>],
+    reach_at: &ReachAt,
+    out: &mut Vec<Finding>,
+) {
+    for t in &pf.sf.tokens {
+        if t.kind != TokenKind::Ident || pf.sf.in_test(t.lo) {
+            continue;
+        }
+        let word = pf.sf.text(t);
+        if word != "HashMap" && word != "HashSet" {
+            continue;
+        }
+        let Some((fn_line, gid)) = reach_at(t.lo) else { continue };
+        let line = pf.sf.line_of(t.lo);
+        if rules::waived_any(&pf.sf, line, fn_line, Rule::HashOrder) {
+            continue;
+        }
+        let site = if fn_line.is_some() { "" } else { " (module-level: every fn sees it)" };
+        out.push(Finding {
+            file: pf.rel.clone(),
+            line,
+            rule: Rule::HashOrder,
+            message: format!(
+                "{word} reachable from a deterministic root{site}: iteration order is \
+                 nondeterministic — use BTreeMap/BTreeSet or a sorted collect, or waive \
+                 membership-only use with `// audit: ordered — <reason>`"
+            ),
+            chain: Some(g.chain(files, parent, gid)),
+        });
+    }
+}
+
+/// Float accumulation inside closures handed to `pooled_map` or scoped
+/// `spawn`, and parallel-iterator reductions, in any reachable fn. Float
+/// addition is not associative: any cross-thread fold must run through
+/// `fold_ordered`/`fold_grads_ordered` (fixed part order) or carry a
+/// waiver explaining why the accumulation is thread-local.
+fn float_fold(
+    pf: &ParsedFile,
+    g: &CallGraph,
+    files: &[ParsedFile],
+    parent: &[Option<usize>],
+    reach_at: &ReachAt,
+    out: &mut Vec<Finding>,
+) {
+    let s = &pf.sf;
+    // Spans of worker closures: from each `pooled_map(`/`.spawn(` to the
+    // call's matching close paren.
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for word in ["pooled_map", "spawn"] {
+        for pos in rules::word_positions(&s.code, word) {
+            if let Some(open) = s.code[pos..].find('(').map(|r| pos + r) {
+                spans.push((open, rules::match_paren(s.code.as_bytes(), open)));
+            }
+        }
+    }
+    for line in 1..=s.n_lines() {
+        if s.in_test_line(line) {
+            continue;
+        }
+        let code = s.code_line(line);
+        let offset = s.line_offset(line);
+        let in_span = spans.iter().any(|&(lo, hi)| offset > lo && offset < hi);
+        let integerish = code.contains("as u64")
+            || code.contains("as u32")
+            || code.contains("as usize")
+            || code.contains("+= 1");
+        let accumulates = code.contains("+=") || code.contains(".sum(") || code.contains(".sum::");
+        let par_reduce = code.contains("par_")
+            && (code.contains(".sum(") || code.contains(".reduce(") || code.contains(".fold("));
+        let routed = code.contains("fold_ordered");
+        let hit = par_reduce || (in_span && accumulates && !integerish);
+        if !hit || routed {
+            continue;
+        }
+        let Some((fn_line, gid)) = reach_at(offset) else { continue };
+        if rules::waived_any(s, line, fn_line, Rule::FloatFold) {
+            continue;
+        }
+        out.push(Finding {
+            file: pf.rel.clone(),
+            line,
+            rule: Rule::FloatFold,
+            message: "float accumulation in a worker closure / parallel reduction on a \
+                      deterministic path — route cross-thread folds through fold_ordered, or \
+                      waive thread-local accumulation with `// audit: fold — <reason>`"
+                .to_string(),
+            chain: Some(g.chain(files, parent, gid)),
+        });
+    }
+}
+
+/// Entropy/clock sources inside wallclock-*exempt* crates that are
+/// nevertheless reachable from a deterministic root: the exemption
+/// covers local measurement, not exporting clock-derived values into
+/// deterministic callers. (Non-exempt crates are covered by the
+/// unconditional wallclock line rule.)
+fn wallclock(
+    pf: &ParsedFile,
+    g: &CallGraph,
+    files: &[ParsedFile],
+    parent: &[Option<usize>],
+    reach_at: &ReachAt,
+    out: &mut Vec<Finding>,
+) {
+    for t in &pf.sf.tokens {
+        if t.kind != TokenKind::Ident || pf.sf.in_test(t.lo) {
+            continue;
+        }
+        let word = pf.sf.text(t);
+        if !["SystemTime", "thread_rng", "from_entropy"].contains(&word) {
+            continue;
+        }
+        // Only fn-level sources: a `use std::time::SystemTime` at module
+        // scope in a bench crate is measurement plumbing, not a leak.
+        let Some((fn_line @ Some(_), gid)) = reach_at(t.lo) else { continue };
+        let line = pf.sf.line_of(t.lo);
+        if rules::waived_any(&pf.sf, line, fn_line, Rule::Wallclock) {
+            continue;
+        }
+        out.push(Finding {
+            file: pf.rel.clone(),
+            line,
+            rule: Rule::Wallclock,
+            message: format!(
+                "{word} in a wallclock-exempt crate but reachable from a deterministic root — \
+                 the exemption covers local measurement, not feeding clock/entropy values to \
+                 deterministic callers; waive with `// audit: wallclock — <reason>`"
+            ),
+            chain: Some(g.chain(files, parent, gid)),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::testutil::{parents, workspace};
+
+    fn cfg() -> AuditConfig {
+        AuditConfig::workspace()
+    }
+
+    fn lines(f: &[Finding], file: &str, rule: Rule) -> Vec<usize> {
+        f.iter().filter(|f| f.file == file && f.rule == rule).map(|f| f.line).collect()
+    }
+
+    #[test]
+    fn hash_order_laundered_through_helper_crate_is_caught() {
+        // The helper lives outside the old DETERMINISTIC_SCOPES — the old
+        // per-directory rule provably missed this.
+        let (files, g) = workspace(&[
+            ("crates/models/src/a.rs", "pub fn taint_entry(n: usize) -> f32 { bucket_stats(n) }\n"),
+            (
+                "crates/util/src/launder.rs",
+                "pub fn bucket_stats(n: usize) -> f32 {\n    let m: std::collections::HashMap<usize, f32> = std::collections::HashMap::new();\n    m.values().copied().next().unwrap_or(n as f32)\n}\n",
+            ),
+        ]);
+        let p = parents(&files, &g, &["taint_entry"]);
+        let f = run(&files, &g, &p, &cfg());
+        assert_eq!(lines(&f, "crates/util/src/launder.rs", Rule::HashOrder), vec![2, 2]);
+        assert!(f[0].chain.as_deref().unwrap().contains("taint_entry → bucket_stats"));
+    }
+
+    #[test]
+    fn module_level_hash_fires_only_when_a_fn_is_reachable() {
+        let src = "use std::collections::HashMap;\npub fn live() -> usize { 0 }\n";
+        let (files, g) = workspace(&[("crates/x/src/a.rs", src)]);
+        let p = parents(&files, &g, &["live"]);
+        let f = run(&files, &g, &p, &cfg());
+        assert_eq!(lines(&f, "crates/x/src/a.rs", Rule::HashOrder), vec![1]);
+        // No roots → the same file is silent.
+        let p = g.reach(&[]);
+        assert!(run(&files, &g, &p, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn unreachable_sources_and_waivers_stay_silent() {
+        let (files, g) = workspace(&[(
+            "crates/x/src/a.rs",
+            "pub fn root(keys: &[u32]) -> bool { member(keys) }\nfn member(keys: &[u32]) -> bool {\n    // audit: ordered — membership probe only, never iterated\n    let s: std::collections::HashSet<u32> = keys.iter().copied().collect();\n    s.contains(&0)\n}\npub fn dead() { let _ = std::collections::HashMap::<u32, u32>::new(); }\n",
+        )]);
+        let p = parents(&files, &g, &["root"]);
+        assert!(run(&files, &g, &p, &cfg()).is_empty());
+    }
+
+    #[test]
+    fn float_fold_in_reachable_worker_closure() {
+        let src = "pub fn root(parts: &[f32]) -> f32 { helper(parts) }\nfn helper(parts: &[f32]) -> f32 {\n    let mut total = 0.0f32;\n    pooled_map(parts.len(), |j| {\n        total += parts.len() as f32;\n    });\n    total\n}\n";
+        let (files, g) = workspace(&[("crates/x/src/a.rs", src)]);
+        let p = parents(&files, &g, &["root"]);
+        let f = run(&files, &g, &p, &cfg());
+        assert_eq!(lines(&f, "crates/x/src/a.rs", Rule::FloatFold), vec![5]);
+        // Unreachable: same file, no roots.
+        assert!(run(&files, &g, &g.reach(&[]), &cfg()).is_empty());
+    }
+
+    #[test]
+    fn wallclock_taint_applies_only_inside_exempt_crates() {
+        let src = "pub fn stamp() -> u64 { clock_ns() }\nfn clock_ns() -> u64 { let t = SystemTime::now(); 0 }\n";
+        let (files, g) = workspace(&[("crates/bench/src/a.rs", src)]);
+        let p = parents(&files, &g, &["stamp"]);
+        let f = run(&files, &g, &p, &cfg());
+        assert_eq!(lines(&f, "crates/bench/src/a.rs", Rule::Wallclock), vec![2]);
+        // Outside an exempt crate the line rule owns the token — taint is
+        // silent to avoid double-reporting.
+        let (files, g) = workspace(&[("crates/models/src/a.rs", src)]);
+        let p = parents(&files, &g, &["stamp"]);
+        assert!(run(&files, &g, &p, &cfg()).is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! The workspace-wide approximate call graph, and reachability over it.
+//!
+//! Nodes are every `fn` item the parser found; edges resolve call sites
+//! **by name** (with a path-qualifier refinement), the standard
+//! over-approximation for a dependency-free analyzer:
+//!
+//! * `helper(…)` → free workspace fns named `helper` (every fn of that
+//!   name if no free one exists);
+//! * `Type::new(…)` → fns named `new` under `impl Type` when any exist,
+//!   else *free* fns named `new` (module-path qualifiers like
+//!   `kernels::gather(…)` fall back this way) — never methods of
+//!   unrelated types;
+//! * `.rank(…)` → every fn named `rank` that takes a `self` receiver
+//!   (dynamic dispatch and generics resolve to all impls, which is
+//!   exactly the sound choice; free fns are not method-callable);
+//! * identifiers forwarded through macro arguments (`dispatch!(f, …)`)
+//!   edge to fns of that name, keeping routing macros connected.
+//!
+//! Calls whose name matches no workspace fn (std/stub-crate calls)
+//! produce no edge. Non-test callers never edge into `#[cfg(test)]`
+//! fns. The graph is deterministic: nodes are ordered (file, index) and
+//! neighbor lists are sorted and deduped.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::SourceFile;
+use crate::syntax::FileSyntax;
+
+/// One parsed workspace file.
+pub struct ParsedFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub sf: SourceFile,
+    pub syn: FileSyntax,
+}
+
+/// A function node: `(file index, fn index within that file)` flattened
+/// into one global id by [`CallGraph::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnKey {
+    pub file: usize,
+    pub idx: usize,
+}
+
+pub struct CallGraph {
+    /// Global fn id → (file, fn) key, in deterministic order.
+    pub nodes: Vec<FnKey>,
+    /// Adjacency: global id → sorted, deduped callee ids.
+    pub edges: Vec<Vec<usize>>,
+    /// Total resolved call edges (sum of adjacency lengths).
+    pub n_edges: usize,
+    /// Call sites that matched no workspace fn (std/stub calls).
+    pub n_unresolved_calls: usize,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Build the graph over `files`.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        for (fi, pf) in files.iter().enumerate() {
+            for idx in 0..pf.syn.fns.len() {
+                nodes.push(FnKey { file: fi, idx });
+            }
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (gid, key) in nodes.iter().enumerate() {
+            let f = &files[key.file].syn.fns[key.idx];
+            by_name.entry(f.name.clone()).or_default().push(gid);
+        }
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        let mut n_unresolved = 0usize;
+        for (gid, key) in nodes.iter().enumerate() {
+            let caller = &files[key.file].syn.fns[key.idx];
+            for call in &caller.calls {
+                let Some(cands) = by_name.get(&call.name) else {
+                    n_unresolved += 1;
+                    continue;
+                };
+                let fn_of = |t: usize| {
+                    let tk = nodes[t];
+                    &files[tk.file].syn.fns[tk.idx]
+                };
+                let keep = |pred: &dyn Fn(usize) -> bool| -> Vec<usize> {
+                    cands.iter().copied().filter(|&t| pred(t)).collect()
+                };
+                // Qualifier refinement: `Type::f(…)` keeps impl-matching
+                // candidates when any exist; a qualifier with no impl
+                // match is a module path (`kernels::f`) and falls back to
+                // *free* fns — never to methods of unrelated types.
+                // `.f(…)` method syntax only dispatches to fns with a
+                // `self` receiver. Bare `f(…)` prefers free fns and
+                // falls back to everything (UFCS imports are rare).
+                let targets: Vec<usize> = if let Some(q) = &call.qual {
+                    let impls = keep(&|t| fn_of(t).qual.as_deref() == Some(q.as_str()));
+                    if impls.is_empty() {
+                        keep(&|t| fn_of(t).qual.is_none())
+                    } else {
+                        impls
+                    }
+                } else if call.is_method {
+                    keep(&|t| fn_of(t).has_self)
+                } else {
+                    let free = keep(&|t| fn_of(t).qual.is_none());
+                    if free.is_empty() {
+                        cands.clone()
+                    } else {
+                        free
+                    }
+                };
+                if targets.is_empty() {
+                    n_unresolved += 1;
+                    continue;
+                }
+                for t in targets {
+                    let tk = nodes[t];
+                    let target = &files[tk.file].syn.fns[tk.idx];
+                    if target.is_test && !caller.is_test {
+                        continue; // non-test code cannot call cfg(test) items
+                    }
+                    edges[gid].push(t);
+                }
+            }
+        }
+        for adj in &mut edges {
+            adj.sort_unstable();
+            adj.dedup();
+        }
+        let n_edges = edges.iter().map(|a| a.len()).sum();
+        CallGraph { nodes, edges, n_edges, n_unresolved_calls: n_unresolved, by_name }
+    }
+
+    /// Number of fn nodes.
+    pub fn n_fns(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Resolve one root spec — `"name"` or `"Type::name"` — to the
+    /// non-test fns it names. Empty when nothing matches (the caller
+    /// turns that into a hard config error).
+    pub fn resolve_root(&self, files: &[ParsedFile], spec: &str) -> Vec<usize> {
+        let (qual, name) = match spec.split_once("::") {
+            Some((q, n)) => (Some(q), n),
+            None => (None, spec),
+        };
+        let Some(cands) = self.by_name.get(name) else { return Vec::new() };
+        cands
+            .iter()
+            .copied()
+            .filter(|&gid| {
+                let k = self.nodes[gid];
+                let f = &files[k.file].syn.fns[k.idx];
+                !f.is_test && (qual.is_none() || f.qual.as_deref() == qual)
+            })
+            .collect()
+    }
+
+    /// BFS from `roots`; returns `parent[gid] = Some(pred)` for every
+    /// reachable fn (roots are their own parents). Deterministic: roots
+    /// in given order, neighbors in sorted order.
+    pub fn reach(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if parent[r].is_none() {
+                parent[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if parent[v].is_none() {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Render the call chain from a root down to `gid` (using the BFS
+    /// parent map), e.g. `train_epoch → step → helper`. Long chains are
+    /// elided in the middle.
+    pub fn chain(&self, files: &[ParsedFile], parent: &[Option<usize>], gid: usize) -> String {
+        let mut path = vec![gid];
+        let mut cur = gid;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        let label = |g: usize| {
+            let k = self.nodes[g];
+            let f = &files[k.file].syn.fns[k.idx];
+            match &f.qual {
+                Some(q) => format!("{q}::{}", f.name),
+                None => f.name.clone(),
+            }
+        };
+        if path.len() > 6 {
+            let head: Vec<String> = path[..3].iter().map(|&g| label(g)).collect();
+            let tail: Vec<String> = path[path.len() - 2..].iter().map(|&g| label(g)).collect();
+            format!("{} → … → {}", head.join(" → "), tail.join(" → "))
+        } else {
+            path.iter().map(|&g| label(g)).collect::<Vec<_>>().join(" → ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+    use crate::syntax::parse_file;
+
+    fn workspace(files: &[(&str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let parsed: Vec<ParsedFile> = files
+            .iter()
+            .map(|(rel, src)| {
+                let sf = SourceFile::new(src);
+                let syn = parse_file(&sf);
+                ParsedFile { rel: rel.to_string(), sf, syn }
+            })
+            .collect();
+        let graph = CallGraph::build(&parsed);
+        (parsed, graph)
+    }
+
+    fn gid_of(files: &[ParsedFile], graph: &CallGraph, name: &str) -> usize {
+        graph
+            .nodes
+            .iter()
+            .position(|k| files[k.file].syn.fns[k.idx].name == name)
+            .unwrap_or_else(|| panic!("no fn named {name}"))
+    }
+
+    #[test]
+    fn cross_file_edges_resolve_by_name() {
+        let (files, g) = workspace(&[
+            ("a.rs", "pub fn root() { helper(); }\n"),
+            ("b.rs", "pub fn helper() { leaf(); }\npub fn leaf() {}\n"),
+        ]);
+        let root = gid_of(&files, &g, "root");
+        let leaf = gid_of(&files, &g, "leaf");
+        let parent = g.reach(&[root]);
+        assert!(parent[leaf].is_some(), "leaf reachable two hops down");
+        assert_eq!(g.chain(&files, &parent, leaf), "root → helper → leaf");
+    }
+
+    #[test]
+    fn qualifier_prefers_matching_impl_and_falls_back() {
+        let (files, g) = workspace(&[
+            (
+                "a.rs",
+                "impl Server { pub fn new() { a(); } }\nimpl Client { pub fn new() { b(); } }\nfn a() {}\nfn b() {}\n",
+            ),
+            ("c.rs", "fn root() { Server::new(); }\nfn modpath() { util::shared(); }\nfn shared() {}\n"),
+        ]);
+        let root = gid_of(&files, &g, "root");
+        let a = gid_of(&files, &g, "a");
+        let b = gid_of(&files, &g, "b");
+        let parent = g.reach(&[root]);
+        assert!(parent[a].is_some(), "Server::new resolves to the Server impl");
+        assert!(parent[b].is_none(), "Client::new must not be reached");
+        // Module-path qualifier (`util::shared`) has no impl match → name fallback.
+        let modpath = gid_of(&files, &g, "modpath");
+        let shared = gid_of(&files, &g, "shared");
+        let parent = g.reach(&[modpath]);
+        assert!(parent[shared].is_some());
+    }
+
+    #[test]
+    fn method_calls_edge_to_every_impl() {
+        let (files, g) = workspace(&[(
+            "a.rs",
+            "impl Ckat { fn train_epoch(&self) { x(); } }\nimpl Kgcn { fn train_epoch(&self) { y(); } }\nfn run(m: &dyn Model) { m.train_epoch(); }\nfn x() {}\nfn y() {}\n",
+        )]);
+        let run = gid_of(&files, &g, "run");
+        let parent = g.reach(&[run]);
+        assert!(parent[gid_of(&files, &g, "x")].is_some());
+        assert!(parent[gid_of(&files, &g, "y")].is_some());
+    }
+
+    #[test]
+    fn test_fns_are_not_targets_of_live_code_and_cycles_terminate() {
+        let (files, g) = workspace(&[(
+            "a.rs",
+            "fn root() { ping(); helper(); }\nfn ping() { pong(); }\nfn pong() { ping(); }\n#[cfg(test)]\nmod tests {\n    fn helper() { secret(); }\n    fn secret() {}\n}\n",
+        )]);
+        let root = gid_of(&files, &g, "root");
+        let parent = g.reach(&[root]);
+        assert!(parent[gid_of(&files, &g, "pong")].is_some(), "cycle traversed once");
+        assert!(
+            parent[gid_of(&files, &g, "secret")].is_none(),
+            "test fns unreachable from live code"
+        );
+    }
+
+    #[test]
+    fn root_resolution_by_name_and_qualified() {
+        let (files, g) = workspace(&[(
+            "a.rs",
+            "impl Server { fn handle(&self) {} }\nimpl Proxy { fn handle(&self) {} }\nfn lone() {}\n#[cfg(test)]\nfn t_only() {}\n",
+        )]);
+        assert_eq!(g.resolve_root(&files, "handle").len(), 2);
+        assert_eq!(g.resolve_root(&files, "Server::handle").len(), 1);
+        assert_eq!(g.resolve_root(&files, "lone").len(), 1);
+        assert!(g.resolve_root(&files, "t_only").is_empty(), "test fns cannot be roots");
+        assert!(g.resolve_root(&files, "absent").is_empty());
+    }
+
+    #[test]
+    fn macro_forwarded_names_keep_dispatch_connected() {
+        let (files, g) = workspace(&[(
+            "k.rs",
+            "pub fn gather(a: &[f32]) { dispatch!(gather_avx2, a); }\nfn gather_avx2(a: &[f32]) { leafk(); }\nfn leafk() {}\n",
+        )]);
+        let root = gid_of(&files, &g, "gather");
+        let parent = g.reach(&[root]);
+        assert!(parent[gid_of(&files, &g, "leafk")].is_some());
+    }
+}

@@ -1,0 +1,630 @@
+//! A spanned Rust lexer and the [`SourceFile`] view the rules and
+//! analyses consume.
+//!
+//! The auditor builds offline with no dependencies (`syn` is not
+//! available), so this is a hand-rolled lexer that understands exactly
+//! as much Rust as the analyses need, but understands it *properly*:
+//!
+//! * line comments and **nested** block comments;
+//! * string literals with escapes, byte strings, and raw strings at any
+//!   hash depth (`r"…"`, `r#"…"#`, `br##"…"##`);
+//! * char literals vs. lifetimes (`'x'` / `'\n'` vs. `'a`);
+//! * identifiers (including raw `r#ident`), numbers (hex/binary/octal,
+//!   floats, exponents, suffixes), and single-char punctuation.
+//!
+//! Every token carries its byte span in the original source, so a match
+//! maps straight back to a line and the two derived channels
+//! ([`SourceFile::code`] / [`SourceFile::comments`]) are byte-aligned
+//! with the input — the invariant every rule relies on.
+
+/// What a token is. Keywords are `Ident`s; the parser decides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw `r#ident` included, span covers `r#`).
+    Ident,
+    /// A lifetime such as `'a` (span includes the quote).
+    Lifetime,
+    /// Any numeric literal, int or float, with suffix.
+    Num,
+    /// Any string-ish literal: `"…"`, `b"…"`, `r#"…"#`, `br"…"`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// `// …` (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting honoured (doc comments included).
+    BlockComment,
+    /// One punctuation byte (`::` is two `:` tokens, adjacency-checked).
+    Punct,
+}
+
+/// One lexed token: kind plus byte span `lo..hi` into the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+/// Lex `src` into a flat token stream. Whitespace is dropped; everything
+/// else — comments included — becomes a token, and the concatenation of
+/// all token spans plus whitespace reproduces the input (round-trip
+/// property, tested below).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let lo = i;
+        // Comments.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            out.push(Token { kind: TokenKind::LineComment, lo, hi: i });
+            continue;
+        }
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.push(Token { kind: TokenKind::BlockComment, lo, hi: i });
+            continue;
+        }
+        // Raw strings and raw identifiers: r"…", r#"…"#, r#ident.
+        if c == b'r' || c == b'b' {
+            if let Some(tok) = lex_raw_or_byte(b, i) {
+                i = tok.hi;
+                out.push(tok);
+                continue;
+            }
+        }
+        // Plain strings.
+        if c == b'"' {
+            i = skip_string(b, i + 1);
+            out.push(Token { kind: TokenKind::Str, lo, hi: i });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if is_char_literal(b, i) {
+                i = skip_char(b, i + 1);
+                out.push(Token { kind: TokenKind::Char, lo, hi: i });
+            } else {
+                i += 1;
+                while i < n && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                out.push(Token { kind: TokenKind::Lifetime, lo, hi: i });
+            }
+            continue;
+        }
+        // Identifiers and keywords.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            i += 1;
+            while i < n && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            out.push(Token { kind: TokenKind::Ident, lo, hi: i });
+            continue;
+        }
+        // Numbers (floats, exponents, radix prefixes, suffixes).
+        if c.is_ascii_digit() {
+            i = skip_number(b, i);
+            out.push(Token { kind: TokenKind::Num, lo, hi: i });
+            continue;
+        }
+        // Everything else: one punctuation byte (multi-byte UTF-8 chars
+        // in code positions are illegal Rust; emit byte-wise and move on).
+        i += 1;
+        while i < n && b[i - 1] >= 0x80 && b[i] & 0xC0 == 0x80 {
+            i += 1; // keep a multi-byte char as one token so spans stay on char boundaries
+        }
+        out.push(Token { kind: TokenKind::Punct, lo, hi: i });
+    }
+    out
+}
+
+/// Lex `r…`/`b…` forms that are literals (raw string, byte string, raw
+/// ident, byte char); `None` means "just an identifier starting with
+/// r/b" and the caller lexes it as an ident.
+fn lex_raw_or_byte(b: &[u8], i: usize) -> Option<Token> {
+    let n = b.len();
+    let c = b[i];
+    // b'x' byte char.
+    if c == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+        let hi = skip_char(b, i + 2);
+        return Some(Token { kind: TokenKind::Char, lo: i, hi });
+    }
+    // b"…" byte string.
+    if c == b'b' && i + 1 < n && b[i + 1] == b'"' {
+        let hi = skip_string(b, i + 2);
+        return Some(Token { kind: TokenKind::Str, lo: i, hi });
+    }
+    // br#"…"# raw byte string.
+    let raw_at = if c == b'b' && i + 1 < n && b[i + 1] == b'r' { i + 1 } else { i };
+    if b[raw_at] == b'r' {
+        let mut j = raw_at + 1;
+        let mut hashes = 0usize;
+        while j < n && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && b[j] == b'"' {
+            // Raw string: scan for `"` followed by `hashes` hashes.
+            j += 1;
+            while j < n {
+                if b[j] == b'"' && (1..=hashes).all(|k| b.get(j + k) == Some(&b'#')) {
+                    return Some(Token { kind: TokenKind::Str, lo: i, hi: j + 1 + hashes });
+                }
+                j += 1;
+            }
+            return Some(Token { kind: TokenKind::Str, lo: i, hi: n });
+        }
+        if hashes == 1 && raw_at == i && j < n && (b[j] == b'_' || b[j].is_ascii_alphabetic()) {
+            // Raw identifier r#ident.
+            let mut k = j;
+            while k < n && (b[k] == b'_' || b[k].is_ascii_alphanumeric()) {
+                k += 1;
+            }
+            return Some(Token { kind: TokenKind::Ident, lo: i, hi: k });
+        }
+    }
+    None
+}
+
+fn skip_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+fn skip_char(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+fn skip_number(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    if b[i] == b'0' && i + 1 < n && matches!(b[i + 1], b'x' | b'b' | b'o') {
+        i += 2;
+        while i < n && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+            i += 1;
+        }
+        return i;
+    }
+    while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: only when followed by a digit (so `0..n` ranges
+    // and `1.max(2)` method calls stay out of the literal).
+    if i + 1 < n && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+        i += 1;
+        while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if i < n && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < n && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < n && b[j].is_ascii_digit() {
+            i = j;
+            while i < n && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Type suffix (f32, u64, usize, …).
+    while i < n && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    i
+}
+
+/// Distinguish a char literal (`'x'`, `'\n'`) from a lifetime (`'a`).
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}
+
+// ----------------------------------------------------------------------
+// SourceFile: the lexed view of one file
+// ----------------------------------------------------------------------
+
+/// One lexed source file: the token stream plus the two byte-aligned
+/// channels every line rule matches against, the line table, and the
+/// `#[cfg(test)]` ranges.
+pub struct SourceFile {
+    /// The lexed tokens, in source order, comments included.
+    pub tokens: Vec<Token>,
+    /// Code channel: the source with comment bodies and literal bodies
+    /// blanked to spaces (delimiters kept); newlines preserved.
+    pub code: String,
+    /// Comment channel: only comment text survives; newlines preserved.
+    pub comments: String,
+    test_ranges: Vec<(usize, usize)>,
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Lex `source` and derive the channel views and test ranges.
+    pub fn new(source: &str) -> Self {
+        let tokens = lex(source);
+        let (code, comments) = channels(source, &tokens);
+        let test_ranges = find_test_ranges(&code);
+        let mut line_starts = vec![0usize];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self { tokens, code, comments, test_ranges, line_starts }
+    }
+
+    /// 1-based line number of byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    }
+
+    /// True when byte `offset` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..hi).contains(&offset))
+    }
+
+    /// True when 1-based `line` starts inside a `#[cfg(test)]` item.
+    pub fn in_test_line(&self, line: usize) -> bool {
+        self.in_test(self.line_offset(line))
+    }
+
+    /// The comment text of 1-based `line` (blanks where code was).
+    pub fn comment_line(&self, line: usize) -> &str {
+        self.channel_line(&self.comments, line)
+    }
+
+    /// The code text of 1-based `line` (blanks where comments were).
+    pub fn code_line(&self, line: usize) -> &str {
+        self.channel_line(&self.code, line)
+    }
+
+    /// Byte offset of the start of 1-based `line`.
+    pub fn line_offset(&self, line: usize) -> usize {
+        self.line_starts.get(line.saturating_sub(1)).copied().unwrap_or(self.code.len())
+    }
+
+    /// Number of lines in the file.
+    pub fn n_lines(&self) -> usize {
+        self.line_starts.len()
+    }
+
+    /// The source text of `tok` (read from the code channel, so literal
+    /// bodies are blanked — fine for idents/puncts, which are verbatim).
+    pub fn text(&self, tok: &Token) -> &str {
+        &self.code[tok.lo..tok.hi]
+    }
+
+    fn channel_line<'a>(&self, channel: &'a str, line: usize) -> &'a str {
+        if line == 0 || line > self.line_starts.len() {
+            return "";
+        }
+        let lo = self.line_starts[line - 1];
+        let hi = self.line_starts.get(line).copied().unwrap_or(channel.len());
+        channel[lo..hi].trim_end_matches('\n')
+    }
+}
+
+/// Rebuild the code/comment channels from the token stream: both are the
+/// input length, space-filled, newlines kept in both so line numbers
+/// survive; each token writes itself into its channel (string/char
+/// literals keep only their delimiters in the code channel so patterns
+/// never match literal *contents*).
+fn channels(source: &str, tokens: &[Token]) -> (String, String) {
+    let b = source.as_bytes();
+    let n = b.len();
+    let mut code = vec![b' '; n];
+    let mut comments = vec![b' '; n];
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            code[i] = b'\n';
+            comments[i] = b'\n';
+        }
+    }
+    for t in tokens {
+        match t.kind {
+            TokenKind::LineComment | TokenKind::BlockComment => {
+                for i in t.lo..t.hi {
+                    if b[i] != b'\n' {
+                        comments[i] = b[i];
+                    }
+                }
+            }
+            TokenKind::Str | TokenKind::Char => {
+                // Keep prefix letters and the delimiters; blank the body.
+                let mut i = t.lo;
+                while i < t.hi && (b[i] == b'r' || b[i] == b'b') {
+                    code[i] = b[i];
+                    i += 1;
+                }
+                if i < t.hi {
+                    code[i] = b[i]; // opening quote (or `#` run start)
+                }
+                if t.hi > t.lo {
+                    code[t.hi - 1] = b[t.hi - 1]; // closing delimiter
+                }
+            }
+            _ => {
+                for i in t.lo..t.hi {
+                    if b[i] != b'\n' {
+                        code[i] = b[i];
+                    }
+                }
+            }
+        }
+    }
+    // Both channels are ASCII-or-copied-whole-chars over a space-filled
+    // buffer: multi-byte chars are either copied intact (comments,
+    // idents) or fully blanked (literal bodies), so UTF-8 stays valid.
+    (String::from_utf8(code).unwrap_or_default(), String::from_utf8(comments).unwrap_or_default())
+}
+
+/// Byte ranges of items annotated `#[cfg(test)]` (attribute through the
+/// item's closing brace or terminating semicolon), found on the code
+/// channel so commented-out attributes don't count.
+fn find_test_ranges(code: &str) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = find_cfg_test(code, from) {
+        let end = item_end(code.as_bytes(), pos);
+        ranges.push((pos, end));
+        from = end.max(pos + 1);
+    }
+    ranges
+}
+
+/// Next `#[cfg(test)]`-style attribute at or after `from` (tolerates
+/// whitespace and `cfg(all(test, …))`).
+fn find_cfg_test(code: &str, from: usize) -> Option<usize> {
+    let mut at = from;
+    while let Some(rel) = code[at..].find("cfg") {
+        let pos = at + rel;
+        let tail = &code[pos..code.len().min(pos + 64)];
+        if let Some(open) = tail.find('(') {
+            if tail[..open].trim() == "cfg" {
+                if let Some(close) = tail[open..].find(')').map(|c| open + c) {
+                    if tail[open..close].contains("test") {
+                        let head = code[..pos].rfind('#').unwrap_or(pos);
+                        if code[head..pos]
+                            .chars()
+                            .all(|c| c == '#' || c == '[' || c.is_whitespace())
+                        {
+                            return Some(head);
+                        }
+                    }
+                }
+            }
+        }
+        at = pos + 3;
+    }
+    None
+}
+
+/// End offset of the item starting at (or after) attribute offset `pos`:
+/// the matching `}` of its first brace block, or the first top-level `;`.
+fn item_end(bytes: &[u8], pos: usize) -> usize {
+    let mut i = pos;
+    let mut depth = 0usize;
+    let mut seen_brace = false;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                depth += 1;
+                seen_brace = true;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                if seen_brace && depth == 0 {
+                    return i + 1;
+                }
+            }
+            b';' if !seen_brace
+                && (!bytes[pos..i].contains(&b'[') || bytes[pos..i].contains(&b']')) =>
+            {
+                return i + 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).iter().map(|t| (t.kind, src[t.lo..t.hi].to_string())).collect()
+    }
+
+    #[test]
+    fn round_trip_spans_cover_all_non_whitespace() {
+        let src = "fn f<'a>(x: &'a str) -> f32 { let y = 1.5e-3f32; y + x.len() as f32 }\n";
+        let toks = lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in &toks {
+            assert!(t.lo < t.hi, "empty span {t:?}");
+            for c in covered.iter_mut().take(t.hi).skip(t.lo) {
+                assert!(!*c, "overlapping token {t:?}");
+                *c = true;
+            }
+        }
+        for (i, b) in src.bytes().enumerate() {
+            assert_eq!(covered[i], !b.is_ascii_whitespace(), "byte {i} ({:?})", b as char);
+        }
+    }
+
+    #[test]
+    fn raw_strings_at_every_hash_depth() {
+        for src in [r###"let s = r"un"; x"###, r###"let s = r#"un"safe"#; x"###] {
+            let toks = kinds(src);
+            let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+            assert_eq!(strs.len(), 1, "{src}: {toks:?}");
+            let last = toks.last().expect("tokens");
+            assert_eq!(last.1, "x", "lexer must resync after the raw string: {toks:?}");
+        }
+        let deep = "r##\"contains \"# inner\"## + tail";
+        let toks = kinds(deep);
+        assert_eq!(toks[0].0, TokenKind::Str);
+        assert_eq!(toks[0].1, "r##\"contains \"# inner\"##");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"b"bytes" br#"raw"# b'x' banana"##);
+        assert_eq!(toks[0], (TokenKind::Str, "b\"bytes\"".into()));
+        assert_eq!(toks[1], (TokenKind::Str, "br#\"raw\"#".into()));
+        assert_eq!(toks[2], (TokenKind::Char, "b'x'".into()));
+        assert_eq!(toks[3], (TokenKind::Ident, "banana".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'y'; let e = '\\n'; }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Lifetime).cloned().collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).cloned().collect();
+        assert_eq!(lifetimes, vec![(TokenKind::Lifetime, "'a".into()); 2]);
+        assert_eq!(chars, vec![(TokenKind::Char, "'y'".into()), (TokenKind::Char, "'\\n'".into())]);
+    }
+
+    #[test]
+    fn nested_block_comments_lex_as_one_token() {
+        let src = "/* outer /* inner */ still */ let z = 1;";
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[0].1, "/* outer /* inner */ still */");
+        assert_eq!(toks[1], (TokenKind::Ident, "let".into()));
+    }
+
+    #[test]
+    fn numbers_with_radix_float_exponent_and_suffix() {
+        let toks = kinds("0xFF_u8 0b1010 1_000 1.5 2e10 1.5e-3f32 0..n 1.max(2)");
+        let nums: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Num).map(|(_, s)| s.clone()).collect();
+        assert_eq!(
+            nums,
+            vec!["0xFF_u8", "0b1010", "1_000", "1.5", "2e10", "1.5e-3f32", "0", "1", "2"]
+        );
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "max"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, s)| *k == TokenKind::Ident && s == "r#type"));
+    }
+
+    // ---- channel views (ported from the retired scrub module) ---------
+
+    #[test]
+    fn comments_and_strings_leave_the_code_channel() {
+        let src = "let x = \"HashMap\"; // HashMap here\nlet y = HashMap::new();\n";
+        let s = SourceFile::new(src);
+        assert!(!s.code_line(1).contains("HashMap"), "literal body must be blanked");
+        assert!(s.comment_line(1).contains("HashMap"));
+        assert!(s.code_line(2).contains("HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "/* outer /* inner */ still comment */ let z = 1;\n";
+        let s = SourceFile::new(src);
+        assert!(s.code_line(1).contains("let z = 1;"));
+        assert!(!s.code_line(1).contains("inner"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_are_handled() {
+        let src = "fn f<'a>(x: &'a str) { let r = r#\"un\"safe\"#; let c = '\"'; let d = 'x'; }\n";
+        let s = SourceFile::new(src);
+        assert!(s.code_line(1).contains("fn f<'a>"));
+        assert!(!s.code_line(1).contains("un\"safe"));
+        assert!(s.code_line(1).contains("let d ="));
+    }
+
+    #[test]
+    fn multiline_string_preserves_line_structure() {
+        let src = "let s = \"line one\nline two\";\nlet after = 1;\n";
+        let s = SourceFile::new(src);
+        assert_eq!(s.n_lines(), 4);
+        assert!(!s.code_line(1).contains("line one"));
+        assert!(!s.code_line(2).contains("line two"));
+        assert!(s.code_line(3).contains("let after"));
+    }
+
+    #[test]
+    fn unicode_in_comments_survives_in_comment_channel() {
+        let src = "// audit: ordered — membership only\nlet x = 1;\n";
+        let s = SourceFile::new(src);
+        assert!(s.comment_line(1).contains("audit: ordered"));
+        assert!(s.comment_line(1).contains("—"));
+        assert!(s.code_line(2).contains("let x"));
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_the_test_module() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { bad(); }\n}\nfn after() {}\n";
+        let s = SourceFile::new(src);
+        let bad_at = src.find("bad").expect("fixture");
+        let after_at = src.find("after").expect("fixture");
+        assert!(s.in_test(bad_at));
+        assert!(!s.in_test(after_at));
+        assert!(!s.in_test(0));
+    }
+
+    #[test]
+    fn line_numbers_map_back() {
+        let src = "a\nb\nc\n";
+        let s = SourceFile::new(src);
+        assert_eq!(s.line_of(0), 1);
+        assert_eq!(s.line_of(2), 2);
+        assert_eq!(s.line_of(4), 3);
+        assert_eq!(s.n_lines(), 4); // trailing newline opens a last, empty line
+    }
+}

@@ -1,15 +1,24 @@
-//! `cargo run -p facility-audit` — audit the workspace sources and exit
-//! nonzero if any rule fires without a waiver.
+//! `cargo run -p facility-audit` — run the static analyzer over the
+//! workspace and exit nonzero if any rule fires without a waiver.
 //!
-//! Usage: `facility-audit [--root <workspace-dir>]`. The root defaults
-//! to the workspace this binary was built from, so running it via cargo
-//! from any subdirectory audits the right tree.
+//! Usage: `facility-audit [--root <dir>] [--fixtures] [--report <path>]`.
+//! The root defaults to the workspace this binary was built from, so
+//! running it via cargo from any subdirectory audits the right tree.
+//! `--fixtures` audits a fixture tree with the fixture configuration
+//! (the self-test); `--report` writes `AUDIT_REPORT.json` there.
+//!
+//! Exit codes: 0 clean (all findings fixed or waived), 1 unwaived
+//! findings, 2 configuration/IO/usage error — including the hard error
+//! for a configured scope or root symbol that no longer matches
+//! anything in the tree.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut fixtures = false;
+    let mut report_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -20,10 +29,21 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--fixtures" => fixtures = true,
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --report requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("facility-audit [--root <workspace-dir>]");
-                println!("Lints workspace sources for determinism/safety violations.");
-                println!("Exit 0: clean (all findings fixed or waived). Exit 1: findings.");
+                println!("facility-audit [--root <dir>] [--fixtures] [--report <path>]");
+                println!("Statically audits workspace sources for determinism/safety violations:");
+                println!("line rules plus call-graph panic-reachability and nondeterminism taint.");
+                println!("  --fixtures      audit a fixture tree with the fixture root config");
+                println!("  --report PATH   write the machine-readable AUDIT_REPORT.json");
+                println!("Exit 0: clean. Exit 1: findings. Exit 2: stale config / IO / usage.");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -41,21 +61,42 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    let findings = match facility_audit::audit_workspace(&root) {
-        Ok(f) => f,
+    let result = if fixtures {
+        facility_audit::audit_fixtures(&root)
+    } else {
+        facility_audit::audit_workspace(&root)
+    };
+    let report = match result {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: failed to audit {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    for f in &findings {
+    for f in &report.findings {
         println!("{f}");
     }
-    if findings.is_empty() {
-        println!("audit clean: 0 findings in {}", root.display());
+    if let Some(path) = &report_path {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("error: failed to write report {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    println!(
+        "audit: {} finding(s) · {} files / {} fns / {} edges · {} panic-reachable, \
+         {} taint-reachable · {:.0}ms",
+        report.findings.len(),
+        report.n_files,
+        report.n_fns,
+        report.n_edges,
+        report.n_panic_reachable,
+        report.n_taint_reachable,
+        report.timing.total_ms,
+    );
+    if report.findings.is_empty() {
         ExitCode::SUCCESS
     } else {
-        println!("audit: {} finding(s) — fix or add `// audit: <tag>` waivers", findings.len());
+        println!("fix the findings or add `// audit: <tag> — <reason>` waivers");
         ExitCode::FAILURE
     }
 }

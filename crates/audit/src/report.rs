@@ -1,0 +1,221 @@
+//! The machine-readable audit report (`AUDIT_REPORT.json`): findings,
+//! call-graph statistics, the unsafe-block/SAFETY inventory, and
+//! parse/analysis timing — everything CI needs to archive one audit run
+//! as an artifact.
+//!
+//! The writer is hand-rolled (the auditor is dependency-free by
+//! design): a small escaper plus struct-shaped emitters. Output is
+//! deterministic given the same tree — findings and unsafe sites are
+//! sorted, and timing fields are the only values that vary run-to-run.
+
+use crate::rules::Finding;
+
+/// Wall-time breakdown of one audit run, in milliseconds.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Timing {
+    /// Reading + lexing + item-parsing every file.
+    pub parse_ms: f64,
+    /// Call-graph construction and root BFS.
+    pub callgraph_ms: f64,
+    /// Line rules + both call-graph analyses.
+    pub analysis_ms: f64,
+    /// End-to-end, including file discovery.
+    pub total_ms: f64,
+}
+
+/// One `unsafe` occurrence, for the SAFETY inventory.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    /// Inside `#[cfg(test)]` code.
+    pub in_test: bool,
+    /// Has a `// SAFETY:` comment on or within three lines above.
+    pub has_safety: bool,
+}
+
+/// Everything one audit run learned about the tree.
+#[derive(Debug)]
+pub struct Report {
+    /// `"workspace"` or `"fixtures"`.
+    pub root_kind: &'static str,
+    pub n_files: usize,
+    pub n_lines: usize,
+    /// Call-graph shape.
+    pub n_fns: usize,
+    pub n_edges: usize,
+    /// Call sites that matched no workspace fn (std/stub calls).
+    pub n_unresolved_calls: usize,
+    /// Root-set sizes (resolved fns, not spec strings).
+    pub n_panic_roots: usize,
+    pub n_taint_roots: usize,
+    /// Fns reachable from each root set.
+    pub n_panic_reachable: usize,
+    pub n_taint_reachable: usize,
+    pub unsafe_sites: Vec<UnsafeSite>,
+    pub timing: Timing,
+    /// Unwaived findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// The process exit code this report implies: 0 clean, 1 findings.
+    /// (Config/IO errors exit 2 before a report exists.)
+    pub fn exit_code(&self) -> u8 {
+        u8::from(!self.findings.is_empty())
+    }
+
+    /// Serialize as a JSON document (stable field order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"root_kind\": {},\n", json_str(self.root_kind)));
+        s.push_str(&format!("  \"files\": {},\n", self.n_files));
+        s.push_str(&format!("  \"lines\": {},\n", self.n_lines));
+        s.push_str("  \"call_graph\": {");
+        s.push_str(&format!("\"fns\": {}, ", self.n_fns));
+        s.push_str(&format!("\"edges\": {}, ", self.n_edges));
+        s.push_str(&format!("\"unresolved_calls\": {}, ", self.n_unresolved_calls));
+        s.push_str(&format!("\"panic_roots\": {}, ", self.n_panic_roots));
+        s.push_str(&format!("\"taint_roots\": {}, ", self.n_taint_roots));
+        s.push_str(&format!("\"panic_reachable_fns\": {}, ", self.n_panic_reachable));
+        s.push_str(&format!("\"taint_reachable_fns\": {}", self.n_taint_reachable));
+        s.push_str("},\n");
+        let n_safety = self.unsafe_sites.iter().filter(|u| u.has_safety).count();
+        s.push_str("  \"unsafe\": {\n");
+        s.push_str(&format!("    \"total\": {},\n", self.unsafe_sites.len()));
+        s.push_str(&format!("    \"with_safety_comment\": {n_safety},\n"));
+        s.push_str(&format!(
+            "    \"in_tests\": {},\n",
+            self.unsafe_sites.iter().filter(|u| u.in_test).count()
+        ));
+        s.push_str("    \"sites\": [\n");
+        for (i, u) in self.unsafe_sites.iter().enumerate() {
+            s.push_str(&format!(
+                "      {{\"file\": {}, \"line\": {}, \"in_test\": {}, \"has_safety\": {}}}{}\n",
+                json_str(&u.file),
+                u.line,
+                u.in_test,
+                u.has_safety,
+                comma(i, self.unsafe_sites.len()),
+            ));
+        }
+        s.push_str("    ]\n  },\n");
+        s.push_str("  \"timing_ms\": {");
+        s.push_str(&format!("\"parse\": {:.2}, ", self.timing.parse_ms));
+        s.push_str(&format!("\"callgraph\": {:.2}, ", self.timing.callgraph_ms));
+        s.push_str(&format!("\"analysis\": {:.2}, ", self.timing.analysis_ms));
+        s.push_str(&format!("\"total\": {:.2}", self.timing.total_ms));
+        s.push_str("},\n");
+        s.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}",
+                json_str(&f.file),
+                f.line,
+                json_str(f.rule.id()),
+                json_str(&f.message),
+            ));
+            if let Some(chain) = &f.chain {
+                s.push_str(&format!(", \"chain\": {}", json_str(chain)));
+            }
+            s.push_str(&format!("}}{}\n", comma(i, self.findings.len())));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!("  \"exit_code\": {}\n", self.exit_code()));
+        s.push_str("}\n");
+        s
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Escape a string as a JSON value (with quotes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Finding, Rule};
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let rep = Report {
+            root_kind: "workspace",
+            n_files: 2,
+            n_lines: 100,
+            n_fns: 5,
+            n_edges: 4,
+            n_unresolved_calls: 3,
+            n_panic_roots: 1,
+            n_taint_roots: 2,
+            n_panic_reachable: 3,
+            n_taint_reachable: 4,
+            unsafe_sites: vec![UnsafeSite {
+                file: "crates/linalg/src/kernels.rs".into(),
+                line: 7,
+                in_test: false,
+                has_safety: true,
+            }],
+            timing: Timing::default(),
+            findings: vec![Finding {
+                file: "a.rs".into(),
+                line: 3,
+                rule: Rule::PanicReach,
+                message: "say \"no\" to panics\u{1}".into(),
+                chain: Some("root → leaf".into()),
+            }],
+        };
+        let j = rep.to_json();
+        assert!(j.contains("\"exit_code\": 1"));
+        assert!(j.contains("\\\"no\\\""), "{j}");
+        assert!(j.contains("\\u0001"));
+        assert!(j.contains("\"chain\": \"root → leaf\""));
+        assert!(j.contains("\"panic_reachable_fns\": 3"));
+        // Balanced braces — cheap structural sanity check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn empty_findings_exit_zero() {
+        let rep = Report {
+            root_kind: "fixtures",
+            n_files: 0,
+            n_lines: 0,
+            n_fns: 0,
+            n_edges: 0,
+            n_unresolved_calls: 0,
+            n_panic_roots: 0,
+            n_taint_roots: 0,
+            n_panic_reachable: 0,
+            n_taint_reachable: 0,
+            unsafe_sites: Vec::new(),
+            timing: Timing::default(),
+            findings: Vec::new(),
+        };
+        assert_eq!(rep.exit_code(), 0);
+        assert!(rep.to_json().contains("\"exit_code\": 0"));
+    }
+}

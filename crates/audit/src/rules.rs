@@ -1,74 +1,51 @@
 //! The audit rules: what counts as a finding, where each rule applies,
 //! and how findings are waived.
 //!
+//! Two kinds of rule live here and in [`crate::analysis`]:
+//!
+//! * **line rules** (this module) fire on a single line of the code
+//!   channel — `unsafe` without `// SAFETY:`, wall-clock tokens outside
+//!   exempt crates, unbounded queues in serving code, undocumented
+//!   reduction order in the lane-kernel module;
+//! * **call-graph analyses** (`analysis::panic_reach`,
+//!   `analysis::taint`) fire on a *path through the call graph* — an
+//!   implicit panic transitively reachable from a hot-path root, or a
+//!   nondeterminism source reachable from a deterministic root. These
+//!   replaced the old per-file `HOT_PATH_FILES` / `DETERMINISTIC_SCOPES`
+//!   deny-lists.
+//!
 //! Every rule is a *deliberate over-approximation* — the auditor has no
 //! type information, so it bans the pattern outright and lets genuinely
 //! order-insensitive / structurally-safe uses carry an inline waiver:
 //!
 //! ```text
-//! // audit: <tag> — <why this use is safe>
+//! // audit: <tag> — <why this use is safe>            (one site)
+//! // audit: fn <tag> — <why every site in this fn>    (above a fn)
+//! // audit: module <tag> — <why the whole file>       (anywhere)
 //! ```
 //!
-//! on the finding's line or the line directly above it. DESIGN.md
-//! ("Determinism invariants") documents each rule's rationale.
+//! The site form goes on the finding's line or within three lines above
+//! it; the fn form within three lines above the `fn` keyword; the module
+//! form anywhere in the file's comments. DESIGN.md §7b documents each
+//! rule's rationale.
 
-use crate::scrub::Scrubbed;
-
-/// Crates whose non-test code sits on a deterministic training/eval/data
-/// path: hash-order and float-fold rules apply here.
-const DETERMINISTIC_SCOPES: &[&str] = &[
-    "crates/models/src",
-    "crates/eval/src",
-    "crates/kg/src",
-    "crates/autograd/src",
-    "crates/datagen/src",
-];
-
-/// Files whose hot loops may not panic implicitly: bare `.unwrap()`,
-/// `.expect(…)`, and `xs[i]` indexing all require a waiver here. The
-/// serving request path is included: a panic there burns a worker thread
-/// and (without the catch-unwind net) silently drops an admitted request.
-const HOT_PATH_FILES: &[&str] = &[
-    "crates/eval/src/trainer.rs",
-    "crates/eval/src/lib.rs",
-    "crates/linalg/src/retrieval.rs",
-    "crates/models/src/replica.rs",
-    "crates/serve/src/server.rs",
-    "crates/serve/src/engine.rs",
-    "crates/serve/src/snapshot.rs",
-];
-
-/// Online-serving code: the unbounded-queue rule applies here. Overload
-/// must be shed at admission, never absorbed into a growing buffer.
-const SERVING_SCOPES: &[&str] = &["crates/serve/src"];
-
-/// Crates exempt from the wall-clock rule: benchmarks measure wall time
-/// by design, and the auditor itself names the banned tokens.
-const WALLCLOCK_EXEMPT: &[&str] = &["crates/bench", "crates/audit", "crates/tsne"];
-
-/// The hand-unrolled SIMD kernel module: the lane-fold rule applies
-/// here. Every reduction in this file must follow the documented
-/// 8-lane accumulate-then-`fold_lanes` contract — a stray sequential
-/// accumulator silently changes the float association order and breaks
-/// the SIMD ≡ scalar bitwise guarantee. The batched retrieval engine is
-/// held to the same rule: any score it accumulates must come from the
-/// lane-folded kernels, never a local floating-point loop, or batched
-/// rankings drift off the per-query reference bits.
-const LANE_KERNEL_SCOPES: &[&str] =
-    &["crates/linalg/src/kernels.rs", "crates/linalg/src/retrieval.rs"];
+use crate::lexer::SourceFile;
 
 /// Identifier of one audit rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Rule {
-    /// Hash-ordered collections in deterministic crates.
+    /// Hash-ordered collections reachable from a deterministic root
+    /// (taint analysis).
     HashOrder,
     /// Wall-clock / entropy sources feeding values or seeds.
     Wallclock,
     /// `unsafe` without a `// SAFETY:` justification.
     UnsafeComment,
-    /// Implicit panics (`unwrap`/`expect`/indexing) in hot-path files.
-    HotPanic,
-    /// Unordered float accumulation inside worker-pool closures.
+    /// Implicit panics (`unwrap`/`expect`/indexing/`panic!`) reachable
+    /// from a hot-path root (panic-reachability analysis).
+    PanicReach,
+    /// Unordered float accumulation reachable from a deterministic root
+    /// (taint analysis).
     FloatFold,
     /// Unbounded channel/queue construction in serving code.
     UnboundedQueue,
@@ -83,7 +60,7 @@ impl Rule {
             Rule::HashOrder => "hash-order",
             Rule::Wallclock => "wallclock",
             Rule::UnsafeComment => "unsafe-comment",
-            Rule::HotPanic => "hot-panic",
+            Rule::PanicReach => "panic-reach",
             Rule::FloatFold => "float-fold",
             Rule::UnboundedQueue => "unbounded-queue",
             Rule::LaneFold => "lane-fold",
@@ -97,7 +74,7 @@ impl Rule {
             Rule::HashOrder => "ordered",
             Rule::Wallclock => "wallclock",
             Rule::UnsafeComment => "SAFETY",
-            Rule::HotPanic => "unwrap",
+            Rule::PanicReach => "unwrap",
             Rule::FloatFold => "fold",
             Rule::UnboundedQueue => "bounded",
             Rule::LaneFold => "lanes",
@@ -116,38 +93,177 @@ pub struct Finding {
     pub rule: Rule,
     /// Human-readable explanation.
     pub message: String,
+    /// For call-graph findings: the root → … → fn chain that makes the
+    /// site reachable. `None` for line rules.
+    pub chain: Option<String>,
 }
 
 impl std::fmt::Display for Finding {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.id(), self.message)
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.id(), self.message)?;
+        if let Some(chain) = &self.chain {
+            write!(f, " [via {chain}]")?;
+        }
+        Ok(())
     }
 }
 
-/// Audit one file's source. `rel_path` must be the workspace-relative
-/// path with `/` separators — rule scoping is path-based.
-pub fn audit_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let s = Scrubbed::new(source);
+/// Where each rule applies and which symbols root the call-graph
+/// analyses. Every entry is validated against the scanned tree — a path
+/// prefix that matches no file or a root spec that resolves to no fn is
+/// a hard config error (exit 2), so renames can't silently disable a
+/// rule the way the old deny-lists could.
+pub struct AuditConfig {
+    /// Online-serving code: the unbounded-queue rule applies here.
+    pub serving_scopes: Vec<&'static str>,
+    /// Crates exempt from the wall-clock line rule: benchmarks measure
+    /// wall time by design, and the auditor itself names the banned
+    /// tokens.
+    pub wallclock_exempt: Vec<&'static str>,
+    /// Hand-unrolled SIMD kernel modules: the lane-fold rule applies
+    /// here — every reduction must follow the `[f32; LANES]`
+    /// accumulate-then-`fold_lanes` contract.
+    pub lane_scopes: Vec<&'static str>,
+    /// Hot-path roots for panic-reachability: `"name"` or
+    /// `"Type::name"` specs. Anything transitively callable from these
+    /// must not panic implicitly.
+    pub panic_roots: Vec<&'static str>,
+    /// Deterministic roots for nondeterminism taint: anything
+    /// transitively callable from these must not read hash order, wall
+    /// clocks, entropy, or fold floats in unordered ways.
+    pub taint_roots: Vec<&'static str>,
+}
+
+impl AuditConfig {
+    /// The real workspace configuration.
+    pub fn workspace() -> Self {
+        AuditConfig {
+            serving_scopes: vec!["crates/serve/src"],
+            wallclock_exempt: vec!["crates/bench", "crates/audit", "crates/tsne"],
+            lane_scopes: vec!["crates/linalg/src/kernels.rs", "crates/linalg/src/retrieval.rs"],
+            // The serving request path (a panic burns a worker thread and
+            // drops an admitted request), snapshot scoring/ranking, the
+            // trainer's epoch machinery, the replica pool, the batched
+            // retrieval engine, and the eval chunk workers.
+            panic_roots: vec![
+                "Engine::handle",
+                "Engine::handle_batch",
+                "Server::start",
+                "Server::submit",
+                "worker_loop",
+                "ModelSnapshot::score_user",
+                "ModelSnapshot::rank_top_k",
+                "ModelSnapshot::rank_top_k_batch",
+                "BatchTopK::rank_block",
+                "rank_top_k",
+                "evaluate_chunked",
+                "score_chunk_blocked",
+                "run_loop",
+                "train_epoch",
+                "train_epoch_replicated",
+                "pooled_map",
+            ],
+            // Everything whose output must be bitwise-reproducible:
+            // training loops, the replica fold, eval, snapshot scoring,
+            // batched retrieval, the KG builder, and the datagen
+            // pipeline (fixed seeds end-to-end).
+            taint_roots: vec![
+                "train_epoch",
+                "train_epoch_replicated",
+                "run_loop",
+                "pooled_map",
+                "fold_ordered",
+                "fold_grads_ordered",
+                "evaluate_chunked",
+                "ModelSnapshot::score_user",
+                "BatchTopK::rank_block",
+                "rank_top_k",
+                "CkgBuilder::build",
+                "generate",
+                "fig3_series",
+                "read_trace_with",
+                "from_parts",
+                "from_users",
+                "write_trace",
+            ],
+        }
+    }
+
+    /// Configuration for the auditor's own fixture tree (`--fixtures`):
+    /// same rules, roots resolving to the fixture programs' entry fns.
+    pub fn fixtures() -> Self {
+        AuditConfig {
+            serving_scopes: vec!["crates/serve/src"],
+            wallclock_exempt: vec!["crates/bench"],
+            lane_scopes: vec!["crates/linalg/src/kernels.rs"],
+            panic_roots: vec!["run_loop", "hot_path", "deep_root", "waived_root", "clean_root"],
+            taint_roots: vec![
+                "iterate",
+                "waived",
+                "unordered",
+                "exempt",
+                "routed",
+                "outside",
+                "taint_entry",
+                "taint_waived_root",
+                "taint_clean_root",
+            ],
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Waivers
+// ----------------------------------------------------------------------
+
+/// True when `line` carries `// audit: <tag>`, or one of the three lines
+/// above does (waiver comments may wrap under rustfmt).
+pub(crate) fn waived(s: &SourceFile, line: usize, tag: &str) -> bool {
+    let pat = format!("audit: {tag}");
+    (line.saturating_sub(3)..=line).filter(|&l| l >= 1).any(|l| s.comment_line(l).contains(&pat))
+}
+
+/// True when the fn declared at `fn_line` carries a fn-level waiver
+/// (`// audit: fn <tag> — <reason>` within three lines above the `fn`).
+pub(crate) fn waived_fn(s: &SourceFile, fn_line: usize, tag: &str) -> bool {
+    let pat = format!("audit: fn {tag}");
+    (fn_line.saturating_sub(3)..=fn_line)
+        .filter(|&l| l >= 1)
+        .any(|l| s.comment_line(l).contains(&pat))
+}
+
+/// True when the file carries a module-level waiver
+/// (`audit: module <tag> — <reason>` anywhere in its comments).
+pub(crate) fn waived_module(s: &SourceFile, tag: &str) -> bool {
+    let pat = format!("audit: module {tag}");
+    s.comments.contains(&pat)
+}
+
+/// Site, fn, or module waiver for `rule` at (`line`, fn declared at
+/// `fn_line`).
+pub(crate) fn waived_any(s: &SourceFile, line: usize, fn_line: Option<usize>, rule: Rule) -> bool {
+    let tag = rule.waiver_tag();
+    waived(s, line, tag) || fn_line.is_some_and(|fl| waived_fn(s, fl, tag)) || waived_module(s, tag)
+}
+
+// ----------------------------------------------------------------------
+// Line rules
+// ----------------------------------------------------------------------
+
+/// Run every line rule that applies to `rel_path` under `cfg`.
+pub fn line_rules(rel_path: &str, s: &SourceFile, cfg: &AuditConfig) -> Vec<Finding> {
     let mut out = Vec::new();
     let in_scope = |scopes: &[&str]| scopes.iter().any(|p| rel_path.starts_with(p));
-
-    if in_scope(DETERMINISTIC_SCOPES) {
-        hash_order(rel_path, &s, &mut out);
-        float_fold(rel_path, &s, &mut out);
+    if !in_scope(&cfg.wallclock_exempt) {
+        wallclock(rel_path, s, &mut out);
     }
-    if !in_scope(WALLCLOCK_EXEMPT) {
-        wallclock(rel_path, &s, &mut out);
+    if in_scope(&cfg.serving_scopes) {
+        unbounded_queue(rel_path, s, &mut out);
     }
-    if in_scope(SERVING_SCOPES) {
-        unbounded_queue(rel_path, &s, &mut out);
+    if in_scope(&cfg.lane_scopes) {
+        lane_fold(rel_path, s, &mut out);
     }
-    if in_scope(LANE_KERNEL_SCOPES) {
-        lane_fold(rel_path, &s, &mut out);
-    }
-    unsafe_comment(rel_path, &s, &mut out);
-    if HOT_PATH_FILES.contains(&rel_path) {
-        hot_panic(rel_path, &s, &mut out);
-    }
+    unsafe_comment(rel_path, s, &mut out);
     out.sort_by_key(|f| f.line);
     // Repeated identical tokens on a line add noise, not information —
     // keep one finding per (line, rule, message).
@@ -155,15 +271,8 @@ pub fn audit_source(rel_path: &str, source: &str) -> Vec<Finding> {
     out
 }
 
-/// True when `line` carries `// audit: <tag>`, or one of the three lines
-/// above does (waiver comments may wrap under rustfmt).
-fn waived(s: &Scrubbed, line: usize, tag: &str) -> bool {
-    let pat = format!("audit: {tag}");
-    (line.saturating_sub(3)..=line).filter(|&l| l >= 1).any(|l| s.comment_line(l).contains(&pat))
-}
-
 /// Whole-word occurrences of `word` in `hay` (identifier boundaries).
-fn word_positions(hay: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_positions(hay: &str, word: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0;
     let ident = |c: u8| c == b'_' || c.is_ascii_alphanumeric();
@@ -180,41 +289,67 @@ fn word_positions(hay: &str, word: &str) -> Vec<usize> {
     out
 }
 
-// ----------------------------------------------------------------------
-// Rule: hash-order
-// ----------------------------------------------------------------------
+pub(crate) fn snippet(code: &str, open_bracket: usize) -> String {
+    let b = code.as_bytes();
+    let mut lo = open_bracket;
+    while lo > 0 && (b[lo - 1] == b'_' || b[lo - 1].is_ascii_alphanumeric()) {
+        lo -= 1;
+    }
+    let hi = (open_bracket + 12).min(code.len());
+    format!("{}…", &code[lo..hi])
+}
 
-/// `HashMap`/`HashSet` anywhere in non-test code of a deterministic
-/// crate. Iteration order over hash collections depends on the hasher's
-/// per-process random state, so one stray `for (k, v) in map` silently
-/// breaks bitwise determinism; membership-only uses carry a waiver.
-fn hash_order(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
-    for word in ["HashMap", "HashSet"] {
-        for_each_code_match(s, word, |line| {
-            if !waived(s, line, Rule::HashOrder.waiver_tag()) {
-                out.push(Finding {
-                    file: path.to_string(),
-                    line,
-                    rule: Rule::HashOrder,
-                    message: format!(
-                        "{word} in a deterministic crate: iteration order is nondeterministic — \
-                         use BTreeMap/BTreeSet or a sorted collect, or waive membership-only use \
-                         with `// audit: ordered — <reason>`"
-                    ),
-                });
+/// Offset of the `)` matching the `(` at `open` (or end of input).
+pub(crate) fn match_paren(b: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
             }
-        });
+            _ => {}
+        }
+    }
+    b.len()
+}
+
+/// True when the line accumulates into a *bare identifier* (`total += x`).
+/// Indexed (`acc[j] +=`) and deref (`*o +=`) targets are per-lane /
+/// per-element accumulation and pass.
+pub(crate) fn bare_float_accumulation(code: &str) -> bool {
+    let b = code.as_bytes();
+    let Some(pos) = code.find("+=") else { return false };
+    let mut i = pos;
+    while i > 0 && b[i - 1] == b' ' {
+        i -= 1;
+    }
+    let end = i;
+    while i > 0 && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()) {
+        i -= 1;
+    }
+    // Non-empty identifier, preceded by nothing but whitespace — `]`,
+    // `*`, or `.` before it means an indexed / deref / field target.
+    i < end && (i == 0 || b[i - 1] == b' ' || b[i - 1] == b'\t')
+}
+
+/// Lines on which code (not tests/comments/strings) mentions `word` as a
+/// whole word — pattern shared by the token-list rules.
+fn for_each_code_match(s: &SourceFile, word: &str, mut f: impl FnMut(usize)) {
+    for pos in word_positions(&s.code, word) {
+        if !s.in_test(pos) {
+            f(s.line_of(pos));
+        }
     }
 }
 
-// ----------------------------------------------------------------------
-// Rule: wallclock
-// ----------------------------------------------------------------------
-
-/// Wall-clock and ambient-entropy sources outside the bench crate.
+/// Wall-clock and ambient-entropy sources outside the exempt crates.
 /// `Instant` is fine for *profiling*; it becomes a finding only when the
 /// same statement mentions seeding.
-fn wallclock(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+fn wallclock(path: &str, s: &SourceFile, out: &mut Vec<Finding>) {
     for word in ["SystemTime", "thread_rng", "from_entropy"] {
         for_each_code_match(s, word, |line| {
             if !waived(s, line, Rule::Wallclock.waiver_tag()) {
@@ -226,6 +361,7 @@ fn wallclock(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                         "{word} is an ambient nondeterminism source — derive values from the \
                          run seed instead, or waive with `// audit: wallclock — <reason>`"
                     ),
+                    chain: None,
                 });
             }
         });
@@ -241,20 +377,18 @@ fn wallclock(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                     message: "clock value on a line that mentions seeding — wall time must \
                               never reach RNG seeds or model state"
                         .to_string(),
+                    chain: None,
                 });
             }
         });
     }
 }
 
-// ----------------------------------------------------------------------
-// Rule: unsafe-comment
-// ----------------------------------------------------------------------
-
 /// Every `unsafe` keyword needs a `// SAFETY:` comment on the same line
 /// or within the three lines above it. Applies to test code too — TSan
-/// runs the tests, and an unsound test block poisons its verdicts.
-fn unsafe_comment(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+/// and ASan run the tests, and an unsound test block poisons their
+/// verdicts.
+fn unsafe_comment(path: &str, s: &SourceFile, out: &mut Vec<Finding>) {
     for line in 1..=s.n_lines() {
         for _pos in word_positions(s.code_line(line), "unsafe") {
             let justified = (line.saturating_sub(3)..=line)
@@ -267,131 +401,12 @@ fn unsafe_comment(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                     rule: Rule::UnsafeComment,
                     message: "`unsafe` without a `// SAFETY:` comment on or above the line"
                         .to_string(),
+                    chain: None,
                 });
             }
         }
     }
 }
-
-// ----------------------------------------------------------------------
-// Rule: hot-panic
-// ----------------------------------------------------------------------
-
-/// Implicit panics inside the trainer / replica-pool hot loops: a panic
-/// on a worker thread tears down the whole scope and loses the epoch, so
-/// each such site must be structurally infallible and say why.
-fn hot_panic(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
-    for line in 1..=s.n_lines() {
-        if s.in_test_line(line) {
-            continue;
-        }
-        let code = s.code_line(line);
-        let waived_here = waived(s, line, Rule::HotPanic.waiver_tag());
-        for pat in [".unwrap()", ".expect("] {
-            if code.contains(pat) && !waived_here {
-                out.push(Finding {
-                    file: path.to_string(),
-                    line,
-                    rule: Rule::HotPanic,
-                    message: format!(
-                        "`{pat}…` in a hot-path module — propagate a typed error or waive with \
-                         `// audit: unwrap — <why this cannot fail>`"
-                    ),
-                });
-            }
-        }
-        for pos in index_positions(code) {
-            if !waived_here {
-                out.push(Finding {
-                    file: path.to_string(),
-                    line,
-                    rule: Rule::HotPanic,
-                    message: format!(
-                        "panicking index `{}` in a hot-path module — use `get`/iterators or \
-                         waive with `// audit: unwrap — <why in bounds>`",
-                        snippet(code, pos)
-                    ),
-                });
-                break; // one indexing finding per line is enough
-            }
-        }
-    }
-}
-
-/// Positions where an identifier is immediately followed by `[` — the
-/// panicking-index pattern. Attribute (`#[…]`), macro (`vec![…]`), slice
-/// type (`&[T]`), and array literal (`= [`) contexts all fail the
-/// "identifier char right before `[`" test.
-fn index_positions(code: &str) -> Vec<usize> {
-    let b = code.as_bytes();
-    (1..b.len())
-        .filter(|&i| b[i] == b'[' && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()))
-        .collect()
-}
-
-fn snippet(code: &str, open_bracket: usize) -> String {
-    let b = code.as_bytes();
-    let mut lo = open_bracket;
-    while lo > 0 && (b[lo - 1] == b'_' || b[lo - 1].is_ascii_alphanumeric()) {
-        lo -= 1;
-    }
-    let hi = (open_bracket + 12).min(code.len());
-    format!("{}…", &code[lo..hi])
-}
-
-// ----------------------------------------------------------------------
-// Rule: float-fold
-// ----------------------------------------------------------------------
-
-/// Float accumulation inside closures handed to `pooled_map` or scoped
-/// `spawn`, and parallel-iterator reductions anywhere in a deterministic
-/// crate. Float addition is not associative: any cross-thread fold must
-/// run through `fold_ordered`/`fold_grads_ordered` (fixed part order) or
-/// carry a waiver explaining why the accumulation is thread-local.
-fn float_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
-    // Spans of worker closures: from each `pooled_map(`/`.spawn(` to the
-    // call's matching close paren.
-    let mut spans: Vec<(usize, usize)> = Vec::new();
-    for word in ["pooled_map", "spawn"] {
-        for pos in word_positions(&s.code, word) {
-            if let Some(open) = s.code[pos..].find('(').map(|r| pos + r) {
-                spans.push((open, match_paren(s.code.as_bytes(), open)));
-            }
-        }
-    }
-    for line in 1..=s.n_lines() {
-        if s.in_test_line(line) {
-            continue;
-        }
-        let code = s.code_line(line);
-        let offset = s.line_offset(line);
-        let in_span = spans.iter().any(|&(lo, hi)| offset > lo && offset < hi);
-        let integerish = code.contains("as u64")
-            || code.contains("as u32")
-            || code.contains("as usize")
-            || code.contains("+= 1");
-        let accumulates = code.contains("+=") || code.contains(".sum(") || code.contains(".sum::");
-        let par_reduce = code.contains("par_")
-            && (code.contains(".sum(") || code.contains(".reduce(") || code.contains(".fold("));
-        let routed = code.contains("fold_ordered");
-        let hit = par_reduce || (in_span && accumulates && !integerish);
-        if hit && !routed && !waived(s, line, Rule::FloatFold.waiver_tag()) {
-            out.push(Finding {
-                file: path.to_string(),
-                line,
-                rule: Rule::FloatFold,
-                message: "float accumulation in a worker closure / parallel reduction — route \
-                          cross-thread folds through fold_ordered, or waive thread-local \
-                          accumulation with `// audit: fold — <reason>`"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-// ----------------------------------------------------------------------
-// Rule: unbounded-queue
-// ----------------------------------------------------------------------
 
 /// Unbounded queue/channel construction in serving code. An online
 /// server sheds overload at admission or not at all: `mpsc::channel` and
@@ -400,7 +415,7 @@ fn float_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
 /// past any preallocated capacity unless an admission check caps it —
 /// the waiver must point at that check. Bounded `sync_channel` passes
 /// the whole-word filter by construction.
-fn unbounded_queue(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+fn unbounded_queue(path: &str, s: &SourceFile, out: &mut Vec<Finding>) {
     for word in ["channel", "unbounded"] {
         for_each_code_match(s, word, |line| {
             if !waived(s, line, Rule::UnboundedQueue.waiver_tag()) {
@@ -413,6 +428,7 @@ fn unbounded_queue(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                          overload — use a bounded `sync_channel` / admission-capped queue, or \
                          waive with `// audit: bounded — <where the cap is enforced>`"
                     ),
+                    chain: None,
                 });
             }
         });
@@ -434,15 +450,12 @@ fn unbounded_queue(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                          capacity; cap it at admission and waive with \
                          `// audit: bounded — <where the cap is enforced>`"
                     ),
+                    chain: None,
                 });
             }
         }
     }
 }
-
-// ----------------------------------------------------------------------
-// Rule: lane-fold
-// ----------------------------------------------------------------------
 
 /// Undocumented float reduction order inside the hand-unrolled kernel
 /// module. Both renderings of every kernel promise the identical
@@ -461,7 +474,7 @@ fn unbounded_queue(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
 /// accumulation never re-associates and stays silent. Genuinely
 /// order-insensitive scans (e.g. a running `max`) carry
 /// `// audit: lanes — <why the order cannot change the bits>`.
-fn lane_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
+fn lane_fold(path: &str, s: &SourceFile, out: &mut Vec<Finding>) {
     for line in 1..=s.n_lines() {
         if s.in_test_line(line) {
             continue;
@@ -481,6 +494,7 @@ fn lane_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                           use a `[f32; LANES]` accumulator folded by `fold_lanes`, or waive \
                           with `// audit: lanes — <why the order is fixed>`"
                     .to_string(),
+                chain: None,
             });
         }
         for pat in [".sum(", ".sum::", ".fold(", ".product("] {
@@ -494,55 +508,9 @@ fn lane_fold(path: &str, s: &Scrubbed, out: &mut Vec<Finding>) {
                          fold order must be the documented lane tree (`fold_lanes`), or waive \
                          with `// audit: lanes — <reason>`"
                     ),
+                    chain: None,
                 });
             }
-        }
-    }
-}
-
-/// True when the line accumulates into a *bare identifier* (`total += x`).
-/// Indexed (`acc[j] +=`) and deref (`*o +=`) targets are per-lane /
-/// per-element accumulation and pass.
-fn bare_float_accumulation(code: &str) -> bool {
-    let b = code.as_bytes();
-    let Some(pos) = code.find("+=") else { return false };
-    let mut i = pos;
-    while i > 0 && b[i - 1] == b' ' {
-        i -= 1;
-    }
-    let end = i;
-    while i > 0 && (b[i - 1] == b'_' || b[i - 1].is_ascii_alphanumeric()) {
-        i -= 1;
-    }
-    // Non-empty identifier, preceded by nothing but whitespace — `]`,
-    // `*`, or `.` before it means an indexed / deref / field target.
-    i < end && (i == 0 || b[i - 1] == b' ' || b[i - 1] == b'\t')
-}
-
-/// Offset of the `)` matching the `(` at `open` (or end of input).
-fn match_paren(b: &[u8], open: usize) -> usize {
-    let mut depth = 0usize;
-    for (i, &c) in b.iter().enumerate().skip(open) {
-        match c {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    return i;
-                }
-            }
-            _ => {}
-        }
-    }
-    b.len()
-}
-
-/// Run `f` on the line of every whole-word, non-test occurrence of
-/// `word` in the code channel.
-fn for_each_code_match(s: &Scrubbed, word: &str, mut f: impl FnMut(usize)) {
-    for pos in word_positions(&s.code, word) {
-        if !s.in_test(pos) {
-            f(s.line_of(pos));
         }
     }
 }

@@ -1,0 +1,518 @@
+//! A lightweight item parser over the token stream: module / impl / fn
+//! boundaries, call and method-call expressions, and `unsafe` sites.
+//!
+//! This is deliberately *approximate* — it has no name resolution and no
+//! type information. It recovers exactly the structure the call-graph
+//! analyses need:
+//!
+//! * every `fn` item, with its name, the impl type it belongs to (when
+//!   inside an `impl` block), its body's token and byte range, and
+//!   whether it sits inside a `#[cfg(test)]` item;
+//! * every call site inside a fn body — free calls `f(…)`, path calls
+//!   `m::f(…)` / `Type::f(…)`, method calls `x.f(…)`, plus identifiers
+//!   passed *into* macro invocations (which is how `dispatch!`-style
+//!   routing macros forward to their renderings);
+//! * every `unsafe` keyword, for the SAFETY inventory.
+//!
+//! Braces are matched exactly (the lexer already removed comments,
+//! strings, and char literals, so `{` counting is sound).
+
+use crate::lexer::{SourceFile, Token, TokenKind};
+
+/// One function item (free fn, method, trait default method, or nested
+/// fn). Bodiless declarations (trait method signatures) get an empty
+/// body range and no calls.
+#[derive(Debug)]
+pub struct FnItem {
+    /// The fn's bare name.
+    pub name: String,
+    /// The enclosing impl's self type (`impl Server { fn start … }` →
+    /// `Some("Server")`), or the trait name for trait default methods.
+    pub qual: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Byte offset of the `fn` keyword (signature start).
+    pub item_lo: usize,
+    /// Byte span of the body including its braces (`(0, 0)` when
+    /// bodiless, e.g. a trait method signature).
+    pub body_span: (usize, usize),
+    /// True when the fn sits inside a `#[cfg(test)]` item.
+    pub is_test: bool,
+    /// True when the fn takes a `self` receiver (it is a *method*):
+    /// `.name(…)` call sites resolve only to these.
+    pub has_self: bool,
+    /// Call sites found in the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+/// One (approximate) call site.
+#[derive(Debug)]
+pub struct Call {
+    /// Callee name (last path segment / method name / macro-forwarded
+    /// identifier).
+    pub name: String,
+    /// Path qualifier directly before `::` (`Type::new(…)` → `Type`),
+    /// with `Self` already resolved to the enclosing impl type.
+    pub qual: Option<String>,
+    /// True for `.name(…)` method-call syntax: resolution restricts the
+    /// candidates to fns with a `self` receiver.
+    pub is_method: bool,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// An `unsafe` keyword occurrence (block or fn).
+#[derive(Debug)]
+pub struct UnsafeSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Index into [`FileSyntax::fns`] of the innermost enclosing fn.
+    pub fn_idx: Option<usize>,
+    /// True inside `#[cfg(test)]` code.
+    pub is_test: bool,
+}
+
+/// Parsed structure of one file.
+#[derive(Debug, Default)]
+pub struct FileSyntax {
+    pub fns: Vec<FnItem>,
+    pub unsafes: Vec<UnsafeSite>,
+}
+
+/// Keywords that can directly precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "match", "return", "for", "loop", "unsafe", "move", "else", "let", "in", "as",
+    "where", "break", "continue", "fn", "impl", "pub", "use", "mod", "dyn", "ref", "mut", "box",
+    "await", "yield",
+];
+
+/// What a pending `{` will open, decided by the keyword that announced it.
+#[derive(Clone)]
+enum Pending {
+    Fn { fn_idx: usize },
+    Impl { ty: Option<String> },
+}
+
+#[derive(Clone)]
+enum Ctx {
+    Fn { fn_idx: usize },
+    Impl { ty: Option<String> },
+    Other,
+}
+
+/// Parse `sf` into items. Single pass over the code tokens with an
+/// explicit brace-context stack.
+pub fn parse_file(sf: &SourceFile) -> FileSyntax {
+    let toks: Vec<&Token> = sf
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+        .collect();
+    let mut out = FileSyntax::default();
+    let mut stack: Vec<Ctx> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    // Open fns by stack depth, innermost last: (fn_idx, body start token).
+    let mut fn_stack: Vec<usize> = Vec::new();
+
+    let text = |i: usize| sf.text(toks[i]);
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        match t.kind {
+            TokenKind::Ident => {
+                let w = text(i);
+                match w {
+                    "fn" => {
+                        // `fn name` — the name is the next ident.
+                        if i + 1 < toks.len() && toks[i + 1].kind == TokenKind::Ident {
+                            let qual = stack.iter().rev().find_map(|c| match c {
+                                Ctx::Impl { ty } => Some(ty.clone()),
+                                _ => None,
+                            });
+                            out.fns.push(FnItem {
+                                name: text(i + 1).to_string(),
+                                qual: qual.flatten(),
+                                line: sf.line_of(t.lo),
+                                item_lo: t.lo,
+                                body_span: (0, 0),
+                                is_test: sf.in_test(t.lo),
+                                has_self: fn_has_self_receiver(sf, &toks, i + 2),
+                                calls: Vec::new(),
+                            });
+                            pending = Some(Pending::Fn { fn_idx: out.fns.len() - 1 });
+                            i += 2;
+                            continue;
+                        }
+                    }
+                    "impl" => {
+                        // `-> impl Iterator<…>` in a return position must
+                        // not clobber the pending fn whose body follows.
+                        if !matches!(pending, Some(Pending::Fn { .. })) {
+                            pending = Some(Pending::Impl { ty: impl_self_type(sf, &toks, i) });
+                        }
+                    }
+                    "unsafe" => {
+                        out.unsafes.push(UnsafeSite {
+                            line: sf.line_of(t.lo),
+                            fn_idx: fn_stack.last().copied(),
+                            is_test: sf.in_test(t.lo),
+                        });
+                    }
+                    _ => {
+                        // Call-site detection, only inside a fn body.
+                        if let Some(&fn_idx) = fn_stack.last() {
+                            if !NON_CALL_KEYWORDS.contains(&w) {
+                                scan_call(sf, &toks, i, &stack, &mut out.fns[fn_idx].calls);
+                            }
+                        }
+                    }
+                }
+                // A `;` before any `{` cancels a pending item (trait
+                // method declarations, `impl Trait for T;` never occurs).
+                i += 1;
+                continue;
+            }
+            TokenKind::Punct => match sf.code.as_bytes()[t.lo] {
+                b'{' => {
+                    let ctx = match pending.take() {
+                        Some(Pending::Fn { fn_idx }) => {
+                            out.fns[fn_idx].body_span = (t.lo, t.lo); // end patched on close
+                            fn_stack.push(fn_idx);
+                            Ctx::Fn { fn_idx }
+                        }
+                        Some(Pending::Impl { ty }) => Ctx::Impl { ty },
+                        _ => Ctx::Other,
+                    };
+                    stack.push(ctx);
+                }
+                b'}' => {
+                    if let Some(Ctx::Fn { fn_idx }) = stack.pop() {
+                        out.fns[fn_idx].body_span.1 = t.hi;
+                        fn_stack.pop();
+                    }
+                }
+                b';' => {
+                    // Bodiless fn decl (trait signature) or `use`/`static`.
+                    pending = None;
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// True when the fn whose token after the name is at index `j` declares
+/// a `self` receiver. Skips the generic parameter list, then looks at
+/// the start of the argument list: any `self` ident before the first
+/// `:` or `,` (i.e. `self`, `&self`, `&'a mut self`, `self: Pin<…>`)
+/// makes it a method.
+fn fn_has_self_receiver(sf: &SourceFile, toks: &[&Token], mut j: usize) -> bool {
+    // Skip `<…>` generics (balanced angles; lifetimes are one token).
+    if j < toks.len() && sf.text(toks[j]) == "<" {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match sf.text(toks[j]) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    if j >= toks.len() || sf.text(toks[j]) != "(" {
+        return false;
+    }
+    for t in toks.iter().skip(j + 1).take(5) {
+        match sf.text(t) {
+            "self" => return true,
+            ":" | "," | ")" => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+/// The self type of an `impl` header starting at token `i` (`impl`):
+/// skip generics, and for `impl Trait for Type` take the type after
+/// `for`. Returns the base identifier (`NeighborIter<'a>` → `NeighborIter`,
+/// `crate::report::RunSummary` → `RunSummary`).
+fn impl_self_type(sf: &SourceFile, toks: &[&Token], i: usize) -> Option<String> {
+    let mut j = i + 1;
+    // Skip `<generics>` (balanced; lifetimes are single tokens so `<'a>`
+    // is `<`, `'a`, `>`).
+    if j < toks.len() && sf.text(toks[j]) == "<" {
+        let mut depth = 0i32;
+        while j < toks.len() {
+            match sf.text(toks[j]) {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    // Collect until `{` (or `where`), noting a `for` split.
+    let mut segment: Vec<(usize, String)> = Vec::new(); // idents seen, with index
+    let mut after_for: Option<usize> = None;
+    let mut angle = 0i32;
+    while j < toks.len() {
+        let w = sf.text(toks[j]);
+        match w {
+            "{" if angle <= 0 => break,
+            "where" if angle <= 0 => break,
+            "<" => angle += 1,
+            ">" => angle -= 1,
+            "for" if angle <= 0 => after_for = Some(segment.len()),
+            _ => {
+                if toks[j].kind == TokenKind::Ident && !matches!(w, "dyn" | "mut" | "const") {
+                    segment.push((j, w.to_string()));
+                }
+            }
+        }
+        j += 1;
+    }
+    let slice: Vec<String> = match after_for {
+        Some(split) => segment[split..].iter().map(|(_, s)| s.clone()).collect(),
+        None => segment.iter().map(|(_, s)| s.clone()).collect(),
+    };
+    // Base = the ident right before the first `<` in source order; since
+    // we dropped `<` while collecting, approximate with: the first ident
+    // of the path's last `::`-free run — in practice the LAST ident
+    // before any generic args. Path segments like `crate::x::Foo<T>`
+    // collect as [crate, x, Foo, T]; the base is the segment whose next
+    // token in source was `<` or `{`. Recompute precisely:
+    let mut base: Option<String> = None;
+    let start = after_for
+        .map(|split| segment.get(split).map(|(j, _)| *j).unwrap_or(usize::MAX))
+        .unwrap_or(0);
+    for (j, name) in &segment {
+        if *j < start {
+            continue;
+        }
+        let next = toks.get(j + 1).map(|t| sf.text(t)).unwrap_or("");
+        if next == "<" || next == "{" || next == "where" {
+            base = Some(name.clone());
+            break;
+        }
+        if base.is_none() {
+            base = Some(name.clone());
+        }
+    }
+    base.or_else(|| slice.first().cloned())
+}
+
+/// If token `i` (an ident, not a keyword) starts a call or feeds a macro,
+/// record it. Grammar handled:
+///
+/// * `name(` — free call;
+/// * `qual::name(` — path call (qualifier captured, `Self` resolved);
+/// * `.name(` — method call;
+/// * `name!(a, helper, b)` — macro invocation: every bare identifier in
+///   the argument list that *could* be a function reference is recorded
+///   as a call, so routing macros (`dispatch!`) and fn-pointer arguments
+///   keep the graph connected. Resolution later drops names that match
+///   no workspace fn.
+fn scan_call(sf: &SourceFile, toks: &[&Token], i: usize, stack: &[Ctx], calls: &mut Vec<Call>) {
+    let name = sf.text(toks[i]).to_string();
+    let line = sf.line_of(toks[i].lo);
+    let next = toks.get(i + 1);
+    let next_txt = next.map(|t| sf.text(t)).unwrap_or("");
+    let prev_txt = if i > 0 { sf.text(toks[i - 1]) } else { "" };
+
+    if next_txt == "(" {
+        // Qualifier: `A::name(` → A; `.name(` → method (no qualifier).
+        let mut qual = None;
+        if prev_txt == ":"
+            && i >= 3
+            && sf.text(toks[i - 2]) == ":"
+            && toks[i - 3].kind == TokenKind::Ident
+        {
+            let q = sf.text(toks[i - 3]);
+            qual = if q == "Self" {
+                stack.iter().rev().find_map(|c| match c {
+                    Ctx::Impl { ty } => ty.clone(),
+                    _ => None,
+                })
+            } else {
+                Some(q.to_string())
+            };
+        }
+        calls.push(Call { name, qual, is_method: prev_txt == ".", line });
+    } else if next_txt == "!" {
+        // Macro invocation: scan the delimited argument list for bare
+        // identifiers (not followed by `(`/`!` — those recurse through
+        // this scanner anyway; not preceded by `.`/`:` — field/path
+        // tails resolve on their own line).
+        let Some(open) = toks.get(i + 2) else { return };
+        let (open_b, close_b) = match sf.code.as_bytes()[open.lo] {
+            b'(' => (b'(', b')'),
+            b'[' => (b'[', b']'),
+            b'{' => (b'{', b'}'),
+            _ => return,
+        };
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        while j < toks.len() {
+            let b = sf.code.as_bytes()[toks[j].lo];
+            if toks[j].kind == TokenKind::Punct {
+                if b == open_b {
+                    depth += 1;
+                } else if b == close_b {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+            } else if toks[j].kind == TokenKind::Ident {
+                let w = sf.text(toks[j]);
+                let nx = toks.get(j + 1).map(|t| sf.text(t)).unwrap_or("");
+                let pv = sf.text(toks[j - 1]);
+                if !NON_CALL_KEYWORDS.contains(&w)
+                    && nx != "("
+                    && nx != "!"
+                    && pv != "."
+                    && pv != ":"
+                {
+                    calls.push(Call {
+                        name: w.to_string(),
+                        qual: None,
+                        is_method: false,
+                        line: sf.line_of(toks[j].lo),
+                    });
+                }
+            }
+            j += 1;
+        }
+    }
+    // `.name(` method calls arrive here too (prev == "."), captured by
+    // the `next == "("` branch above with qual None.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::SourceFile;
+
+    fn parse(src: &str) -> FileSyntax {
+        parse_file(&SourceFile::new(src))
+    }
+
+    fn fn_names(fs: &FileSyntax) -> Vec<(Option<String>, String)> {
+        fs.fns.iter().map(|f| (f.qual.clone(), f.name.clone())).collect()
+    }
+
+    #[test]
+    fn free_fns_methods_and_trait_impls_get_quals() {
+        let src = "fn free() {}\nimpl Server { pub fn start(&self) {} }\nimpl Model for Ckat { fn train_epoch(&mut self) {} }\nimpl<'a> Iterator for NeighborIter<'a> { fn next(&mut self) {} }\n";
+        let fs = parse(src);
+        assert_eq!(
+            fn_names(&fs),
+            vec![
+                (None, "free".into()),
+                (Some("Server".into()), "start".into()),
+                (Some("Ckat".into()), "train_epoch".into()),
+                (Some("NeighborIter".into()), "next".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn generic_and_path_impl_types_resolve_to_base_ident() {
+        let src = "impl From<CkptError> for TrainError { fn from(e: CkptError) -> Self { x() } }\nimpl crate::report::RunSummary { fn row(&self) {} }\n";
+        let fs = parse(src);
+        assert_eq!(fs.fns[0].qual.as_deref(), Some("TrainError"));
+        assert_eq!(fs.fns[1].qual.as_deref(), Some("RunSummary"));
+    }
+
+    #[test]
+    fn calls_free_path_method_and_self() {
+        let src = "impl Engine { fn handle(&self) { helper(); kernels::gather(1); self.plan(); Self::score(); } }\n";
+        let fs = parse(src);
+        let calls: Vec<_> =
+            fs.fns[0].calls.iter().map(|c| (c.qual.clone(), c.name.clone())).collect();
+        assert_eq!(
+            calls,
+            vec![
+                (None, "helper".into()),
+                (Some("kernels".into()), "gather".into()),
+                (None, "plan".into()),
+                (Some("Engine".into()), "score".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn macro_arguments_forward_identifiers() {
+        let src = "fn wrap(a: &[f32]) { dispatch!(score_block, a, n); }\n";
+        let fs = parse(src);
+        let names: Vec<_> = fs.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"score_block"), "{names:?}");
+        assert!(names.contains(&"a"), "macro args over-approximate: {names:?}");
+    }
+
+    #[test]
+    fn nested_fns_and_closures_attribute_calls_to_the_innermost_fn() {
+        let src =
+            "fn outer() { fn inner() { deep(); } let c = |x: u32| shallow(x); c(1); inner(); }\n";
+        let fs = parse(src);
+        assert_eq!(fn_names(&fs), vec![(None, "outer".into()), (None, "inner".into())]);
+        let outer_calls: Vec<_> = fs.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        let inner_calls: Vec<_> = fs.fns[1].calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(inner_calls.contains(&"deep"));
+        assert!(outer_calls.contains(&"shallow"), "{outer_calls:?}");
+        assert!(outer_calls.contains(&"inner"));
+        assert!(!outer_calls.contains(&"deep"));
+    }
+
+    #[test]
+    fn trait_declarations_without_bodies_parse_and_skip() {
+        let src = "trait Model { fn train_epoch(&mut self); fn score(&self) -> f32 { base() } }\nfn after() { after_call(); }\n";
+        let fs = parse(src);
+        assert_eq!(fs.fns.len(), 3);
+        assert_eq!(fs.fns[0].body_span, (0, 0), "bodiless decl");
+        assert!(fs.fns[1].calls.iter().any(|c| c.name == "base"));
+        assert!(fs.fns[2].calls.iter().any(|c| c.name == "after_call"));
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { live(); }\n}\n";
+        let fs = parse(src);
+        assert!(!fs.fns[0].is_test);
+        assert!(fs.fns[1].is_test);
+    }
+
+    #[test]
+    fn unsafe_sites_record_enclosing_fn() {
+        let src = "fn a() { unsafe { x() } }\nunsafe fn b() {}\n";
+        let fs = parse(src);
+        assert_eq!(fs.unsafes.len(), 2);
+        assert_eq!(fs.unsafes[0].fn_idx, Some(0));
+        assert_eq!(fs.unsafes[1].fn_idx, None, "unsafe fn keyword precedes the body");
+    }
+
+    #[test]
+    fn control_keywords_before_parens_are_not_calls() {
+        let src = "fn f(x: u32) { if (x > 0) { g(); } while (x < 9) { break; } match (x) { _ => h(), } }\n";
+        let fs = parse(src);
+        let names: Vec<_> = fs.fns[0].calls.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["g", "h"]);
+    }
+}

@@ -1,4 +1,7 @@
 //! Parameter storage and first-order optimizers.
+//! audit: module unwrap — sparse-row grads are validated (`SparseRowGrad::validate`)
+//! before indexed application; slot arithmetic is structural and covered by the
+//! autograd differential tests.
 //!
 //! [`ParamStore`] owns named parameter matrices for the lifetime of a
 //! model; a fresh [`Tape`](crate::Tape) borrows *clones* of the values each

@@ -1,5 +1,8 @@
 //! The tape: a dynamically-built computation graph with reverse-mode
 //! differentiation.
+//! audit: module unwrap — tape node/slot indices are created by this module and
+//! never cross an API boundary unchecked; the debug-audit runtime checkers and
+//! gradient-check tests cover them.
 //!
 //! Every op records (a) its output value, computed eagerly, and (b) enough
 //! metadata to push gradients back to its inputs. Node handles ([`Var`])
@@ -760,8 +763,7 @@ impl Tape {
                     let bm = &self.nodes[b.0].value;
                     (bm.rows(), bm.cols())
                 };
-                let db = self.grads[b.0]
-                    .get_or_insert_with(|| Matrix::zeros(brows, bcols));
+                let db = self.grads[b.0].get_or_insert_with(|| Matrix::zeros(brows, bcols));
                 let av = &self.nodes[a.0].value;
                 kernels::transpose_matmul_into(
                     av.as_slice(),
@@ -808,12 +810,9 @@ impl Tape {
                 // `add_assign` detour performed, with two fewer
                 // full-matrix passes.
                 let wv_rows = self.nodes[w.0].value.rows();
-                let mut da = self.grads[a.0]
-                    .take()
-                    .unwrap_or_else(|| Matrix::zeros(g.rows(), g.cols()));
-                let mut dw = self.grads[w.0]
-                    .take()
-                    .unwrap_or_else(|| Matrix::zeros(wv_rows, 1));
+                let mut da =
+                    self.grads[a.0].take().unwrap_or_else(|| Matrix::zeros(g.rows(), g.cols()));
+                let mut dw = self.grads[w.0].take().unwrap_or_else(|| Matrix::zeros(wv_rows, 1));
                 kernels::mul_broadcast_col_grad_acc(
                     g.as_slice(),
                     self.nodes[a.0].value.as_slice(),
@@ -846,9 +845,7 @@ impl Tape {
                 match &mut self.grads[a.0] {
                     Some(da) => {
                         let rows_a = da.as_mut_slice().chunks_exact_mut(ac.max(1));
-                        for (drow, grow) in
-                            rows_a.zip(g.as_slice().chunks_exact(n.max(1)))
-                        {
+                        for (drow, grow) in rows_a.zip(g.as_slice().chunks_exact(n.max(1))) {
                             kernels::add_assign(drow, &grow[..ac]);
                         }
                     }
@@ -864,9 +861,7 @@ impl Tape {
                     Some(db) => {
                         let bc = (n - ac).max(1);
                         let rows_b = db.as_mut_slice().chunks_exact_mut(bc);
-                        for (drow, grow) in
-                            rows_b.zip(g.as_slice().chunks_exact(n.max(1)))
-                        {
+                        for (drow, grow) in rows_b.zip(g.as_slice().chunks_exact(n.max(1))) {
                             kernels::add_assign(drow, &grow[ac..]);
                         }
                     }
@@ -985,12 +980,9 @@ impl Tape {
                     let hm = &self.nodes[h.0].value;
                     (hm.rows(), hm.cols())
                 };
-                let mut dh = self.grads[h.0]
-                    .take()
-                    .unwrap_or_else(|| Matrix::zeros(hrows, hcols));
-                let mut datt = self.grads[att.0]
-                    .take()
-                    .unwrap_or_else(|| Matrix::zeros(tails.len(), 1));
+                let mut dh = self.grads[h.0].take().unwrap_or_else(|| Matrix::zeros(hrows, hcols));
+                let mut datt =
+                    self.grads[att.0].take().unwrap_or_else(|| Matrix::zeros(tails.len(), 1));
                 kernels::gather_scale_segment_sum_grad(
                     g.as_slice(),
                     self.nodes[h.0].value.as_slice(),
@@ -1384,10 +1376,10 @@ mod tests {
         let n_seg = 6;
         let tails: Vec<usize> = (0..40).map(|e| (e * 7 + 3) % rows).collect();
         let heads: Vec<usize> = (0..40).map(|e| (e * 5) % n_seg).collect();
-        let h_data: Vec<f32> = (0..rows * cols)
-            .map(|i| ((i * 37 + 11) % 19) as f32 * 0.173 - 1.5)
-            .collect();
-        let att_data: Vec<f32> = (0..40).map(|e| ((e * 13 + 5) % 23) as f32 * 0.071 - 0.6).collect();
+        let h_data: Vec<f32> =
+            (0..rows * cols).map(|i| ((i * 37 + 11) % 19) as f32 * 0.173 - 1.5).collect();
+        let att_data: Vec<f32> =
+            (0..40).map(|e| ((e * 13 + 5) % 23) as f32 * 0.071 - 0.6).collect();
 
         let run = |fused: bool| {
             let mut t = Tape::new();

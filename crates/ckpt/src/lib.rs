@@ -109,6 +109,7 @@ pub fn crc32(data: &[u8]) -> u32 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
                 k += 1;
             }
+            // audit: unwrap — const-eval loop bounded to the 256-entry table.
             table[i] = c;
             i += 1;
         }
@@ -116,6 +117,7 @@ pub fn crc32(data: &[u8]) -> u32 {
     };
     let mut c = 0xFFFF_FFFFu32;
     for &b in data {
+        // audit: unwrap — index masked with & 0xFF into the 256-entry table.
         c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c ^ 0xFFFF_FFFF
@@ -265,6 +267,7 @@ impl<'a> Reader<'a> {
                 self.buf.len() - self.pos
             )));
         }
+        // audit: unwrap — range bounds checked by the guard just above.
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
@@ -423,6 +426,7 @@ impl ModelState {
         }
         w.put_u32(a.m.len() as u32);
         for i in 0..a.m.len() {
+            // audit: unwrap — m/v/t are parallel arrays of equal length by construction.
             match (&a.m[i], &a.v[i]) {
                 (Some(m), Some(v)) => {
                     w.put_u8(1);
@@ -431,6 +435,7 @@ impl ModelState {
                 }
                 _ => w.put_u8(0),
             }
+            // audit: unwrap — m/v/t are parallel arrays of equal length by construction.
             w.put_u64(a.t[i]);
             // Format v2: per-row step counters for lazily-updated slots.
             match a.row_t.get(i).and_then(|r| r.as_ref()) {

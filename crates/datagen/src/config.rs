@@ -181,6 +181,9 @@ impl FacilityConfig {
     /// loading) use [`FacilityConfig::try_validate`] instead.
     pub fn validate(&self) {
         if let Err(msg) = self.try_validate() {
+            // audit: unwrap — documented programmer-error panic; trace loading uses
+            // try_validate, and the hot-path edge is a validate() name collision
+            // in the approximate call graph.
             panic!("{msg}");
         }
     }

@@ -69,6 +69,7 @@ pub fn rank_top_k(scores: &[f32], exclude: &[Id], k: usize) -> Vec<(Id, f32)> {
         return Vec::new();
     }
     let k_eff = k.min(candidates.len());
+    // audit: unwrap — candidate ids are drawn from 0..scores.len() below.
     let by = |a: &u32, b: &u32| {
         scores[*b as usize]
             .partial_cmp(&scores[*a as usize])
@@ -79,6 +80,7 @@ pub fn rank_top_k(scores: &[f32], exclude: &[Id], k: usize) -> Vec<(Id, f32)> {
     candidates.select_nth_unstable_by(k_eff - 1, by);
     candidates.truncate(k_eff);
     candidates.sort_unstable_by(by);
+    // audit: unwrap — candidate ids were drawn from 0..scores.len() above.
     candidates.into_iter().map(|i| (i, scores[i as usize])).collect()
 }
 

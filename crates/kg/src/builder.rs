@@ -406,6 +406,7 @@ impl Ckg {
     pub fn edges_by_relation(&self) -> Vec<Vec<usize>> {
         let mut groups = vec![Vec::new(); self.n_relations_with_inverse()];
         for (e, &r) in self.rels.iter().enumerate() {
+            // audit: unwrap — groups is sized to n_relations_with_inverse(), which bounds every rel id.
             groups[r as usize].push(e);
         }
         groups
@@ -419,6 +420,7 @@ impl Ckg {
 
     /// Out-degree of entity `e` (including inverse edges).
     pub fn degree(&self, e: usize) -> usize {
+        // audit: unwrap — offsets has n_entities+1 entries; callers pass e < n_entities.
         self.offsets[e + 1] - self.offsets[e]
     }
 }

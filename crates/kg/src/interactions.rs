@@ -91,6 +91,7 @@ impl Interactions {
 
     /// True if `(u, i)` is a training positive.
     pub fn contains_train(&self, u: Id, i: Id) -> bool {
+        // audit: unwrap — user ids are < n_users, validated at construction.
         self.train[u as usize].binary_search(&i).is_ok()
     }
 
@@ -112,6 +113,7 @@ impl Interactions {
     /// Users with at least one test interaction (the evaluation
     /// population).
     pub fn test_users(&self) -> Vec<Id> {
+        // audit: unwrap — user ids are < n_users, validated at construction.
         (0..self.n_users as Id).filter(|&u| !self.test[u as usize].is_empty()).collect()
     }
 

@@ -39,6 +39,7 @@ pub fn sample_bpr_batch(
     }
     let mut out = Vec::with_capacity(batch_size);
     for _ in 0..batch_size {
+        // audit: unwrap — gen_range(0..len) is in bounds by construction.
         let &(user, pos) = &inter.train_pairs[rng.gen_range(0..inter.train_pairs.len())];
         let mut neg = rng.gen_range(0..inter.n_items) as Id;
         for _ in 0..64 {
@@ -84,6 +85,7 @@ pub fn sample_kg_batch(ckg: &Ckg, batch_size: usize, rng: &mut impl Rng) -> Vec<
     let mut out = Vec::with_capacity(batch_size);
     for _ in 0..batch_size {
         let &(head, rel, tail) =
+        // audit: unwrap — gen_range(0..len) is in bounds by construction.
             &ckg.canonical_triples[rng.gen_range(0..ckg.canonical_triples.len())];
         let mut candidate = rng.gen_range(0..n_ent) as Id;
         let mut neg_tail = None;

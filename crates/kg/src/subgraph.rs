@@ -1,5 +1,8 @@
 //! Batch-local receptive fields: the L-hop in-neighborhood of a training
 //! batch, extracted as a compact remapped CSR subgraph.
+//! audit: module unwrap — CSR offsets are built and remapped inside this
+//! module; debug-audit runtime checks assert the invariants and the subgraph
+//! unit tests cover ragged shapes.
 //!
 //! Propagation-based models (CKAT, KGCN) only need the representations of
 //! the batch's seed entities, yet the naive implementation runs every

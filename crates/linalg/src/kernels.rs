@@ -1,4 +1,7 @@
 //! Explicit 8-lane f32 kernels for the training hot path.
+//! audit: module unwrap — lane/block index arithmetic is bounded by
+//! caller-checked dims and verified lane-for-lane against the scalar oracles in
+//! the kernel_diff differential suite.
 //!
 //! Every inner loop that bounds CKAT epoch time — gather/scatter-add,
 //! (transposed) matmul, row-wise dot/axpy, fused activation gradients,

@@ -1,4 +1,6 @@
 //! Row-major dense `f32` matrix.
+//! audit: module unwrap — row/col offsets derive from dims asserted at
+//! construction (`Matrix::new` and friends).
 //!
 //! [`Matrix`] is the single storage type shared by the autograd engine and
 //! the models. It deliberately has *value semantics*: operations either

@@ -1,5 +1,7 @@
 //! BPRMF — Bayesian personalized ranking matrix factorization (Rendle et
 //! al. 2012), the pure collaborative-filtering baseline of Table II.
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //!
 //! Score: `ŷ(u, v) = e_uᵀ e_v` over free user/item embeddings; trained
 //! with the BPR pairwise loss and L2 regularization on the embeddings

@@ -1,5 +1,7 @@
 //! CFKG — collaborative filtering on the unified knowledge graph (Ai et
 //! al. 2018), regularization-based baseline.
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //!
 //! CFKG embeds the *unified* graph — user behaviors and item knowledge
 //! together — with TransE: every triple `(h, r, t)`, including the

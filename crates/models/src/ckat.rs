@@ -1,5 +1,7 @@
 //! CKAT — the collaborative knowledge-aware graph attention network, the
 //! paper's primary contribution (Section V).
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //!
 //! Three components:
 //!

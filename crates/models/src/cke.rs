@@ -1,5 +1,7 @@
 //! CKE — collaborative knowledge-base embedding (Zhang et al. 2016),
 //! regularization-based baseline.
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //!
 //! The item representation is the sum of a free CF latent vector and the
 //! item's structural TransR entity embedding: `ŷ(u,v) = e_uᵀ(γ_v + e_v)`.

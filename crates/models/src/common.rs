@@ -105,6 +105,7 @@ pub fn union_locals(lists: &[&[usize]]) -> (Vec<usize>, Vec<Vec<usize>>) {
     let locals = lists
         .iter()
         .map(|l| {
+            // audit: unwrap — every searched id was flattened into the union above.
             l.iter().map(|g| union.binary_search(g).expect("every id is in the union")).collect()
         })
         .collect();

@@ -1,5 +1,7 @@
 //! FM — factorization machine (Rendle et al. 2011) over the CKG feature
 //! space.
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //!
 //! Following the paper's setup, "user IDs, data objects, and CKG entities"
 //! are the input features: a sample `(u, v)` activates the user feature,

@@ -2,6 +2,9 @@
 //! but indispensable sanity anchors for any recommender study: a learned
 //! model that cannot beat raw popularity or item co-occurrence is not
 //! learning anything useful.
+//!
+//! audit: module unwrap — item/co-occurrence tables are indexed by ids bounded
+//! at CKG construction; the baseline unit tests cover every lookup path.
 
 use crate::common::TrainContext;
 use crate::Recommender;

@@ -1,5 +1,7 @@
 //! KGCN — knowledge graph convolutional network (Wang et al. 2019),
 //! propagation-based baseline.
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //!
 //! For a candidate item, KGCN samples a fixed-size receptive field in the
 //! KG (K neighbors per hop) and aggregates neighbor embeddings inward,

@@ -1,5 +1,7 @@
 //! NFM — neural factorization machine (He & Chua 2017).
 //!
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //! NFM keeps FM's *vector-valued* bilinear pooling
 //! `f_B = ½((Σ v_f)² − Σ v_f²)` (elementwise) and feeds it through one
 //! hidden ReLU layer — the configuration the paper uses ("we employ one

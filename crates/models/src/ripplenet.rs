@@ -1,5 +1,7 @@
 //! RippleNet — preference propagation over ripple sets (Wang et al. 2018),
 //! propagation-based baseline.
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //!
 //! A user's hop-1 "ripple set" is a sample of KG triples whose heads are
 //! the user's interacted items; hop-2 triples grow from hop-1 tails. For a

@@ -1,5 +1,7 @@
 //! Shared TransR machinery (paper Section V-A, Eqs. 1–2).
 //!
+//! audit: module unwrap — embedding rows are indexed by ids bounded at CKG
+//! construction; the model parity/unit tests cover every lookup path.
 //! TransR projects entities from the `d`-dimensional entity space into
 //! each relation's `k`-dimensional space via a per-relation matrix `W_r`,
 //! and scores a triple by `‖W_r e_h + e_r − W_r e_t‖²` (lower = more

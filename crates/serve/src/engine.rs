@@ -522,6 +522,7 @@ impl Engine {
         }
         if self.faults.should_panic(req.id) {
             // Deliberate: the injected worker fault the ladder must absorb.
+            // audit: unwrap — injected fault; absorbed by catch_unwind in Engine::handle.
             panic!("injected scoring fault on request {}", req.id);
         }
         snap.snap.rank_top_k(req.user, self.train_items(req.user), self.policy.k)
